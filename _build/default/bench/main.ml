@@ -1,0 +1,500 @@
+(* Benchmark and reproduction harness.
+
+   One executable regenerates every figure, theorem, and quantitative
+   claim of the paper (see DESIGN.md §5 for the experiment index):
+
+     F2        the Figure 2 mod/flow/cert table, computed
+     F3        the Figure 3 verdict matrix and §4.3 requirement chain
+     T1/T2     Theorems 1 + 2: CFM certification <=> checked flow proof,
+               over a random corpus
+     S52       relative strength: CFM-rejected but semantically secure
+     C1        §6's complexity claim: certification time is linear in
+               program length (Denning, CFM, proof generation+checking)
+     SND       empirical soundness: certified programs pass the
+               (termination-insensitive) noninterference test
+     micro     Bechamel micro-benchmarks of every analysis entry point
+
+   Usage: dune exec bench/main.exe [-- SECTION ...]
+   Sections: tables fig3 theorems strength scaling ni micro all (default
+   all). Add "quick" to shrink corpus and sweep sizes. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Extended = Ifc_lattice.Extended
+module Mls = Ifc_lattice.Mls
+module Ast = Ifc_lang.Ast
+module Parser = Ifc_lang.Parser
+module Gen = Ifc_lang.Gen
+module Metrics = Ifc_lang.Metrics
+module Prng = Ifc_support.Prng
+module Sset = Ifc_support.Sset
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Denning = Ifc_core.Denning
+module Infer = Ifc_core.Infer
+module Paper = Ifc_core.Paper
+module Generate = Ifc_logic.Generate
+module Check = Ifc_logic.Check
+module Invariance = Ifc_logic.Invariance
+module Entail = Ifc_logic.Entail
+module Scheduler = Ifc_exec.Scheduler
+module Ni = Ifc_exec.Noninterference
+
+let two = Chain.two
+
+let low = two.Lattice.bottom
+
+let high = two.Lattice.top
+
+let banner title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let random_binding rng lattice stmt =
+  let arr = Array.of_list lattice.Lattice.elements in
+  Binding.make lattice
+    (List.map
+       (fun v -> (v, arr.(Prng.int rng (Array.length arr))))
+       (Sset.elements (Ifc_lang.Vars.all_vars stmt)))
+
+(* ------------------------------------------------------------------ *)
+(* F2: the Figure 2 table, computed over canonical statements. *)
+
+let fig2_table () =
+  banner "F2: Figure 2, computed (two-point lattice; e high, x/y low, sem high)";
+  let b =
+    Binding.make two [ ("e", high); ("x", low); ("y", low); ("sem", high) ]
+  in
+  let rows =
+    [
+      ("x := e", "x := e");
+      ("x := 1", "x := 1");
+      ("if e then x:=1 else y:=1", "if e = 0 then x := 1 else y := 1");
+      ("if x then y:=1 (low cond)", "if x = 0 then y := 1 fi");
+      ("while e do x := 1", "while e = 0 do x := 1");
+      ("while x do y := 1 (low)", "while x = 0 do y := 1");
+      ("begin wait(sem); y:=1 end", "begin wait(sem); y := 1 end");
+      ("begin y:=1; wait(sem) end", "begin y := 1; wait(sem) end");
+      ("cobegin wait(sem) || y:=1", "cobegin wait(sem) || y := 1 coend");
+      ("wait(sem)", "wait(sem)");
+      ("signal(sem)", "signal(sem)");
+      ("skip", "skip");
+    ]
+  in
+  Fmt.pr "%-30s %-6s %-6s %s@." "statement" "mod" "flow" "cert";
+  List.iter
+    (fun (label, src) ->
+      match Parser.parse_stmt src with
+      | Error e -> Fmt.pr "%s: parse error %a@." label Parser.pp_error e
+      | Ok s ->
+        let r = Cfm.analyze b s in
+        Fmt.pr "%-30s %-6s %-6s %b@." label (two.Lattice.to_string r.Cfm.mod_)
+          (Fmt.str "%a" (Extended.pp two) r.Cfm.flow)
+          r.Cfm.certified)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F3: the Figure 3 matrix and requirement chain. *)
+
+let fig3_report () =
+  banner "F3: Figure 3 with sbind(x), sbind(y) fixed and everything else free";
+  (* CFM column: does ANY binding certify with these two endpoints fixed
+     (solved by inference)? Denning column: its verdict on the binding
+     most favourable to it (intermediaries escalated so its local checks
+     pass) — exposing that it never sees the synchronization leak.
+     Logic column: a completely invariant proof exists for the inferred /
+     favourable binding. *)
+  let denning_friendly x_cls y_cls =
+    Binding.make two
+      [
+        ("x", x_cls); ("y", y_cls); ("m", low); ("modify", high);
+        ("modified", high); ("read", low); ("done", low);
+      ]
+  in
+  Fmt.pr "%-10s %-10s %-24s %-22s %s@." "sbind(x)" "sbind(y)" "CFM (any binding)"
+    "Denning (favourable)" "proof (CFM binding)";
+  List.iter
+    (fun (x_cls, y_cls) ->
+      let fixed = [ ("x", x_cls); ("y", y_cls) ] in
+      let cfm_possible = Infer.infer two ~fixed Paper.fig3 in
+      let denning_ok =
+        Denning.certified ~on_concurrency:`Ignore (denning_friendly x_cls y_cls)
+          Paper.fig3.Ast.body
+      in
+      let proof =
+        match cfm_possible with
+        | Ok b -> Invariance.decide b Paper.fig3.Ast.body
+        | Error _ -> false
+      in
+      Fmt.pr "%-10s %-10s %-24s %-22s %b@." (two.Lattice.to_string x_cls)
+        (two.Lattice.to_string y_cls)
+        (match cfm_possible with
+        | Ok _ -> "certifiable"
+        | Error _ -> "NO binding certifies")
+        (if denning_ok then "certified (leak missed)" else "rejected")
+        proof)
+    [ (low, low); (low, high); (high, low); (high, high) ];
+  Fmt.pr "@.requirement chain (4.3): any certified binding satisfies@.";
+  let cs = Infer.constraints Paper.fig3.Ast.body in
+  let wanted =
+    [
+      "sbind(x) <= sbind(modify)";
+      "sbind(modify) <= sbind(m)";
+      "sbind(m) <= sbind(y)";
+    ]
+  in
+  List.iter
+    (fun w ->
+      let present =
+        List.exists (fun c -> String.equal (Fmt.str "%a" Infer.pp_constr c) w) cs
+      in
+      Fmt.pr "  %-34s %s@." w (if present then "derived" else "MISSING"))
+    wanted
+
+(* ------------------------------------------------------------------ *)
+(* T1/T2: the equivalence, quantified over a corpus. *)
+
+let theorems ~corpus () =
+  banner
+    (Printf.sprintf
+       "T1/T2: CFM certification <=> completely invariant flow proof (%d programs \
+        per lattice)"
+       corpus);
+  let lattices =
+    [ ("two-point", Lattice.stringify two); ("mls", Lattice.stringify Mls.standard) ]
+  in
+  List.iter
+    (fun (name, lat) ->
+      let rng = Prng.create 7 in
+      let certified = ref 0 and agree = ref 0 and total = ref 0 in
+      for i = 1 to corpus do
+        let p = Gen.program rng Gen.default ~size:(1 + (i mod 30)) in
+        let b = random_binding rng lat p.Ast.body in
+        let cert = Cfm.certified b p.Ast.body in
+        let proof = Invariance.decide b p.Ast.body in
+        incr total;
+        if cert then incr certified;
+        if Bool.equal cert proof then incr agree
+      done;
+      Fmt.pr "%-10s programs: %d  certified: %d (%.0f%%)  agreement: %d/%d%s@." name
+        !total !certified
+        (100. *. float_of_int !certified /. float_of_int !total)
+        !agree !total
+        (if !agree = !total then "  [theorems hold]" else "  [DIVERGENCE!]"))
+    lattices
+
+(* ------------------------------------------------------------------ *)
+(* S52: relative strength — secure but rejected. *)
+
+let strength ~corpus () =
+  banner "S52: relative strength — CFM-rejected programs that are semantically secure";
+  Fmt.pr "(sequential fragment over the two-point lattice)@.";
+  let rng = Prng.create 11 in
+  let rejected = ref 0 and secure_rejected = ref 0 and tested = ref 0 in
+  let cfg = { Gen.sequential with Gen.max_depth = 3 } in
+  for i = 1 to corpus do
+    let p = Gen.program rng cfg ~size:(2 + (i mod 8)) in
+    let b = random_binding rng two p.Ast.body in
+    if not (Cfm.certified b p.Ast.body) then begin
+      incr rejected;
+      let r = Ni.test ~seed:i ~pairs:4 ~max_states:3000 ~observer:low b p in
+      if r.Ni.pairs_tested > 0 then begin
+        incr tested;
+        if Ni.secure r then incr secure_rejected
+      end
+    end
+  done;
+  Fmt.pr "rejected by CFM: %d;  of %d testable, empirically secure: %d (%.0f%%)@."
+    !rejected !tested !secure_rejected
+    (if !tested = 0 then 0.
+     else 100. *. float_of_int !secure_rejected /. float_of_int !tested);
+  Fmt.pr
+    "The paper's 5.2 example is in this class: x := 0; y := x with x high, y@ low \
+     is rejected yet secure (the flow logic proves it; CFM cannot).@."
+
+(* ------------------------------------------------------------------ *)
+(* ABL: mechanism ablation — acceptance rates across analysers. *)
+
+let ablation ~corpus () =
+  banner "ABL: acceptance rates of the three mechanisms (same corpus and bindings)";
+  let rng = Prng.create 99 in
+  let denning_n = ref 0 and cfm_n = ref 0 and fs_n = ref 0 and total = ref 0 in
+  let inversions = ref 0 in
+  for i = 1 to corpus do
+    let p = Gen.program rng Gen.default ~size:(1 + (i mod 25)) in
+    let b = random_binding rng two p.Ast.body in
+    incr total;
+    let den = Denning.certified ~on_concurrency:`Ignore b p.Ast.body in
+    let cfm = Cfm.certified b p.Ast.body in
+    let fs = Ifc_core.Flow_sensitive.certified b p.Ast.body in
+    if den then incr denning_n;
+    if cfm then incr cfm_n;
+    if fs then incr fs_n;
+    (* Expected containment: CFM ⊆ Denning (misses channels) and
+       CFM ⊆ flow-sensitive (more precise). *)
+    if (cfm && not den) || (cfm && not fs) then incr inversions
+  done;
+  let pct n = 100. *. float_of_int n /. float_of_int !total in
+  Fmt.pr "%-36s %6d/%d (%.0f%%)@." "Denning & Denning (no global flows):" !denning_n
+    !total (pct !denning_n);
+  Fmt.pr "%-36s %6d/%d (%.0f%%)@." "CFM (the paper):" !cfm_n !total (pct !cfm_n);
+  Fmt.pr "%-36s %6d/%d (%.0f%%)@." "flow-sensitive (6.0 extension):" !fs_n !total
+    (pct !fs_n);
+  Fmt.pr "containment violations: %d%s@." !inversions
+    (if !inversions = 0 then "  [CFM <= Denning and CFM <= FS hold]" else "  [BUG]");
+  Fmt.pr
+    "@.Denning accepts more than CFM only because it is blind to global@ flows — \
+     every extra acceptance is a potential synchronization or@ termination leak. \
+     The flow-sensitive extension accepts more than CFM@ soundly, by tracking \
+     current classes.@."
+
+(* ------------------------------------------------------------------ *)
+(* C1: linear-time claim. *)
+
+let time_one f =
+  (* Median of 5 timed runs, CPU seconds. *)
+  let runs =
+    List.init 5 (fun _ ->
+        let t0 = Sys.time () in
+        ignore (Sys.opaque_identity (f ()));
+        Sys.time () -. t0)
+  in
+  match List.sort compare runs with
+  | _ :: _ :: m :: _ -> m
+  | m :: _ -> m
+  | [] -> 0.
+
+let scaling ~sizes () =
+  banner "C1: certification time vs program length (the 6.0 linearity claim)";
+  Fmt.pr "%-10s %-10s %12s %12s %12s %14s@." "size" "length" "denning" "cfm"
+    "infer" "proof(gen+chk)";
+  Fmt.pr "%-10s %-10s %12s %12s %12s %14s@." "(stmts)" "(nodes)" "(us)" "(us)" "(us)"
+    "(us)";
+  let rows =
+    List.map
+      (fun size ->
+        let rng = Prng.create 42 in
+        let p = Gen.program rng Gen.default ~size in
+        let b = random_binding rng two p.Ast.body in
+        let length = Metrics.length p in
+        let t_den =
+          time_one (fun () -> Denning.certified ~on_concurrency:`Ignore b p.Ast.body)
+        in
+        let t_cfm = time_one (fun () -> Cfm.certified b p.Ast.body) in
+        let t_inf = time_one (fun () -> Infer.constraints p.Ast.body) in
+        let t_proof =
+          time_one (fun () ->
+              let proof = Generate.theorem1 b p.Ast.body in
+              Check.check ~interference:`Trust two proof)
+        in
+        Fmt.pr "%-10d %-10d %12.1f %12.1f %12.1f %14.1f@."
+          (Metrics.of_program p).Metrics.statements length (1e6 *. t_den)
+          (1e6 *. t_cfm) (1e6 *. t_inf) (1e6 *. t_proof);
+        (length, t_cfm))
+      sizes
+  in
+  match (rows, List.rev rows) with
+  | (l0, t0) :: _, (l1, t1) :: _ when l0 <> l1 && t0 > 0. ->
+    let per0 = t0 /. float_of_int l0 and per1 = t1 /. float_of_int l1 in
+    Fmt.pr
+      "@.CFM ns/node at smallest vs largest size: %.1f vs %.1f (ratio %.2f; linear \
+       scaling keeps this near 1)@."
+      (1e9 *. per0) (1e9 *. per1)
+      (per1 /. per0)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* SND: empirical soundness. *)
+
+let soundness ~corpus () =
+  banner "SND: certified programs pass the noninterference test";
+  let rng = Prng.create 2718 in
+  let cfg = { Gen.default with Gen.max_depth = 3 } in
+  let checked = ref 0 and violations = ref 0 and attempts = ref 0 in
+  while !checked < corpus && !attempts < corpus * 30 do
+    incr attempts;
+    let p = Gen.program_balanced rng cfg ~size:(2 + (!attempts mod 10)) in
+    let vars, _, _ = Ifc_lang.Vars.declared p in
+    let pairs =
+      List.map (fun v -> (v, if Prng.bool rng then high else low)) (Sset.elements vars)
+    in
+    let b = Binding.make two pairs in
+    if List.exists (fun (_, c) -> c = high) pairs && Cfm.certified b p.Ast.body then begin
+      let r = Ni.test ~seed:!attempts ~pairs:4 ~max_states:4000 ~observer:low b p in
+      if r.Ni.pairs_tested > 0 then begin
+        incr checked;
+        if not (Ni.secure r) then incr violations
+      end
+    end
+  done;
+  Fmt.pr "certified programs tested: %d, noninterference violations: %d%s@." !checked
+    !violations
+    (if !violations = 0 then "  [sound on this corpus]" else "  [UNSOUND?]");
+  (* The counterpoint: the leaky paper examples DO violate. *)
+  let leaky =
+    Binding.make two
+      (("x", high) :: List.map (fun v -> (v, low)) (List.tl Paper.fig3_vars))
+  in
+  let r = Ni.test ~pairs:4 ~observer:low leaky Paper.fig3 in
+  Fmt.pr "control (fig3, x high / y low): %d violations in %d pairs [leak confirmed]@."
+    (List.length r.Ni.violations)
+    r.Ni.pairs_tested
+
+(* ------------------------------------------------------------------ *)
+(* POR: state-space reduction from partial-order reduction. *)
+
+let por ~corpus () =
+  banner "POR: interleaving-space reduction (same summaries, fewer states)";
+  let explore_pair ?inputs p =
+    let full = Ifc_exec.Explore.explore_program ?inputs ~max_states:200_000 p in
+    let reduced =
+      Ifc_exec.Explore.explore_program ~por:true ?inputs ~max_states:200_000 p
+    in
+    (full, reduced)
+  in
+  Fmt.pr "%-34s %10s %10s %9s@." "workload" "full" "por" "ratio";
+  let report name (full : Ifc_exec.Explore.summary) (reduced : Ifc_exec.Explore.summary) =
+    Fmt.pr "%-34s %10d %10d %8.1fx@." name full.Ifc_exec.Explore.states
+      reduced.Ifc_exec.Explore.states
+      (float_of_int full.Ifc_exec.Explore.states
+      /. float_of_int (max 1 reduced.Ifc_exec.Explore.states))
+  in
+  let f, r = explore_pair ~inputs:[ ("x", 0) ] Paper.fig3 in
+  report "fig3 (x = 0)" f r;
+  (match
+     Parser.parse_program
+       "var a, b, c, d, e, f : integer; cobegin a := 1 || b := 2 || c := 3 || d := 4 || e := 5 || f := 6 coend"
+   with
+  | Ok p ->
+    let f, r = explore_pair p in
+    report "6 independent writers" f r
+  | Error _ -> ());
+  (match
+     Parser.parse_program
+       {|var a, b, t : integer; s : semaphore initially(0);
+         cobegin begin a := 1; a := a + 1; signal(s) end
+         || begin b := 2; b := b * 3; wait(s); t := 1 end coend|}
+   with
+  | Ok p ->
+    let f, r = explore_pair p in
+    report "2 workers + 1 rendezvous" f r
+  | Error _ -> ());
+  (* Random corpus aggregate. *)
+  let rng = Prng.create 515 in
+  let full_total = ref 0 and por_total = ref 0 and n = ref 0 in
+  for i = 1 to corpus do
+    let p =
+      Gen.program_balanced rng { Gen.default with Gen.max_depth = 3 }
+        ~size:(2 + (i mod 10))
+    in
+    let full, reduced = explore_pair p in
+    if full.Ifc_exec.Explore.complete && reduced.Ifc_exec.Explore.complete then begin
+      incr n;
+      full_total := !full_total + full.Ifc_exec.Explore.states;
+      por_total := !por_total + reduced.Ifc_exec.Explore.states
+    end
+  done;
+  Fmt.pr "%-34s %10d %10d %8.1fx   (%d programs)@." "random corpus (total states)"
+    !full_total !por_total
+    (float_of_int !full_total /. float_of_int (max 1 !por_total))
+    !n
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel). *)
+
+let micro () =
+  banner "micro-benchmarks (Bechamel, ns/run)";
+  let open Bechamel in
+  let rng = Prng.create 1 in
+  let p100 = Gen.program rng Gen.default ~size:100 in
+  let b100 = random_binding rng two p100.Ast.body in
+  let p100_proof = Generate.theorem1 b100 p100.Ast.body in
+  let mls = Mls.standard in
+  let mls_elts = Array.of_list mls.Lattice.elements in
+  let fig3_b = Binding.make two (List.map (fun v -> (v, high)) Paper.fig3_vars) in
+  let seq_p = Paper.fig3_sequential_equivalent in
+  let tests =
+    [
+      Test.make ~name:"cfm-certify-100stmt"
+        (Staged.stage (fun () -> Cfm.certified b100 p100.Ast.body));
+      Test.make ~name:"cfm-analyze-100stmt"
+        (Staged.stage (fun () -> Cfm.analyze b100 p100.Ast.body));
+      Test.make ~name:"denning-certify-100stmt"
+        (Staged.stage (fun () ->
+             Denning.certified ~on_concurrency:`Ignore b100 p100.Ast.body));
+      Test.make ~name:"infer-constraints-100stmt"
+        (Staged.stage (fun () -> Infer.constraints p100.Ast.body));
+      Test.make ~name:"thm1-generate-100stmt"
+        (Staged.stage (fun () -> Generate.theorem1 b100 p100.Ast.body));
+      Test.make ~name:"proof-check-100stmt"
+        (Staged.stage (fun () -> Check.check ~interference:`Trust two p100_proof));
+      Test.make ~name:"cfm-certify-fig3"
+        (Staged.stage (fun () -> Cfm.certified fig3_b Paper.fig3.Ast.body));
+      Test.make ~name:"prove-fig3"
+        (Staged.stage (fun () -> Invariance.decide fig3_b Paper.fig3.Ast.body));
+      Test.make ~name:"mls-join"
+        (Staged.stage (fun () -> mls.Lattice.join mls_elts.(5) mls_elts.(17)));
+      Test.make ~name:"mls-leq"
+        (Staged.stage (fun () -> mls.Lattice.leq mls_elts.(5) mls_elts.(17)));
+      Test.make ~name:"parse-fig3"
+        (Staged.stage
+           (let src = Ifc_lang.Pretty.program_to_string Paper.fig3 in
+            fun () -> Parser.parse_program src));
+      Test.make ~name:"run-fig3-roundrobin"
+        (Staged.stage (fun () ->
+             Scheduler.run_program ~strategy:`Round_robin ~inputs:[ ("x", 1) ]
+               Paper.fig3));
+      Test.make ~name:"run-sequential-equivalent"
+        (Staged.stage (fun () ->
+             Scheduler.run_program ~strategy:`Leftmost ~inputs:[ ("x", 1) ] seq_p));
+      Test.make ~name:"entail-policy-7vars"
+        (Staged.stage
+           (let inv = Generate.invariant_of fig3_b Paper.fig3.Ast.body in
+            fun () -> Entail.check two inv inv));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let grouped = Test.make_grouped ~name:"ifc" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) results []) in
+  Fmt.pr "%-40s %14s %8s@." "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun name ->
+      let ols_result = Hashtbl.find results name in
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
+      Fmt.pr "%-40s %14.1f %8.3f@." name estimate r2)
+    names
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let sections =
+    match List.filter (fun a -> a <> "quick") args with
+    | [] | [ "all" ] ->
+      [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling"; "ni"; "micro" ]
+    | s -> s
+  in
+  let corpus = if quick then 100 else 400 in
+  let sizes = if quick then [ 100; 1000; 10_000 ] else [ 100; 1000; 10_000; 100_000 ] in
+  let run = function
+    | "tables" -> fig2_table ()
+    | "fig3" -> fig3_report ()
+    | "theorems" -> theorems ~corpus ()
+    | "strength" -> strength ~corpus:(corpus / 2) ()
+    | "ablation" -> ablation ~corpus ()
+    | "por" -> por ~corpus:(if quick then 60 else 150) ()
+    | "scaling" -> scaling ~sizes ()
+    | "ni" -> soundness ~corpus:(if quick then 15 else 30) ()
+    | "micro" -> micro ()
+    | other -> Fmt.epr "unknown section %S@." other
+  in
+  List.iter run sections

@@ -1,0 +1,641 @@
+(* The ifc command-line driver.
+
+   Subcommands cover the whole toolkit: CFM certification ([check]),
+   the Denning baseline ([denning]), binding inference ([infer]),
+   Theorem-1 flow proofs ([prove]), execution ([run]), exhaustive
+   exploration ([explore]), dynamic taint monitoring ([taint]),
+   noninterference testing ([ni]), lattice inspection ([lattice]),
+   random program generation ([gen]) and a reference card ([rules]). *)
+
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Mls = Ifc_lattice.Mls
+module Spec = Ifc_lattice.Spec
+module Laws = Ifc_lattice.Laws
+module Ast = Ifc_lang.Ast
+module Parser = Ifc_lang.Parser
+module Pretty = Ifc_lang.Pretty
+module Wellformed = Ifc_lang.Wellformed
+module Gen = Ifc_lang.Gen
+module Metrics = Ifc_lang.Metrics
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Denning = Ifc_core.Denning
+module Infer = Ifc_core.Infer
+module Report = Ifc_core.Report
+module Proof = Ifc_logic.Proof
+module Check = Ifc_logic.Check
+module Invariance = Ifc_logic.Invariance
+module Scheduler = Ifc_exec.Scheduler
+module Explore = Ifc_exec.Explore
+module Taint = Ifc_exec.Taint
+module Ni = Ifc_exec.Noninterference
+
+open Cmdliner
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Loading helpers *)
+
+let read_file path =
+  try Ok (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error msg -> Error msg
+
+let load_program path =
+  let* src = read_file path in
+  let* p =
+    Result.map_error (Fmt.str "%s: %a" path Parser.pp_error) (Parser.parse_program src)
+  in
+  match Wellformed.errors p with
+  | [] ->
+    List.iter
+      (fun issue -> Fmt.epr "%a@." Wellformed.pp_issue issue)
+      (Wellformed.check p);
+    Ok p
+  | errs ->
+    Error (Fmt.str "%a" (Fmt.list ~sep:Fmt.cut Wellformed.pp_issue) errs)
+
+(* Built-in schemes are exposed with string elements so every command
+   works uniformly over any of them or over a parsed spec file. *)
+let load_lattice = function
+  | "two" -> Ok (Lattice.stringify Chain.two)
+  | "three" -> Ok (Lattice.stringify Chain.three)
+  | "four" -> Ok (Lattice.stringify Chain.four)
+  | "mls" -> Ok (Lattice.stringify Mls.standard)
+  | path when Sys.file_exists path -> Spec.parse_file path
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown lattice %S (use two, three, four, mls, or a spec file path)" other)
+
+let load_binding lat binding_file program =
+  match binding_file with
+  | Some path ->
+    let* text = read_file path in
+    Binding.of_spec lat text
+  | None -> Binding.of_program lat program
+
+(* ------------------------------------------------------------------ *)
+(* Common options *)
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Program file.")
+
+let lattice_arg =
+  Arg.(
+    value
+    & opt string "two"
+    & info [ "l"; "lattice" ] ~docv:"LATTICE"
+        ~doc:
+          "Classification scheme: $(b,two), $(b,three), $(b,four), $(b,mls), or the \
+           path of a lattice spec file.")
+
+let binding_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "b"; "binding" ] ~docv:"FILE"
+        ~doc:
+          "Static binding file (lines of $(i,name : class)). Defaults to the \
+           $(b,class) annotations in the program's declarations; unannotated \
+           variables are bound to the lattice bottom.")
+
+let self_check_arg =
+  Arg.(
+    value & flag
+    & info [ "self-check" ]
+        ~doc:
+          "Use the literal Figure 2 reading of the composition rule (j <= i), which \
+           additionally bounds each statement's own global flow by its own mod.")
+
+let strategy_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "rr" ] | [ "round-robin" ] -> Ok `Round_robin
+    | [ "leftmost" ] -> Ok `Leftmost
+    | [ "random" ] -> Ok (`Random 0)
+    | [ "random"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some n -> Ok (`Random n)
+      | None -> Error (`Msg "random seed must be an integer"))
+    | _ -> Error (`Msg "strategy is rr, leftmost, or random[:SEED]")
+  in
+  let print ppf = function
+    | `Round_robin -> Fmt.string ppf "rr"
+    | `Leftmost -> Fmt.string ppf "leftmost"
+    | `Random n -> Fmt.pf ppf "random:%d" n
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Round_robin
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Scheduler: $(b,rr), $(b,leftmost), or $(b,random)[:SEED].")
+
+let inputs_arg =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ name; v ] -> (
+      match int_of_string_opt v with
+      | Some n -> Ok (name, n)
+      | None -> Error (`Msg "input value must be an integer"))
+    | _ -> Error (`Msg "inputs are NAME=VALUE")
+  in
+  let print ppf (n, v) = Fmt.pf ppf "%s=%d" n v in
+  Arg.(
+    value
+    & opt_all (conv (parse, print)) []
+    & info [ "i"; "input" ] ~docv:"NAME=VALUE" ~doc:"Initial value for a variable.")
+
+let fuel_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Maximum number of indivisible steps.")
+
+let exit_of_result = function
+  | Ok () -> 0
+  | Error msg ->
+    Fmt.epr "ifc: %s@." msg;
+    1
+
+(* Exit code 2 distinguishes "analysis ran, program rejected". *)
+let exit_of_verdict = function
+  | Ok true -> 0
+  | Ok false -> 2
+  | Error msg ->
+    Fmt.epr "ifc: %s@." msg;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* check / denning *)
+
+let run_check lattice_name binding_file self_check requirements flow_sensitive path =
+  exit_of_verdict
+    (let* lat = load_lattice lattice_name in
+     let* p = load_program path in
+     let* binding = load_binding lat binding_file p in
+     let result = Cfm.analyze_program ~self_check binding p in
+     Fmt.pr "%a@." (Report.pp_result ~program:p lat) result;
+     if requirements then begin
+       Fmt.pr "@.certification requires:@.%a@." Report.pp_requirements
+         (Infer.constraints ~self_check p.Ast.body)
+     end;
+     if flow_sensitive then begin
+       let fs = Ifc_core.Flow_sensitive.analyze binding p.Ast.body in
+       Fmt.pr "@.flow-sensitive verdict: %a@." Report.pp_verdict
+         fs.Ifc_core.Flow_sensitive.accepted;
+       List.iter
+         (fun (v, c) ->
+           Fmt.pr "  final class of %s is %s, above its binding %s@." v
+             (lat.Lattice.to_string c)
+             (lat.Lattice.to_string (Binding.sbind binding v)))
+         fs.Ifc_core.Flow_sensitive.violations;
+       Ok fs.Ifc_core.Flow_sensitive.accepted
+     end
+     else Ok result.Cfm.certified)
+
+let check_cmd =
+  let requirements =
+    Arg.(
+      value & flag
+      & info [ "requirements" ]
+          ~doc:"Also print the symbolic conditions under which certification succeeds.")
+  in
+  let flow_sensitive =
+    Arg.(
+      value & flag
+      & info [ "flow-sensitive" ]
+          ~doc:
+            "Also run the flow-sensitive certifier (tracks current classes through \
+             assignments; accepts strictly more programs) and use its verdict for \
+             the exit code.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Certify a program with the Concurrent Flow Mechanism (CFM).")
+    Term.(
+      const run_check $ lattice_arg $ binding_arg $ self_check_arg $ requirements
+      $ flow_sensitive $ program_arg)
+
+let run_denning lattice_name binding_file reject path =
+  exit_of_verdict
+    (let* lat = load_lattice lattice_name in
+     let* p = load_program path in
+     let* binding = load_binding lat binding_file p in
+     let on_concurrency = if reject then `Reject else `Ignore in
+     let result = Denning.analyze_program ~on_concurrency binding p in
+     Fmt.pr "%a@." (Report.pp_denning lat) result;
+     Ok result.Denning.certified)
+
+let denning_cmd =
+  let reject =
+    Arg.(
+      value & flag
+      & info [ "reject-concurrency" ]
+          ~doc:
+            "Historically faithful mode: refuse programs containing cobegin, wait or \
+             signal instead of ignoring global flows.")
+  in
+  Cmd.v
+    (Cmd.info "denning"
+       ~doc:"Certify with the Denning & Denning baseline (no global flows).")
+    Term.(const run_denning $ lattice_arg $ binding_arg $ reject $ program_arg)
+
+(* ------------------------------------------------------------------ *)
+(* infer *)
+
+let run_infer lattice_name fixes path =
+  exit_of_verdict
+    (let* lat = load_lattice lattice_name in
+     let* p = load_program path in
+     let* fixed =
+       List.fold_left
+         (fun acc (name, cls) ->
+           let* acc = acc in
+           let* c = lat.Lattice.of_string cls in
+           Ok ((name, c) :: acc))
+         (Ok []) fixes
+     in
+     match Infer.infer lat ~fixed p with
+     | Ok binding ->
+       Fmt.pr "least certifying binding:@.%a@." Binding.pp binding;
+       Ok true
+     | Error conflict ->
+       Fmt.pr
+         "unsatisfiable: %a forces %s, but %s is fixed at %s@.(from %a at %a)@."
+         Infer.pp_constr conflict.Infer.constr
+         (lat.Lattice.to_string conflict.Infer.actual)
+         conflict.Infer.constr.Infer.rhs
+         (lat.Lattice.to_string conflict.Infer.allowed)
+         Fmt.string
+         (Cfm.rule_name conflict.Infer.constr.Infer.rule)
+         Ifc_lang.Loc.pp conflict.Infer.constr.Infer.span;
+       Ok false)
+
+let infer_cmd =
+  let fixes =
+    let parse s =
+      match String.index_opt s '=' with
+      | Some i ->
+        Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      | None -> Error (`Msg "fixed bindings are NAME=CLASS")
+    in
+    let print ppf (n, c) = Fmt.pf ppf "%s=%s" n c in
+    Arg.(
+      value
+      & opt_all (conv (parse, print)) []
+      & info [ "f"; "fix" ] ~docv:"NAME=CLASS" ~doc:"Hold a variable at a fixed class.")
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:"Infer the least static binding certifying the program, or report why none exists.")
+    Term.(const run_infer $ lattice_arg $ fixes $ program_arg)
+
+(* ------------------------------------------------------------------ *)
+(* prove *)
+
+let run_prove lattice_name binding_file print_proof path =
+  exit_of_verdict
+    (let* lat = load_lattice lattice_name in
+     let* p = load_program path in
+     let* binding = load_binding lat binding_file p in
+     match Invariance.witness binding p.Ast.body with
+     | Ok proof ->
+       Fmt.pr "flow proof found: %d rule applications, completely invariant@."
+         (Proof.size proof);
+       if print_proof then Fmt.pr "%a@." (Proof.pp lat) proof;
+       Ok true
+     | Error errors ->
+       Fmt.pr "no completely invariant flow proof (program not certifiable):@.%a@."
+         (Fmt.list ~sep:Fmt.cut Check.pp_error)
+         errors;
+       Ok false)
+
+let prove_cmd =
+  let print_proof =
+    Arg.(value & flag & info [ "print-proof" ] ~doc:"Print the full derivation.")
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Build and check the Theorem-1 completely invariant flow proof (succeeds iff \
+          CFM certifies).")
+    Term.(const run_prove $ lattice_arg $ binding_arg $ print_proof $ program_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run / explore *)
+
+let run_run strategy inputs fuel trace path =
+  exit_of_result
+    (let* p = load_program path in
+     let cfg = Ifc_exec.Step.init p ~inputs () in
+     if trace then begin
+       let outcome, steps = Scheduler.run_traced ~fuel ~strategy cfg in
+       List.iteri
+         (fun i (label, _) -> Fmt.pr "%4d %a@." (i + 1) Ifc_exec.Step.pp_label label)
+         steps;
+       Fmt.pr "%a@." Scheduler.pp_outcome outcome
+     end
+     else Fmt.pr "%a@." Scheduler.pp_outcome (Scheduler.run ~fuel ~strategy cfg);
+     Ok ())
+
+let run_cmd =
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print every indivisible action.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program under a scheduler.")
+    Term.(const run_run $ strategy_arg $ inputs_arg $ fuel_arg $ trace $ program_arg)
+
+(* BFS over the configuration graph, emitting a Graphviz digraph whose
+   nodes are states (terminal = doublecircle, deadlock = octagon) and
+   whose edges are labelled with the action taken. *)
+let state_graph_dot ~max_states cfg0 =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "digraph states {\n  rankdir=LR;\n  node [shape=circle,label=\"\"];\n";
+  let seen = Hashtbl.create 64 in
+  let id cfg =
+    let k = Ifc_exec.Step.key cfg in
+    match Hashtbl.find_opt seen k with
+    | Some i -> (i, false)
+    | None ->
+      let i = Hashtbl.length seen in
+      Hashtbl.add seen k i;
+      (i, true)
+  in
+  let queue = Queue.create () in
+  let i0, _ = id cfg0 in
+  Buffer.add_string buf (Printf.sprintf "  n%d [shape=point];\n" i0);
+  Queue.add cfg0 queue;
+  while (not (Queue.is_empty queue)) && Hashtbl.length seen < max_states do
+    let cfg = Queue.pop queue in
+    let i, _ = id cfg in
+    if Ifc_exec.Step.is_terminated cfg then
+      Buffer.add_string buf (Printf.sprintf "  n%d [shape=doublecircle];\n" i)
+    else
+      match Ifc_exec.Step.enabled cfg with
+      | Error msg ->
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [shape=box,label=\"fault: %s\"];\n" i msg)
+      | Ok [] -> Buffer.add_string buf (Printf.sprintf "  n%d [shape=octagon];\n" i)
+      | Ok choices ->
+        List.iter
+          (fun ch ->
+            let j, fresh = id ch.Ifc_exec.Step.next in
+            Buffer.add_string buf
+              (Fmt.str "  n%d -> n%d [label=\"%a\"];\n" i j Ifc_exec.Step.pp_label
+                 ch.Ifc_exec.Step.label);
+            if fresh then Queue.add ch.Ifc_exec.Step.next queue)
+          choices
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let run_explore inputs max_states dot path =
+  exit_of_result
+    (let* p = load_program path in
+     if dot then begin
+       Fmt.pr "%s" (state_graph_dot ~max_states (Ifc_exec.Step.init p ~inputs ()));
+       Ok ()
+     end
+     else begin
+       let summary = Explore.explore_program ~max_states ~inputs p in
+       Fmt.pr "%a@." Explore.pp summary;
+       List.iteri
+         (fun i cfg ->
+           Fmt.pr "terminal %d: %a@." (i + 1) Ifc_exec.Eval.pp_store
+             cfg.Ifc_exec.Step.store)
+         summary.Explore.terminals;
+       Ok ()
+     end)
+
+let explore_cmd =
+  let max_states =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-states" ] ~docv:"N" ~doc:"State-space exploration bound.")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"Emit the reachable state graph as a Graphviz digraph instead of a \
+                summary.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Exhaustively explore all interleavings (bounded); report terminals, \
+             deadlocks and possible divergence.")
+    Term.(const run_explore $ inputs_arg $ max_states $ dot $ program_arg)
+
+(* ------------------------------------------------------------------ *)
+(* taint / ni *)
+
+let run_taint lattice_name binding_file strategy inputs fuel path =
+  exit_of_verdict
+    (let* lat = load_lattice lattice_name in
+     let* p = load_program path in
+     let* binding = load_binding lat binding_file p in
+     let report = Taint.run ~fuel ~inputs ~strategy binding p in
+     Fmt.pr "%a@." (Taint.pp_report lat) report;
+     Ok (report.Taint.violations = []))
+
+let taint_cmd =
+  Cmd.v
+    (Cmd.info "taint"
+       ~doc:
+         "Run under the dynamic information-state monitor and report binding \
+          violations of the executed schedule.")
+    Term.(
+      const run_taint $ lattice_arg $ binding_arg $ strategy_arg $ inputs_arg $ fuel_arg
+      $ program_arg)
+
+let run_ni lattice_name binding_file observer pairs sensitive max_states path =
+  exit_of_verdict
+    (let* lat = load_lattice lattice_name in
+     let* p = load_program path in
+     let* binding = load_binding lat binding_file p in
+     let* observer =
+       match observer with
+       | None -> Ok lat.Lattice.bottom
+       | Some s -> lat.Lattice.of_string s
+     in
+     let termination = if sensitive then `Sensitive else `Insensitive in
+     let r = Ni.test ~pairs ~max_states ~termination ~observer binding p in
+     Fmt.pr "pairs tested: %d, skipped: %d, violations: %d@." r.Ni.pairs_tested
+       r.Ni.pairs_skipped
+       (List.length r.Ni.violations);
+     List.iter (fun v -> Fmt.pr "%a@." Ni.pp_violation v) r.Ni.violations;
+     Ok (Ni.secure r))
+
+let ni_cmd =
+  let observer =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "observer" ] ~docv:"CLASS"
+          ~doc:"Observation level (default: the lattice bottom).")
+  in
+  let pairs =
+    Arg.(value & opt int 16 & info [ "pairs" ] ~docv:"N" ~doc:"Input pairs to test.")
+  in
+  let sensitive =
+    Arg.(
+      value & flag
+      & info [ "termination-sensitive" ]
+          ~doc:"Treat deadlock/divergence as observable (stronger than the paper's model).")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-states" ] ~docv:"N" ~doc:"Per-run exploration bound.")
+  in
+  Cmd.v
+    (Cmd.info "ni"
+       ~doc:"Empirical noninterference test over all interleavings of random low-equal \
+             input pairs.")
+    Term.(
+      const run_ni $ lattice_arg $ binding_arg $ observer $ pairs $ sensitive
+      $ max_states $ program_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lattice / gen / rules *)
+
+let run_lattice lattice_name dot =
+  exit_of_result
+    (let* lat = load_lattice lattice_name in
+     if dot then begin
+       Fmt.pr "%s" (Lattice.to_dot lat);
+       Ok ()
+     end
+     else begin
+       Fmt.pr "lattice %s: %d classes, height %d@." lat.Lattice.name
+         (List.length lat.Lattice.elements)
+         (Lattice.height lat);
+       Fmt.pr "bottom: %s, top: %s@." lat.Lattice.bottom lat.Lattice.top;
+       List.iter (fun (a, b) -> Fmt.pr "  %s < %s@." a b) (Lattice.covers lat);
+       match Laws.check lat with
+       | Ok () ->
+         Fmt.pr "all %d lattice laws hold@." (List.length Laws.laws);
+         Ok ()
+       | Error { Laws.law; witness } ->
+         Error (Printf.sprintf "law %s violated by %s" law witness)
+     end)
+
+let lattice_cmd =
+  let lattice_pos =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"LATTICE" ~doc:"Built-in name or spec file.")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit the Hasse diagram as a Graphviz digraph.")
+  in
+  Cmd.v
+    (Cmd.info "lattice" ~doc:"Inspect and validate a classification scheme.")
+    Term.(const run_lattice $ lattice_pos $ dot)
+
+let run_gen size seed sequential =
+  let rng = Ifc_support.Prng.create seed in
+  let cfg = if sequential then Gen.sequential else Gen.default in
+  let p = Gen.program rng cfg ~size in
+  Fmt.pr "%s@." (Pretty.program_to_string p);
+  Fmt.epr "-- %d statements@." (Metrics.of_program p).Metrics.statements;
+  0
+
+let gen_cmd =
+  let size =
+    Arg.(value & opt int 20 & info [ "size" ] ~docv:"N" ~doc:"Target statement count.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ] ~doc:"No concurrency or synchronization constructs.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a random well-formed program (for corpora).")
+    Term.(const run_gen $ size $ seed $ sequential)
+
+let rules_text =
+  {|Figure 1 — the information flow logic (Andrews & Reitman)
+
+  assignment   {P[x <- e (+) local (+) global]}  x := e  {P}
+  signal       {P[sem <- sem (+) local (+) global]}  signal(sem)  {P}
+  wait         {P[sem <- sem (+) local (+) global,
+                  global <- sem (+) local (+) global]}  wait(sem)  {P}
+  alternation  {V,L',G} S1 {V',L',G'},  {V,L',G} S2 {V',L',G'},
+               V,L,G |- L'[local <- local (+) e]
+               =>  {V,L,G} if e then S1 else S2 {V',L,G'}
+  iteration    {V,L',G} S {V,L',G},
+               V,L,G |- L'[local <- local (+) e],
+               V,L,G |- G'[global <- global (+) local (+) e]
+               =>  {V,L,G} while e do S {V,L,G'}
+  composition  {P0} S1 {P1}, ..., {Pn-1} Sn {Pn}
+               =>  {P0} begin S1; ...; Sn end {Pn}
+  consequence  {P'} S {Q'},  P |- P',  Q' |- Q  =>  {P} S {Q}
+  concurrency  {Vi,L,G} Si {Vi',L,G'} interference-free (1 <= i <= n)
+               =>  {V1..Vn,L,G} cobegin S1 || ... || Sn coend {V1'..Vn',L,G'}
+
+Figure 2 — the Concurrent Flow Mechanism
+
+  statement      mod(S)            flow(S)                      cert(S)
+  x := e         sbind(x)          nil                          sbind(e) <= sbind(x)
+  if e S1 S2     mod(S1)(*)mod(S2) nil if both nil, else        cert(S1) and cert(S2)
+                                   flow(S1)(+)flow(S2)(+)e      and sbind(e) <= mod(S)
+  while e S1     mod(S1)           flow(S1) (+) sbind(e)        cert(S1) and flow(S) <= mod(S)
+  begin S1..Sn   (*)i mod(Si)      (+)i flow(Si)                all cert(Si) and
+                                                                flow(Sj) <= mod(Si), j < i
+  cobegin ..     (*)i mod(Si)      (+)i flow(Si)                all cert(Si)
+  wait(sem)      sbind(sem)        sbind(sem)                   true
+  signal(sem)    sbind(sem)        nil                          true
+
+  extensions beyond the paper (see DESIGN.md):
+  a[i] := e      sbind(a)          nil                          sbind(i) (+) sbind(e) <= sbind(a)
+  x := declassify e to C
+                 sbind(x)          nil                          C <= sbind(x)
+
+  ((+) join, (*) meet; nil is the extended scheme's new bottom, Definition 4.)|}
+
+let run_fmt path =
+  exit_of_result
+    (let* p = load_program path in
+     Fmt.pr "%s@." (Pretty.program_to_string p);
+     Ok ())
+
+let fmt_cmd =
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Parse a program and reprint it canonically formatted.")
+    Term.(const run_fmt $ program_arg)
+
+let rules_cmd =
+  Cmd.v
+    (Cmd.info "rules" ~doc:"Print the paper's Figure 1 and Figure 2 as a reference card.")
+    Term.(const (fun () -> Fmt.pr "%s@." rules_text; 0) $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "ifc" ~version:"1.0.0"
+       ~doc:
+         "Information-flow certification for parallel programs — a reproduction of \
+          Reitman's Concurrent Flow Mechanism (SOSP 1979).")
+    [
+      check_cmd;
+      denning_cmd;
+      infer_cmd;
+      prove_cmd;
+      run_cmd;
+      explore_cmd;
+      taint_cmd;
+      ni_cmd;
+      lattice_cmd;
+      gen_cmd;
+      fmt_cmd;
+      rules_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

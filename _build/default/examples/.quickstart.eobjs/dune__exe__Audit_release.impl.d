@@ -1,0 +1,1 @@
+examples/audit_release.ml: Fmt Ifc_core Ifc_exec Ifc_lang Ifc_lattice Ifc_support List Result

@@ -1,0 +1,1 @@
+examples/covert_channels.ml: Fmt Ifc_core Ifc_exec Ifc_lang Ifc_lattice Ifc_logic List

@@ -1,0 +1,1 @@
+examples/inference_demo.ml: Fmt Ifc_core Ifc_lang Ifc_lattice List Result

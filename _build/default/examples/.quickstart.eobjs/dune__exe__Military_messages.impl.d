@@ -1,0 +1,1 @@
+examples/military_messages.ml: Fmt Ifc_core Ifc_lang Ifc_lattice

@@ -1,0 +1,1 @@
+examples/military_messages.mli:

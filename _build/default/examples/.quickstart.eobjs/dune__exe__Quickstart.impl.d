@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Ifc_core Ifc_lang Ifc_lattice Ifc_logic List

@@ -1,0 +1,1 @@
+lib/core/binding.ml: Fmt Ifc_lang Ifc_lattice Ifc_support List Option Printf Result String

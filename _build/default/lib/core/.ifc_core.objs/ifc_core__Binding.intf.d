@@ -1,0 +1,1 @@
+lib/core/binding.mli: Format Ifc_lang Ifc_lattice

@@ -1,0 +1,1 @@
+lib/core/cfm.ml: Binding Ifc_lang Ifc_lattice List Printf

@@ -1,0 +1,1 @@
+lib/core/cfm.mli: Binding Ifc_lang Ifc_lattice

@@ -1,0 +1,1 @@
+lib/core/denning.ml: Binding Cfm Ifc_lang Ifc_lattice List

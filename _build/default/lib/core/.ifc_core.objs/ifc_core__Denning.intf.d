@@ -1,0 +1,1 @@
+lib/core/denning.mli: Binding Cfm Ifc_lang

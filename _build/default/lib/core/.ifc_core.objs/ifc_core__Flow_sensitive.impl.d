@@ -1,0 +1,1 @@
+lib/core/flow_sensitive.ml: Binding Cfm Ifc_lang Ifc_lattice Ifc_support List

@@ -1,0 +1,1 @@
+lib/core/flow_sensitive.mli: Binding Ifc_lang Ifc_support

@@ -1,0 +1,1 @@
+lib/core/infer.ml: Binding Cfm Fmt Ifc_lang Ifc_lattice Ifc_support List Option Result String

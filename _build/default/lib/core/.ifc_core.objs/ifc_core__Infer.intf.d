@@ -1,0 +1,1 @@
+lib/core/infer.mli: Binding Cfm Format Ifc_lang Ifc_lattice Ifc_support

@@ -1,0 +1,1 @@
+lib/core/paper.ml: Fmt Ifc_lang

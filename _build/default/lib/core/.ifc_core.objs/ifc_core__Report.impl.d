@@ -1,0 +1,1 @@
+lib/core/report.ml: Cfm Denning Fmt Ifc_lang Ifc_lattice Infer List Option String

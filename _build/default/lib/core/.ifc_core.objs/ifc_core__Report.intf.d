@@ -1,0 +1,1 @@
+lib/core/report.mli: Cfm Denning Format Ifc_lang Ifc_lattice Infer

@@ -1,0 +1,189 @@
+(* The Concurrent Flow Mechanism (Figure 2). One post-order pass computes
+   mod, flow and the certification checks of every construct. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Extended = Ifc_lattice.Extended
+module Ast = Ifc_lang.Ast
+
+type 'a check = {
+  span : Ifc_lang.Loc.span;
+  rule : rule;
+  lhs : 'a Extended.elt;
+  rhs : 'a;
+  ok : bool;
+}
+
+and rule =
+  | Assign_direct
+  | Declassify_direct
+  | Store_direct
+  | If_local
+  | While_global
+  | Seq_global of int
+
+type 'a result = {
+  certified : bool;
+  mod_ : 'a;
+  flow : 'a Extended.elt;
+  checks : 'a check list;
+}
+
+let rule_name = function
+  | Assign_direct -> "assign: sbind(e) <= sbind(x)"
+  | Declassify_direct -> "declassify: C <= sbind(x)"
+  | Store_direct -> "store: sbind(i) (+) sbind(e) <= sbind(a)"
+  | If_local -> "if: sbind(e) <= mod(S)"
+  | While_global -> "while: flow(S) <= mod(S1)"
+  | Seq_global i -> Printf.sprintf "begin: flow(S1..S%d) <= mod(S%d)" i (i + 1)
+
+(* Join of two extended-flow values: nil is the identity of ⊕ on the
+   extended scheme (Definition 4). *)
+let flow_join l f1 f2 =
+  match (f1, f2) with
+  | Extended.Nil, f | f, Extended.Nil -> f
+  | Extended.El a, Extended.El b -> Extended.El (l.Lattice.join a b)
+
+(* The core traversal is written once, parameterised by how checks are
+   recorded, so [analyze] (full diagnostics) and [certified] (boolean only)
+   cannot drift apart. [record] both logs the check (if it cares) and
+   returns its outcome. *)
+let traverse binding ~self_check ~record stmt =
+  let l = Binding.lattice binding in
+  (* Returns (mod, flow, cert). *)
+  let rec go (s : Ast.stmt) =
+    match s.node with
+    | Ast.Skip -> (l.Lattice.top, Extended.Nil, true)
+    | Ast.Assign (x, e) ->
+      let target = Binding.sbind binding x in
+      let source = Binding.expr_class binding e in
+      let ok = record s.span Assign_direct (Extended.El source) target in
+      (target, Extended.Nil, ok)
+    | Ast.Declassify (x, _, cls) ->
+      (* The named class replaces the expression's class: the escape
+         hatch for data. The target must still clear the named class, and
+         contexts are enforced by the surrounding if/while/seq checks. An
+         unresolvable class name conservatively fails as top. *)
+      let target = Binding.sbind binding x in
+      let source =
+        match l.Lattice.of_string cls with Ok c -> c | Error _ -> l.Lattice.top
+      in
+      let ok = record s.span Declassify_direct (Extended.El source) target in
+      (target, Extended.Nil, ok)
+    | Ast.Store (a, i, e) ->
+      (* Denning's array rule: the index is part of the stored
+         information — which slot changed reveals it. *)
+      let target = Binding.sbind binding a in
+      let source =
+        l.Lattice.join (Binding.expr_class binding i) (Binding.expr_class binding e)
+      in
+      let ok = record s.span Store_direct (Extended.El source) target in
+      (target, Extended.Nil, ok)
+    | Ast.Wait sem ->
+      (* mod = flow = sbind(sem); cert = true. The conditional delay of a
+         wait is a global flow of the semaphore's class. *)
+      let c = Binding.sbind binding sem in
+      (c, Extended.El c, true)
+    | Ast.Signal sem ->
+      let c = Binding.sbind binding sem in
+      (c, Extended.Nil, true)
+    | Ast.If (cond, then_, else_) ->
+      let m1, f1, c1 = go then_ in
+      let m2, f2, c2 = go else_ in
+      let e_class = Binding.expr_class binding cond in
+      let mod_ = l.Lattice.meet m1 m2 in
+      (* flow(S) = nil when both branches are flow-free; otherwise the
+         branch flows joined with sbind(e) — escaping global flows reveal
+         the condition. *)
+      let flow =
+        match flow_join l f1 f2 with
+        | Extended.Nil -> Extended.Nil
+        | Extended.El f -> Extended.El (l.Lattice.join f e_class)
+      in
+      let local_ok = record s.span If_local (Extended.El e_class) mod_ in
+      (mod_, flow, c1 && c2 && local_ok)
+    | Ast.While (cond, body) ->
+      let m1, f1, c1 = go body in
+      let e_class = Binding.expr_class binding cond in
+      (* flow(S) = flow(S1) ⊕ sbind(e): a loop always produces a global
+         flow — its termination is conditional on [e]. *)
+      let flow =
+        Extended.El (l.Lattice.join (Extended.get ~default:l.Lattice.bottom f1) e_class)
+      in
+      let global_ok = record s.span While_global flow m1 in
+      (m1, flow, c1 && global_ok)
+    | Ast.Seq stmts ->
+      (* flow(Sj) <= mod(Si) for all j < i is equivalent to checking the
+         running prefix join (+)_{j<i} flow(Sj) against mod(Si) — which
+         keeps the whole pass linear, the paper's §6 complexity claim.
+         Under ~self_check (the literal j <= i reading) the component's
+         own flow joins the prefix before its check. *)
+      let _, rev_results, ok =
+        List.fold_left
+          (fun (i, acc, ok) s' ->
+            let m, f, c = go s' in
+            (i + 1, (s', i, m, f, c) :: acc, ok && c))
+          (0, [], true) stmts
+      in
+      let results = List.rev rev_results in
+      let mod_ = Lattice.meets l (List.map (fun (_, _, m, _, _) -> m) results) in
+      let flow =
+        List.fold_left (fun acc (_, _, _, f, _) -> flow_join l acc f) Extended.Nil results
+      in
+      let _, global_ok =
+        List.fold_left
+          (fun (prefix, ok_acc) (si, i, mi, fi, _) ->
+            let to_check = if self_check then flow_join l prefix fi else prefix in
+            let ok =
+              if i = 0 && not self_check then true
+              else record si.Ast.span (Seq_global i) to_check mi
+            in
+            (flow_join l prefix fi, ok && ok_acc))
+          (Extended.Nil, true) results
+      in
+      (mod_, flow, ok && global_ok)
+    | Ast.Cobegin branches ->
+      (* Parallel composition needs no extra check: branches execute
+         independently (§4.2). *)
+      let results = List.map go branches in
+      let mod_ = Lattice.meets l (List.map (fun (m, _, _) -> m) results) in
+      let flow =
+        List.fold_left (fun acc (_, f, _) -> flow_join l acc f) Extended.Nil results
+      in
+      (mod_, flow, List.for_all (fun (_, _, c) -> c) results)
+  in
+  go stmt
+
+let check_outcome l lhs rhs =
+  match lhs with Extended.Nil -> true | Extended.El f -> l.Lattice.leq f rhs
+
+let analyze ?(self_check = false) binding stmt =
+  let l = Binding.lattice binding in
+  let checks = ref [] in
+  let record span rule lhs rhs =
+    let ok = check_outcome l lhs rhs in
+    checks := { span; rule; lhs; rhs; ok } :: !checks;
+    ok
+  in
+  let mod_, flow, certified = traverse binding ~self_check ~record stmt in
+  { certified; mod_; flow; checks = List.rev !checks }
+
+let certified ?(self_check = false) binding stmt =
+  let l = Binding.lattice binding in
+  let record _span _rule lhs rhs = check_outcome l lhs rhs in
+  let _, _, cert = traverse binding ~self_check ~record stmt in
+  cert
+
+let mod_of binding stmt =
+  let record _ _ _ _ = true in
+  let mod_, _, _ = traverse binding ~self_check:false ~record stmt in
+  mod_
+
+let flow_of binding stmt =
+  let record _ _ _ _ = true in
+  let _, flow, _ = traverse binding ~self_check:false ~record stmt in
+  flow
+
+let failed_checks r = List.filter (fun c -> not c.ok) r.checks
+
+let analyze_program ?self_check binding (p : Ast.program) =
+  analyze ?self_check binding p.body

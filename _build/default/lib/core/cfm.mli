@@ -1,0 +1,94 @@
+(** The Concurrent Flow Mechanism (paper §4.2, Figure 2).
+
+    For a statement [S] and a static binding, CFM computes:
+
+    - [mod S] — the greatest lower bound of the bindings of variables
+      potentially modified by [S] (Definition 5a);
+    - [flow S] — the least upper bound of the global flows produced by [S],
+      valued in the extended scheme with [nil] meaning "no global flow"
+      (Definition 5b);
+    - [cert S] — whether [S] specifies no flow violating the binding
+      (Definition 5c),
+
+    by a single post-order pass, hence in time linear in the program length
+    (the paper's §6 complexity claim; see the scaling benchmarks).
+
+    [analyze] retains every individual certification check so reports can
+    say exactly which constraint failed and where; [certified] is the bare
+    boolean for hot paths.
+
+    The composition rule is implemented with the [j < i] reading of
+    Figure 2's side condition (matching the appendix proofs); pass
+    [~self_check:true] for the literal [j <= i] reading, which additionally
+    requires each statement's own global flow to be bounded by its own
+    [mod]. See DESIGN.md §3. *)
+
+module Extended = Ifc_lattice.Extended
+
+(** One primitive certification check: [lhs <= rhs] in the extended
+    scheme, with enough context to render a diagnostic. *)
+type 'a check = {
+  span : Ifc_lang.Loc.span;  (** The statement that required the check. *)
+  rule : rule;  (** Which Figure 2 clause produced it. *)
+  lhs : 'a Extended.elt;
+  rhs : 'a;
+  ok : bool;
+}
+
+and rule =
+  | Assign_direct  (** [sbind(e) <= sbind(x)]. *)
+  | Declassify_direct
+      (** [C <= sbind(x)] for [x := declassify e to C]: the named class
+          stands in for [sbind(e)]. Unresolvable class names fail as the
+          lattice top. *)
+  | Store_direct
+      (** [sbind(i) (+) sbind(e) <= sbind(a)] for [a\[i\] := e]: the index
+          flows into the array — which slot changed is information
+          (Denning & Denning's array treatment). *)
+  | If_local  (** [sbind(e) <= mod(S)]. *)
+  | While_global  (** [flow(S) <= mod(S1)]. *)
+  | Seq_global of int
+      (** [i]: [(+)_(j<i) flow(Sj) <= mod(Si)], 0-based — the prefix-join
+          form of Figure 2's pairwise [flow(Sj) <= mod(Si)] conditions,
+          equivalent because a join is below a class iff every joinand is,
+          and linear instead of quadratic in the block length. *)
+
+(** The result of analysing one statement (Definition 5's three
+    functions, plus the full check list in evaluation order). *)
+type 'a result = {
+  certified : bool;
+  mod_ : 'a;
+  flow : 'a Extended.elt;
+  checks : 'a check list;
+}
+
+val rule_name : rule -> string
+
+val check_outcome : 'a Ifc_lattice.Lattice.t -> 'a Extended.elt -> 'a -> bool
+(** [check_outcome l lhs rhs] decides [lhs <= rhs] with [lhs] in the
+    extended scheme ([Nil] always passes). Shared with {!Denning}. *)
+
+val analyze :
+  ?self_check:bool ->
+  'a Binding.t ->
+  Ifc_lang.Ast.stmt ->
+  'a result
+(** [analyze b s] runs CFM on [s] under binding [b]. *)
+
+val certified : ?self_check:bool -> 'a Binding.t -> Ifc_lang.Ast.stmt -> bool
+(** [certified b s] is [cert(S)] alone — no check list is accumulated, so
+    this is the function to benchmark and to call in search loops. *)
+
+val mod_of : 'a Binding.t -> Ifc_lang.Ast.stmt -> 'a
+(** [mod_of b s] is Definition 5a's [mod(S)]. For a statement modifying
+    nothing (e.g. [skip]) it is the lattice top: every flow into "nothing"
+    is acceptable. *)
+
+val flow_of : 'a Binding.t -> Ifc_lang.Ast.stmt -> 'a Extended.elt
+(** [flow_of b s] is Definition 5b's [flow(S)]. *)
+
+val failed_checks : 'a result -> 'a check list
+
+val analyze_program :
+  ?self_check:bool -> 'a Binding.t -> Ifc_lang.Ast.program -> 'a result
+(** [analyze_program b p] analyses the body of [p]. *)

@@ -1,0 +1,49 @@
+(** The Denning & Denning certification mechanism (CACM 1977; paper §4.1).
+
+    The baseline CFM extends. It performs the direct-flow check on
+    assignments and the local-indirect check [sbind(e) <= mod(S)] on
+    alternation and iteration, but tracks **no global flows**: conditional
+    non-termination and synchronization channels are invisible to it.
+
+    The original mechanism targets sequential programs that terminate on
+    all inputs. To run it on this toolkit's language we must pick a
+    behaviour for the parallel constructs:
+
+    - [`Reject] — refuse any program containing [cobegin], [wait] or
+      [signal] (the historically faithful reading);
+    - [`Ignore] — treat [wait]/[signal] as certified no-ops and [cobegin]
+      as independent composition (the "Denning checks only" reading, used
+      to compare the two mechanisms on concurrent corpora, e.g. to count
+      how many leaky programs the baseline misses).
+
+    A key relationship, verified by the property suite: on any program,
+    CFM certification implies Denning([`Ignore]) certification — CFM's
+    checks are a strict superset. *)
+
+type 'a result = {
+  certified : bool;
+  checks : 'a Cfm.check list;
+      (** Reuses {!Cfm.check}; only [Assign_direct] and [If_local] rules
+          appear ([If_local] is also used for the [while] condition check,
+          which in this mechanism is local, not global). *)
+  rejected_constructs : Ifc_lang.Loc.span list;
+      (** Non-empty only under [`Reject]: the offending constructs. *)
+}
+
+val analyze :
+  on_concurrency:[ `Reject | `Ignore ] ->
+  'a Binding.t ->
+  Ifc_lang.Ast.stmt ->
+  'a result
+
+val certified :
+  on_concurrency:[ `Reject | `Ignore ] ->
+  'a Binding.t ->
+  Ifc_lang.Ast.stmt ->
+  bool
+
+val analyze_program :
+  on_concurrency:[ `Reject | `Ignore ] ->
+  'a Binding.t ->
+  Ifc_lang.Ast.program ->
+  'a result

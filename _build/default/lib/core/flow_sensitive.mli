@@ -1,0 +1,45 @@
+(** Flow-sensitive certification — the paper's §6 future work.
+
+    CFM binds each variable to one class for the whole program, which is
+    why §5.2's [begin x := 0; y := x end] is rejected under
+    [x = high, y = low] even though it is secure: after [x := 0] the
+    *current* class of [x] is [low]. The flow logic can prove this by
+    strengthening assertions mid-proof; this module is the corresponding
+    *mechanism*: a forward abstract interpretation that tracks the current
+    class of every variable (the information state of Definition 2),
+    joining at branch merges and iterating loops to a fixpoint, with the
+    certification variables [local] (context) and [global] (conditional
+    termination and synchronization) accounted exactly as in the logic.
+
+    A program is accepted iff, from inputs at their bindings, every
+    variable's class at termination is bounded by its binding. Accepted
+    programs strictly include CFM-certified ones on the sequential
+    fragment (a tested property), and include §5.2's example.
+
+    Concurrency is handled conservatively: the branches of a [cobegin] are
+    analysed flow-*insensitively* — every variable a branch or its
+    siblings may write is pre-saturated with the join of everything that
+    can reach it in any interleaving (its own binding-level information),
+    i.e. inside [cobegin] the analysis degrades to CFM's static view.
+    This keeps the analysis sound for races without an interference
+    analysis; sequential code before and after stays flow-sensitive. *)
+
+type 'a state = {
+  classes : 'a Ifc_support.Smap.t;  (** Current class of each variable. *)
+  global : 'a;  (** Accumulated global-flow class. *)
+}
+
+type 'a result = {
+  accepted : bool;
+  final : 'a state;
+  violations : (string * 'a) list;
+      (** Variables whose final class exceeds their binding. *)
+}
+
+val analyze : 'a Binding.t -> Ifc_lang.Ast.stmt -> 'a result
+(** [analyze b s] runs the abstract interpretation from the initial state
+    [v ↦ sbind(v)], [global = bottom]. *)
+
+val certified : 'a Binding.t -> Ifc_lang.Ast.stmt -> bool
+
+val certified_program : 'a Binding.t -> Ifc_lang.Ast.program -> bool

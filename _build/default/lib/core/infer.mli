@@ -1,0 +1,66 @@
+(** Binding inference: solve for the least static binding certifying a
+    program.
+
+    The paper assumes the binding is given; in practice one fixes the
+    classifications of a few interface variables (inputs, outputs,
+    semaphores crossing a trust boundary) and wants the analysis to find
+    classes for the rest — or to report that none exist. Every CFM check
+    is an inequality [join(atoms) <= sbind(v)] or [join(atoms) <= const]
+    once the meet on the right ([mod]) is decomposed variable by variable,
+    so the least solution is a Kleene iteration over the finite lattice.
+
+    This also yields a *symbolic* view of certification: the constraint
+    list for the paper's Figure 3 program literally contains
+    [sbind(x) <= sbind(modify)], [sbind(modify) <= sbind(m)] and
+    [sbind(m) <= sbind(y)] — the three conditions §4.3 derives by hand. *)
+
+type atom =
+  | Const_low  (** The class of constants. *)
+  | Const_named of string
+      (** A class named in the program text ([declassify .. to C]),
+          resolved against the lattice at {!solve} time; unresolvable
+          names evaluate to top (conservative). *)
+  | Class of string  (** [sbind(v)]. *)
+
+type constr = {
+  span : Ifc_lang.Loc.span;
+  rule : Cfm.rule;
+  lhs : atom list;  (** Join of the atoms; empty list means [low]. *)
+  rhs : string;  (** The single variable whose class bounds the join. *)
+}
+
+val constraints : ?self_check:bool -> Ifc_lang.Ast.stmt -> constr list
+(** [constraints s] extracts every CFM check of [s] symbolically. The
+    result does not depend on any lattice or binding — certification of
+    [s] w.r.t. [b] holds iff every constraint is satisfied by [b] (a
+    property the test suite checks against {!Cfm.certified} on random
+    programs). *)
+
+val pp_constr : Format.formatter -> constr -> unit
+(** Prints e.g. [sbind(x) (+) sbind(y) <= sbind(z)]. *)
+
+type 'a conflict = {
+  constr : constr;
+  actual : 'a;  (** The least value forced on the left-hand side. *)
+  allowed : 'a;  (** The fixed upper bound it violates. *)
+}
+
+val solve :
+  'a Ifc_lattice.Lattice.t ->
+  fixed:(string * 'a) list ->
+  constr list ->
+  ('a Ifc_support.Smap.t, 'a conflict) result
+(** [solve l ~fixed cs] computes the least assignment of classes to the
+    non-[fixed] variables satisfying [cs], with fixed variables held at
+    their given classes; unconstrained free variables rest at bottom.
+    Returns the first violated fixed bound otherwise. *)
+
+val infer :
+  ?self_check:bool ->
+  'a Ifc_lattice.Lattice.t ->
+  fixed:(string * 'a) list ->
+  Ifc_lang.Ast.program ->
+  ('a Binding.t, 'a conflict) result
+(** [infer l ~fixed p] is {!constraints} + {!solve} packaged as a binding:
+    the least binding certifying [p] that respects [fixed]. The test suite
+    verifies [Cfm.certified (infer ...) p] on random programs. *)

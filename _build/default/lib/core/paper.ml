@@ -1,0 +1,101 @@
+(* The paper's example programs. See the interface for the Figure 3
+   correction note. *)
+
+let parse name src =
+  match Ifc_lang.Parser.parse_program src with
+  | Ok p -> p
+  | Error e ->
+    (* These sources are fixed at build time; a parse failure is a bug in
+       this module, caught by the test suite immediately. *)
+    invalid_arg (Fmt.str "Paper.%s: %a" name Ifc_lang.Parser.pp_error e)
+
+let fig3 =
+  parse "fig3"
+    {|
+var x, y, m : integer;
+    modify, modified, read, done : semaphore initially(0);
+cobegin
+  begin
+    m := 0;
+    if x = 0 then begin signal(modify); wait(modified) end;
+    signal(read);
+    wait(done);
+    if x # 0 then begin signal(modify); wait(modified) end
+  end
+  || begin wait(modify); m := 1; signal(modified) end
+  || begin wait(read); y := m; signal(done) end
+coend
+|}
+
+let fig3_vars = [ "x"; "y"; "m"; "modify"; "modified"; "read"; "done" ]
+
+let fig3_sequential_equivalent =
+  parse "fig3_sequential_equivalent"
+    {|
+var x, y, m : integer;
+begin
+  m := 0;
+  if x = 0
+  then begin m := 1; y := m end
+  else begin y := m; m := 1 end
+end
+|}
+
+let sec22_if = parse "sec22_if" {|
+var x, y : integer;
+if x = 0 then y := 1
+|}
+
+let sec22_loop =
+  parse "sec22_loop"
+    {|
+var x, y, z : integer;
+begin
+  while x # 0 do begin y := y + 1; x := x - 1 end;
+  z := 1
+end
+|}
+
+let sec22_semaphore =
+  parse "sec22_semaphore"
+    {|
+var x, y : integer;
+    sem : semaphore initially(0);
+cobegin
+  if x = 0 then signal(sem)
+  || begin wait(sem); y := 0 end
+coend
+|}
+
+let sec42_while =
+  parse "sec42_while"
+    {|
+var y : integer;
+    sem : semaphore initially(0);
+while true do begin y := y + 1; wait(sem) end
+|}
+
+let sec42_seq =
+  parse "sec42_seq"
+    {|
+var y : integer;
+    sem : semaphore initially(0);
+begin wait(sem); y := 1 end
+|}
+
+let sec52 = parse "sec52" {|
+var x, y : integer;
+begin x := 0; y := x end
+|}
+
+let all =
+  [
+    ("fig3", fig3);
+    ("fig3-sequential", fig3_sequential_equivalent);
+    ("sec22-if", sec22_if);
+    ("sec22-loop", sec22_loop);
+    ("sec22-semaphore", sec22_semaphore);
+    ("sec42-while", sec42_while);
+    ("sec42-seq", sec42_seq);
+    ("sec52", sec52);
+  ]

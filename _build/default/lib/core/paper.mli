@@ -1,0 +1,58 @@
+(** The paper's example programs, parsed once and shared by tests,
+    examples and benchmarks.
+
+    Each value is the program text as printed in the paper (§2.2, §4.2,
+    §4.3/Figure 3, §5.2), wrapped with the declarations the paper gives or
+    implies. Two corrections to the (visibly corrupted) scan of Figure 3,
+    both checked against the paper's own stated properties:
+
+    - the scan shows a second [wait(done)] in the first process with no
+      matching [signal], under which the program would *always* deadlock —
+      contradicting §4.3's "the program of Figure 3 cannot deadlock" and
+      "the final values of the semaphores are the same as their initial
+      values". We drop the duplicate.
+    - with the scan's order of the two [if] gates, the final value of [y]
+      is the negation of what §4.3's explicitly given sequential
+      equivalent ([if x = 0 then begin m := 1; y := m end else begin
+      y := m; m := 1 end]) computes. We order the gates ([x = 0] before
+      the rendezvous with the writer) so the semantic-equivalence claim
+      holds; the test suite executes both and checks the equivalence.
+
+    Neither correction affects any certification condition: the constraint
+    chain [sbind(x) <= sbind(modify) <= sbind(m) <= sbind(y)] of §4.3 is
+    derived from the corrected program exactly as the paper derives it. *)
+
+val fig3 : Ifc_lang.Ast.program
+(** Figure 3 — information flow using synchronization. Variables [x, y,
+    m]; semaphores [modify, modified, read, done], initially 0. *)
+
+val fig3_vars : string list
+(** The seven names of Figure 3, in the paper's order. *)
+
+val fig3_sequential_equivalent : Ifc_lang.Ast.program
+(** §4.3's "same effect on x and y" sequential program. *)
+
+val sec22_if : Ifc_lang.Ast.program
+(** §2.2's local-flow example: [if x = 0 then y := 1]. *)
+
+val sec22_loop : Ifc_lang.Ast.program
+(** §2.2's global-flow loop: [while x # 0 do begin y := y + 1;
+    x := x - 1 end; z := 1] — [z] reveals termination, hence [x]. *)
+
+val sec22_semaphore : Ifc_lang.Ast.program
+(** §2.2's synchronization channel:
+    [cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end
+    coend]. Deadlocks exactly when [x <> 0]. *)
+
+val sec42_while : Ifc_lang.Ast.program
+(** §4.2's iteration-check example:
+    [while true do begin y := y + 1; wait(sem) end]. *)
+
+val sec42_seq : Ifc_lang.Ast.program
+(** §4.2's composition-check example: [begin wait(sem); y := 1 end]. *)
+
+val sec52 : Ifc_lang.Ast.program
+(** §5.2's relative-strength example: [begin x := 0; y := x end]. *)
+
+val all : (string * Ifc_lang.Ast.program) list
+(** Every program above with a short identifier, for table-driven tests. *)

@@ -1,0 +1,62 @@
+(* Rendering of certification results. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Extended = Ifc_lattice.Extended
+module Loc = Ifc_lang.Loc
+
+let pp_verdict ppf ok = Fmt.string ppf (if ok then "CERTIFIED" else "REJECTED")
+
+let pp_check (l : 'a Lattice.t) ppf (c : 'a Cfm.check) =
+  Fmt.pf ppf "[%s] %a: %s: %a <= %s"
+    (if c.ok then "ok" else "FAIL")
+    Loc.pp c.span (Cfm.rule_name c.rule)
+    (Extended.pp l) c.lhs (l.to_string c.rhs)
+
+let pp_result ?program (l : 'a Lattice.t) ppf (r : 'a Cfm.result) =
+  Option.iter
+    (fun (p : Ifc_lang.Ast.program) ->
+      if p.decls <> [] then
+        Fmt.pf ppf "declarations:@   @[<v>%a@]@."
+          (Fmt.list ~sep:Fmt.cut Ifc_lang.Pretty.pp_decl)
+          p.decls)
+    program;
+  let failed = Cfm.failed_checks r in
+  Fmt.pf ppf "@[<v>verdict: %a@ mod(S) = %s@ flow(S) = %a@ checks: %d total, %d failed@ %a@]"
+    pp_verdict r.certified (l.to_string r.mod_) (Extended.pp l) r.flow
+    (List.length r.checks) (List.length failed)
+    (Fmt.list ~sep:Fmt.cut (pp_check l))
+    (failed @ List.filter (fun (c : 'a Cfm.check) -> c.ok) r.checks)
+
+let pp_denning (l : 'a Lattice.t) ppf (r : 'a Denning.result) =
+  Fmt.pf ppf "@[<v>verdict: %a@ checks: %d total, %d failed@ %a@]" pp_verdict r.certified
+    (List.length r.checks)
+    (List.length (List.filter (fun (c : 'a Cfm.check) -> not c.ok) r.checks))
+    (Fmt.list ~sep:Fmt.cut (pp_check l))
+    r.checks;
+  match r.rejected_constructs with
+  | [] -> ()
+  | spans ->
+    Fmt.pf ppf "@ rejected parallel constructs:@   @[<v>%a@]"
+      (Fmt.list ~sep:Fmt.cut Loc.pp) spans
+
+let summary (r : 'a Cfm.result) =
+  Fmt.str "%a (%d checks, %d failed)" pp_verdict r.certified (List.length r.checks)
+    (List.length (Cfm.failed_checks r))
+
+let pp_requirements ppf constrs =
+  (* Deduplicate by printed form and drop trivial [low <= _] constraints:
+     what remains is the §4.3-style list of necessary conditions. *)
+  let interesting (c : Infer.constr) =
+    List.exists
+      (function
+        | Infer.Class v -> v <> c.rhs
+        | Infer.Const_named _ -> true
+        | Infer.Const_low -> false)
+      c.lhs
+  in
+  let rendered =
+    List.filter interesting constrs
+    |> List.map (Fmt.str "%a" Infer.pp_constr)
+    |> List.sort_uniq String.compare
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Fmt.string) rendered

@@ -1,0 +1,32 @@
+(** Human-readable certification reports.
+
+    Renders {!Cfm} and {!Denning} results the way the paper's §4.3
+    discussion reads: one line per check, the failing ones first, with the
+    concrete classes on both sides, plus the symbolic constraint view from
+    {!Infer} for "certification is possible only if ..." statements. *)
+
+val pp_check :
+  'a Ifc_lattice.Lattice.t -> Format.formatter -> 'a Cfm.check -> unit
+
+val pp_result :
+  ?program:Ifc_lang.Ast.program ->
+  'a Ifc_lattice.Lattice.t ->
+  Format.formatter ->
+  'a Cfm.result ->
+  unit
+(** Full report: verdict, [mod]/[flow] of the whole statement, then every
+    check. When [program] is given its binding-relevant declarations are
+    echoed first. *)
+
+val pp_denning :
+  'a Ifc_lattice.Lattice.t -> Format.formatter -> 'a Denning.result -> unit
+
+val pp_verdict : Format.formatter -> bool -> unit
+(** [CERTIFIED] / [REJECTED]. *)
+
+val summary : 'a Cfm.result -> string
+(** One line: verdict plus check counts. *)
+
+val pp_requirements : Format.formatter -> Infer.constr list -> unit
+(** The symbolic conditions under which certification succeeds — the §4.3
+    style "only if sbind(x) <= sbind(modify)" list, deduplicated. *)

@@ -1,0 +1,1 @@
+lib/exec/eval.ml: Array Fmt Ifc_lang Ifc_support Printf

@@ -1,0 +1,1 @@
+lib/exec/eval.mli: Format Ifc_lang Ifc_support

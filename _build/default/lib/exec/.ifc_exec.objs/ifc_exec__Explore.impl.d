@@ -1,0 +1,1 @@
+lib/exec/explore.ml: Fmt Hashtbl Ifc_lang Ifc_support List Step Task

@@ -1,0 +1,1 @@
+lib/exec/explore.mli: Format Ifc_lang Step

@@ -1,0 +1,1 @@
+lib/exec/noninterference.ml: Explore Fmt Ifc_core Ifc_lang Ifc_lattice Ifc_support List Step

@@ -1,0 +1,1 @@
+lib/exec/noninterference.mli: Format Ifc_core Ifc_lang Stdlib

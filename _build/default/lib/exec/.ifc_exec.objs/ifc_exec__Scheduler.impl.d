@@ -1,0 +1,1 @@
+lib/exec/scheduler.ml: Eval Fmt Ifc_support List Step Task

@@ -1,0 +1,1 @@
+lib/exec/scheduler.mli: Eval Format Ifc_lang Step

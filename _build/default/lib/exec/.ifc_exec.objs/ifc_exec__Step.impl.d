@@ -1,0 +1,1 @@
+lib/exec/step.ml: Array Buffer Eval Fmt Fun Ifc_core Ifc_lang Ifc_lattice Ifc_support List Printf Task

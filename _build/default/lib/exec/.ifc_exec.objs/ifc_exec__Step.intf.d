@@ -1,0 +1,1 @@
+lib/exec/step.mli: Eval Format Ifc_core Ifc_lang Ifc_support Task

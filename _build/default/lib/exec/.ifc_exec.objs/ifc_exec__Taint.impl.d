@@ -1,0 +1,1 @@
+lib/exec/taint.ml: Array Eval Fmt Fun Ifc_core Ifc_lang Ifc_lattice Ifc_support List Option

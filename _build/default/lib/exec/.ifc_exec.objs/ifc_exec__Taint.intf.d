@@ -1,0 +1,1 @@
+lib/exec/taint.mli: Eval Format Ifc_core Ifc_lang Ifc_lattice Ifc_support Scheduler

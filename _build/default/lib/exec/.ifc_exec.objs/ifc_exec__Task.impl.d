@@ -1,0 +1,1 @@
+lib/exec/task.ml: Buffer Fmt Ifc_lang List

@@ -1,0 +1,1 @@
+lib/exec/task.mli: Format Ifc_lang

@@ -1,0 +1,75 @@
+(* Expression evaluation. *)
+
+module Smap = Ifc_support.Smap
+module Ast = Ifc_lang.Ast
+
+type store = int Smap.t
+
+type env = { store : store; arrays : int array Smap.t }
+
+exception Fault of string
+
+let truthy v = v <> 0
+
+let of_bool b = if b then 1 else 0
+
+let lookup env x =
+  match Smap.find_opt x env.store with
+  | Some v -> v
+  | None -> raise (Fault (Printf.sprintf "read of undeclared variable %s" x))
+
+let lookup_array env a =
+  match Smap.find_opt a env.arrays with
+  | Some arr -> arr
+  | None -> raise (Fault (Printf.sprintf "read of undeclared array %s" a))
+
+let rec expr env = function
+  | Ast.Int n -> n
+  | Ast.Bool b -> of_bool b
+  | Ast.Var x -> lookup env x
+  | Ast.Index (a, i) ->
+    let arr = lookup_array env a in
+    let idx = expr env i in
+    if idx < 0 || idx >= Array.length arr then
+      raise (Fault (Printf.sprintf "index %d out of bounds for %s[%d]" idx a (Array.length arr)))
+    else arr.(idx)
+  | Ast.Unop (Ast.Neg, e) -> -expr env e
+  | Ast.Unop (Ast.Not, e) -> of_bool (not (truthy (expr env e)))
+  | Ast.Binop (op, e1, e2) -> (
+    let a = expr env e1 and b = expr env e2 in
+    match op with
+    | Ast.Add -> a + b
+    | Ast.Sub -> a - b
+    | Ast.Mul -> a * b
+    | Ast.Div -> if b = 0 then raise (Fault "division by zero") else a / b
+    | Ast.Mod -> if b = 0 then raise (Fault "modulo by zero") else a mod b
+    | Ast.Eq -> of_bool (a = b)
+    | Ast.Ne -> of_bool (a <> b)
+    | Ast.Lt -> of_bool (a < b)
+    | Ast.Le -> of_bool (a <= b)
+    | Ast.Gt -> of_bool (a > b)
+    | Ast.Ge -> of_bool (a >= b)
+    | Ast.And -> of_bool (truthy a && truthy b)
+    | Ast.Or -> of_bool (truthy a || truthy b))
+
+let store_index env a idx v =
+  let arr = lookup_array env a in
+  if idx < 0 || idx >= Array.length arr then
+    raise (Fault (Printf.sprintf "index %d out of bounds for %s[%d]" idx a (Array.length arr)))
+  else begin
+    let copy = Array.copy arr in
+    copy.(idx) <- v;
+    { env with arrays = Smap.add a copy env.arrays }
+  end
+
+let env_of_list ?(arrays = []) kvs =
+  { store = Smap.of_list kvs; arrays = Smap.of_list arrays }
+
+let pp_store ppf st = Smap.pp Fmt.int ppf st
+
+let pp_array ppf arr =
+  Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ",") Fmt.int) (Array.to_list arr)
+
+let pp_env ppf env =
+  if Smap.is_empty env.arrays then pp_store ppf env.store
+  else Fmt.pf ppf "%a %a" pp_store env.store (Smap.pp pp_array) env.arrays

@@ -1,0 +1,39 @@
+(** Expression evaluation over integer stores.
+
+    The language is integer-valued; booleans are represented as 0/false,
+    non-zero/true, so relational operators yield 0 or 1 and [if]/[while]
+    conditions test non-zeroness. Division/modulo by zero, out-of-bounds
+    array access and reads of undeclared names raise {!Fault}, which the
+    interpreter converts into an execution outcome.
+
+    Arrays are value-semantic: the interpreter copies on write, so
+    environments can be shared freely across configurations during
+    exhaustive exploration. *)
+
+type store = int Ifc_support.Smap.t
+
+type env = {
+  store : store;  (** Scalar variables. *)
+  arrays : int array Ifc_support.Smap.t;
+      (** Arrays; never mutated in place — see {!store_index}. *)
+}
+
+exception Fault of string
+
+val expr : env -> Ifc_lang.Ast.expr -> int
+(** [expr env e] evaluates [e] atomically (the paper's indivisibility
+    assumption). *)
+
+val truthy : int -> bool
+
+val store_index : env -> string -> int -> int -> env
+(** [store_index env a i v] is [env] with [a.(i) <- v] performed
+    persistently (copy-on-write). Raises {!Fault} on a bad index or
+    unknown array. *)
+
+val env_of_list :
+  ?arrays:(string * int array) list -> (string * int) list -> env
+
+val pp_store : Format.formatter -> store -> unit
+
+val pp_env : Format.formatter -> env -> unit

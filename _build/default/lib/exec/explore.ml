@@ -1,0 +1,147 @@
+(* Exhaustive interleaving exploration with memoisation, with optional
+   partial-order reduction. *)
+
+module Sset = Ifc_support.Sset
+module Ast = Ifc_lang.Ast
+
+type summary = {
+  terminals : Step.config list;
+  deadlocks : Step.config list;
+  faults : string list;
+  has_cycle : bool;
+  states : int;
+  complete : bool;
+}
+
+(* Racy variables: names accessed by two or more branches of some
+   cobegin. An action whose footprint avoids them commutes with every
+   action of every other process — so exploring it alone from a state is
+   a (singleton) persistent set and preserves reachable terminals,
+   deadlocks, faults and divergence. Accesses only disappear as the
+   program runs, so computing this once on the initial task is sound. *)
+let rec racy_stmt (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _ | Ast.Signal _ ->
+    Sset.empty
+  | Ast.If (_, a, b) -> Sset.union (racy_stmt a) (racy_stmt b)
+  | Ast.While (_, b) -> racy_stmt b
+  | Ast.Seq ss -> List.fold_left (fun acc s -> Sset.union acc (racy_stmt s)) Sset.empty ss
+  | Ast.Cobegin branches ->
+    let accesses = List.map Ifc_lang.Vars.all_vars branches in
+    let shared =
+      List.fold_left
+        (fun acc (a, b) -> Sset.union acc (Sset.inter a b))
+        Sset.empty
+        (Ifc_support.Listx.pairs accesses)
+    in
+    List.fold_left (fun acc s -> Sset.union acc (racy_stmt s)) shared branches
+
+let rec racy_task (t : Task.t) =
+  match t with
+  | Task.Nil -> Sset.empty
+  | Task.Leaf s -> racy_stmt s
+  | Task.Seq (a, b) -> Sset.union (racy_task a) (racy_task b)
+  | Task.Par ts ->
+    let accesses =
+      List.map
+        (fun t ->
+          let rec acc = function
+            | Task.Nil -> Sset.empty
+            | Task.Leaf s -> Ifc_lang.Vars.all_vars s
+            | Task.Seq (a, b) -> Sset.union (acc a) (acc b)
+            | Task.Par us -> List.fold_left (fun s u -> Sset.union s (acc u)) Sset.empty us
+          in
+          acc t)
+        ts
+    in
+    let shared =
+      List.fold_left
+        (fun s (a, b) -> Sset.union s (Sset.inter a b))
+        Sset.empty
+        (Ifc_support.Listx.pairs accesses)
+    in
+    List.fold_left (fun s t -> Sset.union s (racy_task t)) shared ts
+
+let explore ?(por = false) ?(max_states = 20_000) cfg =
+  (* Iterative DFS with white/gray/black colouring: gray-hits are cycles. *)
+  let racy = if por then racy_task cfg.Step.task else Sset.empty in
+  let colour : (string, [ `Gray | `Black ]) Hashtbl.t = Hashtbl.create 1024 in
+  let terminals = ref [] in
+  let deadlocks = ref [] in
+  let faults = ref [] in
+  let has_cycle = ref false in
+  let complete = ref true in
+  let add_fault msg = if not (List.mem msg !faults) then faults := msg :: !faults in
+  (* Stack frames: Enter (first visit) or Leave (mark black). *)
+  let stack = ref [ `Enter cfg ] in
+  let push f = stack := f :: !stack in
+  let states = ref 0 in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | frame :: rest ->
+      stack := rest;
+      (match frame with
+      | `Leave k -> Hashtbl.replace colour k `Black
+      | `Enter c -> (
+        let k = Step.key c in
+        match Hashtbl.find_opt colour k with
+        | Some `Gray -> has_cycle := true
+        | Some `Black -> ()
+        | None ->
+          if !states >= max_states then complete := false
+          else begin
+            incr states;
+            Hashtbl.replace colour k `Gray;
+            push (`Leave k);
+            if Step.is_terminated c then terminals := c :: !terminals
+            else
+              match Step.enabled c with
+              | Error msg -> add_fault msg
+              | Ok [] -> deadlocks := c :: !deadlocks
+              | Ok choices ->
+                (* Partial-order reduction: if some enabled action touches
+                   no racy name, it commutes with everything the other
+                   processes can do, so it alone is a persistent set. The
+                   cycle proviso (never reduce onto the DFS stack) guards
+                   against postponing the other processes forever. *)
+                let choices =
+                  if por && List.length choices > 1 then
+                    match
+                      List.find_opt
+                        (fun ch ->
+                          Sset.is_empty (Sset.inter ch.Step.footprint racy)
+                          && Hashtbl.find_opt colour (Step.key ch.Step.next)
+                             <> Some `Gray)
+                        choices
+                    with
+                    | Some ch -> [ ch ]
+                    | None -> choices
+                  else choices
+                in
+                List.iter (fun ch -> push (`Enter ch.Step.next)) choices
+          end));
+      loop ()
+  in
+  loop ();
+  {
+    terminals = !terminals;
+    deadlocks = !deadlocks;
+    faults = !faults;
+    has_cycle = !has_cycle;
+    states = !states;
+    complete = !complete;
+  }
+
+let explore_program ?por ?max_states ?inputs p =
+  explore ?por ?max_states (Step.init p ?inputs ())
+
+let can_deadlock s = s.deadlocks <> []
+
+let pp ppf s =
+  Fmt.pf ppf
+    "@[<v>states: %d%s@ terminals: %d@ deadlocks: %d@ faults: %d@ divergence possible: %b@]"
+    s.states
+    (if s.complete then "" else " (bound hit, incomplete)")
+    (List.length s.terminals) (List.length s.deadlocks) (List.length s.faults)
+    s.has_cycle

@@ -1,0 +1,129 @@
+(* Possibilistic, termination-sensitive noninterference testing. *)
+
+module Smap = Ifc_support.Smap
+module Sset = Ifc_support.Sset
+module Prng = Ifc_support.Prng
+module Lattice = Ifc_lattice.Lattice
+module Ast = Ifc_lang.Ast
+module Binding = Ifc_core.Binding
+
+type observable =
+  | Low_store of (string * int) list
+  | Deadlock
+  | Divergence
+  | Fault of string
+
+type violation = {
+  inputs_a : (string * int) list;
+  inputs_b : (string * int) list;
+  only_a : observable list;
+  only_b : observable list;
+}
+
+type result = {
+  pairs_tested : int;
+  pairs_skipped : int;
+  violations : violation list;
+}
+
+let observables ?max_states ~observer binding ~inputs p =
+  let summary = Explore.explore_program ?max_states ~inputs p in
+  if not summary.Explore.complete then Error "state-space bound hit"
+  else begin
+    let obs = ref [] in
+    let add o = if not (List.mem o !obs) then obs := o :: !obs in
+    List.iter
+      (fun cfg -> add (Low_store (Step.low_projection binding ~observer cfg)))
+      summary.Explore.terminals;
+    if summary.Explore.deadlocks <> [] then add Deadlock;
+    if summary.Explore.has_cycle then add Divergence;
+    List.iter (fun msg -> add (Fault msg)) summary.Explore.faults;
+    Ok (List.sort compare !obs)
+  end
+
+(* In termination-insensitive comparison, a side that may fail to
+   terminate normally (deadlock, divergence, fault) excuses missing
+   terminal observables on the other side: the paper's model only tracks
+   flows into variables, so "did it finish" with no subsequent write is
+   outside the threat model (§1 deems such channels covert). *)
+let is_marker = function
+  | Deadlock | Divergence | Fault _ -> true
+  | Low_store _ -> false
+
+let compare_observables ~termination oa ob =
+  match termination with
+  | `Sensitive ->
+    ( List.filter (fun o -> not (List.mem o ob)) oa,
+      List.filter (fun o -> not (List.mem o oa)) ob )
+  | `Insensitive ->
+    let stuck obs = List.exists is_marker obs in
+    let terminals obs = List.filter (fun o -> not (is_marker o)) obs in
+    let ta = terminals oa and tb = terminals ob in
+    let only_a = if stuck ob then [] else List.filter (fun o -> not (List.mem o tb)) ta in
+    let only_b = if stuck oa then [] else List.filter (fun o -> not (List.mem o ta)) tb in
+    (only_a, only_b)
+
+let test ?(seed = 0) ?(pairs = 16) ?max_states ?(value_range = 4)
+    ?(termination = `Insensitive) ~observer binding (p : Ast.program) =
+  let lat = Binding.lattice binding in
+  let vars, _arrays, _sems = Ifc_lang.Vars.declared p in
+  let low_vars, high_vars =
+    List.partition
+      (fun v -> lat.Lattice.leq (Binding.sbind binding v) observer)
+      (Sset.elements vars)
+  in
+  if high_vars = [] then { pairs_tested = 0; pairs_skipped = 0; violations = [] }
+  else begin
+    let rng = Prng.create seed in
+    let tested = ref 0 and skipped = ref 0 and violations = ref [] in
+    for _ = 1 to pairs do
+      let low_part = List.map (fun v -> (v, Prng.int rng value_range)) low_vars in
+      let high_a = List.map (fun v -> (v, Prng.int rng value_range)) high_vars in
+      (* Ensure the pair differs on at least one high variable. *)
+      let high_b =
+        let b = List.map (fun v -> (v, Prng.int rng value_range)) high_vars in
+        if List.exists2 (fun (_, x) (_, y) -> x <> y) high_a b then b
+        else
+          match b with
+          | (v, x) :: rest -> (v, (x + 1) mod value_range) :: rest
+          | [] -> b
+      in
+      let inputs_a = low_part @ high_a and inputs_b = low_part @ high_b in
+      match
+        ( observables ?max_states ~observer binding ~inputs:inputs_a p,
+          observables ?max_states ~observer binding ~inputs:inputs_b p )
+      with
+      | Ok oa, Ok ob ->
+        incr tested;
+        let only_a, only_b = compare_observables ~termination oa ob in
+        if only_a <> [] || only_b <> [] then
+          violations := { inputs_a; inputs_b; only_a; only_b } :: !violations
+      | Error _, _ | _, Error _ -> incr skipped
+    done;
+    { pairs_tested = !tested; pairs_skipped = !skipped; violations = List.rev !violations }
+  end
+
+let secure r = r.violations = []
+
+let pp_observable ppf = function
+  | Low_store kvs ->
+    Fmt.pf ppf "{%a}"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v))
+      kvs
+  | Deadlock -> Fmt.string ppf "<deadlock>"
+  | Divergence -> Fmt.string ppf "<divergence>"
+  | Fault m -> Fmt.pf ppf "<fault: %s>" m
+
+let pp_violation ppf v =
+  let pp_inputs ppf kvs =
+    Fmt.pf ppf "%a"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, x) -> Fmt.pf ppf "%s=%d" k x))
+      kvs
+  in
+  Fmt.pf ppf
+    "@[<v>inputs A: %a@ inputs B: %a@ observable only from A: %a@ observable only from B: %a@]"
+    pp_inputs v.inputs_a pp_inputs v.inputs_b
+    (Fmt.list ~sep:(Fmt.any "; ") pp_observable)
+    v.only_a
+    (Fmt.list ~sep:(Fmt.any "; ") pp_observable)
+    v.only_b

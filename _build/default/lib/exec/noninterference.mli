@@ -1,0 +1,78 @@
+(** Empirical (possibilistic, termination-sensitive) noninterference
+    testing.
+
+    This goes beyond the paper's proof-theoretic consistency result: it
+    checks the *semantic* property certification is meant to enforce. For
+    an observer at level [obs], two initial stores agreeing on variables
+    bound [<= obs] are executed under every interleaving (bounded
+    exhaustive exploration) and their observable sets compared. Pairs
+    whose exploration is incomplete are reported as skipped, not as
+    evidence.
+
+    Two comparison modes:
+
+    - [`Insensitive] (default) — paper-faithful: only low projections of
+      *terminal* stores are compared, and a side that may fail to finish
+      (deadlock, divergence, fault) excuses differences. The paper's
+      model tracks flows into variables only; "did the program finish",
+      with no subsequent write, is one of the §1 covert channels the
+      model deliberately disregards — and indeed CFM certifies programs
+      whose pure termination depends on high data (see EXPERIMENTS.md).
+      This is the property the suite validates for certified programs.
+    - [`Sensitive] — termination behaviour itself ([Deadlock],
+      [Divergence], [Fault]) is observable. Strictly stronger; used to
+      demonstrate the paper's leaky examples (the §2.2 semaphore channel
+      leaks *only* through deadlock when the victim's low write is the
+      blocked statement itself). *)
+
+type observable =
+  | Low_store of (string * int) list  (** Sorted low projection. *)
+  | Deadlock
+  | Divergence
+  | Fault of string
+
+type violation = {
+  inputs_a : (string * int) list;
+  inputs_b : (string * int) list;
+  only_a : observable list;  (** Observables possible from [a] only. *)
+  only_b : observable list;
+}
+
+type result = {
+  pairs_tested : int;
+  pairs_skipped : int;  (** State-space bound hit; no verdict. *)
+  violations : violation list;
+}
+
+val test :
+  ?seed:int ->
+  ?pairs:int ->
+  ?max_states:int ->
+  ?value_range:int ->
+  ?termination:[ `Sensitive | `Insensitive ] ->
+  observer:'a ->
+  'a Ifc_core.Binding.t ->
+  Ifc_lang.Ast.program ->
+  result
+(** [test ~observer b p] draws [pairs] (default 16) random input pairs
+    that agree on low variables and differ on at least one high variable
+    (values in [0, value_range)], explores both, and compares observable
+    sets. If the program has no high variables the result is trivially
+    empty. *)
+
+val secure : result -> bool
+(** No violations among the tested pairs. *)
+
+val observables :
+  ?max_states:int ->
+  observer:'a ->
+  'a Ifc_core.Binding.t ->
+  inputs:(string * int) list ->
+  Ifc_lang.Ast.program ->
+  (observable list, string) Stdlib.result
+(** The observable set from one initial store ([Error] if the exploration
+    bound was hit). Exposed for examples and the CLI. *)
+
+val pp_observable : Format.formatter -> observable -> unit
+
+val pp_violation : Format.formatter -> violation -> unit

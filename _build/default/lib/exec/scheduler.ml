@@ -1,0 +1,85 @@
+(* Schedulers for the small-step semantics. *)
+
+module Prng = Ifc_support.Prng
+
+type strategy = [ `Round_robin | `Random of int | `Leftmost ]
+
+type outcome =
+  | Terminated of Step.config
+  | Deadlock of Step.config
+  | Fault of string * Step.config
+  | Fuel_exhausted of Step.config
+
+type trace = (Step.label * Step.config) list
+
+let pick strategy state choices =
+  match choices with
+  | [] -> None
+  | _ -> (
+    let n = List.length choices in
+    match strategy with
+    | `Leftmost -> Some (List.hd choices)
+    | `Random _ -> (
+      match state with
+      | `Rng rng -> Some (List.nth choices (Prng.int rng n))
+      | `Counter _ -> Some (List.hd choices))
+    | `Round_robin -> (
+      match state with
+      | `Counter c ->
+        (* Prefer the first enabled redex with index >= cursor, wrapping;
+           advances the cursor past the chosen index. *)
+        let sorted =
+          List.sort (fun a b -> compare a.Step.index b.Step.index) choices
+        in
+        let chosen =
+          match List.find_opt (fun ch -> ch.Step.index >= !c) sorted with
+          | Some ch -> ch
+          | None -> List.hd sorted
+        in
+        c := chosen.Step.index + 1;
+        Some chosen
+      | `Rng _ -> Some (List.hd choices)))
+
+let run_general ?(fuel = 100_000) ~strategy ~record cfg =
+  let state =
+    match strategy with
+    | `Random seed -> `Rng (Prng.create seed)
+    | `Round_robin | `Leftmost -> `Counter (ref 0)
+  in
+  let rec loop cfg fuel =
+    if Step.is_terminated cfg then Terminated cfg
+    else if fuel <= 0 then Fuel_exhausted cfg
+    else
+      match Step.enabled cfg with
+      | Error msg -> Fault (msg, cfg)
+      | Ok [] -> Deadlock cfg
+      | Ok choices -> (
+        match pick strategy state choices with
+        | None -> Deadlock cfg
+        | Some choice ->
+          record choice.Step.label choice.Step.next;
+          loop choice.Step.next (fuel - 1))
+  in
+  loop cfg fuel
+
+let run ?fuel ~strategy cfg = run_general ?fuel ~strategy ~record:(fun _ _ -> ()) cfg
+
+let run_traced ?fuel ~strategy cfg =
+  let trace = ref [] in
+  let outcome =
+    run_general ?fuel ~strategy ~record:(fun label next -> trace := (label, next) :: !trace) cfg
+  in
+  (outcome, List.rev !trace)
+
+let run_program ?fuel ?inputs ~strategy p =
+  run ?fuel ~strategy (Step.init p ?inputs ())
+
+let final_store = function
+  | Terminated cfg -> Some cfg.Step.store
+  | Deadlock _ | Fault _ | Fuel_exhausted _ -> None
+
+let pp_outcome ppf = function
+  | Terminated cfg -> Fmt.pf ppf "terminated: %a" Eval.pp_store cfg.Step.store
+  | Deadlock cfg -> Fmt.pf ppf "deadlock at %a" Task.pp cfg.Step.task
+  | Fault (msg, _) -> Fmt.pf ppf "fault: %s" msg
+  | Fuel_exhausted _ -> Fmt.string ppf "fuel exhausted"

@@ -1,0 +1,40 @@
+(** Schedulers: drive a configuration to completion under a strategy.
+
+    Strategies resolve the nondeterminism among enabled actions:
+
+    - [`Round_robin] — cycle through redex positions; fair, deterministic;
+    - [`Random seed] — seeded uniform choice; deterministic per seed;
+    - [`Leftmost] — always the first enabled redex (pseudo-sequential).
+
+    [fuel] bounds the number of indivisible steps, converting potential
+    divergence into [Fuel_exhausted]. *)
+
+type strategy = [ `Round_robin | `Random of int | `Leftmost ]
+
+type outcome =
+  | Terminated of Step.config
+  | Deadlock of Step.config  (** Unfinished, but nothing is enabled. *)
+  | Fault of string * Step.config  (** Runtime fault (division by zero). *)
+  | Fuel_exhausted of Step.config
+
+type trace = (Step.label * Step.config) list
+(** The actions taken, oldest first, with the configuration after each. *)
+
+val run :
+  ?fuel:int -> strategy:strategy -> Step.config -> outcome
+(** [run ~strategy c] executes to an outcome; default [fuel] is 100_000. *)
+
+val run_traced :
+  ?fuel:int -> strategy:strategy -> Step.config -> outcome * trace
+
+val run_program :
+  ?fuel:int ->
+  ?inputs:(string * int) list ->
+  strategy:strategy ->
+  Ifc_lang.Ast.program ->
+  outcome
+
+val final_store : outcome -> Eval.store option
+(** The store of a [Terminated] outcome. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

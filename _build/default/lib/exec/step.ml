@@ -1,0 +1,166 @@
+(* Small-step operational semantics. *)
+
+module Smap = Ifc_support.Smap
+module Ast = Ifc_lang.Ast
+
+type config = {
+  task : Task.t;
+  store : Eval.store;
+  arrays : int array Smap.t;
+  sems : int Smap.t;
+}
+
+let env_of cfg = { Eval.store = cfg.store; arrays = cfg.arrays }
+
+type label =
+  | L_skip
+  | L_assign of string * int
+  | L_store of string * int * int
+  | L_branch of bool
+  | L_loop of bool
+  | L_wait of string
+  | L_signal of string
+
+type choice = { index : int; label : label; next : config; footprint : Ifc_support.Sset.t }
+
+(* The variables and semaphores one indivisible action touches — the
+   basis of the independence relation used by partial-order reduction.
+   For control statements only the condition is evaluated in the step. *)
+let action_footprint (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.Skip -> Ifc_support.Sset.empty
+  | Ast.Assign (x, e) | Ast.Declassify (x, e, _) ->
+    Ifc_support.Sset.add x (Ifc_lang.Vars.expr_vars e)
+  | Ast.Store (a, i, e) ->
+    Ifc_support.Sset.add a
+      (Ifc_support.Sset.union (Ifc_lang.Vars.expr_vars i) (Ifc_lang.Vars.expr_vars e))
+  | Ast.If (cond, _, _) | Ast.While (cond, _) -> Ifc_lang.Vars.expr_vars cond
+  | Ast.Wait sem | Ast.Signal sem -> Ifc_support.Sset.singleton sem
+  | Ast.Seq _ | Ast.Cobegin _ -> Ifc_support.Sset.empty
+
+let init (p : Ast.program) ?(inputs = []) () =
+  let store, arrays, sems =
+    List.fold_left
+      (fun (store, arrays, sems) decl ->
+        match decl with
+        | Ast.Var_decl { name; _ } -> (Smap.add name 0 store, arrays, sems)
+        | Ast.Arr_decl { name; size; _ } ->
+          (store, Smap.add name (Array.make size 0) arrays, sems)
+        | Ast.Sem_decl { name; init; _ } -> (store, arrays, Smap.add name init sems))
+      (Smap.empty, Smap.empty, Smap.empty) p.decls
+  in
+  let store =
+    List.fold_left
+      (fun store (x, v) ->
+        if Smap.mem x store then Smap.add x v store else store)
+      store inputs
+  in
+  { task = Task.simplify (Task.of_stmt p.body); store; arrays; sems }
+
+let is_terminated c = Task.is_done c.task
+
+(* Step a leaf statement: the action label, successor task fragment, and
+   updated (store, arrays, sems). *)
+let step_leaf cfg (s : Ast.stmt) =
+  let env = env_of cfg in
+  let unchanged = (cfg.store, cfg.arrays, cfg.sems) in
+  match s.Ast.node with
+  | Ast.Skip -> Some (L_skip, Task.Nil, unchanged)
+  | Ast.Assign (x, e) | Ast.Declassify (x, e, _) ->
+    let v = Eval.expr env e in
+    Some (L_assign (x, v), Task.Nil, (Smap.add x v cfg.store, cfg.arrays, cfg.sems))
+  | Ast.Store (a, i, e) ->
+    let idx = Eval.expr env i in
+    let v = Eval.expr env e in
+    let env' = Eval.store_index env a idx v in
+    Some (L_store (a, idx, v), Task.Nil, (cfg.store, env'.Eval.arrays, cfg.sems))
+  | Ast.If (cond, then_, else_) ->
+    let taken = Eval.truthy (Eval.expr env cond) in
+    let branch = if taken then then_ else else_ in
+    Some (L_branch taken, Task.of_stmt branch, unchanged)
+  | Ast.While (cond, body) ->
+    let continue = Eval.truthy (Eval.expr env cond) in
+    if continue then
+      Some (L_loop true, Task.Seq (Task.of_stmt body, Task.Leaf s), unchanged)
+    else Some (L_loop false, Task.Nil, unchanged)
+  | Ast.Wait sem ->
+    let count = Smap.find_or ~default:0 sem cfg.sems in
+    if count > 0 then
+      Some (L_wait sem, Task.Nil, (cfg.store, cfg.arrays, Smap.add sem (count - 1) cfg.sems))
+    else None (* blocked *)
+  | Ast.Signal sem ->
+    let count = Smap.find_or ~default:0 sem cfg.sems in
+    Some (L_signal sem, Task.Nil, (cfg.store, cfg.arrays, Smap.add sem (count + 1) cfg.sems))
+  | Ast.Seq _ | Ast.Cobegin _ ->
+    (* Normalisation guarantees composition never appears at a leaf. *)
+    assert false
+
+(* Enumerate redexes: leaves reachable without entering the continuation
+   of a Seq. Rebuilds the task with the redex replaced by its successor. *)
+let enabled cfg =
+  let counter = ref 0 in
+  let choices = ref [] in
+  let rec walk task (rebuild : Task.t -> Task.t) =
+    match task with
+    | Task.Nil -> ()
+    | Task.Leaf s ->
+      let index = !counter in
+      incr counter;
+      (match step_leaf cfg s with
+      | None -> () (* blocked wait *)
+      | Some (label, succ, (store, arrays, sems)) ->
+        let next = { task = Task.simplify (rebuild succ); store; arrays; sems } in
+        choices := { index; label; next; footprint = action_footprint s } :: !choices)
+    | Task.Seq (a, b) -> walk a (fun a' -> rebuild (Task.Seq (a', b)))
+    | Task.Par ts ->
+      List.iteri
+        (fun i t ->
+          walk t (fun t' ->
+              rebuild (Task.Par (List.mapi (fun j u -> if j = i then t' else u) ts))))
+        ts
+  in
+  match walk cfg.task Fun.id with
+  | () -> Ok (List.rev !choices)
+  | exception Eval.Fault msg -> Error msg
+
+let key cfg =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Task.key cfg.task);
+  Smap.iter (fun k v -> Buffer.add_string buf (Printf.sprintf "%s=%d," k v)) cfg.store;
+  Buffer.add_char buf '/';
+  Smap.iter
+    (fun k arr ->
+      Buffer.add_string buf (k ^ "=");
+      Array.iter (fun v -> Buffer.add_string buf (string_of_int v ^ ".")) arr;
+      Buffer.add_char buf ',')
+    cfg.arrays;
+  Buffer.add_char buf '/';
+  Smap.iter (fun k v -> Buffer.add_string buf (Printf.sprintf "%s=%d," k v)) cfg.sems;
+  Buffer.contents buf
+
+let low_projection binding ~observer cfg =
+  let lat = Ifc_core.Binding.lattice binding in
+  let visible name = lat.Ifc_lattice.Lattice.leq (Ifc_core.Binding.sbind binding name) observer in
+  let of_map m = List.filter (fun (name, _) -> visible name) (Smap.bindings m) in
+  let array_cells =
+    List.concat_map
+      (fun (name, arr) ->
+        if visible name then
+          List.mapi (fun i v -> (Printf.sprintf "%s[%d]" name i, v)) (Array.to_list arr)
+        else [])
+      (Smap.bindings cfg.arrays)
+  in
+  List.sort compare (of_map cfg.store @ array_cells @ of_map cfg.sems)
+
+let pp ppf cfg =
+  Fmt.pf ppf "@[<v>task: %a@ store: %a@ sems: %a@]" Task.pp cfg.task Eval.pp_env
+    (env_of cfg) (Smap.pp Fmt.int) cfg.sems
+
+let pp_label ppf = function
+  | L_skip -> Fmt.string ppf "skip"
+  | L_assign (x, v) -> Fmt.pf ppf "%s := %d" x v
+  | L_store (a, i, v) -> Fmt.pf ppf "%s[%d] := %d" a i v
+  | L_branch b -> Fmt.pf ppf "if -> %b" b
+  | L_loop b -> Fmt.pf ppf "while -> %b" b
+  | L_wait s -> Fmt.pf ppf "wait(%s)" s
+  | L_signal s -> Fmt.pf ppf "signal(%s)" s

@@ -1,0 +1,62 @@
+(** Small-step operational semantics.
+
+    A configuration pairs a task tree with the variable store and the
+    semaphore counters. {!enabled} enumerates every indivisible action
+    currently possible (one per runnable process), which drives the random
+    and round-robin schedulers and the exhaustive interleaving exploration
+    alike; a [wait] on a zero semaphore is simply not enabled, giving
+    semaphore blocking — and deadlock when nothing is enabled but the task
+    is unfinished. *)
+
+type config = {
+  task : Task.t;
+  store : Eval.store;
+  arrays : int array Ifc_support.Smap.t;
+      (** Treated as immutable; successors carry fresh copies. *)
+  sems : int Ifc_support.Smap.t;
+}
+
+(** What an action did — the trace vocabulary. *)
+type label =
+  | L_skip
+  | L_assign of string * int
+  | L_store of string * int * int  (** Array, index, value. *)
+  | L_branch of bool  (** Direction taken by an [if]. *)
+  | L_loop of bool  (** [while] condition outcome. *)
+  | L_wait of string
+  | L_signal of string
+
+type choice = {
+  index : int;  (** Redex position (left-to-right leaf order); stable
+                    across a step for round-robin fairness. *)
+  label : label;
+  next : config;
+  footprint : Ifc_support.Sset.t;
+      (** Variables and semaphores this indivisible action reads or
+          writes; two actions with footprints that do not meet any shared
+          (racy) variable commute — the independence relation behind
+          {!Explore}'s partial-order reduction. *)
+}
+
+val init : Ifc_lang.Ast.program -> ?inputs:(string * int) list -> unit -> config
+(** Initial configuration: declared integers start at 0 (overridable via
+    [inputs]); semaphores at their declared initial count. *)
+
+val enabled : config -> (choice list, string) result
+(** All enabled actions; [Error] carries a runtime fault message (e.g.
+    division by zero in the redex evaluated first). *)
+
+val is_terminated : config -> bool
+
+val key : config -> string
+(** Canonical state key for memoisation. *)
+
+val low_projection :
+  'a Ifc_core.Binding.t -> observer:'a -> config -> (string * int) list
+(** The observable part of a final state: values of variables, array
+    cells (as [a\[i\]] entries) and semaphore counters whose binding is
+    [<= observer], sorted by name. *)
+
+val pp : Format.formatter -> config -> unit
+
+val pp_label : Format.formatter -> label -> unit

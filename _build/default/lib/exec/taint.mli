@@ -1,0 +1,43 @@
+(** Dynamic information-state monitoring (Definition 2, run-time view).
+
+    Executes a program while tracking the *current* class of every
+    variable — the paper's dynamic information state — mirroring the flow
+    logic's accounting at run time:
+
+    - an assignment sets [x̄] to [ē (+) local (+) global], where [local]
+      is the join of the classes of the conditions guarding the executing
+      branch (structural, per process) and [global] is the accumulated
+      global-flow class of the run;
+    - entering a [while] joins its condition's class into [global]
+      (conditional termination);
+    - a completed [wait] joins the semaphore's class into [global]
+      (conditional delay), and semaphore operations update the semaphore's
+      class like assignments.
+
+    A *violation* is a variable whose final class exceeds its static
+    binding. The monitor sees one schedule at a time, so unlike CFM it
+    accepts runs of some insecure programs (it cannot observe the branch
+    not taken) and accepts runs CFM rejects (e.g. §5.2's
+    [x := 0; y := x]) — the examples and tests use it to contrast dynamic
+    and static enforcement. *)
+
+type 'a report = {
+  outcome : [ `Terminated | `Deadlock | `Fault of string | `Fuel_exhausted ];
+  store : Eval.store;  (** Final variable values. *)
+  classes : 'a Ifc_support.Smap.t;  (** Final information state. *)
+  global : 'a;  (** Final global certification class. *)
+  violations : (string * 'a) list;
+      (** Variables whose final class is not [<=] their binding. *)
+}
+
+val run :
+  ?fuel:int ->
+  ?inputs:(string * int) list ->
+  strategy:Scheduler.strategy ->
+  'a Ifc_core.Binding.t ->
+  Ifc_lang.Ast.program ->
+  'a report
+(** [run ~strategy b p] executes [p] under the monitor. Every variable's
+    initial class is its binding (inputs arrive at their clearance). *)
+
+val pp_report : 'a Ifc_lattice.Lattice.t -> Format.formatter -> 'a report -> unit

@@ -1,0 +1,65 @@
+(* Runtime task trees. *)
+
+module Ast = Ifc_lang.Ast
+
+type t = Nil | Leaf of Ast.stmt | Seq of t * t | Par of t list
+
+let rec of_stmt (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.Skip -> Leaf s
+  | Ast.Seq stmts ->
+    List.fold_right (fun st acc -> Seq (of_stmt st, acc)) stmts Nil
+  | Ast.Cobegin branches -> Par (List.map of_stmt branches)
+  | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.If _ | Ast.While _ | Ast.Wait _
+  | Ast.Signal _ ->
+    Leaf s
+
+let rec is_done = function
+  | Nil -> true
+  | Leaf _ -> false
+  | Seq (a, b) -> is_done a && is_done b
+  | Par ts -> List.for_all is_done ts
+
+let rec simplify = function
+  | Nil -> Nil
+  | Leaf _ as t -> t
+  | Seq (a, b) -> (
+    match simplify a with Nil -> simplify b | a' -> Seq (a', b))
+  | Par ts -> (
+    match List.filter (fun t -> not (is_done t)) (List.map simplify ts) with
+    | [] -> Nil
+    | ts' -> Par ts')
+
+(* Canonical serialisation: statements via the (injective up to layout)
+   pretty-printer, structure via explicit tags. *)
+let key t =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Nil -> Buffer.add_char buf '.'
+    | Leaf s ->
+      Buffer.add_char buf 'L';
+      Buffer.add_string buf (Ifc_lang.Pretty.stmt_to_string s);
+      Buffer.add_char buf ';'
+    | Seq (a, b) ->
+      Buffer.add_char buf '(';
+      go a;
+      Buffer.add_char buf '>';
+      go b;
+      Buffer.add_char buf ')'
+    | Par ts ->
+      Buffer.add_char buf '[';
+      List.iter
+        (fun t ->
+          go t;
+          Buffer.add_char buf '|')
+        ts;
+      Buffer.add_char buf ']'
+  in
+  go t;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Nil -> Fmt.string ppf "<done>"
+  | Leaf s -> Fmt.pf ppf "%s" (Ifc_lang.Pretty.stmt_to_string s)
+  | Seq (a, b) -> Fmt.pf ppf "(%a ; %a)" pp a pp b
+  | Par ts -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any " || ") pp) ts

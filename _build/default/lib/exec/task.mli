@@ -1,0 +1,30 @@
+(** Runtime task trees: the control component of a configuration.
+
+    A statement is normalised into a tree in which [begin..end] becomes
+    right-nested sequencing, [cobegin..coend] a parallel node, and every
+    other statement a leaf. Redexes (the next indivisible actions) are the
+    leaves reachable without crossing the *second* component of a [Seq] —
+    exactly the interleaving semantics the paper assumes, with assignment
+    and expression evaluation indivisible. *)
+
+type t =
+  | Nil  (** Finished. *)
+  | Leaf of Ifc_lang.Ast.stmt  (** Next indivisible action, or a control
+                                   statement about to be expanded. *)
+  | Seq of t * t  (** Run the first to completion, then the second. *)
+  | Par of t list  (** All must finish (join) before the node finishes. *)
+
+val of_stmt : Ifc_lang.Ast.stmt -> t
+(** Normalisation; [Seq]/[Par] never directly carry composition leaves. *)
+
+val is_done : t -> bool
+
+val simplify : t -> t
+(** Collapse [Seq (Nil, t)] and fully finished [Par] nodes. Applied after
+    every step, so configurations compare structurally. *)
+
+val key : t -> string
+(** A canonical serialisation for state-space memoisation. Distinct tasks
+    have distinct keys. *)
+
+val pp : Format.formatter -> t -> unit

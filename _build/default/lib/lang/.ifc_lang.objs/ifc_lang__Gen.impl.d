@@ -1,0 +1,1 @@
+lib/lang/gen.ml: Array Ast Ifc_support List Seq Wellformed

@@ -1,0 +1,1 @@
+lib/lang/gen.mli: Ast Ifc_support Seq

@@ -1,0 +1,1 @@
+lib/lang/metrics.ml: Ast Fmt List

@@ -1,0 +1,1 @@
+lib/lang/metrics.mli: Ast Format

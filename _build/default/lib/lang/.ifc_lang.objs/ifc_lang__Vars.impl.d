@@ -1,0 +1,1 @@
+lib/lang/vars.ml: Ast Ifc_support List

@@ -1,0 +1,1 @@
+lib/lang/vars.mli: Ast Ifc_support

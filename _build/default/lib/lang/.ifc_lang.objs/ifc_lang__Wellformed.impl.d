@@ -1,0 +1,1 @@
+lib/lang/wellformed.ml: Ast Fmt Hashtbl Ifc_support List Loc Printf Vars

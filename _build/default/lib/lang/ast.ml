@@ -1,0 +1,176 @@
+(** Abstract syntax of the paper's parallel programming language (§2).
+
+    The statement forms are exactly those of the paper — assignment,
+    alternation, iteration, composition, concurrency ([cobegin .. || ..
+    coend]) and semaphore synchronization ([wait]/[signal]) — plus [skip],
+    which the paper omits but which makes [if]-without-[else] and program
+    generation natural. [skip] modifies nothing and produces no flow, so it
+    is certification-neutral (see DESIGN.md §3).
+
+    Expressions are integer/boolean arithmetic over program variables; the
+    class of [e1 op e2] is [class e1 ⊕ class e2] regardless of [op]
+    (Definition 2), so the analysis never inspects operators.
+
+    This module also provides combinators ([assign], [if_], [seq], ...)
+    used by examples and tests to build programs without going through the
+    parser. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Index of string * expr  (** [a\[i\]]: array read. *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type stmt = { span : Loc.span; node : node }
+
+and node =
+  | Skip
+  | Assign of string * expr
+  | Declassify of string * expr * string
+      (** [x := declassify e to c]: like [Assign], but the analyses take
+          the *data* class of [e] to be the named class [c] instead of its
+          computed class. Contexts ([local]/[global]) still apply — the
+          escape hatch releases data, not control. An extension beyond the
+          paper; see DESIGN.md. *)
+  | Store of string * expr * expr  (** [a\[i\] := e]: array write. The whole
+      array is the classified object (Denning's treatment): the index
+      contributes to the stored class and writes are weak updates. *)
+  | If of expr * stmt * stmt
+  | While of expr * stmt
+  | Seq of stmt list
+  | Cobegin of stmt list
+  | Wait of string
+  | Signal of string
+
+(** Declarations: integer variables and semaphores with an initial count.
+    [cls] is an optional class annotation (resolved against a lattice by
+    [Ifc_core.Binding]). *)
+type decl =
+  | Var_decl of { name : string; cls : string option }
+  | Arr_decl of { name : string; size : int; cls : string option }
+  | Sem_decl of { name : string; init : int; cls : string option }
+
+type program = { decls : decl list; body : stmt }
+
+(* ------------------------------------------------------------------ *)
+(* Combinators *)
+
+let mk ?(span = Loc.dummy) node = { span; node }
+
+let skip = mk Skip
+
+let assign ?span x e = mk ?span (Assign (x, e))
+
+let store ?span a i e = mk ?span (Store (a, i, e))
+
+let declassify ?span x e cls = mk ?span (Declassify (x, e, cls))
+
+let if_ ?span cond ~then_ ~else_ = mk ?span (If (cond, then_, else_))
+
+let if_then ?span cond then_ = mk ?span (If (cond, then_, skip))
+
+let while_ ?span cond body = mk ?span (While (cond, body))
+
+let seq ?span stmts = mk ?span (Seq stmts)
+
+let cobegin ?span branches = mk ?span (Cobegin branches)
+
+let wait ?span sem = mk ?span (Wait sem)
+
+let signal ?span sem = mk ?span (Signal sem)
+
+let var x = Var x
+
+let int n = Int n
+
+(** Infix expression builders; open locally ([Ast.Infix.(var "x" + int 1)])
+    to keep the arithmetic operators from shadowing the standard ones. *)
+module Infix = struct
+  let ( + ) a b = Binop (Add, a, b)
+
+  let ( - ) a b = Binop (Sub, a, b)
+
+  let ( * ) a b = Binop (Mul, a, b)
+
+  let ( = ) a b = Binop (Eq, a, b)
+
+  let ( <> ) a b = Binop (Ne, a, b)
+
+  let ( < ) a b = Binop (Lt, a, b)
+
+  let ( > ) a b = Binop (Gt, a, b)
+
+  let ( && ) a b = Binop (And, a, b)
+
+  let ( || ) a b = Binop (Or, a, b)
+end
+
+(** [program ?decls body] packs a program; undeclared variables can be
+    added later by {!Wellformed.infer_decls}. *)
+let program ?(decls = []) body = { decls; body }
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality and size, ignoring spans. *)
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Var x, Var y -> String.equal x y
+  | Index (x, i), Index (y, j) -> String.equal x y && equal_expr i j
+  | Unop (op1, e1), Unop (op2, e2) -> Stdlib.( = ) op1 op2 && equal_expr e1 e2
+  | Binop (op1, a1, b1), Binop (op2, a2, b2) ->
+    Stdlib.( = ) op1 op2 && equal_expr a1 a2 && equal_expr b1 b2
+  | (Int _ | Bool _ | Var _ | Index _ | Unop _ | Binop _), _ -> false
+
+let rec equal_stmt s1 s2 =
+  match (s1.node, s2.node) with
+  | Skip, Skip -> true
+  | Assign (x1, e1), Assign (x2, e2) -> String.equal x1 x2 && equal_expr e1 e2
+  | Declassify (x1, e1, c1), Declassify (x2, e2, c2) ->
+    String.equal x1 x2 && equal_expr e1 e2 && String.equal c1 c2
+  | Store (a1, i1, e1), Store (a2, i2, e2) ->
+    String.equal a1 a2 && equal_expr i1 i2 && equal_expr e1 e2
+  | If (c1, t1, f1), If (c2, t2, f2) ->
+    equal_expr c1 c2 && equal_stmt t1 t2 && equal_stmt f1 f2
+  | While (c1, b1), While (c2, b2) -> equal_expr c1 c2 && equal_stmt b1 b2
+  | Seq l1, Seq l2 | Cobegin l1, Cobegin l2 ->
+    List.length l1 = List.length l2 && List.for_all2 equal_stmt l1 l2
+  | Wait s1, Wait s2 | Signal s1, Signal s2 -> String.equal s1 s2
+  | ( ( Skip | Assign _ | Declassify _ | Store _ | If _ | While _ | Seq _ | Cobegin _
+      | Wait _ | Signal _ ),
+      _ ) ->
+    false
+
+let equal_decl d1 d2 =
+  match (d1, d2) with
+  | Var_decl a, Var_decl b -> String.equal a.name b.name && Stdlib.( = ) a.cls b.cls
+  | Arr_decl a, Arr_decl b ->
+    String.equal a.name b.name && Int.equal a.size b.size && Stdlib.( = ) a.cls b.cls
+  | Sem_decl a, Sem_decl b ->
+    String.equal a.name b.name && Int.equal a.init b.init && Stdlib.( = ) a.cls b.cls
+  | (Var_decl _ | Arr_decl _ | Sem_decl _), _ -> false
+
+let equal_program p1 p2 =
+  List.length p1.decls = List.length p2.decls
+  && List.for_all2 equal_decl p1.decls p2.decls
+  && equal_stmt p1.body p2.body

@@ -1,0 +1,248 @@
+(* Seeded random program generation and shrinking. *)
+
+module Prng = Ifc_support.Prng
+
+type config = {
+  vars : string list;
+  sems : string list;
+  arrays : string list;
+  max_depth : int;
+  allow_concurrency : bool;
+  allow_loops : bool;
+  max_branch : int;
+}
+
+let default =
+  {
+    vars = [ "w"; "x"; "y"; "z" ];
+    sems = [ "s"; "t" ];
+    arrays = [];
+    max_depth = 4;
+    allow_concurrency = true;
+    allow_loops = true;
+    max_branch = 4;
+  }
+
+let sequential = { default with sems = []; allow_concurrency = false }
+
+(* Array-enabled variants; sizes come from Wellformed.infer_decls. *)
+let with_arrays = { default with arrays = [ "arr"; "buf" ] }
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let leaf_expr rng cfg =
+  match Prng.int rng 4 with
+  | 0 -> Ast.Int (Prng.range rng 0 3)
+  | 3 when cfg.arrays <> [] ->
+    (* Small literal indices keep most runs in bounds. *)
+    Ast.Index (Prng.choose rng cfg.arrays, Ast.Int (Prng.range rng 0 3))
+  | 1 | _ -> Ast.Var (Prng.choose rng cfg.vars)
+
+let rec expr rng cfg ~size =
+  if size <= 1 then leaf_expr rng cfg
+  else
+    match Prng.int rng 8 with
+    | 0 -> Ast.Unop (Ast.Neg, expr rng cfg ~size:(size - 1))
+    | 1 ->
+      let op = Prng.choose rng [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+      let left = size / 2 in
+      Ast.Binop (op, expr rng cfg ~size:left, expr rng cfg ~size:(size - 1 - left))
+    | _ ->
+      let op = Prng.choose rng [ Ast.Add; Ast.Sub; Ast.Mul ] in
+      let left = size / 2 in
+      Ast.Binop (op, expr rng cfg ~size:left, expr rng cfg ~size:(size - 1 - left))
+
+(* Conditions: comparisons terminate loops more plausibly than raw ints. *)
+let cond_expr rng cfg =
+  let op = Prng.choose rng [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Gt ] in
+  Ast.Binop (op, Ast.Var (Prng.choose rng cfg.vars), Ast.Int (Prng.range rng 0 3))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+(* Split [n] into [k] positive parts, uniformly-ish. *)
+let split rng n k =
+  if k <= 1 then [ n ]
+  else begin
+    let parts = Array.make k 1 in
+    for _ = 1 to n - k do
+      let i = Prng.int rng k in
+      parts.(i) <- parts.(i) + 1
+    done;
+    Array.to_list parts
+  end
+
+let leaf_stmt rng cfg =
+  let can_sync = cfg.allow_concurrency && cfg.sems <> [] in
+  let choices =
+    [ (6, `Assign) ]
+    @ (if cfg.arrays <> [] then [ (2, `Store) ] else [])
+    @ (if can_sync then [ (1, `Wait); (2, `Signal) ] else [])
+    @ [ (1, `Skip) ]
+  in
+  match Prng.weighted rng choices with
+  | `Assign ->
+    let target = Prng.choose rng cfg.vars in
+    Ast.assign target (expr rng cfg ~size:(Prng.range rng 1 4))
+  | `Store ->
+    let target = Prng.choose rng cfg.arrays in
+    let index =
+      if Prng.bool rng then Ast.Int (Prng.range rng 0 3)
+      else Ast.Var (Prng.choose rng cfg.vars)
+    in
+    Ast.store target index (expr rng cfg ~size:(Prng.range rng 1 3))
+  | `Wait -> Ast.wait (Prng.choose rng cfg.sems)
+  | `Signal -> Ast.signal (Prng.choose rng cfg.sems)
+  | `Skip -> Ast.skip
+
+let rec stmt_at rng cfg ~depth ~size =
+  if size <= 1 then leaf_stmt rng cfg
+  else if depth >= cfg.max_depth then
+    (* Depth cap reached with budget left: spend it on a flat block so the
+       requested size is still honoured. *)
+    Ast.seq (List.init size (fun _ -> leaf_stmt rng cfg))
+  else begin
+    let can_sync = cfg.allow_concurrency in
+    let choices =
+      [ (5, `Seq); (3, `If) ]
+      @ (if cfg.allow_loops then [ (2, `While) ] else [])
+      @ if can_sync then [ (2, `Cobegin) ] else []
+    in
+    match Prng.weighted rng choices with
+    | `Seq ->
+      let k = min (Prng.range rng 2 cfg.max_branch) (max 2 (size - 1)) in
+      let sizes = split rng (size - 1) k in
+      Ast.seq (List.map (fun n -> stmt_at rng cfg ~depth:(depth + 1) ~size:n) sizes)
+    | `If ->
+      let cond = cond_expr rng cfg in
+      let left = (size - 1) / 2 in
+      let then_ = stmt_at rng cfg ~depth:(depth + 1) ~size:(max 1 left) in
+      let else_ = stmt_at rng cfg ~depth:(depth + 1) ~size:(max 1 (size - 1 - left)) in
+      Ast.if_ cond ~then_ ~else_
+    | `While ->
+      let cond = cond_expr rng cfg in
+      Ast.while_ cond (stmt_at rng cfg ~depth:(depth + 1) ~size:(size - 1))
+    | `Cobegin ->
+      let k = min (Prng.range rng 2 cfg.max_branch) (max 2 (size - 1)) in
+      let sizes = split rng (size - 1) k in
+      Ast.cobegin (List.map (fun n -> stmt_at rng cfg ~depth:(depth + 1) ~size:n) sizes)
+  end
+
+let stmt rng cfg ~size =
+  if cfg.vars = [] then invalid_arg "Gen.stmt: empty variable pool";
+  stmt_at rng cfg ~depth:0 ~size
+
+let program rng cfg ~size =
+  Wellformed.infer_decls (Ast.program (stmt rng cfg ~size))
+
+(* Count static waits/signals per semaphore; used to balance programs. *)
+let rec sync_counts (s : Ast.stmt) acc =
+  match s.node with
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ -> acc
+  | Ast.If (_, a, b) -> sync_counts a acc |> sync_counts b
+  | Ast.While (_, b) -> sync_counts b acc
+  | Ast.Seq ss | Ast.Cobegin ss -> List.fold_left (fun acc s -> sync_counts s acc) acc ss
+  | Ast.Wait sem ->
+    let w, g = Ifc_support.Smap.find_or ~default:(0, 0) sem acc in
+    Ifc_support.Smap.add sem (w + 1, g) acc
+  | Ast.Signal sem ->
+    let w, g = Ifc_support.Smap.find_or ~default:(0, 0) sem acc in
+    Ifc_support.Smap.add sem (w, g + 1) acc
+
+let program_balanced rng cfg ~size =
+  let body = stmt rng cfg ~size in
+  let counts = sync_counts body Ifc_support.Smap.empty in
+  let compensation =
+    Ifc_support.Smap.fold
+      (fun sem (waits, signals) acc ->
+        if waits > signals then
+          List.init (waits - signals) (fun _ -> Ast.signal sem) @ acc
+        else acc)
+      counts []
+  in
+  let body =
+    match compensation with
+    | [] -> body
+    | comp -> Ast.cobegin [ body; Ast.seq comp ]
+  in
+  Wellformed.infer_decls (Ast.program body)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+
+let rec shrink_expr e () =
+  let open Seq in
+  let candidates =
+    match e with
+    | Ast.Int 0 | Ast.Bool _ -> Seq.empty
+    | Ast.Int _ -> return (Ast.Int 0)
+    | Ast.Var _ -> return (Ast.Int 0)
+    | Ast.Index (a, i) ->
+      cons (Ast.Int 0)
+        (map (fun i' -> Ast.Index (a, i')) (shrink_expr i))
+    | Ast.Unop (op, inner) ->
+      cons inner (map (fun inner' -> Ast.Unop (op, inner')) (shrink_expr inner))
+    | Ast.Binop (op, a, b) ->
+      cons a
+        (cons b
+           (append
+              (map (fun a' -> Ast.Binop (op, a', b)) (shrink_expr a))
+              (map (fun b' -> Ast.Binop (op, a, b')) (shrink_expr b))))
+  in
+  candidates ()
+
+(* Every way of removing one element from a list. *)
+let removals xs =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+
+(* Every way of shrinking one element in place. *)
+let in_place shrink xs =
+  List.concat
+    (List.mapi
+       (fun i x ->
+         List.of_seq
+           (Seq.map (fun x' -> List.mapi (fun j y -> if j = i then x' else y) xs)
+              (shrink x)))
+       xs)
+
+let rec shrink_stmt (s : Ast.stmt) () =
+  let mk node = { s with Ast.node } in
+  let candidates =
+    match s.node with
+    | Ast.Skip -> []
+    | Ast.Assign (x, e) ->
+      Ast.skip :: List.map (fun e' -> mk (Ast.Assign (x, e'))) (List.of_seq (shrink_expr e))
+    | Ast.Declassify (x, e, cls) ->
+      Ast.skip
+      :: List.map (fun e' -> mk (Ast.Declassify (x, e', cls))) (List.of_seq (shrink_expr e))
+    | Ast.Store (a, i, e) ->
+      Ast.skip
+      :: List.map (fun i' -> mk (Ast.Store (a, i', e))) (List.of_seq (shrink_expr i))
+      @ List.map (fun e' -> mk (Ast.Store (a, i, e'))) (List.of_seq (shrink_expr e))
+    | Ast.Wait _ | Ast.Signal _ -> [ Ast.skip ]
+    | Ast.If (cond, then_, else_) ->
+      [ then_; else_ ]
+      @ List.map (fun c -> mk (Ast.If (c, then_, else_))) (List.of_seq (shrink_expr cond))
+      @ List.map (fun t -> mk (Ast.If (cond, t, else_))) (List.of_seq (shrink_stmt then_))
+      @ List.map (fun e -> mk (Ast.If (cond, then_, e))) (List.of_seq (shrink_stmt else_))
+    | Ast.While (cond, body) ->
+      [ body; Ast.skip ]
+      @ List.map (fun c -> mk (Ast.While (c, body))) (List.of_seq (shrink_expr cond))
+      @ List.map (fun b -> mk (Ast.While (cond, b))) (List.of_seq (shrink_stmt body))
+    | Ast.Seq stmts ->
+      stmts
+      @ List.map (fun l -> mk (Ast.Seq l)) (removals stmts)
+      @ List.map (fun l -> mk (Ast.Seq l)) (in_place shrink_stmt stmts)
+    | Ast.Cobegin branches ->
+      branches
+      @ [ mk (Ast.Seq branches) ]
+      @ List.map (fun l -> mk (Ast.Cobegin l)) (removals branches)
+      @ List.map (fun l -> mk (Ast.Cobegin l)) (in_place shrink_stmt branches)
+  in
+  (List.to_seq candidates) ()
+
+let shrink_program (p : Ast.program) =
+  Seq.map
+    (fun body -> Wellformed.infer_decls (Ast.program body))
+    (shrink_stmt p.body)

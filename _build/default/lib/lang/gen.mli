@@ -1,0 +1,56 @@
+(** Seeded random program generation and shrinking.
+
+    Drives the property-based test suites (Theorem 1/2 validation,
+    round-trip, noninterference) and the scaling benchmarks. Generation is
+    purely a function of the PRNG state, so corpora are reproducible.
+
+    The generator only emits well-formed programs: variables and semaphores
+    are drawn from the configured pools and declarations are synthesised to
+    match. Semaphore-manipulating statements are only produced when
+    [allow_concurrency] is set; unmatched [wait]s are allowed (the paper's
+    mechanism is indifferent to deadlock), but the interpreter-facing
+    helper {!program_balanced} keeps signal counts ≥ wait counts per
+    semaphore to raise the fraction of runs that terminate. *)
+
+type config = {
+  vars : string list;  (** Integer variable pool (non-empty). *)
+  sems : string list;  (** Semaphore pool; may be empty. *)
+  arrays : string list;  (** Array pool; may be empty. Sizes are
+                             {!Wellformed.default_array_size}. *)
+  max_depth : int;  (** Nesting bound. *)
+  allow_concurrency : bool;  (** Emit [cobegin]/[wait]/[signal]? *)
+  allow_loops : bool;  (** Emit [while]? *)
+  max_branch : int;  (** Max [cobegin] arity and [begin] block length. *)
+}
+
+val default : config
+(** Four variables, two semaphores, depth 4, everything allowed. *)
+
+val sequential : config
+(** No concurrency and no semaphores: the Denning & Denning fragment. *)
+
+val with_arrays : config
+(** {!default} plus two arrays; indices are drawn small so most accesses
+    stay in bounds. *)
+
+val expr : Ifc_support.Prng.t -> config -> size:int -> Ast.expr
+(** [expr rng cfg ~size] draws an expression with about [size] nodes. *)
+
+val stmt : Ifc_support.Prng.t -> config -> size:int -> Ast.stmt
+(** [stmt rng cfg ~size] draws a statement with about [size] statement
+    nodes, respecting [cfg.max_depth]. *)
+
+val program : Ifc_support.Prng.t -> config -> size:int -> Ast.program
+(** [stmt] wrapped with synthesised declarations. *)
+
+val program_balanced : Ifc_support.Prng.t -> config -> size:int -> Ast.program
+(** Like {!program}, but appends a compensating [signal] sequence in a
+    final parallel branch so every semaphore receives at least as many
+    static signals as waits; used by interpreter-based tests. *)
+
+val shrink_stmt : Ast.stmt -> Ast.stmt Seq.t
+(** Structural shrinks: replace a statement by a sub-statement, drop block
+    elements, simplify expressions. Never introduces new variables. *)
+
+val shrink_program : Ast.program -> Ast.program Seq.t
+(** Shrinks the body, re-synthesising declarations. *)

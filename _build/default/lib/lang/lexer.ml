@@ -1,0 +1,154 @@
+(* Hand-written lexer. See the interface for the accepted syntax. *)
+
+type spanned = { token : Token.t; span : Loc.span }
+
+type error = { message : string; pos : Loc.pos }
+
+let pp_error ppf e = Fmt.pf ppf "%a: %s" Loc.pp_pos e.pos e.message
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let pos st = { Loc.line = st.line; col = st.col }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Skip whitespace and both comment forms; returns an error only for an
+   unterminated block comment. *)
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '-' when peek2 st = Some '-' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '(' when peek2 st = Some '*' ->
+    let start = pos st in
+    advance st;
+    advance st;
+    let rec in_comment depth =
+      match (peek st, peek2 st) with
+      | Some '*', Some ')' ->
+        advance st;
+        advance st;
+        if depth = 0 then Ok () else in_comment (depth - 1)
+      | Some '(', Some '*' ->
+        advance st;
+        advance st;
+        in_comment (depth + 1)
+      | Some _, _ ->
+        advance st;
+        in_comment depth
+      | None, _ -> Error { message = "unterminated comment"; pos = start }
+    in
+    Result.bind (in_comment 0) (fun () -> skip_trivia st)
+  | Some _ | None -> Ok ()
+
+let lex_number st =
+  let start = st.offset in
+  while match peek st with Some c -> is_digit c | None -> false do
+    advance st
+  done;
+  let text = String.sub st.src start (st.offset - start) in
+  match int_of_string_opt text with
+  | Some n -> Ok (Token.INT n)
+  | None -> Error { message = "integer literal out of range: " ^ text; pos = pos st }
+
+let lex_ident st =
+  let start = st.offset in
+  while match peek st with Some c -> is_ident_char c | None -> false do
+    advance st
+  done;
+  let text = String.sub st.src start (st.offset - start) in
+  match List.assoc_opt (String.lowercase_ascii text) Token.keywords with
+  | Some kw -> kw
+  | None -> Token.IDENT text
+
+let next_token st =
+  Result.bind (skip_trivia st) (fun () ->
+      let start = pos st in
+      let simple tok n =
+        for _ = 1 to n do
+          advance st
+        done;
+        Ok tok
+      in
+      let result =
+        match peek st with
+        | None -> Ok Token.EOF
+        | Some c when is_digit c -> lex_number st
+        | Some c when is_ident_start c -> Ok (lex_ident st)
+        | Some ':' -> if peek2 st = Some '=' then simple Token.ASSIGN 2 else simple Token.COLON 1
+        | Some ';' -> simple Token.SEMI 1
+        | Some ',' -> simple Token.COMMA 1
+        | Some '(' -> simple Token.LPAREN 1
+        | Some ')' -> simple Token.RPAREN 1
+        | Some '[' -> simple Token.LBRACKET 1
+        | Some ']' -> simple Token.RBRACKET 1
+        | Some '|' ->
+          if peek2 st = Some '|' then simple Token.PAR 2
+          else Error { message = "expected '||'"; pos = start }
+        | Some '!' -> (
+          match peek2 st with
+          | Some '=' -> simple Token.NE 2
+          | Some '!' -> simple Token.PAR 2 (* the paper's rendering of || *)
+          | Some _ | None -> Error { message = "expected '!=' or '!!'"; pos = start })
+        | Some '+' -> simple Token.PLUS 1
+        | Some '-' -> simple Token.MINUS 1
+        | Some '*' -> simple Token.STAR 1
+        | Some '/' -> simple Token.SLASH 1
+        | Some '%' -> simple Token.PERCENT 1
+        | Some '=' -> simple Token.EQ 1
+        | Some '#' -> simple Token.NE 1
+        | Some '<' -> (
+          match peek2 st with
+          | Some '=' -> simple Token.LE 2
+          | Some '>' -> simple Token.NE 2
+          | Some _ | None -> simple Token.LT 1)
+        | Some '>' -> if peek2 st = Some '=' then simple Token.GE 2 else simple Token.GT 1
+        | Some c ->
+          Error { message = Printf.sprintf "unexpected character %C" c; pos = start }
+      in
+      Result.map
+        (fun token -> { token; span = Loc.make ~start ~stop:(pos st) })
+        result)
+
+let tokenize src =
+  let st = { src; offset = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    match next_token st with
+    | Error e -> Error e
+    | Ok ({ token = Token.EOF; _ } as tok) -> Ok (List.rev (tok :: acc))
+    | Ok tok -> loop (tok :: acc)
+  in
+  loop []

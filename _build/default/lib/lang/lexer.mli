@@ -1,0 +1,16 @@
+(** Hand-written lexer for the concrete syntax.
+
+    The lexer is table-free and allocation-light: it walks the input string
+    once, producing spanned tokens. Comments are ["-- to end of line"] and
+    ["(* ... *)"] (nested). The paper's [#] not-equal operator is accepted
+    alongside [<>] and [!=], and [!!] (a typesetting artifact for [||] in
+    the paper) is accepted as the process separator. *)
+
+type spanned = { token : Token.t; span : Loc.span }
+
+type error = { message : string; pos : Loc.pos }
+
+val tokenize : string -> (spanned list, error) result
+(** [tokenize src] lexes all of [src], ending with an [EOF] token. *)
+
+val pp_error : Format.formatter -> error -> unit

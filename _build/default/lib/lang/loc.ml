@@ -1,0 +1,32 @@
+(** Source positions and spans for diagnostics.
+
+    Every statement carries a span so certification failures can point at
+    the offending construct ("line 7: sbind(sem) <= sbind(y) fails").
+    Programs built programmatically (the AST combinators, the random
+    generator) use {!dummy}. *)
+
+type pos = { line : int; col : int }
+
+type span = { start : pos; stop : pos }
+
+let dummy_pos = { line = 0; col = 0 }
+
+let dummy = { start = dummy_pos; stop = dummy_pos }
+
+let is_dummy s = s.start.line = 0
+
+let make ~start ~stop = { start; stop }
+
+(** [merge a b] spans from the start of [a] to the end of [b]. *)
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { start = a.start; stop = b.stop }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+let pp ppf s =
+  if is_dummy s then Fmt.string ppf "<builtin>"
+  else if s.start.line = s.stop.line then
+    Fmt.pf ppf "line %d, cols %d-%d" s.start.line s.start.col s.stop.col
+  else Fmt.pf ppf "lines %d-%d" s.start.line s.stop.line

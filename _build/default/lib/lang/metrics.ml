@@ -1,0 +1,85 @@
+(* Size and shape metrics. *)
+
+type t = {
+  statements : int;
+  assignments : int;
+  branches : int;
+  loops : int;
+  cobegins : int;
+  sync_ops : int;
+  max_depth : int;
+  max_width : int;
+  expr_nodes : int;
+}
+
+let zero =
+  {
+    statements = 0;
+    assignments = 0;
+    branches = 0;
+    loops = 0;
+    cobegins = 0;
+    sync_ops = 0;
+    max_depth = 0;
+    max_width = 0;
+    expr_nodes = 0;
+  }
+
+let rec expr_size = function
+  | Ast.Int _ | Ast.Bool _ | Ast.Var _ -> 1
+  | Ast.Index (_, i) -> 1 + expr_size i
+  | Ast.Unop (_, e) -> 1 + expr_size e
+  | Ast.Binop (_, a, b) -> 1 + expr_size a + expr_size b
+
+let add a b =
+  {
+    statements = a.statements + b.statements;
+    assignments = a.assignments + b.assignments;
+    branches = a.branches + b.branches;
+    loops = a.loops + b.loops;
+    cobegins = a.cobegins + b.cobegins;
+    sync_ops = a.sync_ops + b.sync_ops;
+    max_depth = max a.max_depth b.max_depth;
+    max_width = max a.max_width b.max_width;
+    expr_nodes = a.expr_nodes + b.expr_nodes;
+  }
+
+let rec of_stmt (s : Ast.stmt) =
+  let self = { zero with statements = 1 } in
+  let deepen m = { m with max_depth = m.max_depth + 1 } in
+  match s.node with
+  | Ast.Skip -> { self with max_depth = 1 }
+  | Ast.Assign (_, e) | Ast.Declassify (_, e, _) ->
+    { self with assignments = 1; expr_nodes = expr_size e; max_depth = 1 }
+  | Ast.Store (_, i, e) ->
+    { self with assignments = 1; expr_nodes = expr_size i + expr_size e; max_depth = 1 }
+  | Ast.Wait _ | Ast.Signal _ -> { self with sync_ops = 1; max_depth = 1 }
+  | Ast.If (cond, then_, else_) ->
+    let inner = add (of_stmt then_) (of_stmt else_) in
+    deepen
+      (add { self with branches = 1; expr_nodes = expr_size cond } inner)
+  | Ast.While (cond, body) ->
+    deepen (add { self with loops = 1; expr_nodes = expr_size cond } (of_stmt body))
+  | Ast.Seq stmts ->
+    deepen (List.fold_left (fun acc s -> add acc (of_stmt s)) self stmts)
+  | Ast.Cobegin branches ->
+    let inner = List.fold_left (fun acc s -> add acc (of_stmt s)) self branches in
+    deepen
+      {
+        inner with
+        cobegins = inner.cobegins + 1;
+        max_width = max inner.max_width (List.length branches);
+      }
+
+let of_program (p : Ast.program) = of_stmt p.body
+
+let length p =
+  let m = of_program p in
+  m.statements + m.expr_nodes
+
+let pp ppf m =
+  Fmt.pf ppf
+    "@[<v>statements: %d@ assignments: %d@ branches: %d@ loops: %d@ cobegins: %d@ \
+     sync-ops: %d@ max-depth: %d@ max-width: %d@ expr-nodes: %d@]"
+    m.statements m.assignments m.branches m.loops m.cobegins m.sync_ops m.max_depth
+    m.max_width m.expr_nodes

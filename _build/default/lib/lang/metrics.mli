@@ -1,0 +1,27 @@
+(** Size and shape metrics over programs.
+
+    The paper's complexity claim is "time proportional to the length of the
+    program"; [length] below is the statement count used as the x-axis of
+    the scaling benchmarks. *)
+
+type t = {
+  statements : int;  (** Total statement nodes (incl. [skip]). *)
+  assignments : int;
+  branches : int;  (** [if] nodes. *)
+  loops : int;  (** [while] nodes. *)
+  cobegins : int;
+  sync_ops : int;  (** [wait] + [signal] nodes. *)
+  max_depth : int;  (** Maximum statement nesting depth. *)
+  max_width : int;  (** Largest [cobegin] arity. *)
+  expr_nodes : int;  (** Expression AST nodes. *)
+}
+
+val of_stmt : Ast.stmt -> t
+
+val of_program : Ast.program -> t
+
+val length : Ast.program -> int
+(** [length p] is [statements + expr_nodes] — the "length of the program"
+    in the paper's complexity claim. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,347 @@
+(* Recursive-descent parser. See the interface for the grammar. *)
+
+type error = { message : string; pos : Loc.pos }
+
+let pp_error ppf e = Fmt.pf ppf "%a: %s" Loc.pp_pos e.pos e.message
+
+exception Parse_error of error
+
+type state = { tokens : Lexer.spanned array; mutable cursor : int }
+
+let current st = st.tokens.(st.cursor)
+
+let peek st = (current st).token
+
+let peek_at st n =
+  let i = st.cursor + n in
+  if i < Array.length st.tokens then st.tokens.(i).token else Token.EOF
+
+let here st = (current st).span.start
+
+let advance st = if st.cursor < Array.length st.tokens - 1 then st.cursor <- st.cursor + 1
+
+let fail st message = raise (Parse_error { message; pos = here st })
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected '%s' but found '%s'" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let expect_ident st what =
+  match peek st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | other ->
+    fail st (Printf.sprintf "expected %s but found '%s'" what (Token.to_string other))
+
+let expect_int st what =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    n
+  | other ->
+    fail st (Printf.sprintf "expected %s but found '%s'" what (Token.to_string other))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec parse_or st =
+  let left = parse_and st in
+  if peek st = Token.KW_OR then begin
+    advance st;
+    Ast.Binop (Ast.Or, left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_not st in
+  if peek st = Token.KW_AND then begin
+    advance st;
+    Ast.Binop (Ast.And, left, parse_and st)
+  end
+  else left
+
+and parse_not st =
+  if peek st = Token.KW_NOT then begin
+    advance st;
+    Ast.Unop (Ast.Not, parse_not st)
+  end
+  else parse_rel st
+
+and parse_rel st =
+  let left = parse_add st in
+  let op =
+    match peek st with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NE -> Some Ast.Ne
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+    advance st;
+    Ast.Binop (op, left, parse_add st)
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, left, parse_mul st))
+    | Token.MINUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, left, parse_unary st))
+    | Token.SLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, left, parse_unary st))
+    | Token.PERCENT ->
+      advance st;
+      loop (Ast.Binop (Ast.Mod, left, parse_unary st))
+    | _ -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if peek st = Token.MINUS then begin
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  end
+  else parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    Ast.Int n
+  | Token.KW_TRUE ->
+    advance st;
+    Ast.Bool true
+  | Token.KW_FALSE ->
+    advance st;
+    Ast.Bool false
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LBRACKET then begin
+      advance st;
+      let i = parse_or st in
+      expect st Token.RBRACKET;
+      Ast.Index (name, i)
+    end
+    else Ast.Var name
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_or st in
+    expect st Token.RPAREN;
+    e
+  | other ->
+    fail st (Printf.sprintf "expected an expression but found '%s'" (Token.to_string other))
+
+let parse_expression st = parse_or st
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec parse_statement st =
+  let start = here st in
+  let finish node =
+    let stop = (st.tokens.(max 0 (st.cursor - 1))).span.stop in
+    { Ast.span = Loc.make ~start ~stop; node }
+  in
+  match peek st with
+  | Token.KW_SKIP ->
+    advance st;
+    finish Ast.Skip
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LBRACKET then begin
+      advance st;
+      let i = parse_expression st in
+      expect st Token.RBRACKET;
+      expect st Token.ASSIGN;
+      let e = parse_expression st in
+      finish (Ast.Store (name, i, e))
+    end
+    else begin
+      expect st Token.ASSIGN;
+      if peek st = Token.KW_DECLASSIFY then begin
+        advance st;
+        let e = parse_expression st in
+        expect st Token.KW_TO;
+        let cls = expect_ident st "a class name" in
+        finish (Ast.Declassify (name, e, cls))
+      end
+      else begin
+        let e = parse_expression st in
+        finish (Ast.Assign (name, e))
+      end
+    end
+  | Token.KW_IF ->
+    advance st;
+    let cond = parse_expression st in
+    expect st Token.KW_THEN;
+    let then_ = parse_statement st in
+    let else_ =
+      if peek st = Token.KW_ELSE then begin
+        advance st;
+        parse_statement st
+      end
+      else Ast.skip
+    in
+    if peek st = Token.KW_FI then advance st;
+    finish (Ast.If (cond, then_, else_))
+  | Token.KW_WHILE ->
+    advance st;
+    let cond = parse_expression st in
+    expect st Token.KW_DO;
+    let body = parse_statement st in
+    if peek st = Token.KW_OD then advance st;
+    finish (Ast.While (cond, body))
+  | Token.KW_BEGIN ->
+    advance st;
+    let stmts = parse_separated st Token.SEMI in
+    expect st Token.KW_END;
+    finish (Ast.Seq stmts)
+  | Token.KW_COBEGIN ->
+    advance st;
+    let branches = parse_separated st Token.PAR in
+    expect st Token.KW_COEND;
+    finish (Ast.Cobegin branches)
+  | Token.KW_WAIT ->
+    advance st;
+    expect st Token.LPAREN;
+    let sem = expect_ident st "a semaphore name" in
+    expect st Token.RPAREN;
+    finish (Ast.Wait sem)
+  | Token.KW_SIGNAL ->
+    advance st;
+    expect st Token.LPAREN;
+    let sem = expect_ident st "a semaphore name" in
+    expect st Token.RPAREN;
+    finish (Ast.Signal sem)
+  | other ->
+    fail st (Printf.sprintf "expected a statement but found '%s'" (Token.to_string other))
+
+and parse_separated st sep =
+  let first = parse_statement st in
+  let rec loop acc =
+    if peek st = sep then begin
+      advance st;
+      let next = parse_statement st in
+      loop (next :: acc)
+    end
+    else List.rev acc
+  in
+  loop [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+(* After 'var', groups look like "x, y : integer;". A group is recognised
+   by an identifier followed by ',' or ':' — an identifier followed by ':='
+   starts the program body instead. *)
+let looks_like_group st =
+  match peek st with
+  | Token.IDENT _ -> ( match peek_at st 1 with Token.COMMA | Token.COLON -> true | _ -> false)
+  | _ -> false
+
+let parse_class_annotation st =
+  if peek st = Token.KW_CLASS then begin
+    advance st;
+    Some (expect_ident st "a class name")
+  end
+  else None
+
+let parse_group st =
+  let rec names acc =
+    let name = expect_ident st "a variable name" in
+    if peek st = Token.COMMA then begin
+      advance st;
+      names (name :: acc)
+    end
+    else List.rev (name :: acc)
+  in
+  let names = names [] in
+  expect st Token.COLON;
+  match peek st with
+  | Token.KW_INTEGER ->
+    advance st;
+    let cls = parse_class_annotation st in
+    List.map (fun name -> Ast.Var_decl { name; cls }) names
+  | Token.KW_ARRAY ->
+    advance st;
+    expect st Token.LPAREN;
+    let size = expect_int st "an array size" in
+    expect st Token.RPAREN;
+    let cls = parse_class_annotation st in
+    List.map (fun name -> Ast.Arr_decl { name; size; cls }) names
+  | Token.KW_SEMAPHORE ->
+    advance st;
+    expect st Token.KW_INITIALLY;
+    expect st Token.LPAREN;
+    let init = expect_int st "an initial semaphore count" in
+    expect st Token.RPAREN;
+    let cls = parse_class_annotation st in
+    List.map (fun name -> Ast.Sem_decl { name; init; cls }) names
+  | other ->
+    fail st
+      (Printf.sprintf "expected 'integer', 'array' or 'semaphore' but found '%s'"
+         (Token.to_string other))
+
+let parse_decls st =
+  if peek st = Token.KW_VAR then begin
+    advance st;
+    let rec groups acc =
+      let group = parse_group st in
+      expect st Token.SEMI;
+      if looks_like_group st then groups (acc @ group) else acc @ group
+    in
+    groups []
+  end
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let run src entry =
+  match Lexer.tokenize src with
+  | Error e -> Error { message = e.Lexer.message; pos = e.Lexer.pos }
+  | Ok tokens -> (
+    let st = { tokens = Array.of_list tokens; cursor = 0 } in
+    match entry st with
+    | result ->
+      if peek st = Token.EOF then Ok result
+      else
+        Error
+          {
+            message =
+              Printf.sprintf "trailing input starting at '%s'" (Token.to_string (peek st));
+            pos = here st;
+          }
+    | exception Parse_error e -> Error e)
+
+let parse_program src =
+  run src (fun st ->
+      let decls = parse_decls st in
+      let body = parse_statement st in
+      { Ast.decls; body })
+
+let parse_stmt src = run src parse_statement
+
+let parse_expr src = run src parse_expression

@@ -1,0 +1,36 @@
+(** Recursive-descent parser for the concrete syntax.
+
+    The grammar is the paper's language (§2) with small conveniences:
+
+    {v
+    program := [decls] stmt
+    decls   := 'var' group ';' (group ';')*
+    group   := ident (',' ident)* ':' type ['class' ident]
+    type    := 'integer' | 'semaphore' 'initially' '(' int ')'
+    stmt    := 'skip'
+             | ident ':=' expr
+             | 'if' expr 'then' stmt ['else' stmt] ['fi']
+             | 'while' expr 'do' stmt ['od']
+             | 'begin' stmt (';' stmt)* 'end'
+             | 'cobegin' stmt ('||' stmt)* 'coend'
+             | 'wait' '(' ident ')' | 'signal' '(' ident ')'
+    v}
+
+    Expressions have conventional precedence; boolean connectives are the
+    keywords [and]/[or]/[not] (the symbol [||] is reserved for process
+    separation, following the paper). A dangling [else] binds to the
+    nearest [if]; the optional [fi]/[od] close an [if]/[while] explicitly
+    when that is not wanted. *)
+
+type error = { message : string; pos : Loc.pos }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_program : string -> (Ast.program, error) result
+(** [parse_program src] parses a complete program (declarations + body). *)
+
+val parse_stmt : string -> (Ast.stmt, error) result
+(** [parse_stmt src] parses a single statement — handy in tests. *)
+
+val parse_expr : string -> (Ast.expr, error) result
+(** [parse_expr src] parses a single expression. *)

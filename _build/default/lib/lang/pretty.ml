@@ -1,0 +1,114 @@
+(* Pretty-printer. Precedence levels mirror the parser so that output
+   re-parses to the same AST (checked by a round-trip property test). *)
+
+let binop_symbol = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "="
+  | Ast.Ne -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+
+(* Precedence of a construct, and the levels required of its operands.
+   [or] and [and] are parsed right-associatively, [+ - * / %] left-
+   associatively; relations do not associate. *)
+let level = function
+  | Ast.Binop (Ast.Or, _, _) -> 1
+  | Ast.Binop (Ast.And, _, _) -> 2
+  | Ast.Unop (Ast.Not, _) -> 3
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) -> 4
+  | Ast.Binop ((Ast.Add | Ast.Sub), _, _) -> 5
+  | Ast.Binop ((Ast.Mul | Ast.Div | Ast.Mod), _, _) -> 6
+  | Ast.Unop (Ast.Neg, _) -> 7
+  | Ast.Int _ | Ast.Bool _ | Ast.Var _ | Ast.Index _ -> 8
+
+let rec pp_prec min_level ppf e =
+  let this = level e in
+  let wrap = this < min_level in
+  if wrap then Fmt.string ppf "(";
+  (match e with
+  | Ast.Int n -> Fmt.int ppf n
+  | Ast.Bool b -> Fmt.string ppf (if b then "true" else "false")
+  | Ast.Var x -> Fmt.string ppf x
+  | Ast.Index (a, i) -> Fmt.pf ppf "%s[%a]" a (pp_prec 0) i
+  | Ast.Unop (Ast.Neg, operand) ->
+    (* Parenthesise a nested negation: "--x" would lex as a comment. *)
+    let operand_level = match operand with Ast.Unop (Ast.Neg, _) -> 9 | _ -> 7 in
+    Fmt.string ppf "-";
+    pp_prec operand_level ppf operand
+  | Ast.Unop (Ast.Not, operand) ->
+    Fmt.string ppf "not ";
+    pp_prec 3 ppf operand
+  | Ast.Binop ((Ast.Or | Ast.And) as op, a, b) ->
+    let this = level e in
+    Fmt.pf ppf "%a %s %a" (pp_prec (this + 1)) a (binop_symbol op) (pp_prec this) b
+  | Ast.Binop (((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b) ->
+    Fmt.pf ppf "%a %s %a" (pp_prec 5) a (binop_symbol op) (pp_prec 5) b
+  | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op), a, b) ->
+    let this = level e in
+    Fmt.pf ppf "%a %s %a" (pp_prec this) a (binop_symbol op) (pp_prec (this + 1)) b);
+  if wrap then Fmt.string ppf ")"
+
+let pp_expr ppf e = pp_prec 0 ppf e
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s.node with
+  | Ast.Skip -> Fmt.string ppf "skip"
+  | Ast.Assign (x, e) -> Fmt.pf ppf "@[<hv 2>%s :=@ %a@]" x pp_expr e
+  | Ast.Declassify (x, e, cls) ->
+    Fmt.pf ppf "@[<hv 2>%s :=@ declassify %a to %s@]" x pp_expr e cls
+  | Ast.Store (a, i, e) -> Fmt.pf ppf "@[<hv 2>%s[%a] :=@ %a@]" a pp_expr i pp_expr e
+  | Ast.If (cond, then_, else_) -> (
+    match else_.node with
+    | Ast.Skip ->
+      Fmt.pf ppf "@[<hv>@[<hv 2>if %a then@ %a@]@ fi@]" pp_expr cond pp_stmt then_
+    | _ ->
+      Fmt.pf ppf "@[<hv>@[<hv 2>if %a then@ %a@]@ @[<hv 2>else@ %a@]@ fi@]" pp_expr cond
+        pp_stmt then_ pp_stmt else_)
+  | Ast.While (cond, body) ->
+    Fmt.pf ppf "@[<hv>@[<hv 2>while %a do@ %a@]@ od@]" pp_expr cond pp_stmt body
+  | Ast.Seq stmts ->
+    Fmt.pf ppf "@[<hv>begin@;<1 2>@[<hv>%a@]@ end@]"
+      (Fmt.list ~sep:(Fmt.any ";@ ") pp_stmt)
+      stmts
+  | Ast.Cobegin branches ->
+    Fmt.pf ppf "@[<hv>cobegin@;<1 2>@[<hv>%a@]@ coend@]"
+      (Fmt.list ~sep:(Fmt.any "@ ||@ ") pp_stmt)
+      branches
+  | Ast.Wait sem -> Fmt.pf ppf "wait(%s)" sem
+  | Ast.Signal sem -> Fmt.pf ppf "signal(%s)" sem
+
+let pp_decl ppf = function
+  | Ast.Arr_decl { name; size; cls } ->
+    Fmt.pf ppf "%s : array(%d)%a;" name size
+      Fmt.(option (fun ppf c -> pf ppf " class %s" c))
+      cls
+  | Ast.Var_decl { name; cls } ->
+    Fmt.pf ppf "%s : integer%a;" name
+      Fmt.(option (fun ppf c -> pf ppf " class %s" c))
+      cls
+  | Ast.Sem_decl { name; init; cls } ->
+    Fmt.pf ppf "%s : semaphore initially(%d)%a;" name init
+      Fmt.(option (fun ppf c -> pf ppf " class %s" c))
+      cls
+
+let pp_program ppf (p : Ast.program) =
+  match p.decls with
+  | [] -> Fmt.pf ppf "@[<v>%a@]" pp_stmt p.body
+  | decls ->
+    Fmt.pf ppf "@[<v>var@;<1 2>@[<v>%a@]@ %a@]"
+      (Fmt.list ~sep:Fmt.cut pp_decl)
+      decls pp_stmt p.body
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+
+let stmt_to_string s = Fmt.str "%a" pp_stmt s
+
+let program_to_string p = Fmt.str "%a" pp_program p

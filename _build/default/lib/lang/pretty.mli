@@ -1,0 +1,20 @@
+(** Pretty-printer for programs, statements and expressions.
+
+    Output re-parses to a structurally equal AST ([parse ∘ print = id] up
+    to spans) — a property the test suite checks on random programs. The
+    printer emits the same concrete syntax the parser reads: [begin/end]
+    blocks, [cobegin .. || .. coend], keyword boolean connectives. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+
+val pp_decl : Format.formatter -> Ast.decl -> unit
+
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val expr_to_string : Ast.expr -> string
+
+val stmt_to_string : Ast.stmt -> string
+
+val program_to_string : Ast.program -> string

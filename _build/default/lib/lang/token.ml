@@ -1,0 +1,138 @@
+(** Tokens of the concrete syntax. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  (* keywords *)
+  | KW_VAR
+  | KW_INTEGER
+  | KW_SEMAPHORE
+  | KW_ARRAY
+  | KW_INITIALLY
+  | KW_CLASS
+  | KW_SKIP
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_FI
+  | KW_WHILE
+  | KW_DO
+  | KW_OD
+  | KW_BEGIN
+  | KW_END
+  | KW_COBEGIN
+  | KW_COEND
+  | KW_WAIT
+  | KW_SIGNAL
+  | KW_DECLASSIFY
+  | KW_TO
+  | KW_TRUE
+  | KW_FALSE
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  (* punctuation and operators *)
+  | ASSIGN (* := *)
+  | SEMI
+  | COMMA
+  | COLON
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | PAR (* || *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ (* = *)
+  | NE (* #, <>, != *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keywords =
+  [
+    ("var", KW_VAR);
+    ("integer", KW_INTEGER);
+    ("semaphore", KW_SEMAPHORE);
+    ("array", KW_ARRAY);
+    ("initially", KW_INITIALLY);
+    ("class", KW_CLASS);
+    ("skip", KW_SKIP);
+    ("if", KW_IF);
+    ("then", KW_THEN);
+    ("else", KW_ELSE);
+    ("fi", KW_FI);
+    ("while", KW_WHILE);
+    ("do", KW_DO);
+    ("od", KW_OD);
+    ("begin", KW_BEGIN);
+    ("end", KW_END);
+    ("cobegin", KW_COBEGIN);
+    ("coend", KW_COEND);
+    ("wait", KW_WAIT);
+    ("signal", KW_SIGNAL);
+    ("declassify", KW_DECLASSIFY);
+    ("to", KW_TO);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE);
+    ("and", KW_AND);
+    ("or", KW_OR);
+    ("not", KW_NOT);
+  ]
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_VAR -> "var"
+  | KW_INTEGER -> "integer"
+  | KW_SEMAPHORE -> "semaphore"
+  | KW_ARRAY -> "array"
+  | KW_INITIALLY -> "initially"
+  | KW_CLASS -> "class"
+  | KW_SKIP -> "skip"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_FI -> "fi"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_OD -> "od"
+  | KW_BEGIN -> "begin"
+  | KW_END -> "end"
+  | KW_COBEGIN -> "cobegin"
+  | KW_COEND -> "coend"
+  | KW_WAIT -> "wait"
+  | KW_SIGNAL -> "signal"
+  | KW_DECLASSIFY -> "declassify"
+  | KW_TO -> "to"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_AND -> "and"
+  | KW_OR -> "or"
+  | KW_NOT -> "not"
+  | ASSIGN -> ":="
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | PAR -> "||"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

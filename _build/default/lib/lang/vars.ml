@@ -1,0 +1,53 @@
+(* Variable and semaphore usage analyses. *)
+
+module Sset = Ifc_support.Sset
+
+let rec expr_vars = function
+  | Ast.Int _ | Ast.Bool _ -> Sset.empty
+  | Ast.Var x -> Sset.singleton x
+  | Ast.Index (a, i) -> Sset.add a (expr_vars i)
+  | Ast.Unop (_, e) -> expr_vars e
+  | Ast.Binop (_, a, b) -> Sset.union (expr_vars a) (expr_vars b)
+
+let rec modified (s : Ast.stmt) =
+  match s.node with
+  | Ast.Skip -> Sset.empty
+  | Ast.Assign (x, _) | Ast.Declassify (x, _, _) -> Sset.singleton x
+  | Ast.Store (a, _, _) -> Sset.singleton a
+  | Ast.If (_, then_, else_) -> Sset.union (modified then_) (modified else_)
+  | Ast.While (_, body) -> modified body
+  | Ast.Seq stmts | Ast.Cobegin stmts ->
+    List.fold_left (fun acc stmt -> Sset.union acc (modified stmt)) Sset.empty stmts
+  | Ast.Wait sem | Ast.Signal sem -> Sset.singleton sem
+
+let rec read (s : Ast.stmt) =
+  match s.node with
+  | Ast.Skip -> Sset.empty
+  | Ast.Assign (_, e) | Ast.Declassify (_, e, _) -> expr_vars e
+  | Ast.Store (_, i, e) -> Sset.union (expr_vars i) (expr_vars e)
+  | Ast.If (cond, then_, else_) ->
+    Sset.union (expr_vars cond) (Sset.union (read then_) (read else_))
+  | Ast.While (cond, body) -> Sset.union (expr_vars cond) (read body)
+  | Ast.Seq stmts | Ast.Cobegin stmts ->
+    List.fold_left (fun acc stmt -> Sset.union acc (read stmt)) Sset.empty stmts
+  | Ast.Wait sem | Ast.Signal sem -> Sset.singleton sem
+
+let all_vars s = Sset.union (read s) (modified s)
+
+let rec semaphores (s : Ast.stmt) =
+  match s.node with
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ -> Sset.empty
+  | Ast.If (_, then_, else_) -> Sset.union (semaphores then_) (semaphores else_)
+  | Ast.While (_, body) -> semaphores body
+  | Ast.Seq stmts | Ast.Cobegin stmts ->
+    List.fold_left (fun acc stmt -> Sset.union acc (semaphores stmt)) Sset.empty stmts
+  | Ast.Wait sem | Ast.Signal sem -> Sset.singleton sem
+
+let declared (p : Ast.program) =
+  List.fold_left
+    (fun (vars, arrays, sems) decl ->
+      match decl with
+      | Ast.Var_decl { name; _ } -> (Sset.add name vars, arrays, sems)
+      | Ast.Arr_decl { name; _ } -> (vars, Sset.add name arrays, sems)
+      | Ast.Sem_decl { name; _ } -> (vars, arrays, Sset.add name sems))
+    (Sset.empty, Sset.empty, Sset.empty) p.decls

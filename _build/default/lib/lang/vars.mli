@@ -1,0 +1,28 @@
+(** Variable and semaphore usage analyses over the AST.
+
+    These traversals back both the certification mechanism ([mod] needs the
+    modified-variable set) and the well-formedness checks. Semaphores count
+    as variables here — a [wait]/[signal] modifies its semaphore, exactly
+    as the paper treats semaphore operations as assignments. *)
+
+val expr_vars : Ast.expr -> Ifc_support.Sset.t
+(** [expr_vars e] is the set of variables read by [e]. *)
+
+val modified : Ast.stmt -> Ifc_support.Sset.t
+(** [modified s] is the set of variables *potentially* modified by [s]:
+    assignment targets and semaphores of [wait]/[signal], through all
+    branches (Definition 5a's "potentially modified"). *)
+
+val read : Ast.stmt -> Ifc_support.Sset.t
+(** [read s] is the set of variables appearing in expressions of [s];
+    semaphores of [wait]/[signal] are also read (their count is tested). *)
+
+val all_vars : Ast.stmt -> Ifc_support.Sset.t
+(** [read s ∪ modified s]. *)
+
+val semaphores : Ast.stmt -> Ifc_support.Sset.t
+(** Names used in [wait]/[signal] position. *)
+
+val declared :
+  Ast.program -> Ifc_support.Sset.t * Ifc_support.Sset.t * Ifc_support.Sset.t
+(** [declared p] is [(integer variables, arrays, semaphores)]. *)

@@ -1,0 +1,239 @@
+(* Well-formedness checks. See the interface for the rules enforced. *)
+
+module Sset = Ifc_support.Sset
+module Smap = Ifc_support.Smap
+
+type severity = Error | Warning
+
+type issue = { severity : severity; span : Loc.span; message : string }
+
+let pp_issue ppf i =
+  Fmt.pf ppf "%s: %a: %s"
+    (match i.severity with Error -> "error" | Warning -> "warning")
+    Loc.pp i.span i.message
+
+let error span message = { severity = Error; span; message }
+
+let warning span message = { severity = Warning; span; message }
+
+(* Count every occurrence (not distinct names) of variables from [shared]
+   in an expression — the paper's "memory reference" count. *)
+let rec occurrences shared = function
+  | Ast.Int _ | Ast.Bool _ -> 0
+  | Ast.Var x -> if Sset.mem x shared then 1 else 0
+  | Ast.Index (a, i) -> (if Sset.mem a shared then 1 else 0) + occurrences shared i
+  | Ast.Unop (_, e) -> occurrences shared e
+  | Ast.Binop (_, a, b) -> occurrences shared a + occurrences shared b
+
+(* Issues from name usage: undeclared names and category confusion
+   between the three namespaces (integers, arrays, semaphores). *)
+let usage_issues ~vars ~arrays ~sems (body : Ast.stmt) =
+  let scalar_ok span x acc =
+    if Sset.mem x sems then
+      error span (Printf.sprintf "semaphore %s used in an expression" x) :: acc
+    else if Sset.mem x arrays then
+      error span (Printf.sprintf "array %s used without an index" x) :: acc
+    else if not (Sset.mem x vars) then
+      error span (Printf.sprintf "undeclared variable %s" x) :: acc
+    else acc
+  in
+  let array_ok span a acc =
+    if Sset.mem a arrays then acc
+    else if Sset.mem a vars || Sset.mem a sems then
+      error span (Printf.sprintf "%s is not an array" a) :: acc
+    else error span (Printf.sprintf "undeclared array %s" a) :: acc
+  in
+  let rec check_expr span e acc =
+    match e with
+    | Ast.Int _ | Ast.Bool _ -> acc
+    | Ast.Var x -> scalar_ok span x acc
+    | Ast.Index (a, i) -> array_ok span a acc |> check_expr span i
+    | Ast.Unop (_, e) -> check_expr span e acc
+    | Ast.Binop (_, e1, e2) -> check_expr span e1 acc |> check_expr span e2
+  in
+  let rec go (s : Ast.stmt) acc =
+    match s.node with
+    | Ast.Skip -> acc
+    | Ast.Assign (x, e) | Ast.Declassify (x, e, _) ->
+      let acc = check_expr s.span e acc in
+      if Sset.mem x sems then
+        error s.span (Printf.sprintf "assignment to semaphore %s" x) :: acc
+      else if Sset.mem x arrays then
+        error s.span (Printf.sprintf "assignment to array %s needs an index" x) :: acc
+      else if not (Sset.mem x vars) then
+        error s.span (Printf.sprintf "undeclared variable %s" x) :: acc
+      else acc
+    | Ast.Store (a, i, e) ->
+      array_ok s.span a acc |> check_expr s.span i |> check_expr s.span e
+    | Ast.If (cond, then_, else_) -> check_expr s.span cond acc |> go then_ |> go else_
+    | Ast.While (cond, body) -> check_expr s.span cond acc |> go body
+    | Ast.Seq stmts | Ast.Cobegin stmts -> List.fold_left (fun acc s -> go s acc) acc stmts
+    | Ast.Wait sem | Ast.Signal sem ->
+      if Sset.mem sem vars || Sset.mem sem arrays then
+        error s.span (Printf.sprintf "%s is not a semaphore" sem) :: acc
+      else if not (Sset.mem sem sems) then
+        error s.span (Printf.sprintf "undeclared semaphore %s" sem) :: acc
+      else acc
+  in
+  go body []
+
+(* The §2 atomicity restriction, checked at every cobegin: within a branch,
+   each expression/assignment may reference at most one variable that a
+   *sibling* branch modifies. *)
+let atomicity_issues (body : Ast.stmt) =
+  let rec leaf_checks shared (s : Ast.stmt) acc =
+    match s.node with
+    | Ast.Skip | Ast.Wait _ | Ast.Signal _ -> acc
+    | Ast.Store (a, i, e) ->
+      let count =
+        occurrences shared i + occurrences shared e
+        + if Sset.mem a shared then 1 else 0
+      in
+      if count > 1 then
+        warning s.span
+          (Printf.sprintf
+             "array store makes %d references to variables modified by concurrent \
+              processes; the paper requires at most one for non-indivisible execution"
+             count)
+        :: acc
+      else acc
+    | Ast.Assign (x, e) | Ast.Declassify (x, e, _) ->
+      let count = occurrences shared e + if Sset.mem x shared then 1 else 0 in
+      if count > 1 then
+        warning s.span
+          (Printf.sprintf
+             "assignment makes %d references to variables modified by concurrent \
+              processes; the paper requires at most one for non-indivisible execution"
+             count)
+        :: acc
+      else acc
+    | Ast.If (cond, then_, else_) ->
+      let acc = expr_check s.span shared cond acc in
+      leaf_checks shared then_ acc |> leaf_checks shared else_
+    | Ast.While (cond, body) ->
+      let acc = expr_check s.span shared cond acc in
+      leaf_checks shared body acc
+    | Ast.Seq stmts -> List.fold_left (fun acc s -> leaf_checks shared s acc) acc stmts
+    | Ast.Cobegin branches ->
+      (* Nested cobegins are re-analysed at their own node below; their
+         branches also inherit the enclosing shared set. *)
+      List.fold_left (fun acc b -> leaf_checks shared b acc) acc branches
+  and expr_check span shared e acc =
+    let count = occurrences shared e in
+    if count > 1 then
+      warning span
+        (Printf.sprintf
+           "expression makes %d references to variables modified by concurrent processes"
+           count)
+      :: acc
+    else acc
+  in
+  let rec go (s : Ast.stmt) acc =
+    match s.node with
+    | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _
+    | Ast.Signal _ ->
+      acc
+    | Ast.If (_, then_, else_) -> go then_ acc |> go else_
+    | Ast.While (_, body) -> go body acc
+    | Ast.Seq stmts -> List.fold_left (fun acc s -> go s acc) acc stmts
+    | Ast.Cobegin branches ->
+      let mods = List.map Vars.modified branches in
+      let acc =
+        List.fold_left
+          (fun acc (i, branch) ->
+            let shared =
+              List.concat
+                (List.filteri (fun j _ -> j <> i) (List.map Sset.elements mods))
+              |> Sset.of_list
+            in
+            leaf_checks shared branch acc)
+          acc
+          (List.mapi (fun i b -> (i, b)) branches)
+      in
+      List.fold_left (fun acc b -> go b acc) acc branches
+  in
+  go body []
+
+let duplicate_issues (p : Ast.program) =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun decl ->
+      let name =
+        match decl with
+        | Ast.Var_decl { name; _ } | Ast.Arr_decl { name; _ } | Ast.Sem_decl { name; _ }
+          ->
+          name
+      in
+      if Hashtbl.mem seen name then
+        Some (error Loc.dummy (Printf.sprintf "duplicate declaration of %s" name))
+      else begin
+        Hashtbl.add seen name ();
+        None
+      end)
+    p.decls
+
+let init_issues (p : Ast.program) =
+  List.filter_map
+    (function
+      | Ast.Sem_decl { name; init; _ } when init < 0 ->
+        Some (error Loc.dummy (Printf.sprintf "semaphore %s has negative initial count" name))
+      | Ast.Arr_decl { name; size; _ } when size <= 0 ->
+        Some (error Loc.dummy (Printf.sprintf "array %s has non-positive size" name))
+      | Ast.Sem_decl _ | Ast.Var_decl _ | Ast.Arr_decl _ -> None)
+    p.decls
+
+let check (p : Ast.program) =
+  let vars, arrays, sems = Vars.declared p in
+  let issues =
+    duplicate_issues p @ init_issues p
+    @ usage_issues ~vars ~arrays ~sems p.body
+    @ atomicity_issues p.body
+  in
+  let severity_rank i = match i.severity with Error -> 0 | Warning -> 1 in
+  List.stable_sort (fun a b -> compare (severity_rank a) (severity_rank b)) issues
+
+let errors p = List.filter (fun i -> i.severity = Error) (check p)
+
+let is_valid p = errors p = []
+
+(* Names used in array position (Index/Store). *)
+let rec array_names (s : Ast.stmt) =
+  let rec of_expr = function
+    | Ast.Int _ | Ast.Bool _ | Ast.Var _ -> Sset.empty
+    | Ast.Index (a, i) -> Sset.add a (of_expr i)
+    | Ast.Unop (_, e) -> of_expr e
+    | Ast.Binop (_, e1, e2) -> Sset.union (of_expr e1) (of_expr e2)
+  in
+  match s.node with
+  | Ast.Skip | Ast.Wait _ | Ast.Signal _ -> Sset.empty
+  | Ast.Assign (_, e) | Ast.Declassify (_, e, _) -> of_expr e
+  | Ast.Store (a, i, e) -> Sset.add a (Sset.union (of_expr i) (of_expr e))
+  | Ast.If (cond, t, f) ->
+    Sset.union (of_expr cond) (Sset.union (array_names t) (array_names f))
+  | Ast.While (cond, b) -> Sset.union (of_expr cond) (array_names b)
+  | Ast.Seq ss | Ast.Cobegin ss ->
+    List.fold_left (fun acc s -> Sset.union acc (array_names s)) Sset.empty ss
+
+let default_array_size = 8
+
+let infer_decls (p : Ast.program) =
+  let vars, arrays, sems = Vars.declared p in
+  let known = Sset.union vars (Sset.union arrays sems) in
+  let used_sems = Vars.semaphores p.body in
+  let used_arrays = array_names p.body in
+  let used_all = Vars.all_vars p.body in
+  let missing_sems = Sset.diff used_sems known in
+  let missing_arrays = Sset.diff used_arrays known in
+  let missing_vars =
+    Sset.diff (Sset.diff (Sset.diff used_all used_sems) used_arrays) known
+  in
+  let new_decls =
+    List.map (fun name -> Ast.Var_decl { name; cls = None }) (Sset.elements missing_vars)
+    @ List.map
+        (fun name -> Ast.Arr_decl { name; size = default_array_size; cls = None })
+        (Sset.elements missing_arrays)
+    @ List.map
+        (fun name -> Ast.Sem_decl { name; init = 0; cls = None })
+        (Sset.elements missing_sems)
+  in
+  { p with decls = p.decls @ new_decls }

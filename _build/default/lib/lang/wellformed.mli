@@ -1,0 +1,32 @@
+(** Static well-formedness checks, independent of any security analysis.
+
+    Errors make a program meaningless (undeclared names, a semaphore used
+    in arithmetic); warnings flag violations of the paper's §2 atomicity
+    restriction — an expression or assignment referencing more than one
+    variable that another process can change is only sound if executed
+    indivisibly, which the paper allows but implementations avoid. *)
+
+type severity = Error | Warning
+
+type issue = { severity : severity; span : Loc.span; message : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check : Ast.program -> issue list
+(** [check p] returns all issues, errors first. *)
+
+val errors : Ast.program -> issue list
+(** [errors p] is [check p] restricted to severity [Error]. *)
+
+val is_valid : Ast.program -> bool
+(** [is_valid p] iff [errors p = []]. *)
+
+val default_array_size : int
+(** Size given to arrays synthesised by {!infer_decls} (8). *)
+
+val infer_decls : Ast.program -> Ast.program
+(** [infer_decls p] adds declarations for any name used but not declared:
+    names in [wait]/[signal] position become semaphores (initial count 0),
+    names in index position arrays (of {!default_array_size}), all others
+    integer variables. Existing declarations are kept. Useful for
+    programmatically built programs and test fixtures. *)

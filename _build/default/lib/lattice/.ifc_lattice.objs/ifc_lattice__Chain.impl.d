@@ -1,0 +1,1 @@
+lib/lattice/chain.ml: Array Fun Int Lattice List Printf String

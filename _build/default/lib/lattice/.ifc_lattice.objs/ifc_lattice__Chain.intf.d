@@ -1,0 +1,1 @@
+lib/lattice/chain.mli: Lattice

@@ -1,0 +1,1 @@
+lib/lattice/extended.ml: Fmt Lattice List Result String

@@ -1,0 +1,1 @@
+lib/lattice/extended.mli: Format Lattice

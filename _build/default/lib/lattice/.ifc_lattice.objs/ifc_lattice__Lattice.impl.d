@@ -1,0 +1,1 @@
+lib/lattice/lattice.ml: Array Buffer Fmt Fun Hashtbl List Printf Result String

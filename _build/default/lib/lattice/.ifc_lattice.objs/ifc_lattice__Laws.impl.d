@@ -1,0 +1,1 @@
+lib/lattice/laws.ml: Array Bool Ifc_support Lattice List Result String

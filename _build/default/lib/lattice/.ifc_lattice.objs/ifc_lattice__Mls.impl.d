@@ -1,0 +1,1 @@
+lib/lattice/mls.ml: Chain Lattice Powerset Printf Product String

@@ -1,0 +1,1 @@
+lib/lattice/mls.mli: Lattice

@@ -1,0 +1,1 @@
+lib/lattice/powerset.ml: Array Fun Hashtbl Int Lattice List Printf Result String

@@ -1,0 +1,1 @@
+lib/lattice/product.ml: Ifc_support Lattice Printf Result String

@@ -1,0 +1,1 @@
+lib/lattice/product.mli: Lattice

@@ -1,0 +1,1 @@
+lib/lattice/spec.ml: Buffer Fun Hashtbl Ifc_support In_channel Lattice List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/lattice/spec.mli: Lattice

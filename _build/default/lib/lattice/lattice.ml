@@ -1,0 +1,235 @@
+(* Finite security classification schemes (paper, Definition 1). See the
+   interface for the design discussion. *)
+
+type 'a t = {
+  name : string;
+  elements : 'a list;
+  equal : 'a -> 'a -> bool;
+  compare : 'a -> 'a -> int;
+  leq : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+  meet : 'a -> 'a -> 'a;
+  bottom : 'a;
+  top : 'a;
+  to_string : 'a -> string;
+  of_string : string -> ('a, string) result;
+}
+
+let pp l ppf x = Fmt.string ppf (l.to_string x)
+
+let mem l x = List.exists (l.equal x) l.elements
+
+let joins l xs = List.fold_left l.join l.bottom xs
+
+let meets l xs = List.fold_left l.meet l.top xs
+
+let lt l x y = l.leq x y && not (l.equal x y)
+
+let comparable l x y = l.leq x y || l.leq y x
+
+let covers l =
+  let strictly_between x y z = lt l x z && lt l z y in
+  List.concat_map
+    (fun x ->
+      List.filter_map
+        (fun y ->
+          if lt l x y && not (List.exists (strictly_between x y) l.elements)
+          then Some (x, y)
+          else None)
+        l.elements)
+    l.elements
+
+let height l =
+  (* Longest chain via memoised depth over the covering DAG. *)
+  let cov = covers l in
+  let tbl = Hashtbl.create 17 in
+  let rec depth x =
+    match Hashtbl.find_opt tbl (l.to_string x) with
+    | Some d -> d
+    | None ->
+      let ups = List.filter_map (fun (a, b) -> if l.equal a x then Some b else None) cov in
+      let d = List.fold_left (fun acc y -> max acc (1 + depth y)) 0 ups in
+      Hashtbl.add tbl (l.to_string x) d;
+      d
+  in
+  depth l.bottom
+
+let rename name l = { l with name }
+
+let to_dot l =
+  let buf = Buffer.create 256 in
+  let quote s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\"" in
+  Buffer.add_string buf "digraph lattice {\n  rankdir=BT;\n  node [shape=box];\n";
+  List.iter
+    (fun x -> Buffer.add_string buf (Printf.sprintf "  %s;\n" (quote (l.to_string x))))
+    l.elements;
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s;\n" (quote (l.to_string a)) (quote (l.to_string b))))
+    (covers l);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let dual ?name l =
+  {
+    l with
+    name = (match name with Some n -> n | None -> "dual(" ^ l.name ^ ")");
+    leq = (fun a b -> l.leq b a);
+    join = l.meet;
+    meet = l.join;
+    bottom = l.top;
+    top = l.bottom;
+  }
+
+let stringify l =
+  let parse s =
+    match l.of_string s with
+    | Ok x -> x
+    | Error msg -> invalid_arg ("Lattice.stringify: " ^ msg)
+  in
+  {
+    name = l.name;
+    elements = List.map l.to_string l.elements;
+    equal = String.equal;
+    compare = String.compare;
+    leq = (fun a b -> l.leq (parse a) (parse b));
+    join = (fun a b -> l.to_string (l.join (parse a) (parse b)));
+    meet = (fun a b -> l.to_string (l.meet (parse a) (parse b)));
+    bottom = l.to_string l.bottom;
+    top = l.to_string l.top;
+    to_string = Fun.id;
+    of_string =
+      (fun s -> Result.map l.to_string (l.of_string s));
+  }
+
+(* Build a lattice from an explicit order by searching for lubs/glbs.
+   We precompute nothing: [elements] lists stay small (construction from an
+   order is only used for parsed, user-defined schemes). *)
+let make_from_order ~name ~elements ~leq ~to_string =
+  let equal x y = leq x y && leq y x in
+  let ( let* ) = Result.bind in
+  let unique_bound ~what ~dir x y =
+    (* dir = true: least upper bound; dir = false: greatest lower bound. *)
+    let is_bound z = if dir then leq x z && leq y z else leq z x && leq z y in
+    let bounds = List.filter is_bound elements in
+    let extremal z =
+      List.for_all (fun w -> if dir then leq z w else leq w z) bounds
+    in
+    match List.filter extremal bounds with
+    | [ z ] -> Ok z
+    | [] ->
+      Error
+        (Printf.sprintf "%s: no %s for %s and %s" name what (to_string x) (to_string y))
+    | z :: _ as several ->
+      (* With antisymmetry this cannot happen; report it to diagnose bad
+         user-supplied orders rather than asserting. *)
+      if List.for_all (equal z) several then Ok z
+      else
+        Error
+          (Printf.sprintf "%s: multiple %ss for %s and %s" name what (to_string x)
+             (to_string y))
+  in
+  let* () =
+    if elements = [] then Error (name ^ ": empty carrier") else Ok ()
+  in
+  let* () =
+    let reflexive = List.for_all (fun x -> leq x x) elements in
+    if reflexive then Ok () else Error (name ^ ": order is not reflexive")
+  in
+  let* () =
+    let transitive =
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              List.for_all
+                (fun z -> (not (leq x y && leq y z)) || leq x z)
+                elements)
+            elements)
+        elements
+    in
+    if transitive then Ok () else Error (name ^ ": order is not transitive")
+  in
+  let* () =
+    let names = List.map to_string elements in
+    let sorted = List.sort_uniq String.compare names in
+    if List.length sorted = List.length names then Ok ()
+    else Error (name ^ ": duplicate element names")
+  in
+  (* Precompute the binary operation tables as association structures keyed
+     by element indices so the returned operations are O(n) worst case but
+     typically table lookups. *)
+  let arr = Array.of_list elements in
+  let n = Array.length arr in
+  let index x =
+    let rec go i = if i >= n then None else if equal arr.(i) x then Some i else go (i + 1) in
+    go 0
+  in
+  let* join_table =
+    let tbl = Array.make_matrix n n 0 in
+    let rec fill i j =
+      if i >= n then Ok tbl
+      else if j >= n then fill (i + 1) 0
+      else
+        let* z = unique_bound ~what:"least upper bound" ~dir:true arr.(i) arr.(j) in
+        match index z with
+        | Some k ->
+          tbl.(i).(j) <- k;
+          fill i (j + 1)
+        | None -> Error (name ^ ": internal index error")
+    in
+    fill 0 0
+  in
+  let* meet_table =
+    let tbl = Array.make_matrix n n 0 in
+    let rec fill i j =
+      if i >= n then Ok tbl
+      else if j >= n then fill (i + 1) 0
+      else
+        let* z = unique_bound ~what:"greatest lower bound" ~dir:false arr.(i) arr.(j) in
+        match index z with
+        | Some k ->
+          tbl.(i).(j) <- k;
+          fill i (j + 1)
+        | None -> Error (name ^ ": internal index error")
+    in
+    fill 0 0
+  in
+  let op table x y =
+    match (index x, index y) with
+    | Some i, Some j -> arr.(table.(i).(j))
+    | _ -> invalid_arg (name ^ ": element not in lattice")
+  in
+  let* bottom =
+    match List.filter (fun x -> List.for_all (leq x) elements) elements with
+    | [ b ] -> Ok b
+    | b :: _ as several when List.for_all (equal b) several -> Ok b
+    | _ -> Error (name ^ ": no minimum element")
+  in
+  let* top =
+    match List.filter (fun x -> List.for_all (fun y -> leq y x) elements) elements with
+    | [ t ] -> Ok t
+    | t :: _ as several when List.for_all (equal t) several -> Ok t
+    | _ -> Error (name ^ ": no maximum element")
+  in
+  let of_string s =
+    match List.find_opt (fun x -> String.equal (to_string x) s) elements with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "%s: unknown class %S" name s)
+  in
+  let compare x y = String.compare (to_string x) (to_string y) in
+  Ok
+    {
+      name;
+      elements;
+      equal;
+      compare;
+      leq;
+      join = op join_table;
+      meet = op meet_table;
+      bottom;
+      top;
+      to_string;
+      of_string;
+    }

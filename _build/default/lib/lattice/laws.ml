@@ -1,0 +1,124 @@
+(* Validation of the lattice axioms over a finite carrier. *)
+
+type violation = { law : string; witness : string }
+
+let laws =
+  [
+    "leq-reflexive";
+    "leq-antisymmetric";
+    "leq-transitive";
+    "join-upper-bound";
+    "join-least";
+    "meet-lower-bound";
+    "meet-greatest";
+    "join-commutative";
+    "meet-commutative";
+    "join-associative";
+    "meet-associative";
+    "join-idempotent";
+    "meet-idempotent";
+    "absorption";
+    "bottom-least";
+    "top-greatest";
+    "leq-join-consistent";
+  ]
+
+let check ?(sample = 64) ?(seed = 0) (l : 'a Lattice.t) =
+  let open Lattice in
+  let pp x = l.to_string x in
+  let elements =
+    if List.length l.elements <= sample then l.elements
+    else begin
+      let rng = Ifc_support.Prng.create seed in
+      let arr = Array.of_list l.elements in
+      List.init sample (fun _ -> arr.(Ifc_support.Prng.int rng (Array.length arr)))
+      |> List.cons l.bottom
+      |> List.cons l.top
+    end
+  in
+  let fail law witness = Error { law; witness } in
+  let check1 law pred =
+    let rec go = function
+      | [] -> Ok ()
+      | x :: rest -> if pred x then go rest else fail law (pp x)
+    in
+    go elements
+  in
+  let check2 law pred =
+    let rec go = function
+      | [] -> Ok ()
+      | x :: rest ->
+        let rec inner = function
+          | [] -> go rest
+          | y :: more ->
+            if pred x y then inner more else fail law (pp x ^ ", " ^ pp y)
+        in
+        inner elements
+    in
+    go elements
+  in
+  let check3 law pred =
+    let rec go = function
+      | [] -> Ok ()
+      | x :: rest ->
+        let rec mid = function
+          | [] -> go rest
+          | y :: more ->
+            let rec inner = function
+              | [] -> mid more
+              | z :: zs ->
+                if pred x y z then inner zs
+                else fail law (String.concat ", " [ pp x; pp y; pp z ])
+            in
+            inner elements
+        in
+        mid elements
+    in
+    go elements
+  in
+  let ( let* ) = Result.bind in
+  let* () = check1 "leq-reflexive" (fun x -> l.leq x x) in
+  let* () =
+    check2 "leq-antisymmetric" (fun x y -> (not (l.leq x y && l.leq y x)) || l.equal x y)
+  in
+  let* () =
+    check3 "leq-transitive" (fun x y z -> (not (l.leq x y && l.leq y z)) || l.leq x z)
+  in
+  let* () =
+    check2 "join-upper-bound" (fun x y ->
+        let j = l.join x y in
+        l.leq x j && l.leq y j)
+  in
+  let* () =
+    check3 "join-least" (fun x y z ->
+        (not (l.leq x z && l.leq y z)) || l.leq (l.join x y) z)
+  in
+  let* () =
+    check2 "meet-lower-bound" (fun x y ->
+        let m = l.meet x y in
+        l.leq m x && l.leq m y)
+  in
+  let* () =
+    check3 "meet-greatest" (fun x y z ->
+        (not (l.leq z x && l.leq z y)) || l.leq z (l.meet x y))
+  in
+  let* () = check2 "join-commutative" (fun x y -> l.equal (l.join x y) (l.join y x)) in
+  let* () = check2 "meet-commutative" (fun x y -> l.equal (l.meet x y) (l.meet y x)) in
+  let* () =
+    check3 "join-associative" (fun x y z ->
+        l.equal (l.join x (l.join y z)) (l.join (l.join x y) z))
+  in
+  let* () =
+    check3 "meet-associative" (fun x y z ->
+        l.equal (l.meet x (l.meet y z)) (l.meet (l.meet x y) z))
+  in
+  let* () = check1 "join-idempotent" (fun x -> l.equal (l.join x x) x) in
+  let* () = check1 "meet-idempotent" (fun x -> l.equal (l.meet x x) x) in
+  let* () =
+    check2 "absorption" (fun x y ->
+        l.equal (l.join x (l.meet x y)) x && l.equal (l.meet x (l.join x y)) x)
+  in
+  let* () = check1 "bottom-least" (fun x -> l.leq l.bottom x) in
+  let* () = check1 "top-greatest" (fun x -> l.leq x l.top) in
+  check2 "leq-join-consistent" (fun x y ->
+      Bool.equal (l.leq x y) (l.equal (l.join x y) y))

@@ -1,0 +1,22 @@
+(** Lattice law validation.
+
+    Definition 1 requires a *complete lattice*; for a finite carrier that is
+    equivalent to the usual lattice axioms plus extrema. This module checks
+    them, exhaustively when the carrier is small and on a deterministic
+    sample otherwise, and reports the first counterexample found. It backs
+    both the construction-time validation of parsed schemes and the
+    property-based test suite. *)
+
+type violation = {
+  law : string;  (** Name of the violated law, e.g. ["join-commutative"]. *)
+  witness : string;  (** Printed elements witnessing the violation. *)
+}
+
+val check : ?sample:int -> ?seed:int -> 'a Lattice.t -> (unit, violation) result
+(** [check l] validates all laws. When [l] has more than [sample] (default
+    64) elements, triples are drawn pseudo-randomly from seed [seed]
+    (default 0) instead of enumerated; the check is then probabilistic but
+    deterministic. *)
+
+val laws : string list
+(** Names of all checked laws, for reporting. *)

@@ -1,0 +1,24 @@
+(* Multi-level security lattices: chain of levels x powerset of categories. *)
+
+type elt = int * int
+
+let make ?name ~levels ~categories () =
+  let chain = Chain.make levels in
+  let cats = Powerset.make categories in
+  let name =
+    match name with
+    | Some s -> s
+    | None ->
+      Printf.sprintf "mls(%s; %s)" (String.concat "<" levels) (String.concat "," categories)
+  in
+  Product.make ~name chain cats
+
+let label (l : elt Lattice.t) s =
+  match l.Lattice.of_string s with
+  | Ok x -> x
+  | Error msg -> invalid_arg ("Mls.label: " ^ msg)
+
+let standard =
+  make ~name:"mls-standard"
+    ~levels:[ "unclassified"; "confidential"; "secret"; "topsecret" ]
+    ~categories:[ "NUC"; "EUR"; "ASI" ] ()

@@ -1,0 +1,23 @@
+(** Multi-level security schemes: hierarchical level × category set.
+
+    The classic Bell–LaPadula / Denning lattice: an element is a pair of a
+    clearance level and a compartment set; [l1 <= l2] iff the level is no
+    higher and the compartments are included. Labels read and print as
+    ["SECRET:{NUC,EUR}"]. *)
+
+type elt = int * int
+(** Level index paired with a category bitmask. *)
+
+val make : ?name:string -> levels:string list -> categories:string list -> unit -> elt Lattice.t
+(** [make ~levels ~categories ()] is the MLS lattice. [levels] are ordered
+    least-sensitive first. Constraints on sizes are those of {!Chain.make}
+    and {!Powerset.make}. *)
+
+val label : elt Lattice.t -> string -> elt
+(** [label l s] parses label [s], raising [Invalid_argument] on failure —
+    a convenience for examples and tests where labels are literals. *)
+
+val standard : elt Lattice.t
+(** A ready-made 4-level, 3-category scheme
+    (levels [unclassified..topsecret], categories [NUC, EUR, ASI]) used in
+    examples and benchmarks. *)

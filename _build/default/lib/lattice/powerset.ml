@@ -1,0 +1,90 @@
+(* Powerset lattices over a finite category set, as bitmasks. *)
+
+let max_categories = 20
+
+(* The category array is recovered from the printed form, so we keep a
+   registry keyed by lattice name to implement [of_categories]/[categories]
+   without widening the Lattice.t record. *)
+let registry : (string, string array) Hashtbl.t = Hashtbl.create 7
+
+let make ?name cats =
+  if cats = [] then invalid_arg "Powerset.make: empty category list";
+  let arr = Array.of_list cats in
+  let n = Array.length arr in
+  if n > max_categories then invalid_arg "Powerset.make: too many categories";
+  if List.length (List.sort_uniq String.compare cats) <> n then
+    invalid_arg "Powerset.make: duplicate categories";
+  let name =
+    match name with
+    | Some s -> s
+    | None -> "powerset(" ^ String.concat "," cats ^ ")"
+  in
+  Hashtbl.replace registry name arr;
+  let full = (1 lsl n) - 1 in
+  let to_string x =
+    let present = ref [] in
+    for i = n - 1 downto 0 do
+      if x land (1 lsl i) <> 0 then present := arr.(i) :: !present
+    done;
+    "{" ^ String.concat "," !present ^ "}"
+  in
+  let of_string s =
+    let s = String.trim s in
+    let len = String.length s in
+    if len < 2 || s.[0] <> '{' || s.[len - 1] <> '}' then
+      Error (Printf.sprintf "%s: expected {cat,...}, got %S" name s)
+    else
+      let inner = String.trim (String.sub s 1 (len - 2)) in
+      if inner = "" then Ok 0
+      else
+        let parts = String.split_on_char ',' inner |> List.map String.trim in
+        List.fold_left
+          (fun acc part ->
+            Result.bind acc (fun mask ->
+                let rec find i =
+                  if i >= n then Error (Printf.sprintf "%s: unknown category %S" name part)
+                  else if String.equal arr.(i) part then Ok (mask lor (1 lsl i))
+                  else find (i + 1)
+                in
+                find 0))
+          (Ok 0) parts
+  in
+  {
+    Lattice.name;
+    elements = List.init (full + 1) Fun.id;
+    equal = Int.equal;
+    compare = Int.compare;
+    leq = (fun x y -> x land y = x);
+    join = ( lor );
+    meet = ( land );
+    bottom = 0;
+    top = full;
+    to_string;
+    of_string;
+  }
+
+let lookup (l : int Lattice.t) =
+  match Hashtbl.find_opt registry l.Lattice.name with
+  | Some arr -> arr
+  | None -> invalid_arg "Powerset: not a powerset lattice"
+
+let of_categories l names =
+  let arr = lookup l in
+  List.fold_left
+    (fun mask cat ->
+      let rec find i =
+        if i >= Array.length arr then
+          invalid_arg (Printf.sprintf "Powerset.of_categories: unknown %S" cat)
+        else if String.equal arr.(i) cat then mask lor (1 lsl i)
+        else find (i + 1)
+      in
+      find 0)
+    0 names
+
+let categories l x =
+  let arr = lookup l in
+  let present = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if x land (1 lsl i) <> 0 then present := arr.(i) :: !present
+  done;
+  !present

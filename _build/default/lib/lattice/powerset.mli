@@ -1,0 +1,20 @@
+(** Powerset (category / compartment) classification schemes.
+
+    The lattice of subsets of a finite category set, ordered by inclusion:
+    Denning's "need-to-know" compartments. Elements are bitmasks over the
+    category array, so [join]/[meet] are single word operations and the
+    scheme scales to thousands of elements for benchmarking. *)
+
+val make : ?name:string -> string list -> int Lattice.t
+(** [make categories] is the powerset lattice over [categories]. The element
+    representation is a bitmask; bit [i] set means category [i] is present.
+    At most 20 categories (2^20 elements are enumerated in [elements]).
+    Raises [Invalid_argument] on empty, duplicate, or too many categories.
+    Textual form is [{A,B}]; the empty set prints as [{}]. *)
+
+val of_categories : int Lattice.t -> string list -> int
+(** [of_categories l names] is the element of [l] holding exactly [names].
+    Raises [Invalid_argument] for unknown category names. *)
+
+val categories : int Lattice.t -> int -> string list
+(** [categories l x] lists the categories present in [x]. *)

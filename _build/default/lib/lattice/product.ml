@@ -1,0 +1,34 @@
+(* Componentwise products of classification schemes. *)
+
+let make ?name (l : 'a Lattice.t) (r : 'b Lattice.t) =
+  let name =
+    match name with
+    | Some s -> s
+    | None -> Printf.sprintf "%s x %s" l.Lattice.name r.Lattice.name
+  in
+  let to_string (a, b) = l.to_string a ^ ":" ^ r.to_string b in
+  let of_string s =
+    match String.index_opt s ':' with
+    | None -> Error (Printf.sprintf "%s: expected left:right, got %S" name s)
+    | Some i ->
+      let left = String.sub s 0 i
+      and right = String.sub s (i + 1) (String.length s - i - 1) in
+      Result.bind (l.of_string left) (fun a ->
+          Result.map (fun b -> (a, b)) (r.of_string right))
+  in
+  {
+    Lattice.name;
+    elements = Ifc_support.Listx.cartesian l.elements r.elements;
+    equal = (fun (a1, b1) (a2, b2) -> l.equal a1 a2 && r.equal b1 b2);
+    compare =
+      (fun (a1, b1) (a2, b2) ->
+        let c = l.compare a1 a2 in
+        if c <> 0 then c else r.compare b1 b2);
+    leq = (fun (a1, b1) (a2, b2) -> l.leq a1 a2 && r.leq b1 b2);
+    join = (fun (a1, b1) (a2, b2) -> (l.join a1 a2, r.join b1 b2));
+    meet = (fun (a1, b1) (a2, b2) -> (l.meet a1 a2, r.meet b1 b2));
+    bottom = (l.bottom, r.bottom);
+    top = (l.top, r.top);
+    to_string;
+    of_string;
+  }

@@ -1,0 +1,10 @@
+(** Product of two classification schemes, ordered componentwise.
+
+    Products model orthogonal policy dimensions: e.g. sensitivity level on
+    one axis and integrity or compartments on the other. *)
+
+val make : ?name:string -> 'a Lattice.t -> 'b Lattice.t -> ('a * 'b) Lattice.t
+(** [make l r] is the product lattice. [elements] is the full cartesian
+    product, so its size is [|l| * |r|]. The textual form is
+    ["<left>:<right>"] where [<left>] is an element of [l] and [<right>] of
+    [r]; parsing splits on the first [':']. *)

@@ -1,0 +1,131 @@
+(* Text format for user-defined classification schemes. *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char ',')
+  |> List.map String.trim
+  |> List.filter (fun w -> w <> "")
+
+(* One "order:" clause is a comma-separated list of chains "a < b < c". *)
+let parse_order_clause ~lineno clause =
+  let chains = String.split_on_char ',' clause in
+  List.fold_left
+    (fun acc chain ->
+      Result.bind acc (fun edges ->
+          let parts =
+            String.split_on_char '<' chain |> List.map String.trim
+            |> List.filter (fun w -> w <> "")
+          in
+          match parts with
+          | [] | [ _ ] ->
+            Error (Printf.sprintf "line %d: expected a < b [< c ...] in order clause" lineno)
+          | first :: rest ->
+            let rec link prev acc = function
+              | [] -> Ok acc
+              | x :: more -> link x ((prev, x) :: acc) more
+            in
+            link first edges rest))
+    (Ok []) chains
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let state =
+    List.fold_left
+      (fun acc (lineno, raw) ->
+        Result.bind acc (fun (name, elements, edges) ->
+            let line = String.trim (strip_comment raw) in
+            if line = "" then Ok (name, elements, edges)
+            else
+              let prefixed p =
+                if String.length line >= String.length p
+                   && String.equal (String.sub line 0 (String.length p)) p
+                then Some (String.trim (String.sub line (String.length p)
+                                          (String.length line - String.length p)))
+                else None
+              in
+              match prefixed "lattice" with
+              | Some rest when rest <> "" -> Ok (Some rest, elements, edges)
+              | _ -> (
+                match prefixed "elements:" with
+                | Some rest -> Ok (name, elements @ split_words rest, edges)
+                | None -> (
+                  match prefixed "order:" with
+                  | Some rest ->
+                    Result.map
+                      (fun new_edges -> (name, elements, new_edges @ edges))
+                      (parse_order_clause ~lineno rest)
+                  | None ->
+                    Error (Printf.sprintf "line %d: unrecognised directive %S" lineno line)))))
+      (Ok (None, [], []))
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  Result.bind state (fun (name, elements, edges) ->
+      let name = Option.value name ~default:"user-lattice" in
+      if elements = [] then Error (name ^ ": no elements declared")
+      else
+        let missing =
+          List.filter
+            (fun (a, b) -> not (List.mem a elements && List.mem b elements))
+            edges
+        in
+        match missing with
+        | (a, b) :: _ ->
+          Error
+            (Printf.sprintf "%s: order mentions undeclared element in %s < %s" name a b)
+        | [] ->
+          (* Reflexive-transitive closure by fixpoint over the edge list. *)
+          let leq_tbl = Hashtbl.create 64 in
+          let set a b = Hashtbl.replace leq_tbl (a, b) () in
+          List.iter (fun e -> set e e) elements;
+          List.iter (fun (a, b) -> set a b) edges;
+          let changed = ref true in
+          while !changed do
+            changed := false;
+            List.iter
+              (fun a ->
+                List.iter
+                  (fun b ->
+                    if Hashtbl.mem leq_tbl (a, b) then
+                      List.iter
+                        (fun c ->
+                          if Hashtbl.mem leq_tbl (b, c) && not (Hashtbl.mem leq_tbl (a, c))
+                          then begin
+                            set a c;
+                            changed := true
+                          end)
+                        elements)
+                  elements)
+              elements
+          done;
+          let leq a b = Hashtbl.mem leq_tbl (a, b) in
+          (* Antisymmetry check: a declared cycle would collapse classes. *)
+          let cycle =
+            List.find_opt
+              (fun (a, b) -> not (String.equal a b) && leq a b && leq b a)
+              (Ifc_support.Listx.cartesian elements elements)
+          in
+          (match cycle with
+          | Some (a, b) ->
+            Error (Printf.sprintf "%s: order cycle between %s and %s" name a b)
+          | None ->
+            Lattice.make_from_order ~name ~elements ~leq ~to_string:Fun.id))
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let to_text (l : string Lattice.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("lattice " ^ l.Lattice.name ^ "\n");
+  Buffer.add_string buf ("elements: " ^ String.concat " " l.elements ^ "\n");
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "order: %s < %s\n" a b))
+    (Lattice.covers l);
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Parser for user-defined classification schemes.
+
+    A small text format lets CLI users supply their own lattice:
+
+    {v
+    # Anything after '#' is a comment.
+    lattice corporate
+    elements: public internal secret board
+    order: public < internal < secret
+    order: internal < board
+    order: board < top
+    order: secret < top
+    elements: top
+    v}
+
+    The declared order is closed reflexively and transitively, then
+    validated to be a lattice (unique lubs/glbs, extrema) by
+    {!Lattice.make_from_order}; elements are strings. *)
+
+val parse : string -> (string Lattice.t, string) result
+(** [parse text] parses and validates a scheme from [text]. The error
+    message carries a line number for syntax errors and a law/witness
+    description for structural ones. *)
+
+val parse_file : string -> (string Lattice.t, string) result
+(** [parse_file path] reads [path] and applies {!parse}. *)
+
+val to_text : string Lattice.t -> string
+(** [to_text l] renders [l] back in the specification format (covering
+    edges only); [parse (to_text l)] reconstructs an order-isomorphic
+    scheme. *)

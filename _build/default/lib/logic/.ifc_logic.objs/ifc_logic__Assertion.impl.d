@@ -1,0 +1,1 @@
+lib/logic/assertion.ml: Cexpr Fmt Ifc_core Ifc_lattice Ifc_support List Option String

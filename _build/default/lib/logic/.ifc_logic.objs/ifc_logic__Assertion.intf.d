@@ -1,0 +1,1 @@
+lib/logic/assertion.mli: Cexpr Format Ifc_core Ifc_lattice

@@ -1,0 +1,1 @@
+lib/logic/cexpr.ml: Fmt Ifc_lang Ifc_lattice List String

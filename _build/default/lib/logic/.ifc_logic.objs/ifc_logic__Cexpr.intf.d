@@ -1,0 +1,1 @@
+lib/logic/cexpr.mli: Format Ifc_lang Ifc_lattice

@@ -1,0 +1,1 @@
+lib/logic/check.ml: Assertion Cexpr Entail Fmt Ifc_lang Ifc_lattice List Proof Result String

@@ -1,0 +1,1 @@
+lib/logic/check.mli: Format Ifc_lang Ifc_lattice Proof

@@ -1,0 +1,1 @@
+lib/logic/entail.ml: Array Assertion Cexpr Ifc_lattice List Printf

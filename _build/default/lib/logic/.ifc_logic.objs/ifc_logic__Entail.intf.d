@@ -1,0 +1,1 @@
+lib/logic/entail.mli: Assertion Ifc_lattice

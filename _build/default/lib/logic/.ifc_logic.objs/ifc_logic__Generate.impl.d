@@ -1,0 +1,1 @@
+lib/logic/generate.ml: Assertion Cexpr Ifc_core Ifc_lang Ifc_lattice Ifc_support List Option Proof String

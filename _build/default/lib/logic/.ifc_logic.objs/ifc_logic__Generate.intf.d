@@ -1,0 +1,1 @@
+lib/logic/generate.mli: Assertion Ifc_core Ifc_lang Proof

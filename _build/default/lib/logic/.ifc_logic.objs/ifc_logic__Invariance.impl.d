@@ -1,0 +1,1 @@
+lib/logic/invariance.ml: Check Generate Ifc_core Ifc_lattice

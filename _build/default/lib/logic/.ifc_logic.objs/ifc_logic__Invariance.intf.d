@@ -1,0 +1,1 @@
+lib/logic/invariance.mli: Check Ifc_core Ifc_lang Proof

@@ -1,0 +1,1 @@
+lib/logic/proof.ml: Assertion Fmt Ifc_lang Ifc_lattice List String

@@ -1,0 +1,1 @@
+lib/logic/proof.mli: Assertion Format Ifc_lang Ifc_lattice

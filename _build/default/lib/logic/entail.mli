@@ -1,0 +1,28 @@
+(** Entailment between flow assertions ([P |- Q], paper §3.1).
+
+    Two procedures:
+
+    - {!check} — a sound syntactic derivation search: decompose each goal
+      atom's left join and discharge the pieces by join-upper-bound,
+      constant comparison, and transitive chaining through hypotheses. It
+      validates every entailment the Theorem-1 construction produces, and
+      never accepts a false entailment (the property suite tests it against
+      {!decide}).
+
+    - {!decide} — sound and complete for the assertion language, by
+      enumerating all valuations of the free symbols over the (finite)
+      scheme: [P |- Q] iff every valuation satisfying [P] satisfies [Q].
+      Exponential, so bounded by [max_valuations]; intended for tests and
+      small problems. *)
+
+val check : 'a Ifc_lattice.Lattice.t -> 'a Assertion.t -> 'a Assertion.t -> bool
+(** Sound, incomplete, fast. *)
+
+val decide :
+  ?max_valuations:int ->
+  'a Ifc_lattice.Lattice.t ->
+  'a Assertion.t ->
+  'a Assertion.t ->
+  (bool, string) result
+(** Sound and complete; [Error _] when the valuation count would exceed
+    [max_valuations] (default [200_000]). *)

@@ -1,0 +1,169 @@
+(* The Theorem 1 construction: from CFM facts to a completely invariant
+   flow proof. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Extended = Ifc_lattice.Extended
+module Ast = Ifc_lang.Ast
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+
+let invariant_of binding stmt =
+  let vars = Ifc_support.Sset.elements (Ifc_lang.Vars.all_vars stmt) in
+  Assertion.policy binding vars
+
+let theorem1 ?l:l0 ?g:g0 binding stmt =
+  let lat = Binding.lattice binding in
+  let bot = lat.Lattice.bottom in
+  let l0 = Option.value l0 ~default:bot in
+  let g0 = Option.value g0 ~default:bot in
+  let inv = invariant_of binding stmt in
+  let state l g =
+    Assertion.of_triple
+      { Assertion.v = inv; l = Cexpr.Const l; g = Cexpr.Const g }
+  in
+  let flow_const s =
+    Extended.get ~default:bot (Cfm.flow_of binding s)
+  in
+  (* Weaken a proof's post to {I, l, g'} (g' must be >= its post bound). *)
+  let weaken_post ~l ~g' (p : 'a Proof.t) =
+    if Assertion.equal lat p.Proof.post (state l g') then p
+    else
+      Proof.make ~pre:p.Proof.pre ~stmt:p.Proof.stmt ~post:(state l g')
+        (Proof.Consequence p)
+  in
+  (* Strengthen a proof's pre from {I, l, g_small}. *)
+  let strengthen_pre ~pre (p : 'a Proof.t) =
+    if Assertion.equal lat p.Proof.pre pre then p
+    else Proof.make ~pre ~stmt:p.Proof.stmt ~post:p.Proof.post (Proof.Consequence p)
+  in
+  (* Returns the derivation of {I,l,g} s {I,l,g_out} and g_out. *)
+  let rec gen l g (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Skip ->
+      (Proof.make ~pre:(state l g) ~stmt:s ~post:(state l g) Proof.Axiom_skip, g)
+    | Ast.Assign (x, e) ->
+      let post = state l g in
+      let rhs = Cexpr.Join (Cexpr.of_expr lat e, Cexpr.Join (Cexpr.Local, Cexpr.Global)) in
+      let sigma sym =
+        match sym with
+        | Cexpr.S_cls v when String.equal v x -> Some rhs
+        | Cexpr.S_cls _ | Cexpr.S_local | Cexpr.S_global -> None
+      in
+      let axiom =
+        Proof.make ~pre:(Assertion.subst sigma post) ~stmt:s ~post Proof.Axiom_assign
+      in
+      (strengthen_pre ~pre:(state l g) axiom, g)
+    | Ast.Declassify (x, _, cls) ->
+      let named =
+        match lat.Lattice.of_string cls with
+        | Ok c -> c
+        | Error _ -> lat.Lattice.top
+      in
+      let post = state l g in
+      let rhs =
+        Cexpr.Join (Cexpr.Const named, Cexpr.Join (Cexpr.Local, Cexpr.Global))
+      in
+      let sigma sym =
+        match sym with
+        | Cexpr.S_cls v when String.equal v x -> Some rhs
+        | Cexpr.S_cls _ | Cexpr.S_local | Cexpr.S_global -> None
+      in
+      let axiom =
+        Proof.make ~pre:(Assertion.subst sigma post) ~stmt:s ~post Proof.Axiom_assign
+      in
+      (strengthen_pre ~pre:(state l g) axiom, g)
+    | Ast.Store (a, i, e) ->
+      (* Weak update: the array keeps its old class, joined with the
+         index, the stored expression and the certification variables. *)
+      let post = state l g in
+      let written = Cexpr.Join (Cexpr.of_expr lat i, Cexpr.of_expr lat e) in
+      let rhs =
+        Cexpr.Join
+          (Cexpr.Cls a, Cexpr.Join (written, Cexpr.Join (Cexpr.Local, Cexpr.Global)))
+      in
+      let sigma sym =
+        match sym with
+        | Cexpr.S_cls v when String.equal v a -> Some rhs
+        | Cexpr.S_cls _ | Cexpr.S_local | Cexpr.S_global -> None
+      in
+      let axiom =
+        Proof.make ~pre:(Assertion.subst sigma post) ~stmt:s ~post Proof.Axiom_assign
+      in
+      (strengthen_pre ~pre:(state l g) axiom, g)
+    | Ast.Signal sem ->
+      let post = state l g in
+      let rhs = Cexpr.Join (Cexpr.Cls sem, Cexpr.Join (Cexpr.Local, Cexpr.Global)) in
+      let sigma sym =
+        match sym with
+        | Cexpr.S_cls v when String.equal v sem -> Some rhs
+        | Cexpr.S_cls _ | Cexpr.S_local | Cexpr.S_global -> None
+      in
+      let axiom =
+        Proof.make ~pre:(Assertion.subst sigma post) ~stmt:s ~post Proof.Axiom_signal
+      in
+      (strengthen_pre ~pre:(state l g) axiom, g)
+    | Ast.Wait sem ->
+      let g_out = lat.Lattice.join g (lat.Lattice.join l (Binding.sbind binding sem)) in
+      let post = state l g_out in
+      let rhs = Cexpr.Join (Cexpr.Cls sem, Cexpr.Join (Cexpr.Local, Cexpr.Global)) in
+      let sigma sym =
+        match sym with
+        | Cexpr.S_cls v when String.equal v sem -> Some rhs
+        | Cexpr.S_global -> Some rhs
+        | Cexpr.S_cls _ | Cexpr.S_local -> None
+      in
+      let axiom =
+        Proof.make ~pre:(Assertion.subst sigma post) ~stmt:s ~post Proof.Axiom_wait
+      in
+      (strengthen_pre ~pre:(state l g) axiom, g_out)
+    | Ast.If (cond, s1, s2) ->
+      let e_class = Binding.expr_class binding cond in
+      let l' = lat.Lattice.join l e_class in
+      let p1, g1 = gen l' g s1 in
+      let p2, g2 = gen l' g s2 in
+      let g' = lat.Lattice.join g1 g2 in
+      let p1 = weaken_post ~l:l' ~g' p1 in
+      let p2 = weaken_post ~l:l' ~g' p2 in
+      ( Proof.make ~pre:(state l g) ~stmt:s ~post:(state l g')
+          (Proof.Alternation (p1, p2)),
+        g' )
+    | Ast.While (cond, body) ->
+      let e_class = Binding.expr_class binding cond in
+      let l' = lat.Lattice.join l e_class in
+      (* The invariant global bound absorbs everything the body can add:
+         g (+) l (+) e (+) flow(body). *)
+      let g_inv =
+        lat.Lattice.join g (lat.Lattice.join l' (flow_const body))
+      in
+      let pb, _gb = gen l' g_inv body in
+      let pb = weaken_post ~l:l' ~g':g_inv pb in
+      let while_node =
+        Proof.make ~pre:(state l g_inv) ~stmt:s ~post:(state l g_inv)
+          (Proof.Iteration pb)
+      in
+      (strengthen_pre ~pre:(state l g) while_node, g_inv)
+    | Ast.Seq stmts ->
+      let proofs_rev, g_out =
+        List.fold_left
+          (fun (acc, g_cur) st ->
+            let p, g_next = gen l g_cur st in
+            (p :: acc, g_next))
+          ([], g) stmts
+      in
+      ( Proof.make ~pre:(state l g) ~stmt:s ~post:(state l g_out)
+          (Proof.Composition (List.rev proofs_rev)),
+        g_out )
+    | Ast.Cobegin branches ->
+      let results = List.map (gen l g) branches in
+      let g' = List.fold_left (fun acc (_, gi) -> lat.Lattice.join acc gi) g results in
+      let proofs = List.map (fun (p, _) -> weaken_post ~l ~g' p) results in
+      ( Proof.make ~pre:(state l g) ~stmt:s ~post:(state l g')
+          (Proof.Concurrency proofs),
+        g' )
+  in
+  let proof, _g_out = gen l0 g0 stmt in
+  (* Present the root judgment exactly as Theorem 1 states it. *)
+  let theorem_g =
+    lat.Lattice.join g0 (lat.Lattice.join l0 (flow_const stmt))
+  in
+  weaken_post ~l:l0 ~g':theorem_g proof

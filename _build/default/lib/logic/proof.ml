@@ -1,0 +1,75 @@
+(* Flow-proof derivations. *)
+
+module Lattice = Ifc_lattice.Lattice
+
+type 'a t = {
+  pre : 'a Assertion.t;
+  stmt : Ifc_lang.Ast.stmt;
+  post : 'a Assertion.t;
+  rule : 'a rule;
+}
+
+and 'a rule =
+  | Axiom_assign
+  | Axiom_wait
+  | Axiom_signal
+  | Axiom_skip
+  | Alternation of 'a t * 'a t
+  | Iteration of 'a t
+  | Composition of 'a t list
+  | Concurrency of 'a t list
+  | Consequence of 'a t
+
+let make ~pre ~stmt ~post rule = { pre; stmt; post; rule }
+
+let children p =
+  match p.rule with
+  | Axiom_assign | Axiom_wait | Axiom_signal | Axiom_skip -> []
+  | Alternation (a, b) -> [ a; b ]
+  | Iteration a | Consequence a -> [ a ]
+  | Composition ps | Concurrency ps -> ps
+
+let rec size p = 1 + List.fold_left (fun acc c -> acc + size c) 0 (children p)
+
+let rec nodes p = p :: List.concat_map nodes (children p)
+
+let assertions p = List.concat_map (fun n -> [ n.pre; n.post ]) (nodes p)
+
+let completely_invariant (l : 'a Lattice.t) ~invariant p =
+  let v_is_invariant assertion =
+    match Assertion.triple_of l assertion with
+    | None -> false
+    | Some { Assertion.v; _ } -> Assertion.equal l v invariant
+  in
+  (* Definition 7 constrains the precondition of every *statement
+     occurrence*; that is the outermost judgment for the occurrence, so a
+     consequence step's inner node (same statement, adjusted assertion) is
+     not itself an occurrence. *)
+  let rec skip_consequences n =
+    match n.rule with Consequence inner -> skip_consequences inner | _ -> n
+  in
+  let rec occurrence_ok n =
+    v_is_invariant n.pre
+    && List.for_all occurrence_ok (children (skip_consequences n))
+  in
+  occurrence_ok p && v_is_invariant p.post
+
+let rule_label = function
+  | Axiom_assign -> "assign"
+  | Axiom_wait -> "wait"
+  | Axiom_signal -> "signal"
+  | Axiom_skip -> "skip"
+  | Alternation _ -> "alternation"
+  | Iteration _ -> "iteration"
+  | Composition _ -> "composition"
+  | Concurrency _ -> "concurrency"
+  | Consequence _ -> "consequence"
+
+let rec pp (l : 'a Lattice.t) ppf p =
+  Fmt.pf ppf "@[<v 2>[%s] {%a}@ %s@ {%a}%a@]" (rule_label p.rule) (Assertion.pp l) p.pre
+    (String.concat " "
+       (String.split_on_char '\n' (Ifc_lang.Pretty.stmt_to_string p.stmt)))
+    (Assertion.pp l) p.post
+    (fun ppf children ->
+      List.iter (fun c -> Fmt.pf ppf "@ %a" (pp l) c) children)
+    (children p)

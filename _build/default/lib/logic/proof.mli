@@ -1,0 +1,48 @@
+(** Flow-proof derivations (paper §3, Figure 1).
+
+    A derivation is a tree of rule applications; every node carries its
+    full pre- and post-assertion so an independent checker ({!Check}) can
+    validate each application locally. [Axiom_skip] extends the logic with
+    [{P} skip {P}] to match the language extension (see DESIGN.md §3). *)
+
+type 'a t = {
+  pre : 'a Assertion.t;
+  stmt : Ifc_lang.Ast.stmt;
+  post : 'a Assertion.t;
+  rule : 'a rule;
+}
+
+and 'a rule =
+  | Axiom_assign
+  | Axiom_wait
+  | Axiom_signal
+  | Axiom_skip
+  | Alternation of 'a t * 'a t
+  | Iteration of 'a t
+  | Composition of 'a t list
+  | Concurrency of 'a t list
+  | Consequence of 'a t
+
+val make :
+  pre:'a Assertion.t -> stmt:Ifc_lang.Ast.stmt -> post:'a Assertion.t -> 'a rule -> 'a t
+
+val size : 'a t -> int
+(** Number of rule applications in the derivation. *)
+
+val children : 'a t -> 'a t list
+(** Immediate sub-derivations. *)
+
+val nodes : 'a t -> 'a t list
+(** Every node of the tree, preorder. *)
+
+val assertions : 'a t -> 'a Assertion.t list
+(** Every pre and post appearing in the derivation. *)
+
+val completely_invariant :
+  'a Ifc_lattice.Lattice.t -> invariant:'a Assertion.t -> 'a t -> bool
+(** Definition 7: every node's precondition (and the root's pre and post)
+    has [{V, L, G}] form with [V] equal to [invariant]. *)
+
+val pp : 'a Ifc_lattice.Lattice.t -> Format.formatter -> 'a t -> unit
+(** Renders the derivation as an indented outline, one judgment per rule
+    application. *)

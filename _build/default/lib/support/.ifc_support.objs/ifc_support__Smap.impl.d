@@ -1,0 +1,1 @@
+lib/support/smap.ml: Fmt List Map String

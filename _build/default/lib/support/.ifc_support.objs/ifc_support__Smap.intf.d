@@ -1,0 +1,1 @@
+lib/support/smap.mli: Fmt Format Map

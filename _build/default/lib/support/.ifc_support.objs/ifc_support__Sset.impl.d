@@ -1,0 +1,1 @@
+lib/support/sset.ml: Fmt Set String

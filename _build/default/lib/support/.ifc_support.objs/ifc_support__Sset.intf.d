@@ -1,0 +1,1 @@
+lib/support/sset.mli: Format Set

@@ -1,0 +1,59 @@
+(** List utilities missing from the standard library (OCaml 5.1). *)
+
+(** [fold_left_map1 f init xs] folds while also producing per-element
+    results, like [List.fold_left_map]. Re-exported for older call sites. *)
+let fold_left_map = List.fold_left_map
+
+(** [pairs xs] is the list of all ordered pairs [(xi, xj)] with [i < j]. *)
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+(** [cartesian xs ys] is the cartesian product, in row-major order. *)
+let cartesian xs ys =
+  List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+(** [sequences n xs] enumerates all length-[n] sequences over [xs]
+    (|xs|^n elements); used by the complete entailment decider. *)
+let rec sequences n xs =
+  if n <= 0 then [ [] ]
+  else
+    let rest = sequences (n - 1) xs in
+    List.concat_map (fun x -> List.map (fun seq -> x :: seq) rest) xs
+
+(** [take n xs] is the first [n] elements of [xs] (all of [xs] if shorter). *)
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(** [drop n xs] is [xs] without its first [n] elements. *)
+let rec drop n = function
+  | xs when n <= 0 -> xs
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+(** [index_of p xs] is the index of the first element satisfying [p]. *)
+let index_of p xs =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if p x then Some i else go (i + 1) rest
+  in
+  go 0 xs
+
+(** [dedup cmp xs] removes duplicates, keeping first occurrences and the
+    original order. Quadratic; fine for the small lists it is used on. *)
+let dedup compare xs =
+  let rec go seen = function
+    | [] -> []
+    | x :: rest ->
+      if List.exists (fun y -> compare x y = 0) seen then go seen rest
+      else x :: go (x :: seen) rest
+  in
+  go [] xs
+
+(** [transpose rows] transposes a rectangular list-of-lists. *)
+let rec transpose = function
+  | [] -> []
+  | [] :: _ -> []
+  | rows -> List.map List.hd rows :: transpose (List.map List.tl rows)

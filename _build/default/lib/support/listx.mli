@@ -1,0 +1,26 @@
+(** List utilities missing from the standard library. *)
+
+val fold_left_map :
+  ('acc -> 'a -> 'acc * 'b) -> 'acc -> 'a list -> 'acc * 'b list
+
+val pairs : 'a list -> ('a * 'a) list
+(** All ordered pairs [(xi, xj)] with [i < j]. *)
+
+val cartesian : 'a list -> 'b list -> ('a * 'b) list
+
+val sequences : int -> 'a list -> 'a list list
+(** [sequences n xs] enumerates all length-[n] sequences over [xs]
+    ([|xs|^n] of them); used by the complete entailment decider. *)
+
+val take : int -> 'a list -> 'a list
+
+val drop : int -> 'a list -> 'a list
+
+val index_of : ('a -> bool) -> 'a list -> int option
+
+val dedup : ('a -> 'a -> int) -> 'a list -> 'a list
+(** Remove duplicates (per the comparator), keeping first occurrences in
+    order. Quadratic; for short lists. *)
+
+val transpose : 'a list list -> 'a list list
+(** Transpose a rectangular list-of-lists. *)

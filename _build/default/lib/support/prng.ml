@@ -1,0 +1,78 @@
+(** A small, deterministic, splittable PRNG (SplitMix64).
+
+    The toolkit never uses global randomness: program generators, random
+    schedulers and noninterference testers all thread an explicit [t] so
+    every test and benchmark is reproducible from a seed.  SplitMix64 is
+    used because it is trivially splittable, which lets independent
+    subcomputations (e.g. the per-process choices of a random scheduler)
+    draw from decorrelated streams. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* Core SplitMix64 mixing function. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(** [split t] returns a fresh generator whose stream is decorrelated from
+    future draws of [t]. *)
+let split t =
+  let seed = next_int64 t in
+  { state = mix64 seed }
+
+(** [bits t] is a non-negative 62-bit random integer. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+let int t n =
+  assert (n > 0);
+  bits t mod n
+
+(** [bool t] is a uniform boolean. *)
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+let range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+(** [choose t xs] picks a uniform element of the non-empty list [xs]. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** [weighted t pairs] picks among [(weight, value)] pairs with probability
+    proportional to weight.  Weights must be positive. *)
+let weighted t pairs =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 pairs in
+  if total <= 0 then invalid_arg "Prng.weighted: non-positive total weight";
+  let rec pick n = function
+    | [] -> invalid_arg "Prng.weighted: empty list"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest -> if n < w then v else pick (n - w) rest
+  in
+  pick (int t total) pairs
+
+(** [shuffle t xs] is a uniformly random permutation of [xs]. *)
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

@@ -1,0 +1,39 @@
+(** A small, deterministic, splittable PRNG (SplitMix64).
+
+    The toolkit never uses global randomness: program generators, random
+    schedulers and noninterference testers all thread an explicit [t] so
+    every test and benchmark is reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy t] snapshots the state; the copy and the original then evolve
+    independently but identically. *)
+
+val split : t -> t
+(** [split t] returns a generator whose stream is decorrelated from
+    future draws of [t] — for handing to independent subcomputations. *)
+
+val bits : t -> int
+(** A non-negative 62-bit draw. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val bool : t -> bool
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** [(weight, value)] selection proportional to weight; weights must sum
+    to a positive total. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** A uniform permutation (Fisher–Yates). *)

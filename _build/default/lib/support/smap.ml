@@ -1,0 +1,24 @@
+(** String-keyed maps, the workhorse container of the toolkit.
+
+    Variables, semaphores and lattice element names are all strings, so a
+    single specialised map module keeps signatures readable everywhere. *)
+
+include Map.Make (String)
+
+(** [of_list kvs] builds a map from an association list; later bindings win. *)
+let of_list kvs = List.fold_left (fun m (k, v) -> add k v m) empty kvs
+
+(** [keys m] is the sorted list of keys of [m]. *)
+let keys m = fold (fun k _ acc -> k :: acc) m [] |> List.rev
+
+(** [values m] is the list of values of [m] in key order. *)
+let values m = fold (fun _ v acc -> v :: acc) m [] |> List.rev
+
+(** [find_or ~default k m] is the binding of [k], or [default] if absent. *)
+let find_or ~default k m = match find_opt k m with Some v -> v | None -> default
+
+(** [pp pp_v ppf m] prints [m] as [{k1 -> v1; k2 -> v2}] in key order. *)
+let pp pp_v ppf m =
+  let items = bindings m in
+  let pp_item ppf (k, v) = Fmt.pf ppf "%s -> %a" k pp_v v in
+  Fmt.pf ppf "@[<h>{%a}@]" (Fmt.list ~sep:(Fmt.any "; ") pp_item) items

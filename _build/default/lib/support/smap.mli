@@ -1,0 +1,20 @@
+(** String-keyed maps — the workhorse container of the toolkit.
+
+    Variables, arrays and semaphores are all named by strings, so one
+    specialised map module keeps signatures readable everywhere. *)
+
+include Map.S with type key = string
+
+val of_list : (string * 'a) list -> 'a t
+(** Later bindings win. *)
+
+val keys : 'a t -> string list
+(** Sorted. *)
+
+val values : 'a t -> 'a list
+(** In key order. *)
+
+val find_or : default:'a -> string -> 'a t -> 'a
+
+val pp : 'a Fmt.t -> Format.formatter -> 'a t -> unit
+(** Prints [{k1 -> v1; k2 -> v2}] in key order, on one line. *)

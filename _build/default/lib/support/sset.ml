@@ -1,0 +1,7 @@
+(** String sets (variable names, semaphore names). *)
+
+include Set.Make (String)
+
+(** [pp ppf s] prints [s] as [{a, b, c}]. *)
+let pp ppf s =
+  Fmt.pf ppf "@[<h>{%a}@]" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) (elements s)

@@ -1,0 +1,6 @@
+(** String sets (variable, array and semaphore names). *)
+
+include Set.S with type elt = string
+
+val pp : Format.formatter -> t -> unit
+(** Prints [{a, b, c}], sorted, on one line. *)

@@ -1,0 +1,1 @@
+test/qcheck_arbitrary.ml: Array Fmt Hashtbl Ifc_core Ifc_lang Ifc_lattice Ifc_support List QCheck Seq

@@ -1,0 +1,1 @@
+test/test_cfm.ml: Alcotest Array Fmt Ifc_core Ifc_lang Ifc_lattice Ifc_support List Result String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Ifc_core Ifc_lang Ifc_lattice Ifc_logic List

@@ -1,0 +1,1 @@
+test/test_declassify.ml: Alcotest Ifc_core Ifc_exec Ifc_lang Ifc_lattice Ifc_logic Ifc_support List Result

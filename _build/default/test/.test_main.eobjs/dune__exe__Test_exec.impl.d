@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Fmt Fun Ifc_core Ifc_exec Ifc_lang Ifc_lattice Ifc_support List Printf String

@@ -1,0 +1,1 @@
+test/test_flow_sensitive.ml: Alcotest Array Ifc_core Ifc_exec Ifc_lang Ifc_lattice Ifc_support List

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ifc_lang Ifc_support List Printf Result Seq

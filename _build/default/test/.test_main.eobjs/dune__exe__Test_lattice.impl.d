@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Fun Ifc_core Ifc_lang Ifc_lattice List QCheck QCheck_alcotest Result String

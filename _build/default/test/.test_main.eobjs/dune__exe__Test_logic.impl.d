@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Fmt Ifc_core Ifc_lang Ifc_lattice Ifc_logic Ifc_support List Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Bool Bytes Char Ifc_core Ifc_exec Ifc_lang Ifc_lattice Ifc_logic Ifc_support List QCheck QCheck_alcotest Qcheck_arbitrary Result Seq

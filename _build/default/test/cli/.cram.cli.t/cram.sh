@@ -1,0 +1,37 @@
+  $ ../../bin/ifc.exe check --binding leaky.bind fig3.ifc | head -15
+  $ ../../bin/ifc.exe check --binding leaky.bind fig3.ifc > /dev/null; echo "exit $?"
+  $ ../../bin/ifc.exe check --requirements fig3.ifc | grep -E 'sbind\((x|modify|m)\) <= sbind\((modify|m|y)\)$' | sort
+  $ ../../bin/ifc.exe denning --binding denning-friendly.bind fig3.ifc | head -2
+  $ ../../bin/ifc.exe check --binding denning-friendly.bind fig3.ifc | head -1
+  $ ../../bin/ifc.exe infer --fix x=high fig3.ifc
+  $ ../../bin/ifc.exe infer --fix x=high --fix y=low fig3.ifc; echo "exit $?"
+  $ ../../bin/ifc.exe prove fig3.ifc
+  $ ../../bin/ifc.exe prove --binding leaky.bind fig3.ifc | head -1
+  $ ../../bin/ifc.exe run --input x=0 fig3.ifc
+  $ ../../bin/ifc.exe run --input x=7 fig3.ifc
+  $ ../../bin/ifc.exe explore --input x=1 fig3.ifc | head -6
+  $ ../../bin/ifc.exe taint --binding leaky.bind --input x=0 fig3.ifc | tail -1; echo "exit $?"
+  $ ../../bin/ifc.exe ni --binding leaky.bind --pairs 4 fig3.ifc | head -1; echo "exit $?"
+  $ ../../bin/ifc.exe lattice corporate.lat
+  $ ../../bin/ifc.exe check --lattice corporate.lat --binding corporate.bind chain.ifc; echo "exit $?"
+  $ ../../bin/ifc.exe check --binding sec52.bind sec52.ifc | head -1
+  $ ../../bin/ifc.exe check --flow-sensitive --binding sec52.bind sec52.ifc | tail -1; echo "exit $?"
+  $ ../../bin/ifc.exe gen --size 8 --seed 3 2>/dev/null > g1.txt
+  $ ../../bin/ifc.exe gen --size 8 --seed 3 2>/dev/null > g2.txt
+  $ cmp g1.txt g2.txt && echo same
+  $ echo 'var x : integer; x := ' > bad.ifc
+  $ ../../bin/ifc.exe check bad.ifc; echo "exit $?"
+  $ echo 'y := 1' > undecl.ifc
+  $ ../../bin/ifc.exe check undecl.ifc; echo "exit $?"
+  $ printf 'var a : array(2) class low; h : integer class high;\na[h] := 1\n' > arr.ifc
+  $ ../../bin/ifc.exe check arr.ifc | grep -E 'verdict|store'; echo "exit $?"
+  $ printf 'var h : integer class high; y : integer class low;\ny := declassify h to low\n' > decl.ifc
+  $ ../../bin/ifc.exe check decl.ifc | grep verdict
+  $ printf 'var h : integer class high; y : integer class low;\nif h = 0 then y := declassify h to low fi\n' > decl2.ifc
+  $ ../../bin/ifc.exe check decl2.ifc | grep -E 'verdict|FAIL'
+  $ printf 'var x:integer;begin x:=1;if x=1 then x:=x+2 fi end' > messy.ifc
+  $ ../../bin/ifc.exe fmt messy.ifc | tee formatted.ifc
+  $ ../../bin/ifc.exe fmt formatted.ifc | cmp - formatted.ifc && echo idempotent
+  $ ../../bin/ifc.exe lattice two --dot
+  $ printf 'var x : integer; s : semaphore initially(0);\ncobegin begin wait(s); x := 1 end || signal(s) coend\n' > graph.ifc
+  $ ../../bin/ifc.exe explore --dot graph.ifc

@@ -1,0 +1,198 @@
+Golden tests for the ifc command-line driver, run against the paper's
+Figure 3 program (fig3.ifc) and friends.
+
+Certification with x secret and y public must fail, pointing at the
+synchronization checks:
+
+  $ ../../bin/ifc.exe check --binding leaky.bind fig3.ifc | head -15
+  declarations:
+    x : integer;
+    y : integer;
+    m : integer;
+    modify : semaphore initially(0);
+    modified : semaphore initially(0);
+    read : semaphore initially(0);
+    done : semaphore initially(0);
+  verdict: REJECTED
+  mod(S) = low
+  flow(S) = high
+  checks: 15 total, 5 failed
+  [FAIL] line 6, cols 5-59: if: sbind(e) <= mod(S): high <= low
+  [FAIL] line 9, cols 5-59: if: sbind(e) <= mod(S): high <= low
+  [FAIL] line 7, cols 5-17: begin: flow(S1..S2) <= mod(S3): high <= low
+
+The exit code distinguishes rejection (2) from errors (1):
+
+  $ ../../bin/ifc.exe check --binding leaky.bind fig3.ifc > /dev/null; echo "exit $?"
+  exit 2
+
+The symbolic requirements include the 4.3 chain:
+
+  $ ../../bin/ifc.exe check --requirements fig3.ifc | grep -E 'sbind\((x|modify|m)\) <= sbind\((modify|m|y)\)$' | sort
+  sbind(done) (+) sbind(modified) (+) sbind(x) <= sbind(modify)
+  sbind(m) <= sbind(y)
+  sbind(modify) <= sbind(m)
+  sbind(x) <= sbind(modify)
+
+The Denning baseline sees nothing wrong with a binding whose local checks
+pass:
+
+  $ ../../bin/ifc.exe denning --binding denning-friendly.bind fig3.ifc | head -2
+  verdict: CERTIFIED
+  checks: 5 total, 0 failed
+
+  $ ../../bin/ifc.exe check --binding denning-friendly.bind fig3.ifc | head -1
+  declarations:
+
+Inference escalates the chain when x is fixed high:
+
+  $ ../../bin/ifc.exe infer --fix x=high fig3.ifc
+  least certifying binding:
+  {done -> high; m -> high; modified -> high; modify -> high; read -> high; x -> high; y -> high}
+
+And reports a conflict when the endpoints are contradictory:
+
+  $ ../../bin/ifc.exe infer --fix x=high --fix y=low fig3.ifc; echo "exit $?"
+  unsatisfiable: sbind(m) <= sbind(y) forces high, but y is fixed at low
+  (from assign: sbind(e) <= sbind(x) at line 12, cols 24-30)
+  exit 2
+
+The Theorem-1 flow proof exists exactly when CFM certifies:
+
+  $ ../../bin/ifc.exe prove fig3.ifc
+  flow proof found: 36 rule applications, completely invariant
+
+  $ ../../bin/ifc.exe prove --binding leaky.bind fig3.ifc | head -1
+  no completely invariant flow proof (program not certifiable):
+
+Running the program shows the flow (y reveals whether x = 0):
+
+  $ ../../bin/ifc.exe run --input x=0 fig3.ifc
+  terminated: {m -> 1; x -> 0; y -> 1}
+
+  $ ../../bin/ifc.exe run --input x=7 fig3.ifc
+  terminated: {m -> 1; x -> 7; y -> 0}
+
+Exploration confirms the paper's no-deadlock claim:
+
+  $ ../../bin/ifc.exe explore --input x=1 fig3.ifc | head -6
+  states: 15
+  terminals: 1
+  deadlocks: 0
+  faults: 0
+  divergence possible: false
+  terminal 1: {m -> 1; x -> 1; y -> 0}
+
+The dynamic monitor flags the x = 0 schedule:
+
+  $ ../../bin/ifc.exe taint --binding leaky.bind --input x=0 fig3.ifc | tail -1; echo "exit $?"
+  done at high
+  exit 0
+
+Noninterference testing finds the leak empirically:
+
+  $ ../../bin/ifc.exe ni --binding leaky.bind --pairs 4 fig3.ifc | head -1; echo "exit $?"
+  pairs tested: 4, skipped: 0, violations: 2
+  exit 0
+
+A user-defined lattice can be loaded, inspected, and used:
+
+  $ ../../bin/ifc.exe lattice corporate.lat
+  lattice corporate: 3 classes, height 2
+  bottom: public, top: secret
+    public < internal
+    internal < secret
+  all 17 lattice laws hold
+
+  $ ../../bin/ifc.exe check --lattice corporate.lat --binding corporate.bind chain.ifc; echo "exit $?"
+  declarations:
+    src : integer;
+    dst : integer;
+  verdict: REJECTED
+  mod(S) = internal
+  flow(S) = nil
+  checks: 1 total, 1 failed
+  [FAIL] line 2, cols 1-11: assign: sbind(e) <= sbind(x): secret <= internal
+  exit 2
+
+The flow-sensitive extension accepts the 5.2 program CFM rejects:
+
+  $ ../../bin/ifc.exe check --binding sec52.bind sec52.ifc | head -1
+  declarations:
+
+  $ ../../bin/ifc.exe check --flow-sensitive --binding sec52.bind sec52.ifc | tail -1; echo "exit $?"
+  flow-sensitive verdict: CERTIFIED
+  exit 0
+
+Program generation is deterministic per seed:
+
+  $ ../../bin/ifc.exe gen --size 8 --seed 3 2>/dev/null > g1.txt
+  $ ../../bin/ifc.exe gen --size 8 --seed 3 2>/dev/null > g2.txt
+  $ cmp g1.txt g2.txt && echo same
+  same
+
+Parse errors carry positions:
+
+  $ echo 'var x : integer; x := ' > bad.ifc
+  $ ../../bin/ifc.exe check bad.ifc; echo "exit $?"
+  ifc: bad.ifc: 2:1: expected an expression but found '<eof>'
+  exit 1
+
+Ill-formed programs are rejected before analysis:
+
+  $ echo 'y := 1' > undecl.ifc
+  $ ../../bin/ifc.exe check undecl.ifc; echo "exit $?"
+  ifc: error: line 1, cols 1-7: undeclared variable y
+  exit 1
+
+Arrays follow Denning & Denning's index rule:
+
+  $ printf 'var a : array(2) class low; h : integer class high;\na[h] := 1\n' > arr.ifc
+  $ ../../bin/ifc.exe check arr.ifc | grep -E 'verdict|store'; echo "exit $?"
+  verdict: REJECTED
+  [FAIL] line 2, cols 1-10: store: sbind(i) (+) sbind(e) <= sbind(a): high <= low
+  exit 0
+
+Declassification releases data but never control:
+
+  $ printf 'var h : integer class high; y : integer class low;\ny := declassify h to low\n' > decl.ifc
+  $ ../../bin/ifc.exe check decl.ifc | grep verdict
+  verdict: CERTIFIED
+
+  $ printf 'var h : integer class high; y : integer class low;\nif h = 0 then y := declassify h to low fi\n' > decl2.ifc
+  $ ../../bin/ifc.exe check decl2.ifc | grep -E 'verdict|FAIL'
+  verdict: REJECTED
+  [FAIL] line 2, cols 1-42: if: sbind(e) <= mod(S): high <= low
+
+The formatter canonicalises a program (idempotently):
+
+  $ printf 'var x:integer;begin x:=1;if x=1 then x:=x+2 fi end' > messy.ifc
+  $ ../../bin/ifc.exe fmt messy.ifc | tee formatted.ifc
+  var
+    x : integer;
+  begin x := 1; if x = 1 then x := x + 2 fi end
+  $ ../../bin/ifc.exe fmt formatted.ifc | cmp - formatted.ifc && echo idempotent
+  idempotent
+
+Lattices and state spaces export to Graphviz:
+
+  $ ../../bin/ifc.exe lattice two --dot
+  digraph lattice {
+    rankdir=BT;
+    node [shape=box];
+    "low";
+    "high";
+    "low" -> "high";
+  }
+
+  $ printf 'var x : integer; s : semaphore initially(0);\ncobegin begin wait(s); x := 1 end || signal(s) coend\n' > graph.ifc
+  $ ../../bin/ifc.exe explore --dot graph.ifc
+  digraph states {
+    rankdir=LR;
+    node [shape=circle,label=""];
+    n0 [shape=point];
+    n0 -> n1 [label="signal(s)"];
+    n1 -> n2 [label="wait(s)"];
+    n2 -> n3 [label="x := 1"];
+    n3 [shape=doublecircle];
+  }

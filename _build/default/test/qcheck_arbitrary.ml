@@ -1,0 +1,55 @@
+(* QCheck arbitraries for programs and bindings, with real shrinking.
+
+   The generators delegate to Ifc_lang.Gen (seeded by QCheck's random
+   state) and the shrinkers to Gen.shrink_program, so failing properties
+   minimise to small witnesses. *)
+
+module Ast = Ifc_lang.Ast
+module Gen = Ifc_lang.Gen
+module Prng = Ifc_support.Prng
+module Lattice = Ifc_lattice.Lattice
+module Binding = Ifc_core.Binding
+
+let program_gen ?(cfg = Gen.default) ?(max_size = 30) () : Ast.program QCheck.Gen.t =
+ fun rand_state ->
+  let seed = QCheck.Gen.int_bound max_int rand_state in
+  let size = 1 + QCheck.Gen.int_bound (max_size - 1) rand_state in
+  Gen.program (Prng.create seed) cfg ~size
+
+let shrink_iter p yield = Seq.iter yield (Gen.shrink_program p)
+
+let program ?cfg ?max_size () =
+  QCheck.make
+    ~print:Ifc_lang.Pretty.program_to_string
+    ~shrink:shrink_iter
+    (program_gen ?cfg ?max_size ())
+
+(* A program paired with a random binding over its variables. Shrinking
+   shrinks the program and keeps the binding assignment rule (class chosen
+   by a hash of the variable name and a salt), so bindings stay consistent
+   across shrinks. *)
+type 'a bound_program = { prog : Ast.program; salt : int; lattice : 'a Lattice.t }
+
+let binding_of { prog; salt; lattice } =
+  let arr = Array.of_list lattice.Lattice.elements in
+  let class_of v = arr.(abs (Hashtbl.hash (salt, v)) mod Array.length arr) in
+  Binding.make lattice
+    (List.map
+       (fun v -> (v, class_of v))
+       (Ifc_support.Sset.elements (Ifc_lang.Vars.all_vars prog.Ast.body)))
+
+let bound_program ?cfg ?max_size lattice =
+  let gen rand_state =
+    let prog = program_gen ?cfg ?max_size () rand_state in
+    let salt = QCheck.Gen.int_bound 1_000_000 rand_state in
+    { prog; salt; lattice }
+  in
+  let print bp =
+    Fmt.str "%s@.binding: %a"
+      (Ifc_lang.Pretty.program_to_string bp.prog)
+      Binding.pp (binding_of bp)
+  in
+  let shrink bp yield =
+    Seq.iter (fun prog' -> yield { bp with prog = prog' }) (Gen.shrink_program bp.prog)
+  in
+  QCheck.make ~print ~shrink gen

@@ -1,0 +1,297 @@
+(* Tests for the array extension — Denning & Denning's original array
+   treatment, threaded through every layer: syntax, well-formedness, CFM,
+   the baseline, inference, flow-sensitivity, the flow logic, and the
+   semantics. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Ast = Ifc_lang.Ast
+module Parser = Ifc_lang.Parser
+module Pretty = Ifc_lang.Pretty
+module Wellformed = Ifc_lang.Wellformed
+module Gen = Ifc_lang.Gen
+module Prng = Ifc_support.Prng
+module Smap = Ifc_support.Smap
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Denning = Ifc_core.Denning
+module Infer = Ifc_core.Infer
+module Fs = Ifc_core.Flow_sensitive
+module Invariance = Ifc_logic.Invariance
+module Scheduler = Ifc_exec.Scheduler
+module Explore = Ifc_exec.Explore
+module Taint = Ifc_exec.Taint
+module Ni = Ifc_exec.Noninterference
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let two = Chain.two
+
+let low = two.Lattice.bottom
+
+let high = two.Lattice.top
+
+let program src =
+  match Parser.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let stmt src =
+  match Parser.parse_stmt src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let binding pairs = Binding.make two pairs
+
+(* ------------------------------------------------------------------ *)
+(* Syntax *)
+
+let test_parse_array_forms () =
+  (match (stmt "a[i + 1] := x * 2").Ast.node with
+  | Ast.Store ("a", Ast.Binop (Ast.Add, Ast.Var "i", Ast.Int 1), _) -> ()
+  | _ -> Alcotest.fail "store shape");
+  (match Parser.parse_expr "a[b[0]] + 1" with
+  | Ok (Ast.Binop (Ast.Add, Ast.Index ("a", Ast.Index ("b", Ast.Int 0)), Ast.Int 1)) -> ()
+  | Ok _ -> Alcotest.fail "nested index shape"
+  | Error e -> Alcotest.failf "parse: %a" Parser.pp_error e);
+  let p = program "var a : array(4) class high; b : array(2); skip" in
+  match p.Ast.decls with
+  | [ Ast.Arr_decl { name = "a"; size = 4; cls = Some "high" };
+      Ast.Arr_decl { name = "b"; size = 2; cls = None } ] ->
+    ()
+  | _ -> Alcotest.fail "decl shapes"
+
+let test_parse_array_errors () =
+  List.iter
+    (fun src -> check src true (Result.is_error (Parser.parse_stmt src)))
+    [ "a[1 := 2"; "a[] := 2"; "a[1]" ]
+
+let test_array_roundtrip () =
+  List.iter
+    (fun src ->
+      let s = stmt src in
+      match Parser.parse_stmt (Pretty.stmt_to_string s) with
+      | Ok s' -> check src true (Ast.equal_stmt s s')
+      | Error e -> Alcotest.failf "reparse: %a" Parser.pp_error e)
+    [
+      "a[0] := 1";
+      "a[i * 2 + 1] := a[i] + b[0]";
+      "if a[x] = 0 then b[y] := a[0] fi";
+      "while a[0] > 0 do a[0] := a[0] - 1";
+    ];
+  let p = program "var a : array(3) class low; a[0] := 1" in
+  match Parser.parse_program (Pretty.program_to_string p) with
+  | Ok p' -> check "program roundtrip" true (Ast.equal_program p p')
+  | Error e -> Alcotest.failf "reparse: %a" Parser.pp_error e
+
+let test_wellformed_namespaces () =
+  check "scalar as array" false
+    (Wellformed.is_valid (program "var x : integer; x[0] := 1"));
+  check "array as scalar" false
+    (Wellformed.is_valid (program "var a : array(2); a := 1"));
+  check "array read without index" false
+    (Wellformed.is_valid (program "var a : array(2); x : integer; x := a"));
+  check "array as semaphore" false
+    (Wellformed.is_valid (program "var a : array(2); wait(a)"));
+  check "undeclared array" false (Wellformed.is_valid (program "var x : integer; q[0] := x"));
+  check "zero size" false (Wellformed.is_valid (program "var a : array(0); a[0] := 1"));
+  check "fine" true
+    (Wellformed.is_valid (program "var a : array(2); x : integer; a[x] := a[0] + 1"))
+
+let test_infer_decls_arrays () =
+  let p = Wellformed.infer_decls (Ast.program (stmt "a[0] := b[1] + x")) in
+  check "valid" true (Wellformed.is_valid p);
+  check_int "three decls" 3 (List.length p.Ast.decls)
+
+(* ------------------------------------------------------------------ *)
+(* Static analyses *)
+
+let test_cfm_store_value_flow () =
+  let b = binding [ ("a", low); ("h", high); ("i", low) ] in
+  check "high value into low array" false (Cfm.certified b (stmt "a[i] := h"));
+  check "low value fine" true (Cfm.certified b (stmt "a[i] := i + 1"))
+
+let test_cfm_store_index_flow () =
+  (* The index is information: writing 1 at a secret position reveals the
+     position. This is exactly Denning & Denning's array rule. *)
+  let b = binding [ ("a", low); ("h", high) ] in
+  check "high index into low array" false (Cfm.certified b (stmt "a[h] := 1"));
+  let b2 = binding [ ("a", high); ("h", high) ] in
+  check "high array accepts" true (Cfm.certified b2 (stmt "a[h] := 1"))
+
+let test_cfm_index_read_flow () =
+  let b = binding [ ("a", low); ("h", high); ("y", low) ] in
+  check "reading at secret index leaks" false (Cfm.certified b (stmt "y := a[h]"));
+  check "reading at public index fine" true (Cfm.certified b (stmt "y := a[0]"));
+  let b2 = binding [ ("a", high); ("y", low) ] in
+  check "reading high array leaks" false (Cfm.certified b2 (stmt "y := a[0]"))
+
+let test_denning_agrees_on_stores () =
+  let b = binding [ ("a", low); ("h", high) ] in
+  check "denning rejects too" false
+    (Denning.certified ~on_concurrency:`Ignore b (stmt "a[h] := 1"))
+
+let test_infer_array_constraints () =
+  let p = Wellformed.infer_decls (Ast.program (stmt "a[h] := 1")) in
+  match Infer.infer two ~fixed:[ ("h", high) ] p with
+  | Ok b -> check_int "array raised to high" high (Binding.sbind b "a")
+  | Error _ -> Alcotest.fail "inference failed"
+
+let test_fs_weak_update () =
+  (* No strong updates on arrays: storing a public value does NOT scrub
+     the array — other slots may still hold the secret. *)
+  let b = binding [ ("a", low); ("h", high); ("y", low) ] in
+  check "tainted array not scrubbed" false
+    (Fs.certified b (stmt "begin a[0] := h; a[0] := 0; y := a[1] end"));
+  (* Scalars do scrub (contrast). *)
+  check "scalar scrubs" true (Fs.certified b (stmt "begin y := h; y := 0 end"))
+
+let test_theorem_equivalence_with_arrays =
+  (* The headline theorem property over the array-enabled generator. *)
+  let count = 250 in
+  fun () ->
+    let rng = Prng.create 112233 in
+    let certified = ref 0 in
+    for i = 1 to count do
+      let p = Gen.program rng Gen.with_arrays ~size:(1 + (i mod 25)) in
+      let vars = Ifc_lang.Vars.all_vars p.Ast.body in
+      let b =
+        binding
+          (List.map
+             (fun v -> (v, if Prng.bool rng then high else low))
+             (Ifc_support.Sset.elements vars))
+      in
+      let cert = Cfm.certified b p.Ast.body in
+      if cert then incr certified;
+      if cert <> Invariance.decide b p.Ast.body then
+        Alcotest.failf "thm divergence on:@.%s@.binding: %a"
+          (Pretty.program_to_string p) Binding.pp b;
+      if cert && not (Fs.certified b p.Ast.body) then
+        Alcotest.failf "FS does not dominate on:@.%s" (Pretty.program_to_string p)
+    done;
+    check "some certified" true (!certified > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics *)
+
+let test_exec_array_ops () =
+  let p =
+    program
+      {|var a : array(3); i, sum : integer;
+        begin
+          a[0] := 5; a[1] := 7; a[2] := 9;
+          i := 0; sum := 0;
+          while i < 3 do begin sum := sum + a[i]; i := i + 1 end
+        end|}
+  in
+  match Scheduler.run_program ~strategy:`Leftmost p with
+  | Scheduler.Terminated cfg ->
+    check_int "sum of cells" 21 (Smap.find "sum" cfg.Ifc_exec.Step.store)
+  | o -> Alcotest.failf "unexpected: %a" Scheduler.pp_outcome o
+
+let test_exec_out_of_bounds_faults () =
+  List.iter
+    (fun src ->
+      match Scheduler.run_program ~strategy:`Leftmost (program src) with
+      | Scheduler.Fault _ -> ()
+      | o -> Alcotest.failf "expected fault on %s, got %a" src Scheduler.pp_outcome o)
+    [
+      "var a : array(2); a[5] := 1";
+      "var a : array(2); a[-1] := 1";
+      "var a : array(2); x : integer; x := a[2]";
+    ]
+
+let test_exec_arrays_are_per_path () =
+  (* Copy-on-write: exploring both branches of a race must not let one
+     branch's array write leak into the other's configurations. *)
+  let p =
+    program
+      "var a : array(1); x : integer; cobegin a[0] := 1 || a[0] := 2 coend"
+  in
+  let s = Explore.explore_program p in
+  check "complete" true s.Explore.complete;
+  let finals =
+    List.map
+      (fun c -> (Smap.find "a" c.Ifc_exec.Step.arrays).(0))
+      s.Explore.terminals
+    |> List.sort_uniq compare
+  in
+  check "both final values reachable" true (finals = [ 1; 2 ])
+
+let test_taint_array_weak_update () =
+  let p =
+    program
+      {|var a : array(2) class low; h : integer class high; y : integer class low;
+        begin a[0] := h; a[0] := 0; y := a[1] end|}
+  in
+  let b = Result.get_ok (Binding.of_program two p) in
+  let r = Taint.run ~strategy:`Leftmost b p in
+  check "terminated" true (r.Taint.outcome = `Terminated);
+  (* The array class stays high (weak update), so y := a[1] taints y. *)
+  check "a flagged" true (List.mem_assoc "a" r.Taint.violations);
+  check "y flagged" true (List.mem_assoc "y" r.Taint.violations)
+
+let test_ni_array_channel () =
+  (* Secret selects which slot changes; a low observer reading the cells
+     sees it. CFM rejects; the tester confirms the leak. *)
+  let p =
+    program
+      {|var a : array(2) class low; h : integer class high;
+        begin a[0] := 0; a[1] := 0; a[h % 2] := 1 end|}
+  in
+  let b = Result.get_ok (Binding.of_program two p) in
+  check "CFM rejects the index channel" false (Cfm.certified b p.Ast.body);
+  let r = Ni.test ~pairs:6 ~observer:low b p in
+  check "leak is real" false (Ni.secure r)
+
+let test_ni_certified_array_programs_secure () =
+  let rng = Prng.create 9090 in
+  let cfg = { Gen.with_arrays with Gen.max_depth = 3 } in
+  let checked = ref 0 and attempts = ref 0 in
+  while !checked < 12 && !attempts < 400 do
+    incr attempts;
+    let p = Gen.program_balanced rng cfg ~size:(2 + (!attempts mod 8)) in
+    let vars, arrays, sems = Ifc_lang.Vars.declared p in
+    let names =
+      Ifc_support.Sset.elements (Ifc_support.Sset.union vars (Ifc_support.Sset.union arrays sems))
+    in
+    let pairs = List.map (fun v -> (v, if Prng.bool rng then high else low)) names in
+    let b = binding pairs in
+    if List.exists (fun (_, c) -> c = high) pairs && Cfm.certified b p.Ast.body then begin
+      let r = Ni.test ~seed:!attempts ~pairs:3 ~max_states:4000 ~observer:low b p in
+      if r.Ni.pairs_tested > 0 then begin
+        incr checked;
+        if not (Ni.secure r) then
+          Alcotest.failf "certified array program violates NI:@.%s@.binding: %a"
+            (Pretty.program_to_string p) Binding.pp b
+      end
+    end
+  done;
+  check "exercised" true (!checked >= 5)
+
+let suite =
+  ( "arrays",
+    [
+      Alcotest.test_case "parse array forms" `Quick test_parse_array_forms;
+      Alcotest.test_case "parse array errors" `Quick test_parse_array_errors;
+      Alcotest.test_case "array roundtrip" `Quick test_array_roundtrip;
+      Alcotest.test_case "wellformed namespaces" `Quick test_wellformed_namespaces;
+      Alcotest.test_case "infer_decls arrays" `Quick test_infer_decls_arrays;
+      Alcotest.test_case "cfm store value flow" `Quick test_cfm_store_value_flow;
+      Alcotest.test_case "cfm store index flow" `Quick test_cfm_store_index_flow;
+      Alcotest.test_case "cfm index read flow" `Quick test_cfm_index_read_flow;
+      Alcotest.test_case "denning agrees on stores" `Quick test_denning_agrees_on_stores;
+      Alcotest.test_case "infer array constraints" `Quick test_infer_array_constraints;
+      Alcotest.test_case "flow-sensitive weak update" `Quick test_fs_weak_update;
+      Alcotest.test_case "thm 1+2 with arrays (property)" `Quick
+        test_theorem_equivalence_with_arrays;
+      Alcotest.test_case "exec array ops" `Quick test_exec_array_ops;
+      Alcotest.test_case "exec out-of-bounds faults" `Quick test_exec_out_of_bounds_faults;
+      Alcotest.test_case "exec arrays are per-path" `Quick test_exec_arrays_are_per_path;
+      Alcotest.test_case "taint array weak update" `Quick test_taint_array_weak_update;
+      Alcotest.test_case "NI array index channel" `Quick test_ni_array_channel;
+      Alcotest.test_case "NI certified array programs secure" `Slow
+        test_ni_certified_array_programs_secure;
+    ] )

@@ -1,0 +1,179 @@
+(* Tests for the declassification extension: [x := declassify e to C]
+   releases the *data* of [e] at class [C] while contexts (local/global)
+   remain enforced — "where" declassification in modern terms. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Ast = Ifc_lang.Ast
+module Parser = Ifc_lang.Parser
+module Pretty = Ifc_lang.Pretty
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Denning = Ifc_core.Denning
+module Infer = Ifc_core.Infer
+module Fs = Ifc_core.Flow_sensitive
+module Invariance = Ifc_logic.Invariance
+module Scheduler = Ifc_exec.Scheduler
+module Taint = Ifc_exec.Taint
+module Ni = Ifc_exec.Noninterference
+module Smap = Ifc_support.Smap
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let two = Chain.two
+
+let low = two.Lattice.bottom
+
+let high = two.Lattice.top
+
+let stmt src =
+  match Parser.parse_stmt src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let program src =
+  match Parser.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let binding pairs = Binding.make two pairs
+
+let b_xy = binding [ ("x", high); ("y", low) ]
+
+let test_parse_and_roundtrip () =
+  (match (stmt "y := declassify x + 1 to low").Ast.node with
+  | Ast.Declassify ("y", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 1), "low") -> ()
+  | _ -> Alcotest.fail "shape");
+  List.iter
+    (fun src ->
+      let s = stmt src in
+      match Parser.parse_stmt (Pretty.stmt_to_string s) with
+      | Ok s' -> check src true (Ast.equal_stmt s s')
+      | Error e -> Alcotest.failf "reparse: %a" Parser.pp_error e)
+    [ "y := declassify x to low"; "y := declassify x * x + 1 to high" ];
+  check "missing to" true (Result.is_error (Parser.parse_stmt "y := declassify x"))
+
+let test_cfm_basic_release () =
+  check "direct flow rejected" false (Cfm.certified b_xy (stmt "y := x"));
+  check "declassified release accepted" true
+    (Cfm.certified b_xy (stmt "y := declassify x to low"));
+  check "cannot launder upward-only names" false
+    (Cfm.certified b_xy (stmt "y := declassify x to high"))
+
+let test_cfm_context_still_enforced () =
+  (* Declassification releases data, not control: a declassify under a
+     high branch or after a high wait still leaks the context. *)
+  check "high branch context" false
+    (Cfm.certified b_xy (stmt "if x = 0 then y := declassify x to low fi"));
+  let b = binding [ ("x", high); ("y", low); ("sem", high) ] in
+  check "high global context" false
+    (Cfm.certified b (stmt "begin wait(sem); y := declassify x to low end"));
+  check "loop context" false
+    (Cfm.certified b_xy (stmt "begin while x > 0 do x := x - 1; y := declassify x to low end"))
+
+let test_cfm_unknown_class_conservative () =
+  check "unknown class fails closed" false
+    (Cfm.certified b_xy (stmt "y := declassify x to mystery"));
+  (* ... even when the target is high (top <= high holds on two-point,
+     so use a three-point lattice to see the conservatism). *)
+  let three = Chain.three in
+  let b = Binding.make three [ ("x", three.Lattice.top); ("y", 1) ] in
+  check "unknown class is top" false
+    (Cfm.certified b (stmt "y := declassify x to nonsense"))
+
+let test_denning_same_rule () =
+  check "baseline agrees" true
+    (Denning.certified ~on_concurrency:`Ignore b_xy (stmt "y := declassify x to low"))
+
+let test_infer_with_declassify () =
+  let p =
+    program
+      "var x, y, z : integer; begin y := declassify x to low; z := y end"
+  in
+  match Infer.infer two ~fixed:[ ("x", high) ] p with
+  | Ok b ->
+    check_int "y stays low" low (Binding.sbind b "y");
+    check_int "z stays low" low (Binding.sbind b "z")
+  | Error _ -> Alcotest.fail "inference failed"
+
+let test_theorem_equivalence_cases () =
+  (* The flow-logic axiom and the CFM check must keep agreeing. *)
+  List.iter
+    (fun (src, pairs) ->
+      let s = stmt src in
+      let b = binding pairs in
+      check
+        (src ^ " equivalence")
+        (Cfm.certified b s)
+        (Invariance.decide b s))
+    [
+      ("y := declassify x to low", [ ("x", high); ("y", low) ]);
+      ("y := declassify x to high", [ ("x", high); ("y", low) ]);
+      ("if x = 0 then y := declassify x to low fi", [ ("x", high); ("y", low) ]);
+      ("begin wait(s); y := declassify x to low end",
+       [ ("x", high); ("y", low); ("s", high) ]);
+      ("begin y := declassify x to low; z := y end",
+       [ ("x", high); ("y", low); ("z", low) ]);
+    ]
+
+let test_fs_declassify () =
+  check "FS accepts the release" true (Fs.certified b_xy (stmt "y := declassify x to low"));
+  check "FS keeps context" false
+    (Fs.certified b_xy (stmt "if x = 0 then y := declassify x to low fi"));
+  (* Flow-sensitively, the released class then propagates as data. *)
+  let b = binding [ ("x", high); ("y", low); ("z", low) ] in
+  check "released data flows on at its new class" true
+    (Fs.certified b (stmt "begin y := declassify x to low; z := y end"))
+
+let test_exec_and_taint () =
+  let p =
+    program
+      {|var x : integer class high; y : integer class low;
+        y := declassify x * 2 to low|}
+  in
+  (match Scheduler.run_program ~strategy:`Leftmost ~inputs:[ ("x", 21) ] p with
+  | Scheduler.Terminated cfg -> check_int "value computed" 42 (Smap.find "y" cfg.Ifc_exec.Step.store)
+  | o -> Alcotest.failf "unexpected: %a" Scheduler.pp_outcome o);
+  let b = Result.get_ok (Binding.of_program two p) in
+  let r = Taint.run ~strategy:`Leftmost ~inputs:[ ("x", 3) ] b p in
+  check "monitor honours the release" true (r.Taint.violations = []);
+  (* Context still taints dynamically. *)
+  let p2 =
+    program
+      {|var x : integer class high; y : integer class low;
+        if x = 0 then y := declassify x to low fi|}
+  in
+  let b2 = Result.get_ok (Binding.of_program two p2) in
+  let r2 = Taint.run ~strategy:`Leftmost ~inputs:[ ("x", 0) ] b2 p2 in
+  check "context violation seen" true (List.mem_assoc "y" r2.Taint.violations)
+
+let test_ni_escape_hatch_leaks_by_design () =
+  (* Declassification intentionally breaks noninterference — that is what
+     an escape hatch is. The tester documents it. *)
+  let p =
+    program
+      {|var x : integer class high; y : integer class low;
+        y := declassify x to low|}
+  in
+  let b = Result.get_ok (Binding.of_program two p) in
+  check "certified" true (Cfm.certified b p.Ast.body);
+  let r = Ni.test ~pairs:4 ~observer:low b p in
+  check "NI violated, by design" false (Ni.secure r)
+
+let suite =
+  ( "declassify",
+    [
+      Alcotest.test_case "parse and roundtrip" `Quick test_parse_and_roundtrip;
+      Alcotest.test_case "basic release" `Quick test_cfm_basic_release;
+      Alcotest.test_case "context still enforced" `Quick test_cfm_context_still_enforced;
+      Alcotest.test_case "unknown class conservative" `Quick
+        test_cfm_unknown_class_conservative;
+      Alcotest.test_case "denning same rule" `Quick test_denning_same_rule;
+      Alcotest.test_case "inference with declassify" `Quick test_infer_with_declassify;
+      Alcotest.test_case "theorem equivalence cases" `Quick test_theorem_equivalence_cases;
+      Alcotest.test_case "flow-sensitive declassify" `Quick test_fs_declassify;
+      Alcotest.test_case "exec and taint" `Quick test_exec_and_taint;
+      Alcotest.test_case "NI escape hatch" `Quick test_ni_escape_hatch_leaks_by_design;
+    ] )

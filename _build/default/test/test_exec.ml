@@ -1,0 +1,549 @@
+(* Tests for the operational semantics: evaluation, stepping, schedulers,
+   exhaustive exploration, the dynamic taint monitor, and the
+   noninterference tester — including semantic validation of the paper's
+   Figure 3 claims. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Ast = Ifc_lang.Ast
+module Parser = Ifc_lang.Parser
+module Gen = Ifc_lang.Gen
+module Prng = Ifc_support.Prng
+module Smap = Ifc_support.Smap
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Paper = Ifc_core.Paper
+module Eval = Ifc_exec.Eval
+module Task = Ifc_exec.Task
+module Step = Ifc_exec.Step
+module Scheduler = Ifc_exec.Scheduler
+module Explore = Ifc_exec.Explore
+module Taint = Ifc_exec.Taint
+module Ni = Ifc_exec.Noninterference
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let two = Chain.two
+
+let low = two.Lattice.bottom
+
+let high = two.Lattice.top
+
+let program src =
+  match Parser.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let expr src =
+  match Parser.parse_expr src with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+let test_eval_arith () =
+  let st = Eval.env_of_list [ ("x", 7); ("y", 2) ] in
+  check_int "add" 9 (Eval.expr st (expr "x + y"));
+  check_int "mul" 14 (Eval.expr st (expr "x * y"));
+  check_int "div" 3 (Eval.expr st (expr "x / y"));
+  check_int "mod" 1 (Eval.expr st (expr "x % y"));
+  check_int "neg" (-7) (Eval.expr st (expr "-x"));
+  check_int "precedence" 11 (Eval.expr st (expr "x + y * 2"))
+
+let test_eval_bool () =
+  let st = Eval.env_of_list [ ("x", 0); ("y", 5) ] in
+  check_int "eq true" 1 (Eval.expr st (expr "x = 0"));
+  check_int "ne" 1 (Eval.expr st (expr "y # 0"));
+  check_int "lt" 1 (Eval.expr st (expr "x < y"));
+  check_int "and" 0 (Eval.expr st (expr "x = 0 and y = 0"));
+  check_int "or" 1 (Eval.expr st (expr "x = 0 or y = 0"));
+  check_int "not" 1 (Eval.expr st (expr "not (x = 1)"));
+  check_int "truthy nonzero" 1 (Eval.expr st (expr "y and true"))
+
+let test_eval_faults () =
+  let st = Eval.env_of_list [ ("x", 1) ] in
+  (try
+     ignore (Eval.expr st (expr "x / 0"));
+     Alcotest.fail "expected fault"
+   with Eval.Fault _ -> ());
+  try
+    ignore (Eval.expr st (expr "q + 1"));
+    Alcotest.fail "expected fault"
+  with Eval.Fault _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Tasks and stepping *)
+
+let stmt src =
+  match Parser.parse_stmt src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let test_task_shapes () =
+  let t = Task.of_stmt (stmt "begin x := 1; cobegin skip || skip coend end") in
+  (match t with
+  | Task.Seq (Task.Leaf _, Task.Seq (Task.Par [ _; _ ], Task.Nil)) -> ()
+  | _ -> Alcotest.fail "unexpected task shape");
+  check "not done" false (Task.is_done t);
+  check "nil done" true (Task.is_done Task.Nil);
+  check "keys differ" true
+    (Task.key t <> Task.key (Task.of_stmt (stmt "x := 1")))
+
+let test_step_terminates_sequential () =
+  let p = program "var x, y : integer; begin x := 3; y := x * 2 end" in
+  match Scheduler.run_program ~strategy:`Leftmost p with
+  | Scheduler.Terminated cfg ->
+    check_int "x" 3 (Smap.find "x" cfg.Step.store);
+    check_int "y" 6 (Smap.find "y" cfg.Step.store)
+  | o -> Alcotest.failf "unexpected outcome: %a" Scheduler.pp_outcome o
+
+let test_step_if_while () =
+  let p =
+    program
+      "var n, acc : integer; begin n := 5; acc := 1; while n > 0 do begin acc := acc * n; n := n - 1 end end"
+  in
+  match Scheduler.run_program ~strategy:`Round_robin p with
+  | Scheduler.Terminated cfg -> check_int "5!" 120 (Smap.find "acc" cfg.Step.store)
+  | o -> Alcotest.failf "unexpected outcome: %a" Scheduler.pp_outcome o
+
+let test_wait_blocks_and_deadlocks () =
+  let p = program "var s : semaphore initially(0); wait(s)" in
+  (match Scheduler.run_program ~strategy:`Leftmost p with
+  | Scheduler.Deadlock _ -> ()
+  | o -> Alcotest.failf "expected deadlock, got %a" Scheduler.pp_outcome o);
+  let p2 = program "var s : semaphore initially(1); wait(s)" in
+  match Scheduler.run_program ~strategy:`Leftmost p2 with
+  | Scheduler.Terminated cfg -> check_int "s consumed" 0 (Smap.find "s" cfg.Step.sems)
+  | o -> Alcotest.failf "expected termination, got %a" Scheduler.pp_outcome o
+
+let test_signal_unblocks () =
+  let p =
+    program
+      "var x : integer; s : semaphore initially(0); cobegin begin wait(s); x := 1 end || signal(s) coend"
+  in
+  List.iter
+    (fun strategy ->
+      match Scheduler.run_program ~strategy p with
+      | Scheduler.Terminated cfg -> check_int "x set" 1 (Smap.find "x" cfg.Step.store)
+      | o -> Alcotest.failf "unexpected: %a" Scheduler.pp_outcome o)
+    [ `Round_robin; `Random 1; `Random 2; `Leftmost ]
+
+let test_fault_outcome () =
+  let p = program "var x, y : integer; y := x / 0" in
+  match Scheduler.run_program ~strategy:`Leftmost p with
+  | Scheduler.Fault (msg, _) -> check "mentions zero" true (String.length msg > 0)
+  | o -> Alcotest.failf "expected fault, got %a" Scheduler.pp_outcome o
+
+let test_fuel_exhaustion () =
+  let p = program "var x : integer; while true do x := x + 1" in
+  match Scheduler.run_program ~fuel:100 ~strategy:`Leftmost p with
+  | Scheduler.Fuel_exhausted _ -> ()
+  | o -> Alcotest.failf "expected fuel exhaustion, got %a" Scheduler.pp_outcome o
+
+let test_interleaving_nondeterminism () =
+  (* Two racing writers: both final values must be reachable. *)
+  let p = program "var x : integer; cobegin x := 1 || x := 2 coend" in
+  let finals =
+    List.filter_map
+      (fun seed ->
+        match Scheduler.run_program ~strategy:(`Random seed) p with
+        | Scheduler.Terminated cfg -> Some (Smap.find "x" cfg.Step.store)
+        | _ -> None)
+      (List.init 20 Fun.id)
+  in
+  check "1 reachable" true (List.mem 1 finals);
+  check "2 reachable" true (List.mem 2 finals)
+
+let test_round_robin_fairness () =
+  (* A spinning process must not starve its sibling under round-robin;
+     leftmost scheduling does starve it. *)
+  let p =
+    program
+      "var w, z : integer; cobegin while true do w := w + 1 || z := 1 coend"
+  in
+  (match Scheduler.run_program ~fuel:1000 ~strategy:`Round_robin p with
+  | Scheduler.Fuel_exhausted cfg ->
+    check_int "sibling ran under round-robin" 1 (Smap.find "z" cfg.Step.store)
+  | o -> Alcotest.failf "unexpected: %a" Scheduler.pp_outcome o);
+  match Scheduler.run_program ~fuel:1000 ~strategy:`Leftmost p with
+  | Scheduler.Fuel_exhausted cfg ->
+    check_int "leftmost starves the sibling" 0 (Smap.find "z" cfg.Step.store)
+  | o -> Alcotest.failf "unexpected: %a" Scheduler.pp_outcome o
+
+let test_run_traced () =
+  let p = program "var x : integer; begin x := 1; if x = 1 then x := 2 fi end" in
+  let outcome, trace = Scheduler.run_traced ~strategy:`Leftmost (Step.init p ()) in
+  (match outcome with
+  | Scheduler.Terminated _ -> ()
+  | o -> Alcotest.failf "unexpected: %a" Scheduler.pp_outcome o);
+  let labels = List.map fst trace in
+  check "assign recorded" true (List.mem (Step.L_assign ("x", 1)) labels);
+  check "branch recorded" true (List.mem (Step.L_branch true) labels);
+  check "final assign recorded" true (List.mem (Step.L_assign ("x", 2)) labels);
+  check_int "three actions" 3 (List.length trace)
+
+(* ------------------------------------------------------------------ *)
+(* Exploration *)
+
+let test_explore_counts () =
+  let p = program "var x : integer; cobegin x := 1 || x := 2 coend" in
+  let s = Explore.explore_program p in
+  check "complete" true s.Explore.complete;
+  check_int "two distinct terminals" 2 (List.length s.Explore.terminals);
+  check "no deadlock" false (Explore.can_deadlock s);
+  check "no cycle" false s.Explore.has_cycle
+
+let test_explore_detects_deadlock_branch () =
+  (* §2.2 semaphore channel: deadlocks iff x <> 0. *)
+  let p = Paper.sec22_semaphore in
+  let dead0 = Explore.explore_program ~inputs:[ ("x", 0) ] p in
+  check "x=0 no deadlock" false (Explore.can_deadlock dead0);
+  let dead1 = Explore.explore_program ~inputs:[ ("x", 1) ] p in
+  check "x=1 deadlocks" true (Explore.can_deadlock dead1)
+
+let test_explore_detects_cycle () =
+  let p = program "var x : integer; while x = x do skip" in
+  let s = Explore.explore_program p in
+  check "cycle found" true s.Explore.has_cycle;
+  check "complete" true s.Explore.complete
+
+let test_explore_bound () =
+  let p = program "var x : integer; while true do x := x + 1" in
+  let s = Explore.explore_program ~max_states:50 p in
+  check "incomplete" false s.Explore.complete
+
+let test_explore_agrees_with_scheduler () =
+  (* Every scheduler-produced final store appears among explored
+     terminals. *)
+  let rng = Prng.create 99 in
+  for i = 1 to 40 do
+    let p =
+      Gen.program_balanced rng
+        { Gen.default with allow_loops = false; max_depth = 3 }
+        ~size:(1 + (i mod 12))
+    in
+    let s = Explore.explore_program ~max_states:5000 p in
+    if s.Explore.complete then
+      match Scheduler.run_program ~strategy:(`Random i) p with
+      | Scheduler.Terminated cfg ->
+        let key = Step.key cfg in
+        check "terminal found by exploration" true
+          (List.exists (fun t -> Step.key t = key) s.Explore.terminals)
+      | _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction *)
+
+let summary_signature (s : Explore.summary) =
+  ( List.sort_uniq compare (List.map Step.key s.Explore.terminals),
+    s.Explore.deadlocks <> [],
+    List.sort_uniq compare s.Explore.faults,
+    s.Explore.has_cycle )
+
+let test_por_equivalence =
+  let count = 250 in
+  fun () ->
+    let rng = Prng.create 8080 in
+    let tried = ref 0 in
+    let reduced_somewhere = ref false in
+    for i = 1 to count do
+      let p =
+        Gen.program_balanced rng
+          { Gen.default with Gen.max_depth = 3 }
+          ~size:(2 + (i mod 10))
+      in
+      let inputs =
+        List.filter_map
+          (function
+            | Ast.Var_decl { name; _ } -> Some (name, Prng.int rng 3)
+            | Ast.Arr_decl _ | Ast.Sem_decl _ -> None)
+          p.Ast.decls
+      in
+      let full = Explore.explore_program ~max_states:6000 ~inputs p in
+      let por = Explore.explore_program ~por:true ~max_states:6000 ~inputs p in
+      if full.Explore.complete && por.Explore.complete then begin
+        incr tried;
+        if por.Explore.states < full.Explore.states then reduced_somewhere := true;
+        if summary_signature full <> summary_signature por then
+          Alcotest.failf
+            "POR changed the summary on:@.%s@.full: %a@.por: %a"
+            (Ifc_lang.Pretty.program_to_string p)
+            Explore.pp full Explore.pp por;
+        check "POR never explores more" true
+          (por.Explore.states <= full.Explore.states)
+      end
+    done;
+    check "enough complete explorations" true (!tried > 150);
+    check "reduction actually happened somewhere" true !reduced_somewhere
+
+let test_por_reduces_fig3 () =
+  let full = Explore.explore_program ~inputs:[ ("x", 1) ] Paper.fig3 in
+  let por = Explore.explore_program ~por:true ~inputs:[ ("x", 1) ] Paper.fig3 in
+  check "same terminals" true
+    (List.sort_uniq compare (List.map Step.key full.Explore.terminals)
+    = List.sort_uniq compare (List.map Step.key por.Explore.terminals));
+  check "fewer or equal states" true (por.Explore.states <= full.Explore.states)
+
+let test_por_independent_writers () =
+  (* n processes writing private variables: full exploration is
+     factorial-ish, POR collapses it to a straight line. *)
+  let p =
+    program
+      "var a, b, c, d, e : integer; cobegin a := 1 || b := 2 || c := 3 || d := 4 || e := 5 coend"
+  in
+  let full = Explore.explore_program p in
+  let por = Explore.explore_program ~por:true p in
+  check_int "single terminal either way" 1 (List.length por.Explore.terminals);
+  (* Full exploration visits the whole write-subset cube (2^5 states);
+     POR walks a single line (6 states). *)
+  check "full sees the subset cube" true (full.Explore.states >= 32);
+  check "POR collapses to a line" true (por.Explore.states <= 6)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 semantics: the paper's §4.3 claims, executed. *)
+
+let run_fig3 strategy x =
+  match
+    Scheduler.run_program ~strategy ~inputs:[ ("x", x) ] Paper.fig3
+  with
+  | Scheduler.Terminated cfg -> cfg
+  | o -> Alcotest.failf "fig3 x=%d: %a" x Scheduler.pp_outcome o
+
+let test_fig3_transmits_x_to_y () =
+  List.iter
+    (fun strategy ->
+      let y0 = Smap.find "y" (run_fig3 strategy 0).Step.store in
+      let y1 = Smap.find "y" (run_fig3 strategy 1).Step.store in
+      check_int "x=0 -> y=1" 1 y0;
+      check_int "x<>0 -> y=0" 0 y1)
+    [ `Round_robin; `Leftmost; `Random 7; `Random 42 ]
+
+let test_fig3_cannot_deadlock () =
+  List.iter
+    (fun x ->
+      let s = Explore.explore_program ~inputs:[ ("x", x) ] Paper.fig3 in
+      check "complete" true s.Explore.complete;
+      check "no deadlock (4.3 claim)" false (Explore.can_deadlock s);
+      check "no divergence" false s.Explore.has_cycle;
+      (* Deterministic final y across ALL interleavings. *)
+      let ys =
+        List.sort_uniq compare
+          (List.map (fun t -> Smap.find "y" t.Step.store) s.Explore.terminals)
+      in
+      check_int "single y value" 1 (List.length ys))
+    [ 0; 1; 2 ]
+
+let test_fig3_semaphores_restored () =
+  (* §4.3: final semaphore values equal their initial values. *)
+  List.iter
+    (fun x ->
+      let cfg = run_fig3 `Round_robin x in
+      List.iter
+        (fun s -> check_int ("sem " ^ s) 0 (Smap.find s cfg.Step.sems))
+        [ "modify"; "modified"; "read"; "done" ])
+    [ 0; 3 ]
+
+let test_fig3_matches_sequential_equivalent () =
+  List.iter
+    (fun x ->
+      let par = run_fig3 (`Random 5) x in
+      match
+        Scheduler.run_program ~strategy:`Leftmost ~inputs:[ ("x", x) ]
+          Paper.fig3_sequential_equivalent
+      with
+      | Scheduler.Terminated seq ->
+        check_int
+          (Printf.sprintf "y agrees at x=%d" x)
+          (Smap.find "y" seq.Step.store)
+          (Smap.find "y" par.Step.store);
+        check_int
+          (Printf.sprintf "m agrees at x=%d" x)
+          (Smap.find "m" seq.Step.store)
+          (Smap.find "m" par.Step.store)
+      | o -> Alcotest.failf "sequential equivalent: %a" Scheduler.pp_outcome o)
+    [ 0; 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Taint monitor *)
+
+let fig3_binding_leaky () =
+  Binding.make two
+    (("x", high) :: List.map (fun v -> (v, low)) (List.tl Paper.fig3_vars))
+
+let test_taint_fig3_detects_leak () =
+  (* Dynamic monitoring of the Figure 3 runs. At x = 0 the tainted write
+     m := 1 (guarded by x) happens before y := m, so y's class rises to
+     high and is flagged. At x <> 0 the read of m happens while m is still
+     untainted — the leak is through *ordering*, which a single-run
+     monitor cannot see. This blindness is exactly why the paper's static
+     mechanism is needed; CFM rejects the binding either way. *)
+  let b = fig3_binding_leaky () in
+  let r0 = Taint.run ~strategy:`Round_robin ~inputs:[ ("x", 0) ] b Paper.fig3 in
+  check "x=0 terminated" true (r0.Taint.outcome = `Terminated);
+  check "x=0: y flagged" true (List.mem_assoc "y" r0.Taint.violations);
+  let r1 = Taint.run ~strategy:`Round_robin ~inputs:[ ("x", 1) ] b Paper.fig3 in
+  check "x=1 terminated" true (r1.Taint.outcome = `Terminated);
+  check "x=1: monitor is blind to the ordering leak" false
+    (List.mem_assoc "y" r1.Taint.violations);
+  check "CFM rejects regardless" false (Cfm.certified b Paper.fig3.Ast.body)
+
+let test_taint_52_accepts () =
+  (* §5.2: x := 0; y := x is dynamically clean even with x high. *)
+  let b = Binding.make two [ ("x", high); ("y", low) ] in
+  let r = Taint.run ~strategy:`Leftmost b Paper.sec52 in
+  check "terminated" true (r.Taint.outcome = `Terminated);
+  check "no violations" true (r.Taint.violations = []);
+  check "CFM still rejects" false (Cfm.certified b Paper.sec52.Ast.body)
+
+let test_taint_direct_flow () =
+  let p = program "var x, y : integer; y := x + 1" in
+  let b = Binding.make two [ ("x", high); ("y", low) ] in
+  let r = Taint.run ~strategy:`Leftmost b p in
+  check "y violation" true (List.mem_assoc "y" r.Taint.violations)
+
+let test_taint_local_implicit_flow () =
+  let p = program "var x, y : integer; if x = 0 then y := 1 else y := 2" in
+  let b = Binding.make two [ ("x", high); ("y", low) ] in
+  let r = Taint.run ~strategy:`Leftmost ~inputs:[ ("x", 0) ] b p in
+  check "executed branch tracked" true (List.mem_assoc "y" r.Taint.violations)
+
+let test_taint_loop_global_flow () =
+  (* After a high-conditioned loop, global is high, so later assignments
+     are tainted — mirroring the flow logic. *)
+  let p = program "var x, z : integer; begin while x > 0 do x := x - 1; z := 1 end" in
+  let b = Binding.make two [ ("x", high); ("z", low) ] in
+  let r = Taint.run ~strategy:`Leftmost ~inputs:[ ("x", 2) ] b p in
+  check_int "global high" high r.Taint.global;
+  check "z flagged" true (List.mem_assoc "z" r.Taint.violations)
+
+let test_taint_clean_program () =
+  let p = program "var a, b : integer; begin a := 1; b := a + 2 end" in
+  let b = Binding.make two [ ("a", low); ("b", high) ] in
+  let r = Taint.run ~strategy:`Round_robin b p in
+  check "no violations" true (r.Taint.violations = [])
+
+(* ------------------------------------------------------------------ *)
+(* Noninterference *)
+
+let test_ni_fig3_violation () =
+  let b = fig3_binding_leaky () in
+  let r = Ni.test ~observer:low ~pairs:6 b Paper.fig3 in
+  check "violations found" false (Ni.secure r);
+  check "tested pairs" true (r.Ni.pairs_tested > 0)
+
+let test_ni_sec22_semaphore_violation () =
+  (* The deadlock-channel program: the observable difference is the
+     Deadlock marker itself. *)
+  let b = Binding.make two [ ("x", high); ("y", low); ("sem", low) ] in
+  let r =
+    Ni.test ~termination:`Sensitive ~observer:low ~pairs:6 b Paper.sec22_semaphore
+  in
+  check "violation via termination behaviour" false (Ni.secure r);
+  (* In the paper-faithful insensitive mode the deadlock excuses the
+     difference — the leak here is purely a termination channel. *)
+  let r' = Ni.test ~observer:low ~pairs:6 b Paper.sec22_semaphore in
+  check "insensitive mode excuses pure deadlock channel" true (Ni.secure r')
+
+let test_ni_sec22_loop_violation () =
+  let b = Binding.make two [ ("x", high); ("y", high); ("z", low) ] in
+  (* x in {0,1,...}: x>0 loops terminate; all runs terminate but y... z
+     always becomes 1 here; the channel in this variant is y's value, which
+     is high. Use a variant where divergence differs: while x # 0 with
+     negative... keep it simple: observe y at low instead. *)
+  let b2 = Binding.make two [ ("x", high); ("y", low); ("z", low) ] in
+  ignore b;
+  let r = Ni.test ~observer:low ~pairs:6 b2 Paper.sec22_loop in
+  check "loop channel observable" false (Ni.secure r)
+
+let test_ni_certified_programs_secure () =
+  (* The empirical soundness harness: CFM-certified programs pass the
+     noninterference test. *)
+  let rng = Prng.create 2718 in
+  let cfg = { Gen.default with Gen.max_depth = 3 } in
+  let checked = ref 0 in
+  let attempts = ref 0 in
+  while !checked < 25 && !attempts < 400 do
+    incr attempts;
+    let p = Gen.program_balanced rng cfg ~size:(2 + (!attempts mod 10)) in
+    let vars, _, _ = Ifc_lang.Vars.declared p in
+    let pairs =
+      List.map
+        (fun v -> (v, if Prng.bool rng then high else low))
+        (Ifc_support.Sset.elements vars)
+    in
+    let b = Binding.make two pairs in
+    let has_high = List.exists (fun (_, c) -> c = high) pairs in
+    if has_high && Cfm.certified b p.Ast.body then begin
+      let r = Ni.test ~seed:!attempts ~observer:low ~pairs:4 ~max_states:4000 b p in
+      if r.Ni.pairs_tested > 0 then begin
+        incr checked;
+        if not (Ni.secure r) then
+          Alcotest.failf "certified program violates NI:@.%s@.binding: %a@.%a"
+            (Ifc_lang.Pretty.program_to_string p)
+            Binding.pp b
+            (Fmt.list Ni.pp_violation) r.Ni.violations
+      end
+    end
+  done;
+  check "exercised enough certified programs" true (!checked >= 10)
+
+let test_ni_no_high_vars_trivial () =
+  let p = program "var a : integer; a := 1" in
+  let b = Binding.make two [ ("a", low) ] in
+  let r = Ni.test ~observer:low b p in
+  check_int "no pairs" 0 r.Ni.pairs_tested;
+  check "secure" true (Ni.secure r)
+
+let suite =
+  ( "exec",
+    [
+      Alcotest.test_case "eval arithmetic" `Quick test_eval_arith;
+      Alcotest.test_case "eval booleans" `Quick test_eval_bool;
+      Alcotest.test_case "eval faults" `Quick test_eval_faults;
+      Alcotest.test_case "task shapes" `Quick test_task_shapes;
+      Alcotest.test_case "sequential execution" `Quick test_step_terminates_sequential;
+      Alcotest.test_case "if/while execution" `Quick test_step_if_while;
+      Alcotest.test_case "wait blocks/deadlocks" `Quick test_wait_blocks_and_deadlocks;
+      Alcotest.test_case "signal unblocks" `Quick test_signal_unblocks;
+      Alcotest.test_case "fault outcome" `Quick test_fault_outcome;
+      Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+      Alcotest.test_case "interleaving nondeterminism" `Quick
+        test_interleaving_nondeterminism;
+      Alcotest.test_case "round-robin fairness" `Quick test_round_robin_fairness;
+      Alcotest.test_case "run traced" `Quick test_run_traced;
+      Alcotest.test_case "explore counts" `Quick test_explore_counts;
+      Alcotest.test_case "explore finds deadlock branch" `Quick
+        test_explore_detects_deadlock_branch;
+      Alcotest.test_case "explore detects cycle" `Quick test_explore_detects_cycle;
+      Alcotest.test_case "explore bound" `Quick test_explore_bound;
+      Alcotest.test_case "explore agrees with scheduler" `Quick
+        test_explore_agrees_with_scheduler;
+      Alcotest.test_case "POR preserves summaries (property)" `Quick
+        test_por_equivalence;
+      Alcotest.test_case "POR reduces fig3" `Quick test_por_reduces_fig3;
+      Alcotest.test_case "POR collapses independent writers" `Quick
+        test_por_independent_writers;
+      Alcotest.test_case "fig3 transmits x to y" `Quick test_fig3_transmits_x_to_y;
+      Alcotest.test_case "fig3 cannot deadlock (4.3)" `Quick test_fig3_cannot_deadlock;
+      Alcotest.test_case "fig3 semaphores restored (4.3)" `Quick
+        test_fig3_semaphores_restored;
+      Alcotest.test_case "fig3 matches sequential equivalent (4.3)" `Quick
+        test_fig3_matches_sequential_equivalent;
+      Alcotest.test_case "taint fig3 detects leak" `Quick test_taint_fig3_detects_leak;
+      Alcotest.test_case "taint 5.2 accepts" `Quick test_taint_52_accepts;
+      Alcotest.test_case "taint direct flow" `Quick test_taint_direct_flow;
+      Alcotest.test_case "taint local implicit flow" `Quick test_taint_local_implicit_flow;
+      Alcotest.test_case "taint loop global flow" `Quick test_taint_loop_global_flow;
+      Alcotest.test_case "taint clean program" `Quick test_taint_clean_program;
+      Alcotest.test_case "NI fig3 violation" `Quick test_ni_fig3_violation;
+      Alcotest.test_case "NI semaphore channel violation" `Quick
+        test_ni_sec22_semaphore_violation;
+      Alcotest.test_case "NI loop channel violation" `Quick test_ni_sec22_loop_violation;
+      Alcotest.test_case "NI certified programs secure" `Slow
+        test_ni_certified_programs_secure;
+      Alcotest.test_case "NI trivial without high vars" `Quick test_ni_no_high_vars_trivial;
+    ] )

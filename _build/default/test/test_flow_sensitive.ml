@@ -1,0 +1,211 @@
+(* Tests for the flow-sensitive certifier (the §6 future-work extension):
+   it must accept everything CFM accepts, additionally accept programs
+   whose security depends on class *changes* (§5.2), and stay sound. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Ast = Ifc_lang.Ast
+module Parser = Ifc_lang.Parser
+module Gen = Ifc_lang.Gen
+module Prng = Ifc_support.Prng
+module Sset = Ifc_support.Sset
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Fs = Ifc_core.Flow_sensitive
+module Paper = Ifc_core.Paper
+module Ni = Ifc_exec.Noninterference
+
+let check = Alcotest.(check bool)
+
+let two = Chain.two
+
+let low = two.Lattice.bottom
+
+let high = two.Lattice.top
+
+let stmt src =
+  match Parser.parse_stmt src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let binding pairs = Binding.make two pairs
+
+let test_accepts_52 () =
+  (* The paper's motivating case for dynamic classifications. *)
+  let b = binding [ ("x", high); ("y", low) ] in
+  check "CFM rejects" false (Cfm.certified b Paper.sec52.Ast.body);
+  check "flow-sensitive accepts" true (Fs.certified b Paper.sec52.Ast.body)
+
+let test_rejects_direct_leak () =
+  let b = binding [ ("x", high); ("y", low) ] in
+  check "y := x rejected" false (Fs.certified b (stmt "y := x"));
+  check "y := x + 1 rejected" false (Fs.certified b (stmt "y := x + 1"))
+
+let test_overwrite_clears () =
+  (* y briefly holds high data but is scrubbed before termination: secure
+     under final-state observation, and accepted. *)
+  let b = binding [ ("x", high); ("y", low) ] in
+  check "scrubbed" true (Fs.certified b (stmt "begin y := x; y := 0 end"));
+  check "not scrubbed" false (Fs.certified b (stmt "begin y := x; skip end"))
+
+let test_implicit_flow () =
+  let b = binding [ ("x", high); ("y", low) ] in
+  check "branch write rejected" false
+    (Fs.certified b (stmt "if x = 0 then y := 1 else y := 2"));
+  check "both-branches-same still rejected (conservative)" false
+    (Fs.certified b (stmt "if x = 0 then y := 1 else y := 1"));
+  (* ... but scrubbing after the branch is fine. *)
+  check "scrub after branch" true
+    (Fs.certified b (stmt "begin if x = 0 then y := 1 else y := 2; y := 0 end"))
+
+let test_loop_termination_channel () =
+  let b = binding [ ("x", high); ("z", low) ] in
+  check "write after high loop rejected" false
+    (Fs.certified b (stmt "begin while x > 0 do x := x - 1; z := 1 end"))
+
+let test_loop_fixpoint_converges () =
+  (* Class laundering through a loop: w picks up x's class on iteration 1
+     and passes it to y on iteration 2 — only a fixpoint sees it. *)
+  let b = binding [ ("x", high); ("w", low); ("y", low); ("n", low) ] in
+  let s = stmt "while n > 0 do begin y := w; w := x; n := n - 1 end" in
+  let r = Fs.analyze b s in
+  check "laundering caught" false r.Fs.accepted;
+  check "y flagged" true (List.mem_assoc "y" r.Fs.violations);
+  check "w flagged" true (List.mem_assoc "w" r.Fs.violations)
+
+let test_while_condition_current_class () =
+  (* The loop condition's class is its *current* class: after x := 0 the
+     loop over x is harmless. *)
+  let b = binding [ ("x", high); ("y", low); ("n", low) ] in
+  check "declassified condition" true
+    (Fs.certified b (stmt "begin x := 0; while x < 3 do begin y := 1; x := x + 1 end end"))
+
+let test_sequential_wait_signal () =
+  let b = binding [ ("sem", high); ("y", low) ] in
+  check "wait taints global" false
+    (Fs.certified b (stmt "begin wait(sem); y := 1 end"));
+  check "write before wait fine" true
+    (Fs.certified b (stmt "begin y := 1; wait(sem) end"));
+  (* Unlike variables, semaphores never declassify: signals only add to
+     the count, so the initial count's information is never overwritten.
+     Even after signalling, a wait on a high semaphore taints global. *)
+  let b2 = binding [ ("sem", high); ("x", high); ("y", low) ] in
+  check "sem never declassifies" false
+    (Fs.certified b2 (stmt "begin x := 0; signal(sem); wait(sem); y := 1 end"));
+  (* A low-bound semaphore stays low through signal/wait. *)
+  let b3 = binding [ ("sem", low); ("y", low) ] in
+  check "low sem round trip" true
+    (Fs.certified b3 (stmt "begin signal(sem); wait(sem); y := 1 end"))
+
+let test_cobegin_degrades_to_cfm () =
+  let b = binding [ ("x", high); ("y", low); ("s", low) ] in
+  (* Inside cobegin the analysis is CFM: the semaphore channel is
+     rejected even though a per-schedule view might miss it. *)
+  check "sem channel rejected" false
+    (Fs.certified b (stmt "cobegin if x = 0 then signal(s) || begin wait(s); y := 0 end coend"));
+  (* And a CFM-certifiable cobegin passes, with flow-sensitivity resuming
+     after it. *)
+  let b2 = binding [ ("a", low); ("b", low); ("h", high) ] in
+  check "clean cobegin + scrub" true
+    (Fs.certified b2 (stmt "begin cobegin a := 1 || b := 2 coend; b := h; b := 0 end"))
+
+let test_cobegin_entry_condition () =
+  (* Laundered-high data flowing INTO a cobegin must block the CFM
+     degradation: inside, reads are justified by bindings only. *)
+  let b = binding [ ("h", high); ("a", low); ("b", low) ] in
+  check "tainted entry rejected" false
+    (Fs.certified b (stmt "begin a := h; cobegin b := a || skip coend end"));
+  check "clean entry accepted" true
+    (Fs.certified b (stmt "begin a := 0; cobegin b := a || skip coend end"))
+
+(* The headline property: on ANY program, CFM-certified implies
+   flow-sensitive-accepted. *)
+let test_fs_dominates_cfm =
+  let count = 400 in
+  fun () ->
+    let rng = Prng.create 4242 in
+    let lattices = [ two; Chain.four ] in
+    List.iter
+      (fun lat ->
+        let arr = Array.of_list lat.Lattice.elements in
+        for i = 1 to count do
+          let p = Gen.program rng Gen.default ~size:(1 + (i mod 30)) in
+          let vars = Ifc_lang.Vars.all_vars p.Ast.body in
+          let b =
+            Binding.make lat
+              (List.map
+                 (fun v -> (v, arr.(Prng.int rng (Array.length arr))))
+                 (Sset.elements vars))
+          in
+          if Cfm.certified b p.Ast.body && not (Fs.certified b p.Ast.body) then
+            Alcotest.failf "CFM-certified but FS-rejected:@.%s@.binding: %a"
+              (Ifc_lang.Pretty.program_to_string p)
+              Binding.pp b
+        done)
+      lattices
+
+(* Empirical soundness: accepted programs pass the (termination-
+   insensitive) noninterference test. *)
+let test_fs_sound_on_corpus () =
+  let rng = Prng.create 777 in
+  let cfg = { Gen.default with Gen.max_depth = 3 } in
+  let checked = ref 0 and attempts = ref 0 in
+  while !checked < 20 && !attempts < 500 do
+    incr attempts;
+    let p = Gen.program_balanced rng cfg ~size:(2 + (!attempts mod 10)) in
+    let vars, _, _ = Ifc_lang.Vars.declared p in
+    let pairs =
+      List.map (fun v -> (v, if Prng.bool rng then high else low)) (Sset.elements vars)
+    in
+    let b = binding pairs in
+    if List.exists (fun (_, c) -> c = high) pairs && Fs.certified b p.Ast.body then begin
+      let r = Ni.test ~seed:!attempts ~pairs:4 ~max_states:4000 ~observer:low b p in
+      if r.Ni.pairs_tested > 0 then begin
+        incr checked;
+        if not (Ni.secure r) then
+          Alcotest.failf "FS-accepted program violates NI:@.%s@.binding: %a"
+            (Ifc_lang.Pretty.program_to_string p)
+            Binding.pp b
+      end
+    end
+  done;
+  check "exercised" true (!checked >= 10)
+
+let test_fs_strictly_more_permissive_stats () =
+  (* Quantify: some CFM-rejected sequential programs are FS-accepted, and
+     never the other way around. *)
+  let rng = Prng.create 31 in
+  let extra = ref 0 and total = ref 0 in
+  for i = 1 to 300 do
+    let p = Gen.program rng Gen.sequential ~size:(2 + (i mod 12)) in
+    let vars = Ifc_lang.Vars.all_vars p.Ast.body in
+    let b =
+      binding
+        (List.map (fun v -> (v, if Prng.bool rng then high else low)) (Sset.elements vars))
+    in
+    incr total;
+    let cfm = Cfm.certified b p.Ast.body and fs = Fs.certified b p.Ast.body in
+    check "no inversion" false (cfm && not fs);
+    if fs && not cfm then incr extra
+  done;
+  check "strictly more permissive on the corpus" true (!extra > 0)
+
+let suite =
+  ( "flow-sensitive",
+    [
+      Alcotest.test_case "accepts 5.2" `Quick test_accepts_52;
+      Alcotest.test_case "rejects direct leak" `Quick test_rejects_direct_leak;
+      Alcotest.test_case "overwrite clears" `Quick test_overwrite_clears;
+      Alcotest.test_case "implicit flow" `Quick test_implicit_flow;
+      Alcotest.test_case "loop termination channel" `Quick test_loop_termination_channel;
+      Alcotest.test_case "loop fixpoint converges" `Quick test_loop_fixpoint_converges;
+      Alcotest.test_case "while condition current class" `Quick
+        test_while_condition_current_class;
+      Alcotest.test_case "sequential wait/signal" `Quick test_sequential_wait_signal;
+      Alcotest.test_case "cobegin degrades to CFM" `Quick test_cobegin_degrades_to_cfm;
+      Alcotest.test_case "cobegin entry condition" `Quick test_cobegin_entry_condition;
+      Alcotest.test_case "FS dominates CFM (property)" `Quick test_fs_dominates_cfm;
+      Alcotest.test_case "FS sound on corpus" `Slow test_fs_sound_on_corpus;
+      Alcotest.test_case "FS strictly more permissive" `Quick
+        test_fs_strictly_more_permissive_stats;
+    ] )

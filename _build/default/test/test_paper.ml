@@ -1,0 +1,185 @@
+(* Tests for the paper-corpus module and the report/binding plumbing the
+   CLI builds on. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Mls = Ifc_lattice.Mls
+module Ast = Ifc_lang.Ast
+module Wellformed = Ifc_lang.Wellformed
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Report = Ifc_core.Report
+module Paper = Ifc_core.Paper
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let two = Chain.two
+
+let low = two.Lattice.bottom
+
+let high = two.Lattice.top
+
+(* ------------------------------------------------------------------ *)
+(* Corpus sanity *)
+
+let test_all_programs_wellformed () =
+  List.iter
+    (fun (name, p) ->
+      if not (Wellformed.is_valid p) then
+        Alcotest.failf "paper program %s is ill-formed" name)
+    Paper.all
+
+let test_all_programs_roundtrip () =
+  List.iter
+    (fun (name, p) ->
+      let printed = Ifc_lang.Pretty.program_to_string p in
+      match Ifc_lang.Parser.parse_program printed with
+      | Ok p' -> check (name ^ " roundtrips") true (Ast.equal_program p p')
+      | Error e -> Alcotest.failf "%s reparse: %a" name Ifc_lang.Parser.pp_error e)
+    Paper.all
+
+let test_fig3_vars_complete () =
+  let declared, _arrays, sems = Ifc_lang.Vars.declared Paper.fig3 in
+  let all = Ifc_support.Sset.union declared sems in
+  List.iter
+    (fun v -> check ("declares " ^ v) true (Ifc_support.Sset.mem v all))
+    Paper.fig3_vars;
+  check_int "exactly seven" 7 (Ifc_support.Sset.cardinal all)
+
+(* ------------------------------------------------------------------ *)
+(* Binding plumbing *)
+
+let test_binding_of_program_annotations () =
+  let p =
+    match
+      Ifc_lang.Parser.parse_program
+        "var a : integer class high; b : integer; s : semaphore initially(0) class low; skip"
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "parse: %a" Ifc_lang.Parser.pp_error e
+  in
+  (match Binding.of_program two p with
+  | Ok b ->
+    check_int "annotated high" high (Binding.sbind b "a");
+    check_int "unannotated defaults to bottom" low (Binding.sbind b "b");
+    check_int "semaphore annotation" low (Binding.sbind b "s")
+  | Error e -> Alcotest.fail e);
+  (* Unknown class names are reported. *)
+  let bad =
+    match Ifc_lang.Parser.parse_program "var a : integer class ultra; skip" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "parse: %a" Ifc_lang.Parser.pp_error e
+  in
+  check "unknown class rejected" true (Result.is_error (Binding.of_program two bad));
+  (* Overrides beat annotations. *)
+  match Binding.of_program two ~overrides:[ ("a", low) ] p with
+  | Ok b -> check_int "override wins" low (Binding.sbind b "a")
+  | Error e -> Alcotest.fail e
+
+let test_binding_of_spec () =
+  (match Binding.of_spec two "x : high\n# comment\n\ny : low # trailing" with
+  | Ok b ->
+    check_int "x" high (Binding.sbind b "x");
+    check_int "y" low (Binding.sbind b "y")
+  | Error e -> Alcotest.fail e);
+  check "bad class" true (Result.is_error (Binding.of_spec two "x : purple"));
+  check "missing colon" true (Result.is_error (Binding.of_spec two "x high"));
+  (* MLS labels contain colons; the first colon separates. *)
+  let mls = Mls.standard in
+  match Binding.of_spec mls "doc : secret:{NUC}" with
+  | Ok b ->
+    check "mls label parsed" true
+      (mls.Lattice.equal (Binding.sbind b "doc") (Mls.label mls "secret:{NUC}"))
+  | Error e -> Alcotest.fail e
+
+let test_binding_default () =
+  let b = Binding.make two ~default:high [ ("x", low) ] in
+  check_int "explicit" low (Binding.sbind b "x");
+  check_int "default" high (Binding.sbind b "anything")
+
+let test_expr_class () =
+  let b = Binding.make two [ ("h", high); ("l", low) ] in
+  let expr src =
+    match Ifc_lang.Parser.parse_expr src with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "parse: %a" Ifc_lang.Parser.pp_error e
+  in
+  check_int "constant is low" low (Binding.expr_class b (expr "42"));
+  check_int "join" high (Binding.expr_class b (expr "l + h * 2"));
+  check_int "boolean op too" high (Binding.expr_class b (expr "h = 0 and l = 1"))
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let index_of haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then max_int else if String.sub haystack i n = needle then i else go (i + 1)
+  in
+  go 0
+
+let test_report_summary_and_checks () =
+  let b = Binding.make two [ ("x", high); ("y", low) ] in
+  let s =
+    match Ifc_lang.Parser.parse_stmt "begin y := x; x := y end" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse: %a" Ifc_lang.Parser.pp_error e
+  in
+  let r = Cfm.analyze b s in
+  let summary = Report.summary r in
+  check "summary says rejected" true (contains summary "REJECTED");
+  let full = Fmt.str "%a" (Report.pp_result two) r in
+  check "full report has FAIL line" true (contains full "[FAIL]");
+  check "full report shows classes" true (contains full "high <= low");
+  check "failures listed first" true (index_of full "[FAIL]" < index_of full "[ok]")
+
+let test_report_requirements_dedup () =
+  let s =
+    match Ifc_lang.Parser.parse_stmt "begin y := x; y := x end" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse: %a" Ifc_lang.Parser.pp_error e
+  in
+  let rendered =
+    Fmt.str "%a" Report.pp_requirements (Ifc_core.Infer.constraints s)
+  in
+  (* The same constraint appears twice in the program but once in the
+     rendered requirement list. *)
+  let first = index_of rendered "sbind(x) <= sbind(y)" in
+  check "present" true (first < max_int);
+  let rest = String.sub rendered (first + 1) (String.length rendered - first - 1) in
+  check "deduplicated" true (index_of rest "sbind(x) <= sbind(y)" = max_int)
+
+let test_denning_report_renders () =
+  let b = Binding.make two [ ("s", low) ] in
+  let st =
+    match Ifc_lang.Parser.parse_stmt "cobegin wait(s) || skip coend" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse: %a" Ifc_lang.Parser.pp_error e
+  in
+  let r = Ifc_core.Denning.analyze ~on_concurrency:`Reject b st in
+  let rendered = Fmt.str "%a" (Report.pp_denning two) r in
+  check "mentions rejected constructs" true (contains rendered "rejected parallel")
+
+let suite =
+  ( "paper",
+    [
+      Alcotest.test_case "all programs well-formed" `Quick test_all_programs_wellformed;
+      Alcotest.test_case "all programs roundtrip" `Quick test_all_programs_roundtrip;
+      Alcotest.test_case "fig3 vars complete" `Quick test_fig3_vars_complete;
+      Alcotest.test_case "binding of_program annotations" `Quick
+        test_binding_of_program_annotations;
+      Alcotest.test_case "binding of_spec" `Quick test_binding_of_spec;
+      Alcotest.test_case "binding default" `Quick test_binding_default;
+      Alcotest.test_case "expr class" `Quick test_expr_class;
+      Alcotest.test_case "report summary/checks" `Quick test_report_summary_and_checks;
+      Alcotest.test_case "report requirements dedup" `Quick
+        test_report_requirements_dedup;
+      Alcotest.test_case "denning report" `Quick test_denning_report_renders;
+    ] )

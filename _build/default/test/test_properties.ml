@@ -1,0 +1,224 @@
+(* The toolkit's headline cross-cutting properties as QCheck tests with
+   shrinking: failures minimise to small counterexample programs. Several
+   overlap deliberately with hand-rolled loops elsewhere in the suite —
+   these versions shrink, those versions pin seeds. *)
+
+module Ast = Ifc_lang.Ast
+module Gen = Ifc_lang.Gen
+module Chain = Ifc_lattice.Chain
+module Lattice = Ifc_lattice.Lattice
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Denning = Ifc_core.Denning
+module Infer = Ifc_core.Infer
+module Fs = Ifc_core.Flow_sensitive
+module Invariance = Ifc_logic.Invariance
+module Arb = Qcheck_arbitrary
+
+let two = Chain.two
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let roundtrip =
+  qtest ~count:300 "print/parse round trip" (Arb.program ())
+    (fun p ->
+      match Ifc_lang.Parser.parse_program (Ifc_lang.Pretty.program_to_string p) with
+      | Ok p' -> Ast.equal_program p p'
+      | Error _ -> false)
+
+let wellformed =
+  qtest ~count:300 "generated programs are well-formed" (Arb.program ())
+    (fun p -> Ifc_lang.Wellformed.is_valid p)
+
+let theorems_equivalence =
+  qtest ~count:200 "thm 1+2: cert(S) <=> checked proof (shrinkable)"
+    (Arb.bound_program two)
+    (fun bp ->
+      let b = Arb.binding_of bp in
+      Bool.equal
+        (Cfm.certified b bp.Arb.prog.Ast.body)
+        (Invariance.decide b bp.Arb.prog.Ast.body))
+
+let cfm_below_denning =
+  qtest ~count:200 "CFM certified => Denning certified" (Arb.bound_program two)
+    (fun bp ->
+      let b = Arb.binding_of bp in
+      (not (Cfm.certified b bp.Arb.prog.Ast.body))
+      || Denning.certified ~on_concurrency:`Ignore b bp.Arb.prog.Ast.body)
+
+let cfm_below_fs =
+  qtest ~count:200 "CFM certified => flow-sensitive accepted" (Arb.bound_program two)
+    (fun bp ->
+      let b = Arb.binding_of bp in
+      (not (Cfm.certified b bp.Arb.prog.Ast.body))
+      || Fs.certified b bp.Arb.prog.Ast.body)
+
+let constraints_characterise_cfm =
+  qtest ~count:200 "symbolic constraints characterise cert" (Arb.bound_program two)
+    (fun bp ->
+      let b = Arb.binding_of bp in
+      let satisfied =
+        List.for_all
+          (fun (c : Infer.constr) ->
+            let value = function
+              | Infer.Const_low -> two.Lattice.bottom
+              | Infer.Const_named c ->
+                Result.value ~default:two.Lattice.top (two.Lattice.of_string c)
+              | Infer.Class v -> Binding.sbind b v
+            in
+            two.Lattice.leq
+              (Ifc_lattice.Lattice.joins two (List.map value c.Infer.lhs))
+              (Binding.sbind b c.Infer.rhs))
+          (Infer.constraints bp.Arb.prog.Ast.body)
+      in
+      Bool.equal satisfied (Cfm.certified b bp.Arb.prog.Ast.body))
+
+let inference_least =
+  qtest ~count:150 "inferred binding certifies and is pointwise least"
+    (Arb.bound_program Chain.four)
+    (fun bp ->
+      let p = bp.Arb.prog in
+      match Infer.infer Chain.four ~fixed:[] p with
+      | Error _ -> false
+      | Ok least ->
+        Cfm.certified least p.Ast.body
+        &&
+        (* Leastness against an independent witness: any certifying
+           binding dominates the inferred one on every variable. *)
+        let witness = Arb.binding_of bp in
+        (not (Cfm.certified witness p.Ast.body))
+        || List.for_all
+             (fun v ->
+               Chain.four.Lattice.leq (Binding.sbind least v) (Binding.sbind witness v))
+             (Ifc_support.Sset.elements (Ifc_lang.Vars.all_vars p.Ast.body)))
+
+let self_check_subset =
+  qtest ~count:200 "strict (j<=i) reading certifies a subset" (Arb.bound_program two)
+    (fun bp ->
+      let b = Arb.binding_of bp in
+      (not (Cfm.certified ~self_check:true b bp.Arb.prog.Ast.body))
+      || Cfm.certified b bp.Arb.prog.Ast.body)
+
+let mod_flow_monotone_in_binding =
+  (* Raising a binding pointwise raises mod(S) and flow(S). *)
+  qtest ~count:200 "mod/flow monotone in the binding" (Arb.bound_program two)
+    (fun bp ->
+      let body = bp.Arb.prog.Ast.body in
+      let b = Arb.binding_of bp in
+      let raised =
+        List.fold_left
+          (fun acc (v, _) -> Binding.bind acc v two.Lattice.top)
+          b (Binding.bindings b)
+      in
+      let ext = Ifc_lattice.Extended.make two in
+      two.Lattice.leq (Cfm.mod_of b body) (Cfm.mod_of raised body)
+      && ext.Lattice.leq (Cfm.flow_of b body) (Cfm.flow_of raised body))
+
+let denning_agrees_on_loopfree_seq =
+  let cfg = { Gen.sequential with Gen.allow_loops = false } in
+  qtest ~count:200 "Denning = CFM on loop-free sequential programs"
+    (Arb.bound_program ~cfg two)
+    (fun bp ->
+      let b = Arb.binding_of bp in
+      Bool.equal
+        (Denning.certified ~on_concurrency:`Ignore b bp.Arb.prog.Ast.body)
+        (Cfm.certified b bp.Arb.prog.Ast.body))
+
+let metrics_positive =
+  qtest ~count:200 "metrics are consistent" (Arb.program ())
+    (fun p ->
+      let m = Ifc_lang.Metrics.of_program p in
+      m.Ifc_lang.Metrics.statements > 0
+      && m.Ifc_lang.Metrics.statements
+         >= m.Ifc_lang.Metrics.assignments + m.Ifc_lang.Metrics.sync_ops
+      && Ifc_lang.Metrics.length p >= m.Ifc_lang.Metrics.statements)
+
+let parser_never_crashes =
+  (* Fuzz the parser with mutated program text: it must return Ok or
+     Error, never raise. *)
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun p (pos, c) ->
+          let s = Bytes.of_string (Ifc_lang.Pretty.program_to_string p) in
+          if Bytes.length s > 0 then
+            Bytes.set s (pos mod Bytes.length s) (Char.chr (32 + (c mod 95)));
+          Bytes.to_string s)
+        (Qcheck_arbitrary.program_gen ())
+        (pair small_nat small_nat))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"parser total on mutated sources" ~count:500
+       (QCheck.make gen)
+       (fun src ->
+         match Ifc_lang.Parser.parse_program src with
+         | Ok _ | Error _ -> true
+         | exception _ -> false))
+
+let taskkey_injective_enough =
+  (* Distinct residual tasks get distinct keys (exploration memoisation
+     correctness): compare keys of a program's task against a shrink's. *)
+  qtest ~count:200 "task keys distinguish distinct programs" (Arb.program ())
+    (fun p ->
+      let t = Ifc_exec.Task.of_stmt p.Ast.body in
+      match List.of_seq (Seq.take 1 (Gen.shrink_program p)) with
+      | [ p' ] when not (Ast.equal_stmt p.Ast.body p'.Ast.body) ->
+        Ifc_exec.Task.key t <> Ifc_exec.Task.key (Ifc_exec.Task.of_stmt p'.Ast.body)
+      | _ -> true)
+
+let arrays_roundtrip =
+  qtest ~count:200 "round trip (array corpus)" (Arb.program ~cfg:Gen.with_arrays ())
+    (fun p ->
+      match Ifc_lang.Parser.parse_program (Ifc_lang.Pretty.program_to_string p) with
+      | Ok p' -> Ast.equal_program p p'
+      | Error _ -> false)
+
+let arrays_theorems =
+  qtest ~count:150 "thm 1+2 over the array corpus"
+    (Arb.bound_program ~cfg:Gen.with_arrays two)
+    (fun bp ->
+      let b = Arb.binding_of bp in
+      Bool.equal
+        (Cfm.certified b bp.Arb.prog.Ast.body)
+        (Invariance.decide b bp.Arb.prog.Ast.body))
+
+let theorem1_all_premises =
+  (* Theorem 1 promises a proof for EVERY l, g with l (+) g <= mod(S) when
+     S is certified; sweep the whole two-point square. *)
+  qtest ~count:150 "thm 1 holds at every admissible (l,g)" (Arb.bound_program two)
+    (fun bp ->
+      let body = bp.Arb.prog.Ast.body in
+      let b = Arb.binding_of bp in
+      (not (Cfm.certified b body))
+      ||
+      let mod_s = Cfm.mod_of b body in
+      List.for_all
+        (fun l ->
+          List.for_all
+            (fun g ->
+              (not (two.Lattice.leq (two.Lattice.join l g) mod_s))
+              || Invariance.decide_at ~l ~g b body)
+            two.Lattice.elements)
+        two.Lattice.elements)
+
+let suite =
+  ( "properties",
+    [
+      roundtrip;
+      arrays_roundtrip;
+      arrays_theorems;
+      theorem1_all_premises;
+      wellformed;
+      theorems_equivalence;
+      cfm_below_denning;
+      cfm_below_fs;
+      constraints_characterise_cfm;
+      inference_least;
+      self_check_subset;
+      mod_flow_monotone_in_binding;
+      denning_agrees_on_loopfree_seq;
+      metrics_positive;
+      parser_never_crashes;
+      taskkey_injective_enough;
+    ] )
