@@ -12,11 +12,21 @@
                program length (Denning, CFM, proof generation+checking)
      SND       empirical soundness: certified programs pass the
                (termination-insensitive) noninterference test
+     PIPE      the batch pipeline: throughput at 1/2/4 domains with
+               verdict-multiset determinism, and result-cache hit rates
      micro     Bechamel micro-benchmarks of every analysis entry point
 
    Usage: dune exec bench/main.exe [-- SECTION ...]
-   Sections: tables fig3 theorems strength scaling ni micro all (default
-   all). Add "quick" to shrink corpus and sweep sizes. *)
+   Sections: tables fig3 theorems strength scaling ni pipeline micro all
+   (default all). Add "quick" to shrink corpus and sweep sizes.
+
+   Besides the human tables, every section prints one or more
+   machine-readable lines of the form
+
+     {"section": "scaling", "metric": "cfm_ns_per_node_ratio", "value": 1.1}
+
+   so successive PRs can track the performance trajectory by grepping
+   bench output into BENCH_*.json files. *)
 
 module Lattice = Ifc_lattice.Lattice
 module Chain = Ifc_lattice.Chain
@@ -39,6 +49,9 @@ module Invariance = Ifc_logic.Invariance
 module Entail = Ifc_logic.Entail
 module Scheduler = Ifc_exec.Scheduler
 module Ni = Ifc_exec.Noninterference
+module Job = Ifc_pipeline.Job
+module Cache = Ifc_pipeline.Cache
+module Batch = Ifc_pipeline.Batch
 
 let two = Chain.two
 
@@ -48,6 +61,15 @@ let high = two.Lattice.top
 
 let banner title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '-')
+
+(* Machine-readable metric lines, one JSON object per line, greppable
+   into BENCH_*.json by future PRs tracking the perf trajectory. *)
+let metric section name value =
+  Fmt.pr "{\"section\": %S, \"metric\": %S, \"value\": %s}@." section name value
+
+let metric_i section name v = metric section name (string_of_int v)
+
+let metric_f section name v = metric section name (Printf.sprintf "%.4f" v)
 
 let random_binding rng lattice stmt =
   let arr = Array.of_list lattice.Lattice.elements in
@@ -81,16 +103,19 @@ let fig2_table () =
     ]
   in
   Fmt.pr "%-30s %-6s %-6s %s@." "statement" "mod" "flow" "cert";
+  let certified = ref 0 in
   List.iter
     (fun (label, src) ->
       match Parser.parse_stmt src with
       | Error e -> Fmt.pr "%s: parse error %a@." label Parser.pp_error e
       | Ok s ->
         let r = Cfm.analyze b s in
+        if r.Cfm.certified then incr certified;
         Fmt.pr "%-30s %-6s %-6s %b@." label (two.Lattice.to_string r.Cfm.mod_)
           (Fmt.str "%a" (Extended.pp two) r.Cfm.flow)
           r.Cfm.certified)
-    rows
+    rows;
+  metric_i "tables" "certified_rows" !certified
 
 (* ------------------------------------------------------------------ *)
 (* F3: the Figure 3 matrix and requirement chain. *)
@@ -142,13 +167,16 @@ let fig3_report () =
       "sbind(m) <= sbind(y)";
     ]
   in
+  let derived = ref 0 in
   List.iter
     (fun w ->
       let present =
         List.exists (fun c -> String.equal (Fmt.str "%a" Infer.pp_constr c) w) cs
       in
+      if present then incr derived;
       Fmt.pr "  %-34s %s@." w (if present then "derived" else "MISSING"))
-    wanted
+    wanted;
+  metric_i "fig3" "chain_derived" !derived
 
 (* ------------------------------------------------------------------ *)
 (* T1/T2: the equivalence, quantified over a corpus. *)
@@ -179,7 +207,10 @@ let theorems ~corpus () =
         !total !certified
         (100. *. float_of_int !certified /. float_of_int !total)
         !agree !total
-        (if !agree = !total then "  [theorems hold]" else "  [DIVERGENCE!]"))
+        (if !agree = !total then "  [theorems hold]" else "  [DIVERGENCE!]");
+      metric_f "theorems"
+        (name ^ "_agreement_pct")
+        (100. *. float_of_int !agree /. float_of_int !total))
     lattices
 
 (* ------------------------------------------------------------------ *)
@@ -209,7 +240,11 @@ let strength ~corpus () =
      else 100. *. float_of_int !secure_rejected /. float_of_int !tested);
   Fmt.pr
     "The paper's 5.2 example is in this class: x := 0; y := x with x high, y@ low \
-     is rejected yet secure (the flow logic proves it; CFM cannot).@."
+     is rejected yet secure (the flow logic proves it; CFM cannot).@.";
+  metric_i "strength" "rejected" !rejected;
+  metric_f "strength" "secure_rejected_pct"
+    (if !tested = 0 then 0.
+     else 100. *. float_of_int !secure_rejected /. float_of_int !tested)
 
 (* ------------------------------------------------------------------ *)
 (* ABL: mechanism ablation — acceptance rates across analysers. *)
@@ -245,7 +280,9 @@ let ablation ~corpus () =
     "@.Denning accepts more than CFM only because it is blind to global@ flows — \
      every extra acceptance is a potential synchronization or@ termination leak. \
      The flow-sensitive extension accepts more than CFM@ soundly, by tracking \
-     current classes.@."
+     current classes.@.";
+  metric_f "ablation" "cfm_accept_pct" (pct !cfm_n);
+  metric_i "ablation" "containment_violations" !inversions
 
 (* ------------------------------------------------------------------ *)
 (* C1: linear-time claim. *)
@@ -299,7 +336,8 @@ let scaling ~sizes () =
       "@.CFM ns/node at smallest vs largest size: %.1f vs %.1f (ratio %.2f; linear \
        scaling keeps this near 1)@."
       (1e9 *. per0) (1e9 *. per1)
-      (per1 /. per0)
+      (per1 /. per0);
+    metric_f "scaling" "cfm_ns_per_node_ratio" (per1 /. per0)
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -337,7 +375,9 @@ let soundness ~corpus () =
   let r = Ni.test ~pairs:4 ~observer:low leaky Paper.fig3 in
   Fmt.pr "control (fig3, x high / y low): %d violations in %d pairs [leak confirmed]@."
     (List.length r.Ni.violations)
-    r.Ni.pairs_tested
+    r.Ni.pairs_tested;
+  metric_i "ni" "certified_tested" !checked;
+  metric_i "ni" "violations" !violations
 
 (* ------------------------------------------------------------------ *)
 (* POR: state-space reduction from partial-order reduction. *)
@@ -396,7 +436,88 @@ let por ~corpus () =
   Fmt.pr "%-34s %10d %10d %8.1fx   (%d programs)@." "random corpus (total states)"
     !full_total !por_total
     (float_of_int !full_total /. float_of_int (max 1 !por_total))
-    !n
+    !n;
+  metric_f "por" "corpus_reduction_ratio"
+    (float_of_int !full_total /. float_of_int (max 1 !por_total))
+
+(* ------------------------------------------------------------------ *)
+(* PIPE: the batch pipeline — throughput scaling over domains,
+   verdict determinism, and result-cache hit rates. *)
+
+let pipeline ~corpus () =
+  banner
+    (Printf.sprintf
+       "PIPE: batch certification of a %d-program corpus (cfm + prove per job)"
+       corpus);
+  let lat = Lattice.stringify two in
+  (* The corpus is a pure function of the seed, so every configuration
+     below certifies byte-identical inputs. *)
+  let make_specs () =
+    let rng = Prng.create 271828 in
+    List.init corpus (fun i ->
+        let p = Gen.program rng Gen.default ~size:(5 + (i mod 40)) in
+        let b = random_binding rng lat p.Ast.body in
+        Job.make ~id:i
+          ~name:(Printf.sprintf "corpus:%d" i)
+          ~lattice:lat ~binding:b
+          ~analyses:[ Job.Cfm; Job.Prove ]
+          p)
+  in
+  let verdicts summary =
+    List.map Job.verdict_string summary.Batch.results |> List.sort compare
+  in
+  let cores = Domain.recommended_domain_count () in
+  if cores < 4 then
+    Fmt.pr
+      "note: host reports %d available core(s); speedup above 1x needs real \
+       parallelism@."
+      cores;
+  Fmt.pr "%-10s %12s %12s %10s@." "domains" "wall (ms)" "jobs/s" "speedup";
+  let runs =
+    List.map
+      (fun jobs ->
+        let summary = Batch.run ~jobs (make_specs ()) in
+        (jobs, summary))
+      [ 1; 2; 4 ]
+  in
+  let wall_ms s = Int64.to_float s.Batch.wall_ns /. 1e6 in
+  let base_wall =
+    match runs with (_, s) :: _ -> wall_ms s | [] -> assert false
+  in
+  List.iter
+    (fun (jobs, s) ->
+      let speedup = base_wall /. wall_ms s in
+      Fmt.pr "%-10d %12.1f %12.1f %9.2fx@." jobs (wall_ms s)
+        (Batch.throughput s) speedup;
+      if jobs > 1 then
+        metric_f "pipeline" (Printf.sprintf "speedup_%d" jobs) speedup)
+    runs;
+  let reference = verdicts (snd (List.hd runs)) in
+  let deterministic =
+    List.for_all (fun (_, s) -> verdicts s = reference) (List.tl runs)
+  in
+  Fmt.pr "verdict multisets across domain counts: %s@."
+    (if deterministic then "identical" else "DIVERGENT!");
+  metric_i "pipeline" "corpus" corpus;
+  metric "pipeline" "verdicts_deterministic" (string_of_bool deterministic);
+  (* Cache: a cold pass fills it, a warm pass should only hit. *)
+  let cache = Cache.create ~capacity:(2 * corpus) () in
+  let cold = Batch.run ~jobs:4 ~cache (make_specs ()) in
+  let warm = Batch.run ~jobs:4 ~cache (make_specs ()) in
+  let rate hits misses =
+    if hits + misses = 0 then 0.
+    else 100. *. float_of_int hits /. float_of_int (hits + misses)
+  in
+  Fmt.pr "cache cold: %d hits / %d misses; warm: %d hits / %d misses (%.1f%%)@."
+    cold.Batch.cache_hits cold.Batch.cache_misses warm.Batch.cache_hits
+    warm.Batch.cache_misses
+    (rate warm.Batch.cache_hits warm.Batch.cache_misses);
+  Fmt.pr "warm verdicts identical: %b;  warm wall: %.1f ms (cold: %.1f ms)@."
+    (verdicts warm = verdicts cold)
+    (wall_ms warm) (wall_ms cold);
+  metric_f "pipeline" "warm_hit_rate_pct"
+    (rate warm.Batch.cache_hits warm.Batch.cache_misses);
+  metric_f "pipeline" "cache_speedup" (wall_ms cold /. wall_ms warm)
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel). *)
@@ -470,7 +591,8 @@ let micro () =
       in
       let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols_result) in
       Fmt.pr "%-40s %14.1f %8.3f@." name estimate r2)
-    names
+    names;
+  metric_i "micro" "benchmarks" (List.length names)
 
 (* ------------------------------------------------------------------ *)
 
@@ -480,7 +602,8 @@ let () =
   let sections =
     match List.filter (fun a -> a <> "quick") args with
     | [] | [ "all" ] ->
-      [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling"; "ni"; "micro" ]
+      [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling";
+        "ni"; "pipeline"; "micro" ]
     | s -> s
   in
   let corpus = if quick then 100 else 400 in
@@ -494,6 +617,7 @@ let () =
     | "por" -> por ~corpus:(if quick then 60 else 150) ()
     | "scaling" -> scaling ~sizes ()
     | "ni" -> soundness ~corpus:(if quick then 15 else 30) ()
+    | "pipeline" -> pipeline ~corpus:(if quick then 60 else 240) ()
     | "micro" -> micro ()
     | other -> Fmt.epr "unknown section %S@." other
   in

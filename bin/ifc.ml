@@ -4,8 +4,9 @@
    the Denning baseline ([denning]), binding inference ([infer]),
    Theorem-1 flow proofs ([prove]), execution ([run]), exhaustive
    exploration ([explore]), dynamic taint monitoring ([taint]),
-   noninterference testing ([ni]), lattice inspection ([lattice]),
-   random program generation ([gen]) and a reference card ([rules]). *)
+   noninterference testing ([ni]), parallel corpus certification
+   ([batch]), lattice inspection ([lattice]), random program generation
+   ([gen]) and a reference card ([rules]). *)
 
 module Lattice = Ifc_lattice.Lattice
 module Chain = Ifc_lattice.Chain
@@ -30,6 +31,10 @@ module Scheduler = Ifc_exec.Scheduler
 module Explore = Ifc_exec.Explore
 module Taint = Ifc_exec.Taint
 module Ni = Ifc_exec.Noninterference
+module Job = Ifc_pipeline.Job
+module Cache = Ifc_pipeline.Cache
+module Batch = Ifc_pipeline.Batch
+module Telemetry = Ifc_pipeline.Telemetry
 
 open Cmdliner
 
@@ -499,6 +504,209 @@ let ni_cmd =
       $ max_states $ program_arg)
 
 (* ------------------------------------------------------------------ *)
+(* batch *)
+
+let parse_analyses ~ni_pairs ~ni_max_states csv =
+  let names =
+    String.split_on_char ',' csv |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match names with
+  | [] -> Error "empty --analyses list"
+  | names ->
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* a = Job.analysis_of_string ~ni_pairs ~ni_max_states name in
+        Ok (a :: acc))
+      (Ok []) names
+    |> Result.map List.rev
+
+(* Random bindings for a generated corpus, matching the bench harness:
+   every variable gets a uniformly drawn class, deterministically from
+   the corpus seed. *)
+let random_binding rng lat stmt =
+  let arr = Array.of_list lat.Lattice.elements in
+  Binding.make lat
+    (List.map
+       (fun v -> (v, arr.(Ifc_support.Prng.int rng (Array.length arr))))
+       (Ifc_support.Sset.elements (Ifc_lang.Vars.all_vars stmt)))
+
+let run_batch lattice_name binding_file self_check jobs use_cache cache_size
+    log_file analyses_csv ni_pairs ni_max_states gen_n gen_size gen_seed
+    gen_sequential repeat verbose files =
+  let result =
+    let* () =
+      if jobs < 1 then Error "--jobs must be at least 1" else Ok ()
+    in
+    let* lat = load_lattice lattice_name in
+    let* analyses = parse_analyses ~ni_pairs ~ni_max_states analyses_csv in
+    let* file_specs =
+      List.fold_left
+        (fun acc path ->
+          let* acc = acc in
+          let* p = load_program path in
+          let* binding = load_binding lat binding_file p in
+          Ok ((path, p, binding) :: acc))
+        (Ok []) files
+      |> Result.map List.rev
+    in
+    let gen_specs =
+      if gen_n <= 0 then []
+      else begin
+        let rng = Ifc_support.Prng.create gen_seed in
+        let cfg = if gen_sequential then Gen.sequential else Gen.default in
+        List.init gen_n (fun i ->
+            let p = Gen.program rng cfg ~size:gen_size in
+            let binding = random_binding rng lat p.Ast.body in
+            (Printf.sprintf "gen:%d:%d" gen_seed i, p, binding))
+      end
+    in
+    let base = file_specs @ gen_specs in
+    if base = [] then Error "no programs to certify (give files and/or --gen N)"
+    else begin
+      let corpus = List.concat (List.init (max 1 repeat) (fun _ -> base)) in
+      let specs =
+        List.mapi
+          (fun i (name, p, binding) ->
+            Job.make ~id:i ~name ~lattice:lat ~binding ~analyses ~self_check p)
+          corpus
+      in
+      let cache =
+        if use_cache then Some (Cache.create ~capacity:cache_size ()) else None
+      in
+      let* sink =
+        match log_file with
+        | None -> Ok None
+        | Some path -> (
+          try Ok (Some (Telemetry.open_sink path))
+          with Sys_error msg -> Error msg)
+      in
+      let summary = Batch.run ~jobs ?cache ?sink specs in
+      Option.iter Telemetry.close sink;
+      if verbose then
+        List.iter
+          (fun r ->
+            Fmt.pr "[%d] %s %s%s@." r.Job.job_id r.Job.job_name
+              (Job.verdict_string r)
+              (if r.Job.from_cache then " (cached)" else ""))
+          summary.Batch.results;
+      List.iter
+        (fun r ->
+          match r.Job.outcome with
+          | Error msg -> Fmt.epr "ifc: job %d (%s) errored: %s@." r.Job.job_id
+                           r.Job.job_name msg
+          | Ok _ -> ())
+        summary.Batch.results;
+      Fmt.pr "%a" Batch.pp_summary summary;
+      Ok summary
+    end
+  in
+  match result with
+  | Error msg ->
+    Fmt.epr "ifc: %s@." msg;
+    1
+  | Ok s -> if s.Batch.errored > 0 then 2 else 0
+
+let batch_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"PROGRAM" ~doc:"Program files.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (max 1 (Domain.recommended_domain_count ()))
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (defaults to the recommended domain count).")
+  in
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Enable the content-addressed result cache: jobs whose program, \
+             binding, lattice and analyses digest-match an earlier job reuse \
+             its results.")
+  in
+  let cache_size =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-size" ] ~docv:"N" ~doc:"Cache capacity (LRU eviction).")
+  in
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Append one JSON object per job (and a final summary event) to \
+             $(docv) for audit/replay.")
+  in
+  let analyses =
+    Arg.(
+      value & opt string "cfm"
+      & info [ "analyses" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated analyses to run per program: $(b,denning), \
+             $(b,cfm), $(b,prove), $(b,ni).")
+  in
+  let ni_pairs =
+    Arg.(
+      value & opt int 8
+      & info [ "ni-pairs" ] ~docv:"N" ~doc:"Input pairs for the ni analysis.")
+  in
+  let ni_max_states =
+    Arg.(
+      value & opt int 20_000
+      & info [ "ni-max-states" ] ~docv:"N"
+          ~doc:"Per-run exploration bound for the ni analysis.")
+  in
+  let gen_n =
+    Arg.(
+      value & opt int 0
+      & info [ "gen" ] ~docv:"N"
+          ~doc:
+            "Also certify $(docv) generated programs with seeded random \
+             bindings (reproducible per --seed).")
+  in
+  let gen_size =
+    Arg.(
+      value & opt int 20
+      & info [ "size" ] ~docv:"N" ~doc:"Target statement count for --gen.")
+  in
+  let gen_seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed for --gen.")
+  in
+  let gen_sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ] ~doc:"Generate without concurrency constructs.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"K"
+          ~doc:
+            "Process the whole corpus $(docv) times (with --cache, later \
+             rounds hit).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Print one line per job, in submission order.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Certify a corpus of programs in parallel over a domain pool, with an \
+          optional result cache and JSONL telemetry. Exit code 2 if any job \
+          errored (rejections are reported in the summary, not the exit code).")
+    Term.(
+      const run_batch $ lattice_arg $ binding_arg $ self_check_arg $ jobs $ cache
+      $ cache_size $ log_file $ analyses $ ni_pairs $ ni_max_states $ gen_n
+      $ gen_size $ gen_seed $ gen_sequential $ repeat $ verbose $ files)
+
+(* ------------------------------------------------------------------ *)
 (* lattice / gen / rules *)
 
 let run_lattice lattice_name dot =
@@ -632,6 +840,7 @@ let main_cmd =
       explore_cmd;
       taint_cmd;
       ni_cmd;
+      batch_cmd;
       lattice_cmd;
       gen_cmd;
       fmt_cmd;

@@ -1,0 +1,163 @@
+(* Fan-out/fold orchestration over the worker pool. *)
+
+type summary = {
+  total : int;
+  passed : int;
+  failed : int;
+  errored : int;
+  cache_hits : int;
+  cache_misses : int;
+  wall_ns : int64;
+  per_analysis : (string * int * int) list;
+  results : Job.result list;
+}
+
+(* One job: cache lookup, execution on miss, event emission, slot
+   write. Slots are disjoint array cells, each written by exactly one
+   worker and read only after the pool is joined, so no lock is needed
+   beyond the ones inside Cache and Telemetry. *)
+let run_one ~cache ~sink slots (spec : Job.spec) =
+  let timer = Telemetry.start () in
+  let digest = Job.digest spec in
+  let result =
+    match cache with
+    | None -> Job.run ~digest spec
+    | Some cache -> (
+      match Cache.find cache digest with
+      | Some cached ->
+        {
+          Job.job_id = spec.Job.id;
+          job_name = spec.Job.name;
+          job_digest = digest;
+          outcome = Ok cached;
+          duration_ns = Telemetry.elapsed_ns timer;
+          from_cache = true;
+        }
+      | None ->
+        let r = Job.run ~digest spec in
+        (match r.Job.outcome with
+        | Ok analyses -> Cache.add cache digest analyses
+        | Error _ -> ());
+        r)
+  in
+  (match sink with
+  | Some sink -> Telemetry.emit sink (Job.result_fields result)
+  | None -> ());
+  slots.(spec.Job.id) <- Some result
+
+let fold ~wall_ns ~cache_hits ~cache_misses results =
+  let passed = ref 0 and failed = ref 0 and errored = ref 0 in
+  let per = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      (match Job.verdict r with
+      | `Pass -> incr passed
+      | `Fail -> incr failed
+      | `Error -> incr errored);
+      match r.Job.outcome with
+      | Error _ -> ()
+      | Ok analyses ->
+        List.iter
+          (fun (ar : Job.analysis_result) ->
+            let p, f =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt per ar.Job.analysis)
+            in
+            Hashtbl.replace per ar.Job.analysis
+              (if ar.Job.verdict then (p + 1, f) else (p, f + 1)))
+          analyses)
+    results;
+  {
+    total = List.length results;
+    passed = !passed;
+    failed = !failed;
+    errored = !errored;
+    cache_hits;
+    cache_misses;
+    wall_ns;
+    per_analysis =
+      Hashtbl.fold (fun name (p, f) acc -> (name, p, f) :: acc) per []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b);
+    results;
+  }
+
+let run ?(jobs = 1) ?cache ?sink specs =
+  if jobs < 1 then invalid_arg "Batch.run: jobs must be >= 1";
+  let n = List.length specs in
+  (* Re-id specs positionally so slots are dense even if the caller's
+     ids are sparse; reported results keep the caller's metadata. *)
+  let specs = List.mapi (fun i spec -> { spec with Job.id = i }) specs in
+  let names = Array.of_list (List.map (fun s -> s.Job.name) specs) in
+  let slots = Array.make (max 1 n) None in
+  let stats_before = Option.map Cache.stats cache in
+  let timer = Telemetry.start () in
+  if n > 0 then
+    Pool.run ~workers:jobs
+      (List.map (fun spec () -> run_one ~cache ~sink slots spec) specs);
+  let wall_ns = Telemetry.elapsed_ns timer in
+  let results =
+    Array.to_list slots
+    |> List.filteri (fun i _ -> i < n)
+    |> List.mapi (fun i slot ->
+           match slot with
+           | Some r -> r
+           | None ->
+             (* Unreachable unless a worker died outside the job barrier;
+                surface it as a per-job error rather than crashing. *)
+             {
+               Job.job_id = i;
+               job_name = names.(i);
+               job_digest = "";
+               outcome = Error "job was never completed by the pool";
+               duration_ns = 0L;
+               from_cache = false;
+             })
+  in
+  let cache_hits, cache_misses =
+    match (stats_before, Option.map Cache.stats cache) with
+    | Some before, Some after ->
+      (after.Cache.hits - before.Cache.hits, after.Cache.misses - before.Cache.misses)
+    | _ -> (0, 0)
+  in
+  let summary = fold ~wall_ns ~cache_hits ~cache_misses results in
+  (match sink with
+  | Some sink ->
+    Telemetry.emit sink
+      [
+        ("event", Telemetry.String "summary");
+        ("total", Telemetry.Int summary.total);
+        ("passed", Telemetry.Int summary.passed);
+        ("failed", Telemetry.Int summary.failed);
+        ("errored", Telemetry.Int summary.errored);
+        ("cache_hits", Telemetry.Int summary.cache_hits);
+        ("cache_misses", Telemetry.Int summary.cache_misses);
+        ("wall_ns", Telemetry.Int (Int64.to_int summary.wall_ns));
+        ("jobs", Telemetry.Int jobs);
+      ]
+  | None -> ());
+  summary
+
+let throughput s =
+  let secs = Int64.to_float s.wall_ns /. 1e9 in
+  if secs <= 0. then 0. else float_of_int s.total /. secs
+
+let pp_summary ppf s =
+  Fmt.pf ppf "jobs: %d total, %d passed, %d failed, %d errored@." s.total s.passed
+    s.failed s.errored;
+  if s.cache_hits + s.cache_misses > 0 then begin
+    let rate =
+      100. *. float_of_int s.cache_hits
+      /. float_of_int (s.cache_hits + s.cache_misses)
+    in
+    Fmt.pf ppf "cache: %d hits, %d misses (%.1f%% hit rate)@." s.cache_hits
+      s.cache_misses rate
+  end;
+  (match s.per_analysis with
+  | [] -> ()
+  | per ->
+    Fmt.pf ppf "per-analysis:%a@."
+      (fun ppf ->
+        List.iter (fun (name, p, f) -> Fmt.pf ppf " %s %d/%d pass" name p (p + f)))
+      per);
+  Fmt.pf ppf "wall: %.1f ms (%.1f jobs/s)@."
+    (Telemetry.ns_to_ms s.wall_ns)
+    (throughput s)

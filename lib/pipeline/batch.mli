@@ -1,0 +1,45 @@
+(** The batch orchestrator: fan job specs out over a {!Pool}, consult
+    the {!Cache}, emit {!Telemetry} events, fold a summary.
+
+    Results are deterministic regardless of worker count or scheduling:
+    each job's verdict depends only on its spec, and the summary folds
+    results in spec-id order. The only schedule-dependent observables
+    are durations and, with a shared cache, {e which} of two identical
+    jobs in the same batch pays the miss. *)
+
+type summary = {
+  total : int;
+  passed : int;  (** Every analysis verdict true. *)
+  failed : int;  (** Ran to completion, some verdict false. *)
+  errored : int;  (** The job raised; see its [outcome]. *)
+  cache_hits : int;  (** Hits during this batch only. *)
+  cache_misses : int;  (** Misses during this batch only. *)
+  wall_ns : int64;  (** Submission to last-result wall time. *)
+  per_analysis : (string * int * int) list;
+      (** [(analysis, passes, fails)], sorted by analysis name. *)
+  results : Job.result list;  (** In spec-id order. *)
+}
+
+val run :
+  ?jobs:int ->
+  ?cache:Job.analysis_result list Cache.t ->
+  ?sink:Telemetry.sink ->
+  Job.spec list ->
+  summary
+(** [run specs] certifies every spec and returns the fold.
+
+    [jobs] (default 1) is the number of worker domains; [1] still goes
+    through the pool, so the single-domain baseline exercises the same
+    code path the parallel runs do. With [cache], a job whose digest is
+    present skips execution and reuses the cached analysis results
+    (marked [from_cache]); only [Ok] outcomes are ever inserted. With
+    [sink], one [event=job] line is emitted per job as it completes plus
+    a final [event=summary] line. *)
+
+val throughput : summary -> float
+(** Jobs per second over the batch wall time. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** The human summary: a [jobs:] line, a [cache:] line (only when a
+    lookup happened), a [per-analysis:] line (when non-trivial), and a
+    [wall:] line with throughput. *)

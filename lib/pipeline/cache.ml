@@ -1,0 +1,119 @@
+(* Content-addressed LRU cache: a hash table over an intrusive
+   doubly-linked recency list, everything behind one mutex. Operations
+   are O(1); the lock is held only for pointer surgery, never while
+   computing a value. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (* towards most-recent *)
+  mutable next : 'v node option;  (* towards least-recent *)
+}
+
+type 'v t = {
+  mutex : Mutex.t;
+  table : (string, 'v node) Hashtbl.t;
+  capacity : int;
+  mutable head : 'v node option;  (* most recently used *)
+  mutable tail : 'v node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 4096) () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    capacity = max 1 capacity;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* List surgery; caller holds the lock. *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some lru ->
+    unlink t lru;
+    Hashtbl.remove t.table lru.key;
+    t.evictions <- t.evictions + 1
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        t.hits <- t.hits + 1;
+        unlink t node;
+        push_front t node;
+        Some node.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t key value =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        node.value <- value;
+        unlink t node;
+        push_front t node
+      | None ->
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.add t.table key node;
+        push_front t node;
+        if Hashtbl.length t.table > t.capacity then evict_lru t)
+
+let mem t key = with_lock t (fun () -> Hashtbl.mem t.table key)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let hit_rate s =
+  let looked = s.hits + s.misses in
+  if looked = 0 then 0. else 100. *. float_of_int s.hits /. float_of_int looked
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)

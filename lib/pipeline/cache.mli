@@ -1,0 +1,41 @@
+(** A bounded, content-addressed LRU result cache, shared across
+    domains behind a lock.
+
+    Keys are {!Job.digest} strings; values are whatever the batch wants
+    to memoise (normally the analysis results of a job). The cache never
+    stores failures — that policy lives in {!Batch} — and eviction is
+    strictly least-recently-used, where both {!find} hits and {!add}
+    refresh recency. Hit/miss/eviction counters are cumulative over the
+    cache's lifetime so warm-over-cold deltas can be reported. *)
+
+type 'v t
+
+val create : ?capacity:int -> unit -> 'v t
+(** [create ()] is an empty cache holding at most [capacity] (default
+    4096, minimum 1) entries. *)
+
+val find : 'v t -> string -> 'v option
+(** Bumps the entry to most-recent on hit; counts a hit or a miss. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Inserts or refreshes; evicts the least-recently-used entry when the
+    cache is over capacity. Neither counts a hit nor a miss. *)
+
+val mem : 'v t -> string -> bool
+(** Recency- and counter-neutral membership test. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val stats : 'v t -> stats
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)] in percent; [0.] before any lookup. *)
+
+val clear : 'v t -> unit
+(** Drops all entries; counters are preserved. *)

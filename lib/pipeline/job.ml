@@ -1,0 +1,183 @@
+(* Job specs, content addressing, and per-job analysis execution. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Spec = Ifc_lattice.Spec
+module Ast = Ifc_lang.Ast
+module Pretty = Ifc_lang.Pretty
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Denning = Ifc_core.Denning
+module Invariance = Ifc_logic.Invariance
+module Proof = Ifc_logic.Proof
+module Ni = Ifc_exec.Noninterference
+
+type analysis =
+  | Denning
+  | Cfm
+  | Prove
+  | Ni of { pairs : int; max_states : int }
+  | Custom of string * (string Binding.t -> Ast.program -> bool * int)
+
+let analysis_name = function
+  | Denning -> "denning"
+  | Cfm -> "cfm"
+  | Prove -> "prove"
+  | Ni _ -> "ni"
+  | Custom (name, _) -> name
+
+let analysis_key = function
+  | Ni { pairs; max_states } -> Printf.sprintf "ni:%d:%d" pairs max_states
+  | Custom (name, _) -> "custom:" ^ name
+  | a -> analysis_name a
+
+let analysis_of_string ?(ni_pairs = 8) ?(ni_max_states = 20_000) = function
+  | "denning" -> Ok Denning
+  | "cfm" -> Ok Cfm
+  | "prove" -> Ok Prove
+  | "ni" -> Ok (Ni { pairs = ni_pairs; max_states = ni_max_states })
+  | other ->
+    Error
+      (Printf.sprintf "unknown analysis %S (use denning, cfm, prove, or ni)" other)
+
+let default_analyses = [ Cfm ]
+
+type spec = {
+  id : int;
+  name : string;
+  program : Ast.program;
+  binding : string Binding.t;
+  lattice : string Lattice.t;
+  analyses : analysis list;
+  self_check : bool;
+}
+
+let make ~id ~name ~lattice ~binding ?(analyses = default_analyses)
+    ?(self_check = false) program =
+  { id; name; program; binding; lattice; analyses; self_check }
+
+(* The digest covers every input the verdicts depend on. The program is
+   keyed by its canonical pretty-printed form, so two parses of the same
+   source — or a generated program and its round-tripped copy — share a
+   cache entry. *)
+let digest spec =
+  let payload =
+    String.concat "\x00"
+      [
+        Pretty.program_to_string spec.program;
+        Fmt.str "%a" Binding.pp spec.binding;
+        Spec.to_text spec.lattice;
+        String.concat "," (List.map analysis_key spec.analyses);
+        string_of_bool spec.self_check;
+      ]
+  in
+  Digest.to_hex (Digest.string payload)
+
+type analysis_result = {
+  analysis : string;
+  verdict : bool;
+  checks : int;
+  duration_ns : int64;
+}
+
+type outcome = (analysis_result list, string) result
+
+type result = {
+  job_id : int;
+  job_name : string;
+  job_digest : string;
+  outcome : outcome;
+  duration_ns : int64;
+  from_cache : bool;
+}
+
+let run_analysis spec analysis =
+  let timer = Telemetry.start () in
+  let verdict, checks =
+    match analysis with
+    | Denning ->
+      let r =
+        Denning.analyze_program ~on_concurrency:`Ignore spec.binding spec.program
+      in
+      (r.Denning.certified, List.length r.Denning.checks)
+    | Cfm ->
+      let r =
+        Cfm.analyze_program ~self_check:spec.self_check spec.binding spec.program
+      in
+      (r.Cfm.certified, List.length r.Cfm.checks)
+    | Prove -> (
+      match Invariance.witness spec.binding spec.program.Ast.body with
+      | Ok proof -> (true, Proof.size proof)
+      | Error errors -> (false, List.length errors))
+    | Ni { pairs; max_states } ->
+      let r =
+        Ni.test ~pairs ~max_states ~observer:spec.lattice.Lattice.bottom
+          spec.binding spec.program
+      in
+      (Ni.secure r, r.Ni.pairs_tested)
+    | Custom (_, f) -> f spec.binding spec.program
+  in
+  {
+    analysis = analysis_name analysis;
+    verdict;
+    checks;
+    duration_ns = Telemetry.elapsed_ns timer;
+  }
+
+let run ?digest:precomputed spec =
+  let job_digest =
+    match precomputed with Some d -> d | None -> digest spec
+  in
+  let timer = Telemetry.start () in
+  let outcome =
+    try Ok (List.map (run_analysis spec) spec.analyses)
+    with exn -> Error (Printexc.to_string exn)
+  in
+  {
+    job_id = spec.id;
+    job_name = spec.name;
+    job_digest;
+    outcome;
+    duration_ns = Telemetry.elapsed_ns timer;
+    from_cache = false;
+  }
+
+let verdict r =
+  match r.outcome with
+  | Error _ -> `Error
+  | Ok results ->
+    if List.for_all (fun ar -> ar.verdict) results then `Pass else `Fail
+
+let verdict_string r =
+  match verdict r with `Pass -> "pass" | `Fail -> "fail" | `Error -> "error"
+
+let result_fields r =
+  let open Telemetry in
+  let analyses =
+    match r.outcome with
+    | Error msg -> [ ("error", String msg) ]
+    | Ok results ->
+      [
+        ( "analyses",
+          List
+            (List.map
+               (fun ar ->
+                 Obj
+                   [
+                     ("analysis", String ar.analysis);
+                     ("verdict", Bool ar.verdict);
+                     ("checks", Int ar.checks);
+                     ("duration_ns", Int (Int64.to_int ar.duration_ns));
+                   ])
+               results) );
+      ]
+  in
+  [
+    ("event", String "job");
+    ("id", Int r.job_id);
+    ("name", String r.job_name);
+    ("digest", String r.job_digest);
+    ("cache", String (if r.from_cache then "hit" else "miss"));
+    ("verdict", String (verdict_string r));
+    ("duration_ns", Int (Int64.to_int r.duration_ns));
+  ]
+  @ analyses

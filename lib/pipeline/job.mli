@@ -1,0 +1,106 @@
+(** Batch job specifications and results.
+
+    A job names one program, one binding, one lattice, and the list of
+    analyses to run over them. Running a job is pure with respect to the
+    spec — the same spec always yields the same verdicts — which is what
+    makes results content-addressable (see {!Cache}) and batches safe to
+    fan out over domains in any order.
+
+    Analyses operate on the [string]-element lattice representation (the
+    CLI-uniform one, {!Ifc_lattice.Lattice.stringify}): jobs cross domain
+    boundaries and a first-class polymorphic lattice would force the spec
+    type to be existential for no benefit. *)
+
+type analysis =
+  | Denning  (** The Denning & Denning baseline, concurrency ignored. *)
+  | Cfm  (** The paper's Concurrent Flow Mechanism. *)
+  | Prove
+      (** Theorem-1 proof generation plus the independent checker
+          ({!Ifc_logic.Invariance.witness}). *)
+  | Ni of { pairs : int; max_states : int }
+      (** Empirical noninterference with bounded exploration; observer is
+          the lattice bottom. *)
+  | Custom of string * (string Ifc_core.Binding.t -> Ifc_lang.Ast.program -> bool * int)
+      (** An out-of-tree analysis: [(verdict, check_count)]. The name
+          participates in the cache key, so distinct analyses must use
+          distinct names. Not constructible from the CLI. *)
+
+val analysis_name : analysis -> string
+(** Display name: ["denning"], ["cfm"], ["prove"], ["ni"], or the custom
+    name. *)
+
+val analysis_key : analysis -> string
+(** Cache-key form: like {!analysis_name} but parameterised analyses
+    include their parameters (e.g. ["ni:8:20000"]). *)
+
+val analysis_of_string :
+  ?ni_pairs:int -> ?ni_max_states:int -> string -> (analysis, string) result
+(** Parses ["denning" | "cfm" | "prove" | "ni"]; [ni] takes its bounds
+    from the optional arguments (defaults 8 and 20000). *)
+
+val default_analyses : analysis list
+(** [[Cfm]]. *)
+
+type spec = {
+  id : int;  (** Position in the batch; results are folded in id order. *)
+  name : string;  (** Human label (file path or corpus tag). *)
+  program : Ifc_lang.Ast.program;
+  binding : string Ifc_core.Binding.t;
+  lattice : string Ifc_lattice.Lattice.t;
+  analyses : analysis list;
+  self_check : bool;  (** CFM's literal Figure-2 composition reading. *)
+}
+
+val make :
+  id:int ->
+  name:string ->
+  lattice:string Ifc_lattice.Lattice.t ->
+  binding:string Ifc_core.Binding.t ->
+  ?analyses:analysis list ->
+  ?self_check:bool ->
+  Ifc_lang.Ast.program ->
+  spec
+
+val digest : spec -> string
+(** Content address of everything the verdict depends on: the
+    pretty-printed program, the rendered binding, the lattice rendered in
+    spec-file form, the analysis keys, and the [self_check] flag, hashed
+    with [Digest] and rendered in hex. Two specs with equal digests
+    produce equal outcomes. *)
+
+type analysis_result = {
+  analysis : string;  (** {!analysis_name}. *)
+  verdict : bool;
+  checks : int;
+      (** Primitive certification checks (CFM/Denning), rule applications
+          or checker errors (prove), or pairs tested (ni). *)
+  duration_ns : int64;
+}
+
+type outcome = (analysis_result list, string) result
+(** [Error] means the job raised; the message includes the exception.
+    A [false] verdict is a normal [Ok] result, not an error. *)
+
+type result = {
+  job_id : int;
+  job_name : string;
+  job_digest : string;
+  outcome : outcome;
+  duration_ns : int64;
+  from_cache : bool;
+}
+
+val run : ?digest:string -> spec -> result
+(** Executes the analyses in order, timing each. Any exception an
+    analysis raises is captured into [Error] — callers never see it.
+    [?digest] avoids recomputing a digest the caller already has. *)
+
+val verdict : result -> [ `Pass | `Fail | `Error ]
+(** [`Pass] iff every analysis verdict is [true]. *)
+
+val verdict_string : result -> string
+(** ["pass" | "fail" | "error"]. *)
+
+val result_fields : result -> (string * Telemetry.json) list
+(** The JSONL event body for one job: [event=job], id, name, digest,
+    cache, verdict, duration, and one object per analysis. *)

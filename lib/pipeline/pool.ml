@@ -1,0 +1,85 @@
+(* A fixed-size Domain worker pool with a mutex/condition work queue.
+
+   Invariants: [closed] flips once, under the mutex; workers exit only
+   when [closed && queue empty]; [domains] is written once right after
+   the workers are spawned and joined exactly once ([joined] guards
+   idempotent shutdown, including racing shutdown callers). *)
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  on_error : worker:int -> exn -> unit;
+  mutable closed : bool;
+  mutable joined : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let worker t index =
+  let rec loop () =
+    let task =
+      with_lock t (fun () ->
+          while Queue.is_empty t.queue && not t.closed do
+            Condition.wait t.nonempty t.mutex
+          done;
+          if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+    in
+    match task with
+    | None -> () (* closed and drained *)
+    | Some task ->
+      (* The barrier: a faulting task is reported, never propagated. A
+         faulting error callback is swallowed outright — the pool's
+         liveness outranks its diagnostics. *)
+      (try task () with exn -> ( try t.on_error ~worker:index exn with _ -> ()));
+      loop ()
+  in
+  loop ()
+
+let create ?(on_error = fun ~worker:_ _ -> ()) ~workers () =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      on_error;
+      closed = false;
+      joined = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init workers (fun i -> Domain.spawn (fun () -> worker t i));
+  t
+
+let workers t = List.length t.domains
+
+let submit t task =
+  with_lock t (fun () ->
+      if t.closed then invalid_arg "Pool.submit: pool is shut down";
+      Queue.push task t.queue;
+      Condition.signal t.nonempty)
+
+let pending t = with_lock t (fun () -> Queue.length t.queue)
+
+let shutdown t =
+  let to_join =
+    with_lock t (fun () ->
+        t.closed <- true;
+        Condition.broadcast t.nonempty;
+        if t.joined then []
+        else begin
+          t.joined <- true;
+          t.domains
+        end)
+  in
+  List.iter Domain.join to_join
+
+let run ?on_error ~workers tasks =
+  let t = create ?on_error ~workers () in
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () -> List.iter (submit t) tasks)

@@ -1,0 +1,156 @@
+(* Timers, counters, and the JSONL event sink. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+(* ------------------------------------------------------------------ *)
+(* Timers *)
+
+type timer = int64
+
+let start () = now_ns ()
+
+let elapsed_ns t0 = Int64.sub (now_ns ()) t0
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec json_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then
+      (* %.17g is lossless for doubles but noisy; 12 significant digits
+         are plenty for durations and rates. *)
+      Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    else Buffer.add_string buf "null"
+  | String s -> escape_to buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        json_to buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        json_to buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 128 in
+  json_to buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+type counters = { mutex : Mutex.t; table : (string, int ref) Hashtbl.t }
+
+let counters () = { mutex = Mutex.create (); table = Hashtbl.create 16 }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let add c name n =
+  with_lock c.mutex (fun () ->
+      match Hashtbl.find_opt c.table name with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.add c.table name (ref n))
+
+let incr c name = add c name 1
+
+let count c name =
+  with_lock c.mutex (fun () ->
+      match Hashtbl.find_opt c.table name with
+      | Some r -> !r
+      | None -> 0)
+
+let snapshot c =
+  with_lock c.mutex (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+type target =
+  | Discard
+  | Channel of { oc : out_channel; owned : bool }
+
+type sink = {
+  sink_mutex : Mutex.t;
+  mutable target : target;
+  mutable seq : int;
+  mutable closed : bool;
+}
+
+let make_sink target =
+  { sink_mutex = Mutex.create (); target; seq = 0; closed = false }
+
+let null_sink () = make_sink Discard
+
+let sink_of_channel oc = make_sink (Channel { oc; owned = false })
+
+let open_sink path = make_sink (Channel { oc = open_out path; owned = true })
+
+let emit sink fields =
+  with_lock sink.sink_mutex (fun () ->
+      if not sink.closed then begin
+        let seq = sink.seq in
+        sink.seq <- seq + 1;
+        match sink.target with
+        | Discard -> ()
+        | Channel { oc; _ } ->
+          let line = json_to_string (Obj (("seq", Int seq) :: fields)) in
+          output_string oc line;
+          output_char oc '\n'
+      end)
+
+let close sink =
+  with_lock sink.sink_mutex (fun () ->
+      if not sink.closed then begin
+        sink.closed <- true;
+        match sink.target with
+        | Discard -> ()
+        | Channel { oc; owned } ->
+          flush oc;
+          if owned then close_out oc
+      end)
+
+let events_written sink = with_lock sink.sink_mutex (fun () -> sink.seq)

@@ -1,0 +1,82 @@
+(** Stage timers, counters and a JSONL event sink for the batch pipeline.
+
+    Everything here is hand-rolled on the standard library plus the
+    monotonic clock stub already shipped for the benchmarks — no JSON
+    dependency. The sink writes one self-contained JSON object per line
+    (JSONL), so a batch log can be replayed, diffed, or fed to any
+    line-oriented tool; every write is serialised behind a mutex so
+    concurrent domains never interleave bytes of two events. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock reading in nanoseconds. Differences are meaningful;
+    absolute values are not. *)
+
+(** {1 Timers} *)
+
+type timer
+
+val start : unit -> timer
+
+val elapsed_ns : timer -> int64
+
+val ns_to_ms : int64 -> float
+
+(** {1 JSON values}
+
+    A minimal JSON tree, enough to describe pipeline events. [Float]
+    values that are not finite render as [null] (JSON has no NaN). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+(** Compact (single-line) rendering with full string escaping. *)
+
+(** {1 Counters}
+
+    A named-counter registry shared across domains. *)
+
+type counters
+
+val counters : unit -> counters
+
+val incr : counters -> string -> unit
+
+val add : counters -> string -> int -> unit
+
+val count : counters -> string -> int
+(** [count c name] is the current value ([0] if never touched). *)
+
+val snapshot : counters -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Event sinks} *)
+
+type sink
+
+val null_sink : unit -> sink
+(** Discards every event (the default when no log is requested). *)
+
+val sink_of_channel : out_channel -> sink
+(** Events append to the channel; {!close} flushes but does not close
+    it (the caller owns the channel). *)
+
+val open_sink : string -> sink
+(** [open_sink path] truncates/creates [path]; {!close} closes it. *)
+
+val emit : sink -> (string * json) list -> unit
+(** [emit sink fields] writes [fields] as one JSON object on one line,
+    prefixed with a ["seq"] field carrying the event's sequence number
+    within this sink. Thread-safe. *)
+
+val close : sink -> unit
+(** Flush and release the sink. Idempotent; [emit] after [close] is a
+    silent no-op. *)
+
+val events_written : sink -> int

@@ -95,6 +95,34 @@ Noninterference testing finds the leak empirically:
   pairs tested: 4, skipped: 0, violations: 2
   exit 0
 
+Batch certification fans a corpus over a domain pool; verdicts are a
+function of the specs alone, never the worker count (the wall-time line
+is the only nondeterministic output, so it is filtered):
+
+  $ ../../bin/ifc.exe batch --jobs 2 --binding leaky.bind --verbose --log batch.jsonl fig3.ifc sec52.ifc chain.ifc | grep -v '^wall:'
+  [0] fig3.ifc fail
+  [1] sec52.ifc fail
+  [2] chain.ifc pass
+  jobs: 3 total, 1 passed, 2 failed, 0 errored
+  per-analysis: cfm 1/3 pass
+
+The JSONL log is one self-contained object per line — three job events
+plus the trailing summary event:
+
+  $ wc -l < batch.jsonl
+  4
+  $ grep -c '^{"seq":.*}$' batch.jsonl
+  4
+  $ grep -c '"event":"job"' batch.jsonl
+  3
+
+With the result cache, a repeated corpus hits on every second-round
+digest and reports identical verdicts:
+
+  $ ../../bin/ifc.exe batch --jobs 1 --cache --repeat 2 --binding leaky.bind fig3.ifc sec52.ifc chain.ifc | grep -E '^(jobs|cache):'
+  jobs: 6 total, 2 passed, 4 failed, 0 errored
+  cache: 3 hits, 3 misses (50.0% hit rate)
+
 A user-defined lattice can be loaded, inspected, and used:
 
   $ ../../bin/ifc.exe lattice corporate.lat
