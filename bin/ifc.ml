@@ -35,6 +35,12 @@ module Job = Ifc_pipeline.Job
 module Cache = Ifc_pipeline.Cache
 module Batch = Ifc_pipeline.Batch
 module Telemetry = Ifc_pipeline.Telemetry
+module Conn = Ifc_server.Conn
+module Limits = Ifc_server.Limits
+module Server = Ifc_server.Server
+module Client = Ifc_server.Client
+module Protocol = Ifc_server.Protocol
+module Jsonx = Ifc_server.Jsonx
 
 open Cmdliner
 
@@ -575,15 +581,16 @@ let run_batch lattice_name binding_file self_check jobs use_cache cache_size
       let cache =
         if use_cache then Some (Cache.create ~capacity:cache_size ()) else None
       in
-      let* sink =
+      (* with_sink closes (and flushes) the log on every exit path, so
+         a raising batch still leaves a whole-line JSONL file. *)
+      let run_with sink = Batch.run ~jobs ?cache ?sink specs in
+      let* summary =
         match log_file with
-        | None -> Ok None
+        | None -> Ok (run_with None)
         | Some path -> (
-          try Ok (Some (Telemetry.open_sink path))
+          try Telemetry.with_sink path (fun sink -> Ok (run_with (Some sink)))
           with Sys_error msg -> Error msg)
       in
-      let summary = Batch.run ~jobs ?cache ?sink specs in
-      Option.iter Telemetry.close sink;
       if verbose then
         List.iter
           (fun r ->
@@ -705,6 +712,320 @@ let batch_cmd =
       const run_batch $ lattice_arg $ binding_arg $ self_check_arg $ jobs $ cache
       $ cache_size $ log_file $ analyses $ ni_pairs $ ni_max_states $ gen_n
       $ gen_size $ gen_seed $ gen_sequential $ repeat $ verbose $ files)
+
+(* ------------------------------------------------------------------ *)
+(* serve / client *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_arg =
+  let parse s = Result.map_error (fun m -> `Msg m) (Conn.tcp_of_string s) in
+  let print ppf ep = Conn.pp_endpoint ppf ep in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"TCP endpoint (port 0 picks an ephemeral port).")
+
+let run_serve socket tcp jobs cache_size max_request_bytes max_connections
+    max_pending deadline_ms log_file port_file quiet =
+  let result =
+    let endpoints =
+      (match socket with Some p -> [ Conn.Unix_socket p ] | None -> [])
+      @ match tcp with Some ep -> [ ep ] | None -> []
+    in
+    let* () =
+      if endpoints = [] then Error "serve needs --socket PATH and/or --tcp HOST:PORT"
+      else Ok ()
+    in
+    let* log =
+      match log_file with
+      | None -> Ok None
+      | Some path -> (
+        try Ok (Some (Telemetry.open_sink path)) with Sys_error msg -> Error msg)
+    in
+    let config =
+      {
+        Server.endpoints;
+        workers = jobs;
+        cache_capacity = cache_size;
+        limits =
+          {
+            Limits.max_request_bytes;
+            max_connections;
+            max_pending;
+            default_deadline_ms = deadline_ms;
+          };
+        log;
+      }
+    in
+    let* server = Server.create config in
+    let stop _ = Server.request_stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    (match (port_file, Server.port server) with
+    | Some path, Some port ->
+      Out_channel.with_open_text path (fun oc ->
+          Printf.fprintf oc "%d\n" port)
+    | _ -> ());
+    if not quiet then begin
+      List.iter
+        (fun ep ->
+          let ep =
+            match (ep, Server.port server) with
+            | Conn.Tcp (host, 0), Some port -> Conn.Tcp (host, port)
+            | ep, _ -> ep
+          in
+          Fmt.epr "ifc: serving on %a@." Conn.pp_endpoint ep)
+        endpoints;
+      Fmt.epr "ifc: %d worker domain(s), cache capacity %d@." jobs cache_size
+    end;
+    Server.run server;
+    if not quiet then Fmt.epr "ifc: drained, shutting down@.";
+    Ok ()
+  in
+  exit_of_result result
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt int (max 1 (Domain.recommended_domain_count ()))
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (defaults to the recommended domain count).")
+  in
+  let cache_size =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Shared result-cache capacity (LRU eviction).")
+  in
+  let max_request_bytes =
+    Arg.(
+      value
+      & opt int Limits.default.Limits.max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Longest accepted request line; longer requests get an \
+                $(b,oversized) error.")
+  in
+  let max_connections =
+    Arg.(
+      value
+      & opt int Limits.default.Limits.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent client connections; excess connections get one \
+                $(b,overloaded) response. 0 = unlimited.")
+  in
+  let max_pending =
+    Arg.(
+      value
+      & opt int Limits.default.Limits.max_pending
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Queued jobs tolerated before requests are answered \
+                $(b,overloaded). 0 = unlimited.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline (0 = none); requests may carry \
+                their own.")
+  in
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE.jsonl"
+          ~doc:"Append one JSON object per request for audit/replay.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound TCP port to $(docv) once listening (useful \
+                with --tcp HOST:0).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No startup/shutdown chatter.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the certification daemon: concurrent clients share one worker \
+          pool and one result cache over a newline-delimited JSON protocol \
+          (see PROTOCOL.md). SIGINT/SIGTERM drain in-flight requests before \
+          exiting.")
+    Term.(
+      const run_serve $ socket_arg $ tcp_arg $ jobs $ cache_size
+      $ max_request_bytes $ max_connections $ max_pending $ deadline_ms
+      $ log_file $ port_file $ quiet)
+
+(* Resolve the client's --lattice argument: builtin names pass through,
+   file paths are inlined as spec text (the server never opens files on
+   a client's behalf). *)
+let client_lattice lattice_name =
+  match lattice_name with
+  | "two" | "three" | "four" | "mls" -> Ok lattice_name
+  | path when Sys.file_exists path -> read_file path
+  | other -> Ok other
+
+let run_client socket tcp wait json_out lattice_name binding_file self_check
+    analyses_csv deadline_ms op files =
+  let result =
+    let* endpoint =
+      match (socket, tcp) with
+      | Some p, None -> Ok (Conn.Unix_socket p)
+      | None, Some ep -> Ok ep
+      | None, None -> Error "client needs --socket PATH or --tcp HOST:PORT"
+      | Some _, Some _ -> Error "give either --socket or --tcp, not both"
+    in
+    Client.with_client ~retry_for:wait endpoint (fun c ->
+        match op with
+        | "ping" ->
+          let* () = Client.ping c in
+          Fmt.pr "pong@.";
+          Ok 0
+        | "stats" ->
+          let* response = Client.stats c in
+          if json_out then Fmt.pr "%s@." (Telemetry.json_to_string response)
+          else begin
+            let stats =
+              Option.value ~default:Telemetry.Null (Jsonx.member "stats" response)
+            in
+            let int_of path json =
+              match
+                List.fold_left
+                  (fun acc key -> Option.bind acc (Jsonx.member key))
+                  (Some json) path
+              with
+              | Some v -> Option.value ~default:0 (Jsonx.int_opt v)
+              | None -> 0
+            in
+            Fmt.pr "uptime: %.1f s@."
+              (float_of_int (int_of [ "uptime_ns" ] stats) /. 1e9);
+            Fmt.pr "workers: %d, active connections: %d (peak %d)@."
+              (int_of [ "workers" ] stats)
+              (int_of [ "active_connections" ] stats)
+              (int_of [ "peak_connections" ] stats);
+            Fmt.pr "requests: %d (%d errors)@."
+              (int_of [ "counters"; "requests" ] stats)
+              (int_of [ "counters"; "errors" ] stats);
+            let hits = int_of [ "cache"; "hits" ] stats
+            and misses = int_of [ "cache"; "misses" ] stats in
+            Fmt.pr "cache: %d hits, %d misses, %d entries@." hits misses
+              (int_of [ "cache"; "size" ] stats);
+            Fmt.pr "latency: p50 %.2f ms, p99 %.2f ms over %d requests@."
+              (float_of_int (int_of [ "latency"; "p50_ns" ] stats) /. 1e6)
+              (float_of_int (int_of [ "latency"; "p99_ns" ] stats) /. 1e6)
+              (int_of [ "latency"; "count" ] stats)
+          end;
+          Ok 0
+        | "check" ->
+          let* () = if files = [] then Error "check needs program files" else Ok () in
+          let* lattice = client_lattice lattice_name in
+          let* binding =
+            match binding_file with
+            | None -> Ok None
+            | Some path -> Result.map Option.some (read_file path)
+          in
+          let analyses =
+            String.split_on_char ',' analyses_csv
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+          in
+          List.fold_left
+            (fun acc path ->
+              let* worst = acc in
+              let* program = read_file path in
+              let* response =
+                Client.check c ~name:(Filename.basename path) ~lattice ?binding
+                  ~analyses ~self_check ?deadline_ms program
+              in
+              if json_out then begin
+                Fmt.pr "%s@." (Telemetry.json_to_string response);
+                Ok worst
+              end
+              else if Protocol.response_ok response then begin
+                let verdict =
+                  Option.value ~default:"?" (Protocol.response_verdict response)
+                in
+                let cache =
+                  Option.value ~default:"?" (Jsonx.mem_string "cache" response)
+                in
+                Fmt.pr "%s: %s (cache %s)@." path verdict cache;
+                (match Jsonx.mem_string "error" response with
+                | Some msg -> Fmt.epr "ifc: %s errored: %s@." path msg
+                | None -> ());
+                Ok (if verdict = "pass" then worst else max worst 2)
+              end
+              else begin
+                match Protocol.response_error response with
+                | Some (code, msg) ->
+                  Fmt.pr "%s: error %s (%s)@." path code msg;
+                  Ok (max worst 2)
+                | None -> Error "malformed response (no verdict, no error)"
+              end)
+            (Ok 0) files
+        | other ->
+          Error (Printf.sprintf "unknown client operation %S (use check, stats, or ping)" other))
+  in
+  match result with
+  | Ok code -> code
+  | Error msg ->
+    Fmt.epr "ifc: %s@." msg;
+    1
+
+let client_cmd =
+  let wait =
+    Arg.(
+      value & opt float 0.
+      & info [ "wait" ] ~docv:"SECS"
+          ~doc:"Retry the connection for up to $(docv) seconds (for servers \
+                still starting).")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print raw response lines instead of summaries.")
+  in
+  let analyses =
+    Arg.(
+      value & opt string "cfm"
+      & info [ "analyses" ] ~docv:"LIST"
+          ~doc:"Comma-separated analyses: $(b,denning), $(b,cfm), $(b,prove), \
+                $(b,ni).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let op =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP" ~doc:"$(b,check), $(b,stats), or $(b,ping).")
+  in
+  let files =
+    Arg.(
+      value & pos_right 0 file []
+      & info [] ~docv:"PROGRAM" ~doc:"Program files (for $(b,check)).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running certification daemon: certify programs over the \
+          wire, fetch service stats, or ping. Exit code 2 if any program \
+          fails certification.")
+    Term.(
+      const run_client $ socket_arg $ tcp_arg $ wait $ json_out $ lattice_arg
+      $ binding_arg $ self_check_arg $ analyses $ deadline_ms $ op $ files)
 
 (* ------------------------------------------------------------------ *)
 (* lattice / gen / rules *)
@@ -841,6 +1162,8 @@ let main_cmd =
       taint_cmd;
       ni_cmd;
       batch_cmd;
+      serve_cmd;
+      client_cmd;
       lattice_cmd;
       gen_cmd;
       fmt_cmd;

@@ -137,9 +137,14 @@ let emit sink fields =
         match sink.target with
         | Discard -> ()
         | Channel { oc; _ } ->
-          let line = json_to_string (Obj (("seq", Int seq) :: fields)) in
-          output_string oc line;
-          output_char oc '\n'
+          (* One write, one flush: the complete line (newline included)
+             reaches the OS before emit returns, so a crash between
+             events can lose whole lines but never leave a partial one. *)
+          let buf = Buffer.create 256 in
+          json_to buf (Obj (("seq", Int seq) :: fields));
+          Buffer.add_char buf '\n';
+          output_string oc (Buffer.contents buf);
+          flush oc
       end)
 
 let close sink =
@@ -154,3 +159,97 @@ let close sink =
       end)
 
 let events_written sink = with_lock sink.sink_mutex (fun () -> sink.seq)
+
+let with_sink path f =
+  let sink = open_sink path in
+  Fun.protect ~finally:(fun () -> close sink) (fun () -> f sink)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+(* Log-spaced latency buckets: bucket [i] counts observations at or
+   below [1024 * 2^i] ns (~1 us up to ~1.2 h); the last bucket is an
+   overflow. Quantiles report a bucket upper bound, so they carry at
+   most one octave of error — plenty for a service dashboard. *)
+
+let bucket_count = 33
+
+let bucket_base_ns = 1024L
+
+type histogram = {
+  h_mutex : Mutex.t;
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int64;
+  mutable h_max : int64;
+}
+
+let histogram () =
+  {
+    h_mutex = Mutex.create ();
+    buckets = Array.make bucket_count 0;
+    h_count = 0;
+    h_sum = 0L;
+    h_max = 0L;
+  }
+
+let bucket_upper_ns i = Int64.shift_left bucket_base_ns i
+
+let bucket_of ns =
+  let rec go i =
+    if i >= bucket_count - 1 then bucket_count - 1
+    else if Int64.compare ns (bucket_upper_ns i) <= 0 then i
+    else go (i + 1)
+  in
+  go 0
+
+let observe h ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  with_lock h.h_mutex (fun () ->
+      let i = bucket_of ns in
+      h.buckets.(i) <- h.buckets.(i) + 1;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- Int64.add h.h_sum ns;
+      if Int64.compare ns h.h_max > 0 then h.h_max <- ns)
+
+let observations h = with_lock h.h_mutex (fun () -> h.h_count)
+
+let quantile_ns h q =
+  let q = Float.max 0. (Float.min 1. q) in
+  with_lock h.h_mutex (fun () ->
+      if h.h_count = 0 then 0L
+      else begin
+        let rank =
+          max 1
+            (min h.h_count (int_of_float (ceil (q *. float_of_int h.h_count))))
+        in
+        let acc = ref 0 and result = ref h.h_max in
+        (try
+           for i = 0 to bucket_count - 1 do
+             acc := !acc + h.buckets.(i);
+             if !acc >= rank then begin
+               (result := if i = bucket_count - 1 then h.h_max else bucket_upper_ns i);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !result
+      end)
+
+let histogram_fields h =
+  let p50 = quantile_ns h 0.50
+  and p90 = quantile_ns h 0.90
+  and p99 = quantile_ns h 0.99 in
+  with_lock h.h_mutex (fun () ->
+      let mean =
+        if h.h_count = 0 then 0.
+        else Int64.to_float h.h_sum /. float_of_int h.h_count
+      in
+      [
+        ("count", Int h.h_count);
+        ("mean_ns", Float mean);
+        ("p50_ns", Int (Int64.to_int p50));
+        ("p90_ns", Int (Int64.to_int p90));
+        ("p99_ns", Int (Int64.to_int p99));
+        ("max_ns", Int (Int64.to_int h.h_max));
+      ])

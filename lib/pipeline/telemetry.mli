@@ -73,10 +73,43 @@ val open_sink : string -> sink
 val emit : sink -> (string * json) list -> unit
 (** [emit sink fields] writes [fields] as one JSON object on one line,
     prefixed with a ["seq"] field carrying the event's sequence number
-    within this sink. Thread-safe. *)
+    within this sink. Thread-safe. The complete line — newline included
+    — is written in a single call and flushed before [emit] returns, so
+    an interrupted process can lose whole events but the file never ends
+    in a partial line. *)
 
 val close : sink -> unit
 (** Flush and release the sink. Idempotent; [emit] after [close] is a
     silent no-op. *)
 
 val events_written : sink -> int
+
+val with_sink : string -> (sink -> 'a) -> 'a
+(** [with_sink path f] opens a sink on [path], runs [f], and guarantees
+    {!close} on every exit path — normal return, exception, or early
+    exit via [raise]. This is the hygienic way to log from CLI commands
+    and servers alike. *)
+
+(** {1 Latency histograms}
+
+    Log-spaced buckets (bucket [i] holds observations at or below
+    [1024 * 2^i] ns, from ~1 us to an overflow bucket at ~1.2 h), shared
+    across threads and domains behind a mutex. Quantiles are reported as
+    the upper bound of the bucket containing the rank, so they are exact
+    to within one octave. *)
+
+type histogram
+
+val histogram : unit -> histogram
+
+val observe : histogram -> int64 -> unit
+(** Record one duration in nanoseconds (negative values clamp to 0). *)
+
+val observations : histogram -> int
+
+val quantile_ns : histogram -> float -> int64
+(** [quantile_ns h q] for [q] in [[0, 1]]; [0L] when empty. *)
+
+val histogram_fields : histogram -> (string * json) list
+(** [count], [mean_ns], [p50_ns], [p90_ns], [p99_ns], [max_ns] — ready
+    to embed in a stats response or JSONL event. *)

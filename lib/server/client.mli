@@ -1,0 +1,47 @@
+(** Client for the certification daemon.
+
+    One connection, synchronous request/response: every call writes one
+    request line and blocks for one response line. Connections are
+    cheap, but reusing one across requests is what lets the server's
+    shared cache and stats attribute them to one session. *)
+
+type t
+
+val connect : ?retry_for:float -> Conn.endpoint -> (t, string) result
+(** [connect ~retry_for endpoint] retries transient failures
+    (connection refused, socket file not yet created) for [retry_for]
+    seconds (default [0.], one attempt) — the polite way to wait for a
+    server that is still starting. *)
+
+val close : t -> unit
+
+val request : t -> string -> (Ifc_pipeline.Telemetry.json, string) result
+(** [request t line] is the raw round-trip: send [line], parse the
+    response line. [Error] means transport or JSON failure; protocol
+    errors come back as [Ok] responses with [ok:false]. *)
+
+val check :
+  t ->
+  ?id:Ifc_pipeline.Telemetry.json ->
+  ?name:string ->
+  ?lattice:string ->
+  ?binding:string ->
+  ?analyses:string list ->
+  ?self_check:bool ->
+  ?ni_pairs:int ->
+  ?ni_max_states:int ->
+  ?deadline_ms:int ->
+  string ->
+  (Ifc_pipeline.Telemetry.json, string) result
+(** [check t program] certifies one program text. *)
+
+val stats : t -> (Ifc_pipeline.Telemetry.json, string) result
+
+val ping : t -> (unit, string) result
+
+val with_client :
+  ?retry_for:float ->
+  Conn.endpoint ->
+  (t -> ('a, string) result) ->
+  ('a, string) result
+(** Connect, run, always close. *)

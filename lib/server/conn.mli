@@ -1,0 +1,62 @@
+(** Socket plumbing shared by the daemon and its clients: endpoint
+    addressing, a bounded newline-delimited reader, and the
+    one-request-per-line serve loop.
+
+    Everything here polls: blocking reads are [select] loops with a
+    short timeout and a [should_stop] callback, which is what lets a
+    draining server close idle connections without killing in-flight
+    requests, and lets [EINTR] (signal delivery) never surface. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+(** Where a server listens or a client connects. [Tcp (host, 0)] asks
+    the kernel for an ephemeral port (see {!Server.port}). *)
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+(** ["unix:PATH"] or ["tcp:HOST:PORT"]. *)
+
+val tcp_of_string : string -> (endpoint, string) result
+(** Parses ["HOST:PORT"]; an empty host means ["127.0.0.1"]. *)
+
+val sockaddr_of_endpoint : endpoint -> (Unix.sockaddr, string) result
+(** Resolves the host by literal address first, then by name. *)
+
+(** {1 Reading} *)
+
+type item = [ `Line of string | `Oversized ]
+(** One parsed unit of input: a complete line (newline stripped, CRLF
+    tolerated), or the tombstone of a line that outgrew the reader's
+    byte limit and was discarded — the connection itself survives. *)
+
+type reader
+
+val reader : ?max_bytes:int -> Unix.file_descr -> reader
+(** [max_bytes] caps a single line (default unlimited — clients trust
+    their server; servers must not trust their clients). *)
+
+val next_line :
+  ?poll_interval:float ->
+  ?should_stop:(unit -> bool) ->
+  reader ->
+  [ `Line of string | `Oversized | `Eof | `Stop ]
+(** Blocks (polling every [poll_interval] seconds, default 0.2) until a
+    full line is available, the peer closes, or [should_stop] answers
+    [true] between polls. *)
+
+(** {1 Writing} *)
+
+val write_line : Unix.file_descr -> string -> bool
+(** Writes [line ^ "\n"] fully; [false] if the peer is gone ([EPIPE]
+    and friends), which callers treat as end-of-connection. *)
+
+(** {1 Serving} *)
+
+val serve :
+  limits:Limits.t ->
+  should_stop:(unit -> bool) ->
+  handle:(item -> string) ->
+  Unix.file_descr ->
+  unit
+(** The connection loop: read one request item, write [handle item] as
+    one response line, repeat until EOF, a dead peer, or [should_stop].
+    The stop check only fires {e between} requests — an accepted request
+    always gets its response, which is the drain guarantee. *)

@@ -1,0 +1,281 @@
+(* A strict JSON parser producing Ifc_pipeline.Telemetry.json values.
+
+   The server trusts nothing it reads off a socket: the parser rejects
+   trailing garbage, unescaped control characters, lone surrogates, and
+   nesting past a fixed depth (a hostile request cannot blow the OCaml
+   stack). It accepts exactly the output of Telemetry.json_to_string,
+   which is what makes round-trip testing of the emitter possible. *)
+
+module Telemetry = Ifc_pipeline.Telemetry
+
+exception Fail of int * string
+
+type state = { s : string; mutable pos : int }
+
+let fail st msg = raise (Fail (st.pos, msg))
+
+let max_depth = 512
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    &&
+    match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when Char.equal d c -> advance st
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let keyword st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+(* ------------------------------------------------------------------ *)
+(* Strings *)
+
+let hex_value st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "invalid hex digit in \\u escape"
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.s then fail st "truncated \\u escape";
+  let v =
+    (hex_value st st.s.[st.pos] lsl 12)
+    lor (hex_value st st.s.[st.pos + 1] lsl 8)
+    lor (hex_value st st.s.[st.pos + 2] lsl 4)
+    lor hex_value st st.s.[st.pos + 3]
+  in
+  st.pos <- st.pos + 4;
+  v
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_escape st buf =
+  match peek st with
+  | None -> fail st "truncated escape"
+  | Some c -> (
+    advance st;
+    match c with
+    | '"' -> Buffer.add_char buf '"'
+    | '\\' -> Buffer.add_char buf '\\'
+    | '/' -> Buffer.add_char buf '/'
+    | 'b' -> Buffer.add_char buf '\b'
+    | 'f' -> Buffer.add_char buf '\012'
+    | 'n' -> Buffer.add_char buf '\n'
+    | 'r' -> Buffer.add_char buf '\r'
+    | 't' -> Buffer.add_char buf '\t'
+    | 'u' ->
+      let hi = parse_hex4 st in
+      if hi >= 0xD800 && hi <= 0xDBFF then begin
+        (* High surrogate: a low surrogate must follow. *)
+        if
+          st.pos + 2 <= String.length st.s
+          && st.s.[st.pos] = '\\'
+          && st.s.[st.pos + 1] = 'u'
+        then begin
+          st.pos <- st.pos + 2;
+          let lo = parse_hex4 st in
+          if lo >= 0xDC00 && lo <= 0xDFFF then
+            add_utf8 buf (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+          else fail st "invalid low surrogate"
+        end
+        else fail st "lone high surrogate"
+      end
+      else if hi >= 0xDC00 && hi <= 0xDFFF then fail st "lone low surrogate"
+      else add_utf8 buf hi
+    | _ -> fail st (Printf.sprintf "invalid escape \\%c" c))
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then fail st "unterminated string";
+    let c = st.s.[st.pos] in
+    advance st;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+      parse_escape st buf;
+      go ()
+    | c when Char.code c < 0x20 -> fail st "unescaped control character in string"
+    | c ->
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Numbers *)
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  if peek st = Some '-' then advance st;
+  let digits () =
+    let seen = ref false in
+    let rec go () =
+      match peek st with
+      | Some ('0' .. '9') ->
+        seen := true;
+        advance st;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    if not !seen then fail st "expected digit"
+  in
+  digits ();
+  (match peek st with
+  | Some '.' ->
+    is_float := true;
+    advance st;
+    digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub st.s start (st.pos - start) in
+  if !is_float then Telemetry.Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Telemetry.Int i
+    | None -> Telemetry.Float (float_of_string text)
+
+(* ------------------------------------------------------------------ *)
+(* Values *)
+
+let rec parse_value st depth =
+  if depth > max_depth then fail st "nesting too deep";
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' -> parse_obj st depth
+  | Some '[' -> parse_array st depth
+  | Some '"' -> Telemetry.String (parse_string st)
+  | Some 't' -> keyword st "true" (Telemetry.Bool true)
+  | Some 'f' -> keyword st "false" (Telemetry.Bool false)
+  | Some 'n' -> keyword st "null" Telemetry.Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+and parse_obj st depth =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Telemetry.Obj []
+  end
+  else begin
+    let fields = ref [] in
+    let rec member () =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st (depth + 1) in
+      fields := (key, v) :: !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        member ()
+      | Some '}' -> advance st
+      | _ -> fail st "expected ',' or '}'"
+    in
+    member ();
+    Telemetry.Obj (List.rev !fields)
+  end
+
+and parse_array st depth =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    Telemetry.List []
+  end
+  else begin
+    let items = ref [] in
+    let rec element () =
+      let v = parse_value st (depth + 1) in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        element ()
+      | Some ']' -> advance st
+      | _ -> fail st "expected ',' or ']'"
+    in
+    element ();
+    Telemetry.List (List.rev !items)
+  end
+
+let parse s =
+  let st = { s; pos = 0 } in
+  match
+    let v = parse_value st 0 in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (pos, msg) -> Error (Printf.sprintf "at byte %d: %s" pos msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member name = function
+  | Telemetry.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let string_opt = function Telemetry.String s -> Some s | _ -> None
+
+let int_opt = function
+  | Telemetry.Int i -> Some i
+  | Telemetry.Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let bool_opt = function Telemetry.Bool b -> Some b | _ -> None
+
+let list_opt = function Telemetry.List l -> Some l | _ -> None
+
+let mem_string name json = Option.bind (member name json) string_opt
+
+let mem_int name json = Option.bind (member name json) int_opt
+
+let mem_bool name json = Option.bind (member name json) bool_opt

@@ -1,0 +1,37 @@
+(** A strict JSON parser producing {!Ifc_pipeline.Telemetry.json}.
+
+    The inverse of [Telemetry.json_to_string], hardened for socket
+    input: rejects trailing garbage, unescaped control characters, lone
+    surrogates, invalid escapes, and nesting deeper than 512 levels (so
+    a hostile request cannot overflow the stack). Strings are returned
+    as UTF-8 bytes; [\uXXXX] escapes (surrogate pairs included) are
+    decoded to UTF-8. Numbers parse to [Int] when integral and in
+    native-int range, [Float] otherwise. *)
+
+val parse : string -> (Ifc_pipeline.Telemetry.json, string) result
+(** [parse s] parses exactly one JSON value spanning all of [s]. The
+    error message carries a byte offset. *)
+
+(** {1 Accessors}
+
+    Shape-tolerant readers used to pick requests apart: each returns
+    [None] rather than raising when the shape disagrees. *)
+
+val member : string -> Ifc_pipeline.Telemetry.json -> Ifc_pipeline.Telemetry.json option
+(** Field lookup in an [Obj]; [None] on any other constructor. *)
+
+val string_opt : Ifc_pipeline.Telemetry.json -> string option
+
+val int_opt : Ifc_pipeline.Telemetry.json -> int option
+(** [Int]s, plus [Float]s that are exact integers. *)
+
+val bool_opt : Ifc_pipeline.Telemetry.json -> bool option
+
+val list_opt : Ifc_pipeline.Telemetry.json -> Ifc_pipeline.Telemetry.json list option
+
+val mem_string : string -> Ifc_pipeline.Telemetry.json -> string option
+(** [mem_string name j] is [member] composed with [string_opt]. *)
+
+val mem_int : string -> Ifc_pipeline.Telemetry.json -> int option
+
+val mem_bool : string -> Ifc_pipeline.Telemetry.json -> bool option

@@ -1,0 +1,41 @@
+(** Robustness limits for the certification daemon, plus the shared
+    connection gauge that enforces the connection cap. *)
+
+type t = {
+  max_request_bytes : int;
+      (** Longest accepted request line in bytes; longer lines are
+          consumed and answered with an [oversized] error. *)
+  max_connections : int;
+      (** Concurrent client connections; excess connections receive one
+          [overloaded] response and are closed. [0] means unlimited. *)
+  max_pending : int;
+      (** Queued-but-unstarted jobs tolerated before a request is
+          answered [overloaded] instead of being enqueued. [0] means
+          unlimited. *)
+  default_deadline_ms : int;
+      (** Deadline applied to requests that carry none. [0] means no
+          deadline. *)
+}
+
+val default : t
+(** 1 MiB requests, 64 connections, 1024 pending jobs, no deadline. *)
+
+(** {1 Gauge}
+
+    A thread-safe up/down counter with a peak-tracking high-water
+    mark. *)
+
+type gauge
+
+val gauge : unit -> gauge
+
+val try_incr : gauge -> limit:int -> bool
+(** Increments and returns [true] unless the gauge already sits at
+    [limit] ([limit <= 0] disables the cap). *)
+
+val decr : gauge -> unit
+(** Never drops below zero. *)
+
+val value : gauge -> int
+
+val peak : gauge -> int

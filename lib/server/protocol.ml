@@ -1,0 +1,206 @@
+(* The versioned newline-delimited JSON wire protocol (see PROTOCOL.md). *)
+
+module J = Ifc_pipeline.Telemetry
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Error codes *)
+
+type error_code =
+  | Parse_error
+  | Bad_version
+  | Bad_request
+  | Oversized
+  | Overloaded
+  | Timeout
+  | Internal
+
+let code_string = function
+  | Parse_error -> "parse_error"
+  | Bad_version -> "bad_version"
+  | Bad_request -> "bad_request"
+  | Oversized -> "oversized"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Internal -> "internal"
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+type check_request = {
+  name : string;
+  program : string;
+  lattice : string;
+  binding : string option;
+  analyses : string list;
+  self_check : bool;
+  ni_pairs : int;
+  ni_max_states : int;
+  deadline_ms : int option;
+}
+
+type op = Check of check_request | Stats | Ping
+
+type parsed = { id : J.json; op : (op, error_code * string) result }
+
+let parse_check json =
+  match Jsonx.mem_string "program" json with
+  | None -> Error (Bad_request, "check requires a string \"program\" field")
+  | Some program -> (
+    let analyses =
+      match Jsonx.member "analyses" json with
+      | None -> Ok [ "cfm" ]
+      | Some (J.String csv) ->
+        let names =
+          String.split_on_char ',' csv |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        if names = [] then Error (Bad_request, "empty \"analyses\" list")
+        else Ok names
+      | Some (J.List items) -> (
+        match
+          List.fold_left
+            (fun acc item ->
+              match (acc, Jsonx.string_opt item) with
+              | Ok acc, Some s -> Ok (s :: acc)
+              | (Error _ as e), _ -> e
+              | Ok _, None ->
+                Error (Bad_request, "\"analyses\" must be a list of strings"))
+            (Ok []) items
+        with
+        | Ok [] -> Error (Bad_request, "empty \"analyses\" list")
+        | Ok names -> Ok (List.rev names)
+        | Error _ as e -> e)
+      | Some _ ->
+        Error (Bad_request, "\"analyses\" must be a list of strings or a CSV string")
+    in
+    let deadline_ms =
+      match Jsonx.member "deadline_ms" json with
+      | None -> Ok None
+      | Some v -> (
+        match Jsonx.int_opt v with
+        | Some ms when ms > 0 -> Ok (Some ms)
+        | _ -> Error (Bad_request, "\"deadline_ms\" must be a positive integer"))
+    in
+    match (analyses, deadline_ms) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok analyses, Ok deadline_ms ->
+      Ok
+        (Check
+           {
+             name = Option.value ~default:"request" (Jsonx.mem_string "name" json);
+             program;
+             lattice = Option.value ~default:"two" (Jsonx.mem_string "lattice" json);
+             binding = Jsonx.mem_string "binding" json;
+             analyses;
+             self_check =
+               Option.value ~default:false (Jsonx.mem_bool "self_check" json);
+             ni_pairs = Option.value ~default:8 (Jsonx.mem_int "ni_pairs" json);
+             ni_max_states =
+               Option.value ~default:20_000 (Jsonx.mem_int "ni_max_states" json);
+             deadline_ms;
+           }))
+
+let parse_request line =
+  match Jsonx.parse line with
+  | Error msg -> { id = J.Null; op = Error (Parse_error, "invalid JSON: " ^ msg) }
+  | Ok (J.Obj _ as json) -> (
+    let id = Option.value ~default:J.Null (Jsonx.member "id" json) in
+    match Jsonx.member "v" json with
+    | None ->
+      { id; op = Error (Bad_version, "missing \"v\" (protocol version) field") }
+    | Some v -> (
+      match Jsonx.int_opt v with
+      | Some n when n = version -> (
+        match Jsonx.mem_string "op" json with
+        | None -> { id; op = Error (Bad_request, "missing string \"op\" field") }
+        | Some "ping" -> { id; op = Ok Ping }
+        | Some "stats" -> { id; op = Ok Stats }
+        | Some "check" -> { id; op = parse_check json }
+        | Some other ->
+          {
+            id;
+            op =
+              Error
+                ( Bad_request,
+                  Printf.sprintf "unknown op %S (use check, stats, or ping)" other
+                );
+          })
+      | _ ->
+        {
+          id;
+          op =
+            Error
+              ( Bad_version,
+                Printf.sprintf "unsupported protocol version (this server speaks %d)"
+                  version );
+        }))
+  | Ok _ -> { id = J.Null; op = Error (Parse_error, "request must be a JSON object") }
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let response_line ~id fields =
+  J.json_to_string (J.Obj ([ ("v", J.Int version); ("id", id) ] @ fields))
+
+let ok_response ~id ~op fields =
+  response_line ~id (("ok", J.Bool true) :: ("op", J.String op) :: fields)
+
+let error_response ~id code message =
+  response_line ~id
+    [
+      ("ok", J.Bool false);
+      ( "error",
+        J.Obj
+          [ ("code", J.String (code_string code)); ("message", J.String message) ]
+      );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Client-side request builders *)
+
+let opt_field name f = function None -> [] | Some v -> [ (name, f v) ]
+
+let check_line ?(id = J.Null) ?(name = "request") ?(lattice = "two") ?binding
+    ?(analyses = [ "cfm" ]) ?(self_check = false) ?ni_pairs ?ni_max_states
+    ?deadline_ms program =
+  J.json_to_string
+    (J.Obj
+       ([
+          ("v", J.Int version);
+          ("id", id);
+          ("op", J.String "check");
+          ("name", J.String name);
+          ("program", J.String program);
+          ("lattice", J.String lattice);
+        ]
+       @ opt_field "binding" (fun b -> J.String b) binding
+       @ [ ("analyses", J.List (List.map (fun a -> J.String a) analyses)) ]
+       @ (if self_check then [ ("self_check", J.Bool true) ] else [])
+       @ opt_field "ni_pairs" (fun n -> J.Int n) ni_pairs
+       @ opt_field "ni_max_states" (fun n -> J.Int n) ni_max_states
+       @ opt_field "deadline_ms" (fun n -> J.Int n) deadline_ms))
+
+let stats_line ?(id = J.Null) () =
+  J.json_to_string
+    (J.Obj [ ("v", J.Int version); ("id", id); ("op", J.String "stats") ])
+
+let ping_line ?(id = J.Null) () =
+  J.json_to_string
+    (J.Obj [ ("v", J.Int version); ("id", id); ("op", J.String "ping") ])
+
+(* ------------------------------------------------------------------ *)
+(* Client-side response readers *)
+
+let response_ok json = Option.value ~default:false (Jsonx.mem_bool "ok" json)
+
+let response_error json =
+  match Jsonx.member "error" json with
+  | None -> None
+  | Some err ->
+    Some
+      ( Option.value ~default:"?" (Jsonx.mem_string "code" err),
+        Option.value ~default:"" (Jsonx.mem_string "message" err) )
+
+let response_verdict json = Jsonx.mem_string "verdict" json

@@ -1,0 +1,86 @@
+(** The wire protocol of the certification daemon: version-1
+    newline-delimited JSON, one request object per line, one response
+    object per line, in order. PROTOCOL.md is the user-facing
+    specification; this module is its implementation. *)
+
+val version : int
+(** [1]. Every request must carry [{"v": 1}]; every response echoes it. *)
+
+(** {1 Error codes} *)
+
+type error_code =
+  | Parse_error  (** The line is not a JSON object. *)
+  | Bad_version  (** Missing or unsupported ["v"]. *)
+  | Bad_request  (** Structurally valid JSON, semantically wrong. *)
+  | Oversized  (** The request line exceeded [max_request_bytes]. *)
+  | Overloaded  (** Connection or queue limits hit; retry later. *)
+  | Timeout  (** The request's deadline expired before completion. *)
+  | Internal  (** The server faulted; the message says how. *)
+
+val code_string : error_code -> string
+(** The wire spelling, e.g. ["parse_error"]. *)
+
+(** {1 Requests} *)
+
+type check_request = {
+  name : string;  (** Echoed in logs; defaults to ["request"]. *)
+  program : string;  (** Program source text. *)
+  lattice : string;  (** Builtin name or inline lattice spec text. *)
+  binding : string option;  (** [name : class] lines; [None] uses the
+                                program's declarations. *)
+  analyses : string list;  (** denning/cfm/prove/ni. *)
+  self_check : bool;
+  ni_pairs : int;
+  ni_max_states : int;
+  deadline_ms : int option;
+}
+
+type op = Check of check_request | Stats | Ping
+
+type parsed = { id : Ifc_pipeline.Telemetry.json; op : (op, error_code * string) result }
+(** The request id is recovered even from requests that fail to parse
+    beyond the envelope, so error responses still correlate. *)
+
+val parse_request : string -> parsed
+
+(** {1 Responses} *)
+
+val ok_response :
+  id:Ifc_pipeline.Telemetry.json ->
+  op:string ->
+  (string * Ifc_pipeline.Telemetry.json) list ->
+  string
+(** One rendered response line: [v], [id], [ok:true], [op], then the
+    operation's own fields. *)
+
+val error_response :
+  id:Ifc_pipeline.Telemetry.json -> error_code -> string -> string
+(** [v], [id], [ok:false], and an [error] object with [code] and
+    [message]. *)
+
+(** {1 Client-side builders and readers} *)
+
+val check_line :
+  ?id:Ifc_pipeline.Telemetry.json ->
+  ?name:string ->
+  ?lattice:string ->
+  ?binding:string ->
+  ?analyses:string list ->
+  ?self_check:bool ->
+  ?ni_pairs:int ->
+  ?ni_max_states:int ->
+  ?deadline_ms:int ->
+  string ->
+  string
+(** [check_line program] renders one check request line. *)
+
+val stats_line : ?id:Ifc_pipeline.Telemetry.json -> unit -> string
+
+val ping_line : ?id:Ifc_pipeline.Telemetry.json -> unit -> string
+
+val response_ok : Ifc_pipeline.Telemetry.json -> bool
+
+val response_error : Ifc_pipeline.Telemetry.json -> (string * string) option
+(** [(code, message)] when the response carries an error object. *)
+
+val response_verdict : Ifc_pipeline.Telemetry.json -> string option

@@ -1,0 +1,510 @@
+(* The certification daemon: multiplexes concurrent client connections
+   onto one Ifc_pipeline.Pool and one shared result Cache.
+
+   Threading model: the accept loop runs on the caller of [run]; each
+   accepted connection gets a (lightweight, I/O-bound) thread; each
+   check request is submitted to the (CPU-bound, domain-backed) worker
+   pool and awaited by its connection thread with a polling wait so a
+   deadline can fire even while the job is running. Cancellation is
+   cooperative: a request abandoned before a worker picks it up is never
+   executed at all.
+
+   Shutdown is a drain: [request_stop] (signal-handler safe — it only
+   flips an atomic) stops the accept loop; connection loops finish the
+   request they are serving, refuse to read another, and exit; the pool
+   is then drained and joined, the request log closed, sockets
+   unlinked. *)
+
+module J = Ifc_pipeline.Telemetry
+module Pool = Ifc_pipeline.Pool
+module Cache = Ifc_pipeline.Cache
+module Job = Ifc_pipeline.Job
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Mls = Ifc_lattice.Mls
+module Spec = Ifc_lattice.Spec
+module Parser = Ifc_lang.Parser
+module Wellformed = Ifc_lang.Wellformed
+module Binding = Ifc_core.Binding
+
+type config = {
+  endpoints : Conn.endpoint list;
+  workers : int;
+  cache_capacity : int;
+  limits : Limits.t;
+  log : J.sink option;
+}
+
+let default_config =
+  {
+    endpoints = [];
+    workers = 1;
+    cache_capacity = 4096;
+    limits = Limits.default;
+    log = None;
+  }
+
+type t = {
+  config : config;
+  pool : Pool.t;
+  cache : Job.analysis_result list Cache.t;
+  counters : J.counters;
+  latency : J.histogram;
+  started : J.timer;
+  stop : bool Atomic.t;
+  drained : bool Atomic.t;
+  conns : Limits.gauge;
+  listeners : (Unix.file_descr * Conn.endpoint) list;
+  tcp_port : int option;
+  threads_mutex : Mutex.t;
+  threads : (int, Thread.t) Hashtbl.t;
+  finished : (int, unit) Hashtbl.t;
+  conn_seq : int Atomic.t;
+  log : J.sink;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Creation *)
+
+let bind_endpoint ep =
+  match Conn.sockaddr_of_endpoint ep with
+  | Error msg -> Error msg
+  | Ok addr -> (
+    let domain = Unix.domain_of_sockaddr addr in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    try
+      (match ep with
+      | Conn.Unix_socket path ->
+        (* A stale socket file from a dead server would fail the bind. *)
+        if Sys.file_exists path then Unix.unlink path
+      | Conn.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+      Unix.bind fd addr;
+      Unix.listen fd 64;
+      Ok fd
+    with
+    | Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with _ -> ());
+      Error
+        (Fmt.str "cannot bind %a: %s" Conn.pp_endpoint ep (Unix.error_message err))
+    | Sys_error msg ->
+      (try Unix.close fd with _ -> ());
+      Error (Fmt.str "cannot bind %a: %s" Conn.pp_endpoint ep msg))
+
+let create config =
+  if config.endpoints = [] then Error "server needs at least one endpoint"
+  else if config.workers < 1 then Error "server needs at least one worker"
+  else begin
+    (* A dead client must surface as EPIPE on write, not kill the
+       process. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let rec bind_all acc = function
+      | [] -> Ok (List.rev acc)
+      | ep :: rest -> (
+        match bind_endpoint ep with
+        | Ok fd -> bind_all ((fd, ep) :: acc) rest
+        | Error msg ->
+          List.iter (fun (fd, _) -> try Unix.close fd with _ -> ()) acc;
+          Error msg)
+    in
+    match bind_all [] config.endpoints with
+    | Error msg -> Error msg
+    | Ok listeners ->
+      let tcp_port =
+        List.find_map
+          (fun (fd, ep) ->
+            match ep with
+            | Conn.Tcp _ -> (
+              match Unix.getsockname fd with
+              | Unix.ADDR_INET (_, port) -> Some port
+              | _ -> None)
+            | Conn.Unix_socket _ -> None)
+          listeners
+      in
+      Ok
+        {
+          config;
+          pool = Pool.create ~workers:config.workers ();
+          cache = Cache.create ~capacity:config.cache_capacity ();
+          counters = J.counters ();
+          latency = J.histogram ();
+          started = J.start ();
+          stop = Atomic.make false;
+          drained = Atomic.make false;
+          conns = Limits.gauge ();
+          listeners;
+          tcp_port;
+          threads_mutex = Mutex.create ();
+          threads = Hashtbl.create 16;
+          finished = Hashtbl.create 16;
+          conn_seq = Atomic.make 0;
+          log = Option.value ~default:(J.null_sink ()) config.log;
+        }
+  end
+
+let port t = t.tcp_port
+
+let request_stop t = Atomic.set t.stop true
+
+let stopped t = Atomic.get t.stop
+
+(* ------------------------------------------------------------------ *)
+(* Request execution *)
+
+let load_lattice text =
+  match text with
+  | "two" -> Ok (Lattice.stringify Chain.two)
+  | "three" -> Ok (Lattice.stringify Chain.three)
+  | "four" -> Ok (Lattice.stringify Chain.four)
+  | "mls" -> Ok (Lattice.stringify Mls.standard)
+  | text when String.contains text '\n' -> Spec.parse text
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown lattice %S (use two, three, four, mls, or inline spec text)"
+         other)
+
+let parse_program_text src =
+  match Parser.parse_program src with
+  | Error e -> Error (Fmt.str "program: %a" Parser.pp_error e)
+  | Ok p -> (
+    match Wellformed.errors p with
+    | [] -> Ok p
+    | errs ->
+      Error (Fmt.str "program: %a" (Fmt.list ~sep:Fmt.comma Wellformed.pp_issue) errs))
+
+let build_spec (req : Protocol.check_request) =
+  let ( let* ) = Result.bind in
+  let* lat = load_lattice req.Protocol.lattice in
+  let* program = parse_program_text req.Protocol.program in
+  let* binding =
+    match req.Protocol.binding with
+    | Some text -> Binding.of_spec lat text
+    | None -> Binding.of_program lat program
+  in
+  let* analyses =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* a =
+          Job.analysis_of_string ~ni_pairs:req.Protocol.ni_pairs
+            ~ni_max_states:req.Protocol.ni_max_states name
+        in
+        Ok (a :: acc))
+      (Ok []) req.Protocol.analyses
+    |> Result.map List.rev
+  in
+  Ok
+    (Job.make ~id:0 ~name:req.Protocol.name ~lattice:lat ~binding ~analyses
+       ~self_check:req.Protocol.self_check program)
+
+let check_fields (r : Job.result) =
+  let tail =
+    match r.Job.outcome with
+    | Error msg -> [ ("error", J.String msg) ]
+    | Ok analyses ->
+      [
+        ( "analyses",
+          J.List
+            (List.map
+               (fun (ar : Job.analysis_result) ->
+                 J.Obj
+                   [
+                     ("analysis", J.String ar.Job.analysis);
+                     ("verdict", J.Bool ar.Job.verdict);
+                     ("checks", J.Int ar.Job.checks);
+                     ("duration_ns", J.Int (Int64.to_int ar.Job.duration_ns));
+                   ])
+               analyses) );
+      ]
+  in
+  [
+    ("verdict", J.String (Job.verdict_string r));
+    ("cache", J.String (if r.Job.from_cache then "hit" else "miss"));
+    ("digest", J.String r.Job.job_digest);
+    ("duration_ns", J.Int (Int64.to_int r.Job.duration_ns));
+  ]
+  @ tail
+
+(* Await a pool-executed job with a deadline. The slot is an atomic
+   written once by the worker; polling (1 ms) instead of a condition
+   variable keeps the deadline honest even while the job is running. *)
+let await_result t slot cancelled deadline_ms =
+  let deadline_ns =
+    Option.map
+      (fun ms -> Int64.add (J.now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L))
+      deadline_ms
+  in
+  let rec wait () =
+    match Atomic.get slot with
+    | Some r -> Ok r
+    | None ->
+      let expired =
+        match deadline_ns with
+        | Some d -> Int64.compare (J.now_ns ()) d > 0
+        | None -> false
+      in
+      if expired then begin
+        Atomic.set cancelled true;
+        Error ()
+      end
+      else begin
+        Thread.delay 0.001;
+        wait ()
+      end
+  in
+  ignore t;
+  wait ()
+
+let exec_check t id (req : Protocol.check_request) =
+  match build_spec req with
+  | Error msg ->
+    J.incr t.counters "errors";
+    J.incr t.counters "error.bad_request";
+    (Protocol.error_response ~id Protocol.Bad_request msg, `Error "bad_request")
+  | Ok spec -> (
+    let digest = Job.digest spec in
+    let respond_result r =
+      (Protocol.ok_response ~id ~op:"check" (check_fields r), `Verdict r)
+    in
+    match Cache.find t.cache digest with
+    | Some cached ->
+      let timer = J.start () in
+      respond_result
+        {
+          Job.job_id = 0;
+          job_name = req.Protocol.name;
+          job_digest = digest;
+          outcome = Ok cached;
+          duration_ns = J.elapsed_ns timer;
+          from_cache = true;
+        }
+    | None ->
+      let limits = t.config.limits in
+      if limits.Limits.max_pending > 0 && Pool.pending t.pool >= limits.Limits.max_pending
+      then begin
+        J.incr t.counters "errors";
+        J.incr t.counters "error.overloaded";
+        ( Protocol.error_response ~id Protocol.Overloaded
+            (Printf.sprintf "certification queue is full (%d pending jobs)"
+               limits.Limits.max_pending),
+          `Error "overloaded" )
+      end
+      else begin
+        let slot = Atomic.make None and cancelled = Atomic.make false in
+        let task () =
+          if Atomic.get cancelled then J.incr t.counters "jobs.cancelled"
+          else begin
+            let r = Job.run ~digest spec in
+            (match r.Job.outcome with
+            | Ok analyses -> Cache.add t.cache digest analyses
+            | Error _ -> ());
+            Atomic.set slot (Some r)
+          end
+        in
+        match Pool.submit t.pool task with
+        | exception Invalid_argument _ ->
+          (* The pool is already draining; refuse politely. *)
+          J.incr t.counters "errors";
+          J.incr t.counters "error.overloaded";
+          ( Protocol.error_response ~id Protocol.Overloaded "server is shutting down",
+            `Error "overloaded" )
+        | () -> (
+          let deadline_ms =
+            match req.Protocol.deadline_ms with
+            | Some ms -> Some ms
+            | None ->
+              if limits.Limits.default_deadline_ms > 0 then
+                Some limits.Limits.default_deadline_ms
+              else None
+          in
+          match await_result t slot cancelled deadline_ms with
+          | Ok r -> respond_result r
+          | Error () ->
+            J.incr t.counters "errors";
+            J.incr t.counters "error.timeout";
+            ( Protocol.error_response ~id Protocol.Timeout
+                (Printf.sprintf "request exceeded its %d ms deadline"
+                   (Option.value ~default:0 deadline_ms)),
+              `Error "timeout" ))
+      end)
+
+let stats_fields t =
+  let cache_stats = Cache.stats t.cache in
+  [
+    ( "stats",
+      J.Obj
+        [
+          ("uptime_ns", J.Int (Int64.to_int (J.elapsed_ns t.started)));
+          ("workers", J.Int (Pool.workers t.pool));
+          ("pending_jobs", J.Int (Pool.pending t.pool));
+          ("active_connections", J.Int (Limits.value t.conns));
+          ("peak_connections", J.Int (Limits.peak t.conns));
+          ( "counters",
+            J.Obj
+              (List.map (fun (k, v) -> (k, J.Int v)) (J.snapshot t.counters)) );
+          ( "cache",
+            J.Obj
+              [
+                ("hits", J.Int cache_stats.Cache.hits);
+                ("misses", J.Int cache_stats.Cache.misses);
+                ("evictions", J.Int cache_stats.Cache.evictions);
+                ("size", J.Int cache_stats.Cache.size);
+                ("capacity", J.Int cache_stats.Cache.capacity);
+                ("hit_rate_pct", J.Float (Cache.hit_rate cache_stats));
+              ] );
+          ("latency", J.Obj (J.histogram_fields t.latency));
+        ] );
+  ]
+
+(* One request item in, one response line out. *)
+let handle t item =
+  let timer = J.start () in
+  let response, outcome, op_name, name =
+    match item with
+    | `Oversized ->
+      J.incr t.counters "requests";
+      J.incr t.counters "errors";
+      J.incr t.counters "error.oversized";
+      ( Protocol.error_response ~id:J.Null Protocol.Oversized
+          (Printf.sprintf "request exceeds the %d byte limit"
+             t.config.limits.Limits.max_request_bytes),
+        `Error "oversized",
+        "?",
+        None )
+    | `Line line -> (
+      let { Protocol.id; op } = Protocol.parse_request line in
+      J.incr t.counters "requests";
+      match op with
+      | Error (code, msg) ->
+        J.incr t.counters "errors";
+        J.incr t.counters ("error." ^ Protocol.code_string code);
+        (Protocol.error_response ~id code msg, `Error (Protocol.code_string code), "?", None)
+      | Ok Protocol.Ping ->
+        J.incr t.counters "op.ping";
+        (Protocol.ok_response ~id ~op:"ping" [], `Ok, "ping", None)
+      | Ok Protocol.Stats ->
+        J.incr t.counters "op.stats";
+        (Protocol.ok_response ~id ~op:"stats" (stats_fields t), `Ok, "stats", None)
+      | Ok (Protocol.Check req) ->
+        J.incr t.counters "op.check";
+        let response, verdict = exec_check t id req in
+        (response, verdict, "check", Some req.Protocol.name))
+  in
+  let duration_ns = J.elapsed_ns timer in
+  J.observe t.latency duration_ns;
+  let log_fields =
+    [ ("event", J.String "request"); ("op", J.String op_name) ]
+    @ (match name with Some n -> [ ("name", J.String n) ] | None -> [])
+    @ (match outcome with
+      | `Ok -> [ ("ok", J.Bool true) ]
+      | `Error code -> [ ("ok", J.Bool false); ("code", J.String code) ]
+      | `Verdict r ->
+        [
+          ("ok", J.Bool true);
+          ("verdict", J.String (Job.verdict_string r));
+          ("cache", J.String (if r.Job.from_cache then "hit" else "miss"));
+        ])
+    @ [ ("duration_ns", J.Int (Int64.to_int duration_ns)) ]
+  in
+  J.emit t.log log_fields;
+  response
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop, drain, shutdown *)
+
+let spawn_connection t fd =
+  if
+    not
+      (Limits.try_incr t.conns ~limit:t.config.limits.Limits.max_connections)
+  then begin
+    J.incr t.counters "errors";
+    J.incr t.counters "error.overloaded";
+    ignore
+      (Conn.write_line fd
+         (Protocol.error_response ~id:J.Null Protocol.Overloaded
+            (Printf.sprintf "server is at its %d connection limit"
+               t.config.limits.Limits.max_connections)));
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+  else begin
+    J.incr t.counters "connections";
+    let key = Atomic.fetch_and_add t.conn_seq 1 in
+    let thread =
+      Thread.create
+        (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              Limits.decr t.conns;
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Mutex.lock t.threads_mutex;
+              (* Deregister; if the spawner has not registered us yet,
+                 leave a tombstone so it knows not to. *)
+              if Hashtbl.mem t.threads key then Hashtbl.remove t.threads key
+              else Hashtbl.replace t.finished key ();
+              Mutex.unlock t.threads_mutex)
+            (fun () ->
+              Conn.serve ~limits:t.config.limits
+                ~should_stop:(fun () -> Atomic.get t.stop)
+                ~handle:(handle t) fd))
+        ()
+    in
+    Mutex.lock t.threads_mutex;
+    if Hashtbl.mem t.finished key then Hashtbl.remove t.finished key
+    else Hashtbl.replace t.threads key thread;
+    Mutex.unlock t.threads_mutex
+  end
+
+let drain t =
+  if not (Atomic.exchange t.drained true) then begin
+    List.iter
+      (fun (fd, ep) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match ep with
+        | Conn.Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | Conn.Tcp _ -> ())
+      t.listeners;
+    let remaining () =
+      Mutex.lock t.threads_mutex;
+      let ts = Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [] in
+      Mutex.unlock t.threads_mutex;
+      ts
+    in
+    List.iter Thread.join (remaining ());
+    Pool.shutdown t.pool;
+    J.emit t.log
+      [
+        ("event", J.String "server_stop");
+        ("uptime_ns", J.Int (Int64.to_int (J.elapsed_ns t.started)));
+        ("requests", J.Int (J.count t.counters "requests"));
+      ];
+    J.close t.log
+  end
+
+let run t =
+  J.emit t.log
+    [
+      ("event", J.String "server_start");
+      ("workers", J.Int (Pool.workers t.pool));
+      ( "endpoints",
+        J.List
+          (List.map
+             (fun (_, ep) -> J.String (Fmt.str "%a" Conn.pp_endpoint ep))
+             t.listeners) );
+    ];
+  let fds = List.map fst t.listeners in
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select fds [] [] 0.2 with
+      | ready, _, _ ->
+        List.iter
+          (fun lfd ->
+            match Unix.accept lfd with
+            | cfd, _addr -> spawn_connection t cfd
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error _ -> ())
+          ready
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> drain t) loop

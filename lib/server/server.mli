@@ -1,0 +1,58 @@
+(** The certification daemon: IFC-as-a-service over the batch pipeline.
+
+    One server multiplexes any number of concurrent client connections
+    onto a single {!Ifc_pipeline.Pool} of worker domains and one shared
+    content-addressed {!Ifc_pipeline.Cache} — so every client benefits
+    from every other client's certifications. The wire protocol is
+    {!Protocol} (newline-delimited JSON, versioned); robustness comes
+    from {!Limits} (request size, connection and queue caps, deadlines
+    with cooperative cancellation) and observability from
+    {!Ifc_pipeline.Telemetry} (counters, a latency histogram, an
+    optional JSONL request log, and the [stats] operation).
+
+    Lifecycle: {!create} binds the sockets, {!run} serves until
+    {!request_stop} (typically from a SIGINT/SIGTERM handler — it only
+    flips an atomic, so it is safe in a signal handler), then drains:
+    in-flight requests complete and are answered, connection threads and
+    worker domains are joined, the request log is flushed and closed,
+    and Unix socket files are unlinked. *)
+
+type config = {
+  endpoints : Conn.endpoint list;  (** At least one. *)
+  workers : int;  (** Worker domains for the job pool. *)
+  cache_capacity : int;  (** Shared LRU result cache entries. *)
+  limits : Limits.t;
+  log : Ifc_pipeline.Telemetry.sink option;
+      (** JSONL request log; the server closes it on drain. *)
+}
+
+val default_config : config
+(** No endpoints (caller must add some), 1 worker, 4096 cache entries,
+    {!Limits.default}, no log. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Binds and listens on every endpoint (stale Unix socket files are
+    unlinked first), spawns the worker pool, and ignores [SIGPIPE]
+    process-wide (a dead client must be an [EPIPE], not a crash). *)
+
+val port : t -> int option
+(** The actual port of the first TCP endpoint — useful after binding
+    port [0]. *)
+
+val run : t -> unit
+(** The accept loop. Blocks until {!request_stop}, then drains and
+    releases everything. Call from the thread that should own the
+    server's lifetime. *)
+
+val request_stop : t -> unit
+(** Initiate graceful shutdown; safe to call from a signal handler or
+    any thread, idempotent. *)
+
+val stopped : t -> bool
+
+val handle : t -> Conn.item -> string
+(** One request item in, one response line out — the connection loop's
+    handler, exposed so embedders and tests can drive a server without
+    sockets. *)

@@ -1,0 +1,50 @@
+End-to-end test of the certification daemon: ifc serve in the
+background, ifc client over a Unix-domain socket, SIGTERM drain.
+
+The socket lives in a fresh short directory: AF_UNIX paths are capped
+at ~108 bytes and dune sandboxes nest deep.
+
+  $ SOCK_DIR=$(mktemp -d)
+  $ SOCK="$SOCK_DIR/ifc.sock"
+
+  $ ../../bin/ifc.exe serve --socket "$SOCK" --quiet &
+  $ SERVER_PID=$!
+
+The client retries the connection while the server starts:
+
+  $ ../../bin/ifc.exe client --socket "$SOCK" --wait 10 ping
+  pong
+
+The paper's Figure 3 covert-channel program, certified over the wire:
+with x secret and y public the synchronization flow x -> m -> y must be
+rejected, exactly as the in-process checker rejects it.
+
+  $ ../../bin/ifc.exe client --socket "$SOCK" check --binding leaky.bind fig3.ifc
+  fig3.ifc: fail (cache miss)
+  [2]
+
+The shared result cache answers the identical request without
+recomputing:
+
+  $ ../../bin/ifc.exe client --socket "$SOCK" check --binding leaky.bind fig3.ifc
+  fig3.ifc: fail (cache hit)
+  [2]
+
+A permissive binding certifies, and pass means exit 0:
+
+  $ ../../bin/ifc.exe client --socket "$SOCK" check fig3.ifc
+  fig3.ifc: pass (cache miss)
+
+The stats operation sees all of the above:
+
+  $ ../../bin/ifc.exe client --socket "$SOCK" --json stats | grep -o '"op.check":3'
+  "op.check":3
+  $ ../../bin/ifc.exe client --socket "$SOCK" --json stats | grep -o '"hits":1,'
+  "hits":1,
+
+SIGTERM drains and the server exits 0:
+
+  $ kill -TERM $SERVER_PID
+  $ wait $SERVER_PID
+
+  $ rm -rf "$SOCK_DIR"

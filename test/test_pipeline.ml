@@ -110,6 +110,54 @@ let test_cache_counters () =
   check_int "misses" 1 stats.Cache.misses;
   check "hit rate 50%" true (Float.equal (Cache.hit_rate stats) 50.)
 
+let test_cache_capacity_one () =
+  (* The degenerate boundary: every insert of a new key evicts. *)
+  let c = Cache.create ~capacity:1 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  check "a evicted" true (Cache.find c "a" = None);
+  check "b present" true (Cache.find c "b" = Some 2);
+  let stats = Cache.stats c in
+  check_int "one eviction at capacity 1" 1 stats.Cache.evictions;
+  check_int "size stays 1" 1 stats.Cache.size
+
+let test_cache_exact_capacity_boundary () =
+  (* Filling to exactly capacity evicts nothing; one past it evicts
+     exactly the LRU entry, recency refreshed by an intervening find. *)
+  let c = Cache.create ~capacity:3 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  check_int "no eviction at exact capacity" 0 (Cache.stats c).Cache.evictions;
+  check "a hits" true (Cache.find c "a" = Some 1);
+  Cache.add c "d" 4;
+  check "b was the LRU victim" true (Cache.find c "b" = None);
+  check "a survives (refreshed)" true (Cache.find c "a" = Some 1);
+  check "c survives" true (Cache.find c "c" = Some 3);
+  check "d present" true (Cache.find c "d" = Some 4);
+  check_int "exactly one eviction" 1 (Cache.stats c).Cache.evictions
+
+let test_cache_reinsert_refreshes_recency () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  (* Re-inserting "a" must refresh it, making "b" the victim. *)
+  Cache.add c "a" 10;
+  Cache.add c "c" 3;
+  check "b evicted after a's re-insert" true (Cache.find c "b" = None);
+  check "a survives with new value" true (Cache.find c "a" = Some 10);
+  check "c present" true (Cache.find c "c" = Some 3)
+
+let test_cache_mem_is_recency_neutral () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  (* mem must NOT refresh: "a" stays the LRU victim. *)
+  check "mem sees a" true (Cache.mem c "a");
+  Cache.add c "c" 3;
+  check "a still evicted despite mem" true (Cache.find c "a" = None);
+  check "b survives" true (Cache.find c "b" = Some 2)
+
 let test_cache_concurrent_access () =
   let c = Cache.create ~capacity:64 () in
   Pool.run ~workers:4
@@ -320,6 +368,13 @@ let suite =
         test_pool_rejects_zero_workers;
       Alcotest.test_case "cache lru eviction" `Quick test_cache_lru_eviction;
       Alcotest.test_case "cache counters" `Quick test_cache_counters;
+      Alcotest.test_case "cache capacity one" `Quick test_cache_capacity_one;
+      Alcotest.test_case "cache exact capacity boundary" `Quick
+        test_cache_exact_capacity_boundary;
+      Alcotest.test_case "cache re-insert refreshes recency" `Quick
+        test_cache_reinsert_refreshes_recency;
+      Alcotest.test_case "cache mem is recency-neutral" `Quick
+        test_cache_mem_is_recency_neutral;
       Alcotest.test_case "cache concurrent access" `Quick
         test_cache_concurrent_access;
       Alcotest.test_case "telemetry json escaping" `Quick

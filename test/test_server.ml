@@ -1,0 +1,620 @@
+(* Tests for the certification daemon: the JSON parser it trusts with
+   socket input, the wire protocol, the latency histogram and JSONL sink
+   hygiene it reports through, and — over real sockets — the service
+   guarantees: concurrent clients see sequential verdicts, deadlines
+   time out without collateral damage, malformed and oversized requests
+   never kill a connection, limits answer [overloaded], SIGTERM drains,
+   and the shared cache warms to a 100% hit rate. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Ast = Ifc_lang.Ast
+module Gen = Ifc_lang.Gen
+module Parser = Ifc_lang.Parser
+module Vars = Ifc_lang.Vars
+module Prng = Ifc_support.Prng
+module Sset = Ifc_support.Sset
+module Binding = Ifc_core.Binding
+module Job = Ifc_pipeline.Job
+module J = Ifc_pipeline.Telemetry
+module Jsonx = Ifc_server.Jsonx
+module Protocol = Ifc_server.Protocol
+module Conn = Ifc_server.Conn
+module Limits = Ifc_server.Limits
+module Server = Ifc_server.Server
+module Client = Ifc_server.Client
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_str = Alcotest.(check string)
+
+let two = Lattice.stringify Chain.two
+
+let fail_result = function
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx: parsing and round-trips through Telemetry's renderer *)
+
+let roundtrip value =
+  match Jsonx.parse (J.json_to_string value) with
+  | Ok parsed -> parsed
+  | Error msg -> Alcotest.failf "re-parse failed: %s" msg
+
+let test_jsonx_roundtrip_values () =
+  List.iter
+    (fun v -> check "round-trip" true (roundtrip v = v))
+    [
+      J.Null;
+      J.Bool true;
+      J.Bool false;
+      J.Int 0;
+      J.Int (-42);
+      J.Int max_int;
+      J.Float 1.5;
+      J.Float (-0.125);
+      J.String "";
+      J.List [ J.Int 1; J.Null; J.String "x" ];
+      J.Obj [ ("a", J.Int 1); ("b", J.Obj [ ("c", J.List []) ]) ];
+    ]
+
+let test_jsonx_roundtrip_escaping () =
+  (* The satellite check: Telemetry's hand-rolled escaping must survive
+     a real JSON parser byte-for-byte. *)
+  List.iter
+    (fun s -> check_str "string round-trip" s
+        (match roundtrip (J.String s) with
+        | J.String s' -> s'
+        | _ -> Alcotest.fail "not a string"))
+    [
+      "plain";
+      "quote \" inside";
+      "back\\slash";
+      "newline\nand\rreturn\tand tab";
+      "control \001 \031 bytes";
+      "nul \000 byte";
+      "non-ASCII: h\xc3\xa9llo \xe2\x80\xa6 \xf0\x9f\x98\x80";
+      "mixed \"\\\n\t\xc3\xa9";
+    ]
+
+let test_jsonx_unicode_escapes () =
+  (* \uXXXX escapes decode to UTF-8, surrogate pairs included. *)
+  let parse_string s =
+    match Jsonx.parse s with
+    | Ok (J.String v) -> v
+    | Ok _ -> Alcotest.fail "not a string"
+    | Error msg -> Alcotest.failf "parse failed: %s" msg
+  in
+  check_str "BMP escape" "\xc3\xa9" (parse_string {|"é"|});
+  check_str "ASCII escape" "A" (parse_string {|"A"|});
+  check_str "surrogate pair" "\xf0\x9f\x98\x80" (parse_string {|"😀"|});
+  check_str "escaped controls" "\n\t" (parse_string {|"\n\t"|})
+
+let test_jsonx_rejects () =
+  let rejects label s =
+    check label true (match Jsonx.parse s with Error _ -> true | Ok _ -> false)
+  in
+  rejects "empty" "";
+  rejects "garbage" "hello";
+  rejects "trailing garbage" "{} trailing";
+  rejects "two values" "1 2";
+  rejects "raw newline in string" "\"a\nb\"";
+  rejects "raw control in string" "\"a\001b\"";
+  rejects "lone high surrogate" {|"\ud83d"|};
+  rejects "lone low surrogate" {|"\ude00"|};
+  rejects "bad escape" {|"\q"|};
+  rejects "unterminated string" "\"abc";
+  rejects "unterminated object" "{\"a\": 1";
+  rejects "deep nesting" (String.concat "" (List.init 600 (fun _ -> "[")));
+  check "valid object accepted" true
+    (Jsonx.parse {|{"a": [1, 2.5, true, null, "x"]}|} |> Result.is_ok)
+
+let test_jsonx_accessors () =
+  let json = fail_result (Jsonx.parse {|{"s": "v", "i": 7, "f": 7.0, "b": true, "l": [1]}|}) in
+  check "member hit" true (Jsonx.member "s" json <> None);
+  check "member miss" true (Jsonx.member "zz" json = None);
+  check_str "mem_string" "v" (Option.get (Jsonx.mem_string "s" json));
+  check_int "mem_int on Int" 7 (Option.get (Jsonx.mem_int "i" json));
+  check_int "mem_int on integral Float" 7 (Option.get (Jsonx.mem_int "f" json));
+  check "mem_bool" true (Option.get (Jsonx.mem_bool "b" json));
+  check "list_opt" true
+    (match Option.bind (Jsonx.member "l" json) Jsonx.list_opt with
+    | Some [ J.Int 1 ] -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Latency histogram *)
+
+let test_histogram () =
+  let h = J.histogram () in
+  check_int "empty" 0 (J.observations h);
+  check "empty quantile" true (J.quantile_ns h 0.5 = 0L);
+  for _ = 1 to 90 do J.observe h 1000L done;
+  for _ = 1 to 10 do J.observe h 1_000_000L done;
+  J.observe h (-5L);
+  (* negative clamps to 0 *)
+  check_int "count" 101 (J.observations h);
+  (* Quantiles are bucket upper bounds: 1000 ns lands in the first
+     bucket (upper 1024 ns), 1 ms in the 1048576 ns bucket. *)
+  check "p50 within an octave" true (J.quantile_ns h 0.5 = 1024L);
+  check "p99 within an octave" true (J.quantile_ns h 0.99 = 1_048_576L);
+  check "quantiles monotone" true (J.quantile_ns h 0.5 <= J.quantile_ns h 0.99);
+  let fields = J.histogram_fields h in
+  let get name =
+    match List.assoc name fields with
+    | J.Int i -> Int64.of_int i
+    | J.Float f -> Int64.of_float f
+    | _ -> Alcotest.failf "field %s not numeric" name
+  in
+  check "max recorded" true (get "max_ns" = 1_000_000L);
+  check_int "count field" 101 (Int64.to_int (get "count"))
+
+(* ------------------------------------------------------------------ *)
+(* Sink hygiene: whole lines on every exit path *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let assert_whole_jsonl label contents =
+  check (label ^ ": non-empty") true (String.length contents > 0);
+  check (label ^ ": ends in newline") true
+    (contents.[String.length contents - 1] = '\n');
+  List.iteri
+    (fun i line ->
+      match Jsonx.parse line with
+      | Ok (J.Obj _) -> ()
+      | Ok _ -> Alcotest.failf "%s: line %d is not an object" label i
+      | Error msg -> Alcotest.failf "%s: line %d unparsable: %s" label i msg)
+    (String.split_on_char '\n' (String.trim contents))
+
+let test_sink_flushes_every_event () =
+  let path = Filename.temp_file "ifc_sink" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let sink = J.open_sink path in
+  J.emit sink [ ("event", J.String "one") ];
+  J.emit sink [ ("text", J.String "tricky \"\n\\ line") ];
+  (* Visible and complete before close: emit flushes per event. *)
+  assert_whole_jsonl "before close" (read_file path);
+  J.close sink;
+  assert_whole_jsonl "after close" (read_file path);
+  check_int "events written" 2 (J.events_written sink)
+
+let test_with_sink_closes_on_raise () =
+  let path = Filename.temp_file "ifc_sink" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let escaped = ref None in
+  (try
+     J.with_sink path (fun sink ->
+         J.emit sink [ ("event", J.String "before crash") ];
+         escaped := Some sink;
+         failwith "boom")
+   with Failure _ -> ());
+  assert_whole_jsonl "after raise" (read_file path);
+  (* The sink really was closed: emit after close is a silent no-op. *)
+  (match !escaped with
+  | Some sink -> J.emit sink [ ("event", J.String "after close") ]
+  | None -> Alcotest.fail "with_sink never ran");
+  check "no event after close" true
+    (not (String.length (read_file path) > 0
+          && String.length (read_file path)
+             <> String.length (read_file path)));
+  check_int "only the pre-crash event" 1
+    (List.length
+       (String.split_on_char '\n' (String.trim (read_file path))))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol parsing *)
+
+let test_protocol_parse () =
+  (* A client-built line parses back to the same request. *)
+  let line =
+    Protocol.check_line ~id:(J.Int 3) ~name:"t" ~lattice:"mls"
+      ~binding:"x : low" ~analyses:[ "denning"; "cfm" ] ~self_check:true
+      ~deadline_ms:250 "begin x := 0 end"
+  in
+  let parsed = Protocol.parse_request line in
+  check "id echoed" true (parsed.Protocol.id = J.Int 3);
+  (match parsed.Protocol.op with
+  | Ok (Protocol.Check r) ->
+    check_str "name" "t" r.Protocol.name;
+    check_str "lattice" "mls" r.Protocol.lattice;
+    check "binding" true (r.Protocol.binding = Some "x : low");
+    check "analyses" true (r.Protocol.analyses = [ "denning"; "cfm" ]);
+    check "self_check" true r.Protocol.self_check;
+    check "deadline" true (r.Protocol.deadline_ms = Some 250)
+  | _ -> Alcotest.fail "expected a check op");
+  (* Analyses also accepted as a CSV string. *)
+  (match
+     (Protocol.parse_request
+        {|{"v": 1, "op": "check", "program": "p", "analyses": "cfm, prove"}|})
+       .Protocol.op
+   with
+  | Ok (Protocol.Check r) ->
+    check "csv analyses" true (r.Protocol.analyses = [ "cfm"; "prove" ])
+  | _ -> Alcotest.fail "csv analyses rejected");
+  let expect_error label line code =
+    let parsed = Protocol.parse_request line in
+    match parsed.Protocol.op with
+    | Error (got, _) -> check_str label code (Protocol.code_string got)
+    | Ok _ -> Alcotest.failf "%s: unexpectedly parsed" label
+  in
+  expect_error "garbage" "not json" "parse_error";
+  expect_error "non-object" "[1,2]" "parse_error";
+  expect_error "missing version" {|{"op": "ping"}|} "bad_version";
+  expect_error "wrong version" {|{"v": 99, "op": "ping"}|} "bad_version";
+  expect_error "missing op" {|{"v": 1}|} "bad_request";
+  expect_error "unknown op" {|{"v": 1, "op": "frobnicate"}|} "bad_request";
+  expect_error "check without program" {|{"v": 1, "op": "check"}|} "bad_request";
+  expect_error "bad deadline" {|{"v": 1, "op": "check", "program": "p", "deadline_ms": -1}|}
+    "bad_request";
+  (* Ids are recovered even from envelope failures. *)
+  check "id survives bad version" true
+    ((Protocol.parse_request {|{"v": 99, "id": 7}|}).Protocol.id = J.Int 7)
+
+(* ------------------------------------------------------------------ *)
+(* Socket-level helpers *)
+
+let temp_sock () =
+  let path = Filename.temp_file "ifcsrv" ".sock" in
+  (* temp_file creates a placeholder; the server unlinks stale paths
+     before binding. *)
+  path
+
+let with_server ?(workers = 2) ?(cache_capacity = 256) ?(limits = Limits.default)
+    ?(endpoints = `Unix) f =
+  let sock = temp_sock () in
+  let endpoints =
+    match endpoints with
+    | `Unix -> [ Conn.Unix_socket sock ]
+    | `Tcp -> [ Conn.Tcp ("127.0.0.1", 0) ]
+  in
+  let config =
+    { Server.default_config with endpoints; workers; cache_capacity; limits }
+  in
+  let server = fail_result (Server.create config) in
+  let thread = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop server;
+      Thread.join thread;
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () -> f (List.hd endpoints) server)
+
+let with_conn endpoint f =
+  fail_result (Client.with_client ~retry_for:5. endpoint f)
+
+let quick_program = "var x, y : integer;\nbegin x := 1; y := x end"
+
+(* A check the worker chews on for ~100 ms: empirical noninterference
+   single-steps this loop once per tested pair. *)
+let slow_program =
+  "var h, x, y : integer;\nbegin\n  x := 0;\n  while x < 4000 do x := x + 1 od;\n  y := x\nend"
+
+let slow_binding = "h : high\nx : low\ny : low"
+
+let slow_check ?deadline_ms client =
+  Client.check client ~name:"slow" ~binding:slow_binding
+    ~analyses:[ "ni" ] ~ni_pairs:1 ~ni_max_states:10_000_000 ?deadline_ms
+    slow_program
+
+let response_code response =
+  match Protocol.response_error response with
+  | Some (code, _) -> code
+  | None -> "ok"
+
+let stat_int path response =
+  let rec walk json = function
+    | [] -> Option.value ~default:(-1) (Jsonx.int_opt json)
+    | key :: rest -> (
+      match Jsonx.member key json with
+      | Some v -> walk v rest
+      | None -> -1)
+  in
+  walk response ("stats" :: path)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent clients get exactly the sequential verdicts. *)
+
+(* Generated programs go over the wire as source text, so keep only
+   those that survive the server's own pretty-print → parse →
+   wellformedness path. *)
+let corpus n =
+  let rng = Prng.create 20260806 in
+  let levels = Array.of_list two.Lattice.elements in
+  let rec collect i acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let program = Gen.program rng Gen.default ~size:(1 + (i mod 15)) in
+      let source = Fmt.str "%a" Ifc_lang.Pretty.pp_program program in
+      match Parser.parse_program source with
+      | Ok reparsed when Ifc_lang.Wellformed.errors reparsed = [] ->
+        let binding_text =
+          Sset.elements (Vars.all_vars program.Ast.body)
+          |> List.map (fun v ->
+                 Printf.sprintf "%s : %s" v
+                   levels.(Prng.int rng (Array.length levels)))
+          |> String.concat "\n"
+        in
+        collect (i + 1)
+          ((Printf.sprintf "corpus:%d" i, source, binding_text) :: acc)
+          (remaining - 1)
+      | _ -> collect (i + 1) acc remaining
+  in
+  collect 0 [] n
+
+let sequential_verdict (name, source, binding_text) =
+  let program =
+    match Parser.parse_program source with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "parse %s: %s" name (Fmt.str "%a" Parser.pp_error e)
+  in
+  let binding = fail_result (Binding.of_spec two binding_text) in
+  Job.verdict_string
+    (Job.run (Job.make ~id:0 ~name ~lattice:two ~binding ~analyses:[ Job.Cfm ] program))
+
+let test_concurrent_matches_sequential () =
+  let jobs = corpus 24 in
+  let expected = List.map sequential_verdict jobs in
+  with_server ~workers:3 @@ fun endpoint _server ->
+  let one_client () =
+    with_conn endpoint @@ fun client ->
+    Ok
+      (List.map
+         (fun (name, source, binding) ->
+           let response =
+             fail_result
+               (Client.check client ~name ~binding ~analyses:[ "cfm" ] source)
+           in
+           check ("ok: " ^ name) true (Protocol.response_ok response);
+           Option.get (Protocol.response_verdict response))
+         jobs)
+  in
+  let results = Array.make 4 [] in
+  let threads =
+    List.init 4 (fun i -> Thread.create (fun () -> results.(i) <- one_client ()) ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i verdicts ->
+      check (Printf.sprintf "client %d matches sequential" i) true
+        (verdicts = expected))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines, cancellation, robustness *)
+
+let test_timeout_spares_other_requests () =
+  with_server ~workers:2 @@ fun endpoint _server ->
+  let timed_out = ref "unset" in
+  let slow_thread =
+    Thread.create
+      (fun () ->
+        with_conn endpoint @@ fun client ->
+        let response = fail_result (slow_check ~deadline_ms:10 client) in
+        timed_out := response_code response;
+        (* The connection survives its own timeout. *)
+        let* () = Client.ping client in
+        Ok ())
+      ()
+  in
+  (* Meanwhile a quick request on another connection completes. *)
+  with_conn endpoint (fun client ->
+      let response =
+        fail_result (Client.check client ~name:"quick" quick_program)
+      in
+      check "quick request passes during slow one" true
+        (Protocol.response_ok response);
+      Ok ());
+  Thread.join slow_thread;
+  check_str "slow request timed out" "timeout" !timed_out
+
+let test_expired_queued_job_is_cancelled () =
+  (* One worker: a slow job occupies it, so a short-deadline request
+     expires while still queued and the pool skips it entirely. *)
+  with_server ~workers:1 @@ fun endpoint _server ->
+  let slow_thread =
+    Thread.create
+      (fun () -> with_conn endpoint (fun client -> slow_check client)) ()
+  in
+  Thread.delay 0.03;
+  with_conn endpoint (fun client ->
+      let response = fail_result (Client.check client ~deadline_ms:5 quick_program) in
+      check_str "queued request timed out" "timeout" (response_code response);
+      Ok ());
+  Thread.join slow_thread;
+  with_conn endpoint (fun client ->
+      let stats = fail_result (Client.stats client) in
+      check "cancelled job counted" true
+        (stat_int [ "counters"; "jobs.cancelled" ] stats >= 1);
+      Ok ())
+
+let test_malformed_requests_keep_connection () =
+  with_server @@ fun endpoint _server ->
+  with_conn endpoint (fun client ->
+      let expect code line =
+        let response = fail_result (Client.request client line) in
+        check_str ("code for " ^ line) code (response_code response)
+      in
+      expect "parse_error" "definitely not json";
+      expect "parse_error" "[1, 2, 3]";
+      expect "bad_version" {|{"op": "ping"}|};
+      expect "bad_version" {|{"v": 99, "op": "ping"}|};
+      expect "bad_request" {|{"v": 1, "op": "frobnicate"}|};
+      expect "bad_request" {|{"v": 1, "op": "check"}|};
+      expect "bad_request"
+        {|{"v": 1, "op": "check", "program": "x := ("}|};
+      (* After all that abuse, the same connection still serves. *)
+      let* () = Client.ping client in
+      Ok ())
+
+let test_oversized_request_keeps_connection () =
+  let limits = { Limits.default with Limits.max_request_bytes = 256 } in
+  with_server ~limits @@ fun endpoint _server ->
+  with_conn endpoint (fun client ->
+      let big = String.make 10_000 'x' in
+      let response =
+        fail_result (Client.check client ~name:"big" big)
+      in
+      check_str "oversized rejected" "oversized" (response_code response);
+      let* () = Client.ping client in
+      let response = fail_result (Client.check client quick_program) in
+      check "normal request works after oversized" true
+        (Protocol.response_ok response);
+      Ok ())
+
+let test_connection_cap_answers_overloaded () =
+  let limits = { Limits.default with Limits.max_connections = 1 } in
+  with_server ~limits @@ fun endpoint _server ->
+  with_conn endpoint (fun first ->
+      (* A round-trip guarantees the first connection is registered. *)
+      let* () = Client.ping first in
+      let second = fail_result (Client.connect ~retry_for:5. endpoint) in
+      Fun.protect ~finally:(fun () -> Client.close second) @@ fun () ->
+      (* The server volunteers one overloaded line, then closes. *)
+      let response = fail_result (Client.request second (Protocol.ping_line ())) in
+      check_str "overloaded" "overloaded" (response_code response);
+      check "then EOF" true
+        (match Client.request second (Protocol.ping_line ()) with
+        | Error _ -> true
+        | Ok _ -> false);
+      (* The first connection is unaffected. *)
+      let* () = Client.ping first in
+      Ok ())
+
+let test_tcp_endpoint () =
+  with_server ~endpoints:`Tcp @@ fun _endpoint server ->
+  let port = Option.get (Server.port server) in
+  check "ephemeral port bound" true (port > 0);
+  with_conn (Conn.Tcp ("127.0.0.1", port)) (fun client ->
+      let* () = Client.ping client in
+      let response = fail_result (Client.check client quick_program) in
+      check "check over tcp" true (Protocol.response_ok response);
+      Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown on SIGTERM *)
+
+let test_sigterm_drains_in_flight () =
+  (* A real SIGTERM delivered to this process, handled exactly as the
+     CLI wires it (handler → request_stop), must let the in-flight slow
+     request finish with a real response before [Server.run] returns.
+     (The full separate-process version, including exit code 0, lives in
+     the serve.t cram test — [Unix.fork] is off-limits once worker
+     domains exist.) *)
+  let sock = temp_sock () in
+  let config =
+    { Server.default_config with Server.endpoints = [ Conn.Unix_socket sock ] }
+  in
+  let server = fail_result (Server.create config) in
+  let previous =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Server.request_stop server))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.signal Sys.sigterm previous);
+      try Sys.remove sock with Sys_error _ -> ())
+  @@ fun () ->
+  let run_thread = Thread.create Server.run server in
+  let slow_response = ref None in
+  let slow_thread =
+    Thread.create
+      (fun () ->
+        with_conn (Conn.Unix_socket sock) (fun client ->
+            slow_response := Some (fail_result (slow_check client));
+            Ok ()))
+      ()
+  in
+  (* Let the slow request get in flight, then TERM ourselves. *)
+  Thread.delay 0.03;
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  Thread.join run_thread;
+  check "run returned after SIGTERM" true (Server.stopped server);
+  Thread.join slow_thread;
+  (match !slow_response with
+  | Some response ->
+    check "in-flight request drained, not dropped" true
+      (Protocol.response_ok response)
+  | None -> Alcotest.fail "slow request got no response");
+  (* The drained server is really gone: new connections fail. *)
+  check "socket closed after drain" true
+    (match Client.connect (Conn.Unix_socket sock) with
+    | Error _ -> true
+    | Ok c ->
+      Client.close c;
+      false)
+
+(* ------------------------------------------------------------------ *)
+(* Stats and cache warmth *)
+
+let test_stats_and_warm_cache () =
+  with_server @@ fun endpoint _server ->
+  with_conn endpoint (fun client ->
+      let* () = Client.ping client in
+      let run () =
+        fail_result
+          (Client.check client ~name:"same" ~binding:"x : low\ny : low"
+             quick_program)
+      in
+      let first = run () in
+      check_str "first is a miss" "miss"
+        (Option.get (Jsonx.mem_string "cache" first));
+      for _ = 1 to 4 do
+        let warm = run () in
+        check_str "repeat is a hit" "hit"
+          (Option.get (Jsonx.mem_string "cache" warm));
+        check_str "warm verdict agrees"
+          (Option.get (Protocol.response_verdict first))
+          (Option.get (Protocol.response_verdict warm))
+      done;
+      let stats = fail_result (Client.stats client) in
+      check "uptime counted" true (stat_int [ "uptime_ns" ] stats > 0);
+      check_int "one miss" 1 (stat_int [ "cache"; "misses" ] stats);
+      check_int "four hits" 4 (stat_int [ "cache"; "hits" ] stats);
+      check_int "checks counted" 5 (stat_int [ "counters"; "op.check" ] stats);
+      check "requests counted" true (stat_int [ "counters"; "requests" ] stats >= 6);
+      (* Untouched counters are simply absent from the snapshot. *)
+      check "no errors" true (stat_int [ "counters"; "errors" ] stats <= 0);
+      check "latency observed" true (stat_int [ "latency"; "count" ] stats >= 5);
+      check "a connection is active" true
+        (stat_int [ "active_connections" ] stats >= 1);
+      (* 100% warm hit rate on repeated identical requests, measured as
+         a stats delta. *)
+      let before = stat_int [ "cache"; "hits" ] stats in
+      for _ = 1 to 10 do
+        ignore (run ())
+      done;
+      let stats = fail_result (Client.stats client) in
+      check_int "10 more hits" (before + 10) (stat_int [ "cache"; "hits" ] stats);
+      check_int "still one miss" 1 (stat_int [ "cache"; "misses" ] stats);
+      Ok ())
+
+(* ------------------------------------------------------------------ *)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let suite =
+  ( "server",
+    [
+      quick "jsonx round-trips values" test_jsonx_roundtrip_values;
+      quick "jsonx round-trips escaping" test_jsonx_roundtrip_escaping;
+      quick "jsonx decodes unicode escapes" test_jsonx_unicode_escapes;
+      quick "jsonx rejects malformed input" test_jsonx_rejects;
+      quick "jsonx accessors" test_jsonx_accessors;
+      quick "latency histogram" test_histogram;
+      quick "sink flushes whole lines" test_sink_flushes_every_event;
+      quick "with_sink closes on raise" test_with_sink_closes_on_raise;
+      quick "protocol parsing" test_protocol_parse;
+      quick "concurrent clients match sequential" test_concurrent_matches_sequential;
+      quick "timeout spares other requests" test_timeout_spares_other_requests;
+      quick "expired queued job is cancelled" test_expired_queued_job_is_cancelled;
+      quick "malformed requests keep the connection" test_malformed_requests_keep_connection;
+      quick "oversized request keeps the connection" test_oversized_request_keeps_connection;
+      quick "connection cap answers overloaded" test_connection_cap_answers_overloaded;
+      quick "tcp endpoint with ephemeral port" test_tcp_endpoint;
+      quick "sigterm drains in-flight requests" test_sigterm_drains_in_flight;
+      quick "stats and warm cache" test_stats_and_warm_cache;
+    ] )
