@@ -14,12 +14,16 @@
                (termination-insensitive) noninterference test
      PIPE      the batch pipeline: throughput at 1/2/4 domains with
                verdict-multiset determinism, and result-cache hit rates
+     FUZZ      the differential fuzzing campaign: cases/s through the
+               full analyzer matrix, oracle skip rate, and the cost of
+               shrinking a planted soundness inversion
      SERVER    the certification daemon: concurrent clients over a Unix
                socket, shared-cache hit rate and latency quantiles
      micro     Bechamel micro-benchmarks of every analysis entry point
 
    Usage: dune exec bench/main.exe [-- SECTION ...]
-   Sections: tables fig3 theorems strength scaling ni pipeline server micro all
+   Sections: tables fig3 theorems strength scaling ni pipeline fuzz server
+   micro all
    (default all). Add "quick" to shrink corpus and sweep sizes.
 
    Besides the human tables, every section prints one or more
@@ -51,6 +55,7 @@ module Invariance = Ifc_logic.Invariance
 module Entail = Ifc_logic.Entail
 module Scheduler = Ifc_exec.Scheduler
 module Ni = Ifc_exec.Noninterference
+module Campaign = Ifc_fuzz.Campaign
 module Job = Ifc_pipeline.Job
 module Cache = Ifc_pipeline.Cache
 module Batch = Ifc_pipeline.Batch
@@ -522,6 +527,57 @@ let pipeline ~corpus () =
   metric_f "pipeline" "cache_speedup" (wall_ms cold /. wall_ms warm)
 
 (* ------------------------------------------------------------------ *)
+(* FUZZ: the differential fuzzing campaign — end-to-end throughput of
+   the analyzer matrix plus semantic oracle, and the cost of shrinking
+   a planted inversion down to its minimal program. *)
+
+let fuzz_bench ~cases () =
+  banner
+    (Printf.sprintf
+       "FUZZ: %d-case differential campaign (cfm + denning + fs + prove + ni)"
+       cases);
+  let jobs = max 1 (min 4 (Domain.recommended_domain_count ())) in
+  let cfg = { Campaign.default with cases; seed = 42; jobs } in
+  let s = Campaign.run cfg in
+  let wall_s = Int64.to_float s.Campaign.elapsed_ns /. 1e9 in
+  let cases_per_s = float_of_int s.Campaign.completed /. wall_s in
+  let pairs =
+    s.Campaign.oracle_pairs_tested + s.Campaign.oracle_pairs_skipped
+  in
+  let skip_pct =
+    if pairs = 0 then 0.
+    else 100. *. float_of_int s.Campaign.oracle_pairs_skipped
+         /. float_of_int pairs
+  in
+  Fmt.pr "completed %d cases in %.2f s (%.1f cases/s, %d domains)@."
+    s.Campaign.completed wall_s cases_per_s jobs;
+  Fmt.pr "oracle pairs: %d tested, %d skipped (%.1f%% skip rate)@."
+    s.Campaign.oracle_pairs_tested s.Campaign.oracle_pairs_skipped skip_pct;
+  Fmt.pr "inversions=%d gaps=%d@." s.Campaign.inversion_cases
+    s.Campaign.gap_cases;
+  metric_f "fuzz" "cases_per_sec" cases_per_s;
+  metric_f "fuzz" "oracle_skip_pct" skip_pct;
+  metric_i "fuzz" "inversions" s.Campaign.inversion_cases;
+  metric_i "fuzz" "gaps" s.Campaign.gap_cases;
+  (* Shrinking cost: plant one forced inversion and time its reduction
+     to the minimal leaking assignment. *)
+  let planted =
+    Campaign.run
+      { Campaign.default with cases = 0; seed = 7; jobs = 1;
+        plant_inversion = true }
+  in
+  (match planted.Campaign.counterexamples with
+  | c :: _ ->
+    Fmt.pr "planted inversion: %d -> %d statements (%d steps, %d evals)@."
+      c.Campaign.original_statements c.Campaign.shrunk_statements
+      c.Campaign.shrink.Ifc_fuzz.Shrink.steps
+      c.Campaign.shrink.Ifc_fuzz.Shrink.evals;
+    metric_i "fuzz" "planted_shrink_steps" c.Campaign.shrink.Ifc_fuzz.Shrink.steps;
+    metric_i "fuzz" "planted_shrink_evals" c.Campaign.shrink.Ifc_fuzz.Shrink.evals;
+    metric_i "fuzz" "planted_shrunk_statements" c.Campaign.shrunk_statements
+  | [] -> Fmt.pr "planted inversion: NOT CAUGHT!@.")
+
+(* ------------------------------------------------------------------ *)
 (* SERVER: the certification daemon — N concurrent clients hammering
    one in-process server over a Unix socket, sharing its cache. *)
 
@@ -717,7 +773,7 @@ let () =
     match List.filter (fun a -> a <> "quick") args with
     | [] | [ "all" ] ->
       [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling";
-        "ni"; "pipeline"; "server"; "micro" ]
+        "ni"; "pipeline"; "fuzz"; "server"; "micro" ]
     | s -> s
   in
   let corpus = if quick then 100 else 400 in
@@ -732,6 +788,7 @@ let () =
     | "scaling" -> scaling ~sizes ()
     | "ni" -> soundness ~corpus:(if quick then 15 else 30) ()
     | "pipeline" -> pipeline ~corpus:(if quick then 60 else 240) ()
+    | "fuzz" -> fuzz_bench ~cases:(if quick then 40 else 150) ()
     | "server" ->
       server_bench
         ~clients:(if quick then 4 else 8)

@@ -35,6 +35,7 @@ module Job = Ifc_pipeline.Job
 module Cache = Ifc_pipeline.Cache
 module Batch = Ifc_pipeline.Batch
 module Telemetry = Ifc_pipeline.Telemetry
+module Campaign = Ifc_fuzz.Campaign
 module Conn = Ifc_server.Conn
 module Limits = Ifc_server.Limits
 module Server = Ifc_server.Server
@@ -714,6 +715,155 @@ let batch_cmd =
       $ gen_size $ gen_seed $ gen_sequential $ repeat $ verbose $ files)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz *)
+
+let run_fuzz cases seed jobs size_min size_max ni_pairs max_states time_budget
+    shrink_budget corpus_dir log_file quiet =
+  let config =
+    {
+      Campaign.cases;
+      seed;
+      jobs;
+      size_min;
+      size_max;
+      ni_pairs;
+      max_states;
+      time_budget;
+      shrink_budget;
+      corpus_dir;
+      (* Hidden test hook: inject one case with a forced bogus CFM verdict
+         so the end-to-end inversion path (detect, shrink, persist, exit 2)
+         stays exercised. *)
+      plant_inversion = Sys.getenv_opt "IFC_FUZZ_PLANT_INVERSION" <> None;
+    }
+  in
+  let result =
+    let* () = if jobs < 1 then Error "--jobs must be at least 1" else Ok () in
+    let* () =
+      if cases < 0 then Error "--cases must be non-negative" else Ok ()
+    in
+    let* () =
+      if size_min < 1 || size_max < size_min then
+        Error "--size-min/--size-max must satisfy 1 <= min <= max"
+      else Ok ()
+    in
+    let run_with sink = Campaign.run ?sink config in
+    match log_file with
+    | None -> Ok (run_with None)
+    | Some path -> (
+      try Telemetry.with_sink path (fun sink -> Ok (run_with (Some sink)))
+      with Sys_error msg -> Error msg)
+  in
+  match result with
+  | Error msg ->
+    Fmt.epr "ifc: %s@." msg;
+    1
+  | Ok s ->
+    (* stdout is byte-deterministic for a fixed seed at any worker count;
+       timing goes to stderr only. *)
+    Fmt.pr "%a" Campaign.pp_summary s;
+    Fmt.pr "%s@." (Campaign.summary_json s);
+    if not quiet then begin
+      let ms = Telemetry.ns_to_ms s.Campaign.elapsed_ns in
+      Fmt.epr "fuzz: %d cases in %.1f ms (%.1f cases/s)@." s.Campaign.completed
+        ms
+        (if ms > 0. then float_of_int s.Campaign.completed /. (ms /. 1e3)
+         else 0.)
+    end;
+    Campaign.exit_code s
+
+let fuzz_cmd =
+  let cases =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"N" ~doc:"Random programs to draw and audit.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (max 1 (Domain.recommended_domain_count ()))
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (defaults to the recommended domain count).")
+  in
+  let size_min =
+    Arg.(
+      value & opt int 4
+      & info [ "size-min" ] ~docv:"N" ~doc:"Minimum requested program size.")
+  in
+  let size_max =
+    Arg.(
+      value & opt int 12
+      & info [ "size-max" ] ~docv:"N" ~doc:"Maximum requested program size.")
+  in
+  let ni_pairs =
+    Arg.(
+      value & opt int 4
+      & info [ "ni-pairs" ] ~docv:"N"
+          ~doc:"Noninterference-oracle input pairs per case.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 4_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Oracle state-space budget per exploration; pairs that exceed it \
+             count as skipped, never as evidence.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECS"
+          ~doc:
+            "Soak mode: stop starting new cases after $(docv) seconds (late \
+             cases are reported as timed out; which ones depends on \
+             scheduling, so budgeted runs are not byte-reproducible).")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 300
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Analyzer re-evaluations allowed while shrinking one \
+                counterexample.")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Persist shrunk soundness counterexamples to $(docv) as \
+             $(i,name.ifc) + $(i,name.expect) pairs (the regression corpus \
+             format under test/corpus/fuzz).")
+  in
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE.jsonl"
+          ~doc:"Append one JSON event per case, shrink and summary to $(docv).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No timing chatter on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run a differential fuzzing campaign: random programs through CFM, \
+          Denning, the flow-sensitive certifier, the Theorem-1 prover and the \
+          noninterference oracle in parallel, classifying disagreements \
+          against the paper's hierarchy. Soundness inversions are shrunk and \
+          persisted; expected strictness gaps are counted. Exit code 2 if any \
+          inversion was found.")
+    Term.(
+      const run_fuzz $ cases $ seed $ jobs $ size_min $ size_max $ ni_pairs
+      $ max_states $ time_budget $ shrink_budget $ corpus_dir $ log_file
+      $ quiet)
+
+(* ------------------------------------------------------------------ *)
 (* serve / client *)
 
 let socket_arg =
@@ -1162,6 +1312,7 @@ let main_cmd =
       taint_cmd;
       ni_cmd;
       batch_cmd;
+      fuzz_cmd;
       serve_cmd;
       client_cmd;
       lattice_cmd;

@@ -1,0 +1,450 @@
+(* The campaign driver: generate, fan out, classify, shrink, persist. *)
+
+module Ast = Ifc_lang.Ast
+module Gen = Ifc_lang.Gen
+module Metrics = Ifc_lang.Metrics
+module Pretty = Ifc_lang.Pretty
+module Vars = Ifc_lang.Vars
+module Wellformed = Ifc_lang.Wellformed
+module Binding = Ifc_core.Binding
+module Chain = Ifc_lattice.Chain
+module Lattice = Ifc_lattice.Lattice
+module Sset = Ifc_support.Sset
+module Prng = Ifc_support.Prng
+module Pool = Ifc_pipeline.Pool
+module Telemetry = Ifc_pipeline.Telemetry
+
+type config = {
+  cases : int;
+  seed : int;
+  jobs : int;
+  size_min : int;
+  size_max : int;
+  ni_pairs : int;
+  max_states : int;
+  time_budget : float option;
+  shrink_budget : int;
+  corpus_dir : string option;
+  plant_inversion : bool;
+}
+
+let default =
+  {
+    cases = 200;
+    seed = 0;
+    jobs = 1;
+    size_min = 4;
+    size_max = 12;
+    ni_pairs = 4;
+    max_states = 4_000;
+    time_budget = None;
+    shrink_budget = 300;
+    corpus_dir = None;
+    plant_inversion = false;
+  }
+
+(* The campaign lattice. All fuzzing runs over the paper's two-point
+   scheme: it is where every known analyzer disagreement already shows,
+   and a single scheme keeps oracle budgets predictable. *)
+let lattice = Lattice.stringify Chain.two
+
+let lattice_name = "two"
+
+let profiles =
+  [
+    ("seq", Gen.sequential);
+    ("conc", Gen.default);
+    ("arr", Gen.with_arrays);
+    ("sem", { Gen.default with Gen.sems = [ "s"; "t"; "u" ]; max_branch = 3 });
+  ]
+
+type counterexample = {
+  case_index : int;
+  profile : string;
+  label : string;
+  program : Ast.program;
+  binding : string Binding.t;
+  original_statements : int;
+  shrunk_statements : int;
+  shrink : Shrink.stats;
+  digest : string;
+  corpus_path : string option;
+}
+
+type summary = {
+  seed : int;
+  cases : int;
+  completed : int;
+  timed_out : int;
+  errors : int;
+  class_counts : (string * int) list;
+  inversion_cases : int;
+  gap_cases : int;
+  oracle_pairs_tested : int;
+  oracle_pairs_skipped : int;
+  shrink_steps : int;
+  shrink_evals : int;
+  counterexamples : counterexample list;
+  elapsed_ns : int64;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-case work *)
+
+(* Everything a case needs is derived from (campaign seed, index) alone,
+   so cases are order- and worker-independent. *)
+let case_rng seed index = Prng.create ((seed * 0x1000003) lxor index)
+
+type outcome = {
+  index : int;
+  o_profile : string;
+  primary : string;
+  inversion_labels : string list;
+  gap_labels : string list;
+  verdicts : Classify.verdicts;
+  statements : int;
+  (* Retained only for inversions: the program, its binding, the forced
+     CFM verdict (planted case) and the case's oracle seed — exactly what
+     re-running the predicate during shrinking needs. *)
+  payload : (Ast.program * string Binding.t * bool option * int) option;
+}
+
+type slot = Done of outcome | Timed_out
+
+let random_binding rng (p : Ast.program) =
+  let ints, arrays, sems = Vars.declared p in
+  let names = Sset.elements (Sset.union ints (Sset.union arrays sems)) in
+  Binding.make lattice ~default:lattice.Lattice.bottom
+    (List.map
+       (fun v ->
+         (v, if Prng.bool rng then lattice.Lattice.top else lattice.Lattice.bottom))
+       names)
+
+let generate_case rng profile_name cfg_gen ~size =
+  let gen =
+    if cfg_gen.Gen.allow_concurrency && cfg_gen.Gen.sems <> [] then
+      Gen.program_balanced
+    else Gen.program
+  in
+  ignore profile_name;
+  gen rng cfg_gen ~size
+
+(* The planted soundness inversion (test hook): a padded program whose
+   middle statement leaks [x] (high) into [y] (low) directly, with the
+   CFM verdict forced to "certified". Every honest analyzer and the
+   oracle see the leak, so the case classifies as every inversion kind at
+   once and shrinks to the single statement [y := x]. *)
+let planted_case () =
+  let body =
+    Ast.seq
+      [
+        Ast.assign "p" (Ast.Int 3);
+        Ast.skip;
+        Ast.assign "y" (Ast.Var "x");
+        Ast.assign "q" (Ast.Binop (Ast.Add, Ast.Var "p", Ast.Int 1));
+        Ast.skip;
+      ]
+  in
+  let program = Wellformed.infer_decls (Ast.program body) in
+  let binding =
+    Binding.make lattice ~default:lattice.Lattice.bottom
+      [ ("x", lattice.Lattice.top) ]
+  in
+  (program, binding)
+
+let run_case config index =
+  let planted = config.plant_inversion && index = config.cases in
+  let rng = case_rng config.seed index in
+  let profile_name, program, binding, override_cfm =
+    if planted then
+      let program, binding = planted_case () in
+      ("planted", program, binding, Some true)
+    else begin
+      let profile_name, cfg_gen =
+        List.nth profiles (index mod List.length profiles)
+      in
+      let size = Prng.range rng config.size_min config.size_max in
+      let program = generate_case rng profile_name cfg_gen ~size in
+      (profile_name, program, random_binding rng program, None)
+    end
+  in
+  let ni_seed = Prng.bits rng land 0x3FFFFFFF in
+  let verdicts =
+    Oracle.run ?override_cfm ~ni_seed ~ni_pairs:config.ni_pairs
+      ~max_states:config.max_states binding program
+  in
+  let cls = Classify.classify verdicts in
+  let inversion_labels = List.map Classify.inversion_label cls.Classify.inversions in
+  let gap_labels = List.map Classify.gap_label cls.Classify.gaps in
+  {
+    index;
+    o_profile = profile_name;
+    primary = Classify.primary verdicts cls;
+    inversion_labels;
+    gap_labels;
+    verdicts;
+    statements = (Metrics.of_program program).Metrics.statements;
+    payload =
+      (if inversion_labels = [] then None
+       else Some (program, binding, override_cfm, ni_seed));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking and persistence *)
+
+let binding_digest_text binding =
+  Binding.bindings binding
+  |> List.map (fun (v, c) -> v ^ ":" ^ c)
+  |> String.concat ","
+
+let case_digest program binding =
+  Digest.to_hex
+    (Digest.string (Pretty.program_to_string program ^ "|" ^ binding_digest_text binding))
+
+let shrink_counterexample config sink seen (o : outcome) =
+  match o.payload with
+  | None -> None
+  | Some (program, binding, override_cfm, ni_seed) ->
+    let label = List.hd o.inversion_labels in
+    let keep p =
+      Wellformed.is_valid p
+      &&
+      let v =
+        Oracle.run ?override_cfm ~ni_seed ~ni_pairs:config.ni_pairs
+          ~max_states:config.max_states binding p
+      in
+      let c = Classify.classify v in
+      List.exists
+        (fun inv -> String.equal (Classify.inversion_label inv) label)
+        c.Classify.inversions
+    in
+    let shrunk, stats = Shrink.minimize ~budget:config.shrink_budget ~keep program in
+    let digest = case_digest shrunk binding in
+    let fresh = not (Hashtbl.mem seen digest) in
+    Hashtbl.replace seen digest ();
+    let corpus_path =
+      match config.corpus_dir with
+      | Some dir when fresh ->
+        let honest = Corpus.replay_verdicts binding shrunk in
+        let expected = Corpus.expected_of_verdicts ~cls:label shrunk honest in
+        let name = Printf.sprintf "inv-%s-%s" label (String.sub digest 0 12) in
+        let note =
+          Printf.sprintf "campaign seed %d, case %d, profile %s" config.seed
+            o.index o.o_profile
+        in
+        Some (Corpus.write ~dir ~name ~lattice_name ~binding ~expected ~note shrunk)
+      | _ -> None
+    in
+    let original_statements = (Metrics.of_program program).Metrics.statements in
+    let shrunk_statements = (Metrics.of_program shrunk).Metrics.statements in
+    Telemetry.emit sink
+      [
+        ("event", Telemetry.String "shrink");
+        ("case", Telemetry.Int o.index);
+        ("label", Telemetry.String label);
+        ("from_statements", Telemetry.Int original_statements);
+        ("to_statements", Telemetry.Int shrunk_statements);
+        ("steps", Telemetry.Int stats.Shrink.steps);
+        ("evals", Telemetry.Int stats.Shrink.evals);
+        ( "corpus",
+          match corpus_path with
+          | Some p -> Telemetry.String p
+          | None -> Telemetry.Null );
+      ];
+    Some
+      {
+        case_index = o.index;
+        profile = o.o_profile;
+        label;
+        program = shrunk;
+        binding;
+        original_statements;
+        shrunk_statements;
+        shrink = stats;
+        digest;
+        corpus_path;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let summary_json s =
+  let open Telemetry in
+  json_to_string
+    (Obj
+       [
+         ("fuzz", String "summary");
+         ("seed", Int s.seed);
+         ("cases", Int s.cases);
+         ("completed", Int s.completed);
+         ("timed_out", Int s.timed_out);
+         ("errors", Int s.errors);
+         ("inversions", Int s.inversion_cases);
+         ("gaps", Int s.gap_cases);
+         ( "classes",
+           Obj (List.map (fun (label, n) -> (label, Int n)) s.class_counts) );
+         ( "oracle",
+           Obj
+             [
+               ("pairs_tested", Int s.oracle_pairs_tested);
+               ("pairs_skipped", Int s.oracle_pairs_skipped);
+             ] );
+         ( "shrink",
+           Obj [ ("steps", Int s.shrink_steps); ("evals", Int s.shrink_evals) ]
+         );
+         ( "counterexamples",
+           List
+             (List.map
+                (fun c ->
+                  Obj
+                    [
+                      ("case", Int c.case_index);
+                      ("label", String c.label);
+                      ("statements", Int c.shrunk_statements);
+                      ("digest", String c.digest);
+                      ( "corpus",
+                        match c.corpus_path with
+                        | Some p -> String p
+                        | None -> Null );
+                    ])
+                s.counterexamples) );
+       ])
+
+let pp_summary ppf s =
+  Fmt.pf ppf "fuzz campaign: seed=%d cases=%d lattice=%s@." s.seed s.cases
+    lattice_name;
+  Fmt.pf ppf "  completed=%d timed-out=%d errors=%d@." s.completed s.timed_out
+    s.errors;
+  Fmt.pf ppf "  oracle pairs: tested=%d skipped=%d@." s.oracle_pairs_tested
+    s.oracle_pairs_skipped;
+  Fmt.pf ppf "  classes:@.";
+  List.iter
+    (fun (label, n) -> Fmt.pf ppf "    %-24s %d@." label n)
+    s.class_counts;
+  Fmt.pf ppf "  inversions=%d gaps=%d@." s.inversion_cases s.gap_cases;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  counterexample case=%d class=%s statements %d -> %d%s@."
+        c.case_index c.label c.original_statements c.shrunk_statements
+        (match c.corpus_path with
+        | Some p -> " corpus=" ^ p
+        | None -> "");
+      Fmt.pf ppf "    %s@." (Pretty.stmt_to_string c.program.Ast.body))
+    s.counterexamples
+
+let exit_code s =
+  if s.inversion_cases > 0 then 2 else if s.errors > 0 then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* The campaign *)
+
+let run ?(sink = Telemetry.null_sink ()) (config : config) =
+  if config.cases < 0 then invalid_arg "Campaign.run: negative case count";
+  if config.jobs < 1 then invalid_arg "Campaign.run: jobs < 1";
+  if config.size_min < 1 || config.size_max < config.size_min then
+    invalid_arg "Campaign.run: bad size range";
+  let timer = Telemetry.start () in
+  let total = config.cases + if config.plant_inversion then 1 else 0 in
+  let deadline =
+    Option.map
+      (fun seconds ->
+        Int64.add (Telemetry.now_ns ()) (Int64.of_float (seconds *. 1e9)))
+      config.time_budget
+  in
+  let slots = Array.make total None in
+  let errors = Atomic.make 0 in
+  let task index () =
+    let past_deadline =
+      match deadline with
+      | Some d -> Telemetry.now_ns () > d
+      | None -> false
+    in
+    if past_deadline then slots.(index) <- Some Timed_out
+    else begin
+      let o = run_case config index in
+      slots.(index) <- Some (Done o);
+      Telemetry.emit sink
+        [
+          ("event", Telemetry.String "case");
+          ("case", Telemetry.Int index);
+          ("profile", Telemetry.String o.o_profile);
+          ("class", Telemetry.String o.primary);
+          ("statements", Telemetry.Int o.statements);
+          ("ni_tested", Telemetry.Int o.verdicts.Classify.ni_tested);
+          ("ni_skipped", Telemetry.Int o.verdicts.Classify.ni_skipped);
+        ]
+    end
+  in
+  let on_error ~worker exn =
+    Atomic.incr errors;
+    Telemetry.emit sink
+      [
+        ("event", Telemetry.String "error");
+        ("worker", Telemetry.Int worker);
+        ("exn", Telemetry.String (Printexc.to_string exn));
+      ]
+  in
+  Pool.run ~on_error ~workers:config.jobs (List.init total task);
+  (* Aggregation and shrinking run on this domain, in case-index order:
+     the report never depends on completion order. *)
+  let counts = Hashtbl.create 16 in
+  let bump label = Hashtbl.replace counts label (1 + Option.value ~default:0 (Hashtbl.find_opt counts label)) in
+  let completed = ref 0 in
+  let timed_out = ref 0 in
+  let inversion_cases = ref 0 in
+  let gap_cases = ref 0 in
+  let pairs_tested = ref 0 in
+  let pairs_skipped = ref 0 in
+  let outcomes = ref [] in
+  Array.iter
+    (function
+      | None -> incr timed_out
+      | Some Timed_out -> incr timed_out
+      | Some (Done o) ->
+        incr completed;
+        bump o.primary;
+        if o.inversion_labels <> [] then incr inversion_cases;
+        if o.gap_labels <> [] then incr gap_cases;
+        pairs_tested := !pairs_tested + o.verdicts.Classify.ni_tested;
+        pairs_skipped := !pairs_skipped + o.verdicts.Classify.ni_skipped;
+        outcomes := o :: !outcomes)
+    slots;
+  let seen = Hashtbl.create 8 in
+  let counterexamples =
+    List.rev !outcomes
+    |> List.filter_map (shrink_counterexample config sink seen)
+  in
+  let shrink_steps =
+    List.fold_left (fun acc c -> acc + c.shrink.Shrink.steps) 0 counterexamples
+  in
+  let shrink_evals =
+    List.fold_left (fun acc c -> acc + c.shrink.Shrink.evals) 0 counterexamples
+  in
+  let summary =
+    {
+      seed = config.seed;
+      cases = total;
+      completed = !completed;
+      timed_out = !timed_out;
+      errors = Atomic.get errors;
+      class_counts =
+        List.map
+          (fun label ->
+            (label, Option.value ~default:0 (Hashtbl.find_opt counts label)))
+          Classify.class_labels;
+      inversion_cases = !inversion_cases;
+      gap_cases = !gap_cases;
+      oracle_pairs_tested = !pairs_tested;
+      oracle_pairs_skipped = !pairs_skipped;
+      shrink_steps;
+      shrink_evals;
+      counterexamples;
+      elapsed_ns = Telemetry.elapsed_ns timer;
+    }
+  in
+  Telemetry.emit sink
+    [
+      ("event", Telemetry.String "summary");
+      ("json", Telemetry.String (summary_json summary));
+    ];
+  summary

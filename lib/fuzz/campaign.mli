@@ -1,0 +1,94 @@
+(** Parallel differential fuzzing campaigns.
+
+    A campaign draws [cases] seeded random bound programs — rotating
+    through generator profiles covering sequential code, concurrency,
+    arrays and semaphore-heavy synchronization — and fans them out over
+    an {!Ifc_pipeline.Pool} of domains. Each case runs the full analyzer
+    matrix ({!Oracle.run}); disagreements are classified against the
+    paper's hierarchy ({!Classify}). Soundness inversions are shrunk to
+    minimal programs on the coordinating domain ({!Shrink.minimize}),
+    deduplicated by content digest, and persisted to the regression
+    corpus ({!Corpus.write}); expected strictness gaps are counted.
+
+    Determinism: every case derives its own PRNG purely from
+    [(config.seed, case index)] and its oracle seed from that stream, and
+    results land in per-case slots aggregated in index order — so the
+    summary, the report and the corpus are byte-identical for a fixed
+    seed at {e any} worker count. Wall-clock timing is deliberately kept
+    out of {!pp_summary} and {!summary_json}; [time_budget] soak runs
+    trade this reproducibility for coverage (late cases are marked timed
+    out, and which ones depends on scheduling). *)
+
+type config = {
+  cases : int;  (** Random cases to draw (the planted case is extra). *)
+  seed : int;
+  jobs : int;  (** Worker domains. *)
+  size_min : int;  (** Requested {!Ifc_lang.Gen} size range. *)
+  size_max : int;
+  ni_pairs : int;  (** Oracle input pairs per case. *)
+  max_states : int;  (** Oracle state-space budget per exploration. *)
+  time_budget : float option;  (** Soak deadline in seconds. *)
+  shrink_budget : int;  (** {!Shrink.minimize} evaluation budget. *)
+  corpus_dir : string option;  (** Where shrunk inversions persist. *)
+  plant_inversion : bool;
+      (** Test hook ([IFC_FUZZ_PLANT_INVERSION] in the CLI): append one
+          case whose program leaks directly while its CFM verdict is
+          forcibly overridden to "certified", simulating an unsound
+          analyzer. The campaign must flag it, shrink it to the single
+          leaking assignment, and persist it with honest verdicts. *)
+}
+
+val default : config
+
+val profiles : (string * Ifc_lang.Gen.config) list
+(** The generator rotation, in case-index order: [seq], [conc], [arr],
+    [sem]. *)
+
+type counterexample = {
+  case_index : int;
+  profile : string;
+  label : string;  (** The inversion's {!Classify.inversion_label}. *)
+  program : Ifc_lang.Ast.program;  (** Shrunk. *)
+  binding : string Ifc_core.Binding.t;
+  original_statements : int;
+  shrunk_statements : int;
+  shrink : Shrink.stats;
+  digest : string;  (** Content digest of (shrunk program, binding). *)
+  corpus_path : string option;
+      (** [None] when no corpus directory was given or an identical
+          counterexample was already persisted this campaign. *)
+}
+
+type summary = {
+  seed : int;
+  cases : int;
+  completed : int;
+  timed_out : int;
+  errors : int;  (** Worker exceptions (always a bug; exit code 1). *)
+  class_counts : (string * int) list;
+      (** Primary label per case, tallied over {!Classify.class_labels}
+          in canonical order. *)
+  inversion_cases : int;  (** Cases with at least one inversion. *)
+  gap_cases : int;  (** Cases with at least one expected gap. *)
+  oracle_pairs_tested : int;
+  oracle_pairs_skipped : int;
+  shrink_steps : int;
+  shrink_evals : int;
+  counterexamples : counterexample list;
+  elapsed_ns : int64;  (** For logs and benches only — never printed. *)
+}
+
+val run : ?sink:Ifc_pipeline.Telemetry.sink -> config -> summary
+(** Execute the campaign. Per-case, per-shrink and summary events go to
+    [sink] as JSONL (event order across workers is nondeterministic;
+    everything else is not). *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** The human report — deterministic for a fixed seed at any worker
+    count (no timing, no worker count). *)
+
+val summary_json : summary -> string
+(** One machine-readable JSON line with the same determinism guarantee. *)
+
+val exit_code : summary -> int
+(** [2] if any inversion was found, [1] on worker errors, else [0]. *)

@@ -1,0 +1,72 @@
+(* Classifying analyzer disagreements against the paper's hierarchy. *)
+
+type verdicts = {
+  cfm : bool;
+  denning : bool;
+  fs : bool;
+  prove : bool;
+  ni_tested : int;
+  ni_skipped : int;
+  ni_violations : int;
+}
+
+type inversion =
+  | Unsound_certification
+  | Logic_mismatch
+  | Above_denning
+  | Above_flow_sensitive
+
+type gap = Denning_accepts | Flow_sensitive_accepts
+
+type t = {
+  inversions : inversion list;
+  gaps : gap list;
+  confirmed_rejection : bool;
+}
+
+let classify v =
+  let inversions =
+    (if v.cfm && v.ni_violations > 0 then [ Unsound_certification ] else [])
+    @ (if not (Bool.equal v.prove v.cfm) then [ Logic_mismatch ] else [])
+    @ (if v.cfm && not v.denning then [ Above_denning ] else [])
+    @ if v.cfm && not v.fs then [ Above_flow_sensitive ] else []
+  in
+  let gaps =
+    (if v.denning && not v.cfm then [ Denning_accepts ] else [])
+    @ if v.fs && not v.cfm then [ Flow_sensitive_accepts ] else []
+  in
+  { inversions; gaps; confirmed_rejection = (not v.cfm) && v.ni_violations > 0 }
+
+let inversion_label = function
+  | Unsound_certification -> "unsound-certification"
+  | Logic_mismatch -> "logic-mismatch"
+  | Above_denning -> "hierarchy-denning"
+  | Above_flow_sensitive -> "hierarchy-fs"
+
+let gap_label = function
+  | Denning_accepts -> "denning-gap"
+  | Flow_sensitive_accepts -> "fs-gap"
+
+let primary v c =
+  match c.inversions with
+  | inv :: _ -> inversion_label inv
+  | [] -> (
+    match c.gaps with
+    | g :: _ -> gap_label g
+    | [] ->
+      if c.confirmed_rejection then "confirmed-rejection"
+      else if v.cfm then "certified-agreement"
+      else "unconfirmed-rejection")
+
+let class_labels =
+  [
+    "unsound-certification";
+    "logic-mismatch";
+    "hierarchy-denning";
+    "hierarchy-fs";
+    "denning-gap";
+    "fs-gap";
+    "confirmed-rejection";
+    "certified-agreement";
+    "unconfirmed-rejection";
+  ]

@@ -1,0 +1,63 @@
+(** The disagreement taxonomy of the differential fuzzing campaign.
+
+    Every generated program is pushed through the whole analyzer matrix —
+    Denning, CFM, the flow-sensitive extension, the Theorem-1 logic
+    decision, and the semantic noninterference oracle — and the verdict
+    tuple is classified against the paper's known hierarchy:
+
+    - Theorems 1 and 2: the logic proves exactly the CFM-certified
+      programs, so [prove <> cfm] is a soundness {e inversion}.
+    - §5 relative strength: CFM sits strictly below both Denning and the
+      flow-sensitive analysis, so [cfm && not denning] (or [not fs]) is
+      an inversion, while [denning && not cfm] / [fs && not cfm] are
+      {e expected strictness gaps} (the §4.3 synchronization channels and
+      the §5.2 [x := 0; y := x] shape respectively).
+    - Semantic soundness: a CFM-certified program exhibiting real
+      interference under the oracle is the worst inversion of all.
+
+    Inversions are bugs by construction; gaps are the paper's claims made
+    observable and are merely counted. *)
+
+type verdicts = {
+  cfm : bool;
+  denning : bool;  (** [~on_concurrency:`Ignore] — the historical reading. *)
+  fs : bool;  (** The flow-sensitive §6 extension. *)
+  prove : bool;  (** A checked completely invariant flow proof exists. *)
+  ni_tested : int;  (** Input pairs the oracle explored to completion. *)
+  ni_skipped : int;  (** Pairs abandoned at the state-space budget. *)
+  ni_violations : int;  (** Pairs with distinguishable low observables. *)
+}
+
+type inversion =
+  | Unsound_certification
+      (** CFM certified, yet the oracle exhibits interference. *)
+  | Logic_mismatch  (** [prove <> cfm]: a Theorem 1/2 equivalence break. *)
+  | Above_denning  (** CFM certified but Denning rejects. *)
+  | Above_flow_sensitive  (** CFM certified but flow-sensitive rejects. *)
+
+type gap =
+  | Denning_accepts  (** Denning certified, CFM rejects (global flows). *)
+  | Flow_sensitive_accepts  (** FS accepts, CFM rejects (§5.2 shape). *)
+
+type t = {
+  inversions : inversion list;  (** Empty on a healthy toolchain. *)
+  gaps : gap list;  (** Expected strictness gaps, counted not fixed. *)
+  confirmed_rejection : bool;
+      (** CFM rejected and the oracle found a real interference witness —
+          the rejection is semantically vindicated. *)
+}
+
+val classify : verdicts -> t
+
+val inversion_label : inversion -> string
+
+val gap_label : gap -> string
+
+val primary : verdicts -> t -> string
+(** The single most severe label for a case: inversions (worst first),
+    then gaps, then ["confirmed-rejection"], ["certified-agreement"], or
+    ["unconfirmed-rejection"]. *)
+
+val class_labels : string list
+(** Every label {!primary} can produce, in severity order — the stable
+    row order of campaign reports. *)

@@ -1,0 +1,66 @@
+(** The persisted regression corpus of fuzzing counterexamples.
+
+    Each corpus entry is a pair of files in one directory:
+
+    - [<name>.ifc] — the (usually shrunk) program in concrete syntax;
+    - [<name>.expect] — a line-oriented sidecar of [key: value] pairs
+      recording the lattice, the binding (repeated [binding:] lines in
+      {!Ifc_core.Binding.of_spec} syntax), the classification label, and
+      the expected verdict of every analyzer plus the semantic oracle.
+
+    Sidecars record {e honest} analyzer verdicts recomputed on the final
+    program with the canonical replay parameters below — so replaying an
+    entry against a healthy toolchain validates, and any analyzer
+    regression (including one originally simulated by a fault-injection
+    hook) shows up as a verdict drift. The test suite replays the whole
+    directory forever; campaigns append new shrunk counterexamples. *)
+
+type expected = {
+  cls : string;  (** A {!Classify.class_labels} label. *)
+  cfm : bool;
+  denning : bool;
+  fs : bool;
+  prove : bool;
+  interfering : bool;  (** Oracle found violations at replay parameters. *)
+  statements : int;  (** Statement count of the stored program. *)
+}
+
+type entry = {
+  name : string;  (** File stem, unique within the directory. *)
+  lattice_name : string;  (** ["two"], ["three"], ["four"] or ["mls"]. *)
+  binding : string Ifc_core.Binding.t;
+  program : Ifc_lang.Ast.program;
+  expected : expected;
+  note : string option;
+}
+
+val lattice_of_name :
+  string -> (string Ifc_lattice.Lattice.t, string) result
+(** Resolve a sidecar's [lattice:] field to a built-in scheme. *)
+
+val replay_verdicts :
+  string Ifc_core.Binding.t -> Ifc_lang.Ast.program -> Classify.verdicts
+(** The analyzer matrix at the corpus's canonical replay parameters
+    (fixed oracle seed, pair count and state budget) — the same call both
+    when writing a sidecar and when replaying it, so verdicts are stable
+    by construction. *)
+
+val expected_of_verdicts :
+  cls:string -> Ifc_lang.Ast.program -> Classify.verdicts -> expected
+
+val load : string -> (entry list, string) result
+(** [load dir] reads every [*.ifc]/[*.expect] pair, sorted by name. A
+    missing sidecar, unreadable program or malformed field is an [Error].
+    A missing directory is an empty corpus. *)
+
+val write :
+  dir:string ->
+  name:string ->
+  lattice_name:string ->
+  binding:string Ifc_core.Binding.t ->
+  expected:expected ->
+  ?note:string ->
+  Ifc_lang.Ast.program ->
+  string
+(** Persist one entry (creating [dir] if needed) and return the path of
+    the program file. Overwrites an existing entry of the same name. *)

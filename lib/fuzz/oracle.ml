@@ -1,0 +1,34 @@
+(* The analyzer matrix: five verdicts over one bound program. *)
+
+module Ast = Ifc_lang.Ast
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Denning = Ifc_core.Denning
+module Fs = Ifc_core.Flow_sensitive
+module Invariance = Ifc_logic.Invariance
+module Ni = Ifc_exec.Noninterference
+module Lattice = Ifc_lattice.Lattice
+
+let run ?override_cfm ~ni_seed ~ni_pairs ~max_states binding (p : Ast.program) =
+  let cfm =
+    match override_cfm with
+    | Some forced -> forced
+    | None -> Cfm.certified binding p.Ast.body
+  in
+  let denning = Denning.certified ~on_concurrency:`Ignore binding p.Ast.body in
+  let fs = Fs.certified binding p.Ast.body in
+  let prove = Invariance.decide binding p.Ast.body in
+  let lat = Binding.lattice binding in
+  let ni =
+    Ni.test ~seed:ni_seed ~pairs:ni_pairs ~max_states
+      ~observer:lat.Lattice.bottom binding p
+  in
+  {
+    Classify.cfm;
+    denning;
+    fs;
+    prove;
+    ni_tested = ni.Ni.pairs_tested;
+    ni_skipped = ni.Ni.pairs_skipped;
+    ni_violations = List.length ni.Ni.violations;
+  }

@@ -1,0 +1,26 @@
+(** One pass of the full analyzer matrix over a single bound program.
+
+    Runs Denning (concurrency-ignoring), CFM, the flow-sensitive
+    extension, the Theorem-1 logic decision, and the semantic
+    noninterference oracle (bounded exploration, termination-insensitive,
+    observer at the lattice bottom), and packs the verdicts for
+    {!Classify.classify}.
+
+    The noninterference oracle is seeded explicitly so a verdict tuple is
+    a pure function of [(program, binding, ni_seed, ni_pairs,
+    max_states)] — campaigns replay bit-identically whatever the worker
+    count.
+
+    [override_cfm] substitutes a forced CFM verdict while every other
+    analyzer stays honest. It exists for the campaign's planted-inversion
+    test hook (simulating an unsound certifier end-to-end) and for
+    what-if experiments; production callers never pass it. *)
+
+val run :
+  ?override_cfm:bool ->
+  ni_seed:int ->
+  ni_pairs:int ->
+  max_states:int ->
+  string Ifc_core.Binding.t ->
+  Ifc_lang.Ast.program ->
+  Classify.verdicts

@@ -1,0 +1,37 @@
+(* Greedy, strictly-decreasing minimization of failing programs. *)
+
+module Ast = Ifc_lang.Ast
+module Gen = Ifc_lang.Gen
+module Metrics = Ifc_lang.Metrics
+
+type stats = { steps : int; evals : int }
+
+let minimize ?(budget = 300) ~keep p =
+  if not (keep p) then invalid_arg "Shrink.minimize: keep rejects the input";
+  let evals = ref 1 in
+  let steps = ref 0 in
+  let rec go current size =
+    (* First strictly smaller candidate that still fails wins; restart the
+       candidate stream from the new program. *)
+    let next =
+      Seq.find
+        (fun c ->
+          Metrics.length c < size
+          && !evals < budget
+          && begin
+               incr evals;
+               keep c
+             end)
+        (Gen.shrink_program current)
+    in
+    match next with
+    | Some c when !evals < budget ->
+      incr steps;
+      go c (Metrics.length c)
+    | Some c ->
+      incr steps;
+      c
+    | None -> current
+  in
+  let minimal = go p (Metrics.length p) in
+  (minimal, { steps = !steps; evals = !evals })

@@ -1,0 +1,25 @@
+(** Greedy counterexample minimization over {!Ifc_lang.Gen.shrink_program}.
+
+    Starting from a failing program, repeatedly move to the first shrink
+    candidate that is strictly smaller (by {!Ifc_lang.Metrics.length})
+    and still satisfies [keep]. Equal-size candidates are rejected, so
+    the measure decreases every accepted step and minimization terminates
+    after at most [Metrics.length p] steps regardless of the shrinker's
+    candidate set. [budget] additionally caps the number of [keep]
+    evaluations — the expensive part when [keep] re-runs the analyzer
+    matrix and the semantic oracle. *)
+
+type stats = {
+  steps : int;  (** Accepted shrink steps. *)
+  evals : int;  (** [keep] evaluations, accepted or not. *)
+}
+
+val minimize :
+  ?budget:int ->
+  keep:(Ifc_lang.Ast.program -> bool) ->
+  Ifc_lang.Ast.program ->
+  Ifc_lang.Ast.program * stats
+(** [minimize ~keep p] requires [keep p = true] and returns a locally
+    minimal program satisfying [keep], with shrink statistics. [budget]
+    defaults to 300 evaluations; on exhaustion the best program found so
+    far is returned. *)

@@ -53,10 +53,23 @@ let rec expr rng cfg ~size =
       let left = size / 2 in
       Ast.Binop (op, expr rng cfg ~size:left, expr rng cfg ~size:(size - 1 - left))
 
-(* Conditions: comparisons terminate loops more plausibly than raw ints. *)
+(* Conditions: comparisons terminate loops more plausibly than raw ints.
+   The scrutinee is usually a plain variable, but sometimes an array read
+   (when arrays are enabled) or a compound expression, so guard-position
+   flows through indices and arithmetic get fuzzed too. *)
 let cond_expr rng cfg =
   let op = Prng.choose rng [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Gt ] in
-  Ast.Binop (op, Ast.Var (Prng.choose rng cfg.vars), Ast.Int (Prng.range rng 0 3))
+  let scrutinee =
+    match Prng.int rng 6 with
+    | 0 when cfg.arrays <> [] ->
+      Ast.Index (Prng.choose rng cfg.arrays, Ast.Int (Prng.range rng 0 3))
+    | 1 ->
+      let op = Prng.choose rng [ Ast.Add; Ast.Sub; Ast.Mul ] in
+      Ast.Binop
+        (op, Ast.Var (Prng.choose rng cfg.vars), Ast.Var (Prng.choose rng cfg.vars))
+    | _ -> Ast.Var (Prng.choose rng cfg.vars)
+  in
+  Ast.Binop (op, scrutinee, Ast.Int (Prng.range rng 0 3))
 
 (* ------------------------------------------------------------------ *)
 (* Statements *)

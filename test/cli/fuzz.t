@@ -1,0 +1,74 @@
+Golden tests for the differential fuzzing campaign driver.
+
+Fixed-seed campaigns are byte-deterministic at any worker count: all
+randomness derives from (seed, case index), results are aggregated in
+index order, and timing is confined to stderr (silenced here).
+
+  $ ../../bin/ifc.exe fuzz --seed 42 --cases 50 --jobs 1 --quiet > run-a.out 2>/dev/null
+  $ ../../bin/ifc.exe fuzz --seed 42 --cases 50 --jobs 2 --quiet > run-b.out 2>/dev/null
+  $ ../../bin/ifc.exe fuzz --seed 42 --cases 50 --jobs 2 --quiet > run-c.out 2>/dev/null
+  $ cmp run-a.out run-b.out && cmp run-b.out run-c.out && echo deterministic
+  deterministic
+
+A healthy toolchain shows zero soundness inversions and a clean exit,
+while the paper's expected strictness gaps (Denning and flow-sensitive
+accepting CFM-rejected programs) do turn up and are merely counted:
+
+  $ cat run-a.out
+  fuzz campaign: seed=42 cases=50 lattice=two
+    completed=50 timed-out=0 errors=0
+    oracle pairs: tested=152 skipped=4
+    classes:
+      unsound-certification    0
+      logic-mismatch           0
+      hierarchy-denning        0
+      hierarchy-fs             0
+      denning-gap              1
+      fs-gap                   1
+      confirmed-rejection      13
+      certified-agreement      20
+      unconfirmed-rejection    15
+    inversions=0 gaps=2
+  {"fuzz":"summary","seed":42,"cases":50,"completed":50,"timed_out":0,"errors":0,"inversions":0,"gaps":2,"classes":{"unsound-certification":0,"logic-mismatch":0,"hierarchy-denning":0,"hierarchy-fs":0,"denning-gap":1,"fs-gap":1,"confirmed-rejection":13,"certified-agreement":20,"unconfirmed-rejection":15},"oracle":{"pairs_tested":152,"pairs_skipped":4},"shrink":{"steps":0,"evals":0},"counterexamples":[]}
+
+  $ ../../bin/ifc.exe fuzz --seed 42 --cases 50 --jobs 2 --quiet > /dev/null 2>&1; echo "exit $?"
+  exit 0
+
+The hidden fault-injection hook plants one extra case whose CFM verdict
+is forcibly wrong. The campaign must catch it, shrink it to the single
+leaking assignment, persist it to the corpus with honest verdicts, and
+exit 2:
+
+  $ IFC_FUZZ_PLANT_INVERSION=1 ../../bin/ifc.exe fuzz --seed 7 --cases 8 --jobs 2 \
+  >   --corpus corpus.out --quiet > planted.out 2>/dev/null; echo "exit $?"
+  exit 2
+
+  $ grep -v '^{' planted.out | grep -E 'inversions=|counterexample|y := x'
+    inversions=1 gaps=0
+    counterexample case=8 class=unsound-certification statements 6 -> 1 corpus=corpus.out/inv-unsound-certification-7f1d530cad22.ifc
+      y := x
+
+The persisted program is the minimal counterexample:
+
+  $ cat corpus.out/*.ifc
+  var
+    x : integer;
+    y : integer;
+  y := x
+
+and its sidecar records the classification plus the honest analyzer
+verdicts (CFM really rejects this program — the forced verdict is not
+persisted), so replaying the corpus validates against a healthy build:
+
+  $ grep -E 'class:|cfm:|interfering:|statements:' corpus.out/*.expect
+  class: unsound-certification
+  cfm: false
+  interfering: true
+  statements: 1
+
+The planted run is itself deterministic, so the corpus file name
+(content digest) is stable:
+
+  $ ls corpus.out
+  inv-unsound-certification-7f1d530cad22.expect
+  inv-unsound-certification-7f1d530cad22.ifc

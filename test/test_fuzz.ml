@@ -1,0 +1,345 @@
+(* Tests for the differential fuzzing subsystem: the disagreement
+   taxonomy, shrinker invariants, the persisted corpus (replay and
+   round-trip), the planted-inversion hook end-to-end, and worker-count
+   determinism of whole campaigns. *)
+
+module Ast = Ifc_lang.Ast
+module Gen = Ifc_lang.Gen
+module Metrics = Ifc_lang.Metrics
+module Parser = Ifc_lang.Parser
+module Wellformed = Ifc_lang.Wellformed
+module Binding = Ifc_core.Binding
+module Chain = Ifc_lattice.Chain
+module Lattice = Ifc_lattice.Lattice
+module Classify = Ifc_fuzz.Classify
+module Oracle = Ifc_fuzz.Oracle
+module Shrink = Ifc_fuzz.Shrink
+module Corpus = Ifc_fuzz.Corpus
+module Campaign = Ifc_fuzz.Campaign
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let qtest ?(count = 50) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let two = Lattice.stringify Chain.two
+
+let parse_program_exn src =
+  match Parser.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* A scratch directory the corpus writer will create. *)
+let fresh_dir () =
+  let path = Filename.temp_file "ifc-fuzz" "" in
+  Sys.remove path;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy *)
+
+let v ~cfm ~denning ~fs ~prove ?(viol = 0) () =
+  {
+    Classify.cfm;
+    denning;
+    fs;
+    prove;
+    ni_tested = 8;
+    ni_skipped = 0;
+    ni_violations = viol;
+  }
+
+let primary_of vv = Classify.primary vv (Classify.classify vv)
+
+let test_classify_table () =
+  check_string "healthy certified" "certified-agreement"
+    (primary_of (v ~cfm:true ~denning:true ~fs:true ~prove:true ()));
+  check_string "unsound certification outranks all" "unsound-certification"
+    (primary_of (v ~cfm:true ~denning:true ~fs:true ~prove:true ~viol:1 ()));
+  check_string "logic mismatch (prove without cfm)" "logic-mismatch"
+    (primary_of (v ~cfm:false ~denning:false ~fs:false ~prove:true ()));
+  check_string "logic mismatch (cfm without prove)" "logic-mismatch"
+    (primary_of (v ~cfm:true ~denning:true ~fs:true ~prove:false ()));
+  check_string "cfm above denning is an inversion" "hierarchy-denning"
+    (primary_of (v ~cfm:true ~denning:false ~fs:true ~prove:true ()));
+  check_string "cfm above flow-sensitive is an inversion" "hierarchy-fs"
+    (primary_of (v ~cfm:true ~denning:true ~fs:false ~prove:true ()));
+  check_string "denning gap" "denning-gap"
+    (primary_of (v ~cfm:false ~denning:true ~fs:false ~prove:false ~viol:1 ()));
+  check_string "fs gap" "fs-gap"
+    (primary_of (v ~cfm:false ~denning:false ~fs:true ~prove:false ()));
+  check_string "confirmed rejection" "confirmed-rejection"
+    (primary_of (v ~cfm:false ~denning:false ~fs:false ~prove:false ~viol:2 ()));
+  check_string "unconfirmed rejection" "unconfirmed-rejection"
+    (primary_of (v ~cfm:false ~denning:false ~fs:false ~prove:false ()))
+
+let test_classify_labels_total () =
+  (* Every primary label the classifier can emit is in the canonical
+     report order. *)
+  List.iter
+    (fun (cfm, denning, fs, prove, viol) ->
+      let vv = v ~cfm ~denning ~fs ~prove ~viol () in
+      check
+        (Printf.sprintf "label of (%b,%b,%b,%b,%d) is canonical" cfm denning fs
+           prove viol)
+        true
+        (List.mem (primary_of vv) Classify.class_labels))
+    (List.concat_map
+       (fun viol ->
+         List.concat_map
+           (fun bits ->
+             [
+               ( bits land 8 <> 0,
+                 bits land 4 <> 0,
+                 bits land 2 <> 0,
+                 bits land 1 <> 0,
+                 viol );
+             ])
+           (List.init 16 Fun.id))
+       [ 0; 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Oracle sanity on the paper's shapes *)
+
+let test_oracle_sec52_is_fs_gap () =
+  let p = parse_program_exn "var x, y : integer; begin x := 0; y := x end" in
+  let binding = Binding.make two ~default:"low" [ ("x", "high") ] in
+  let vv = Oracle.run ~ni_seed:1 ~ni_pairs:4 ~max_states:2_000 binding p in
+  check_string "sec52 classifies as fs-gap" "fs-gap" (primary_of vv)
+
+let test_oracle_direct_leak_confirmed () =
+  let p = parse_program_exn "var x, y : integer; y := x" in
+  let binding = Binding.make two ~default:"low" [ ("x", "high") ] in
+  let vv = Oracle.run ~ni_seed:1 ~ni_pairs:4 ~max_states:2_000 binding p in
+  check_string "direct leak is a confirmed rejection" "confirmed-rejection"
+    (primary_of vv);
+  let forced = Oracle.run ~override_cfm:true ~ni_seed:1 ~ni_pairs:4
+      ~max_states:2_000 binding p
+  in
+  check_string "forcing cfm turns it into an unsound certification"
+    "unsound-certification" (primary_of forced)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker invariants *)
+
+let arb_program = Qcheck_arbitrary.program ~max_size:20 ()
+
+let shrink_candidates_invariant =
+  qtest "shrink candidates stay valid and never grow" arb_program (fun p ->
+      let size = Metrics.length p in
+      Seq.for_all
+        (fun c -> Wellformed.is_valid c && Metrics.length c <= size)
+        (Seq.take 150 (Gen.shrink_program p)))
+
+let minimize_bounded =
+  qtest "minimize terminates within measure steps and budget" arb_program
+    (fun p ->
+      let budget = 200 in
+      let q, stats = Shrink.minimize ~budget ~keep:Wellformed.is_valid p in
+      Wellformed.is_valid q
+      && Metrics.length q <= Metrics.length p
+      && stats.Shrink.steps <= Metrics.length p
+      && stats.Shrink.evals <= budget)
+
+let minimize_preserves_predicate =
+  qtest "minimize preserves a non-trivial predicate" arb_program (fun p ->
+      let keep q = (Metrics.of_program q).Metrics.assignments >= 1 in
+      if not (keep p) then true
+      else begin
+        let q, _ = Shrink.minimize ~keep p in
+        keep q && Wellformed.is_valid q
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus *)
+
+let corpus_dir = Filename.concat "corpus" "fuzz"
+
+let test_corpus_replay () =
+  match Corpus.load corpus_dir with
+  | Error msg -> Alcotest.failf "corpus load failed: %s" msg
+  | Ok entries ->
+    check "seeded entries present" true (List.length entries >= 2);
+    check "sec52 seeded" true
+      (List.exists (fun e -> e.Corpus.name = "sec52") entries);
+    check "fig3-sync seeded" true
+      (List.exists (fun e -> e.Corpus.name = "fig3-sync") entries);
+    List.iter
+      (fun (e : Corpus.entry) ->
+        let name = e.Corpus.name in
+        let exp = e.Corpus.expected in
+        check (name ^ ": well-formed") true (Wellformed.is_valid e.Corpus.program);
+        check (name ^ ": class label canonical") true
+          (List.mem exp.Corpus.cls Classify.class_labels);
+        check_int
+          (name ^ ": statement count matches")
+          exp.Corpus.statements
+          (Metrics.of_program e.Corpus.program).Metrics.statements;
+        let vv = Corpus.replay_verdicts e.Corpus.binding e.Corpus.program in
+        check (name ^ ": cfm") true (Bool.equal exp.Corpus.cfm vv.Classify.cfm);
+        check (name ^ ": denning") true
+          (Bool.equal exp.Corpus.denning vv.Classify.denning);
+        check (name ^ ": fs") true (Bool.equal exp.Corpus.fs vv.Classify.fs);
+        check (name ^ ": prove") true
+          (Bool.equal exp.Corpus.prove vv.Classify.prove);
+        check (name ^ ": interfering") true
+          (Bool.equal exp.Corpus.interfering (vv.Classify.ni_violations > 0)))
+      (entries : Corpus.entry list)
+
+let test_corpus_roundtrip () =
+  let dir = fresh_dir () in
+  let program = parse_program_exn "var x, y : integer; y := x" in
+  let binding = Binding.make two ~default:"low" [ ("x", "high") ] in
+  let vv = Corpus.replay_verdicts binding program in
+  let expected =
+    Corpus.expected_of_verdicts ~cls:"confirmed-rejection" program vv
+  in
+  let path =
+    Corpus.write ~dir ~name:"direct-leak" ~lattice_name:"two" ~binding
+      ~expected ~note:"round-trip fixture" program
+  in
+  check "program file written" true (Sys.file_exists path);
+  match Corpus.load dir with
+  | Error msg -> Alcotest.failf "reload failed: %s" msg
+  | Ok [ e ] ->
+    check "program round-trips" true (Ast.equal_program program e.Corpus.program);
+    check_string "class kept" "confirmed-rejection" e.Corpus.expected.Corpus.cls;
+    check_string "lattice kept" "two" e.Corpus.lattice_name;
+    check "note kept" true (e.Corpus.note = Some "round-trip fixture");
+    check "interference recorded" true e.Corpus.expected.Corpus.interfering;
+    check_string "binding kept" "high" (Binding.sbind e.Corpus.binding "x")
+  | Ok entries -> Alcotest.failf "expected 1 entry, got %d" (List.length entries)
+
+let test_corpus_missing_dir_is_empty () =
+  match Corpus.load (Filename.concat (fresh_dir ()) "nowhere") with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "phantom entries"
+  | Error msg -> Alcotest.failf "missing dir should be empty, got: %s" msg
+
+let test_corpus_rejects_orphan_program () =
+  let dir = fresh_dir () in
+  let program = parse_program_exn "var x : integer; x := 1" in
+  let binding = Binding.make two ~default:"low" [] in
+  let vv = Corpus.replay_verdicts binding program in
+  let expected =
+    Corpus.expected_of_verdicts ~cls:"certified-agreement" program vv
+  in
+  let path =
+    Corpus.write ~dir ~name:"orphan" ~lattice_name:"two" ~binding ~expected
+      program
+  in
+  Sys.remove (Filename.chop_suffix path ".ifc" ^ ".expect");
+  match Corpus.load dir with
+  | Error msg ->
+    check "missing sidecar reported" true (contains_substring msg "missing sidecar")
+  | Ok _ -> Alcotest.fail "orphan .ifc must not load"
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns *)
+
+let test_planted_inversion_end_to_end () =
+  let dir = fresh_dir () in
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 0;
+      jobs = 1;
+      plant_inversion = true;
+      corpus_dir = Some dir;
+    }
+  in
+  let s = Campaign.run config in
+  check_int "one case ran" 1 s.Campaign.completed;
+  check_int "one inversion case" 1 s.Campaign.inversion_cases;
+  check_int "exit code flags the inversion" 2 (Campaign.exit_code s);
+  match s.Campaign.counterexamples with
+  | [ c ] ->
+    check "shrunk within the acceptance bound" true
+      (c.Campaign.shrunk_statements <= 6);
+    check_int "in fact fully minimal" 1 c.Campaign.shrunk_statements;
+    check_string "classified as unsound certification" "unsound-certification"
+      c.Campaign.label;
+    check "persisted to the corpus" true (c.Campaign.corpus_path <> None);
+    (match Corpus.load dir with
+    | Ok [ e ] ->
+      (* The sidecar records HONEST verdicts: replaying against the real
+         (healthy) analyzers validates. *)
+      let vv = Corpus.replay_verdicts e.Corpus.binding e.Corpus.program in
+      check "honest cfm rejects the persisted program" true
+        (Bool.equal e.Corpus.expected.Corpus.cfm vv.Classify.cfm);
+      check "cfm verdict is a rejection" false vv.Classify.cfm;
+      check "interference preserved by shrinking" true
+        (vv.Classify.ni_violations > 0)
+    | Ok entries ->
+      Alcotest.failf "expected 1 corpus entry, got %d" (List.length entries)
+    | Error msg -> Alcotest.failf "corpus reload failed: %s" msg)
+  | cs -> Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
+
+let test_campaign_worker_count_determinism () =
+  let config jobs =
+    {
+      Campaign.default with
+      Campaign.cases = 24;
+      seed = 5;
+      jobs;
+      ni_pairs = 3;
+      max_states = 2_000;
+    }
+  in
+  let a = Campaign.run (config 1) in
+  let b = Campaign.run (config 3) in
+  check_string "summary json identical across worker counts"
+    (Campaign.summary_json a) (Campaign.summary_json b);
+  check_string "report identical across worker counts"
+    (Fmt.str "%a" Campaign.pp_summary a)
+    (Fmt.str "%a" Campaign.pp_summary b)
+
+let test_campaign_healthy_run_is_clean () =
+  let s =
+    Campaign.run
+      {
+        Campaign.default with
+        Campaign.cases = 24;
+        seed = 11;
+        jobs = 2;
+        ni_pairs = 3;
+        max_states = 2_000;
+      }
+  in
+  check_int "no inversions on a healthy toolchain" 0 s.Campaign.inversion_cases;
+  check_int "no errors" 0 s.Campaign.errors;
+  check_int "clean exit" 0 (Campaign.exit_code s);
+  check_int "every case completed" 24 s.Campaign.completed;
+  check_int "class counts cover all cases" 24
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Campaign.class_counts)
+
+let suite =
+  ( "fuzz",
+    [
+      Alcotest.test_case "classify table" `Quick test_classify_table;
+      Alcotest.test_case "classify labels total" `Quick test_classify_labels_total;
+      Alcotest.test_case "oracle sec52 fs-gap" `Quick test_oracle_sec52_is_fs_gap;
+      Alcotest.test_case "oracle direct leak" `Quick test_oracle_direct_leak_confirmed;
+      shrink_candidates_invariant;
+      minimize_bounded;
+      minimize_preserves_predicate;
+      Alcotest.test_case "corpus replay" `Quick test_corpus_replay;
+      Alcotest.test_case "corpus round-trip" `Quick test_corpus_roundtrip;
+      Alcotest.test_case "corpus missing dir" `Quick test_corpus_missing_dir_is_empty;
+      Alcotest.test_case "corpus orphan program" `Quick test_corpus_rejects_orphan_program;
+      Alcotest.test_case "planted inversion end-to-end" `Quick
+        test_planted_inversion_end_to_end;
+      Alcotest.test_case "worker-count determinism" `Quick
+        test_campaign_worker_count_determinism;
+      Alcotest.test_case "healthy campaign clean" `Quick
+        test_campaign_healthy_run_is_clean;
+    ] )

@@ -353,6 +353,58 @@ let test_gen_balanced_terminating_counts () =
     check "balanced program well-formed" true (Wellformed.is_valid p)
   done
 
+(* Every if/while guard of a statement, for coverage assertions below. *)
+let rec guards (s : Ast.stmt) acc =
+  match s.node with
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _
+  | Ast.Signal _ ->
+    acc
+  | Ast.If (e, a, b) -> guards b (guards a (e :: acc))
+  | Ast.While (e, b) -> guards b (e :: acc)
+  | Ast.Seq ss | Ast.Cobegin ss ->
+    List.fold_left (fun acc s -> guards s acc) acc ss
+
+let rec expr_has_index = function
+  | Ast.Int _ | Ast.Bool _ | Ast.Var _ -> false
+  | Ast.Index _ -> true
+  | Ast.Unop (_, e) -> expr_has_index e
+  | Ast.Binop (_, a, b) -> expr_has_index a || expr_has_index b
+
+let collect_guards cfg ~seed ~count ~size =
+  let rng = Prng.create seed in
+  List.concat_map
+    (fun _ ->
+      let p = Gen.program rng cfg ~size in
+      guards p.Ast.body [])
+    (List.init count Fun.id)
+
+let test_gen_guards_cover_shapes () =
+  let gs = collect_guards Gen.with_arrays ~seed:29 ~count:80 ~size:25 in
+  check "guards generated at all" true (List.length gs > 50);
+  check "some guard reads an array" true (List.exists expr_has_index gs);
+  check "some guard has a compound scrutinee" true
+    (List.exists
+       (function Ast.Binop (_, Ast.Binop _, _) -> true | _ -> false)
+       gs);
+  check "plain variable guards still dominate" true
+    (let plain =
+       List.length
+         (List.filter
+            (function Ast.Binop (_, Ast.Var _, Ast.Int _) -> true | _ -> false)
+            gs)
+     in
+     2 * plain > List.length gs)
+
+let test_gen_guards_no_arrays_without_config () =
+  List.iter
+    (fun (name, cfg) ->
+      let gs = collect_guards cfg ~seed:31 ~count:60 ~size:25 in
+      check
+        (name ^ ": array-free config never emits array reads in guards")
+        false
+        (List.exists expr_has_index gs))
+    [ ("sequential", Gen.sequential); ("default", Gen.default) ]
+
 let test_shrink_preserves_wellformedness () =
   let rng = Prng.create 23 in
   for _ = 1 to 20 do
@@ -410,6 +462,9 @@ let suite =
       Alcotest.test_case "generator sequential config" `Quick test_gen_sequential_config;
       Alcotest.test_case "generator size tracking" `Quick test_gen_size_tracks_request;
       Alcotest.test_case "generator balanced" `Quick test_gen_balanced_terminating_counts;
+      Alcotest.test_case "generator guard shapes" `Quick test_gen_guards_cover_shapes;
+      Alcotest.test_case "generator guard shapes gated" `Quick
+        test_gen_guards_no_arrays_without_config;
       Alcotest.test_case "shrink preserves wellformedness" `Quick
         test_shrink_preserves_wellformedness;
       Alcotest.test_case "shrink produces smaller" `Quick
