@@ -17,13 +17,15 @@
      FUZZ      the differential fuzzing campaign: cases/s through the
                full analyzer matrix, oracle skip rate, and the cost of
                shrinking a planted soundness inversion
+     CERT      proof certificates: emission and independent re-check
+               throughput, certificate bytes per program statement
      SERVER    the certification daemon: concurrent clients over a Unix
                socket, shared-cache hit rate and latency quantiles
      micro     Bechamel micro-benchmarks of every analysis entry point
 
    Usage: dune exec bench/main.exe [-- SECTION ...]
-   Sections: tables fig3 theorems strength scaling ni pipeline fuzz server
-   micro all
+   Sections: tables fig3 theorems strength scaling ni pipeline fuzz cert
+   server micro all
    (default all). Add "quick" to shrink corpus and sweep sizes.
 
    Besides the human tables, every section prints one or more
@@ -49,9 +51,9 @@ module Cfm = Ifc_core.Cfm
 module Denning = Ifc_core.Denning
 module Infer = Ifc_core.Infer
 module Paper = Ifc_core.Paper
-module Generate = Ifc_logic.Generate
+module Generate = Ifc_logic_gen.Generate
 module Check = Ifc_logic.Check
-module Invariance = Ifc_logic.Invariance
+module Invariance = Ifc_logic_gen.Invariance
 module Entail = Ifc_logic.Entail
 module Scheduler = Ifc_exec.Scheduler
 module Ni = Ifc_exec.Noninterference
@@ -578,6 +580,71 @@ let fuzz_bench ~cases () =
   | [] -> Fmt.pr "planted inversion: NOT CAUGHT!@.")
 
 (* ------------------------------------------------------------------ *)
+(* CERT: proof-certificate emission and independent re-checking
+   throughput, plus how certificate size scales with program size. *)
+
+let cert_bench ~corpus () =
+  banner
+    (Printf.sprintf
+       "CERT: emit + independently re-check %d flow-proof certificates"
+       corpus);
+  let module Cert = Ifc_cert.Cert in
+  let module Checker = Ifc_cert.Checker in
+  let module J = Ifc_pipeline.Telemetry in
+  let stwo = Lattice.stringify two in
+  let binding = Binding.make stwo ~default:stwo.Lattice.bottom [] in
+  (* Provable programs at the all-low binding: generated, kept when a
+     Theorem 1 witness exists. *)
+  let rng = Prng.create 20260806 in
+  let rec collect acc remaining tries =
+    if remaining = 0 || tries >= corpus * 100 then List.rev acc
+    else
+      let size = 2 + (tries mod 24) in
+      let p = Gen.program rng Gen.default ~size in
+      match Invariance.witness binding p.Ast.body with
+      | Ok proof -> collect ((p, proof) :: acc) (remaining - 1) (tries + 1)
+      | Error _ -> collect acc remaining (tries + 1)
+  in
+  let cases = collect [] corpus 0 in
+  let n = List.length cases in
+  let timer = J.start () in
+  let certs =
+    List.map
+      (fun (p, proof) ->
+        (p, Cert.to_string (Cert.of_proof ~binding ~program:p proof)))
+      cases
+  in
+  let emit_s = Int64.to_float (J.elapsed_ns timer) /. 1e9 in
+  let timer = J.start () in
+  let valid =
+    List.fold_left
+      (fun acc (p, text) ->
+        match Cert.parse text with
+        | Error _ -> acc
+        | Ok cert ->
+          if Result.is_ok (Checker.check cert p) then acc + 1 else acc)
+      0 certs
+  in
+  let check_s = Int64.to_float (J.elapsed_ns timer) /. 1e9 in
+  let bytes = List.fold_left (fun a (_, t) -> a + String.length t) 0 certs in
+  let stmts = List.fold_left (fun a (p, _) -> a + Metrics.length p) 0 cases in
+  Fmt.pr "emitted %d certificates in %.3f s (%.0f certs/s)@." n emit_s
+    (float_of_int n /. emit_s);
+  Fmt.pr "re-checked %d certificates in %.3f s (%.0f certs/s), %d valid@." n
+    check_s
+    (float_of_int n /. check_s)
+    valid;
+  Fmt.pr "size: %.1f certificate bytes per statement (%d bytes / %d statements)@."
+    (float_of_int bytes /. float_of_int stmts)
+    bytes stmts;
+  metric_i "cert" "corpus" n;
+  metric_f "cert" "emit_per_sec" (float_of_int n /. emit_s);
+  metric_f "cert" "check_per_sec" (float_of_int n /. check_s);
+  metric_i "cert" "checked_valid" valid;
+  metric_f "cert" "bytes_per_statement"
+    (float_of_int bytes /. float_of_int stmts)
+
+(* ------------------------------------------------------------------ *)
 (* SERVER: the certification daemon — N concurrent clients hammering
    one in-process server over a Unix socket, sharing its cache. *)
 
@@ -773,7 +840,7 @@ let () =
     match List.filter (fun a -> a <> "quick") args with
     | [] | [ "all" ] ->
       [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling";
-        "ni"; "pipeline"; "fuzz"; "server"; "micro" ]
+        "ni"; "pipeline"; "fuzz"; "cert"; "server"; "micro" ]
     | s -> s
   in
   let corpus = if quick then 100 else 400 in
@@ -789,6 +856,7 @@ let () =
     | "ni" -> soundness ~corpus:(if quick then 15 else 30) ()
     | "pipeline" -> pipeline ~corpus:(if quick then 60 else 240) ()
     | "fuzz" -> fuzz_bench ~cases:(if quick then 40 else 150) ()
+    | "cert" -> cert_bench ~corpus:(if quick then 60 else 200) ()
     | "server" ->
       server_bench
         ~clients:(if quick then 4 else 8)

@@ -26,7 +26,7 @@ module Infer = Ifc_core.Infer
 module Report = Ifc_core.Report
 module Proof = Ifc_logic.Proof
 module Check = Ifc_logic.Check
-module Invariance = Ifc_logic.Invariance
+module Invariance = Ifc_logic_gen.Invariance
 module Scheduler = Ifc_exec.Scheduler
 module Explore = Ifc_exec.Explore
 module Taint = Ifc_exec.Taint
@@ -36,6 +36,8 @@ module Cache = Ifc_pipeline.Cache
 module Batch = Ifc_pipeline.Batch
 module Telemetry = Ifc_pipeline.Telemetry
 module Campaign = Ifc_fuzz.Campaign
+module Cert = Ifc_cert.Cert
+module Certcheck = Ifc_cert.Checker
 module Conn = Ifc_server.Conn
 module Limits = Ifc_server.Limits
 module Server = Ifc_server.Server
@@ -303,9 +305,37 @@ let infer_cmd =
     Term.(const run_infer $ lattice_arg $ fixes $ program_arg)
 
 (* ------------------------------------------------------------------ *)
-(* prove *)
+(* prove / cert *)
 
-let run_prove lattice_name binding_file print_proof path =
+let write_file path text =
+  try
+    Ok
+      (Out_channel.with_open_bin path (fun oc ->
+           Out_channel.output_string oc text))
+  with Sys_error msg -> Error msg
+
+(* Build the Theorem-1 proof, serialize it, and refuse to hand out any
+   certificate the independent checker would not accept: the emitted
+   bytes are re-parsed and re-validated before they leave the process. *)
+let emit_certificate binding p =
+  match Invariance.witness binding p.Ast.body with
+  | Error errors -> Ok (Error errors)
+  | Ok proof -> (
+    let cert = Cert.of_proof ~binding ~program:p proof in
+    let text = Cert.to_string cert in
+    match Cert.parse text with
+    | Error e ->
+      Error (Fmt.str "emitted certificate does not re-parse: %a" Cert.pp_parse_error e)
+    | Ok parsed -> (
+      match Certcheck.check parsed p with
+      | Ok () -> Ok (Ok text)
+      | Error (f :: _) ->
+        Error
+          (Fmt.str "emitted certificate fails the independent checker: %a"
+             Certcheck.pp_failure f)
+      | Error [] -> Error "emitted certificate fails the independent checker"))
+
+let run_prove lattice_name binding_file print_proof emit_cert path =
   exit_of_verdict
     (let* lat = load_lattice lattice_name in
      let* p = load_program path in
@@ -315,6 +345,19 @@ let run_prove lattice_name binding_file print_proof path =
        Fmt.pr "flow proof found: %d rule applications, completely invariant@."
          (Proof.size proof);
        if print_proof then Fmt.pr "%a@." (Proof.pp lat) proof;
+       let* () =
+         match emit_cert with
+         | None -> Ok ()
+         | Some out -> (
+           match emit_certificate binding p with
+           | Error msg -> Error msg
+           | Ok (Error _) -> Error "proof found but certificate emission failed"
+           | Ok (Ok text) ->
+             let* () = write_file out text in
+             Fmt.pr "certificate written to %s (%d bytes)@." out
+               (String.length text);
+             Ok ())
+       in
        Ok true
      | Error errors ->
        Fmt.pr "no completely invariant flow proof (program not certifiable):@.%a@."
@@ -326,12 +369,159 @@ let prove_cmd =
   let print_proof =
     Arg.(value & flag & info [ "print-proof" ] ~doc:"Print the full derivation.")
   in
+  let emit_cert =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-cert" ] ~docv:"FILE"
+          ~doc:"Also write the proof as a checkable certificate to $(docv).")
+  in
   Cmd.v
     (Cmd.info "prove"
        ~doc:
          "Build and check the Theorem-1 completely invariant flow proof (succeeds iff \
           CFM certifies).")
-    Term.(const run_prove $ lattice_arg $ binding_arg $ print_proof $ program_arg)
+    Term.(
+      const run_prove $ lattice_arg $ binding_arg $ print_proof $ emit_cert
+      $ program_arg)
+
+let run_cert_emit lattice_name binding_file out path =
+  exit_of_verdict
+    (let* lat = load_lattice lattice_name in
+     let* p = load_program path in
+     let* binding = load_binding lat binding_file p in
+     let* outcome = emit_certificate binding p in
+     match outcome with
+     | Error errors ->
+       Fmt.pr "no certificate: program not certifiable:@.%a@."
+         (Fmt.list ~sep:Fmt.cut Check.pp_error)
+         errors;
+       Ok false
+     | Ok text -> (
+       match out with
+       | None ->
+         print_string text;
+         Ok true
+       | Some out ->
+         let* () = write_file out text in
+         Fmt.pr "certificate written to %s (%d bytes)@." out (String.length text);
+         Ok true))
+
+let run_cert_check lattice_name binding_file cert_file path =
+  exit_of_verdict
+    (let* text = read_file cert_file in
+     let* p = load_program path in
+     match Cert.parse text with
+     | Error e -> Error (Fmt.str "%s: %a" cert_file Cert.pp_parse_error e)
+     | Ok cert ->
+       (* Optional cross-checks of the embedded scheme and binding
+          against what the caller expects. *)
+       let* () =
+         match lattice_name with
+         | None -> Ok ()
+         | Some name ->
+           let* expected = load_lattice name in
+           if String.equal (Spec.to_text expected) (Spec.to_text cert.Cert.lattice)
+           then Ok ()
+           else
+             Error
+               (Fmt.str "certificate lattice %S differs from expected %S"
+                  cert.Cert.lattice.Lattice.name expected.Lattice.name)
+       in
+       let* mismatches =
+         match binding_file with
+         | None -> Ok []
+         | Some bf ->
+           let* btext = read_file bf in
+           let* expected = Binding.of_spec cert.Cert.lattice btext in
+           Ok
+             (List.filter
+                (fun (v, cls) ->
+                  not
+                    (String.equal cls
+                       (cert.Cert.lattice.Lattice.to_string
+                          (Binding.sbind expected v))))
+                cert.Cert.binds)
+       in
+       (match mismatches with
+       | (v, cls) :: _ ->
+         Fmt.pr "certificate rejected: binding mismatch: %s is %s in the certificate@."
+           v cls;
+         Ok false
+       | [] -> (
+         match Certcheck.check cert p with
+         | Ok () ->
+           Fmt.pr "certificate valid: %d nodes, %d bound variables@."
+             (Cert.node_count cert)
+             (List.length cert.Cert.binds);
+           Ok true
+         | Error (first :: _ as failures) ->
+           Fmt.pr "certificate rejected (%d failures), first: %a@."
+             (List.length failures) Certcheck.pp_failure first;
+           Ok false
+         | Error [] -> Ok false)))
+
+let cert_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the certificate to $(docv) instead of standard output.")
+  in
+  let cert_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CERT" ~doc:"Certificate file.")
+  in
+  let cert_program_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"PROGRAM" ~doc:"Program file the certificate is for.")
+  in
+  let cross_lattice_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "l"; "lattice" ] ~docv:"LATTICE"
+          ~doc:
+            "Cross-check that the certificate's embedded scheme matches \
+             $(docv) (a built-in name or spec file).")
+  in
+  let cross_binding_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "b"; "binding" ] ~docv:"FILE"
+          ~doc:
+            "Cross-check that the certificate's recorded binding matches \
+             $(docv).")
+  in
+  let emit =
+    Cmd.v
+      (Cmd.info "emit"
+         ~doc:
+           "Build the Theorem-1 flow proof and write it as a certificate \
+            (self-checked before emission; exit 2 when not certifiable).")
+      Term.(const run_cert_emit $ lattice_arg $ binding_arg $ out_arg $ program_arg)
+  in
+  let check =
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Independently validate a certificate against a program: digest, \
+            every Figure 1 rule instance, entailment side-conditions, \
+            interference freedom and complete invariance. Exit 2 with the \
+            first bad node's path on rejection; exit 1 on malformed input.")
+      Term.(
+        const run_cert_check $ cross_lattice_arg $ cross_binding_arg
+        $ cert_file_arg $ cert_program_arg)
+  in
+  Cmd.group
+    (Cmd.info "cert" ~doc:"Emit and independently re-check proof certificates.")
+    [ emit; check ]
 
 (* ------------------------------------------------------------------ *)
 (* run / explore *)
@@ -539,9 +729,54 @@ let random_binding rng lat stmt =
        (fun v -> (v, arr.(Ifc_support.Prng.int rng (Array.length arr))))
        (Ifc_support.Sset.elements (Ifc_lang.Vars.all_vars stmt)))
 
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* File name for one job's certificate: the job name reduced to safe
+   characters, made unique by a digest prefix. *)
+let cert_file_name (r : Job.result) =
+  let safe =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c
+        | _ -> '_')
+      (Filename.basename r.Job.job_name)
+  in
+  Printf.sprintf "%s-%s.cert" safe (String.sub r.Job.job_digest 0 12)
+
+let write_batch_certs dir results =
+  mkdirs dir;
+  let written =
+    List.fold_left
+      (fun acc (r : Job.result) ->
+        match r.Job.outcome with
+        | Error _ -> acc
+        | Ok analyses -> (
+          match
+            List.find_opt
+              (fun (ar : Job.analysis_result) -> ar.Job.artifact <> None)
+              analyses
+          with
+          | Some { Job.artifact = Some text; _ } ->
+            let path = Filename.concat dir (cert_file_name r) in
+            if Sys.file_exists path then acc
+            else begin
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc text);
+              acc + 1
+            end
+          | _ -> acc))
+      0 results
+  in
+  Fmt.pr "certificates written: %d (to %s)@." written dir
+
 let run_batch lattice_name binding_file self_check jobs use_cache cache_size
     log_file analyses_csv ni_pairs ni_max_states gen_n gen_size gen_seed
-    gen_sequential repeat verbose files =
+    gen_sequential repeat verbose emit_certs files =
   let result =
     let* () =
       if jobs < 1 then Error "--jobs must be at least 1" else Ok ()
@@ -607,6 +842,9 @@ let run_batch lattice_name binding_file self_check jobs use_cache cache_size
           | Ok _ -> ())
         summary.Batch.results;
       Fmt.pr "%a" Batch.pp_summary summary;
+      (match emit_certs with
+      | Some dir -> write_batch_certs dir summary.Batch.results
+      | None -> ());
       Ok summary
     end
   in
@@ -656,7 +894,17 @@ let batch_cmd =
       & info [ "analyses" ] ~docv:"LIST"
           ~doc:
             "Comma-separated analyses to run per program: $(b,denning), \
-             $(b,cfm), $(b,prove), $(b,ni).")
+             $(b,cfm), $(b,prove), $(b,cert), $(b,ni).")
+  in
+  let emit_certs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-certs" ] ~docv:"DIR"
+          ~doc:
+            "With the $(b,cert) analysis: write every emitted certificate to \
+             $(docv) as $(i,name)-$(i,digest).cert (cache hits included — \
+             the certificate rides in the cached result).")
   in
   let ni_pairs =
     Arg.(
@@ -712,7 +960,8 @@ let batch_cmd =
     Term.(
       const run_batch $ lattice_arg $ binding_arg $ self_check_arg $ jobs $ cache
       $ cache_size $ log_file $ analyses $ ni_pairs $ ni_max_states $ gen_n
-      $ gen_size $ gen_seed $ gen_sequential $ repeat $ verbose $ files)
+      $ gen_size $ gen_seed $ gen_sequential $ repeat $ verbose $ emit_certs
+      $ files)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
@@ -731,10 +980,13 @@ let run_fuzz cases seed jobs size_min size_max ni_pairs max_states time_budget
       time_budget;
       shrink_budget;
       corpus_dir;
-      (* Hidden test hook: inject one case with a forced bogus CFM verdict
-         so the end-to-end inversion path (detect, shrink, persist, exit 2)
-         stays exercised. *)
+      (* Hidden test hooks: inject one case with a forced bogus CFM
+         verdict (or a forced bogus certificate round-trip verdict) so the
+         end-to-end inversion paths (detect, shrink, persist, exit 2) stay
+         exercised. *)
       plant_inversion = Sys.getenv_opt "IFC_FUZZ_PLANT_INVERSION" <> None;
+      plant_cert_inversion =
+        Sys.getenv_opt "IFC_FUZZ_PLANT_CERT_INVERSION" <> None;
     }
   in
   let result =
@@ -1121,8 +1373,89 @@ let run_client socket tcp wait json_out lattice_name binding_file self_check
                 | None -> Error "malformed response (no verdict, no error)"
               end)
             (Ok 0) files
+        | "cert" ->
+          let* path =
+            match files with
+            | [ path ] -> Ok path
+            | _ -> Error "cert needs exactly one program file"
+          in
+          let* lattice = client_lattice lattice_name in
+          let* binding =
+            match binding_file with
+            | None -> Ok None
+            | Some path -> Result.map Option.some (read_file path)
+          in
+          let* program = read_file path in
+          let* response =
+            Client.cert_emit c ~name:(Filename.basename path) ~lattice ?binding
+              ?deadline_ms program
+          in
+          if json_out then begin
+            Fmt.pr "%s@." (Telemetry.json_to_string response);
+            Ok 0
+          end
+          else if Protocol.response_ok response then begin
+            match Jsonx.mem_string "cert" response with
+            | Some text ->
+              Fmt.pr "%s" text;
+              Ok 0
+            | None ->
+              Fmt.epr "ifc: %s: no certificate (verdict %s)@." path
+                (Option.value ~default:"?" (Protocol.response_verdict response));
+              Ok 2
+          end
+          else begin
+            match Protocol.response_error response with
+            | Some (code, msg) ->
+              Fmt.epr "ifc: %s: error %s (%s)@." path code msg;
+              Ok 2
+            | None -> Error "malformed response (no cert, no error)"
+          end
+        | "cert-check" ->
+          let* program_path, cert_path =
+            match files with
+            | [ p; c ] -> Ok (p, c)
+            | _ -> Error "cert-check needs a program file and a certificate file"
+          in
+          let* program = read_file program_path in
+          let* cert = read_file cert_path in
+          let* response =
+            Client.cert_check c ~name:(Filename.basename program_path) ~cert
+              ?deadline_ms program
+          in
+          if json_out then begin
+            Fmt.pr "%s@." (Telemetry.json_to_string response);
+            Ok 0
+          end
+          else if Protocol.response_ok response then begin
+            match Jsonx.member "valid" response with
+            | Some (Telemetry.Bool true) ->
+              Fmt.pr "%s: certificate valid (%d nodes)@." cert_path
+                (Option.value ~default:0 (Jsonx.mem_int "nodes" response));
+              Ok 0
+            | _ ->
+              let first =
+                Option.value ~default:Telemetry.Null
+                  (Jsonx.member "first" response)
+              in
+              Fmt.pr "%s: certificate rejected at %s: [%s] %s@." cert_path
+                (Option.value ~default:"?" (Jsonx.mem_string "path" first))
+                (Option.value ~default:"?" (Jsonx.mem_string "rule" first))
+                (Option.value ~default:"" (Jsonx.mem_string "reason" first));
+              Ok 2
+          end
+          else begin
+            match Protocol.response_error response with
+            | Some (code, msg) ->
+              Fmt.pr "%s: error %s (%s)@." cert_path code msg;
+              Ok 2
+            | None -> Error "malformed response (no verdict, no error)"
+          end
         | other ->
-          Error (Printf.sprintf "unknown client operation %S (use check, stats, or ping)" other))
+          Error
+            (Printf.sprintf
+               "unknown client operation %S (use check, cert, cert-check, \
+                stats, or ping)" other))
   in
   match result with
   | Ok code -> code
@@ -1160,12 +1493,17 @@ let client_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"OP" ~doc:"$(b,check), $(b,stats), or $(b,ping).")
+      & info [] ~docv:"OP"
+          ~doc:
+            "$(b,check), $(b,cert) (emit a certificate for one program), \
+             $(b,cert-check) (validate PROGRAM CERT), $(b,stats), or \
+             $(b,ping).")
   in
   let files =
     Arg.(
       value & pos_right 0 file []
-      & info [] ~docv:"PROGRAM" ~doc:"Program files (for $(b,check)).")
+      & info [] ~docv:"PROGRAM"
+          ~doc:"Program files (for $(b,check), $(b,cert), $(b,cert-check)).")
   in
   Cmd.v
     (Cmd.info "client"
@@ -1307,6 +1645,7 @@ let main_cmd =
       denning_cmd;
       infer_cmd;
       prove_cmd;
+      cert_cmd;
       run_cmd;
       explore_cmd;
       taint_cmd;

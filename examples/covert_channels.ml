@@ -24,7 +24,7 @@ module Paper = Ifc_core.Paper
 module Taint = Ifc_exec.Taint
 module Ni = Ifc_exec.Noninterference
 module Check = Ifc_logic.Check
-module Invariance = Ifc_logic.Invariance
+module Invariance = Ifc_logic_gen.Invariance
 
 let banner title = Fmt.pr "@.=== %s ===@." title
 

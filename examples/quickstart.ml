@@ -15,7 +15,7 @@ module Pretty = Ifc_lang.Pretty
 module Binding = Ifc_core.Binding
 module Cfm = Ifc_core.Cfm
 module Report = Ifc_core.Report
-module Invariance = Ifc_logic.Invariance
+module Invariance = Ifc_logic_gen.Invariance
 module Proof = Ifc_logic.Proof
 
 let banner title = Fmt.pr "@.=== %s ===@." title

@@ -1,0 +1,84 @@
+(** Proof certificates: a versioned, canonical, digest-stamped
+    serialization of flow-proof derivations.
+
+    A certificate carries everything an independent checker needs to
+    re-validate a proof without re-deriving it: the digest of the program
+    text it certifies, the classification scheme (as a {!Ifc_lattice.Spec}
+    text), the static binding of every program variable, and — for every
+    node of the derivation, in preorder — the applied Figure 1 rule and the
+    node's pre- and post-assertions. Statements are {e not} serialized; the
+    checker walks the certificate against the parsed program, so a
+    certificate cannot smuggle in a different program than the one it is
+    stamped for.
+
+    Emission is canonical: class expressions are rendered from their
+    {!Ifc_logic.Cexpr.normalize} normal form, assertion atoms are sorted
+    and deduplicated, and bindings are sorted by name. Re-emitting a parsed
+    certificate therefore reproduces the canonical bytes, and emitting the
+    same proof twice yields byte-identical output. *)
+
+type kind =
+  | K_assign
+  | K_wait
+  | K_signal
+  | K_skip
+  | K_alternation
+  | K_iteration
+  | K_composition
+  | K_concurrency
+  | K_consequence
+
+type node = {
+  kind : kind;
+  pre : string Ifc_logic.Assertion.t;
+  post : string Ifc_logic.Assertion.t;
+  children : node list;
+}
+
+type t = {
+  program_digest : string;  (** MD5 hex of the printed program text. *)
+  lattice : string Ifc_lattice.Lattice.t;
+  binds : (string * string) list;
+      (** [variable, class] for every variable of the program body, sorted
+          by name. *)
+  root : node;
+}
+
+type parse_error = { line : int; reason : string }
+
+val version : int
+(** The certificate format version this module reads and writes. *)
+
+val rule_name : kind -> string
+(** The rule spelling used in the serialized form ([assign], [wait], ...,
+    [consequence]). *)
+
+val program_digest : Ifc_lang.Ast.program -> string
+(** MD5 hex digest of {!Ifc_lang.Pretty.program_to_string}. Pretty-printing
+    before hashing makes the digest insensitive to whitespace and comments
+    in the source file. *)
+
+val of_proof :
+  binding:string Ifc_core.Binding.t ->
+  program:Ifc_lang.Ast.program ->
+  string Ifc_logic.Proof.t ->
+  t
+(** [of_proof ~binding ~program proof] packages [proof] (a derivation for
+    [program.body]) as a certificate. The binding is restricted to the
+    variables of the program body — exactly the domain of the policy
+    invariant the checker re-derives. *)
+
+val to_string : t -> string
+(** Canonical text form. Always ends with a newline. *)
+
+val node_count : t -> int
+
+val parse : string -> (t, parse_error) result
+(** Strict parser. Accepts exactly the line grammar produced by
+    {!to_string} (assertion atom order is the one freedom: atoms may appear
+    in any order and re-emission canonicalizes them). Malformed input of
+    any kind — wrong version, bad digest syntax, unknown rule or class
+    names, arity violations, truncation, trailing garbage — yields a
+    structured [Error]; no exception escapes. *)
+
+val pp_parse_error : Format.formatter -> parse_error -> unit

@@ -1,0 +1,31 @@
+(** The small trusted core: independent validation of proof certificates.
+
+    [check] walks a parsed certificate against the parsed program and
+    accepts iff
+
+    - the certificate's program digest matches the program,
+    - the recorded binding covers exactly the variables of the program
+      body,
+    - every node is a correct instance of a Figure 1 rule for the
+      statement at its position (with every entailment side-condition
+      discharged under the certificate's own lattice),
+    - concurrency nodes are interference-free, and
+    - the derivation is completely invariant (Definition 7) for the policy
+      assertion (Definition 6) of the recorded binding, with constant
+      [local]/[global] bounds at the root.
+
+    The checker re-derives nothing: it never constructs a proof, and the
+    library does not link against the generator ([ifc_logic_gen]) — the
+    dune dependency graph enforces that. Failures carry the preorder path
+    of the offending node ([0], [0.2.1], ...), or the pseudo-paths
+    [program] / [binding] for header-level mismatches. *)
+
+type failure = { path : string; rule : string; reason : string }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val check :
+  Cert.t -> Ifc_lang.Ast.program -> (unit, failure list) result
+(** [check cert program] validates [cert] against [program]. [Error]
+    carries every detected failure in walk order; the head names the first
+    bad node. *)

@@ -26,6 +26,7 @@ type config = {
   shrink_budget : int;
   corpus_dir : string option;
   plant_inversion : bool;
+  plant_cert_inversion : bool;
 }
 
 let default =
@@ -41,6 +42,7 @@ let default =
     shrink_budget = 300;
     corpus_dir = None;
     plant_inversion = false;
+    plant_cert_inversion = false;
   }
 
 (* The campaign lattice. All fuzzing runs over the paper's two-point
@@ -104,9 +106,10 @@ type outcome = {
   verdicts : Classify.verdicts;
   statements : int;
   (* Retained only for inversions: the program, its binding, the forced
-     CFM verdict (planted case) and the case's oracle seed — exactly what
-     re-running the predicate during shrinking needs. *)
-  payload : (Ast.program * string Binding.t * bool option * int) option;
+     CFM and cert verdicts (planted cases) and the case's oracle seed —
+     exactly what re-running the predicate during shrinking needs. *)
+  payload :
+    (Ast.program * string Binding.t * bool option * bool option * int) option;
 }
 
 type slot = Done of outcome | Timed_out
@@ -152,25 +155,52 @@ let planted_case () =
   in
   (program, binding)
 
+(* The planted certificate inversion (test hook): a padded, provable
+   all-low program whose certificate round-trip verdict is forced to
+   "rejected". Every honest analyzer agrees the program is fine, so the
+   only inversion is cert-inversion, and it shrinks to a single
+   statement. *)
+let planted_cert_case () =
+  let body =
+    Ast.seq
+      [
+        Ast.assign "p" (Ast.Int 3);
+        Ast.skip;
+        Ast.assign "y" (Ast.Int 0);
+        Ast.assign "q" (Ast.Binop (Ast.Add, Ast.Var "p", Ast.Int 1));
+        Ast.skip;
+      ]
+  in
+  let program = Wellformed.infer_decls (Ast.program body) in
+  let binding = Binding.make lattice ~default:lattice.Lattice.bottom [] in
+  (program, binding)
+
 let run_case config index =
-  let planted = config.plant_inversion && index = config.cases in
+  let planted_cfm = config.plant_inversion && index = config.cases in
+  let planted_cert =
+    config.plant_cert_inversion
+    && index = config.cases + if config.plant_inversion then 1 else 0
+  in
   let rng = case_rng config.seed index in
-  let profile_name, program, binding, override_cfm =
-    if planted then
+  let profile_name, program, binding, override_cfm, override_cert =
+    if planted_cfm then
       let program, binding = planted_case () in
-      ("planted", program, binding, Some true)
+      ("planted", program, binding, Some true, None)
+    else if planted_cert then
+      let program, binding = planted_cert_case () in
+      ("planted-cert", program, binding, None, Some false)
     else begin
       let profile_name, cfg_gen =
         List.nth profiles (index mod List.length profiles)
       in
       let size = Prng.range rng config.size_min config.size_max in
       let program = generate_case rng profile_name cfg_gen ~size in
-      (profile_name, program, random_binding rng program, None)
+      (profile_name, program, random_binding rng program, None, None)
     end
   in
   let ni_seed = Prng.bits rng land 0x3FFFFFFF in
   let verdicts =
-    Oracle.run ?override_cfm ~ni_seed ~ni_pairs:config.ni_pairs
+    Oracle.run ?override_cfm ?override_cert ~ni_seed ~ni_pairs:config.ni_pairs
       ~max_states:config.max_states binding program
   in
   let cls = Classify.classify verdicts in
@@ -186,7 +216,7 @@ let run_case config index =
     statements = (Metrics.of_program program).Metrics.statements;
     payload =
       (if inversion_labels = [] then None
-       else Some (program, binding, override_cfm, ni_seed));
+       else Some (program, binding, override_cfm, override_cert, ni_seed));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -204,14 +234,14 @@ let case_digest program binding =
 let shrink_counterexample config sink seen (o : outcome) =
   match o.payload with
   | None -> None
-  | Some (program, binding, override_cfm, ni_seed) ->
+  | Some (program, binding, override_cfm, override_cert, ni_seed) ->
     let label = List.hd o.inversion_labels in
     let keep p =
       Wellformed.is_valid p
       &&
       let v =
-        Oracle.run ?override_cfm ~ni_seed ~ni_pairs:config.ni_pairs
-          ~max_states:config.max_states binding p
+        Oracle.run ?override_cfm ?override_cert ~ni_seed
+          ~ni_pairs:config.ni_pairs ~max_states:config.max_states binding p
       in
       let c = Classify.classify v in
       List.exists
@@ -344,7 +374,11 @@ let run ?(sink = Telemetry.null_sink ()) (config : config) =
   if config.size_min < 1 || config.size_max < config.size_min then
     invalid_arg "Campaign.run: bad size range";
   let timer = Telemetry.start () in
-  let total = config.cases + if config.plant_inversion then 1 else 0 in
+  let total =
+    config.cases
+    + (if config.plant_inversion then 1 else 0)
+    + if config.plant_cert_inversion then 1 else 0
+  in
   let deadline =
     Option.map
       (fun seconds ->

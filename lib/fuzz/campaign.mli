@@ -36,6 +36,13 @@ type config = {
           forcibly overridden to "certified", simulating an unsound
           analyzer. The campaign must flag it, shrink it to the single
           leaking assignment, and persist it with honest verdicts. *)
+  plant_cert_inversion : bool;
+      (** Test hook ([IFC_FUZZ_PLANT_CERT_INVERSION] in the CLI): append
+          one provable case whose certificate round-trip verdict is
+          forcibly overridden to "rejected", simulating a broken
+          emit/serialize/check pipeline. The campaign must classify it as
+          [cert-inversion], shrink it, and persist it with honest
+          verdicts. *)
 }
 
 val default : config

@@ -5,6 +5,7 @@ type verdicts = {
   denning : bool;
   fs : bool;
   prove : bool;
+  cert_ok : bool;
   ni_tested : int;
   ni_skipped : int;
   ni_violations : int;
@@ -13,6 +14,7 @@ type verdicts = {
 type inversion =
   | Unsound_certification
   | Logic_mismatch
+  | Cert_inversion
   | Above_denning
   | Above_flow_sensitive
 
@@ -28,6 +30,7 @@ let classify v =
   let inversions =
     (if v.cfm && v.ni_violations > 0 then [ Unsound_certification ] else [])
     @ (if not (Bool.equal v.prove v.cfm) then [ Logic_mismatch ] else [])
+    @ (if v.prove && not v.cert_ok then [ Cert_inversion ] else [])
     @ (if v.cfm && not v.denning then [ Above_denning ] else [])
     @ if v.cfm && not v.fs then [ Above_flow_sensitive ] else []
   in
@@ -40,6 +43,7 @@ let classify v =
 let inversion_label = function
   | Unsound_certification -> "unsound-certification"
   | Logic_mismatch -> "logic-mismatch"
+  | Cert_inversion -> "cert-inversion"
   | Above_denning -> "hierarchy-denning"
   | Above_flow_sensitive -> "hierarchy-fs"
 
@@ -62,6 +66,7 @@ let class_labels =
   [
     "unsound-certification";
     "logic-mismatch";
+    "cert-inversion";
     "hierarchy-denning";
     "hierarchy-fs";
     "denning-gap";

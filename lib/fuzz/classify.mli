@@ -23,6 +23,11 @@ type verdicts = {
   denning : bool;  (** [~on_concurrency:`Ignore] — the historical reading. *)
   fs : bool;  (** The flow-sensitive §6 extension. *)
   prove : bool;  (** A checked completely invariant flow proof exists. *)
+  cert_ok : bool;
+      (** The certificate round-trip: when a proof exists, its serialized
+          certificate re-parses and the independent checker accepts it.
+          Vacuously [true] when [prove] is [false] — there is nothing to
+          certify. *)
   ni_tested : int;  (** Input pairs the oracle explored to completion. *)
   ni_skipped : int;  (** Pairs abandoned at the state-space budget. *)
   ni_violations : int;  (** Pairs with distinguishable low observables. *)
@@ -32,6 +37,10 @@ type inversion =
   | Unsound_certification
       (** CFM certified, yet the oracle exhibits interference. *)
   | Logic_mismatch  (** [prove <> cfm]: a Theorem 1/2 equivalence break. *)
+  | Cert_inversion
+      (** The decision procedure proved the program but the emitted
+          certificate fails the independent checker — the emit/check
+          pipeline broke. *)
   | Above_denning  (** CFM certified but Denning rejects. *)
   | Above_flow_sensitive  (** CFM certified but flow-sensitive rejects. *)
 

@@ -15,6 +15,7 @@ type expected = {
   denning : bool;
   fs : bool;
   prove : bool;
+  cert : bool;
   interfering : bool;
   statements : int;
 }
@@ -53,6 +54,7 @@ let expected_of_verdicts ~cls program (v : Classify.verdicts) =
     denning = v.Classify.denning;
     fs = v.Classify.fs;
     prove = v.Classify.prove;
+    cert = v.Classify.cert_ok;
     interfering = v.Classify.ni_violations > 0;
     statements = (Metrics.of_program program).Metrics.statements;
   }
@@ -69,6 +71,7 @@ let sidecar_text ~lattice_name ~binding ~expected ?note () =
   line "denning: %b" expected.denning;
   line "fs: %b" expected.fs;
   line "prove: %b" expected.prove;
+  line "cert: %b" expected.cert;
   line "interfering: %b" expected.interfering;
   line "statements: %d" expected.statements;
   (match note with None -> () | Some n -> line "note: %s" n);
@@ -129,6 +132,7 @@ let parse_sidecar text =
   let* denning = Result.bind (field "denning") (parse_bool "denning") in
   let* fs = Result.bind (field "fs") (parse_bool "fs") in
   let* prove = Result.bind (field "prove") (parse_bool "prove") in
+  let* cert = Result.bind (field "cert") (parse_bool "cert") in
   let* interfering =
     Result.bind (field "interfering") (parse_bool "interfering")
   in
@@ -139,7 +143,7 @@ let parse_sidecar text =
   Ok
     ( lattice_name,
       binding,
-      { cls; cfm; denning; fs; prove; interfering; statements },
+      { cls; cfm; denning; fs; prove; cert; interfering; statements },
       Hashtbl.find_opt fields "note" )
 
 (* ------------------------------------------------------------------ *)

@@ -21,6 +21,10 @@ type expected = {
   denning : bool;
   fs : bool;
   prove : bool;
+  cert : bool;
+      (** The certificate round-trip verdict ({!Classify.verdicts}
+          [cert_ok]): [true] when the entry is not provable (vacuous) or
+          when its emitted certificate passes the independent checker. *)
   interfering : bool;  (** Oracle found violations at replay parameters. *)
   statements : int;  (** Statement count of the stored program. *)
 }

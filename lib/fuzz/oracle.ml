@@ -5,11 +5,21 @@ module Binding = Ifc_core.Binding
 module Cfm = Ifc_core.Cfm
 module Denning = Ifc_core.Denning
 module Fs = Ifc_core.Flow_sensitive
-module Invariance = Ifc_logic.Invariance
+module Invariance = Ifc_logic_gen.Invariance
 module Ni = Ifc_exec.Noninterference
 module Lattice = Ifc_lattice.Lattice
 
-let run ?override_cfm ~ni_seed ~ni_pairs ~max_states binding (p : Ast.program) =
+(* The certificate round-trip leg: serialize the proof, re-parse the
+   exact bytes, and run the independent checker. Any break anywhere in
+   that pipeline — emission, parsing, validation — is a cert inversion. *)
+let cert_round_trip binding (p : Ast.program) proof =
+  let cert = Ifc_cert.Cert.of_proof ~binding ~program:p proof in
+  match Ifc_cert.Cert.parse (Ifc_cert.Cert.to_string cert) with
+  | Error _ -> false
+  | Ok parsed -> Result.is_ok (Ifc_cert.Checker.check parsed p)
+
+let run ?override_cfm ?override_cert ~ni_seed ~ni_pairs ~max_states binding
+    (p : Ast.program) =
   let cfm =
     match override_cfm with
     | Some forced -> forced
@@ -17,7 +27,16 @@ let run ?override_cfm ~ni_seed ~ni_pairs ~max_states binding (p : Ast.program) =
   in
   let denning = Denning.certified ~on_concurrency:`Ignore binding p.Ast.body in
   let fs = Fs.certified binding p.Ast.body in
-  let prove = Invariance.decide binding p.Ast.body in
+  let witness = Invariance.witness binding p.Ast.body in
+  let prove = Result.is_ok witness in
+  let cert_ok =
+    match override_cert with
+    | Some forced -> forced
+    | None -> (
+      match witness with
+      | Error _ -> true
+      | Ok proof -> cert_round_trip binding p proof)
+  in
   let lat = Binding.lattice binding in
   let ni =
     Ni.test ~seed:ni_seed ~pairs:ni_pairs ~max_states
@@ -28,6 +47,7 @@ let run ?override_cfm ~ni_seed ~ni_pairs ~max_states binding (p : Ast.program) =
     denning;
     fs;
     prove;
+    cert_ok;
     ni_tested = ni.Ni.pairs_tested;
     ni_skipped = ni.Ni.pairs_skipped;
     ni_violations = List.length ni.Ni.violations;

@@ -1,7 +1,9 @@
 (** One pass of the full analyzer matrix over a single bound program.
 
     Runs Denning (concurrency-ignoring), CFM, the flow-sensitive
-    extension, the Theorem-1 logic decision, and the semantic
+    extension, the Theorem-1 logic decision, the certificate round-trip
+    (when a proof exists: serialize it, re-parse the bytes, validate with
+    the independent {!Ifc_cert.Checker}), and the semantic
     noninterference oracle (bounded exploration, termination-insensitive,
     observer at the lattice bottom), and packs the verdicts for
     {!Classify.classify}.
@@ -12,12 +14,15 @@
     count.
 
     [override_cfm] substitutes a forced CFM verdict while every other
-    analyzer stays honest. It exists for the campaign's planted-inversion
-    test hook (simulating an unsound certifier end-to-end) and for
-    what-if experiments; production callers never pass it. *)
+    analyzer stays honest; [override_cert] does the same for the
+    certificate round-trip verdict. They exist for the campaign's
+    planted-inversion test hooks (simulating an unsound certifier or a
+    broken certificate pipeline end-to-end) and for what-if experiments;
+    production callers never pass them. *)
 
 val run :
   ?override_cfm:bool ->
+  ?override_cert:bool ->
   ni_seed:int ->
   ni_pairs:int ->
   max_states:int ->

@@ -6,6 +6,9 @@ module Extended = Ifc_lattice.Extended
 module Ast = Ifc_lang.Ast
 module Binding = Ifc_core.Binding
 module Cfm = Ifc_core.Cfm
+module Assertion = Ifc_logic.Assertion
+module Cexpr = Ifc_logic.Cexpr
+module Proof = Ifc_logic.Proof
 
 let invariant_of binding stmt =
   let vars = Ifc_support.Sset.elements (Ifc_lang.Vars.all_vars stmt) in

@@ -23,14 +23,14 @@ val theorem1 :
   ?g:'a ->
   'a Ifc_core.Binding.t ->
   Ifc_lang.Ast.stmt ->
-  'a Proof.t
+  'a Ifc_logic.Proof.t
 (** [theorem1 b s] builds the derivation with [l] and [g] defaulting to
     the lattice bottom (for which the theorem's premise
     [l (+) g <= mod(S)] always holds). The root judgment is exactly the
     theorem's, with [flow(S)] taken from {!Ifc_core.Cfm.flow_of}. *)
 
 val invariant_of :
-  'a Ifc_core.Binding.t -> Ifc_lang.Ast.stmt -> 'a Assertion.t
+  'a Ifc_core.Binding.t -> Ifc_lang.Ast.stmt -> 'a Ifc_logic.Assertion.t
 (** [invariant_of b s] is the policy assertion [I] (Definition 6) over the
     variables of [s] — the [V]-part of every assertion in the generated
     proof. *)

@@ -1,6 +1,7 @@
 (* Existence of completely invariant proofs via generate-then-check. *)
 
 module Binding = Ifc_core.Binding
+module Check = Ifc_logic.Check
 
 let decide_at ?entailer ~l ~g binding stmt =
   let lat = Binding.lattice binding in

@@ -14,13 +14,13 @@
     the test suite. *)
 
 val decide :
-  ?entailer:Check.entailer -> 'a Ifc_core.Binding.t -> Ifc_lang.Ast.stmt -> bool
+  ?entailer:Ifc_logic.Check.entailer -> 'a Ifc_core.Binding.t -> Ifc_lang.Ast.stmt -> bool
 (** [decide b s] is true iff the Theorem-1 derivation at
     [l = g = bottom] (the weakest premise, always satisfying
     [l (+) g <= mod(S)]) passes {!Check.check}. *)
 
 val decide_at :
-  ?entailer:Check.entailer ->
+  ?entailer:Ifc_logic.Check.entailer ->
   l:'a ->
   g:'a ->
   'a Ifc_core.Binding.t ->
@@ -33,7 +33,7 @@ val decide_at :
 val witness :
   'a Ifc_core.Binding.t ->
   Ifc_lang.Ast.stmt ->
-  ('a Proof.t, Check.error list) result
+  ('a Ifc_logic.Proof.t, Ifc_logic.Check.error list) result
 (** [witness b s] returns the checked completely invariant proof, or the
     checker's complaints — which point at exactly the constructs whose CFM
     checks fail. *)

@@ -7,7 +7,7 @@ module Pretty = Ifc_lang.Pretty
 module Binding = Ifc_core.Binding
 module Cfm = Ifc_core.Cfm
 module Denning = Ifc_core.Denning
-module Invariance = Ifc_logic.Invariance
+module Invariance = Ifc_logic_gen.Invariance
 module Proof = Ifc_logic.Proof
 module Ni = Ifc_exec.Noninterference
 
@@ -15,6 +15,7 @@ type analysis =
   | Denning
   | Cfm
   | Prove
+  | Cert
   | Ni of { pairs : int; max_states : int }
   | Custom of string * (string Binding.t -> Ast.program -> bool * int)
 
@@ -22,6 +23,7 @@ let analysis_name = function
   | Denning -> "denning"
   | Cfm -> "cfm"
   | Prove -> "prove"
+  | Cert -> "cert"
   | Ni _ -> "ni"
   | Custom (name, _) -> name
 
@@ -34,10 +36,12 @@ let analysis_of_string ?(ni_pairs = 8) ?(ni_max_states = 20_000) = function
   | "denning" -> Ok Denning
   | "cfm" -> Ok Cfm
   | "prove" -> Ok Prove
+  | "cert" -> Ok Cert
   | "ni" -> Ok (Ni { pairs = ni_pairs; max_states = ni_max_states })
   | other ->
     Error
-      (Printf.sprintf "unknown analysis %S (use denning, cfm, prove, or ni)" other)
+      (Printf.sprintf
+         "unknown analysis %S (use denning, cfm, prove, cert, or ni)" other)
 
 let default_analyses = [ Cfm ]
 
@@ -77,6 +81,7 @@ type analysis_result = {
   verdict : bool;
   checks : int;
   duration_ns : int64;
+  artifact : string option;
 }
 
 type outcome = (analysis_result list, string) result
@@ -90,37 +95,59 @@ type result = {
   from_cache : bool;
 }
 
+(* Emit a certificate for the program and re-validate it through the
+   independent checker (serialize, re-parse, re-check): the verdict is
+   true only when the checker accepts the exact bytes that would be
+   handed out, and those bytes ride along as the artifact — so
+   digest-keyed cache entries carry the certificate itself. *)
+let run_cert binding program =
+  match Invariance.witness binding program.Ast.body with
+  | Error errors -> (false, List.length errors, None)
+  | Ok proof -> (
+    let cert = Ifc_cert.Cert.of_proof ~binding ~program proof in
+    let text = Ifc_cert.Cert.to_string cert in
+    match Ifc_cert.Cert.parse text with
+    | Error _ -> (false, Proof.size proof, None)
+    | Ok parsed -> (
+      match Ifc_cert.Checker.check parsed program with
+      | Ok () -> (true, Ifc_cert.Cert.node_count parsed, Some text)
+      | Error failures -> (false, List.length failures, None)))
+
 let run_analysis spec analysis =
   let timer = Telemetry.start () in
-  let verdict, checks =
+  let verdict, checks, artifact =
     match analysis with
     | Denning ->
       let r =
         Denning.analyze_program ~on_concurrency:`Ignore spec.binding spec.program
       in
-      (r.Denning.certified, List.length r.Denning.checks)
+      (r.Denning.certified, List.length r.Denning.checks, None)
     | Cfm ->
       let r =
         Cfm.analyze_program ~self_check:spec.self_check spec.binding spec.program
       in
-      (r.Cfm.certified, List.length r.Cfm.checks)
+      (r.Cfm.certified, List.length r.Cfm.checks, None)
     | Prove -> (
       match Invariance.witness spec.binding spec.program.Ast.body with
-      | Ok proof -> (true, Proof.size proof)
-      | Error errors -> (false, List.length errors))
+      | Ok proof -> (true, Proof.size proof, None)
+      | Error errors -> (false, List.length errors, None))
+    | Cert -> run_cert spec.binding spec.program
     | Ni { pairs; max_states } ->
       let r =
         Ni.test ~pairs ~max_states ~observer:spec.lattice.Lattice.bottom
           spec.binding spec.program
       in
-      (Ni.secure r, r.Ni.pairs_tested)
-    | Custom (_, f) -> f spec.binding spec.program
+      (Ni.secure r, r.Ni.pairs_tested, None)
+    | Custom (_, f) ->
+      let verdict, checks = f spec.binding spec.program in
+      (verdict, checks, None)
   in
   {
     analysis = analysis_name analysis;
     verdict;
     checks;
     duration_ns = Telemetry.elapsed_ns timer;
+    artifact;
   }
 
 let run ?digest:precomputed spec =
@@ -162,12 +189,16 @@ let result_fields r =
             (List.map
                (fun ar ->
                  Obj
-                   [
-                     ("analysis", String ar.analysis);
-                     ("verdict", Bool ar.verdict);
-                     ("checks", Int ar.checks);
-                     ("duration_ns", Int (Int64.to_int ar.duration_ns));
-                   ])
+                   ([
+                      ("analysis", String ar.analysis);
+                      ("verdict", Bool ar.verdict);
+                      ("checks", Int ar.checks);
+                      ("duration_ns", Int (Int64.to_int ar.duration_ns));
+                    ]
+                   @
+                   match ar.artifact with
+                   | None -> []
+                   | Some a -> [ ("artifact_bytes", Int (String.length a)) ]))
                results) );
       ]
   in

@@ -16,7 +16,13 @@ type analysis =
   | Cfm  (** The paper's Concurrent Flow Mechanism. *)
   | Prove
       (** Theorem-1 proof generation plus the independent checker
-          ({!Ifc_logic.Invariance.witness}). *)
+          ({!Ifc_logic_gen.Invariance.witness}). *)
+  | Cert
+      (** Certificate emission with an independent re-check: build the
+          Theorem-1 proof, serialize it ({!Ifc_cert.Cert}), re-parse the
+          bytes and validate them with {!Ifc_cert.Checker.check}. The
+          verdict is [true] only when the checker accepts; the certificate
+          text becomes the result's [artifact]. *)
   | Ni of { pairs : int; max_states : int }
       (** Empirical noninterference with bounded exploration; observer is
           the lattice bottom. *)
@@ -35,8 +41,8 @@ val analysis_key : analysis -> string
 
 val analysis_of_string :
   ?ni_pairs:int -> ?ni_max_states:int -> string -> (analysis, string) result
-(** Parses ["denning" | "cfm" | "prove" | "ni"]; [ni] takes its bounds
-    from the optional arguments (defaults 8 and 20000). *)
+(** Parses ["denning" | "cfm" | "prove" | "cert" | "ni"]; [ni] takes its
+    bounds from the optional arguments (defaults 8 and 20000). *)
 
 val default_analyses : analysis list
 (** [[Cfm]]. *)
@@ -73,8 +79,13 @@ type analysis_result = {
   verdict : bool;
   checks : int;
       (** Primitive certification checks (CFM/Denning), rule applications
-          or checker errors (prove), or pairs tested (ni). *)
+          or checker errors (prove), certificate nodes or checker failures
+          (cert), or pairs tested (ni). *)
   duration_ns : int64;
+  artifact : string option;
+      (** A byproduct worth keeping — the certificate text for [Cert].
+          Cached with the result, so a cache hit returns the artifact
+          without re-running the analysis. *)
 }
 
 type outcome = (analysis_result list, string) result

@@ -54,6 +54,13 @@ let check t ?id ?name ?lattice ?binding ?analyses ?self_check ?ni_pairs
     (Protocol.check_line ?id ?name ?lattice ?binding ?analyses ?self_check
        ?ni_pairs ?ni_max_states ?deadline_ms program)
 
+let cert_emit t ?id ?name ?lattice ?binding ?deadline_ms program =
+  request t
+    (Protocol.cert_emit_line ?id ?name ?lattice ?binding ?deadline_ms program)
+
+let cert_check t ?id ?name ?deadline_ms ~cert program =
+  request t (Protocol.cert_check_line ?id ?name ?deadline_ms ~cert program)
+
 let stats t = request t (Protocol.stats_line ())
 
 let ping t =

@@ -35,6 +35,31 @@ val check :
   (Ifc_pipeline.Telemetry.json, string) result
 (** [check t program] certifies one program text. *)
 
+val cert_emit :
+  t ->
+  ?id:Ifc_pipeline.Telemetry.json ->
+  ?name:string ->
+  ?lattice:string ->
+  ?binding:string ->
+  ?deadline_ms:int ->
+  string ->
+  (Ifc_pipeline.Telemetry.json, string) result
+(** [cert_emit t program] asks the server to emit a proof certificate;
+    the response's ["cert"] field carries the certificate text when the
+    program is certifiable. Requires protocol version 2. *)
+
+val cert_check :
+  t ->
+  ?id:Ifc_pipeline.Telemetry.json ->
+  ?name:string ->
+  ?deadline_ms:int ->
+  cert:string ->
+  string ->
+  (Ifc_pipeline.Telemetry.json, string) result
+(** [cert_check t ~cert program] asks the server to validate [cert]
+    against [program]; the response carries ["valid"] and, on rejection,
+    the first failure. Requires protocol version 2. *)
+
 val stats : t -> (Ifc_pipeline.Telemetry.json, string) result
 
 val ping : t -> (unit, string) result

@@ -2,7 +2,11 @@
 
 module J = Ifc_pipeline.Telemetry
 
-let version = 1
+(* Version 2 added the cert op. Version-1 requests remain valid and get
+   byte-identical version-1 responses: responses echo the request's
+   declared version. *)
+let version = 2
+let min_version = 1
 
 (* ------------------------------------------------------------------ *)
 (* Error codes *)
@@ -40,9 +44,20 @@ type check_request = {
   deadline_ms : int option;
 }
 
-type op = Check of check_request | Stats | Ping
+type cert_action = Cert_emit | Cert_check of string
 
-type parsed = { id : J.json; op : (op, error_code * string) result }
+type cert_request = {
+  cert_name : string;
+  cert_program : string;
+  cert_lattice : string;
+  cert_binding : string option;
+  action : cert_action;
+  cert_deadline_ms : int option;
+}
+
+type op = Check of check_request | Cert of cert_request | Stats | Ping
+
+type parsed = { v : int; id : J.json; op : (op, error_code * string) result }
 
 let parse_check json =
   match Jsonx.mem_string "program" json with
@@ -102,53 +117,124 @@ let parse_check json =
              deadline_ms;
            }))
 
+let parse_deadline json =
+  match Jsonx.member "deadline_ms" json with
+  | None -> Ok None
+  | Some v -> (
+    match Jsonx.int_opt v with
+    | Some ms when ms > 0 -> Ok (Some ms)
+    | _ -> Error (Bad_request, "\"deadline_ms\" must be a positive integer"))
+
+let parse_cert json =
+  match Jsonx.mem_string "program" json with
+  | None -> Error (Bad_request, "cert requires a string \"program\" field")
+  | Some program -> (
+    let action =
+      match Jsonx.mem_string "action" json with
+      | None | Some "emit" -> (
+        match Jsonx.member "cert" json with
+        | None -> Ok Cert_emit
+        | Some _ ->
+          Error (Bad_request, "\"cert\" is only meaningful with action \"check\"")
+        )
+      | Some "check" -> (
+        match Jsonx.mem_string "cert" json with
+        | Some text -> Ok (Cert_check text)
+        | None ->
+          Error (Bad_request, "action \"check\" requires a string \"cert\" field"))
+      | Some other ->
+        Error
+          ( Bad_request,
+            Printf.sprintf "unknown cert action %S (use emit or check)" other )
+    in
+    match (action, parse_deadline json) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok action, Ok cert_deadline_ms ->
+      Ok
+        (Cert
+           {
+             cert_name =
+               Option.value ~default:"request" (Jsonx.mem_string "name" json);
+             cert_program = program;
+             cert_lattice =
+               Option.value ~default:"two" (Jsonx.mem_string "lattice" json);
+             cert_binding = Jsonx.mem_string "binding" json;
+             action;
+             cert_deadline_ms;
+           }))
+
 let parse_request line =
   match Jsonx.parse line with
-  | Error msg -> { id = J.Null; op = Error (Parse_error, "invalid JSON: " ^ msg) }
+  | Error msg ->
+    { v = version; id = J.Null; op = Error (Parse_error, "invalid JSON: " ^ msg) }
   | Ok (J.Obj _ as json) -> (
     let id = Option.value ~default:J.Null (Jsonx.member "id" json) in
     match Jsonx.member "v" json with
     | None ->
-      { id; op = Error (Bad_version, "missing \"v\" (protocol version) field") }
+      {
+        v = version;
+        id;
+        op = Error (Bad_version, "missing \"v\" (protocol version) field");
+      }
     | Some v -> (
       match Jsonx.int_opt v with
-      | Some n when n = version -> (
+      | Some n when n >= min_version && n <= version -> (
         match Jsonx.mem_string "op" json with
-        | None -> { id; op = Error (Bad_request, "missing string \"op\" field") }
-        | Some "ping" -> { id; op = Ok Ping }
-        | Some "stats" -> { id; op = Ok Stats }
-        | Some "check" -> { id; op = parse_check json }
-        | Some other ->
+        | None ->
+          { v = n; id; op = Error (Bad_request, "missing string \"op\" field") }
+        | Some "ping" -> { v = n; id; op = Ok Ping }
+        | Some "stats" -> { v = n; id; op = Ok Stats }
+        | Some "check" -> { v = n; id; op = parse_check json }
+        | Some "cert" when n >= 2 -> { v = n; id; op = parse_cert json }
+        | Some "cert" ->
           {
+            v = n;
             id;
             op =
               Error
                 ( Bad_request,
-                  Printf.sprintf "unknown op %S (use check, stats, or ping)" other
+                  "op \"cert\" requires protocol version 2 (request declared 1)"
                 );
+          }
+        | Some other ->
+          {
+            v = n;
+            id;
+            op =
+              Error
+                ( Bad_request,
+                  Printf.sprintf
+                    "unknown op %S (use check, cert, stats, or ping)" other );
           })
       | _ ->
         {
+          v = version;
           id;
           op =
             Error
               ( Bad_version,
-                Printf.sprintf "unsupported protocol version (this server speaks %d)"
-                  version );
+                Printf.sprintf
+                  "unsupported protocol version (this server speaks %d through %d)"
+                  min_version version );
         }))
-  | Ok _ -> { id = J.Null; op = Error (Parse_error, "request must be a JSON object") }
+  | Ok _ ->
+    {
+      v = version;
+      id = J.Null;
+      op = Error (Parse_error, "request must be a JSON object");
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)
 
-let response_line ~id fields =
-  J.json_to_string (J.Obj ([ ("v", J.Int version); ("id", id) ] @ fields))
+let response_line ?(v = version) ~id fields =
+  J.json_to_string (J.Obj ([ ("v", J.Int v); ("id", id) ] @ fields))
 
-let ok_response ~id ~op fields =
-  response_line ~id (("ok", J.Bool true) :: ("op", J.String op) :: fields)
+let ok_response ?v ~id ~op fields =
+  response_line ?v ~id (("ok", J.Bool true) :: ("op", J.String op) :: fields)
 
-let error_response ~id code message =
-  response_line ~id
+let error_response ?v ~id code message =
+  response_line ?v ~id
     [
       ("ok", J.Bool false);
       ( "error",
@@ -180,6 +266,37 @@ let check_line ?(id = J.Null) ?(name = "request") ?(lattice = "two") ?binding
        @ (if self_check then [ ("self_check", J.Bool true) ] else [])
        @ opt_field "ni_pairs" (fun n -> J.Int n) ni_pairs
        @ opt_field "ni_max_states" (fun n -> J.Int n) ni_max_states
+       @ opt_field "deadline_ms" (fun n -> J.Int n) deadline_ms))
+
+let cert_emit_line ?(id = J.Null) ?(name = "request") ?(lattice = "two")
+    ?binding ?deadline_ms program =
+  J.json_to_string
+    (J.Obj
+       ([
+          ("v", J.Int version);
+          ("id", id);
+          ("op", J.String "cert");
+          ("action", J.String "emit");
+          ("name", J.String name);
+          ("program", J.String program);
+          ("lattice", J.String lattice);
+        ]
+       @ opt_field "binding" (fun b -> J.String b) binding
+       @ opt_field "deadline_ms" (fun n -> J.Int n) deadline_ms))
+
+let cert_check_line ?(id = J.Null) ?(name = "request") ?deadline_ms ~cert
+    program =
+  J.json_to_string
+    (J.Obj
+       ([
+          ("v", J.Int version);
+          ("id", id);
+          ("op", J.String "cert");
+          ("action", J.String "check");
+          ("name", J.String name);
+          ("program", J.String program);
+          ("cert", J.String cert);
+        ]
        @ opt_field "deadline_ms" (fun n -> J.Int n) deadline_ms))
 
 let stats_line ?(id = J.Null) () =

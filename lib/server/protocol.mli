@@ -1,10 +1,16 @@
-(** The wire protocol of the certification daemon: version-1
+(** The wire protocol of the certification daemon: versioned
     newline-delimited JSON, one request object per line, one response
     object per line, in order. PROTOCOL.md is the user-facing
     specification; this module is its implementation. *)
 
 val version : int
-(** [1]. Every request must carry [{"v": 1}]; every response echoes it. *)
+(** [2]. The newest protocol version this server speaks. Requests carry
+    [{"v": n}] with [min_version <= n <= version]; every response echoes
+    the request's declared version, so version-1 clients see exactly the
+    version-1 wire format. *)
+
+val min_version : int
+(** [1]. The oldest protocol version still accepted. *)
 
 (** {1 Error codes} *)
 
@@ -35,26 +41,52 @@ type check_request = {
   deadline_ms : int option;
 }
 
-type op = Check of check_request | Stats | Ping
+type cert_action =
+  | Cert_emit  (** Build, serialize, and self-check a certificate. *)
+  | Cert_check of string
+      (** Independently validate the carried certificate text against the
+          request's program. *)
 
-type parsed = { id : Ifc_pipeline.Telemetry.json; op : (op, error_code * string) result }
+type cert_request = {
+  cert_name : string;  (** Echoed in logs; defaults to ["request"]. *)
+  cert_program : string;  (** Program source text. *)
+  cert_lattice : string;  (** Used by [emit]; [check] reads the
+                              certificate's embedded lattice. *)
+  cert_binding : string option;
+  action : cert_action;
+  cert_deadline_ms : int option;
+}
+
+type op = Check of check_request | Cert of cert_request | Stats | Ping
+
+type parsed = {
+  v : int;
+      (** The request's declared protocol version when it is one the
+          server accepts; [version] otherwise. Responses echo it. *)
+  id : Ifc_pipeline.Telemetry.json;
+  op : (op, error_code * string) result;
+}
 (** The request id is recovered even from requests that fail to parse
-    beyond the envelope, so error responses still correlate. *)
+    beyond the envelope, so error responses still correlate. The [cert]
+    op requires version 2; declaring version 1 with [op = "cert"] is a
+    [Bad_request]. *)
 
 val parse_request : string -> parsed
 
 (** {1 Responses} *)
 
 val ok_response :
+  ?v:int ->
   id:Ifc_pipeline.Telemetry.json ->
   op:string ->
   (string * Ifc_pipeline.Telemetry.json) list ->
   string
-(** One rendered response line: [v], [id], [ok:true], [op], then the
-    operation's own fields. *)
+(** One rendered response line: [v] (the request's version; defaults to
+    {!version}), [id], [ok:true], [op], then the operation's own
+    fields. *)
 
 val error_response :
-  id:Ifc_pipeline.Telemetry.json -> error_code -> string -> string
+  ?v:int -> id:Ifc_pipeline.Telemetry.json -> error_code -> string -> string
 (** [v], [id], [ok:false], and an [error] object with [code] and
     [message]. *)
 
@@ -73,6 +105,26 @@ val check_line :
   string ->
   string
 (** [check_line program] renders one check request line. *)
+
+val cert_emit_line :
+  ?id:Ifc_pipeline.Telemetry.json ->
+  ?name:string ->
+  ?lattice:string ->
+  ?binding:string ->
+  ?deadline_ms:int ->
+  string ->
+  string
+(** [cert_emit_line program] renders one version-2 cert/emit request. *)
+
+val cert_check_line :
+  ?id:Ifc_pipeline.Telemetry.json ->
+  ?name:string ->
+  ?deadline_ms:int ->
+  cert:string ->
+  string ->
+  string
+(** [cert_check_line ~cert program] renders one version-2 cert/check
+    request carrying the certificate text to validate. *)
 
 val stats_line : ?id:Ifc_pipeline.Telemetry.json -> unit -> string
 

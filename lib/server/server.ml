@@ -255,78 +255,176 @@ let await_result t slot cancelled deadline_ms =
   ignore t;
   wait ()
 
-let exec_check t id (req : Protocol.check_request) =
+(* Run one job spec through the shared cache and worker pool, honouring
+   the request deadline. [fields] renders the success response body;
+   check and cert/emit share this path (and therefore cache entries are
+   keyed per-analysis-set: a check job and a cert job for the same
+   program have distinct digests). *)
+let exec_job t ~v id ~op_name ~fields ~job_name ~deadline spec =
+  let digest = Job.digest spec in
+  let respond_result r =
+    (Protocol.ok_response ~v ~id ~op:op_name (fields r), `Verdict r)
+  in
+  match Cache.find t.cache digest with
+  | Some cached ->
+    let timer = J.start () in
+    respond_result
+      {
+        Job.job_id = 0;
+        job_name;
+        job_digest = digest;
+        outcome = Ok cached;
+        duration_ns = J.elapsed_ns timer;
+        from_cache = true;
+      }
+  | None ->
+    let limits = t.config.limits in
+    if limits.Limits.max_pending > 0 && Pool.pending t.pool >= limits.Limits.max_pending
+    then begin
+      J.incr t.counters "errors";
+      J.incr t.counters "error.overloaded";
+      ( Protocol.error_response ~v ~id Protocol.Overloaded
+          (Printf.sprintf "certification queue is full (%d pending jobs)"
+             limits.Limits.max_pending),
+        `Error "overloaded" )
+    end
+    else begin
+      let slot = Atomic.make None and cancelled = Atomic.make false in
+      let task () =
+        if Atomic.get cancelled then J.incr t.counters "jobs.cancelled"
+        else begin
+          let r = Job.run ~digest spec in
+          (match r.Job.outcome with
+          | Ok analyses -> Cache.add t.cache digest analyses
+          | Error _ -> ());
+          Atomic.set slot (Some r)
+        end
+      in
+      match Pool.submit t.pool task with
+      | exception Invalid_argument _ ->
+        (* The pool is already draining; refuse politely. *)
+        J.incr t.counters "errors";
+        J.incr t.counters "error.overloaded";
+        ( Protocol.error_response ~v ~id Protocol.Overloaded
+            "server is shutting down",
+          `Error "overloaded" )
+      | () -> (
+        let deadline_ms =
+          match deadline with
+          | Some ms -> Some ms
+          | None ->
+            if limits.Limits.default_deadline_ms > 0 then
+              Some limits.Limits.default_deadline_ms
+            else None
+        in
+        match await_result t slot cancelled deadline_ms with
+        | Ok r -> respond_result r
+        | Error () ->
+          J.incr t.counters "errors";
+          J.incr t.counters "error.timeout";
+          ( Protocol.error_response ~v ~id Protocol.Timeout
+              (Printf.sprintf "request exceeded its %d ms deadline"
+                 (Option.value ~default:0 deadline_ms)),
+            `Error "timeout" ))
+    end
+
+let exec_check t ~v id (req : Protocol.check_request) =
   match build_spec req with
   | Error msg ->
     J.incr t.counters "errors";
     J.incr t.counters "error.bad_request";
-    (Protocol.error_response ~id Protocol.Bad_request msg, `Error "bad_request")
-  | Ok spec -> (
-    let digest = Job.digest spec in
-    let respond_result r =
-      (Protocol.ok_response ~id ~op:"check" (check_fields r), `Verdict r)
+    ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
+      `Error "bad_request" )
+  | Ok spec ->
+    exec_job t ~v id ~op_name:"check" ~fields:check_fields
+      ~job_name:req.Protocol.name ~deadline:req.Protocol.deadline_ms spec
+
+(* cert/emit responses are check responses plus the certificate text
+   (when one was produced) so a client can persist and later re-check
+   it. *)
+let cert_emit_fields (r : Job.result) =
+  let cert =
+    match r.Job.outcome with
+    | Error _ -> []
+    | Ok analyses -> (
+      match
+        List.find_opt (fun ar -> ar.Job.artifact <> None) analyses
+      with
+      | Some { Job.artifact = Some text; _ } -> [ ("cert", J.String text) ]
+      | _ -> [])
+  in
+  (("action", J.String "emit") :: check_fields r) @ cert
+
+let exec_cert t ~v id (req : Protocol.cert_request) =
+  match req.Protocol.action with
+  | Protocol.Cert_emit -> (
+    let ( let* ) = Result.bind in
+    let spec =
+      let* lat = load_lattice req.Protocol.cert_lattice in
+      let* program = parse_program_text req.Protocol.cert_program in
+      let* binding =
+        match req.Protocol.cert_binding with
+        | Some text -> Binding.of_spec lat text
+        | None -> Binding.of_program lat program
+      in
+      Ok
+        (Job.make ~id:0 ~name:req.Protocol.cert_name ~lattice:lat ~binding
+           ~analyses:[ Job.Cert ] program)
     in
-    match Cache.find t.cache digest with
-    | Some cached ->
-      let timer = J.start () in
-      respond_result
-        {
-          Job.job_id = 0;
-          job_name = req.Protocol.name;
-          job_digest = digest;
-          outcome = Ok cached;
-          duration_ns = J.elapsed_ns timer;
-          from_cache = true;
-        }
-    | None ->
-      let limits = t.config.limits in
-      if limits.Limits.max_pending > 0 && Pool.pending t.pool >= limits.Limits.max_pending
-      then begin
+    match spec with
+    | Error msg ->
+      J.incr t.counters "errors";
+      J.incr t.counters "error.bad_request";
+      ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
+        `Error "bad_request" )
+    | Ok spec ->
+      exec_job t ~v id ~op_name:"cert" ~fields:cert_emit_fields
+        ~job_name:req.Protocol.cert_name ~deadline:req.Protocol.cert_deadline_ms
+        spec)
+  | Protocol.Cert_check cert_text -> (
+    (* Validation runs inline on the connection thread: the trusted
+       checker is cheap (no proof construction) and carries no cacheable
+       artifact. *)
+    match parse_program_text req.Protocol.cert_program with
+    | Error msg ->
+      J.incr t.counters "errors";
+      J.incr t.counters "error.bad_request";
+      ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
+        `Error "bad_request" )
+    | Ok program -> (
+      match Ifc_cert.Cert.parse cert_text with
+      | Error e ->
         J.incr t.counters "errors";
-        J.incr t.counters "error.overloaded";
-        ( Protocol.error_response ~id Protocol.Overloaded
-            (Printf.sprintf "certification queue is full (%d pending jobs)"
-               limits.Limits.max_pending),
-          `Error "overloaded" )
-      end
-      else begin
-        let slot = Atomic.make None and cancelled = Atomic.make false in
-        let task () =
-          if Atomic.get cancelled then J.incr t.counters "jobs.cancelled"
-          else begin
-            let r = Job.run ~digest spec in
-            (match r.Job.outcome with
-            | Ok analyses -> Cache.add t.cache digest analyses
-            | Error _ -> ());
-            Atomic.set slot (Some r)
-          end
-        in
-        match Pool.submit t.pool task with
-        | exception Invalid_argument _ ->
-          (* The pool is already draining; refuse politely. *)
-          J.incr t.counters "errors";
-          J.incr t.counters "error.overloaded";
-          ( Protocol.error_response ~id Protocol.Overloaded "server is shutting down",
-            `Error "overloaded" )
-        | () -> (
-          let deadline_ms =
-            match req.Protocol.deadline_ms with
-            | Some ms -> Some ms
-            | None ->
-              if limits.Limits.default_deadline_ms > 0 then
-                Some limits.Limits.default_deadline_ms
-              else None
-          in
-          match await_result t slot cancelled deadline_ms with
-          | Ok r -> respond_result r
-          | Error () ->
-            J.incr t.counters "errors";
-            J.incr t.counters "error.timeout";
-            ( Protocol.error_response ~id Protocol.Timeout
-                (Printf.sprintf "request exceeded its %d ms deadline"
-                   (Option.value ~default:0 deadline_ms)),
-              `Error "timeout" ))
-      end)
+        J.incr t.counters "error.bad_request";
+        ( Protocol.error_response ~v ~id Protocol.Bad_request
+            (Fmt.str "certificate: %a" Ifc_cert.Cert.pp_parse_error e),
+          `Error "bad_request" )
+      | Ok cert -> (
+        match Ifc_cert.Checker.check cert program with
+        | Ok () ->
+          ( Protocol.ok_response ~v ~id ~op:"cert"
+              [
+                ("action", J.String "check");
+                ("valid", J.Bool true);
+                ("nodes", J.Int (Ifc_cert.Cert.node_count cert));
+              ],
+            `Ok )
+        | Error failures ->
+          let first = List.hd failures in
+          ( Protocol.ok_response ~v ~id ~op:"cert"
+              [
+                ("action", J.String "check");
+                ("valid", J.Bool false);
+                ("failures", J.Int (List.length failures));
+                ( "first",
+                  J.Obj
+                    [
+                      ("path", J.String first.Ifc_cert.Checker.path);
+                      ("rule", J.String first.Ifc_cert.Checker.rule);
+                      ("reason", J.String first.Ifc_cert.Checker.reason);
+                    ] );
+              ],
+            `Ok ))))
 
 let stats_fields t =
   let cache_stats = Cache.stats t.cache in
@@ -372,23 +470,30 @@ let handle t item =
         "?",
         None )
     | `Line line -> (
-      let { Protocol.id; op } = Protocol.parse_request line in
+      let { Protocol.v; id; op } = Protocol.parse_request line in
       J.incr t.counters "requests";
       match op with
       | Error (code, msg) ->
         J.incr t.counters "errors";
         J.incr t.counters ("error." ^ Protocol.code_string code);
-        (Protocol.error_response ~id code msg, `Error (Protocol.code_string code), "?", None)
+        ( Protocol.error_response ~v ~id code msg,
+          `Error (Protocol.code_string code),
+          "?",
+          None )
       | Ok Protocol.Ping ->
         J.incr t.counters "op.ping";
-        (Protocol.ok_response ~id ~op:"ping" [], `Ok, "ping", None)
+        (Protocol.ok_response ~v ~id ~op:"ping" [], `Ok, "ping", None)
       | Ok Protocol.Stats ->
         J.incr t.counters "op.stats";
-        (Protocol.ok_response ~id ~op:"stats" (stats_fields t), `Ok, "stats", None)
+        (Protocol.ok_response ~v ~id ~op:"stats" (stats_fields t), `Ok, "stats", None)
       | Ok (Protocol.Check req) ->
         J.incr t.counters "op.check";
-        let response, verdict = exec_check t id req in
-        (response, verdict, "check", Some req.Protocol.name))
+        let response, verdict = exec_check t ~v id req in
+        (response, verdict, "check", Some req.Protocol.name)
+      | Ok (Protocol.Cert req) ->
+        J.incr t.counters "op.cert";
+        let response, verdict = exec_cert t ~v id req in
+        (response, verdict, "cert", Some req.Protocol.cert_name))
   in
   let duration_ns = J.elapsed_ns timer in
   J.observe t.latency duration_ns;

@@ -21,6 +21,7 @@ accepting CFM-rejected programs) do turn up and are merely counted:
     classes:
       unsound-certification    0
       logic-mismatch           0
+      cert-inversion           0
       hierarchy-denning        0
       hierarchy-fs             0
       denning-gap              1
@@ -29,7 +30,7 @@ accepting CFM-rejected programs) do turn up and are merely counted:
       certified-agreement      20
       unconfirmed-rejection    15
     inversions=0 gaps=2
-  {"fuzz":"summary","seed":42,"cases":50,"completed":50,"timed_out":0,"errors":0,"inversions":0,"gaps":2,"classes":{"unsound-certification":0,"logic-mismatch":0,"hierarchy-denning":0,"hierarchy-fs":0,"denning-gap":1,"fs-gap":1,"confirmed-rejection":13,"certified-agreement":20,"unconfirmed-rejection":15},"oracle":{"pairs_tested":152,"pairs_skipped":4},"shrink":{"steps":0,"evals":0},"counterexamples":[]}
+  {"fuzz":"summary","seed":42,"cases":50,"completed":50,"timed_out":0,"errors":0,"inversions":0,"gaps":2,"classes":{"unsound-certification":0,"logic-mismatch":0,"cert-inversion":0,"hierarchy-denning":0,"hierarchy-fs":0,"denning-gap":1,"fs-gap":1,"confirmed-rejection":13,"certified-agreement":20,"unconfirmed-rejection":15},"oracle":{"pairs_tested":152,"pairs_skipped":4},"shrink":{"steps":0,"evals":0},"counterexamples":[]}
 
   $ ../../bin/ifc.exe fuzz --seed 42 --cases 50 --jobs 2 --quiet > /dev/null 2>&1; echo "exit $?"
   exit 0
@@ -72,3 +73,24 @@ The planted run is itself deterministic, so the corpus file name
   $ ls corpus.out
   inv-unsound-certification-7f1d530cad22.expect
   inv-unsound-certification-7f1d530cad22.ifc
+
+A second hook plants a case whose certificate round-trip is forcibly
+broken (the proof exists but the emitted certificate fails the
+independent checker). The cross-check catches it as a cert-inversion,
+shrinks it, and persists it with honest verdicts — on a healthy build
+the replayed certificate round-trip succeeds (cert: true):
+
+  $ IFC_FUZZ_PLANT_CERT_INVERSION=1 ../../bin/ifc.exe fuzz --seed 7 --cases 0 --jobs 2 \
+  >   --corpus corpus.cert --quiet > planted-cert.out 2>/dev/null; echo "exit $?"
+  exit 2
+
+  $ grep -v '^{' planted-cert.out | grep -E 'cert-inversion|inversions='
+      cert-inversion           1
+    inversions=1 gaps=0
+    counterexample case=0 class=cert-inversion statements 6 -> 1 corpus=corpus.cert/inv-cert-inversion-e2cd20cf8cb9.ifc
+
+  $ grep -E 'class:|prove:|cert:|statements:' corpus.cert/*.expect
+  class: cert-inversion
+  prove: true
+  cert: true
+  statements: 1

@@ -17,7 +17,7 @@ module Cfm = Ifc_core.Cfm
 module Denning = Ifc_core.Denning
 module Infer = Ifc_core.Infer
 module Fs = Ifc_core.Flow_sensitive
-module Invariance = Ifc_logic.Invariance
+module Invariance = Ifc_logic_gen.Invariance
 module Scheduler = Ifc_exec.Scheduler
 module Explore = Ifc_exec.Explore
 module Taint = Ifc_exec.Taint

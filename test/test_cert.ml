@@ -1,0 +1,334 @@
+(* Tests for the proof-certificate subsystem: canonical round-trips,
+   parser robustness on mutated input, tamper rejection with node paths,
+   generator/checker agreement on random programs, and emit-and-check
+   coverage of the paper programs and the persisted fuzz corpus. *)
+
+module Ast = Ifc_lang.Ast
+module Parser = Ifc_lang.Parser
+module Vars = Ifc_lang.Vars
+module Binding = Ifc_core.Binding
+module Paper = Ifc_core.Paper
+module Chain = Ifc_lattice.Chain
+module Lattice = Ifc_lattice.Lattice
+module Invariance = Ifc_logic_gen.Invariance
+module Cert = Ifc_cert.Cert
+module Checker = Ifc_cert.Checker
+module Corpus = Ifc_fuzz.Corpus
+module Sset = Ifc_support.Sset
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let qtest ?(count = 60) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let two = Lattice.stringify Chain.two
+
+let parse_program_exn src =
+  match Parser.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let all_low p = Binding.make two ~default:two.Lattice.bottom []
+  |> fun b -> ignore p; b
+
+let emit_exn binding (p : Ast.program) =
+  match Invariance.witness binding p.Ast.body with
+  | Error errs ->
+    Alcotest.failf "program unexpectedly not provable (%d errors)"
+      (List.length errs)
+  | Ok proof -> Cert.of_proof ~binding ~program:p proof
+
+let sec52 = parse_program_exn "var x, y : integer;\nbegin x := 0; y := x end"
+
+let sec52_cert_text () = Cert.to_string (emit_exn (all_low sec52) sec52)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let replace_first ~sub ~by text =
+  let nt = String.length text and ns = String.length sub in
+  let rec find i =
+    if i + ns > nt then None
+    else if String.sub text i ns = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "fixture drift: %S not found in certificate" sub
+  | Some i ->
+    String.sub text 0 i ^ by ^ String.sub text (i + ns) (nt - i - ns)
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips *)
+
+let test_roundtrip_structural () =
+  let cert = emit_exn (all_low sec52) sec52 in
+  let text = Cert.to_string cert in
+  match Cert.parse text with
+  | Error e -> Alcotest.failf "own output must parse: %a" Cert.pp_parse_error e
+  | Ok parsed ->
+    check_int "node count survives" (Cert.node_count cert)
+      (Cert.node_count parsed);
+    check_string "digest survives" cert.Cert.program_digest
+      parsed.Cert.program_digest;
+    check "binds survive" true (cert.Cert.binds = parsed.Cert.binds);
+    (match Checker.check parsed sec52 with
+    | Ok () -> ()
+    | Error (f :: _) ->
+      Alcotest.failf "checker must accept a fresh certificate: %a"
+        Checker.pp_failure f
+    | Error [] -> Alcotest.fail "rejected with no failures")
+
+let test_roundtrip_byte_identical () =
+  let text = sec52_cert_text () in
+  match Cert.parse text with
+  | Error e -> Alcotest.failf "parse failed: %a" Cert.pp_parse_error e
+  | Ok parsed ->
+    check_string "re-emission is byte-identical" text (Cert.to_string parsed)
+
+let test_digest_is_pretty_printed_form () =
+  (* Whitespace and comments in the source must not change the digest. *)
+  let noisy =
+    parse_program_exn
+      "-- a comment\nvar x, y : integer;\nbegin  x := 0;\n  y := x end"
+  in
+  check_string "digest insensitive to concrete syntax"
+    (Cert.program_digest sec52) (Cert.program_digest noisy)
+
+(* ------------------------------------------------------------------ *)
+(* Parser robustness: mutations never escape as exceptions *)
+
+let structured_result text =
+  match Cert.parse text with
+  | Ok _ -> true
+  | Error e -> not (contains_substring e.Cert.reason "internal error")
+  | exception exn ->
+    Alcotest.failf "parse raised on %S...: %s"
+      (String.sub text 0 (min 40 (String.length text)))
+      (Printexc.to_string exn)
+
+let test_parser_truncations () =
+  let text = sec52_cert_text () in
+  for len = 0 to String.length text - 1 do
+    check
+      (Printf.sprintf "truncation at %d is structured" len)
+      true
+      (structured_result (String.sub text 0 len))
+  done
+
+let test_parser_byte_flips () =
+  let text = sec52_cert_text () in
+  String.iteri
+    (fun i _ ->
+      let b = Bytes.of_string text in
+      Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + 13) mod 128));
+      check
+        (Printf.sprintf "byte flip at %d is structured" i)
+        true
+        (structured_result (Bytes.to_string b)))
+    text
+
+let test_parser_line_surgery () =
+  let text = sec52_cert_text () in
+  let lines = String.split_on_char '\n' text in
+  let n = List.length lines in
+  for drop = 0 to n - 1 do
+    let mutated =
+      List.filteri (fun i _ -> i <> drop) lines |> String.concat "\n"
+    in
+    check
+      (Printf.sprintf "dropping line %d is structured" drop)
+      true
+      (structured_result mutated)
+  done;
+  check "duplicated body is structured" true (structured_result (text ^ text));
+  check "leading garbage is structured" true
+    (structured_result ("junk\n" ^ text));
+  check "trailing garbage is structured" true
+    (structured_result (text ^ "trailing\n"))
+
+let test_parser_rejects_wrong_version () =
+  let text = replace_first ~sub:"ifc-cert 1" ~by:"ifc-cert 2"
+      (sec52_cert_text ())
+  in
+  match Cert.parse text with
+  | Ok _ -> Alcotest.fail "future version must not parse"
+  | Error e -> check_int "error on line 1" 1 e.Cert.line
+
+(* ------------------------------------------------------------------ *)
+(* Tamper detection: each class of forgery names the offending node *)
+
+let reject_path program text expected_path =
+  match Cert.parse text with
+  | Error e ->
+    Alcotest.failf "tampered file should parse, not %a" Cert.pp_parse_error e
+  | Ok cert -> (
+    match Checker.check cert program with
+    | Ok () -> Alcotest.fail "tampered certificate must be rejected"
+    | Error (first :: _) ->
+      check_string "first failure names the node" expected_path
+        first.Checker.path
+    | Error [] -> Alcotest.fail "rejected with no failures")
+
+let test_tamper_assertion_class () =
+  (* Weaken one assertion: claim a high bound where the proof needs low.
+     The first [const(low)] in the canonical text sits in the root node's
+     assertion, so the checker's first failure names the root path. *)
+  let text =
+    replace_first ~sub:"const(low)" ~by:"const(high)" (sec52_cert_text ())
+  in
+  reject_path sec52 text "0"
+
+let test_tamper_rule_swap () =
+  (* Re-label the first assign as the (arity-identical) skip axiom: the
+     statement at that path is still an assignment, so the skip rule
+     cannot apply. *)
+  let text =
+    replace_first ~sub:": assign" ~by:": skip" (sec52_cert_text ())
+  in
+  reject_path sec52 text "0.0.0"
+
+let test_tamper_digest_repoint () =
+  (* Stamp the certificate for a different program. *)
+  let other = parse_program_exn "var x, y : integer;\nbegin x := 1; y := x end" in
+  let text =
+    replace_first
+      ~sub:(Cert.program_digest sec52)
+      ~by:(Cert.program_digest other)
+      (sec52_cert_text ())
+  in
+  reject_path sec52 text "program"
+
+let test_tamper_binding_forgery () =
+  (* Lower a variable the program leaks into: the policy invariant the
+     checker derives from the recorded binds no longer holds. *)
+  let binding = Binding.make two ~default:"low" [ ("x", "high") ] in
+  let leaky = parse_program_exn "var x, y : integer;\nbegin y := 0; x := y end" in
+  let cert = emit_exn binding leaky in
+  let text =
+    replace_first ~sub:"bind: x = high" ~by:"bind: x = low"
+      (Cert.to_string cert)
+  in
+  match Cert.parse text with
+  | Error e ->
+    Alcotest.failf "forged binding should parse, not %a" Cert.pp_parse_error e
+  | Ok forged -> (
+    match Checker.check forged leaky with
+    | Ok () -> Alcotest.fail "forged binding must be rejected"
+    | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Generator/checker agreement on random programs *)
+
+let arb_bound = Qcheck_arbitrary.bound_program ~max_size:14 two
+
+let decide_matches_cert_accept =
+  qtest "decision procedure and certificate checker agree"
+    arb_bound
+    (fun bp ->
+      let program = bp.Qcheck_arbitrary.prog in
+      let binding = Qcheck_arbitrary.binding_of bp in
+      match Invariance.witness binding program.Ast.body with
+      | Error _ -> true
+      | Ok proof -> (
+        let cert = Cert.of_proof ~binding ~program proof in
+        match Cert.parse (Cert.to_string cert) with
+        | Error _ -> false
+        | Ok parsed -> Result.is_ok (Checker.check parsed program)))
+
+let reemission_canonical =
+  qtest "re-emission of any provable program is byte-identical"
+    arb_bound
+    (fun bp ->
+      let program = bp.Qcheck_arbitrary.prog in
+      let binding = Qcheck_arbitrary.binding_of bp in
+      match Invariance.witness binding program.Ast.body with
+      | Error _ -> true
+      | Ok proof -> (
+        let text = Cert.to_string (Cert.of_proof ~binding ~program proof) in
+        match Cert.parse text with
+        | Error _ -> false
+        | Ok parsed -> String.equal text (Cert.to_string parsed)))
+
+(* ------------------------------------------------------------------ *)
+(* Coverage: paper programs and the persisted fuzz corpus *)
+
+let emit_and_check name binding program =
+  match Invariance.witness binding program.Ast.body with
+  | Error _ -> Alcotest.failf "%s: expected provable" name
+  | Ok proof -> (
+    let cert = Cert.of_proof ~binding ~program proof in
+    let text = Cert.to_string cert in
+    match Cert.parse text with
+    | Error e -> Alcotest.failf "%s: emitted cert must parse: %a" name
+        Cert.pp_parse_error e
+    | Ok parsed -> (
+      match Checker.check parsed program with
+      | Ok () ->
+        check_string (name ^ ": canonical re-emission") text
+          (Cert.to_string parsed)
+      | Error (f :: _) ->
+        Alcotest.failf "%s: checker rejected: %a" name Checker.pp_failure f
+      | Error [] -> Alcotest.failf "%s: rejected with no failures" name))
+
+let test_paper_programs_certify () =
+  let provable = ref 0 in
+  List.iter
+    (fun (name, program) ->
+      let binding = Binding.make two ~default:two.Lattice.bottom [] in
+      if Result.is_ok (Invariance.witness binding program.Ast.body) then begin
+        incr provable;
+        emit_and_check name binding program
+      end)
+    Paper.all;
+  check "most paper programs are provable at the all-low binding" true
+    (!provable >= 5)
+
+let corpus_dir = Filename.concat "corpus" "fuzz"
+
+let test_corpus_provable_entries_certify () =
+  match Corpus.load corpus_dir with
+  | Error msg -> Alcotest.failf "corpus load failed: %s" msg
+  | Ok entries ->
+    let provable =
+      List.filter (fun e -> e.Corpus.expected.Corpus.prove) entries
+    in
+    check "at least one corpus entry is logic-provable" true (provable <> []);
+    List.iter
+      (fun (e : Corpus.entry) ->
+        emit_and_check ("corpus " ^ e.Corpus.name) e.Corpus.binding
+          e.Corpus.program)
+      provable
+
+let suite =
+  ( "cert",
+    [
+      Alcotest.test_case "round-trip structural" `Quick test_roundtrip_structural;
+      Alcotest.test_case "round-trip byte-identical" `Quick
+        test_roundtrip_byte_identical;
+      Alcotest.test_case "digest of pretty-printed form" `Quick
+        test_digest_is_pretty_printed_form;
+      Alcotest.test_case "parser: truncations" `Quick test_parser_truncations;
+      Alcotest.test_case "parser: byte flips" `Quick test_parser_byte_flips;
+      Alcotest.test_case "parser: line surgery" `Quick test_parser_line_surgery;
+      Alcotest.test_case "parser: wrong version" `Quick
+        test_parser_rejects_wrong_version;
+      Alcotest.test_case "tamper: assertion class" `Quick
+        test_tamper_assertion_class;
+      Alcotest.test_case "tamper: rule swap" `Quick test_tamper_rule_swap;
+      Alcotest.test_case "tamper: digest re-point" `Quick
+        test_tamper_digest_repoint;
+      Alcotest.test_case "tamper: binding forgery" `Quick
+        test_tamper_binding_forgery;
+      decide_matches_cert_accept;
+      reemission_canonical;
+      Alcotest.test_case "paper programs emit-and-check" `Quick
+        test_paper_programs_certify;
+      Alcotest.test_case "corpus provable entries emit-and-check" `Quick
+        test_corpus_provable_entries_certify;
+    ] )

@@ -12,7 +12,7 @@ module Binding = Ifc_core.Binding
 module Cfm = Ifc_core.Cfm
 module Denning = Ifc_core.Denning
 module Fs = Ifc_core.Flow_sensitive
-module Invariance = Ifc_logic.Invariance
+module Invariance = Ifc_logic_gen.Invariance
 
 let two = Chain.two
 

@@ -12,7 +12,7 @@ module Cfm = Ifc_core.Cfm
 module Denning = Ifc_core.Denning
 module Infer = Ifc_core.Infer
 module Fs = Ifc_core.Flow_sensitive
-module Invariance = Ifc_logic.Invariance
+module Invariance = Ifc_logic_gen.Invariance
 module Scheduler = Ifc_exec.Scheduler
 module Taint = Ifc_exec.Taint
 module Ni = Ifc_exec.Noninterference

@@ -47,12 +47,13 @@ let fresh_dir () =
 (* ------------------------------------------------------------------ *)
 (* Taxonomy *)
 
-let v ~cfm ~denning ~fs ~prove ?(viol = 0) () =
+let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0) () =
   {
     Classify.cfm;
     denning;
     fs;
     prove;
+    cert_ok;
     ni_tested = 8;
     ni_skipped = 0;
     ni_violations = viol;
@@ -69,6 +70,13 @@ let test_classify_table () =
     (primary_of (v ~cfm:false ~denning:false ~fs:false ~prove:true ()));
   check_string "logic mismatch (cfm without prove)" "logic-mismatch"
     (primary_of (v ~cfm:true ~denning:true ~fs:true ~prove:false ()));
+  check_string "cert round-trip break is an inversion" "cert-inversion"
+    (primary_of (v ~cfm:true ~denning:true ~fs:true ~prove:true ~cert_ok:false ()));
+  check_string "cert verdict is vacuous without a proof" "unconfirmed-rejection"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false ~cert_ok:true ()));
+  check_string "logic mismatch outranks cert inversion" "logic-mismatch"
+    (primary_of (v ~cfm:false ~denning:false ~fs:false ~prove:true ~cert_ok:false ()));
   check_string "cfm above denning is an inversion" "hierarchy-denning"
     (primary_of (v ~cfm:true ~denning:false ~fs:true ~prove:true ()));
   check_string "cfm above flow-sensitive is an inversion" "hierarchy-fs"
@@ -86,11 +94,11 @@ let test_classify_labels_total () =
   (* Every primary label the classifier can emit is in the canonical
      report order. *)
   List.iter
-    (fun (cfm, denning, fs, prove, viol) ->
-      let vv = v ~cfm ~denning ~fs ~prove ~viol () in
+    (fun (cfm, denning, fs, prove, cert_ok, viol) ->
+      let vv = v ~cfm ~denning ~fs ~prove ~cert_ok ~viol () in
       check
-        (Printf.sprintf "label of (%b,%b,%b,%b,%d) is canonical" cfm denning fs
-           prove viol)
+        (Printf.sprintf "label of (%b,%b,%b,%b,%b,%d) is canonical" cfm denning
+           fs prove cert_ok viol)
         true
         (List.mem (primary_of vv) Classify.class_labels))
     (List.concat_map
@@ -98,13 +106,14 @@ let test_classify_labels_total () =
          List.concat_map
            (fun bits ->
              [
-               ( bits land 8 <> 0,
+               ( bits land 16 <> 0,
+                 bits land 8 <> 0,
                  bits land 4 <> 0,
                  bits land 2 <> 0,
                  bits land 1 <> 0,
                  viol );
              ])
-           (List.init 16 Fun.id))
+           (List.init 32 Fun.id))
        [ 0; 1 ])
 
 (* ------------------------------------------------------------------ *)
@@ -191,6 +200,8 @@ let test_corpus_replay () =
         check (name ^ ": fs") true (Bool.equal exp.Corpus.fs vv.Classify.fs);
         check (name ^ ": prove") true
           (Bool.equal exp.Corpus.prove vv.Classify.prove);
+        check (name ^ ": cert") true
+          (Bool.equal exp.Corpus.cert vv.Classify.cert_ok);
         check (name ^ ": interfering") true
           (Bool.equal exp.Corpus.interfering (vv.Classify.ni_violations > 0)))
       (entries : Corpus.entry list)
@@ -284,6 +295,45 @@ let test_planted_inversion_end_to_end () =
     | Error msg -> Alcotest.failf "corpus reload failed: %s" msg)
   | cs -> Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
 
+let test_planted_cert_inversion_end_to_end () =
+  let dir = fresh_dir () in
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 0;
+      jobs = 1;
+      plant_cert_inversion = true;
+      corpus_dir = Some dir;
+    }
+  in
+  let s = Campaign.run config in
+  check_int "one case ran" 1 s.Campaign.completed;
+  check_int "one inversion case" 1 s.Campaign.inversion_cases;
+  check_int "exit code flags the inversion" 2 (Campaign.exit_code s);
+  match s.Campaign.counterexamples with
+  | [ c ] ->
+    check_string "classified as cert inversion" "cert-inversion"
+      c.Campaign.label;
+    check "shrunk below the planted padding" true
+      (c.Campaign.shrunk_statements < c.Campaign.original_statements);
+    check "persisted to the corpus" true (c.Campaign.corpus_path <> None);
+    (match Corpus.load dir with
+    | Ok [ e ] ->
+      check "corpus name carries the label" true
+        (contains_substring e.Corpus.name "cert-inversion");
+      (* The sidecar records HONEST verdicts: the real certificate
+         pipeline round-trips the shrunk program cleanly. *)
+      let vv = Corpus.replay_verdicts e.Corpus.binding e.Corpus.program in
+      check "shrunk program stays provable" true vv.Classify.prove;
+      check "honest cert round-trip accepts" true vv.Classify.cert_ok;
+      check "sidecar recorded the honest cert verdict" true
+        e.Corpus.expected.Corpus.cert
+    | Ok entries ->
+      Alcotest.failf "expected 1 corpus entry, got %d" (List.length entries)
+    | Error msg -> Alcotest.failf "corpus reload failed: %s" msg)
+  | cs ->
+    Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
+
 let test_campaign_worker_count_determinism () =
   let config jobs =
     {
@@ -338,6 +388,8 @@ let suite =
       Alcotest.test_case "corpus orphan program" `Quick test_corpus_rejects_orphan_program;
       Alcotest.test_case "planted inversion end-to-end" `Quick
         test_planted_inversion_end_to_end;
+      Alcotest.test_case "planted cert inversion end-to-end" `Quick
+        test_planted_cert_inversion_end_to_end;
       Alcotest.test_case "worker-count determinism" `Quick
         test_campaign_worker_count_determinism;
       Alcotest.test_case "healthy campaign clean" `Quick

@@ -15,8 +15,8 @@ module Assertion = Ifc_logic.Assertion
 module Entail = Ifc_logic.Entail
 module Proof = Ifc_logic.Proof
 module Check = Ifc_logic.Check
-module Generate = Ifc_logic.Generate
-module Invariance = Ifc_logic.Invariance
+module Generate = Ifc_logic_gen.Generate
+module Invariance = Ifc_logic_gen.Invariance
 
 let check = Alcotest.(check bool)
 

@@ -253,7 +253,35 @@ let test_protocol_parse () =
     "bad_request";
   (* Ids are recovered even from envelope failures. *)
   check "id survives bad version" true
-    ((Protocol.parse_request {|{"v": 99, "id": 7}|}).Protocol.id = J.Int 7)
+    ((Protocol.parse_request {|{"v": 99, "id": 7}|}).Protocol.id = J.Int 7);
+  (* cert ops: version 2 only; emit is the default action, check carries
+     the certificate text verbatim. *)
+  (match
+     (Protocol.parse_request (Protocol.cert_emit_line ~name:"c" "p")).Protocol.op
+   with
+  | Ok (Protocol.Cert r) ->
+    check_str "cert name" "c" r.Protocol.cert_name;
+    check "emit action" true (r.Protocol.action = Protocol.Cert_emit)
+  | _ -> Alcotest.fail "cert emit line rejected");
+  (match
+     (Protocol.parse_request (Protocol.cert_check_line ~cert:"ifc-cert 1" "p"))
+       .Protocol.op
+   with
+  | Ok (Protocol.Cert r) ->
+    check "check action" true (r.Protocol.action = Protocol.Cert_check "ifc-cert 1")
+  | _ -> Alcotest.fail "cert check line rejected");
+  expect_error "cert under v1" {|{"v": 1, "op": "cert", "program": "p"}|}
+    "bad_request";
+  expect_error "cert check without cert"
+    {|{"v": 2, "op": "cert", "action": "check", "program": "p"}|} "bad_request";
+  expect_error "cert unknown action"
+    {|{"v": 2, "op": "cert", "action": "mint", "program": "p"}|} "bad_request";
+  (* Every request records the version it declared, so responses can
+     echo it and version-1 clients never see version-2 envelopes. *)
+  check_int "v1 recorded" 1
+    (Protocol.parse_request {|{"v": 1, "op": "ping"}|}).Protocol.v;
+  check_int "v2 recorded" 2
+    (Protocol.parse_request (Protocol.cert_emit_line "p")).Protocol.v
 
 (* ------------------------------------------------------------------ *)
 (* Socket-level helpers *)
@@ -485,6 +513,66 @@ let test_connection_cap_answers_overloaded () =
       let* () = Client.ping first in
       Ok ())
 
+let test_cert_over_the_wire () =
+  with_server @@ fun endpoint _server ->
+  with_conn endpoint (fun client ->
+      (* Emit: a version-2 request comes back in a version-2 envelope
+         carrying a parseable version-1 certificate. *)
+      let response =
+        fail_result (Client.cert_emit client ~name:"wire" quick_program)
+      in
+      check "emit ok" true (Protocol.response_ok response);
+      check "v2 echoed" true (Jsonx.member "v" response = Some (J.Int 2));
+      let cert_text =
+        match Option.bind (Jsonx.member "cert" response) Jsonx.string_opt with
+        | Some text -> text
+        | None -> Alcotest.fail "emit response carries no cert"
+      in
+      (match Ifc_cert.Cert.parse cert_text with
+      | Ok cert ->
+        check "nodes over the wire" true (Ifc_cert.Cert.node_count cert > 0)
+      | Error e ->
+        Alcotest.failf "wire cert unparseable: %a" Ifc_cert.Cert.pp_parse_error e);
+      (* Check: the emitted certificate validates against its program... *)
+      let response =
+        fail_result (Client.cert_check client ~cert:cert_text quick_program)
+      in
+      check "check ok" true (Protocol.response_ok response);
+      check "valid" true (Jsonx.member "valid" response = Some (J.Bool true));
+      (* ...but not against a different program (digest mismatch). *)
+      let response =
+        fail_result (Client.cert_check client ~cert:cert_text slow_program)
+      in
+      check "mismatch answered" true (Protocol.response_ok response);
+      check "mismatch invalid" true
+        (Jsonx.member "valid" response = Some (J.Bool false));
+      (* Garbage certificates are a structured refusal, not a crash. *)
+      let response =
+        fail_result (Client.cert_check client ~cert:"not a cert" quick_program)
+      in
+      check_str "garbage cert" "bad_request" (response_code response);
+      (* The connection survives all of it. *)
+      let* () = Client.ping client in
+      Ok ())
+
+let test_v1_clients_unaffected () =
+  with_server @@ fun endpoint _server ->
+  with_conn endpoint (fun client ->
+      (* A version-1 request still gets a version-1 envelope. *)
+      let response =
+        fail_result (Client.request client {|{"v": 1, "id": 1, "op": "ping"}|})
+      in
+      check "v1 ok" true (Protocol.response_ok response);
+      check "v1 echoed" true (Jsonx.member "v" response = Some (J.Int 1));
+      (* The version-2 op is refused politely at version 1. *)
+      let response =
+        fail_result
+          (Client.request client {|{"v": 1, "op": "cert", "program": "p"}|})
+      in
+      check_str "cert needs v2" "bad_request" (response_code response);
+      let* () = Client.ping client in
+      Ok ())
+
 let test_tcp_endpoint () =
   with_server ~endpoints:`Tcp @@ fun _endpoint server ->
   let port = Option.get (Server.port server) in
@@ -614,6 +702,8 @@ let suite =
       quick "malformed requests keep the connection" test_malformed_requests_keep_connection;
       quick "oversized request keeps the connection" test_oversized_request_keeps_connection;
       quick "connection cap answers overloaded" test_connection_cap_answers_overloaded;
+      quick "cert emit and check over the wire" test_cert_over_the_wire;
+      quick "version-1 clients unaffected" test_v1_clients_unaffected;
       quick "tcp endpoint with ephemeral port" test_tcp_endpoint;
       quick "sigterm drains in-flight requests" test_sigterm_drains_in_flight;
       quick "stats and warm cache" test_stats_and_warm_cache;
