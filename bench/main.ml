@@ -17,6 +17,8 @@
      FUZZ      the differential fuzzing campaign: cases/s through the
                full analyzer matrix, oracle skip rate, and the cost of
                shrinking a planted soundness inversion
+     LINT      the static concurrency analyzer: statements/s and
+               findings/s over a cobegin-heavy corpus
      CERT      proof certificates: emission and independent re-check
                throughput, certificate bytes per program statement
      SERVER    the certification daemon: concurrent clients over a Unix
@@ -24,8 +26,8 @@
      micro     Bechamel micro-benchmarks of every analysis entry point
 
    Usage: dune exec bench/main.exe [-- SECTION ...]
-   Sections: tables fig3 theorems strength scaling ni pipeline fuzz cert
-   server micro all
+   Sections: tables fig3 theorems strength scaling ni pipeline fuzz lint
+   cert server micro all
    (default all). Add "quick" to shrink corpus and sweep sizes.
 
    Besides the human tables, every section prints one or more
@@ -580,6 +582,51 @@ let fuzz_bench ~cases () =
   | [] -> Fmt.pr "planted inversion: NOT CAUGHT!@.")
 
 (* ------------------------------------------------------------------ *)
+(* LINT: the static concurrency analyzer over a cobegin-heavy corpus —
+   statements and findings per second, plus the claim mix. *)
+
+let lint_bench ~corpus () =
+  banner
+    (Printf.sprintf
+       "LINT: static concurrency analysis of a %d-program cobegin-heavy corpus"
+       corpus);
+  let module J = Ifc_pipeline.Telemetry in
+  let module Analyze = Ifc_analysis.Analyze in
+  let rng = Prng.create 1979 in
+  let cfg = { Gen.default with Gen.max_branch = 4 } in
+  let programs =
+    List.init corpus (fun i -> Gen.program rng cfg ~size:(5 + (i mod 60)))
+  in
+  let timer = J.start () in
+  let reports = List.map Analyze.run programs in
+  let wall_s = Int64.to_float (J.elapsed_ns timer) /. 1e9 in
+  let stmts =
+    List.fold_left
+      (fun a (r : Analyze.report) -> a + r.Analyze.stats.Analyze.statements)
+      0 reports
+  in
+  let findings =
+    List.fold_left
+      (fun a (r : Analyze.report) -> a + List.length r.Analyze.findings)
+      0 reports
+  in
+  let count f = List.length (List.filter f reports) in
+  let racy = count (fun r -> not r.Analyze.claims.Analyze.race_free) in
+  let deadlocky = count (fun r -> not r.Analyze.claims.Analyze.deadlock_free) in
+  let stuck = count (fun r -> r.Analyze.claims.Analyze.must_block) in
+  Fmt.pr "analyzed %d programs (%d statements) in %.3f s@." corpus stmts wall_s;
+  Fmt.pr "throughput: %.0f statements/s, %.0f findings/s (%d findings)@."
+    (float_of_int stmts /. wall_s)
+    (float_of_int findings /. wall_s)
+    findings;
+  Fmt.pr "claims: %d may race, %d may deadlock, %d must block@." racy deadlocky
+    stuck;
+  metric_i "lint" "corpus" corpus;
+  metric_f "lint" "statements_per_sec" (float_of_int stmts /. wall_s);
+  metric_f "lint" "findings_per_sec" (float_of_int findings /. wall_s);
+  metric_i "lint" "findings" findings
+
+(* ------------------------------------------------------------------ *)
 (* CERT: proof-certificate emission and independent re-checking
    throughput, plus how certificate size scales with program size. *)
 
@@ -840,7 +887,7 @@ let () =
     match List.filter (fun a -> a <> "quick") args with
     | [] | [ "all" ] ->
       [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling";
-        "ni"; "pipeline"; "fuzz"; "cert"; "server"; "micro" ]
+        "ni"; "pipeline"; "fuzz"; "lint"; "cert"; "server"; "micro" ]
     | s -> s
   in
   let corpus = if quick then 100 else 400 in
@@ -856,6 +903,7 @@ let () =
     | "ni" -> soundness ~corpus:(if quick then 15 else 30) ()
     | "pipeline" -> pipeline ~corpus:(if quick then 60 else 240) ()
     | "fuzz" -> fuzz_bench ~cases:(if quick then 40 else 150) ()
+    | "lint" -> lint_bench ~corpus:(if quick then 200 else 800) ()
     | "cert" -> cert_bench ~corpus:(if quick then 60 else 200) ()
     | "server" ->
       server_bench

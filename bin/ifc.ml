@@ -36,6 +36,7 @@ module Cache = Ifc_pipeline.Cache
 module Batch = Ifc_pipeline.Batch
 module Telemetry = Ifc_pipeline.Telemetry
 module Campaign = Ifc_fuzz.Campaign
+module Analyze = Ifc_analysis.Analyze
 module Cert = Ifc_cert.Cert
 module Certcheck = Ifc_cert.Checker
 module Conn = Ifc_server.Conn
@@ -253,6 +254,55 @@ let denning_cmd =
     (Cmd.info "denning"
        ~doc:"Certify with the Denning & Denning baseline (no global flows).")
     Term.(const run_denning $ lattice_arg $ binding_arg $ reject $ program_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+let run_lint json path =
+  exit_of_verdict
+    (let* p = load_program path in
+     let report = Analyze.run p in
+     if json then Fmt.pr "%s@." (Job.lint_report_json report)
+     else begin
+       Fmt.pr "%a" Analyze.pp_report report;
+       let errors, warnings =
+         List.fold_left
+           (fun (e, w) (f : Ifc_analysis.Finding.t) ->
+             match f.Ifc_analysis.Finding.severity with
+             | Ifc_analysis.Finding.Error -> (e + 1, w)
+             | Ifc_analysis.Finding.Warning -> (e, w + 1))
+           (0, 0) report.Analyze.findings
+       in
+       let claims = report.Analyze.claims in
+       let stats = report.Analyze.stats in
+       Fmt.pr "%d error%s, %d warning%s over %d statements (%d accesses, %d \
+               parallel pairs)@."
+         errors
+         (if errors = 1 then "" else "s")
+         warnings
+         (if warnings = 1 then "" else "s")
+         stats.Analyze.statements stats.Analyze.accesses stats.Analyze.pairs;
+       Fmt.pr "claims: race-free %b, deadlock-free %b, must-block %b@."
+         claims.Analyze.race_free claims.Analyze.deadlock_free
+         claims.Analyze.must_block
+     end;
+     Ok (report.Analyze.findings = []))
+
+let lint_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the report as one JSON object (findings, claims, stats).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a program's concurrency structure: \
+          may-happen-in-parallel data races, guaranteed semaphore deadlocks, \
+          lost signals, conditional-delay imbalances, and constant guards. \
+          Exit code 2 when there are findings.")
+    Term.(const run_lint $ json $ program_arg)
 
 (* ------------------------------------------------------------------ *)
 (* infer *)
@@ -981,12 +1031,15 @@ let run_fuzz cases seed jobs size_min size_max ni_pairs max_states time_budget
       shrink_budget;
       corpus_dir;
       (* Hidden test hooks: inject one case with a forced bogus CFM
-         verdict (or a forced bogus certificate round-trip verdict) so the
-         end-to-end inversion paths (detect, shrink, persist, exit 2) stay
+         verdict, a forced bogus certificate round-trip verdict, or
+         forced all-safe concurrency-analysis claims, so the end-to-end
+         inversion paths (detect, shrink, persist, exit 2) stay
          exercised. *)
       plant_inversion = Sys.getenv_opt "IFC_FUZZ_PLANT_INVERSION" <> None;
       plant_cert_inversion =
         Sys.getenv_opt "IFC_FUZZ_PLANT_CERT_INVERSION" <> None;
+      plant_lint_unsound =
+        Sys.getenv_opt "IFC_FUZZ_PLANT_LINT_UNSOUND" <> None;
     }
   in
   let result =
@@ -1451,11 +1504,59 @@ let run_client socket tcp wait json_out lattice_name binding_file self_check
               Ok 2
             | None -> Error "malformed response (no verdict, no error)"
           end
+        | "lint" ->
+          let* () = if files = [] then Error "lint needs program files" else Ok () in
+          List.fold_left
+            (fun acc path ->
+              let* worst = acc in
+              let* program = read_file path in
+              let* response =
+                Client.lint c ~name:(Filename.basename path) ?deadline_ms
+                  program
+              in
+              if json_out then begin
+                Fmt.pr "%s@." (Telemetry.json_to_string response);
+                Ok worst
+              end
+              else if Protocol.response_ok response then begin
+                let verdict =
+                  Option.value ~default:"?" (Protocol.response_verdict response)
+                in
+                let findings =
+                  match
+                    Option.bind
+                      (Jsonx.member "report" response)
+                      (Jsonx.member "findings")
+                  with
+                  | Some (Telemetry.List fs) -> fs
+                  | _ -> []
+                in
+                List.iter
+                  (fun f ->
+                    Fmt.pr "%s: %s: %s[%s]: %s@." path
+                      (Option.value ~default:"?" (Jsonx.mem_string "span" f))
+                      (Option.value ~default:"?" (Jsonx.mem_string "severity" f))
+                      (Option.value ~default:"?" (Jsonx.mem_string "kind" f))
+                      (Option.value ~default:"" (Jsonx.mem_string "message" f)))
+                  findings;
+                Fmt.pr "%s: %s (%d finding%s)@." path verdict
+                  (List.length findings)
+                  (if List.length findings = 1 then "" else "s");
+                Ok (if verdict = "pass" then worst else max worst 2)
+              end
+              else begin
+                match Protocol.response_error response with
+                | Some (code, msg) ->
+                  Fmt.pr "%s: error %s (%s)@." path code msg;
+                  Ok (max worst 2)
+                | None -> Error "malformed response (no verdict, no error)"
+              end)
+            (Ok 0) files
         | other ->
           Error
             (Printf.sprintf
                "unknown client operation %S (use check, cert, cert-check, \
-                stats, or ping)" other))
+                lint, stats, or ping)" other))
   in
   match result with
   | Ok code -> code
@@ -1496,8 +1597,8 @@ let client_cmd =
       & info [] ~docv:"OP"
           ~doc:
             "$(b,check), $(b,cert) (emit a certificate for one program), \
-             $(b,cert-check) (validate PROGRAM CERT), $(b,stats), or \
-             $(b,ping).")
+             $(b,cert-check) (validate PROGRAM CERT), $(b,lint) (static \
+             concurrency analysis), $(b,stats), or $(b,ping).")
   in
   let files =
     Arg.(
@@ -1643,6 +1744,7 @@ let main_cmd =
     [
       check_cmd;
       denning_cmd;
+      lint_cmd;
       infer_cmd;
       prove_cmd;
       cert_cmd;

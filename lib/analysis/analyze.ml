@@ -1,0 +1,126 @@
+(* The analyzer entry point: races via MHP, liveness, guard lints. *)
+
+module Ast = Ifc_lang.Ast
+module Loc = Ifc_lang.Loc
+module Metrics = Ifc_lang.Metrics
+module Wellformed = Ifc_lang.Wellformed
+
+type claims = { race_free : bool; deadlock_free : bool; must_block : bool }
+
+type stats = { statements : int; accesses : int; pairs : int }
+
+type report = { findings : Finding.t list; claims : claims; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Race detection.
+
+   Accesses are grouped into endpoints — one per (statement, variable)
+   with read/write flags — then every endpoint pair on the same variable
+   with at least one write and no ordering (structural or handshake) is
+   a finding. Arrays are whole-object: two stores to a[0] and a[1]
+   conflict, matching the certifiers' weak treatment of arrays. *)
+
+type endpoint = {
+  e_path : int list;
+  e_span : Loc.span;
+  e_var : string;
+  e_write : bool;
+  e_read : bool;
+}
+
+let endpoints accs =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (a : Mhp.access) ->
+      let key = (a.Mhp.path, a.Mhp.var) in
+      match Hashtbl.find_opt tbl key with
+      | Some e ->
+        Hashtbl.replace tbl key
+          { e with e_write = e.e_write || a.Mhp.write;
+                   e_read = e.e_read || not a.Mhp.write }
+      | None ->
+        Hashtbl.add tbl key
+          {
+            e_path = a.Mhp.path;
+            e_span = a.Mhp.span;
+            e_var = a.Mhp.var;
+            e_write = a.Mhp.write;
+            e_read = not a.Mhp.write;
+          };
+        order := key :: !order)
+    accs;
+  List.rev_map (Hashtbl.find tbl) !order
+
+let race_findings mhp ~atomic_spans =
+  let eps = endpoints (Mhp.accesses mhp) in
+  let pairs = ref 0 in
+  let findings = ref [] in
+  let rec scan = function
+    | [] -> ()
+    | e :: rest ->
+      List.iter
+        (fun f ->
+          if e.e_var = f.e_var && (e.e_write || f.e_write) then begin
+            incr pairs;
+            if Mhp.may_happen_in_parallel mhp e.e_path f.e_path then begin
+              let kind =
+                if e.e_write && f.e_write then "write/write" else "read/write"
+              in
+              let atomic =
+                List.mem e.e_span atomic_spans || List.mem f.e_span atomic_spans
+              in
+              let note =
+                if atomic then
+                  "; a concurrent interleaving mid-expression makes the \
+                   atomicity warning here exploitable"
+                else ""
+              in
+              findings :=
+                Finding.make ~related:f.e_span Finding.Race Finding.Warning
+                  e.e_span
+                  (Printf.sprintf
+                     "possible %s race on %s with a parallel process%s" kind
+                     e.e_var note)
+                :: !findings
+            end
+          end)
+        rest;
+      scan rest
+  in
+  scan eps;
+  (List.rev !findings, !pairs)
+
+(* ------------------------------------------------------------------ *)
+
+let run (p : Ast.program) =
+  let mhp = Mhp.create p in
+  let atomic_spans =
+    List.map
+      (fun (i : Wellformed.issue) -> i.Wellformed.span)
+      (Wellformed.atomicity_issues p.Ast.body)
+  in
+  let races, pairs = race_findings mhp ~atomic_spans in
+  let live = Semlive.analyze p in
+  let guards = Guards.findings p in
+  let findings =
+    List.sort Finding.compare (races @ live.Semlive.findings @ guards)
+  in
+  let claims =
+    {
+      race_free = races = [];
+      deadlock_free = live.Semlive.deadlock_free;
+      must_block = live.Semlive.must_block;
+    }
+  in
+  let stats =
+    {
+      statements = (Metrics.of_program p).Metrics.statements;
+      accesses = List.length (Mhp.accesses mhp);
+      pairs;
+    }
+  in
+  { findings; claims; stats }
+
+let pp_report ppf r =
+  List.iter (fun f -> Fmt.pf ppf "%a@." Finding.pp f) r.findings

@@ -1,0 +1,36 @@
+(** The static concurrency analyzer: one pass over a program combining
+    may-happen-in-parallel race detection ({!Mhp}), semaphore liveness
+    ({!Semlive}) and guard lints ({!Guards}) into a single report.
+
+    The report's {e claims} are the analyzer's positive safety
+    statements, phrased so that bounded dynamic exploration can refute
+    them: a concrete interleaving with co-enabled conflicting accesses
+    refutes [race_free]; a reachable stuck state refutes
+    [deadlock_free]; a reachable terminal state refutes [must_block].
+    The differential fuzzer cross-checks exactly these (labels
+    [race-unsound] / [deadlock-unsound]); see DESIGN.md for why the
+    claims as implemented are sound. *)
+
+type claims = {
+  race_free : bool;  (** No race findings. *)
+  deadlock_free : bool;
+      (** No execution can block on a semaphore, even transiently. *)
+  must_block : bool;  (** No execution terminates. *)
+}
+
+type stats = {
+  statements : int;  (** Statement nodes analyzed. *)
+  accesses : int;  (** Data access points considered. *)
+  pairs : int;  (** May-happen-in-parallel access pairs examined. *)
+}
+
+type report = {
+  findings : Finding.t list;  (** Sorted with {!Finding.compare}. *)
+  claims : claims;
+  stats : stats;
+}
+
+val run : Ifc_lang.Ast.program -> report
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per finding ({!Finding.pp}); nothing for a clean report. *)

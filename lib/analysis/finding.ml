@@ -1,0 +1,55 @@
+(* Diagnostics of the static concurrency analyzer. *)
+
+module Loc = Ifc_lang.Loc
+
+type kind = Race | Deadlock | Lost_signal | Imbalance | Guard
+
+type severity = Error | Warning
+
+type t = {
+  kind : kind;
+  severity : severity;
+  span : Loc.span;
+  related : Loc.span option;
+  message : string;
+}
+
+let kind_name = function
+  | Race -> "race"
+  | Deadlock -> "deadlock"
+  | Lost_signal -> "lost-signal"
+  | Imbalance -> "imbalance"
+  | Guard -> "guard"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let make ?related kind severity span message =
+  { kind; severity; span; related; message }
+
+let severity_rank = function Error -> 0 | Warning -> 1
+
+let kind_rank = function
+  | Deadlock -> 0
+  | Race -> 1
+  | Lost_signal -> 2
+  | Imbalance -> 3
+  | Guard -> 4
+
+let pos_key (s : Loc.span) = (s.Loc.start.Loc.line, s.Loc.start.Loc.col)
+
+let compare a b =
+  let c = Stdlib.compare (pos_key a.span) (pos_key b.span) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare (kind_rank a.kind) (kind_rank b.kind) in
+      if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf t =
+  Fmt.pf ppf "%a: %s[%s]: %s" Loc.pp t.span (severity_name t.severity)
+    (kind_name t.kind) t.message;
+  match t.related with
+  | Some span when not (Loc.is_dummy span) -> Fmt.pf ppf " (see %a)" Loc.pp span
+  | _ -> ()

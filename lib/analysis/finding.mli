@@ -1,0 +1,46 @@
+(** Findings of the static concurrency analyzer.
+
+    One finding is one user-facing diagnostic with a source span: a
+    possible data race, a statically guaranteed deadlock, a signal that
+    can never be consumed, a wait/signal imbalance between control-flow
+    arms (the paper's "conditional delay" channel, Figure 3), or a
+    trivial guard. Findings are what [ifc lint] prints and what rides the
+    pipeline cache as a job artifact. *)
+
+type kind =
+  | Race  (** Conflicting accesses at may-happen-in-parallel points. *)
+  | Deadlock  (** A [wait] whose semaphore can never cover it. *)
+  | Lost_signal  (** Signals that no execution can ever consume. *)
+  | Imbalance
+      (** Control-flow arms with different wait/signal balance — the
+          branch taken is observable through synchronization alone. *)
+  | Guard  (** A constant [if]/[while] guard. *)
+
+type severity = Error | Warning
+
+type t = {
+  kind : kind;
+  severity : severity;
+  span : Ifc_lang.Loc.span;
+  related : Ifc_lang.Loc.span option;
+      (** The second endpoint of a race, when there is one. *)
+  message : string;
+}
+
+val kind_name : kind -> string
+(** ["race"], ["deadlock"], ["lost-signal"], ["imbalance"], ["guard"]. *)
+
+val severity_name : severity -> string
+(** ["error"] or ["warning"]. *)
+
+val make :
+  ?related:Ifc_lang.Loc.span -> kind -> severity -> Ifc_lang.Loc.span ->
+  string -> t
+
+val compare : t -> t -> int
+(** Source order: by span start, then severity (errors first), then kind
+    and message — a stable report order for any input. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [<span>: <severity>[<kind>]: <message>], reusing
+    {!Ifc_lang.Loc.pp} for the span. *)

@@ -1,0 +1,78 @@
+(* Lints for constant if/while guards. *)
+
+module Ast = Ifc_lang.Ast
+
+(* Evaluate a closed expression (no variable or array reads). Division
+   by zero and any variable reference make the guard non-constant. *)
+type value = I of int | B of bool
+
+let rec eval (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> Some (I n)
+  | Ast.Bool b -> Some (B b)
+  | Ast.Var _ | Ast.Index _ -> None
+  | Ast.Unop (op, a) -> (
+    match (op, eval a) with
+    | Ast.Neg, Some (I n) -> Some (I (-n))
+    | Ast.Not, Some (B b) -> Some (B (not b))
+    | _ -> None)
+  | Ast.Binop (op, a, b) -> (
+    match (eval a, eval b) with
+    | Some (I x), Some (I y) -> (
+      match op with
+      | Ast.Add -> Some (I (x + y))
+      | Ast.Sub -> Some (I (x - y))
+      | Ast.Mul -> Some (I (x * y))
+      | Ast.Div -> if y = 0 then None else Some (I (x / y))
+      | Ast.Mod -> if y = 0 then None else Some (I (x mod y))
+      | Ast.Eq -> Some (B (x = y))
+      | Ast.Ne -> Some (B (x <> y))
+      | Ast.Lt -> Some (B (x < y))
+      | Ast.Le -> Some (B (x <= y))
+      | Ast.Gt -> Some (B (x > y))
+      | Ast.Ge -> Some (B (x >= y))
+      | Ast.And | Ast.Or -> None)
+    | Some (B x), Some (B y) -> (
+      match op with
+      | Ast.And -> Some (B (x && y))
+      | Ast.Or -> Some (B (x || y))
+      | Ast.Eq -> Some (B (x = y))
+      | Ast.Ne -> Some (B (x <> y))
+      | _ -> None)
+    | _ -> None)
+
+let const_bool e = match eval e with Some (B b) -> Some b | _ -> None
+
+let findings (p : Ast.program) =
+  let out = ref [] in
+  let emit span msg =
+    out := Finding.make Finding.Guard Finding.Warning span msg :: !out
+  in
+  let rec walk (s : Ast.stmt) =
+    (match s.Ast.node with
+    | Ast.If (cond, _, _) -> (
+      match const_bool cond with
+      | Some b ->
+        emit s.Ast.span
+          (Printf.sprintf
+             "if guard is constantly %b; the %s branch never executes" b
+             (if b then "else" else "then"))
+      | None -> ())
+    | Ast.While (cond, _) -> (
+      match const_bool cond with
+      | Some true ->
+        emit s.Ast.span "while guard is constantly true; the loop never terminates"
+      | Some false ->
+        emit s.Ast.span "while guard is constantly false; the body never executes"
+      | None -> ())
+    | _ -> ());
+    match s.Ast.node with
+    | Ast.If (_, a, b) ->
+      walk a;
+      walk b
+    | Ast.While (_, b) -> walk b
+    | Ast.Seq ss | Ast.Cobegin ss -> List.iter walk ss
+    | _ -> ()
+  in
+  walk p.Ast.body;
+  List.rev !out

@@ -1,0 +1,11 @@
+(** Constant-guard lints.
+
+    A guard that mentions no variable evaluates to the same value in
+    every execution: an [if] with one arm dead, or a [while] that either
+    never runs or never terminates. These are warnings — dead arms often
+    hide the interesting branch of a leak example, and a [while true]
+    loop makes everything after it unreachable. *)
+
+val findings : Ifc_lang.Ast.program -> Finding.t list
+(** One {!Finding.Guard} warning per constant [if]/[while] guard, in
+    source order. *)

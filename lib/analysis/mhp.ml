@@ -1,0 +1,179 @@
+(* May-happen-in-parallel over tree paths, with handshake refinement. *)
+
+module Ast = Ifc_lang.Ast
+module Loc = Ifc_lang.Loc
+module Vars = Ifc_lang.Vars
+module Sset = Ifc_support.Sset
+module Smap = Ifc_support.Smap
+
+type relation = Equal | Before | After | Parallel | Exclusive
+
+type access = { path : int list; span : Loc.span; var : string; write : bool }
+
+type sem_site = { site_path : int list; site_span : Loc.span; under_loop : bool }
+
+type t = {
+  body : Ast.stmt;
+  accs : access list;
+  waits : sem_site list Smap.t;
+  signals : sem_site list Smap.t;
+  eligible : Sset.t;
+      (* Semaphores usable for must-precede edges: initial count 0 and
+         no wait/signal site under a while. *)
+}
+
+let children (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.If (_, a, b) -> [ a; b ]
+  | Ast.While (_, b) -> [ b ]
+  | Ast.Seq ss | Ast.Cobegin ss -> ss
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Access collection *)
+
+let collect_accesses body =
+  let out = ref [] in
+  let add path span var write = out := { path; span; var; write } :: !out in
+  let add_reads path span e =
+    Sset.iter (fun v -> add path span v false) (Vars.expr_vars e)
+  in
+  let rec walk path (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Skip | Ast.Wait _ | Ast.Signal _ -> ()
+    | Ast.Assign (x, e) | Ast.Declassify (x, e, _) ->
+      add path s.Ast.span x true;
+      add_reads path s.Ast.span e
+    | Ast.Store (a, i, e) ->
+      add path s.Ast.span a true;
+      add_reads path s.Ast.span i;
+      add_reads path s.Ast.span e
+    | Ast.If (cond, a, b) ->
+      add_reads path s.Ast.span cond;
+      walk (path @ [ 0 ]) a;
+      walk (path @ [ 1 ]) b
+    | Ast.While (cond, b) ->
+      add_reads path s.Ast.span cond;
+      walk (path @ [ 0 ]) b
+    | Ast.Seq ss | Ast.Cobegin ss ->
+      List.iteri (fun i c -> walk (path @ [ i ]) c) ss
+  in
+  walk [] body;
+  List.rev !out
+
+let collect_sites body =
+  let waits = ref Smap.empty and signals = ref Smap.empty in
+  let add store sem site = store := Smap.add sem (site :: Smap.find_or ~default:[] sem !store) !store in
+  let rec walk path under_loop (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Wait sem ->
+      add waits sem { site_path = path; site_span = s.Ast.span; under_loop }
+    | Ast.Signal sem ->
+      add signals sem { site_path = path; site_span = s.Ast.span; under_loop }
+    | Ast.If (_, a, b) ->
+      walk (path @ [ 0 ]) under_loop a;
+      walk (path @ [ 1 ]) under_loop b
+    | Ast.While (_, b) -> walk (path @ [ 0 ]) true b
+    | Ast.Seq ss | Ast.Cobegin ss ->
+      List.iteri (fun i c -> walk (path @ [ i ]) under_loop c) ss
+    | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ -> ()
+  in
+  walk [] false body;
+  (Smap.map List.rev !waits, Smap.map List.rev !signals)
+
+let create (p : Ast.program) =
+  let body = p.Ast.body in
+  let waits, signals = collect_sites body in
+  let inits =
+    List.fold_left
+      (fun acc -> function
+        | Ast.Sem_decl { name; init; _ } -> Smap.add name init acc
+        | Ast.Var_decl _ | Ast.Arr_decl _ -> acc)
+      Smap.empty p.Ast.decls
+  in
+  let looping sites = List.exists (fun s -> s.under_loop) sites in
+  let sems =
+    Sset.union
+      (Sset.of_list (Smap.keys waits))
+      (Sset.of_list (Smap.keys signals))
+  in
+  let eligible =
+    Sset.filter
+      (fun s ->
+        Smap.find_or ~default:0 s inits = 0
+        && (not (looping (Smap.find_or ~default:[] s waits)))
+        && not (looping (Smap.find_or ~default:[] s signals)))
+      sems
+  in
+  { body; accs = collect_accesses body; waits; signals; eligible }
+
+let accesses t = t.accs
+
+(* ------------------------------------------------------------------ *)
+(* Structural relation *)
+
+let relate t p q =
+  let rec go s p q =
+    match (p, q) with
+    | [], [] -> Equal
+    | [], _ -> Before (* guard read of an enclosing if/while *)
+    | _, [] -> After
+    | i :: p', j :: q' ->
+      if i = j then go (List.nth (children s) i) p' q'
+      else (
+        match s.Ast.node with
+        | Ast.Seq _ -> if i < j then Before else After
+        | Ast.Cobegin _ -> Parallel
+        | Ast.If _ -> Exclusive
+        | _ -> assert false (* while has one child; leaves have none *))
+  in
+  go t.body p q
+
+(* ------------------------------------------------------------------ *)
+(* Handshake refinement *)
+
+(* Semaphores some wait of which must have completed whenever the
+   statement completes. Loops promise nothing (zero iterations);
+   alternation promises only what both arms promise. *)
+let rec must_wait (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.Wait sem -> Sset.singleton sem
+  | Ast.Seq ss | Ast.Cobegin ss ->
+    List.fold_left (fun acc c -> Sset.union acc (must_wait c)) Sset.empty ss
+  | Ast.If (_, a, b) -> Sset.inter (must_wait a) (must_wait b)
+  | Ast.While _ | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _
+  | Ast.Signal _ ->
+    Sset.empty
+
+(* Waits that must have completed before the point at [path] starts:
+   the union over every Seq ancestor of the must-waits of the siblings
+   it has already passed. *)
+let must_wait_before t path =
+  let rec go s path acc =
+    match path with
+    | [] -> acc
+    | i :: rest ->
+      let acc =
+        match s.Ast.node with
+        | Ast.Seq ss ->
+          List.filteri (fun j _ -> j < i) ss
+          |> List.fold_left (fun acc c -> Sset.union acc (must_wait c)) acc
+        | _ -> acc
+      in
+      go (List.nth (children s) i) rest acc
+  in
+  go t.body path Sset.empty
+
+let handshake_ordered t p q =
+  Sset.exists
+    (fun sem ->
+      Sset.mem sem t.eligible
+      && List.for_all
+           (fun site -> relate t p site.site_path = Before)
+           (Smap.find_or ~default:[] sem t.signals))
+    (must_wait_before t q)
+
+let may_happen_in_parallel t p q =
+  relate t p q = Parallel
+  && (not (handshake_ordered t p q))
+  && not (handshake_ordered t q p)

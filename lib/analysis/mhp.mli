@@ -1,0 +1,62 @@
+(** May-happen-in-parallel analysis over the [Seq]/[Cobegin] tree,
+    refined by must-precede edges from matching [wait]/[signal] pairs.
+
+    Program points are identified by their tree path — the list of child
+    indices from the program body down to the statement. Two points'
+    structural relation is decided at their lowest common ancestor:
+    through a [Seq] they are ordered, through a [Cobegin] they may run in
+    parallel, through an [If] they are mutually exclusive. A point that
+    is a prefix of another is the guard read of an enclosing [if]/[while]
+    and precedes it.
+
+    The parallel verdict is then refined: [p] must precede [q] when [q]
+    is dominated by a [wait(s)] (every path to [q] first completes one),
+    every [signal(s)] site lies sequentially after [p], and [s] is
+    {e handshake-eligible} — initial count 0 and no [wait]/[signal] site
+    of [s] under a [while]. Eligibility is what makes the edge sound:
+    with a zero start and once-only sites, the unit a dominating wait
+    consumes can only come from a signal that [p] precedes, so [p]
+    completed before [q] started. Without it, a leftover unit from an
+    earlier loop iteration could satisfy the wait and break the edge
+    (see DESIGN.md). The refinement is deliberately not transitively
+    closed: chaining edges through a conditionally-executed middle point
+    is unsound. *)
+
+type relation =
+  | Equal
+  | Before  (** Sequentially ordered: left completes before right starts. *)
+  | After
+  | Parallel  (** Different branches of a common [Cobegin]. *)
+  | Exclusive  (** Different arms of a common [If]: never both execute. *)
+
+(** One data access: an assignment/store target write, or a read of a
+    variable in an expression (including [if]/[while] guard reads,
+    attributed to the statement's span). Arrays are whole-object accesses
+    (weak updates), matching the certifiers' treatment. *)
+type access = {
+  path : int list;
+  span : Ifc_lang.Loc.span;
+  var : string;
+  write : bool;
+}
+
+type t
+
+val create : Ifc_lang.Ast.program -> t
+
+val accesses : t -> access list
+(** Every data access point of the body, in source order. Semaphore
+    operations are not data accesses (they are the liveness analysis's
+    subject, {!Semlive}). *)
+
+val relate : t -> int list -> int list -> relation
+(** Structural relation of two program points (no semaphore
+    refinement). *)
+
+val may_happen_in_parallel : t -> int list -> int list -> bool
+(** [Parallel] and not ordered by a handshake in either direction. *)
+
+val handshake_ordered : t -> int list -> int list -> bool
+(** [handshake_ordered t p q]: [p] must complete before [q] starts,
+    established by an eligible wait/signal handshake as described
+    above. *)

@@ -1,0 +1,50 @@
+(** Semaphore liveness: interval counting of [wait]/[signal] operations.
+
+    For every semaphore the analysis computes how many waits and signals
+    a complete execution of each construct performs, as intervals:
+    sequencing and [cobegin] add, alternation takes the per-arm min/max
+    envelope, iteration contributes zero at least and unboundedly many at
+    most. Against the declared initial counts this yields:
+
+    - {b guaranteed deadlock}: every execution needs more waits on [s]
+      than the initial count plus every possible signal can supply — no
+      execution terminates, and the permanently blocked [wait] is the
+      paper's "conditional delay" information channel made absolute;
+    - {b lost signals}: units of [s] that no execution can ever consume;
+    - {b imbalance}: an [if] whose arms differ in wait/signal usage, or a
+      [while] whose body synchronizes at all — the control decision is
+      observable through synchronization alone (Figure 3's leak shape).
+
+    The [deadlock_free] claim is deliberately stronger than "no
+    guaranteed deadlock": it holds only when every wait is covered by the
+    initial count alone, so no interleaving can even block temporarily —
+    the claim dynamic exploration is allowed to refute (see
+    {!Analyze}). *)
+
+type count = Fin of int | Inf
+
+type usage = {
+  wait_min : int;  (** Fewest waits any complete execution performs. *)
+  wait_max : count;
+  signal_min : int;
+  signal_max : count;
+  first_wait : Ifc_lang.Loc.span option;  (** Leftmost wait site. *)
+  first_signal : Ifc_lang.Loc.span option;
+}
+
+val usages : Ifc_lang.Ast.stmt -> usage Ifc_support.Smap.t
+(** Per-semaphore usage of one complete execution of the statement. *)
+
+type result = {
+  findings : Finding.t list;
+      (** Guaranteed deadlocks (errors), lost signals and imbalances
+          (warnings), in discovery order. *)
+  deadlock_free : bool;
+      (** Every wait is covered by its semaphore's initial count: no
+          execution can block, even transiently. *)
+  must_block : bool;
+      (** Some semaphore's minimum demand exceeds everything it can ever
+          be supplied: no execution terminates. *)
+}
+
+val analyze : Ifc_lang.Ast.program -> result

@@ -8,10 +8,20 @@ type summary = {
   terminals : Step.config list;
   deadlocks : Step.config list;
   faults : string list;
+  races : string list;
   has_cycle : bool;
   states : int;
   complete : bool;
 }
+
+(* Variables an action writes. Semaphore operations are synchronization,
+   not data accesses, so they never witness a race. *)
+let label_writes = function
+  | Step.L_assign (x, _) -> Some x
+  | Step.L_store (a, _, _) -> Some a
+  | Step.L_skip | Step.L_branch _ | Step.L_loop _ | Step.L_wait _
+  | Step.L_signal _ ->
+    None
 
 (* Racy variables: names accessed by two or more branches of some
    cobegin. An action whose footprint avoids them commutes with every
@@ -69,9 +79,34 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
   let terminals = ref [] in
   let deadlocks = ref [] in
   let faults = ref [] in
+  let races = ref Sset.empty in
   let has_cycle = ref false in
   let complete = ref true in
   let add_fault msg = if not (List.mem msg !faults) then faults := msg :: !faults in
+  (* A race witness: two co-enabled actions of different processes where
+     one writes a variable in the other's footprint. Enabled choices with
+     distinct indices always belong to distinct parallel branches, so
+     co-enabledness alone proves the accesses are unordered — the witness
+     is definitive even when the exploration is bounded. *)
+  let scan_races choices =
+    let rec go = function
+      | [] -> ()
+      | ch :: rest ->
+        List.iter
+          (fun other ->
+            let conflict a b =
+              match label_writes a.Step.label with
+              | Some x when Sset.mem x b.Step.footprint ->
+                races := Sset.add x !races
+              | _ -> ()
+            in
+            conflict ch other;
+            conflict other ch)
+          rest;
+        go rest
+    in
+    go choices
+  in
   (* Stack frames: Enter (first visit) or Leave (mark black). *)
   let stack = ref [ `Enter cfg ] in
   let push f = stack := f :: !stack in
@@ -100,6 +135,7 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
               | Error msg -> add_fault msg
               | Ok [] -> deadlocks := c :: !deadlocks
               | Ok choices ->
+                if List.length choices > 1 then scan_races choices;
                 (* Partial-order reduction: if some enabled action touches
                    no racy name, it commutes with everything the other
                    processes can do, so it alone is a persistent set. The
@@ -128,6 +164,7 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
     terminals = !terminals;
     deadlocks = !deadlocks;
     faults = !faults;
+    races = Sset.elements !races;
     has_cycle = !has_cycle;
     states = !states;
     complete = !complete;

@@ -11,6 +11,15 @@ type summary = {
   terminals : Step.config list;  (** Distinct terminated configurations. *)
   deadlocks : Step.config list;  (** Distinct deadlocked configurations. *)
   faults : string list;  (** Distinct runtime-fault messages. *)
+  races : string list;
+      (** Variables with a witnessed data race: in some visited state two
+          co-enabled actions of different processes conflicted (one wrote
+          a variable in the other's footprint). Co-enabled actions are
+          necessarily unordered, so a witness is definitive even when the
+          exploration is bounded or reduced; an empty list proves nothing
+          unless [complete] (and partial-order reduction may skip states,
+          so only an unreduced complete exploration is exhaustive).
+          Semaphore operations never witness a race. *)
   has_cycle : bool;  (** A configuration can reach itself: divergence. *)
   states : int;  (** States visited. *)
   complete : bool;  (** False iff [max_states] was exhausted. *)

@@ -27,6 +27,7 @@ type config = {
   corpus_dir : string option;
   plant_inversion : bool;
   plant_cert_inversion : bool;
+  plant_lint_unsound : bool;
 }
 
 let default =
@@ -43,6 +44,7 @@ let default =
     corpus_dir = None;
     plant_inversion = false;
     plant_cert_inversion = false;
+    plant_lint_unsound = false;
   }
 
 (* The campaign lattice. All fuzzing runs over the paper's two-point
@@ -106,10 +108,17 @@ type outcome = {
   verdicts : Classify.verdicts;
   statements : int;
   (* Retained only for inversions: the program, its binding, the forced
-     CFM and cert verdicts (planted cases) and the case's oracle seed —
-     exactly what re-running the predicate during shrinking needs. *)
+     CFM, cert and lint verdicts (planted cases) and the case's oracle
+     seed — exactly what re-running the predicate during shrinking
+     needs. *)
   payload :
-    (Ast.program * string Binding.t * bool option * bool option * int) option;
+    (Ast.program
+    * string Binding.t
+    * bool option
+    * bool option
+    * bool option
+    * int)
+    option;
 }
 
 type slot = Done of outcome | Timed_out
@@ -160,6 +169,27 @@ let planted_case () =
    "rejected". Every honest analyzer agrees the program is fine, so the
    only inversion is cert-inversion, and it shrinks to a single
    statement. *)
+(* The planted lint-unsoundness (test hook): a padded program whose
+   middle statement waits on a semaphore nobody ever signals — a
+   guaranteed deadlock — with the concurrency analyzer's claims forced to
+   all-safe. The dynamic evidence explorations reach the stuck state, so
+   the case classifies as deadlock-unsound and shrinks to the single
+   [wait(s)]. *)
+let planted_lint_case () =
+  let body =
+    Ast.seq
+      [
+        Ast.assign "p" (Ast.Int 3);
+        Ast.skip;
+        Ast.wait "s";
+        Ast.assign "q" (Ast.Binop (Ast.Add, Ast.Var "p", Ast.Int 1));
+        Ast.skip;
+      ]
+  in
+  let program = Wellformed.infer_decls (Ast.program body) in
+  let binding = Binding.make lattice ~default:lattice.Lattice.bottom [] in
+  (program, binding)
+
 let planted_cert_case () =
   let body =
     Ast.seq
@@ -181,27 +211,38 @@ let run_case config index =
     config.plant_cert_inversion
     && index = config.cases + if config.plant_inversion then 1 else 0
   in
+  let planted_lint =
+    config.plant_lint_unsound
+    && index
+       = config.cases
+         + (if config.plant_inversion then 1 else 0)
+         + if config.plant_cert_inversion then 1 else 0
+  in
   let rng = case_rng config.seed index in
-  let profile_name, program, binding, override_cfm, override_cert =
+  let profile_name, program, binding, override_cfm, override_cert, override_lint
+      =
     if planted_cfm then
       let program, binding = planted_case () in
-      ("planted", program, binding, Some true, None)
+      ("planted", program, binding, Some true, None, None)
     else if planted_cert then
       let program, binding = planted_cert_case () in
-      ("planted-cert", program, binding, None, Some false)
+      ("planted-cert", program, binding, None, Some false, None)
+    else if planted_lint then
+      let program, binding = planted_lint_case () in
+      ("planted-lint", program, binding, None, None, Some true)
     else begin
       let profile_name, cfg_gen =
         List.nth profiles (index mod List.length profiles)
       in
       let size = Prng.range rng config.size_min config.size_max in
       let program = generate_case rng profile_name cfg_gen ~size in
-      (profile_name, program, random_binding rng program, None, None)
+      (profile_name, program, random_binding rng program, None, None, None)
     end
   in
   let ni_seed = Prng.bits rng land 0x3FFFFFFF in
   let verdicts =
-    Oracle.run ?override_cfm ?override_cert ~ni_seed ~ni_pairs:config.ni_pairs
-      ~max_states:config.max_states binding program
+    Oracle.run ?override_cfm ?override_cert ?override_lint ~ni_seed
+      ~ni_pairs:config.ni_pairs ~max_states:config.max_states binding program
   in
   let cls = Classify.classify verdicts in
   let inversion_labels = List.map Classify.inversion_label cls.Classify.inversions in
@@ -216,7 +257,8 @@ let run_case config index =
     statements = (Metrics.of_program program).Metrics.statements;
     payload =
       (if inversion_labels = [] then None
-       else Some (program, binding, override_cfm, override_cert, ni_seed));
+       else
+         Some (program, binding, override_cfm, override_cert, override_lint, ni_seed));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -234,13 +276,14 @@ let case_digest program binding =
 let shrink_counterexample config sink seen (o : outcome) =
   match o.payload with
   | None -> None
-  | Some (program, binding, override_cfm, override_cert, ni_seed) ->
+  | Some (program, binding, override_cfm, override_cert, override_lint, ni_seed)
+    ->
     let label = List.hd o.inversion_labels in
     let keep p =
       Wellformed.is_valid p
       &&
       let v =
-        Oracle.run ?override_cfm ?override_cert ~ni_seed
+        Oracle.run ?override_cfm ?override_cert ?override_lint ~ni_seed
           ~ni_pairs:config.ni_pairs ~max_states:config.max_states binding p
       in
       let c = Classify.classify v in
@@ -377,7 +420,8 @@ let run ?(sink = Telemetry.null_sink ()) (config : config) =
   let total =
     config.cases
     + (if config.plant_inversion then 1 else 0)
-    + if config.plant_cert_inversion then 1 else 0
+    + (if config.plant_cert_inversion then 1 else 0)
+    + if config.plant_lint_unsound then 1 else 0
   in
   let deadline =
     Option.map

@@ -43,6 +43,14 @@ type config = {
           emit/serialize/check pipeline. The campaign must classify it as
           [cert-inversion], shrink it, and persist it with honest
           verdicts. *)
+  plant_lint_unsound : bool;
+      (** Test hook ([IFC_FUZZ_PLANT_LINT_UNSOUND] in the CLI): append
+          one case containing a guaranteed deadlock while the concurrency
+          analyzer's claims are forcibly overridden to all-safe,
+          simulating an unsound static analysis. The dynamic evidence
+          explorations reach the stuck state, so the campaign must
+          classify the case as [deadlock-unsound], shrink it to the
+          single [wait], and persist it with honest verdicts. *)
 }
 
 val default : config

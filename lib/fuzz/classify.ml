@@ -9,12 +9,22 @@ type verdicts = {
   ni_tested : int;
   ni_skipped : int;
   ni_violations : int;
+  lint_race_free : bool;
+  lint_deadlock_free : bool;
+  lint_must_block : bool;
+  lint_findings : int;
+  dyn_race : bool;
+  dyn_deadlock : bool;
+  dyn_terminal : bool;
+  dyn_complete : bool;
 }
 
 type inversion =
   | Unsound_certification
   | Logic_mismatch
   | Cert_inversion
+  | Race_unsound
+  | Deadlock_unsound
   | Above_denning
   | Above_flow_sensitive
 
@@ -31,6 +41,12 @@ let classify v =
     (if v.cfm && v.ni_violations > 0 then [ Unsound_certification ] else [])
     @ (if not (Bool.equal v.prove v.cfm) then [ Logic_mismatch ] else [])
     @ (if v.prove && not v.cert_ok then [ Cert_inversion ] else [])
+    @ (if v.lint_race_free && v.dyn_race then [ Race_unsound ] else [])
+    @ (if
+         (v.lint_deadlock_free && v.dyn_deadlock)
+         || (v.lint_must_block && v.dyn_terminal)
+       then [ Deadlock_unsound ]
+       else [])
     @ (if v.cfm && not v.denning then [ Above_denning ] else [])
     @ if v.cfm && not v.fs then [ Above_flow_sensitive ] else []
   in
@@ -44,6 +60,8 @@ let inversion_label = function
   | Unsound_certification -> "unsound-certification"
   | Logic_mismatch -> "logic-mismatch"
   | Cert_inversion -> "cert-inversion"
+  | Race_unsound -> "race-unsound"
+  | Deadlock_unsound -> "deadlock-unsound"
   | Above_denning -> "hierarchy-denning"
   | Above_flow_sensitive -> "hierarchy-fs"
 
@@ -67,6 +85,8 @@ let class_labels =
     "unsound-certification";
     "logic-mismatch";
     "cert-inversion";
+    "race-unsound";
+    "deadlock-unsound";
     "hierarchy-denning";
     "hierarchy-fs";
     "denning-gap";

@@ -14,6 +14,13 @@
       the §5.2 [x := 0; y := x] shape respectively).
     - Semantic soundness: a CFM-certified program exhibiting real
       interference under the oracle is the worst inversion of all.
+    - Lint soundness: the static concurrency analyzer's safety claims
+      ({!Ifc_analysis.Analyze.claims}) are cross-checked against dynamic
+      exploration. A witnessed interleaving race under a [race_free]
+      claim, a reachable deadlock under [deadlock_free], or a reachable
+      terminal under [must_block] is an inversion — the dynamic witness
+      is definitive even when exploration is bounded, so these labels
+      never depend on completeness.
 
     Inversions are bugs by construction; gaps are the paper's claims made
     observable and are merely counted. *)
@@ -31,6 +38,18 @@ type verdicts = {
   ni_tested : int;  (** Input pairs the oracle explored to completion. *)
   ni_skipped : int;  (** Pairs abandoned at the state-space budget. *)
   ni_violations : int;  (** Pairs with distinguishable low observables. *)
+  lint_race_free : bool;  (** Static claim: no conflicting MHP accesses. *)
+  lint_deadlock_free : bool;
+      (** Static claim: no execution blocks, even transiently. *)
+  lint_must_block : bool;  (** Static claim: no execution terminates. *)
+  lint_findings : int;  (** Total findings the analyzer reported. *)
+  dyn_race : bool;  (** Exploration witnessed co-enabled conflicting accesses. *)
+  dyn_deadlock : bool;  (** Exploration reached a stuck state. *)
+  dyn_terminal : bool;  (** Exploration reached a terminated state. *)
+  dyn_complete : bool;
+      (** Every exploration backing the [dyn_*] fields finished within
+          its state budget. Witnesses are definitive regardless; only
+          {e absence} claims need this. *)
 }
 
 type inversion =
@@ -41,6 +60,13 @@ type inversion =
       (** The decision procedure proved the program but the emitted
           certificate fails the independent checker — the emit/check
           pipeline broke. *)
+  | Race_unsound
+      (** The analyzer claimed [race_free] but exploration witnessed two
+          co-enabled conflicting accesses. *)
+  | Deadlock_unsound
+      (** The analyzer claimed [deadlock_free] but exploration reached a
+          stuck state, or claimed [must_block] but exploration reached a
+          terminal. *)
   | Above_denning  (** CFM certified but Denning rejects. *)
   | Above_flow_sensitive  (** CFM certified but flow-sensitive rejects. *)
 

@@ -17,6 +17,10 @@ type expected = {
   prove : bool;
   cert : bool;
   interfering : bool;
+  race_free : bool;
+  deadlock_free : bool;
+  must_block : bool;
+  lint_findings : int;
   statements : int;
 }
 
@@ -56,6 +60,10 @@ let expected_of_verdicts ~cls program (v : Classify.verdicts) =
     prove = v.Classify.prove;
     cert = v.Classify.cert_ok;
     interfering = v.Classify.ni_violations > 0;
+    race_free = v.Classify.lint_race_free;
+    deadlock_free = v.Classify.lint_deadlock_free;
+    must_block = v.Classify.lint_must_block;
+    lint_findings = v.Classify.lint_findings;
     statements = (Metrics.of_program program).Metrics.statements;
   }
 
@@ -73,6 +81,10 @@ let sidecar_text ~lattice_name ~binding ~expected ?note () =
   line "prove: %b" expected.prove;
   line "cert: %b" expected.cert;
   line "interfering: %b" expected.interfering;
+  line "race_free: %b" expected.race_free;
+  line "deadlock_free: %b" expected.deadlock_free;
+  line "must_block: %b" expected.must_block;
+  line "lint_findings: %d" expected.lint_findings;
   line "statements: %d" expected.statements;
   (match note with None -> () | Some n -> line "note: %s" n);
   List.iter
@@ -136,6 +148,14 @@ let parse_sidecar text =
   let* interfering =
     Result.bind (field "interfering") (parse_bool "interfering")
   in
+  let* race_free = Result.bind (field "race_free") (parse_bool "race_free") in
+  let* deadlock_free =
+    Result.bind (field "deadlock_free") (parse_bool "deadlock_free")
+  in
+  let* must_block = Result.bind (field "must_block") (parse_bool "must_block") in
+  let* lint_findings =
+    Result.bind (field "lint_findings") (parse_int "lint_findings")
+  in
   let* statements = Result.bind (field "statements") (parse_int "statements") in
   let* binding =
     Binding.of_spec lattice (String.concat "\n" (List.rev !bindings))
@@ -143,7 +163,20 @@ let parse_sidecar text =
   Ok
     ( lattice_name,
       binding,
-      { cls; cfm; denning; fs; prove; cert; interfering; statements },
+      {
+        cls;
+        cfm;
+        denning;
+        fs;
+        prove;
+        cert;
+        interfering;
+        race_free;
+        deadlock_free;
+        must_block;
+        lint_findings;
+        statements;
+      },
       Hashtbl.find_opt fields "note" )
 
 (* ------------------------------------------------------------------ *)

@@ -26,6 +26,10 @@ type expected = {
           [cert_ok]): [true] when the entry is not provable (vacuous) or
           when its emitted certificate passes the independent checker. *)
   interfering : bool;  (** Oracle found violations at replay parameters. *)
+  race_free : bool;  (** Concurrency analyzer's race-freedom claim. *)
+  deadlock_free : bool;  (** Claim: no execution can block, even transiently. *)
+  must_block : bool;  (** Claim: no execution terminates. *)
+  lint_findings : int;  (** Total findings the analyzer reported. *)
   statements : int;  (** Statement count of the stored program. *)
 }
 

@@ -1,4 +1,4 @@
-(* The analyzer matrix: five verdicts over one bound program. *)
+(* The analyzer matrix: the full verdict tuple over one bound program. *)
 
 module Ast = Ifc_lang.Ast
 module Binding = Ifc_core.Binding
@@ -7,7 +7,11 @@ module Denning = Ifc_core.Denning
 module Fs = Ifc_core.Flow_sensitive
 module Invariance = Ifc_logic_gen.Invariance
 module Ni = Ifc_exec.Noninterference
+module Explore = Ifc_exec.Explore
+module Step = Ifc_exec.Step
 module Lattice = Ifc_lattice.Lattice
+module Prng = Ifc_support.Prng
+module Analyze = Ifc_analysis.Analyze
 
 (* The certificate round-trip leg: serialize the proof, re-parse the
    exact bytes, and run the independent checker. Any break anywhere in
@@ -18,8 +22,35 @@ let cert_round_trip binding (p : Ast.program) proof =
   | Error _ -> false
   | Ok parsed -> Result.is_ok (Ifc_cert.Checker.check parsed p)
 
-let run ?override_cfm ?override_cert ~ni_seed ~ni_pairs ~max_states binding
-    (p : Ast.program) =
+(* Dynamic cross-check of the concurrency analyzer: two bounded
+   explorations, one from the default all-zero store and one from a
+   seed-derived store. Witnesses (a race, a reachable deadlock, a
+   reachable terminal) are definitive whatever the bound; completeness
+   is recorded so absence-based reasoning can be gated on it. *)
+let dynamic_evidence ~ni_seed ~max_states (p : Ast.program) =
+  let int_vars =
+    List.filter_map
+      (function
+        | Ast.Var_decl { name; _ } -> Some name
+        | Ast.Arr_decl _ | Ast.Sem_decl _ -> None)
+      p.Ast.decls
+  in
+  let rng = Prng.create (ni_seed lxor 0x51ca5) in
+  let seeded = List.map (fun v -> (v, Prng.int rng 8)) int_vars in
+  let runs =
+    [
+      Explore.explore_program ~max_states p;
+      Explore.explore_program ~max_states ~inputs:seeded p;
+    ]
+  in
+  let any f = List.exists f runs and all f = List.for_all f runs in
+  ( any (fun s -> s.Explore.races <> []),
+    any (fun s -> s.Explore.deadlocks <> []),
+    any (fun s -> s.Explore.terminals <> []),
+    all (fun s -> s.Explore.complete && s.Explore.faults = []) )
+
+let run ?override_cfm ?override_cert ?override_lint ~ni_seed ~ni_pairs
+    ~max_states binding (p : Ast.program) =
   let cfm =
     match override_cfm with
     | Some forced -> forced
@@ -42,6 +73,20 @@ let run ?override_cfm ?override_cert ~ni_seed ~ni_pairs ~max_states binding
     Ni.test ~seed:ni_seed ~pairs:ni_pairs ~max_states
       ~observer:lat.Lattice.bottom binding p
   in
+  let lint_race_free, lint_deadlock_free, lint_must_block, lint_findings =
+    match override_lint with
+    | Some true -> (true, true, false, 0)
+    | Some false -> (false, false, true, 1)
+    | None ->
+      let report = Analyze.run p in
+      ( report.Analyze.claims.Analyze.race_free,
+        report.Analyze.claims.Analyze.deadlock_free,
+        report.Analyze.claims.Analyze.must_block,
+        List.length report.Analyze.findings )
+  in
+  let dyn_race, dyn_deadlock, dyn_terminal, dyn_complete =
+    dynamic_evidence ~ni_seed ~max_states p
+  in
   {
     Classify.cfm;
     denning;
@@ -51,4 +96,12 @@ let run ?override_cfm ?override_cert ~ni_seed ~ni_pairs ~max_states binding
     ni_tested = ni.Ni.pairs_tested;
     ni_skipped = ni.Ni.pairs_skipped;
     ni_violations = List.length ni.Ni.violations;
+    lint_race_free;
+    lint_deadlock_free;
+    lint_must_block;
+    lint_findings;
+    dyn_race;
+    dyn_deadlock;
+    dyn_terminal;
+    dyn_complete;
   }

@@ -3,26 +3,33 @@
     Runs Denning (concurrency-ignoring), CFM, the flow-sensitive
     extension, the Theorem-1 logic decision, the certificate round-trip
     (when a proof exists: serialize it, re-parse the bytes, validate with
-    the independent {!Ifc_cert.Checker}), and the semantic
-    noninterference oracle (bounded exploration, termination-insensitive,
-    observer at the lattice bottom), and packs the verdicts for
-    {!Classify.classify}.
+    the independent {!Ifc_cert.Checker}), the semantic noninterference
+    oracle (bounded exploration, termination-insensitive, observer at the
+    lattice bottom), the static concurrency analyzer
+    ({!Ifc_analysis.Analyze}), and two bounded explorations gathering the
+    dynamic evidence that cross-checks the analyzer's claims (one from
+    the all-zero store, one from a seed-derived store), and packs the
+    verdicts for {!Classify.classify}.
 
-    The noninterference oracle is seeded explicitly so a verdict tuple is
-    a pure function of [(program, binding, ni_seed, ni_pairs,
-    max_states)] — campaigns replay bit-identically whatever the worker
-    count.
+    The noninterference oracle and the evidence explorations are seeded
+    explicitly so a verdict tuple is a pure function of [(program,
+    binding, ni_seed, ni_pairs, max_states)] — campaigns replay
+    bit-identically whatever the worker count.
 
     [override_cfm] substitutes a forced CFM verdict while every other
     analyzer stays honest; [override_cert] does the same for the
-    certificate round-trip verdict. They exist for the campaign's
-    planted-inversion test hooks (simulating an unsound certifier or a
-    broken certificate pipeline end-to-end) and for what-if experiments;
-    production callers never pass them. *)
+    certificate round-trip verdict; [override_lint:true] forces the
+    concurrency analyzer's claims to all-safe ([race_free],
+    [deadlock_free], no [must_block], zero findings) while the dynamic
+    evidence stays honest — exactly the shape of an unsound analyzer
+    ([override_lint:false] forces the all-unsafe claims instead). They
+    exist for the campaign's planted-inversion test hooks and for what-if
+    experiments; production callers never pass them. *)
 
 val run :
   ?override_cfm:bool ->
   ?override_cert:bool ->
+  ?override_lint:bool ->
   ni_seed:int ->
   ni_pairs:int ->
   max_states:int ->

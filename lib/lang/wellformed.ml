@@ -154,6 +154,11 @@ let atomicity_issues (body : Ast.stmt) =
   in
   go body []
 
+let decl_kind = function
+  | Ast.Var_decl _ -> "integer variable"
+  | Ast.Arr_decl _ -> "array"
+  | Ast.Sem_decl _ -> "semaphore"
+
 let duplicate_issues (p : Ast.program) =
   let seen = Hashtbl.create 16 in
   List.filter_map
@@ -164,12 +169,19 @@ let duplicate_issues (p : Ast.program) =
           ->
           name
       in
-      if Hashtbl.mem seen name then
-        Some (error Loc.dummy (Printf.sprintf "duplicate declaration of %s" name))
-      else begin
-        Hashtbl.add seen name ();
-        None
-      end)
+      let kind = decl_kind decl in
+      match Hashtbl.find_opt seen name with
+      | Some first_kind ->
+        let detail =
+          if first_kind = kind then Printf.sprintf "both as %s" kind
+          else Printf.sprintf "first as %s, again as %s" first_kind kind
+        in
+        Some
+          (error Loc.dummy
+             (Printf.sprintf "duplicate declaration of %s (%s)" name detail))
+      | None ->
+        Hashtbl.add seen name kind;
+        None)
     p.decls
 
 let init_issues (p : Ast.program) =

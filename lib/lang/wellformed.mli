@@ -15,6 +15,12 @@ val pp_issue : Format.formatter -> issue -> unit
 val check : Ast.program -> issue list
 (** [check p] returns all issues, errors first. *)
 
+val atomicity_issues : Ast.stmt -> issue list
+(** The §2 atomicity warnings alone: statements referencing more than one
+    variable modified by a sibling [cobegin] branch. Exposed so the
+    concurrency analyzer can cross-reference a detected race with the
+    atomicity warning it makes exploitable. *)
+
 val errors : Ast.program -> issue list
 (** [errors p] is [check p] restricted to severity [Error]. *)
 

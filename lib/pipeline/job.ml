@@ -17,6 +17,7 @@ type analysis =
   | Prove
   | Cert
   | Ni of { pairs : int; max_states : int }
+  | Lint
   | Custom of string * (string Binding.t -> Ast.program -> bool * int)
 
 let analysis_name = function
@@ -25,6 +26,7 @@ let analysis_name = function
   | Prove -> "prove"
   | Cert -> "cert"
   | Ni _ -> "ni"
+  | Lint -> "lint"
   | Custom (name, _) -> name
 
 let analysis_key = function
@@ -38,10 +40,12 @@ let analysis_of_string ?(ni_pairs = 8) ?(ni_max_states = 20_000) = function
   | "prove" -> Ok Prove
   | "cert" -> Ok Cert
   | "ni" -> Ok (Ni { pairs = ni_pairs; max_states = ni_max_states })
+  | "lint" -> Ok Lint
   | other ->
     Error
       (Printf.sprintf
-         "unknown analysis %S (use denning, cfm, prove, cert, or ni)" other)
+         "unknown analysis %S (use denning, cfm, prove, cert, ni, or lint)"
+         other)
 
 let default_analyses = [ Cfm ]
 
@@ -113,6 +117,54 @@ let run_cert binding program =
       | Ok () -> (true, Ifc_cert.Cert.node_count parsed, Some text)
       | Error failures -> (false, List.length failures, None)))
 
+(* The concurrency analyzer. The verdict is "no findings"; the full
+   findings list and the safety claims ride along as a JSON artifact, so
+   digest-keyed cache entries (and the serve protocol) carry the report
+   itself. *)
+let lint_report_json (report : Ifc_analysis.Analyze.report) =
+  let open Telemetry in
+  let span s = Fmt.str "%a" Ifc_lang.Loc.pp s in
+  let finding (f : Ifc_analysis.Finding.t) =
+    Obj
+      ([
+         ("kind", String (Ifc_analysis.Finding.kind_name f.kind));
+         ("severity", String (Ifc_analysis.Finding.severity_name f.severity));
+         ("span", String (span f.span));
+         ("message", String f.message);
+       ]
+      @
+      match f.related with
+      | Some r when not (Ifc_lang.Loc.is_dummy r) ->
+        [ ("related", String (span r)) ]
+      | _ -> [])
+  in
+  let claims = report.Ifc_analysis.Analyze.claims in
+  let stats = report.Ifc_analysis.Analyze.stats in
+  json_to_string
+    (Obj
+       [
+         ("findings", List (List.map finding report.Ifc_analysis.Analyze.findings));
+         ( "claims",
+           Obj
+             [
+               ("race_free", Bool claims.Ifc_analysis.Analyze.race_free);
+               ("deadlock_free", Bool claims.Ifc_analysis.Analyze.deadlock_free);
+               ("must_block", Bool claims.Ifc_analysis.Analyze.must_block);
+             ] );
+         ( "stats",
+           Obj
+             [
+               ("statements", Int stats.Ifc_analysis.Analyze.statements);
+               ("accesses", Int stats.Ifc_analysis.Analyze.accesses);
+               ("pairs", Int stats.Ifc_analysis.Analyze.pairs);
+             ] );
+       ])
+
+let run_lint program =
+  let report = Ifc_analysis.Analyze.run program in
+  let n = List.length report.Ifc_analysis.Analyze.findings in
+  (n = 0, n, Some (lint_report_json report))
+
 let run_analysis spec analysis =
   let timer = Telemetry.start () in
   let verdict, checks, artifact =
@@ -138,6 +190,7 @@ let run_analysis spec analysis =
           spec.binding spec.program
       in
       (Ni.secure r, r.Ni.pairs_tested, None)
+    | Lint -> run_lint spec.program
     | Custom (_, f) ->
       let verdict, checks = f spec.binding spec.program in
       (verdict, checks, None)

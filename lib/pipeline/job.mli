@@ -26,6 +26,14 @@ type analysis =
   | Ni of { pairs : int; max_states : int }
       (** Empirical noninterference with bounded exploration; observer is
           the lattice bottom. *)
+  | Lint
+      (** The static concurrency analyzer ({!Ifc_analysis.Analyze}):
+          may-happen-in-parallel races, semaphore liveness, guard lints.
+          The verdict is [true] iff there are no findings; the findings
+          and safety claims ride along as a JSON [artifact], so cache
+          hits (and the serve protocol) return the full report without
+          re-running the analysis. Binding-independent: only the program
+          is analyzed. *)
   | Custom of string * (string Ifc_core.Binding.t -> Ifc_lang.Ast.program -> bool * int)
       (** An out-of-tree analysis: [(verdict, check_count)]. The name
           participates in the cache key, so distinct analyses must use
@@ -41,8 +49,9 @@ val analysis_key : analysis -> string
 
 val analysis_of_string :
   ?ni_pairs:int -> ?ni_max_states:int -> string -> (analysis, string) result
-(** Parses ["denning" | "cfm" | "prove" | "cert" | "ni"]; [ni] takes its
-    bounds from the optional arguments (defaults 8 and 20000). *)
+(** Parses ["denning" | "cfm" | "prove" | "cert" | "ni" | "lint"]; [ni]
+    takes its bounds from the optional arguments (defaults 8 and
+    20000). *)
 
 val default_analyses : analysis list
 (** [[Cfm]]. *)
@@ -80,12 +89,13 @@ type analysis_result = {
   checks : int;
       (** Primitive certification checks (CFM/Denning), rule applications
           or checker errors (prove), certificate nodes or checker failures
-          (cert), or pairs tested (ni). *)
+          (cert), pairs tested (ni), or findings reported (lint). *)
   duration_ns : int64;
   artifact : string option;
-      (** A byproduct worth keeping — the certificate text for [Cert].
-          Cached with the result, so a cache hit returns the artifact
-          without re-running the analysis. *)
+      (** A byproduct worth keeping — the certificate text for [Cert],
+          the findings/claims report JSON for [Lint]. Cached with the
+          result, so a cache hit returns the artifact without re-running
+          the analysis. *)
 }
 
 type outcome = (analysis_result list, string) result
@@ -100,6 +110,12 @@ type result = {
   duration_ns : int64;
   from_cache : bool;
 }
+
+val lint_report_json : Ifc_analysis.Analyze.report -> string
+(** The [Lint] artifact renderer, exposed so [ifc lint --json] prints
+    byte-identical JSON to the cached artifact and the serve protocol's
+    ["report"] object: [{findings; claims; stats}], each finding with
+    [kind], [severity], [span], [message], and [related] when present. *)
 
 val run : ?digest:string -> spec -> result
 (** Executes the analyses in order, timing each. Any exception an

@@ -61,6 +61,9 @@ let cert_emit t ?id ?name ?lattice ?binding ?deadline_ms program =
 let cert_check t ?id ?name ?deadline_ms ~cert program =
   request t (Protocol.cert_check_line ?id ?name ?deadline_ms ~cert program)
 
+let lint t ?id ?name ?deadline_ms program =
+  request t (Protocol.lint_line ?id ?name ?deadline_ms program)
+
 let stats t = request t (Protocol.stats_line ())
 
 let ping t =

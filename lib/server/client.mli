@@ -60,6 +60,17 @@ val cert_check :
     against [program]; the response carries ["valid"] and, on rejection,
     the first failure. Requires protocol version 2. *)
 
+val lint :
+  t ->
+  ?id:Ifc_pipeline.Telemetry.json ->
+  ?name:string ->
+  ?deadline_ms:int ->
+  string ->
+  (Ifc_pipeline.Telemetry.json, string) result
+(** [lint t program] runs the static concurrency analyzer; the
+    response's ["report"] object carries the findings, claims, and
+    stats. Requires protocol version 3. *)
+
 val stats : t -> (Ifc_pipeline.Telemetry.json, string) result
 
 val ping : t -> (unit, string) result

@@ -2,10 +2,11 @@
 
 module J = Ifc_pipeline.Telemetry
 
-(* Version 2 added the cert op. Version-1 requests remain valid and get
-   byte-identical version-1 responses: responses echo the request's
-   declared version. *)
-let version = 2
+(* Version 2 added the cert op; version 3 the lint op. Older requests
+   remain valid and get byte-identical older responses: responses echo
+   the request's declared version, and no pre-existing op's envelope
+   changed shape. *)
+let version = 3
 let min_version = 1
 
 (* ------------------------------------------------------------------ *)
@@ -55,7 +56,18 @@ type cert_request = {
   cert_deadline_ms : int option;
 }
 
-type op = Check of check_request | Cert of cert_request | Stats | Ping
+type lint_request = {
+  lint_name : string;
+  lint_program : string;
+  lint_deadline_ms : int option;
+}
+
+type op =
+  | Check of check_request
+  | Cert of cert_request
+  | Lint of lint_request
+  | Stats
+  | Ping
 
 type parsed = { v : int; id : J.json; op : (op, error_code * string) result }
 
@@ -163,6 +175,22 @@ let parse_cert json =
              cert_deadline_ms;
            }))
 
+let parse_lint json =
+  match Jsonx.mem_string "program" json with
+  | None -> Error (Bad_request, "lint requires a string \"program\" field")
+  | Some program -> (
+    match parse_deadline json with
+    | Error e -> Error e
+    | Ok lint_deadline_ms ->
+      Ok
+        (Lint
+           {
+             lint_name =
+               Option.value ~default:"request" (Jsonx.mem_string "name" json);
+             lint_program = program;
+             lint_deadline_ms;
+           }))
+
 let parse_request line =
   match Jsonx.parse line with
   | Error msg ->
@@ -196,6 +224,19 @@ let parse_request line =
                   "op \"cert\" requires protocol version 2 (request declared 1)"
                 );
           }
+        | Some "lint" when n >= 3 -> { v = n; id; op = parse_lint json }
+        | Some "lint" ->
+          {
+            v = n;
+            id;
+            op =
+              Error
+                ( Bad_request,
+                  Printf.sprintf
+                    "op \"lint\" requires protocol version 3 (request declared \
+                     %d)"
+                    n );
+          }
         | Some other ->
           {
             v = n;
@@ -204,7 +245,8 @@ let parse_request line =
               Error
                 ( Bad_request,
                   Printf.sprintf
-                    "unknown op %S (use check, cert, stats, or ping)" other );
+                    "unknown op %S (use check, cert, lint, stats, or ping)"
+                    other );
           })
       | _ ->
         {
@@ -296,6 +338,18 @@ let cert_check_line ?(id = J.Null) ?(name = "request") ?deadline_ms ~cert
           ("name", J.String name);
           ("program", J.String program);
           ("cert", J.String cert);
+        ]
+       @ opt_field "deadline_ms" (fun n -> J.Int n) deadline_ms))
+
+let lint_line ?(id = J.Null) ?(name = "request") ?deadline_ms program =
+  J.json_to_string
+    (J.Obj
+       ([
+          ("v", J.Int version);
+          ("id", id);
+          ("op", J.String "lint");
+          ("name", J.String name);
+          ("program", J.String program);
         ]
        @ opt_field "deadline_ms" (fun n -> J.Int n) deadline_ms))
 

@@ -4,10 +4,12 @@
     specification; this module is its implementation. *)
 
 val version : int
-(** [2]. The newest protocol version this server speaks. Requests carry
+(** [3]. The newest protocol version this server speaks. Requests carry
     [{"v": n}] with [min_version <= n <= version]; every response echoes
-    the request's declared version, so version-1 clients see exactly the
-    version-1 wire format. *)
+    the request's declared version, and no pre-existing op's envelope
+    changed shape across versions, so older clients see exactly their
+    version's wire format. Version 2 added the [cert] op; version 3 the
+    [lint] op. *)
 
 val min_version : int
 (** [1]. The oldest protocol version still accepted. *)
@@ -57,7 +59,18 @@ type cert_request = {
   cert_deadline_ms : int option;
 }
 
-type op = Check of check_request | Cert of cert_request | Stats | Ping
+type lint_request = {
+  lint_name : string;  (** Echoed in logs; defaults to ["request"]. *)
+  lint_program : string;  (** Program source text. *)
+  lint_deadline_ms : int option;
+}
+
+type op =
+  | Check of check_request
+  | Cert of cert_request
+  | Lint of lint_request
+  | Stats
+  | Ping
 
 type parsed = {
   v : int;
@@ -68,8 +81,8 @@ type parsed = {
 }
 (** The request id is recovered even from requests that fail to parse
     beyond the envelope, so error responses still correlate. The [cert]
-    op requires version 2; declaring version 1 with [op = "cert"] is a
-    [Bad_request]. *)
+    op requires version 2 and the [lint] op version 3; declaring an older
+    version with a newer op is a [Bad_request]. *)
 
 val parse_request : string -> parsed
 
@@ -125,6 +138,16 @@ val cert_check_line :
   string
 (** [cert_check_line ~cert program] renders one version-2 cert/check
     request carrying the certificate text to validate. *)
+
+val lint_line :
+  ?id:Ifc_pipeline.Telemetry.json ->
+  ?name:string ->
+  ?deadline_ms:int ->
+  string ->
+  string
+(** [lint_line program] renders one version-3 lint request. Lint takes no
+    lattice or binding: the concurrency analysis only reads the
+    program. *)
 
 val stats_line : ?id:Ifc_pipeline.Telemetry.json -> unit -> string
 

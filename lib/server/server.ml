@@ -328,6 +328,49 @@ let exec_job t ~v id ~op_name ~fields ~job_name ~deadline spec =
             `Error "timeout" ))
     end
 
+(* Lint responses are check responses with the findings report spliced
+   in from the job artifact, so the client sees structured findings, not
+   an opaque string. *)
+let lint_fields (r : Job.result) =
+  let report =
+    match r.Job.outcome with
+    | Error _ -> []
+    | Ok analyses -> (
+      match List.find_opt (fun ar -> ar.Job.artifact <> None) analyses with
+      | Some { Job.artifact = Some text; _ } -> (
+        match Jsonx.parse text with
+        | Ok json -> [ ("report", json) ]
+        | Error _ -> [])
+      | _ -> [])
+  in
+  check_fields r @ report
+
+let exec_lint t ~v id (req : Protocol.lint_request) =
+  match parse_program_text req.Protocol.lint_program with
+  | Error msg ->
+    J.incr t.counters "errors";
+    J.incr t.counters "error.bad_request";
+    ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
+      `Error "bad_request" )
+  | Ok program -> (
+    (* Lint only reads the program; the spec's lattice and binding are
+       fixed placeholders so equal programs share a cache entry. *)
+    let lat = Lattice.stringify Chain.two in
+    match Binding.of_program lat program with
+    | Error msg ->
+      J.incr t.counters "errors";
+      J.incr t.counters "error.bad_request";
+      ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
+        `Error "bad_request" )
+    | Ok binding ->
+      let spec =
+        Job.make ~id:0 ~name:req.Protocol.lint_name ~lattice:lat ~binding
+          ~analyses:[ Job.Lint ] program
+      in
+      exec_job t ~v id ~op_name:"lint" ~fields:lint_fields
+        ~job_name:req.Protocol.lint_name
+        ~deadline:req.Protocol.lint_deadline_ms spec)
+
 let exec_check t ~v id (req : Protocol.check_request) =
   match build_spec req with
   | Error msg ->
@@ -493,7 +536,11 @@ let handle t item =
       | Ok (Protocol.Cert req) ->
         J.incr t.counters "op.cert";
         let response, verdict = exec_cert t ~v id req in
-        (response, verdict, "cert", Some req.Protocol.cert_name))
+        (response, verdict, "cert", Some req.Protocol.cert_name)
+      | Ok (Protocol.Lint req) ->
+        J.incr t.counters "op.lint";
+        let response, verdict = exec_lint t ~v id req in
+        (response, verdict, "lint", Some req.Protocol.lint_name))
   in
   let duration_ns = J.elapsed_ns timer in
   J.observe t.latency duration_ns;

@@ -1,0 +1,52 @@
+Golden tests for `ifc lint`, the static concurrency analyzer: may-happen-
+in-parallel races, semaphore liveness, and the paper's "conditional delay"
+observability warnings.
+
+Figure 3's handshake is race-unsafe at the mailbox m and both conditional
+handshakes leak through the delay of the waiting process:
+
+  $ ../../bin/ifc.exe lint fig3.ifc
+  line 6, cols 5-59: warning[imbalance]: branches differ in wait/signal balance on modified, modify; the branch taken is observable through the conditional delay of the waiting process
+  line 9, cols 5-59: warning[imbalance]: branches differ in wait/signal balance on modified, modify; the branch taken is observable through the conditional delay of the waiting process
+  line 11, cols 26-32: warning[race]: possible read/write race on m with a parallel process (see line 12, cols 24-30)
+  0 errors, 3 warnings over 23 statements (6 accesses, 3 parallel pairs)
+  claims: race-free false, deadlock-free false, must-block false
+  [2]
+
+Findings exit 2, like a rejected certification:
+
+  $ ../../bin/ifc.exe lint fig3.ifc > /dev/null; echo "exit $?"
+  exit 2
+
+A sequential program is clean and exits 0:
+
+  $ ../../bin/ifc.exe lint sec52.ifc; echo "exit $?"
+  0 errors, 0 warnings over 3 statements (3 accesses, 1 parallel pairs)
+  claims: race-free true, deadlock-free true, must-block false
+  exit 0
+
+A wait that no signal can ever satisfy is a guaranteed deadlock — an
+error, and the analyzer claims the program can never terminate:
+
+  $ ../../bin/ifc.exe lint deadlock.ifc; echo "exit $?"
+  line 9, cols 3-10: error[deadlock]: every execution performs at least 1 wait(s) but at most 0 units can ever be supplied (initially 0); some wait blocks forever
+  1 error, 0 warnings over 3 statements (1 accesses, 0 parallel pairs)
+  claims: race-free true, deadlock-free false, must-block true
+  exit 2
+
+--json emits the same report as one machine-readable object (the byte-
+identical artifact the batch pipeline caches and `ifc serve` returns):
+
+  $ ../../bin/ifc.exe lint --json deadlock.ifc
+  {"findings":[{"kind":"deadlock","severity":"error","span":"line 9, cols 3-10","message":"every execution performs at least 1 wait(s) but at most 0 units can ever be supplied (initially 0); some wait blocks forever"}],"claims":{"race_free":true,"deadlock_free":false,"must_block":true},"stats":{"statements":3,"accesses":1,"pairs":0}}
+  [2]
+
+  $ ../../bin/ifc.exe lint --json sec52.ifc
+  {"findings":[],"claims":{"race_free":true,"deadlock_free":true,"must_block":false},"stats":{"statements":3,"accesses":3,"pairs":1}}
+
+Unreadable programs are an error (exit 1), not a verdict:
+
+  $ echo 'var x : integer; begin x := end' > bad.ifc
+  $ ../../bin/ifc.exe lint bad.ifc; echo "exit $?"
+  ifc: bad.ifc: 1:29: expected an expression but found 'end'
+  exit 1

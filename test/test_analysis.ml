@@ -1,0 +1,398 @@
+(* Tests for the static concurrency analyzer: MHP structure and
+   handshake refinement, race detection, semaphore liveness, guard
+   lints, the dynamic race witness they are cross-checked against, and
+   the soundness property tying static claims to complete exploration. *)
+
+module Ast = Ifc_lang.Ast
+module Parser = Ifc_lang.Parser
+module Gen = Ifc_lang.Gen
+module Paper = Ifc_core.Paper
+module Mhp = Ifc_analysis.Mhp
+module Semlive = Ifc_analysis.Semlive
+module Guards = Ifc_analysis.Guards
+module Finding = Ifc_analysis.Finding
+module Analyze = Ifc_analysis.Analyze
+module Explore = Ifc_exec.Explore
+module Smap = Ifc_support.Smap
+module Arb = Qcheck_arbitrary
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let program src =
+  match Parser.parse_program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let kinds report =
+  List.map (fun (f : Finding.t) -> Finding.kind_name f.Finding.kind)
+    report.Analyze.findings
+
+let relation =
+  Alcotest.testable
+    (fun ppf r ->
+      Fmt.string ppf
+        (match r with
+        | Mhp.Equal -> "equal"
+        | Mhp.Before -> "before"
+        | Mhp.After -> "after"
+        | Mhp.Parallel -> "parallel"
+        | Mhp.Exclusive -> "exclusive"))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* MHP structure *)
+
+let test_mhp_relations () =
+  let t =
+    Mhp.create
+      (program
+         {|var x, y, z : integer;
+           begin
+             x := 1;
+             cobegin y := 1 || z := 1 coend;
+             if x = 0 then y := 2 else z := 2 fi
+           end|})
+  in
+  Alcotest.check relation "seq orders" Mhp.Before (Mhp.relate t [ 0 ] [ 1 ]);
+  Alcotest.check relation "seq orders (flip)" Mhp.After (Mhp.relate t [ 1 ] [ 0 ]);
+  Alcotest.check relation "cobegin branches are parallel" Mhp.Parallel
+    (Mhp.relate t [ 1; 0 ] [ 1; 1 ]);
+  Alcotest.check relation "if arms are exclusive" Mhp.Exclusive
+    (Mhp.relate t [ 2; 0 ] [ 2; 1 ]);
+  Alcotest.check relation "guard read precedes its arm" Mhp.Before
+    (Mhp.relate t [ 2 ] [ 2; 0 ]);
+  Alcotest.check relation "equal" Mhp.Equal (Mhp.relate t [ 1; 0 ] [ 1; 0 ]);
+  Alcotest.check relation "across constructs via seq" Mhp.Before
+    (Mhp.relate t [ 1; 0 ] [ 2; 1 ])
+
+let test_mhp_accesses () =
+  let t =
+    Mhp.create
+      (program
+         "var x, y : integer; a : array(4);\n\
+          begin x := y + 1; a[x] := 2; while y < 3 do y := y + 1 end")
+  in
+  (* x:=y+1 -> write x, read y; a(x):=2 -> write a, read x;
+     while guard -> read y; body -> write y, read y. *)
+  check_int "access count" 7 (List.length (Mhp.accesses t));
+  let writes =
+    List.filter (fun (a : Mhp.access) -> a.Mhp.write) (Mhp.accesses t)
+  in
+  Alcotest.(check (list string))
+    "write targets" [ "x"; "a"; "y" ]
+    (List.map (fun (a : Mhp.access) -> a.Mhp.var) writes)
+
+(* ------------------------------------------------------------------ *)
+(* Handshake refinement *)
+
+let handshake_src =
+  {|var x, y : integer; s : semaphore initially(0);
+    cobegin
+      begin x := 1; signal(s) end
+      || begin wait(s); y := x end
+    coend|}
+
+let test_handshake_orders () =
+  let t = Mhp.create (program handshake_src) in
+  (* x := 1 at [0;0], signal at [0;1], wait at [1;0], y := x at [1;1]. *)
+  check "x:=1 precedes y:=x through the handshake" true
+    (Mhp.handshake_ordered t [ 0; 0 ] [ 1; 1 ]);
+  check "so the pair is not MHP" false
+    (Mhp.may_happen_in_parallel t [ 0; 0 ] [ 1; 1 ]);
+  check "no reverse edge" false (Mhp.handshake_ordered t [ 1; 1 ] [ 0; 0 ]);
+  (* The wait itself is not ordered after the signal's predecessor by
+     anything but the handshake; unrelated parallel points stay MHP. *)
+  check "signal and wait sites are not data accesses" true
+    (List.for_all
+       (fun (a : Mhp.access) -> a.Mhp.var <> "s")
+       (Mhp.accesses t))
+
+let test_handshake_suppresses_race () =
+  let r = Analyze.run (program handshake_src) in
+  Alcotest.(check (list string)) "no findings" [] (kinds r);
+  check "race_free" true r.Analyze.claims.Analyze.race_free;
+  (* The wait is not covered by the initial count, so the analyzer will
+     not claim the program free of transient blocking. *)
+  check "not claimed deadlock_free" false
+    r.Analyze.claims.Analyze.deadlock_free;
+  check "not must_block" false r.Analyze.claims.Analyze.must_block
+
+let test_nonzero_init_breaks_eligibility () =
+  (* With initially(1) the wait can be satisfied by the initial unit, so
+     the handshake proves nothing and the race must be reported. *)
+  let src =
+    {|var x, y : integer; s : semaphore initially(1);
+      cobegin
+        begin x := 1; signal(s) end
+        || begin wait(s); y := x end
+      coend|}
+  in
+  let r = Analyze.run (program src) in
+  check "race reported" true (List.mem "race" (kinds r));
+  check "not race_free" false r.Analyze.claims.Analyze.race_free
+
+let test_looping_site_breaks_eligibility () =
+  (* A signal site under a while makes the semaphore ineligible: a unit
+     from an earlier iteration could satisfy the wait. *)
+  let src =
+    {|var x, y, i : integer; s : semaphore initially(0);
+      cobegin
+        while i < 2 do begin x := 1; signal(s); i := i + 1 end
+        || begin wait(s); y := x end
+      coend|}
+  in
+  let r = Analyze.run (program src) in
+  check "race reported" true (List.mem "race" (kinds r))
+
+let test_plain_race_detected () =
+  let r =
+    Analyze.run
+      (program "var x : integer; cobegin x := 1 || x := 2 coend")
+  in
+  check "write/write race" true (List.mem "race" (kinds r));
+  check "not race_free" false r.Analyze.claims.Analyze.race_free;
+  let f =
+    List.find
+      (fun (f : Finding.t) -> f.Finding.kind = Finding.Race)
+      r.Analyze.findings
+  in
+  check "race carries the second endpoint" true (f.Finding.related <> None)
+
+let test_exclusive_arms_do_not_race () =
+  let r =
+    Analyze.run
+      (program
+         "var x, e : integer; if e = 0 then x := 1 else x := 2 fi")
+  in
+  check "no race between if arms" false (List.mem "race" (kinds r))
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore liveness *)
+
+let test_guaranteed_deadlock () =
+  let r =
+    Analyze.run
+      (program
+         {|var x : integer; s : semaphore initially(0);
+           begin wait(s); x := 1 end|})
+  in
+  check "deadlock reported" true (List.mem "deadlock" (kinds r));
+  check "must_block" true r.Analyze.claims.Analyze.must_block;
+  check "not deadlock_free" false r.Analyze.claims.Analyze.deadlock_free;
+  let f =
+    List.find
+      (fun (f : Finding.t) -> f.Finding.kind = Finding.Deadlock)
+      r.Analyze.findings
+  in
+  check "deadlock is an error" true (f.Finding.severity = Finding.Error)
+
+let test_initial_count_covers_wait () =
+  let r =
+    Analyze.run
+      (program
+         {|var x : integer; s : semaphore initially(2);
+           begin wait(s); x := 1 end|})
+  in
+  check "no deadlock finding" false (List.mem "deadlock" (kinds r));
+  check "deadlock_free" true r.Analyze.claims.Analyze.deadlock_free
+
+let test_lost_signal () =
+  let r =
+    Analyze.run
+      (program
+         "var x : integer; s : semaphore initially(0);\n\
+          begin x := 1; signal(s) end")
+  in
+  check "lost signal reported" true (List.mem "lost-signal" (kinds r))
+
+let test_if_imbalance () =
+  let r =
+    Analyze.run
+      (program
+         {|var e : integer; s : semaphore initially(1);
+           cobegin
+             begin if e = 0 then signal(s) else skip fi end
+             || wait(s)
+           coend|})
+  in
+  check "imbalance reported" true (List.mem "imbalance" (kinds r))
+
+let test_loop_synchronization_imbalance () =
+  let r =
+    Analyze.run
+      (program
+         {|var i : integer; s : semaphore initially(0);
+           while i < 3 do begin signal(s); i := i + 1 end|})
+  in
+  check "loop synchronization reported" true (List.mem "imbalance" (kinds r))
+
+let test_usages_interval () =
+  let p =
+    program
+      {|var i, e : integer; s : semaphore initially(0);
+        begin
+          while i < 2 do wait(s);
+          if e = 0 then signal(s) else skip fi
+        end|}
+  in
+  let u = Smap.find "s" (Semlive.usages p.Ast.body) in
+  check_int "loop wait_min is 0" 0 u.Semlive.wait_min;
+  check "loop wait_max is unbounded" true (u.Semlive.wait_max = Semlive.Inf);
+  check_int "branch signal_min is 0" 0 u.Semlive.signal_min;
+  check "branch signal_max is 1" true (u.Semlive.signal_max = Semlive.Fin 1)
+
+(* ------------------------------------------------------------------ *)
+(* Guard lints *)
+
+let test_constant_guards () =
+  let r =
+    Analyze.run
+      (program
+         {|var x : integer;
+           begin
+             if 1 = 1 then x := 1 else x := 2 fi;
+             while 2 < 1 do x := 3
+           end|})
+  in
+  check_int "two guard lints" 2
+    (List.length
+       (List.filter (fun k -> k = "guard") (kinds r)));
+  check "guards do not affect claims" true r.Analyze.claims.Analyze.race_free
+
+let test_variable_guard_not_linted () =
+  let r =
+    Analyze.run (program "var x : integer; while x < 3 do x := x + 1")
+  in
+  Alcotest.(check (list string)) "clean" [] (kinds r)
+
+(* ------------------------------------------------------------------ *)
+(* The dynamic race witness the fuzzer cross-checks against *)
+
+let test_dynamic_race_witness () =
+  let s =
+    Explore.explore_program
+      (program "var x : integer; cobegin x := 1 || x := 2 coend")
+  in
+  Alcotest.(check (list string)) "x witnessed" [ "x" ] s.Explore.races
+
+let test_dynamic_no_race_through_handshake () =
+  let s = Explore.explore_program (program handshake_src) in
+  Alcotest.(check (list string)) "no witness" [] s.Explore.races;
+  check "exploration complete" true s.Explore.complete
+
+let test_sem_ops_never_witness () =
+  let s =
+    Explore.explore_program
+      (program
+         "var x : integer; s : semaphore initially(0);\n\
+          cobegin signal(s) || wait(s) coend")
+  in
+  Alcotest.(check (list string)) "sem ops are not data" [] s.Explore.races
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program fixtures *)
+
+let test_quickstart_clean () =
+  let src =
+    {|var secret, public : integer;
+      ready : semaphore initially(0);
+      cobegin
+        begin public := 2 * public + 1; signal(ready) end
+        || begin wait(ready); secret := secret + public end
+      coend|}
+  in
+  let r = Analyze.run (program src) in
+  Alcotest.(check (list string)) "no findings" [] (kinds r);
+  check "race_free" true r.Analyze.claims.Analyze.race_free
+
+let test_fig3_report () =
+  let r = Analyze.run Paper.fig3 in
+  check "fig3 has the m race" true (List.mem "race" (kinds r));
+  check_int "fig3 has two conditional-delay imbalances" 2
+    (List.length (List.filter (fun k -> k = "imbalance") (kinds r)));
+  check "not race_free" false r.Analyze.claims.Analyze.race_free
+
+let test_report_sorted_and_counted () =
+  let r = Analyze.run Paper.fig3 in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Finding.compare a b <= 0 && sorted rest
+    | _ -> true
+  in
+  check "findings sorted" true (sorted r.Analyze.findings);
+  check "statements counted" true (r.Analyze.stats.Analyze.statements > 0);
+  check "accesses counted" true (r.Analyze.stats.Analyze.accesses > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Soundness: complete dynamic exploration never refutes static claims *)
+
+let qtest ?(count = 150) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let claims_sound =
+  qtest "complete exploration never refutes static claims"
+    (Arb.program ~max_size:10 ())
+    (fun p ->
+      let r = Analyze.run p in
+      let s = Explore.explore_program ~max_states:30_000 p in
+      (* Bounded or faulting explorations prove nothing; skip them. *)
+      if (not s.Explore.complete) || s.Explore.faults <> [] then true
+      else
+        ((not r.Analyze.claims.Analyze.race_free) || s.Explore.races = [])
+        && ((not r.Analyze.claims.Analyze.deadlock_free)
+           || s.Explore.deadlocks = [])
+        && ((not r.Analyze.claims.Analyze.must_block)
+           || s.Explore.terminals = []))
+
+let deadlock_free_implies_no_deadlock =
+  qtest "deadlock_free => can_deadlock is false"
+    (Arb.program ~max_size:10 ())
+    (fun p ->
+      let r = Analyze.run p in
+      if not r.Analyze.claims.Analyze.deadlock_free then true
+      else
+        let s = Explore.explore_program ~max_states:30_000 p in
+        (not s.Explore.complete) || not (Explore.can_deadlock s))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "mhp relations" `Quick test_mhp_relations;
+      Alcotest.test_case "mhp accesses" `Quick test_mhp_accesses;
+      Alcotest.test_case "handshake orders" `Quick test_handshake_orders;
+      Alcotest.test_case "handshake suppresses race" `Quick
+        test_handshake_suppresses_race;
+      Alcotest.test_case "nonzero init breaks eligibility" `Quick
+        test_nonzero_init_breaks_eligibility;
+      Alcotest.test_case "looping site breaks eligibility" `Quick
+        test_looping_site_breaks_eligibility;
+      Alcotest.test_case "plain race detected" `Quick test_plain_race_detected;
+      Alcotest.test_case "exclusive arms do not race" `Quick
+        test_exclusive_arms_do_not_race;
+      Alcotest.test_case "guaranteed deadlock" `Quick test_guaranteed_deadlock;
+      Alcotest.test_case "initial count covers wait" `Quick
+        test_initial_count_covers_wait;
+      Alcotest.test_case "lost signal" `Quick test_lost_signal;
+      Alcotest.test_case "if imbalance" `Quick test_if_imbalance;
+      Alcotest.test_case "loop synchronization imbalance" `Quick
+        test_loop_synchronization_imbalance;
+      Alcotest.test_case "usage intervals" `Quick test_usages_interval;
+      Alcotest.test_case "constant guards" `Quick test_constant_guards;
+      Alcotest.test_case "variable guard not linted" `Quick
+        test_variable_guard_not_linted;
+      Alcotest.test_case "dynamic race witness" `Quick test_dynamic_race_witness;
+      Alcotest.test_case "no dynamic race through handshake" `Quick
+        test_dynamic_no_race_through_handshake;
+      Alcotest.test_case "sem ops never witness" `Quick
+        test_sem_ops_never_witness;
+      Alcotest.test_case "quickstart program is clean" `Quick
+        test_quickstart_clean;
+      Alcotest.test_case "fig3 report" `Quick test_fig3_report;
+      Alcotest.test_case "report sorted and counted" `Quick
+        test_report_sorted_and_counted;
+      claims_sound;
+      deadlock_free_implies_no_deadlock;
+    ] )

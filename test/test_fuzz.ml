@@ -47,7 +47,10 @@ let fresh_dir () =
 (* ------------------------------------------------------------------ *)
 (* Taxonomy *)
 
-let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0) () =
+let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0)
+    ?(lint_race_free = true) ?(lint_deadlock_free = true)
+    ?(lint_must_block = false) ?(lint_findings = 0) ?(dyn_race = false)
+    ?(dyn_deadlock = false) ?(dyn_terminal = true) ?(dyn_complete = true) () =
   {
     Classify.cfm;
     denning;
@@ -57,6 +60,14 @@ let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0) () =
     ni_tested = 8;
     ni_skipped = 0;
     ni_violations = viol;
+    lint_race_free;
+    lint_deadlock_free;
+    lint_must_block;
+    lint_findings;
+    dyn_race;
+    dyn_deadlock;
+    dyn_terminal;
+    dyn_complete;
   }
 
 let primary_of vv = Classify.primary vv (Classify.classify vv)
@@ -88,7 +99,32 @@ let test_classify_table () =
   check_string "confirmed rejection" "confirmed-rejection"
     (primary_of (v ~cfm:false ~denning:false ~fs:false ~prove:false ~viol:2 ()));
   check_string "unconfirmed rejection" "unconfirmed-rejection"
-    (primary_of (v ~cfm:false ~denning:false ~fs:false ~prove:false ()))
+    (primary_of (v ~cfm:false ~denning:false ~fs:false ~prove:false ()));
+  check_string "claimed race-free but a race was witnessed" "race-unsound"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false ~dyn_race:true ()));
+  check_string "claimed deadlock-free but a deadlock was reached"
+    "deadlock-unsound"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false ~dyn_deadlock:true ()));
+  check_string "claimed must-block but a run terminated" "deadlock-unsound"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false ~lint_must_block:true
+          ~lint_deadlock_free:false ()));
+  check_string "no inversion when the analyzer already warned"
+    "unconfirmed-rejection"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false
+          ~lint_race_free:false ~lint_findings:1 ~dyn_race:true ()));
+  check_string "a reached deadlock is fine when not claimed free"
+    "unconfirmed-rejection"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false
+          ~lint_deadlock_free:false ~dyn_deadlock:true ~dyn_terminal:false ()));
+  check_string "cert inversion outranks race-unsound" "cert-inversion"
+    (primary_of
+       (v ~cfm:true ~denning:true ~fs:true ~prove:true ~cert_ok:false
+          ~dyn_race:true ()))
 
 let test_classify_labels_total () =
   (* Every primary label the classifier can emit is in the canonical
@@ -182,6 +218,10 @@ let test_corpus_replay () =
       (List.exists (fun e -> e.Corpus.name = "sec52") entries);
     check "fig3-sync seeded" true
       (List.exists (fun e -> e.Corpus.name = "fig3-sync") entries);
+    check "deadlock seeded" true
+      (List.exists (fun e -> e.Corpus.name = "deadlock") entries);
+    check "handshake-leak seeded" true
+      (List.exists (fun e -> e.Corpus.name = "handshake-leak") entries);
     List.iter
       (fun (e : Corpus.entry) ->
         let name = e.Corpus.name in
@@ -203,7 +243,15 @@ let test_corpus_replay () =
         check (name ^ ": cert") true
           (Bool.equal exp.Corpus.cert vv.Classify.cert_ok);
         check (name ^ ": interfering") true
-          (Bool.equal exp.Corpus.interfering (vv.Classify.ni_violations > 0)))
+          (Bool.equal exp.Corpus.interfering (vv.Classify.ni_violations > 0));
+        check (name ^ ": race_free") true
+          (Bool.equal exp.Corpus.race_free vv.Classify.lint_race_free);
+        check (name ^ ": deadlock_free") true
+          (Bool.equal exp.Corpus.deadlock_free vv.Classify.lint_deadlock_free);
+        check (name ^ ": must_block") true
+          (Bool.equal exp.Corpus.must_block vv.Classify.lint_must_block);
+        check_int (name ^ ": lint_findings") exp.Corpus.lint_findings
+          vv.Classify.lint_findings)
       (entries : Corpus.entry list)
 
 let test_corpus_roundtrip () =
@@ -334,6 +382,51 @@ let test_planted_cert_inversion_end_to_end () =
   | cs ->
     Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
 
+let test_planted_lint_unsound_end_to_end () =
+  let dir = fresh_dir () in
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 0;
+      jobs = 1;
+      plant_lint_unsound = true;
+      corpus_dir = Some dir;
+    }
+  in
+  let s = Campaign.run config in
+  check_int "one case ran" 1 s.Campaign.completed;
+  check_int "one inversion case" 1 s.Campaign.inversion_cases;
+  check_int "exit code flags the inversion" 2 (Campaign.exit_code s);
+  match s.Campaign.counterexamples with
+  | [ c ] ->
+    check_string "classified as deadlock-unsound" "deadlock-unsound"
+      c.Campaign.label;
+    (* The planted program blocks on an unsignalled semaphore; the lying
+       analyzer claims it safe and dynamic exploration refutes it. The
+       shrinker keeps the refutation alive down to the bare wait. *)
+    check "shrunk below the planted padding" true
+      (c.Campaign.shrunk_statements < c.Campaign.original_statements);
+    check "persisted to the corpus" true (c.Campaign.corpus_path <> None);
+    (match Corpus.load dir with
+    | Ok [ e ] ->
+      check "corpus name carries the label" true
+        (contains_substring e.Corpus.name "deadlock-unsound");
+      (* The sidecar records HONEST verdicts: the real analyzer reports
+         the deadlock the planted override hid. *)
+      check "honest analyzer sees the block" false
+        e.Corpus.expected.Corpus.deadlock_free;
+      check "honest analyzer has findings" true
+        (e.Corpus.expected.Corpus.lint_findings > 0);
+      let vv = Corpus.replay_verdicts e.Corpus.binding e.Corpus.program in
+      check "replay agrees" true
+        (Bool.equal e.Corpus.expected.Corpus.deadlock_free
+           vv.Classify.lint_deadlock_free)
+    | Ok entries ->
+      Alcotest.failf "expected 1 corpus entry, got %d" (List.length entries)
+    | Error msg -> Alcotest.failf "corpus reload failed: %s" msg)
+  | cs ->
+    Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
+
 let test_campaign_worker_count_determinism () =
   let config jobs =
     {
@@ -390,6 +483,8 @@ let suite =
         test_planted_inversion_end_to_end;
       Alcotest.test_case "planted cert inversion end-to-end" `Quick
         test_planted_cert_inversion_end_to_end;
+      Alcotest.test_case "planted lint-unsound end-to-end" `Quick
+        test_planted_lint_unsound_end_to_end;
       Alcotest.test_case "worker-count determinism" `Quick
         test_campaign_worker_count_determinism;
       Alcotest.test_case "healthy campaign clean" `Quick

@@ -272,7 +272,43 @@ let test_wellformed_var_as_sem () =
 
 let test_wellformed_duplicate () =
   let p = parse_program_exn "var x : integer; x : integer; skip" in
-  check "duplicate decl rejected" false (Wellformed.is_valid p)
+  check "duplicate decl rejected" false (Wellformed.is_valid p);
+  let msg =
+    match Wellformed.errors p with
+    | [ i ] -> i.Wellformed.message
+    | _ -> Alcotest.fail "expected exactly one error"
+  in
+  check "same-kind message" true
+    (msg = "duplicate declaration of x (both as integer variable)")
+
+let test_wellformed_duplicate_cross_kind () =
+  (* Redeclaring a name as a different kind is the nastier bug; the
+     message must name both kinds in declaration order. *)
+  let p =
+    parse_program_exn "var x : integer; x : semaphore initially(0); skip"
+  in
+  check "cross-kind duplicate rejected" false (Wellformed.is_valid p);
+  (match Wellformed.errors p with
+  | [ i ] ->
+    check "cross-kind message" true
+      (i.Wellformed.message
+      = "duplicate declaration of x (first as integer variable, again as \
+         semaphore)")
+  | _ -> Alcotest.fail "expected exactly one error");
+  let p2 = parse_program_exn "var a : array(4); a : integer; skip" in
+  (match Wellformed.errors p2 with
+  | [ i ] ->
+    check "array/integer message" true
+      (i.Wellformed.message
+      = "duplicate declaration of a (first as array, again as integer \
+         variable)")
+  | _ -> Alcotest.fail "expected exactly one error");
+  (* Three declarations of one name report one error per extra decl. *)
+  let p3 =
+    parse_program_exn
+      "var y : integer; y : integer; y : semaphore initially(1); skip"
+  in
+  check_int "two errors for a triplicate" 2 (List.length (Wellformed.errors p3))
 
 let test_wellformed_atomicity_warning () =
   let p =
@@ -453,6 +489,8 @@ let suite =
       Alcotest.test_case "wellformed assign to sem" `Quick test_wellformed_assign_to_sem;
       Alcotest.test_case "wellformed var as sem" `Quick test_wellformed_var_as_sem;
       Alcotest.test_case "wellformed duplicate" `Quick test_wellformed_duplicate;
+      Alcotest.test_case "wellformed duplicate cross-kind" `Quick
+        test_wellformed_duplicate_cross_kind;
       Alcotest.test_case "atomicity warning" `Quick test_wellformed_atomicity_warning;
       Alcotest.test_case "atomicity single ref ok" `Quick
         test_wellformed_atomicity_ok_single_ref;

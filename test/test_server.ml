@@ -281,7 +281,18 @@ let test_protocol_parse () =
   check_int "v1 recorded" 1
     (Protocol.parse_request {|{"v": 1, "op": "ping"}|}).Protocol.v;
   check_int "v2 recorded" 2
-    (Protocol.parse_request (Protocol.cert_emit_line "p")).Protocol.v
+    (Protocol.parse_request {|{"v": 2, "op": "ping"}|}).Protocol.v;
+  check_int "v3 recorded" 3
+    (Protocol.parse_request (Protocol.cert_emit_line "p")).Protocol.v;
+  (* lint ops: version 3 only; the request carries just the program. *)
+  (match (Protocol.parse_request (Protocol.lint_line ~name:"l" "p")).Protocol.op with
+  | Ok (Protocol.Lint r) ->
+    check_str "lint name" "l" r.Protocol.lint_name;
+    check_str "lint program" "p" r.Protocol.lint_program
+  | _ -> Alcotest.fail "lint line rejected");
+  expect_error "lint under v2" {|{"v": 2, "op": "lint", "program": "p"}|}
+    "bad_request";
+  expect_error "lint without program" {|{"v": 3, "op": "lint"}|} "bad_request"
 
 (* ------------------------------------------------------------------ *)
 (* Socket-level helpers *)
@@ -516,13 +527,15 @@ let test_connection_cap_answers_overloaded () =
 let test_cert_over_the_wire () =
   with_server @@ fun endpoint _server ->
   with_conn endpoint (fun client ->
-      (* Emit: a version-2 request comes back in a version-2 envelope
-         carrying a parseable version-1 certificate. *)
+      (* Emit: the client declares the current protocol version and the
+         response envelope echoes it back, carrying a parseable
+         version-1 certificate. *)
       let response =
         fail_result (Client.cert_emit client ~name:"wire" quick_program)
       in
       check "emit ok" true (Protocol.response_ok response);
-      check "v2 echoed" true (Jsonx.member "v" response = Some (J.Int 2));
+      check "version echoed" true
+        (Jsonx.member "v" response = Some (J.Int Protocol.version));
       let cert_text =
         match Option.bind (Jsonx.member "cert" response) Jsonx.string_opt with
         | Some text -> text
@@ -552,6 +565,48 @@ let test_cert_over_the_wire () =
       in
       check_str "garbage cert" "bad_request" (response_code response);
       (* The connection survives all of it. *)
+      let* () = Client.ping client in
+      Ok ())
+
+let test_lint_over_the_wire () =
+  with_server @@ fun endpoint _server ->
+  with_conn endpoint (fun client ->
+      (* A clean program passes with an empty findings list in the report. *)
+      let response = fail_result (Client.lint client ~name:"wire" quick_program) in
+      check "lint ok" true (Protocol.response_ok response);
+      check "version echoed" true
+        (Jsonx.member "v" response = Some (J.Int Protocol.version));
+      check "clean verdict" true
+        (Jsonx.member "verdict" response = Some (J.String "pass"));
+      let report response =
+        match Jsonx.member "report" response with
+        | Some r -> r
+        | None -> Alcotest.fail "lint response carries no report"
+      in
+      check "no findings" true
+        (Jsonx.member "findings" (report response) = Some (J.List []));
+      (* A racy program fails and the report withdraws the race-freedom
+         claim. *)
+      let racy = "var x : integer;\nbegin cobegin x := 1 || x := 2 coend end" in
+      let response = fail_result (Client.lint client racy) in
+      check "racy answered" true (Protocol.response_ok response);
+      check "racy verdict" true
+        (Jsonx.member "verdict" response = Some (J.String "fail"));
+      check "findings reported" true
+        (match Jsonx.member "findings" (report response) with
+        | Some (J.List (_ :: _)) -> true
+        | _ -> false);
+      check "race claim withdrawn" true
+        (match Jsonx.member "claims" (report response) with
+        | Some claims -> Jsonx.member "race_free" claims = Some (J.Bool false)
+        | None -> false);
+      (* A second identical request rides the digest cache. *)
+      let response = fail_result (Client.lint client racy) in
+      check "cache hit" true
+        (Jsonx.member "cache" response = Some (J.String "hit"));
+      (* Unparseable programs are a structured refusal, not a crash. *)
+      let response = fail_result (Client.lint client "var") in
+      check_str "parse refusal" "bad_request" (response_code response);
       let* () = Client.ping client in
       Ok ())
 
@@ -703,6 +758,7 @@ let suite =
       quick "oversized request keeps the connection" test_oversized_request_keeps_connection;
       quick "connection cap answers overloaded" test_connection_cap_answers_overloaded;
       quick "cert emit and check over the wire" test_cert_over_the_wire;
+      quick "lint over the wire" test_lint_over_the_wire;
       quick "version-1 clients unaffected" test_v1_clients_unaffected;
       quick "tcp endpoint with ephemeral port" test_tcp_endpoint;
       quick "sigterm drains in-flight requests" test_sigterm_drains_in_flight;
