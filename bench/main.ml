@@ -14,6 +14,9 @@
                (termination-insensitive) noninterference test
      PIPE      the batch pipeline: throughput at 1/2/4 domains with
                verdict-multiset determinism, and result-cache hit rates
+     STORE     the persistent artifact store: cold vs warm vs
+               one-line-edit incremental certification rates, and the
+               spine-only recompute claim
      FUZZ      the differential fuzzing campaign: cases/s through the
                full analyzer matrix, oracle skip rate, and the cost of
                shrinking a planted soundness inversion
@@ -26,8 +29,8 @@
      micro     Bechamel micro-benchmarks of every analysis entry point
 
    Usage: dune exec bench/main.exe [-- SECTION ...]
-   Sections: tables fig3 theorems strength scaling ni pipeline fuzz lint
-   cert server micro all
+   Sections: tables fig3 theorems strength scaling ni pipeline store fuzz
+   lint cert server micro all
    (default all). Add "quick" to shrink corpus and sweep sizes.
 
    Besides the human tables, every section prints one or more
@@ -804,6 +807,139 @@ let server_bench ~clients ~requests () =
     (try Sys.remove sock with Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* STORE: the persistent artifact store and incremental certification —
+   cold (compute + persist) vs warm (summaries replayed from disk) vs
+   one-line-edit (only the spine recomputed) certification rates. *)
+
+let store_bench ~corpus ~edits () =
+  banner
+    (Printf.sprintf
+       "STORE: incremental certification over the persistent store (%d programs)"
+       corpus);
+  let module Store = Ifc_store.Store in
+  let module Incremental = Ifc_store.Incremental in
+  let module J = Ifc_pipeline.Telemetry in
+  let stwo = Lattice.stringify two in
+  let binding = Binding.make stwo ~default:stwo.Lattice.bottom [] in
+  let rng = Prng.create 6029 in
+  let programs =
+    List.init corpus (fun i -> Gen.program rng Gen.default ~size:(20 + (i mod 80)))
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ifc-bench-store-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  let with_store f =
+    match Store.open_ dir with
+    | Error msg -> Fmt.epr "store bench skipped: %s@." msg
+    | Ok st -> f st
+  in
+  let certify_all ctx =
+    let timer = J.start () in
+    let certified =
+      List.fold_left
+        (fun acc p -> if Incremental.certify_program ctx p then acc + 1 else acc)
+        0 programs
+    in
+    (certified, Int64.to_float (J.elapsed_ns timer) /. 1e9)
+  in
+  with_store (fun st ->
+      (* Cold: every summary computed from scratch and persisted. *)
+      let ctx = Incremental.create ~store:st binding in
+      let certified, cold_s = certify_all ctx in
+      let cold = Incremental.stats ctx in
+      Fmt.pr "cold: %d programs (%d certified) in %.3f s (%.0f certs/s), %d \
+              summaries computed@."
+        corpus certified cold_s
+        (float_of_int corpus /. cold_s)
+        cold.Incremental.computed;
+      metric_f "store" "cold_certs_per_sec" (float_of_int corpus /. cold_s));
+  with_store (fun st ->
+      (* Warm: a fresh session (empty memo) over the same store — every
+         subtree answered by disk lookup, zero lattice work. *)
+      let ctx = Incremental.create ~store:st binding in
+      let _, warm_s = certify_all ctx in
+      let warm = Incremental.stats ctx in
+      let total =
+        warm.Incremental.computed + warm.Incremental.reused_memory
+        + warm.Incremental.reused_disk
+      in
+      Fmt.pr "warm: %.3f s (%.0f certs/s); %d/%d summaries from disk, %d \
+              recomputed@."
+        warm_s
+        (float_of_int corpus /. warm_s)
+        warm.Incremental.reused_disk total warm.Incremental.computed;
+      metric_f "store" "warm_certs_per_sec" (float_of_int corpus /. warm_s);
+      metric_i "store" "warm_recomputed" warm.Incremental.computed;
+      metric_f "store" "warm_disk_reuse_pct"
+        (if total = 0 then 0.
+         else 100. *. float_of_int warm.Incremental.reused_disk
+              /. float_of_int total);
+      (* One-line edit: bump the constant in the first assignment of a
+         large program; only the spine from that leaf to the root may be
+         recomputed, however big the rest of the tree is. *)
+      let big = Gen.program (Prng.create 8086) Gen.default ~size:600 in
+      let edit k (p : Ast.program) =
+        let changed = ref false in
+        let rec stmt (s : Ast.stmt) =
+          if !changed then s
+          else
+            match s.Ast.node with
+            | Ast.Assign (v, Ast.Int _) ->
+              changed := true;
+              { s with Ast.node = Ast.Assign (v, Ast.Int k) }
+            | Ast.Seq ss -> { s with Ast.node = Ast.Seq (List.map stmt ss) }
+            | Ast.Cobegin ss ->
+              { s with Ast.node = Ast.Cobegin (List.map stmt ss) }
+            | Ast.If (e, a, b) ->
+              let a' = stmt a in
+              { s with Ast.node = Ast.If (e, a', stmt b) }
+            | Ast.While (e, body) ->
+              { s with Ast.node = Ast.While (e, stmt body) }
+            | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _
+            | Ast.Wait _ | Ast.Signal _ -> s
+        in
+        { p with Ast.body = stmt p.Ast.body }
+      in
+      let ctx = Incremental.create ~store:st binding in
+      ignore (Incremental.certify_program ctx big);
+      Incremental.reset_stats ctx;
+      let timer = J.start () in
+      for k = 1 to edits do
+        ignore (Incremental.certify_program ctx (edit k big))
+      done;
+      let edit_s = Int64.to_float (J.elapsed_ns timer) /. 1e9 in
+      let s = Incremental.stats ctx in
+      let spine =
+        float_of_int s.Incremental.computed /. float_of_int (max 1 edits)
+      in
+      let nodes = Metrics.length big in
+      Fmt.pr "one-line edit on a %d-node program: %d re-certifications in \
+              %.3f s (%.0f certs/s), %.1f spine nodes recomputed per edit@."
+        nodes edits edit_s
+        (float_of_int edits /. edit_s)
+        spine;
+      metric_f "store" "edit_certs_per_sec" (float_of_int edits /. edit_s);
+      metric_f "store" "edit_spine_nodes" spine;
+      metric_i "store" "edit_program_nodes" nodes;
+      let d = Store.disk_stats st in
+      Fmt.pr "store: %d entries, %d summaries, %d bytes on disk@."
+        d.Store.entries d.Store.summaries
+        (d.Store.entry_bytes + d.Store.summary_bytes);
+      metric_i "store" "summaries_on_disk" d.Store.summaries);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel). *)
 
 let micro () =
@@ -887,7 +1023,7 @@ let () =
     match List.filter (fun a -> a <> "quick") args with
     | [] | [ "all" ] ->
       [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling";
-        "ni"; "pipeline"; "fuzz"; "lint"; "cert"; "server"; "micro" ]
+        "ni"; "pipeline"; "store"; "fuzz"; "lint"; "cert"; "server"; "micro" ]
     | s -> s
   in
   let corpus = if quick then 100 else 400 in
@@ -902,6 +1038,11 @@ let () =
     | "scaling" -> scaling ~sizes ()
     | "ni" -> soundness ~corpus:(if quick then 15 else 30) ()
     | "pipeline" -> pipeline ~corpus:(if quick then 60 else 240) ()
+    | "store" ->
+      store_bench
+        ~corpus:(if quick then 40 else 120)
+        ~edits:(if quick then 50 else 200)
+        ()
     | "fuzz" -> fuzz_bench ~cases:(if quick then 40 else 150) ()
     | "lint" -> lint_bench ~corpus:(if quick then 200 else 800) ()
     | "cert" -> cert_bench ~corpus:(if quick then 60 else 200) ()

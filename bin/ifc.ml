@@ -34,7 +34,9 @@ module Ni = Ifc_exec.Noninterference
 module Job = Ifc_pipeline.Job
 module Cache = Ifc_pipeline.Cache
 module Batch = Ifc_pipeline.Batch
+module Tier = Ifc_pipeline.Tier
 module Telemetry = Ifc_pipeline.Telemetry
+module Store = Ifc_store.Store
 module Campaign = Ifc_fuzz.Campaign
 module Analyze = Ifc_analysis.Analyze
 module Cert = Ifc_cert.Cert
@@ -825,8 +827,8 @@ let write_batch_certs dir results =
   Fmt.pr "certificates written: %d (to %s)@." written dir
 
 let run_batch lattice_name binding_file self_check jobs use_cache cache_size
-    log_file analyses_csv ni_pairs ni_max_states gen_n gen_size gen_seed
-    gen_sequential repeat verbose emit_certs files =
+    store_dir log_file analyses_csv ni_pairs ni_max_states gen_n gen_size
+    gen_seed gen_sequential repeat verbose emit_certs files =
   let result =
     let* () =
       if jobs < 1 then Error "--jobs must be at least 1" else Ok ()
@@ -864,12 +866,29 @@ let run_batch lattice_name binding_file self_check jobs use_cache cache_size
             Job.make ~id:i ~name ~lattice:lat ~binding ~analyses ~self_check p)
           corpus
       in
+      (* --store implies the memory cache: the tier layers under it, and
+         warm-start preloading needs somewhere to put the hot set. *)
       let cache =
-        if use_cache then Some (Cache.create ~capacity:cache_size ()) else None
+        if use_cache || store_dir <> None then
+          Some (Cache.create ~capacity:cache_size ())
+        else None
+      in
+      let* store =
+        match store_dir with
+        | None -> Ok None
+        | Some dir ->
+          let* s = Store.open_ dir in
+          let tier = Store.tier s in
+          (match cache with
+          | Some cache ->
+            Fmt.pr "store: preloaded %d entries from %s@."
+              (tier.Tier.preload cache) dir
+          | None -> ());
+          Ok (Some tier)
       in
       (* with_sink closes (and flushes) the log on every exit path, so
          a raising batch still leaves a whole-line JSONL file. *)
-      let run_with sink = Batch.run ~jobs ?cache ?sink specs in
+      let run_with sink = Batch.run ~jobs ?cache ?store ?sink specs in
       let* summary =
         match log_file with
         | None -> Ok (run_with None)
@@ -928,6 +947,18 @@ let batch_cmd =
     Arg.(
       value & opt int 4096
       & info [ "cache-size" ] ~docv:"N" ~doc:"Cache capacity (LRU eviction).")
+  in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Layer a persistent content-addressed store under the memory \
+             cache (implies $(b,--cache)): previously certified digests are \
+             answered from disk, computed results are persisted, and the \
+             hottest stored generation is preloaded at startup. Manage \
+             $(docv) with $(b,ifc store stats|verify|gc).")
   in
   let log_file =
     Arg.(
@@ -1009,15 +1040,15 @@ let batch_cmd =
           errored (rejections are reported in the summary, not the exit code).")
     Term.(
       const run_batch $ lattice_arg $ binding_arg $ self_check_arg $ jobs $ cache
-      $ cache_size $ log_file $ analyses $ ni_pairs $ ni_max_states $ gen_n
-      $ gen_size $ gen_seed $ gen_sequential $ repeat $ verbose $ emit_certs
-      $ files)
+      $ cache_size $ store_dir $ log_file $ analyses $ ni_pairs $ ni_max_states
+      $ gen_n $ gen_size $ gen_seed $ gen_sequential $ repeat $ verbose
+      $ emit_certs $ files)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
 
 let run_fuzz cases seed jobs size_min size_max ni_pairs max_states time_budget
-    shrink_budget corpus_dir log_file quiet =
+    shrink_budget corpus_dir fuzz_store_dir log_file quiet =
   let config =
     {
       Campaign.cases;
@@ -1030,16 +1061,19 @@ let run_fuzz cases seed jobs size_min size_max ni_pairs max_states time_budget
       time_budget;
       shrink_budget;
       corpus_dir;
+      store_dir = fuzz_store_dir;
       (* Hidden test hooks: inject one case with a forced bogus CFM
-         verdict, a forced bogus certificate round-trip verdict, or
-         forced all-safe concurrency-analysis claims, so the end-to-end
-         inversion paths (detect, shrink, persist, exit 2) stay
-         exercised. *)
+         verdict, a forced bogus certificate round-trip verdict, forced
+         all-safe concurrency-analysis claims, or a pre-planted stale
+         store entry, so the end-to-end inversion paths (detect, shrink,
+         persist, exit 2) stay exercised. *)
       plant_inversion = Sys.getenv_opt "IFC_FUZZ_PLANT_INVERSION" <> None;
       plant_cert_inversion =
         Sys.getenv_opt "IFC_FUZZ_PLANT_CERT_INVERSION" <> None;
       plant_lint_unsound =
         Sys.getenv_opt "IFC_FUZZ_PLANT_LINT_UNSOUND" <> None;
+      plant_store_stale =
+        Sys.getenv_opt "IFC_FUZZ_PLANT_STORE_STALE" <> None;
     }
   in
   let result =
@@ -1144,6 +1178,17 @@ let fuzz_cmd =
              $(i,name.ifc) + $(i,name.expect) pairs (the regression corpus \
              format under test/corpus/fuzz).")
   in
+  let fuzz_store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Replay every case against the persistent artifact store at \
+             $(docv): stored CFM verdicts that diverge from freshly computed \
+             ones classify as the $(i,store-stale) inversion, and misses \
+             write honest verdicts back for the next campaign to replay.")
+  in
   let log_file =
     Arg.(
       value
@@ -1165,8 +1210,8 @@ let fuzz_cmd =
           inversion was found.")
     Term.(
       const run_fuzz $ cases $ seed $ jobs $ size_min $ size_max $ ni_pairs
-      $ max_states $ time_budget $ shrink_budget $ corpus_dir $ log_file
-      $ quiet)
+      $ max_states $ time_budget $ shrink_budget $ corpus_dir $ fuzz_store_dir
+      $ log_file $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client *)
@@ -1186,8 +1231,8 @@ let tcp_arg =
     & info [ "tcp" ] ~docv:"HOST:PORT"
         ~doc:"TCP endpoint (port 0 picks an ephemeral port).")
 
-let run_serve socket tcp jobs cache_size max_request_bytes max_connections
-    max_pending deadline_ms log_file port_file quiet =
+let run_serve socket tcp jobs cache_size store_dir max_request_bytes
+    max_connections max_pending deadline_ms log_file port_file quiet =
   let result =
     let endpoints =
       (match socket with Some p -> [ Conn.Unix_socket p ] | None -> [])
@@ -1203,6 +1248,13 @@ let run_serve socket tcp jobs cache_size max_request_bytes max_connections
       | Some path -> (
         try Ok (Some (Telemetry.open_sink path)) with Sys_error msg -> Error msg)
     in
+    let* store =
+      match store_dir with
+      | None -> Ok None
+      | Some dir ->
+        let* s = Store.open_ dir in
+        Ok (Some (Store.tier s))
+    in
     let config =
       {
         Server.endpoints;
@@ -1216,6 +1268,7 @@ let run_serve socket tcp jobs cache_size max_request_bytes max_connections
             default_deadline_ms = deadline_ms;
           };
         log;
+        store;
       }
     in
     let* server = Server.create config in
@@ -1258,6 +1311,17 @@ let serve_cmd =
       value & opt int 4096
       & info [ "cache-size" ] ~docv:"N"
           ~doc:"Shared result-cache capacity (LRU eviction).")
+  in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent content-addressed result store under the memory \
+             cache: the hottest stored generation is preloaded at boot, \
+             cache misses consult disk before computing, computed results \
+             are persisted, and $(b,stats) responses gain a store object.")
   in
   let max_request_bytes =
     Arg.(
@@ -1316,7 +1380,7 @@ let serve_cmd =
           (see PROTOCOL.md). SIGINT/SIGTERM drain in-flight requests before \
           exiting.")
     Term.(
-      const run_serve $ socket_arg $ tcp_arg $ jobs $ cache_size
+      const run_serve $ socket_arg $ tcp_arg $ jobs $ cache_size $ store_dir
       $ max_request_bytes $ max_connections $ max_pending $ deadline_ms
       $ log_file $ port_file $ quiet)
 
@@ -1717,6 +1781,89 @@ Figure 2 — the Concurrent Flow Mechanism
 
   ((+) join, (*) meet; nil is the extended scheme's new bottom, Definition 4.)|}
 
+(* ------------------------------------------------------------------ *)
+(* store *)
+
+let store_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Store directory.")
+
+(* Inspection verbs open without bumping the generation, so looking at a
+   store never ages its heat ranking. *)
+let run_store_stats dir =
+  exit_of_result
+    (let* s = Store.open_ ~bump:false dir in
+     let d = Store.disk_stats s in
+     Fmt.pr "generation: %d@." d.Store.generation;
+     Fmt.pr "entries: %d (%d bytes)@." d.Store.entries d.Store.entry_bytes;
+     Fmt.pr "summaries: %d (%d bytes)@." d.Store.summaries d.Store.summary_bytes;
+     Fmt.pr "quarantined: %d@." d.Store.quarantined;
+     Ok ())
+
+let run_store_verify dir =
+  match Store.open_ ~bump:false dir with
+  | Error msg ->
+    Fmt.epr "ifc: %s@." msg;
+    1
+  | Ok s ->
+    let r = Store.verify s in
+    List.iter
+      (fun name -> Fmt.pr "quarantined: %s@." name)
+      r.Store.quarantined_files;
+    Fmt.pr "checked: %d, ok: %d, quarantined: %d@." r.Store.checked r.Store.ok
+      r.Store.quarantined;
+    if r.Store.quarantined > 0 then 2 else 0
+
+let run_store_gc dir keep =
+  let result =
+    let* () = if keep < 0 then Error "--keep must be non-negative" else Ok () in
+    let* s = Store.open_ ~bump:false dir in
+    let r = Store.gc ~keep s in
+    Fmt.pr "live: %d, swept: %d, staging swept: %d, bytes freed: %d@."
+      r.Store.live r.Store.swept r.Store.tmp_swept r.Store.bytes_freed;
+    Ok ()
+  in
+  exit_of_result result
+
+let store_cmd =
+  let keep =
+    Arg.(
+      value & opt int 2
+      & info [ "keep" ] ~docv:"N"
+          ~doc:
+            "Generations to keep: entries last touched within $(docv) \
+             generations of the current one survive; older ones are swept.")
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect and maintain a persistent result store (the directory given \
+          to $(b,ifc batch --store) / $(b,ifc serve --store).")
+    [
+      Cmd.v
+        (Cmd.info "stats"
+           ~doc:"Print generation, entry/summary counts and bytes on disk.")
+        Term.(const run_store_stats $ store_pos_arg);
+      Cmd.v
+        (Cmd.info "verify"
+           ~doc:
+             "Structurally verify every entry: checksums, framing, digest/file \
+              name agreement, parseable certificate artifacts. Damaged or \
+              junk files are moved to quarantine/. Exit code 2 if anything \
+              was quarantined.")
+        Term.(const run_store_verify $ store_pos_arg);
+      Cmd.v
+        (Cmd.info "gc"
+           ~doc:
+             "Mark-and-sweep by generation: drop entries that have not been \
+              touched for --keep generations, and clear staging leftovers.")
+        Term.(const run_store_gc $ store_pos_arg $ keep);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
 let run_fmt path =
   exit_of_result
     (let* p = load_program path in
@@ -1756,6 +1903,7 @@ let main_cmd =
       fuzz_cmd;
       serve_cmd;
       client_cmd;
+      store_cmd;
       lattice_cmd;
       gen_cmd;
       fmt_cmd;

@@ -13,6 +13,8 @@ module Sset = Ifc_support.Sset
 module Prng = Ifc_support.Prng
 module Pool = Ifc_pipeline.Pool
 module Telemetry = Ifc_pipeline.Telemetry
+module Job = Ifc_pipeline.Job
+module Store = Ifc_store.Store
 
 type config = {
   cases : int;
@@ -25,9 +27,11 @@ type config = {
   time_budget : float option;
   shrink_budget : int;
   corpus_dir : string option;
+  store_dir : string option;
   plant_inversion : bool;
   plant_cert_inversion : bool;
   plant_lint_unsound : bool;
+  plant_store_stale : bool;
 }
 
 let default =
@@ -42,9 +46,11 @@ let default =
     time_budget = None;
     shrink_budget = 300;
     corpus_dir = None;
+    store_dir = None;
     plant_inversion = false;
     plant_cert_inversion = false;
     plant_lint_unsound = false;
+    plant_store_stale = false;
   }
 
 (* The campaign lattice. All fuzzing runs over the paper's two-point
@@ -108,15 +114,17 @@ type outcome = {
   verdicts : Classify.verdicts;
   statements : int;
   (* Retained only for inversions: the program, its binding, the forced
-     CFM, cert and lint verdicts (planted cases) and the case's oracle
-     seed — exactly what re-running the predicate during shrinking
-     needs. *)
+     CFM, cert and lint verdicts (planted cases), the store lookup for
+     replaying candidates against the persistent store, and the case's
+     oracle seed — exactly what re-running the predicate during
+     shrinking needs. *)
   payload :
     (Ast.program
     * string Binding.t
     * bool option
     * bool option
     * bool option
+    * (Ast.program -> bool option)
     * int)
     option;
 }
@@ -190,6 +198,47 @@ let planted_lint_case () =
   let binding = Binding.make lattice ~default:lattice.Lattice.bottom [] in
   (program, binding)
 
+(* The planted store-staleness (test hook): a padded all-low program
+   whose store entry is pre-written with the {e opposite} CFM verdict
+   before the campaign runs. Replay finds the stale verdict, the honest
+   analyzers disagree with it, and the case classifies as [store-stale].
+   Shrink candidates miss in the store, so the counterexample stays at
+   the planted program — exactly the stored artifact that diverged. *)
+let planted_store_case () =
+  let body =
+    Ast.seq
+      [
+        Ast.assign "p" (Ast.Int 3);
+        Ast.skip;
+        Ast.assign "y" (Ast.Int 1);
+        Ast.assign "q" (Ast.Binop (Ast.Add, Ast.Var "p", Ast.Int 1));
+        Ast.skip;
+      ]
+  in
+  let program = Wellformed.infer_decls (Ast.program body) in
+  let binding = Binding.make lattice ~default:lattice.Lattice.bottom [] in
+  (program, binding)
+
+(* The store replay key: the same content address the pipeline would use
+   for a CFM-only job over this (program, binding) on the campaign
+   lattice — so a fuzz store and a batch/serve store speak about the
+   same artifacts. *)
+let store_digest program binding =
+  Job.digest
+    (Job.make ~id:0 ~name:"fuzz" ~lattice ~binding ~analyses:[ Job.Cfm ]
+       program)
+
+let stored_cfm_entry verdict =
+  [
+    {
+      Job.analysis = "cfm";
+      verdict;
+      checks = 0;
+      duration_ns = 0L;
+      artifact = None;
+    };
+  ]
+
 let planted_cert_case () =
   let body =
     Ast.seq
@@ -205,7 +254,7 @@ let planted_cert_case () =
   let binding = Binding.make lattice ~default:lattice.Lattice.bottom [] in
   (program, binding)
 
-let run_case config index =
+let run_case ?store config index =
   let planted_cfm = config.plant_inversion && index = config.cases in
   let planted_cert =
     config.plant_cert_inversion
@@ -217,6 +266,14 @@ let run_case config index =
        = config.cases
          + (if config.plant_inversion then 1 else 0)
          + if config.plant_cert_inversion then 1 else 0
+  in
+  let planted_store =
+    config.plant_store_stale
+    && index
+       = config.cases
+         + (if config.plant_inversion then 1 else 0)
+         + (if config.plant_cert_inversion then 1 else 0)
+         + if config.plant_lint_unsound then 1 else 0
   in
   let rng = case_rng config.seed index in
   let profile_name, program, binding, override_cfm, override_cert, override_lint
@@ -230,6 +287,9 @@ let run_case config index =
     else if planted_lint then
       let program, binding = planted_lint_case () in
       ("planted-lint", program, binding, None, None, Some true)
+    else if planted_store then
+      let program, binding = planted_store_case () in
+      ("planted-store", program, binding, None, None, None)
     else begin
       let profile_name, cfg_gen =
         List.nth profiles (index mod List.length profiles)
@@ -240,10 +300,34 @@ let run_case config index =
     end
   in
   let ni_seed = Prng.bits rng land 0x3FFFFFFF in
-  let verdicts =
-    Oracle.run ?override_cfm ?override_cert ?override_lint ~ni_seed
-      ~ni_pairs:config.ni_pairs ~max_states:config.max_states binding program
+  (* Store replay: ask the persistent store for a prior CFM verdict on
+     this exact (program, binding). Divergence from the fresh verdict is
+     the store-stale inversion; a miss writes the honest verdict back so
+     the next campaign over the same store replays it. Forced-CFM cases
+     skip the store entirely — a planted lie must never poison it. *)
+  let lookup p =
+    match store with
+    | None -> None
+    | Some st -> (
+      match Store.find st ~digest:(store_digest p binding) with
+      | Some (r :: _) when String.equal r.Job.analysis "cfm" ->
+        Some r.Job.verdict
+      | Some _ | None -> None)
   in
+  let replay = Option.is_some store && override_cfm = None in
+  let stored_cfm = if replay then lookup program else None in
+  let verdicts =
+    Oracle.run ?override_cfm ?override_cert ?override_lint ?stored_cfm
+      ~ni_seed ~ni_pairs:config.ni_pairs ~max_states:config.max_states binding
+      program
+  in
+  (if replay && stored_cfm = None then
+     match store with
+     | Some st ->
+       Store.add st
+         ~digest:(store_digest program binding)
+         (stored_cfm_entry verdicts.Classify.cfm)
+     | None -> ());
   let cls = Classify.classify verdicts in
   let inversion_labels = List.map Classify.inversion_label cls.Classify.inversions in
   let gap_labels = List.map Classify.gap_label cls.Classify.gaps in
@@ -258,7 +342,14 @@ let run_case config index =
     payload =
       (if inversion_labels = [] then None
        else
-         Some (program, binding, override_cfm, override_cert, override_lint, ni_seed));
+         Some
+           ( program,
+             binding,
+             override_cfm,
+             override_cert,
+             override_lint,
+             (if replay then lookup else fun _ -> None),
+             ni_seed ));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -276,15 +367,22 @@ let case_digest program binding =
 let shrink_counterexample config sink seen (o : outcome) =
   match o.payload with
   | None -> None
-  | Some (program, binding, override_cfm, override_cert, override_lint, ni_seed)
-    ->
+  | Some
+      ( program,
+        binding,
+        override_cfm,
+        override_cert,
+        override_lint,
+        lookup,
+        ni_seed ) ->
     let label = List.hd o.inversion_labels in
     let keep p =
       Wellformed.is_valid p
       &&
       let v =
-        Oracle.run ?override_cfm ?override_cert ?override_lint ~ni_seed
-          ~ni_pairs:config.ni_pairs ~max_states:config.max_states binding p
+        Oracle.run ?override_cfm ?override_cert ?override_lint
+          ?stored_cfm:(lookup p) ~ni_seed ~ni_pairs:config.ni_pairs
+          ~max_states:config.max_states binding p
       in
       let c = Classify.classify v in
       List.exists
@@ -417,11 +515,43 @@ let run ?(sink = Telemetry.null_sink ()) (config : config) =
   if config.size_min < 1 || config.size_max < config.size_min then
     invalid_arg "Campaign.run: bad size range";
   let timer = Telemetry.start () in
+  (* The replay store: explicit [store_dir], or — so the planted case is
+     self-contained — a seed-derived scratch directory. *)
+  let store =
+    let dir =
+      match config.store_dir with
+      | Some _ as some -> some
+      | None ->
+        if config.plant_store_stale then
+          Some
+            (Filename.concat
+               (Filename.get_temp_dir_name ())
+               (Printf.sprintf "ifc-fuzz-store-%d" config.seed))
+        else None
+    in
+    Option.map
+      (fun dir ->
+        match Store.open_ dir with
+        | Ok st -> st
+        | Error msg -> invalid_arg ("Campaign.run: store: " ^ msg))
+      dir
+  in
+  (match store with
+  | Some st when config.plant_store_stale ->
+    (* Poison the store before anyone reads it: the planted program's
+       entry carries the flipped verdict. *)
+    let program, binding = planted_store_case () in
+    let honest = Ifc_core.Cfm.certified binding program.Ast.body in
+    Store.add st
+      ~digest:(store_digest program binding)
+      (stored_cfm_entry (not honest))
+  | _ -> ());
   let total =
     config.cases
     + (if config.plant_inversion then 1 else 0)
     + (if config.plant_cert_inversion then 1 else 0)
-    + if config.plant_lint_unsound then 1 else 0
+    + (if config.plant_lint_unsound then 1 else 0)
+    + if config.plant_store_stale then 1 else 0
   in
   let deadline =
     Option.map
@@ -439,7 +569,7 @@ let run ?(sink = Telemetry.null_sink ()) (config : config) =
     in
     if past_deadline then slots.(index) <- Some Timed_out
     else begin
-      let o = run_case config index in
+      let o = run_case ?store config index in
       slots.(index) <- Some (Done o);
       Telemetry.emit sink
         [

@@ -30,6 +30,15 @@ type config = {
   time_budget : float option;  (** Soak deadline in seconds. *)
   shrink_budget : int;  (** {!Shrink.minimize} evaluation budget. *)
   corpus_dir : string option;  (** Where shrunk inversions persist. *)
+  store_dir : string option;
+      (** Replay cases against the persistent {!Ifc_store.Store} at this
+          directory: each case's fresh CFM verdict is compared with the
+          stored one under the pipeline's content address (a CFM-only
+          {!Ifc_pipeline.Job} over the campaign lattice). Divergence
+          classifies as the [store-stale] inversion; misses write the
+          honest verdict back, so a second campaign over the same
+          directory replays every case. Forced-CFM planted cases never
+          touch the store. *)
   plant_inversion : bool;
       (** Test hook ([IFC_FUZZ_PLANT_INVERSION] in the CLI): append one
           case whose program leaks directly while its CFM verdict is
@@ -51,6 +60,13 @@ type config = {
           explorations reach the stuck state, so the campaign must
           classify the case as [deadlock-unsound], shrink it to the
           single [wait], and persist it with honest verdicts. *)
+  plant_store_stale : bool;
+      (** Test hook ([IFC_FUZZ_PLANT_STORE_STALE] in the CLI): before the
+          campaign runs, write a store entry for one appended all-low
+          case carrying the {e flipped} CFM verdict — a stale or tampered
+          artifact. Replay finds it, every honest analyzer disagrees, and
+          the campaign must classify the case as [store-stale]. Uses
+          [store_dir] when set, else a seed-derived scratch directory. *)
 }
 
 val default : config

@@ -17,12 +17,14 @@ type verdicts = {
   dyn_deadlock : bool;
   dyn_terminal : bool;
   dyn_complete : bool;
+  store_divergent : bool;
 }
 
 type inversion =
   | Unsound_certification
   | Logic_mismatch
   | Cert_inversion
+  | Store_stale
   | Race_unsound
   | Deadlock_unsound
   | Above_denning
@@ -41,6 +43,7 @@ let classify v =
     (if v.cfm && v.ni_violations > 0 then [ Unsound_certification ] else [])
     @ (if not (Bool.equal v.prove v.cfm) then [ Logic_mismatch ] else [])
     @ (if v.prove && not v.cert_ok then [ Cert_inversion ] else [])
+    @ (if v.store_divergent then [ Store_stale ] else [])
     @ (if v.lint_race_free && v.dyn_race then [ Race_unsound ] else [])
     @ (if
          (v.lint_deadlock_free && v.dyn_deadlock)
@@ -60,6 +63,7 @@ let inversion_label = function
   | Unsound_certification -> "unsound-certification"
   | Logic_mismatch -> "logic-mismatch"
   | Cert_inversion -> "cert-inversion"
+  | Store_stale -> "store-stale"
   | Race_unsound -> "race-unsound"
   | Deadlock_unsound -> "deadlock-unsound"
   | Above_denning -> "hierarchy-denning"
@@ -85,6 +89,7 @@ let class_labels =
     "unsound-certification";
     "logic-mismatch";
     "cert-inversion";
+    "store-stale";
     "race-unsound";
     "deadlock-unsound";
     "hierarchy-denning";

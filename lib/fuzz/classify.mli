@@ -50,6 +50,10 @@ type verdicts = {
       (** Every exploration backing the [dyn_*] fields finished within
           its state budget. Witnesses are definitive regardless; only
           {e absence} claims need this. *)
+  store_divergent : bool;
+      (** A persistent-store replay returned a CFM verdict different from
+          the freshly computed one — a stale or corrupted artifact.
+          Always [false] when no store replay ran. *)
 }
 
 type inversion =
@@ -60,6 +64,9 @@ type inversion =
       (** The decision procedure proved the program but the emitted
           certificate fails the independent checker — the emit/check
           pipeline broke. *)
+  | Store_stale
+      (** A stored verdict replayed from the persistent artifact store
+          diverges from the freshly computed one. *)
   | Race_unsound
       (** The analyzer claimed [race_free] but exploration witnessed two
           co-enabled conflicting accesses. *)

@@ -49,8 +49,8 @@ let dynamic_evidence ~ni_seed ~max_states (p : Ast.program) =
     any (fun s -> s.Explore.terminals <> []),
     all (fun s -> s.Explore.complete && s.Explore.faults = []) )
 
-let run ?override_cfm ?override_cert ?override_lint ~ni_seed ~ni_pairs
-    ~max_states binding (p : Ast.program) =
+let run ?override_cfm ?override_cert ?override_lint ?stored_cfm ~ni_seed
+    ~ni_pairs ~max_states binding (p : Ast.program) =
   let cfm =
     match override_cfm with
     | Some forced -> forced
@@ -104,4 +104,8 @@ let run ?override_cfm ?override_cert ?override_lint ~ni_seed ~ni_pairs
     dyn_deadlock;
     dyn_terminal;
     dyn_complete;
+    store_divergent =
+      (match stored_cfm with
+      | Some stored -> not (Bool.equal stored cfm)
+      | None -> false);
   }

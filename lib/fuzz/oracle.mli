@@ -24,12 +24,19 @@
     evidence stays honest — exactly the shape of an unsound analyzer
     ([override_lint:false] forces the all-unsafe claims instead). They
     exist for the campaign's planted-inversion test hooks and for what-if
-    experiments; production callers never pass them. *)
+    experiments; production callers never pass them.
+
+    [stored_cfm] is the CFM verdict a persistent artifact store returned
+    for this program, when the campaign is replaying against one; a
+    mismatch with the freshly computed verdict sets
+    [Classify.store_divergent] (the [store-stale] inversion). Omitted,
+    the field is [false]. *)
 
 val run :
   ?override_cfm:bool ->
   ?override_cert:bool ->
   ?override_lint:bool ->
+  ?stored_cfm:bool ->
   ni_seed:int ->
   ni_pairs:int ->
   max_states:int ->

@@ -7,45 +7,73 @@ type summary = {
   errored : int;
   cache_hits : int;
   cache_misses : int;
+  store_hits : int;
+  store_misses : int;
   wall_ns : int64;
   per_analysis : (string * int * int) list;
   results : Job.result list;
 }
 
-(* One job: cache lookup, execution on miss, event emission, slot
-   write. Slots are disjoint array cells, each written by exactly one
-   worker and read only after the pool is joined, so no lock is needed
-   beyond the ones inside Cache and Telemetry. *)
-let run_one ~cache ~sink slots (spec : Job.spec) =
+(* One job: memory-cache lookup, then the persistent tier, execution on
+   a double miss, event emission, slot write. Slots are disjoint array
+   cells, each written by exactly one worker and read only after the
+   pool is joined, so no lock is needed beyond the ones inside Cache,
+   the tier and Telemetry. *)
+let run_one ~cache ~store ~sink slots (spec : Job.spec) =
   let timer = Telemetry.start () in
   let digest = Job.digest spec in
+  let cached_result analyses =
+    {
+      Job.job_id = spec.Job.id;
+      job_name = spec.Job.name;
+      job_digest = digest;
+      outcome = Ok analyses;
+      duration_ns = Telemetry.elapsed_ns timer;
+      from_cache = true;
+    }
+  in
+  let consult_store () =
+    match store with
+    | None -> None
+    | Some (tier : Tier.t) -> (
+      match tier.Tier.find spec ~digest with
+      | None -> None
+      | Some analyses ->
+        (* Promote the disk hit so the rest of the batch hits memory. *)
+        (match cache with
+        | Some cache -> Cache.add cache digest analyses
+        | None -> ());
+        Some (cached_result analyses))
+  in
+  let compute () =
+    let r = Job.run ~digest spec in
+    (match r.Job.outcome with
+    | Ok analyses ->
+      (match cache with
+      | Some cache -> Cache.add cache digest analyses
+      | None -> ());
+      (match store with
+      | Some (tier : Tier.t) -> tier.Tier.store ~digest analyses
+      | None -> ())
+    | Error _ -> ());
+    r
+  in
   let result =
     match cache with
-    | None -> Job.run ~digest spec
+    | None -> (
+      match consult_store () with Some r -> r | None -> compute ())
     | Some cache -> (
       match Cache.find cache digest with
-      | Some cached ->
-        {
-          Job.job_id = spec.Job.id;
-          job_name = spec.Job.name;
-          job_digest = digest;
-          outcome = Ok cached;
-          duration_ns = Telemetry.elapsed_ns timer;
-          from_cache = true;
-        }
-      | None ->
-        let r = Job.run ~digest spec in
-        (match r.Job.outcome with
-        | Ok analyses -> Cache.add cache digest analyses
-        | Error _ -> ());
-        r)
+      | Some cached -> cached_result cached
+      | None -> (
+        match consult_store () with Some r -> r | None -> compute ()))
   in
   (match sink with
   | Some sink -> Telemetry.emit sink (Job.result_fields result)
   | None -> ());
   slots.(spec.Job.id) <- Some result
 
-let fold ~wall_ns ~cache_hits ~cache_misses results =
+let fold ~wall_ns ~cache_hits ~cache_misses ~store_hits ~store_misses results =
   let passed = ref 0 and failed = ref 0 and errored = ref 0 in
   let per = Hashtbl.create 8 in
   List.iter
@@ -73,6 +101,8 @@ let fold ~wall_ns ~cache_hits ~cache_misses results =
     errored = !errored;
     cache_hits;
     cache_misses;
+    store_hits;
+    store_misses;
     wall_ns;
     per_analysis =
       Hashtbl.fold (fun name (p, f) acc -> (name, p, f) :: acc) per []
@@ -80,7 +110,7 @@ let fold ~wall_ns ~cache_hits ~cache_misses results =
     results;
   }
 
-let run ?(jobs = 1) ?cache ?sink specs =
+let run ?(jobs = 1) ?cache ?store ?sink specs =
   if jobs < 1 then invalid_arg "Batch.run: jobs must be >= 1";
   let n = List.length specs in
   (* Re-id specs positionally so slots are dense even if the caller's
@@ -89,11 +119,19 @@ let run ?(jobs = 1) ?cache ?sink specs =
   let names = Array.of_list (List.map (fun s -> s.Job.name) specs) in
   let slots = Array.make (max 1 n) None in
   let stats_before = Option.map Cache.stats cache in
+  let tier_before =
+    Option.map (fun (tier : Tier.t) -> tier.Tier.stats ()) store
+  in
   let timer = Telemetry.start () in
   if n > 0 then
     Pool.run ~workers:jobs
-      (List.map (fun spec () -> run_one ~cache ~sink slots spec) specs);
+      (List.map (fun spec () -> run_one ~cache ~store ~sink slots spec) specs);
   let wall_ns = Telemetry.elapsed_ns timer in
+  (* Persist the memory cache's recency ranking so the store's next
+     warm start resurrects this batch's hot set. *)
+  (match (store, cache) with
+  | Some (tier : Tier.t), Some cache -> tier.Tier.record_heat cache
+  | _ -> ());
   let results =
     Array.to_list slots
     |> List.filteri (fun i _ -> i < n)
@@ -118,7 +156,18 @@ let run ?(jobs = 1) ?cache ?sink specs =
       (after.Cache.hits - before.Cache.hits, after.Cache.misses - before.Cache.misses)
     | _ -> (0, 0)
   in
-  let summary = fold ~wall_ns ~cache_hits ~cache_misses results in
+  let store_hits, store_misses =
+    match
+      (tier_before, Option.map (fun (t : Tier.t) -> t.Tier.stats ()) store)
+    with
+    | Some before, Some after ->
+      ( after.Tier.disk_hits - before.Tier.disk_hits,
+        after.Tier.disk_misses - before.Tier.disk_misses )
+    | _ -> (0, 0)
+  in
+  let summary =
+    fold ~wall_ns ~cache_hits ~cache_misses ~store_hits ~store_misses results
+  in
   (match sink with
   | Some sink ->
     Telemetry.emit sink
@@ -130,6 +179,8 @@ let run ?(jobs = 1) ?cache ?sink specs =
         ("errored", Telemetry.Int summary.errored);
         ("cache_hits", Telemetry.Int summary.cache_hits);
         ("cache_misses", Telemetry.Int summary.cache_misses);
+        ("store_hits", Telemetry.Int summary.store_hits);
+        ("store_misses", Telemetry.Int summary.store_misses);
         ("wall_ns", Telemetry.Int (Int64.to_int summary.wall_ns));
         ("jobs", Telemetry.Int jobs);
       ]
@@ -150,6 +201,14 @@ let pp_summary ppf s =
     in
     Fmt.pf ppf "cache: %d hits, %d misses (%.1f%% hit rate)@." s.cache_hits
       s.cache_misses rate
+  end;
+  if s.store_hits + s.store_misses > 0 then begin
+    let rate =
+      100. *. float_of_int s.store_hits
+      /. float_of_int (s.store_hits + s.store_misses)
+    in
+    Fmt.pf ppf "store: %d disk hits, %d disk misses (%.1f%% hit rate)@."
+      s.store_hits s.store_misses rate
   end;
   (match s.per_analysis with
   | [] -> ()

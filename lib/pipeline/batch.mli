@@ -12,8 +12,10 @@ type summary = {
   passed : int;  (** Every analysis verdict true. *)
   failed : int;  (** Ran to completion, some verdict false. *)
   errored : int;  (** The job raised; see its [outcome]. *)
-  cache_hits : int;  (** Hits during this batch only. *)
-  cache_misses : int;  (** Misses during this batch only. *)
+  cache_hits : int;  (** Memory-cache hits during this batch only. *)
+  cache_misses : int;  (** Memory-cache misses during this batch only. *)
+  store_hits : int;  (** Persistent-tier hits during this batch only. *)
+  store_misses : int;  (** Persistent-tier misses during this batch only. *)
   wall_ns : int64;  (** Submission to last-result wall time. *)
   per_analysis : (string * int * int) list;
       (** [(analysis, passes, fails)], sorted by analysis name. *)
@@ -23,6 +25,7 @@ type summary = {
 val run :
   ?jobs:int ->
   ?cache:Job.analysis_result list Cache.t ->
+  ?store:Tier.t ->
   ?sink:Telemetry.sink ->
   Job.spec list ->
   summary
@@ -33,13 +36,18 @@ val run :
     code path the parallel runs do. With [cache], a job whose digest is
     present skips execution and reuses the cached analysis results
     (marked [from_cache]); only [Ok] outcomes are ever inserted. With
-    [sink], one [event=job] line is emitted per job as it completes plus
-    a final [event=summary] line. *)
+    [store], a memory miss consults the persistent tier before
+    computing: disk hits are promoted into the memory cache and marked
+    [from_cache], computed [Ok] results are persisted, and the cache's
+    final recency ranking is recorded back to the tier so its next warm
+    start preloads this batch's hot set. With [sink], one [event=job]
+    line is emitted per job as it completes plus a final [event=summary]
+    line. *)
 
 val throughput : summary -> float
 (** Jobs per second over the batch wall time. *)
 
 val pp_summary : Format.formatter -> summary -> unit
-(** The human summary: a [jobs:] line, a [cache:] line (only when a
-    lookup happened), a [per-analysis:] line (when non-trivial), and a
-    [wall:] line with throughput. *)
+(** The human summary: a [jobs:] line, [cache:] and [store:] lines (each
+    only when a lookup happened at that tier), a [per-analysis:] line
+    (when non-trivial), and a [wall:] line with throughput. *)

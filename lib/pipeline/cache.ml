@@ -19,6 +19,7 @@ type 'v t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable invalidations : int;
 }
 
 let create ?(capacity = 4096) () =
@@ -31,6 +32,7 @@ let create ?(capacity = 4096) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    invalidations = 0;
   }
 
 let with_lock t f =
@@ -90,10 +92,35 @@ let add t key value =
 
 let mem t key = with_lock t (fun () -> Hashtbl.mem t.table key)
 
+(* Explicit invalidation is not an eviction: capacity pressure and
+   deliberate removal are separate signals, counted separately. *)
+let remove t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> false
+      | Some node ->
+        unlink t node;
+        Hashtbl.remove t.table key;
+        t.invalidations <- t.invalidations + 1;
+        true)
+
+(* Folds over live entries in recency order, most recently used first —
+   recency- and counter-neutral, so exporting the cache (say, into a
+   persistent store) never perturbs what it is exporting. The fold runs
+   under the lock: [f] must not call back into the cache. *)
+let fold t f init =
+  with_lock t (fun () ->
+      let rec go acc = function
+        | None -> acc
+        | Some node -> go (f acc node.key node.value) node.next
+      in
+      go init t.head)
+
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  invalidations : int;
   size : int;
   capacity : int;
 }
@@ -104,6 +131,7 @@ let stats t =
         hits = t.hits;
         misses = t.misses;
         evictions = t.evictions;
+        invalidations = t.invalidations;
         size = Hashtbl.length t.table;
         capacity = t.capacity;
       })

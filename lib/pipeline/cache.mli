@@ -24,10 +24,23 @@ val add : 'v t -> string -> 'v -> unit
 val mem : 'v t -> string -> bool
 (** Recency- and counter-neutral membership test. *)
 
+val remove : 'v t -> string -> bool
+(** Explicit invalidation: drops the entry (if present, returning whether
+    it was) and counts an {e invalidation} — never an eviction, so the
+    two causes of entry loss stay distinguishable in {!stats}. *)
+
+val fold : 'v t -> ('a -> string -> 'v -> 'a) -> 'a -> 'a
+(** [fold t f init] folds [f] over every live entry in recency order,
+    most recently used first. Recency- and counter-neutral, so a cache
+    can be exported (e.g. persisted to a disk store) without perturbing
+    what is being exported. Runs under the cache lock: [f] must not call
+    back into the cache. *)
+
 type stats = {
   hits : int;
   misses : int;
-  evictions : int;
+  evictions : int;  (** Entries dropped by capacity pressure only. *)
+  invalidations : int;  (** Entries dropped by explicit {!remove} only. *)
   size : int;
   capacity : int;
 }

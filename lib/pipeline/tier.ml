@@ -1,0 +1,30 @@
+(* The second-level result tier: a record of closures so the pipeline
+   can consult a persistent store without depending on its
+   implementation (the disk store lives above this library). *)
+
+type stats = {
+  disk_hits : int;
+  disk_misses : int;
+  writes : int;
+  preloaded : int;
+  entries : int;
+  bytes_on_disk : int;
+}
+
+type t = {
+  find : Job.spec -> digest:string -> Job.analysis_result list option;
+  store : digest:string -> Job.analysis_result list -> unit;
+  preload : Job.analysis_result list Cache.t -> int;
+  record_heat : Job.analysis_result list Cache.t -> unit;
+  stats : unit -> stats;
+}
+
+let stats_fields s =
+  [
+    ("disk_hits", Telemetry.Int s.disk_hits);
+    ("disk_misses", Telemetry.Int s.disk_misses);
+    ("writes", Telemetry.Int s.writes);
+    ("preloaded", Telemetry.Int s.preloaded);
+    ("entries", Telemetry.Int s.entries);
+    ("bytes_on_disk", Telemetry.Int s.bytes_on_disk);
+  ]

@@ -18,6 +18,7 @@
 module J = Ifc_pipeline.Telemetry
 module Pool = Ifc_pipeline.Pool
 module Cache = Ifc_pipeline.Cache
+module Tier = Ifc_pipeline.Tier
 module Job = Ifc_pipeline.Job
 module Lattice = Ifc_lattice.Lattice
 module Chain = Ifc_lattice.Chain
@@ -33,6 +34,7 @@ type config = {
   cache_capacity : int;
   limits : Limits.t;
   log : J.sink option;
+  store : Ifc_pipeline.Tier.t option;
 }
 
 let default_config =
@@ -42,6 +44,7 @@ let default_config =
     cache_capacity = 4096;
     limits = Limits.default;
     log = None;
+    store = None;
   }
 
 type t = {
@@ -120,7 +123,7 @@ let create config =
             | Conn.Unix_socket _ -> None)
           listeners
       in
-      Ok
+      let t =
         {
           config;
           pool = Pool.create ~workers:config.workers ();
@@ -139,6 +142,13 @@ let create config =
           conn_seq = Atomic.make 0;
           log = Option.value ~default:(J.null_sink ()) config.log;
         }
+      in
+      (* Warm start: resurrect the previous session's hot set so a
+         restarted daemon answers its old corpus from memory. *)
+      (match config.store with
+      | Some tier -> J.add t.counters "store.preloaded" (tier.Tier.preload t.cache)
+      | None -> ());
+      Ok t
   end
 
 let port t = t.tcp_port
@@ -265,8 +275,7 @@ let exec_job t ~v id ~op_name ~fields ~job_name ~deadline spec =
   let respond_result r =
     (Protocol.ok_response ~v ~id ~op:op_name (fields r), `Verdict r)
   in
-  match Cache.find t.cache digest with
-  | Some cached ->
+  let respond_cached cached =
     let timer = J.start () in
     respond_result
       {
@@ -277,6 +286,27 @@ let exec_job t ~v id ~op_name ~fields ~job_name ~deadline spec =
         duration_ns = J.elapsed_ns timer;
         from_cache = true;
       }
+  in
+  (* Memory first, then the persistent tier (validated on read; a disk
+     hit is promoted so the next request hits memory), then compute. *)
+  let consult_store () =
+    match t.config.store with
+    | None -> None
+    | Some tier -> (
+      match tier.Tier.find spec ~digest with
+      | None ->
+        J.incr t.counters "store.disk_miss";
+        None
+      | Some results ->
+        J.incr t.counters "store.disk_hit";
+        Cache.add t.cache digest results;
+        Some results)
+  in
+  match Cache.find t.cache digest with
+  | Some cached -> respond_cached cached
+  | None ->
+  match consult_store () with
+  | Some cached -> respond_cached cached
   | None ->
     let limits = t.config.limits in
     if limits.Limits.max_pending > 0 && Pool.pending t.pool >= limits.Limits.max_pending
@@ -295,7 +325,11 @@ let exec_job t ~v id ~op_name ~fields ~job_name ~deadline spec =
         else begin
           let r = Job.run ~digest spec in
           (match r.Job.outcome with
-          | Ok analyses -> Cache.add t.cache digest analyses
+          | Ok analyses ->
+            Cache.add t.cache digest analyses;
+            (match t.config.store with
+            | Some tier -> tier.Tier.store ~digest analyses
+            | None -> ())
           | Error _ -> ());
           Atomic.set slot (Some r)
         end
@@ -474,7 +508,7 @@ let stats_fields t =
   [
     ( "stats",
       J.Obj
-        [
+        ([
           ("uptime_ns", J.Int (Int64.to_int (J.elapsed_ns t.started)));
           ("workers", J.Int (Pool.workers t.pool));
           ("pending_jobs", J.Int (Pool.pending t.pool));
@@ -489,12 +523,20 @@ let stats_fields t =
                 ("hits", J.Int cache_stats.Cache.hits);
                 ("misses", J.Int cache_stats.Cache.misses);
                 ("evictions", J.Int cache_stats.Cache.evictions);
+                ("invalidations", J.Int cache_stats.Cache.invalidations);
                 ("size", J.Int cache_stats.Cache.size);
                 ("capacity", J.Int cache_stats.Cache.capacity);
                 ("hit_rate_pct", J.Float (Cache.hit_rate cache_stats));
               ] );
           ("latency", J.Obj (J.histogram_fields t.latency));
-        ] );
+        ]
+        @
+        (* Only present when a persistent tier is configured, so the
+           stats response shape is unchanged for store-less servers. *)
+        match t.config.store with
+        | None -> []
+        | Some tier ->
+          [ ("store", J.Obj (Tier.stats_fields (tier.Tier.stats ()))) ]) );
   ]
 
 (* One request item in, one response line out. *)
@@ -623,6 +665,11 @@ let drain t =
     in
     List.iter Thread.join (remaining ());
     Pool.shutdown t.pool;
+    (* The last writes are done: persist the cache's final recency
+       ranking so the next boot preloads today's hot set. *)
+    (match t.config.store with
+    | Some tier -> tier.Tier.record_heat t.cache
+    | None -> ());
     J.emit t.log
       [
         ("event", J.String "server_stop");

@@ -24,11 +24,18 @@ type config = {
   limits : Limits.t;
   log : Ifc_pipeline.Telemetry.sink option;
       (** JSONL request log; the server closes it on drain. *)
+  store : Ifc_pipeline.Tier.t option;
+      (** Persistent second-level result tier. When set, {!create}
+          warm-starts the memory cache from the tier's hottest
+          generation, cache misses consult the tier before computing,
+          computed results are persisted, drain records the cache's
+          final heat back to the tier, and [stats] responses gain a
+          [store] object. *)
 }
 
 val default_config : config
 (** No endpoints (caller must add some), 1 worker, 4096 cache entries,
-    {!Limits.default}, no log. *)
+    {!Limits.default}, no log, no store. *)
 
 type t
 

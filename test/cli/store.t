@@ -1,0 +1,86 @@
+The persistent content-addressed store: a cold batch populates it, a
+warm restart answers every job from the preloaded hottest generation
+with byte-identical verdicts and zero recomputation, and damage is
+quarantined by `store verify` — served as a recompute, never as a
+wrong answer. Wall-clock lines are elided; everything else is
+deterministic under a fixed seed.
+
+  $ rm -rf store
+  $ ../../bin/ifc.exe batch --gen 8 --seed 7 --store store --verbose | grep -v '^wall'
+  store: preloaded 0 entries from store
+  [0] gen:7:0 fail
+  [1] gen:7:1 fail
+  [2] gen:7:2 fail
+  [3] gen:7:3 fail
+  [4] gen:7:4 fail
+  [5] gen:7:5 pass
+  [6] gen:7:6 fail
+  [7] gen:7:7 fail
+  jobs: 8 total, 1 passed, 7 failed, 0 errored
+  cache: 0 hits, 8 misses (0.0% hit rate)
+  store: 0 disk hits, 8 disk misses (0.0% hit rate)
+  per-analysis: cfm 1/8 pass
+
+A second process over the same corpus and store starts warm: the
+hottest generation is preloaded, every job hits, and the per-job
+verdict lines are identical to the cold run's.
+
+  $ ../../bin/ifc.exe batch --gen 8 --seed 7 --store store --verbose | grep -v '^wall'
+  store: preloaded 8 entries from store
+  [0] gen:7:0 fail (cached)
+  [1] gen:7:1 fail (cached)
+  [2] gen:7:2 fail (cached)
+  [3] gen:7:3 fail (cached)
+  [4] gen:7:4 fail (cached)
+  [5] gen:7:5 pass (cached)
+  [6] gen:7:6 fail (cached)
+  [7] gen:7:7 fail (cached)
+  jobs: 8 total, 1 passed, 7 failed, 0 errored
+  cache: 8 hits, 0 misses (100.0% hit rate)
+  per-analysis: cfm 1/8 pass
+
+The store can be inspected and verified offline.
+
+  $ ../../bin/ifc.exe store stats store | grep -v 'bytes)'
+  generation: 2
+  quarantined: 0
+  $ ../../bin/ifc.exe store verify store
+  checked: 8, ok: 8, quarantined: 0
+
+Corruption never reaches a caller. A junk file and a truncated entry
+are both quarantined (exit 2 signals the sweep found damage) …
+
+  $ echo "not an entry" > store/objects/deadbeef
+  $ entry=$(ls store/objects | head -n 1)
+  $ head -c 20 "store/objects/$entry" > store/tmp/cut && mv store/tmp/cut "store/objects/$entry"
+  $ ../../bin/ifc.exe store verify store
+  quarantined: 1850ac0729e9f446319055a1bad8cfdc
+  quarantined: deadbeef
+  checked: 9, ok: 7, quarantined: 2
+  [2]
+
+… after which the sweep is clean, and the damaged digest is simply
+recomputed on the next run.
+
+  $ ../../bin/ifc.exe store verify store
+  checked: 7, ok: 7, quarantined: 0
+  $ ../../bin/ifc.exe batch --gen 8 --seed 7 --store store --verbose | grep -v '^wall'
+  store: preloaded 7 entries from store
+  [0] gen:7:0 fail (cached)
+  [1] gen:7:1 fail
+  [2] gen:7:2 fail (cached)
+  [3] gen:7:3 fail (cached)
+  [4] gen:7:4 fail (cached)
+  [5] gen:7:5 pass (cached)
+  [6] gen:7:6 fail (cached)
+  [7] gen:7:7 fail (cached)
+  jobs: 8 total, 1 passed, 7 failed, 0 errored
+  cache: 7 hits, 1 misses (87.5% hit rate)
+  store: 0 disk hits, 1 disk misses (0.0% hit rate)
+  per-analysis: cfm 1/8 pass
+
+Generational garbage collection drops entries not touched for --keep
+generations; the working set above was just re-read, so it survives.
+
+  $ ../../bin/ifc.exe store gc --keep 2 store
+  live: 8, swept: 0, staging swept: 0, bytes freed: 0

@@ -50,7 +50,8 @@ let fresh_dir () =
 let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0)
     ?(lint_race_free = true) ?(lint_deadlock_free = true)
     ?(lint_must_block = false) ?(lint_findings = 0) ?(dyn_race = false)
-    ?(dyn_deadlock = false) ?(dyn_terminal = true) ?(dyn_complete = true) () =
+    ?(dyn_deadlock = false) ?(dyn_terminal = true) ?(dyn_complete = true)
+    ?(store_divergent = false) () =
   {
     Classify.cfm;
     denning;
@@ -68,6 +69,7 @@ let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0)
     dyn_deadlock;
     dyn_terminal;
     dyn_complete;
+    store_divergent;
   }
 
 let primary_of vv = Classify.primary vv (Classify.classify vv)
@@ -83,6 +85,16 @@ let test_classify_table () =
     (primary_of (v ~cfm:true ~denning:true ~fs:true ~prove:false ()));
   check_string "cert round-trip break is an inversion" "cert-inversion"
     (primary_of (v ~cfm:true ~denning:true ~fs:true ~prove:true ~cert_ok:false ()));
+  check_string "stale store verdict is an inversion" "store-stale"
+    (primary_of
+       (v ~cfm:true ~denning:true ~fs:true ~prove:true ~store_divergent:true ()));
+  check_string "cert inversion outranks store-stale" "cert-inversion"
+    (primary_of
+       (v ~cfm:true ~denning:true ~fs:true ~prove:true ~cert_ok:false
+          ~store_divergent:true ()));
+  check_string "store-stale outranks hierarchy labels" "store-stale"
+    (primary_of
+       (v ~cfm:true ~denning:false ~fs:true ~prove:true ~store_divergent:true ()));
   check_string "cert verdict is vacuous without a proof" "unconfirmed-rejection"
     (primary_of
        (v ~cfm:false ~denning:false ~fs:false ~prove:false ~cert_ok:true ()));
@@ -465,6 +477,52 @@ let test_campaign_healthy_run_is_clean () =
   check_int "class counts cover all cases" 24
     (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Campaign.class_counts)
 
+let test_planted_store_stale_end_to_end () =
+  let store = fresh_dir () in
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 0;
+      jobs = 1;
+      plant_store_stale = true;
+      store_dir = Some store;
+    }
+  in
+  let s = Campaign.run config in
+  check_int "one case ran" 1 s.Campaign.completed;
+  check_int "one inversion case" 1 s.Campaign.inversion_cases;
+  check_int "exit code flags the inversion" 2 (Campaign.exit_code s);
+  match s.Campaign.counterexamples with
+  | [ c ] ->
+    check_string "classified as store-stale" "store-stale" c.Campaign.label;
+    (* Shrink candidates miss in the store, so the counterexample stays
+       the planted program — exactly the artifact that diverged. *)
+    check_int "not shrunk past the stored artifact"
+      c.Campaign.original_statements c.Campaign.shrunk_statements
+  | cs ->
+    Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
+
+let test_store_replay_round_trip () =
+  let store = fresh_dir () in
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 12;
+      jobs = 2;
+      store_dir = Some store;
+    }
+  in
+  (* Pass 1 populates the store with honest verdicts; pass 2 replays
+     every case against them. A healthy store diverges nowhere and the
+     reports are byte-identical. *)
+  let first = Campaign.run config in
+  let second = Campaign.run config in
+  check_int "first pass finds no inversions" 0 first.Campaign.inversion_cases;
+  check_int "replay finds no store-stale" 0 second.Campaign.inversion_cases;
+  check_string "summaries byte-identical across replay"
+    (Campaign.summary_json first)
+    (Campaign.summary_json second)
+
 let suite =
   ( "fuzz",
     [
@@ -485,6 +543,10 @@ let suite =
         test_planted_cert_inversion_end_to_end;
       Alcotest.test_case "planted lint-unsound end-to-end" `Quick
         test_planted_lint_unsound_end_to_end;
+      Alcotest.test_case "planted store-stale end-to-end" `Quick
+        test_planted_store_stale_end_to_end;
+      Alcotest.test_case "store replay round-trip" `Quick
+        test_store_replay_round_trip;
       Alcotest.test_case "worker-count determinism" `Quick
         test_campaign_worker_count_determinism;
       Alcotest.test_case "healthy campaign clean" `Quick

@@ -158,6 +158,43 @@ let test_cache_mem_is_recency_neutral () =
   check "a still evicted despite mem" true (Cache.find c "a" = None);
   check "b survives" true (Cache.find c "b" = Some 2)
 
+let test_cache_fold_lru_order () =
+  let c = Cache.create ~capacity:8 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  (* Touch "a": recency becomes a, c, b. *)
+  check "a hits" true (Cache.find c "a" = Some 1);
+  let keys = List.rev (Cache.fold c (fun acc k _ -> k :: acc) []) in
+  Alcotest.(check (list string)) "MRU-first order" [ "a"; "c"; "b" ] keys;
+  let before = Cache.stats c in
+  ignore (Cache.fold c (fun acc _ _ -> acc + 1) 0);
+  let after = Cache.stats c in
+  check_int "fold is hit-neutral" before.Cache.hits after.Cache.hits;
+  check_int "fold is miss-neutral" before.Cache.misses after.Cache.misses;
+  (* Recency-neutral too: the fold must not have bumped "b". *)
+  let c2 = Cache.create ~capacity:2 () in
+  Cache.add c2 "x" 1;
+  Cache.add c2 "y" 2;
+  ignore (Cache.fold c2 (fun acc k _ -> k :: acc) []);
+  Cache.add c2 "z" 3;
+  check "x still the LRU victim after fold" true (Cache.find c2 "x" = None)
+
+let test_cache_invalidation_vs_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  check "remove reports presence" true (Cache.remove c "a");
+  check "remove of absent is false" false (Cache.remove c "nope");
+  check "a gone" true (Cache.find c "a" = None);
+  Cache.add c "c" 3;
+  Cache.add c "d" 4;
+  (* b, c, d through capacity 2: exactly one capacity eviction. *)
+  let stats = Cache.stats c in
+  check_int "one invalidation" 1 stats.Cache.invalidations;
+  check_int "one eviction" 1 stats.Cache.evictions;
+  check_int "size" 2 stats.Cache.size
+
 let test_cache_concurrent_access () =
   let c = Cache.create ~capacity:64 () in
   Pool.run ~workers:4
@@ -375,6 +412,10 @@ let suite =
         test_cache_reinsert_refreshes_recency;
       Alcotest.test_case "cache mem is recency-neutral" `Quick
         test_cache_mem_is_recency_neutral;
+      Alcotest.test_case "cache fold is MRU-first and neutral" `Quick
+        test_cache_fold_lru_order;
+      Alcotest.test_case "cache invalidation vs eviction split" `Quick
+        test_cache_invalidation_vs_eviction;
       Alcotest.test_case "cache concurrent access" `Quick
         test_cache_concurrent_access;
       Alcotest.test_case "telemetry json escaping" `Quick

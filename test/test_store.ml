@@ -1,0 +1,516 @@
+(* Tests for the persistent content-addressed artifact store: entry and
+   summary round-trips, crash safety (truncation, torn renames, junk —
+   all must degrade to a recompute, never a wrong answer), generation
+   heat (preload, record_heat, gc), the tier's independent certificate
+   re-validation, warm-restart batches, and incremental certification
+   agreeing with the reference CFM while recomputing only the spine. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Chain = Ifc_lattice.Chain
+module Ast = Ifc_lang.Ast
+module Gen = Ifc_lang.Gen
+module Metrics = Ifc_lang.Metrics
+module Prng = Ifc_support.Prng
+module Sset = Ifc_support.Sset
+module Binding = Ifc_core.Binding
+module Cfm = Ifc_core.Cfm
+module Cache = Ifc_pipeline.Cache
+module Job = Ifc_pipeline.Job
+module Batch = Ifc_pipeline.Batch
+module Store = Ifc_store.Store
+module Incremental = Ifc_store.Incremental
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let two = Lattice.stringify Chain.two
+
+let ( // ) = Filename.concat
+
+(* Each test gets a throwaway store directory. *)
+let fresh_dir () =
+  let path = Filename.temp_file "ifc-store" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (path // f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let open_exn ?bump dir =
+  match Store.open_ ?bump dir with
+  | Ok st -> st
+  | Error msg -> Alcotest.failf "Store.open_ %s: %s" dir msg
+
+let random_binding rng lat stmt =
+  let arr = Array.of_list lat.Lattice.elements in
+  Binding.make lat
+    (List.map
+       (fun v -> (v, arr.(Prng.int rng (Array.length arr))))
+       (Sset.elements (Ifc_lang.Vars.all_vars stmt)))
+
+let corpus ?(analyses = [ Job.Cfm ]) n =
+  let rng = Prng.create 19790101 in
+  List.init n (fun i ->
+      let p = Gen.program rng Gen.default ~size:(1 + (i mod 20)) in
+      let b = random_binding rng two p.Ast.body in
+      Job.make ~id:i
+        ~name:(Printf.sprintf "corpus:%d" i)
+        ~lattice:two ~binding:b ~analyses p)
+
+let some_digest = String.make 32 'a'
+
+let result ?(analysis = "cfm") ?(verdict = true) ?artifact () =
+  { Job.analysis; verdict; checks = 3; duration_ns = 17L; artifact }
+
+let overwrite path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips *)
+
+let test_entry_round_trip () =
+  with_dir (fun dir ->
+      let st = open_exn dir in
+      let results =
+        [
+          result ();
+          result ~analysis:"cert" ~verdict:false
+            ~artifact:"not really a cert\nwith a second line\n" ();
+          result ~analysis:"lint" ~artifact:"{\"findings\": []}" ();
+        ]
+      in
+      (* The cert artifact is garbage on purpose: plain [find] is
+         structural only; semantic checking belongs to the tier. *)
+      Store.add st ~digest:some_digest results;
+      (match Store.find st ~digest:some_digest with
+      | None -> Alcotest.fail "entry vanished"
+      | Some read ->
+        check "results survive the disk round-trip byte-for-byte" true
+          (read = results));
+      check "absent digest misses" true
+        (Store.find st ~digest:(String.make 32 'b') = None);
+      let d = Store.disk_stats st in
+      check_int "one entry on disk" 1 d.Store.entries;
+      check_int "nothing quarantined" 0 d.Store.quarantined)
+
+let test_summary_round_trip () =
+  with_dir (fun dir ->
+      let st = open_exn dir in
+      let s = { Store.s_mod = "high"; s_flow = None; s_cert = true } in
+      Store.add_summary st ~digest:some_digest s;
+      check "summary round-trips" true
+        (Store.find_summary st ~digest:some_digest = Some s);
+      let s2 = { Store.s_mod = "low"; s_flow = Some "high"; s_cert = false } in
+      Store.add_summary st ~digest:some_digest s2;
+      check "last write wins" true
+        (Store.find_summary st ~digest:some_digest = Some s2))
+
+let test_reopen_bumps_generation () =
+  with_dir (fun dir ->
+      let g1 = Store.generation (open_exn dir) in
+      let g2 = Store.generation (open_exn dir) in
+      check "reopening bumps" true (g2 = g1 + 1);
+      let g3 = Store.generation (open_exn ~bump:false dir) in
+      check_int "bump:false inspects without aging" g2 g3)
+
+(* ------------------------------------------------------------------ *)
+(* Crash safety and corruption *)
+
+let test_truncated_entry_recomputes_not_crashes () =
+  with_dir (fun dir ->
+      let st = open_exn dir in
+      Store.add st ~digest:some_digest [ result () ];
+      let path = dir // "objects" // some_digest in
+      let raw =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* A torn write: the file stops mid-entry, checksum gone. *)
+      overwrite path (String.sub raw 0 (String.length raw / 2));
+      check "truncated entry reads as a miss" true
+        (Store.find st ~digest:some_digest = None);
+      check "damaged file moved out of objects/" false (Sys.file_exists path);
+      check_int "damaged file kept in quarantine" 1
+        (Store.disk_stats st).Store.quarantined;
+      (* The slot is usable again: a recompute re-adds and hits. *)
+      Store.add st ~digest:some_digest [ result () ];
+      check "recomputed entry hits" true
+        (Store.find st ~digest:some_digest <> None))
+
+let test_flipped_byte_quarantined () =
+  with_dir (fun dir ->
+      let st = open_exn dir in
+      Store.add st ~digest:some_digest [ result ~verdict:true () ];
+      let path = dir // "objects" // some_digest in
+      let raw =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* Flip the verdict in place: the checksum must catch it — a
+         tampered verdict is served as a miss, never as [false]. *)
+      let sub = "verdict true" and by = "verdict false" in
+      let n = String.length raw and m = String.length sub in
+      let rec find i =
+        if i + m > n then Alcotest.fail "verdict line not found"
+        else if String.equal (String.sub raw i m) sub then i
+        else find (i + 1)
+      in
+      let i = find 0 in
+      overwrite path
+        (String.sub raw 0 i ^ by ^ String.sub raw (i + m) (n - i - m));
+      check "tampered entry is a miss" true
+        (Store.find st ~digest:some_digest = None);
+      check_int "tampered entry quarantined" 1
+        (Store.disk_stats st).Store.quarantined)
+
+let test_staging_leftovers_swept_by_gc () =
+  with_dir (fun dir ->
+      let st = open_exn dir in
+      Store.add st ~digest:some_digest [ result () ];
+      (* A crash between staging and rename leaves a tmp file. *)
+      overwrite (dir // "tmp" // "deadbeef.0.tmp") "half an entry";
+      let report = Store.gc st in
+      check_int "staging leftover swept" 1 report.Store.tmp_swept;
+      check_int "live entry kept" 1 report.Store.live;
+      check "entry still readable after gc" true
+        (Store.find st ~digest:some_digest <> None))
+
+let test_verify_quarantines_junk_and_damage () =
+  with_dir (fun dir ->
+      let st = open_exn dir in
+      Store.add st ~digest:some_digest [ result () ];
+      Store.add_summary st ~digest:some_digest
+        { Store.s_mod = "high"; s_flow = None; s_cert = true };
+      (* Three kinds of rot: a junk name, a zero-length entry, and an
+         entry whose certificate artifact does not even parse. *)
+      overwrite (dir // "objects" // "README") "not an entry";
+      overwrite (dir // "objects" // String.make 32 'c') "";
+      let bad_cert = String.make 32 'd' in
+      Store.add st ~digest:bad_cert
+        [ result ~analysis:"cert" ~artifact:"garbage bytes" () ];
+      let report = Store.verify st in
+      check_int "all files checked" 5 report.Store.checked;
+      check_int "two fine" 2 report.Store.ok;
+      check_int "three quarantined" 3 report.Store.quarantined;
+      check "junk name flagged" true
+        (List.mem "README" report.Store.quarantined_files);
+      (* Verification is idempotent: a second pass is all-clean. *)
+      let again = Store.verify st in
+      check_int "second pass checks survivors" 2 again.Store.checked;
+      check_int "second pass quarantines nothing" 0 again.Store.quarantined)
+
+(* ------------------------------------------------------------------ *)
+(* Heat: preload, record_heat, gc *)
+
+let test_preload_hottest_generation () =
+  with_dir (fun dir ->
+      let st1 = open_exn dir in
+      Store.add st1 ~digest:(String.make 32 '0') [ result () ];
+      Store.add st1 ~digest:(String.make 32 '1') [ result () ];
+      (* A new session: its writes are hotter than the old ones. *)
+      let st2 = open_exn dir in
+      Store.add st2 ~digest:(String.make 32 '2') [ result () ];
+      let cache = Cache.create ~capacity:8 () in
+      let n = Store.preload st2 cache in
+      check_int "only the hottest generation preloads" 1 n;
+      check "hot entry resident" true (Cache.mem cache (String.make 32 '2'));
+      check "cold entry not resident" false
+        (Cache.mem cache (String.make 32 '0')))
+
+let test_record_heat_resurrects_hot_set () =
+  with_dir (fun dir ->
+      let st1 = open_exn dir in
+      Store.add st1 ~digest:(String.make 32 '0') [ result () ];
+      Store.add st1 ~digest:(String.make 32 '1') [ result () ];
+      let st2 = open_exn dir in
+      (* Session 2 only ever touched entry 0 — mark it hot at drain. *)
+      let cache = Cache.create ~capacity:8 () in
+      Cache.add cache (String.make 32 '0') [ result () ];
+      Store.record_heat st2 cache;
+      let st3 = open_exn dir in
+      let cache3 = Cache.create ~capacity:8 () in
+      check_int "only the re-stamped entry preloads" 1
+        (Store.preload st3 cache3);
+      check "it is the one session 2 kept" true
+        (Cache.mem cache3 (String.make 32 '0')))
+
+let test_gc_sweeps_cold_generations () =
+  with_dir (fun dir ->
+      let st1 = open_exn dir in
+      Store.add st1 ~digest:(String.make 32 '0') [ result () ];
+      (* Age the first entry out of a keep-1 window. *)
+      let st2 = open_exn dir in
+      ignore (Store.generation st2);
+      let st3 = open_exn dir in
+      Store.add st3 ~digest:(String.make 32 '1') [ result () ];
+      let report = Store.gc ~keep:1 st3 in
+      check_int "cold entry swept" 1 report.Store.swept;
+      check_int "hot entry live" 1 report.Store.live;
+      check "swept bytes accounted" true (report.Store.bytes_freed > 0);
+      check "cold entry gone" true
+        (Store.find st3 ~digest:(String.make 32 '0') = None);
+      check "hot entry kept" true
+        (Store.find st3 ~digest:(String.make 32 '1') <> None))
+
+let test_manifest_recovery () =
+  with_dir (fun dir ->
+      let st1 = open_exn dir in
+      let gen = Store.generation st1 in
+      Store.add st1 ~digest:some_digest [ result () ];
+      (* Lose the manifest: the counter recovers from entry stamps, so
+         new writes still sort as newest. *)
+      Sys.remove (dir // "manifest");
+      let st2 = open_exn dir in
+      check "generation recovered past the stamp" true
+        (Store.generation st2 > gen);
+      check "entry still readable" true
+        (Store.find st2 ~digest:some_digest <> None))
+
+(* ------------------------------------------------------------------ *)
+(* The tier: certificate re-validation on the read path *)
+
+let test_tier_revalidates_certificates () =
+  with_dir (fun dir ->
+      let st = open_exn dir in
+      let specs = corpus ~analyses:[ Job.Cfm; Job.Cert ] 6 in
+      let spec = List.hd specs in
+      let digest = Job.digest spec in
+      (* An honestly computed entry round-trips through the tier. *)
+      (match (Job.run spec).Job.outcome with
+      | Error e -> Alcotest.failf "job errored: %s" e
+      | Ok results ->
+        Store.add st ~digest results;
+        let tier = Store.tier st in
+        check "honest certificate accepted" true
+          (tier.Ifc_pipeline.Tier.find spec ~digest <> None));
+      (* A certificate from program A stored under program B's digest:
+         the checker rejects it and the entry is quarantined. *)
+      let other = List.nth specs 1 in
+      (match (Job.run spec).Job.outcome with
+      | Error e -> Alcotest.failf "job errored: %s" e
+      | Ok results ->
+        let other_digest = Job.digest other in
+        Store.add st ~digest:other_digest results;
+        let tier = Store.tier st in
+        check "mismatched certificate refused" true
+          (tier.Ifc_pipeline.Tier.find other ~digest:other_digest = None);
+        check "mismatched entry quarantined" true
+          ((Store.disk_stats st).Store.quarantined > 0));
+      (* A positive cert verdict without its artifact is refused too. *)
+      let bare = String.make 32 'e' in
+      Store.add st ~digest:bare [ result ~analysis:"cert" ~verdict:true () ];
+      let tier = Store.tier st in
+      check "certificate-less cert verdict refused" true
+        (tier.Ifc_pipeline.Tier.find spec ~digest:bare = None))
+
+(* ------------------------------------------------------------------ *)
+(* Batch over the store: the warm-restart acceptance criterion *)
+
+let test_batch_warm_restart_from_store () =
+  with_dir (fun dir ->
+      let specs = corpus 24 in
+      let verdicts s =
+        List.map (fun r -> (r.Job.job_digest, Job.verdict_string r)) s.Batch.results
+      in
+      (* Session 1: cold — everything computed and persisted. *)
+      let st1 = open_exn dir in
+      let cache1 = Cache.create ~capacity:64 () in
+      let cold = Batch.run ~jobs:2 ~cache:cache1 ~store:(Store.tier st1) specs in
+      check_int "cold run hits no store" 0 cold.Batch.store_hits;
+      check_int "cold run misses everything" 24 cold.Batch.store_misses;
+      (* Session 2: a fresh process (new cache, reopened store) with
+         preload — the acceptance criterion: every job answered without
+         recomputation. *)
+      let st2 = open_exn dir in
+      let cache2 = Cache.create ~capacity:64 () in
+      let tier2 = Store.tier st2 in
+      let preloaded = tier2.Ifc_pipeline.Tier.preload cache2 in
+      check_int "warm start preloads the whole hot set" 24 preloaded;
+      let warm = Batch.run ~jobs:2 ~cache:cache2 ~store:tier2 specs in
+      check_int "warm run: all 24 from cache" 24 warm.Batch.cache_hits;
+      check_int "warm run: zero cache misses" 0 warm.Batch.cache_misses;
+      check "warm results all marked cached" true
+        (List.for_all (fun r -> r.Job.from_cache) warm.Batch.results);
+      check "warm verdicts byte-identical to cold" true
+        (verdicts warm = verdicts cold);
+      (* Session 3: no preload — misses fall through to disk, not to
+         compute, and promotion makes the second pass memory-only. *)
+      let st3 = open_exn dir in
+      let cache3 = Cache.create ~capacity:64 () in
+      let disk = Batch.run ~jobs:2 ~cache:cache3 ~store:(Store.tier st3) specs in
+      check_int "unpreloaded run answered by the disk tier" 24
+        disk.Batch.store_hits;
+      check_int "no disk misses" 0 disk.Batch.store_misses;
+      check "disk hits marked cached" true
+        (List.for_all (fun r -> r.Job.from_cache) disk.Batch.results);
+      let promoted = Batch.run ~jobs:2 ~cache:cache3 ~store:(Store.tier st3) specs in
+      check_int "promoted pass is memory-only" 24 promoted.Batch.cache_hits;
+      check_int "promoted pass never reaches disk" 0 promoted.Batch.store_hits)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental certification *)
+
+let test_incremental_matches_cfm () =
+  let rng = Prng.create 515253 in
+  let ok = ref 0 in
+  for i = 1 to 120 do
+    let p = Gen.program rng Gen.default ~size:(1 + (i mod 30)) in
+    let b = random_binding rng two p.Ast.body in
+    let self_check = i mod 3 = 0 in
+    let ctx = Incremental.create ~self_check b in
+    let reference = Cfm.analyze ~self_check b p.Ast.body in
+    let s = Incremental.certify ctx p.Ast.body in
+    if
+      s.Incremental.cert = reference.Cfm.certified
+      && String.equal s.Incremental.mod_ (two.Lattice.to_string reference.Cfm.mod_)
+    then incr ok
+  done;
+  check_int "incremental agrees with Cfm.analyze on 120 random programs" 120 !ok
+
+let test_incremental_memo_reuse () =
+  let b = Binding.make two ~default:two.Lattice.bottom [] in
+  let ctx = Incremental.create b in
+  let p = Gen.program (Prng.create 99) Gen.default ~size:60 in
+  ignore (Incremental.certify_program ctx p);
+  let first = Incremental.stats ctx in
+  check "first pass computes" true (first.Incremental.computed > 0);
+  ignore (Incremental.certify_program ctx p);
+  let second = Incremental.stats ctx in
+  check_int "second pass computes nothing new" first.Incremental.computed
+    second.Incremental.computed;
+  check "second pass is all memo" true
+    (second.Incremental.reused_memory > first.Incremental.reused_memory)
+
+(* One-line edit: the acceptance assertion. Only the spine — the nodes
+   from the changed leaf to the root — may be recomputed. *)
+let test_incremental_one_line_edit_recomputes_spine_only () =
+  with_dir (fun dir ->
+      let b = Binding.make two ~default:two.Lattice.bottom [] in
+      let big = Gen.program (Prng.create 4242) Gen.default ~size:400 in
+      let edit (p : Ast.program) =
+        let changed = ref false in
+        let rec stmt (s : Ast.stmt) =
+          if !changed then s
+          else
+            match s.Ast.node with
+            | Ast.Assign (v, Ast.Int k) ->
+              changed := true;
+              { s with Ast.node = Ast.Assign (v, Ast.Int (k + 1)) }
+            | Ast.Seq ss -> { s with Ast.node = Ast.Seq (List.map stmt ss) }
+            | Ast.Cobegin ss ->
+              { s with Ast.node = Ast.Cobegin (List.map stmt ss) }
+            | Ast.If (e, x, y) ->
+              let x' = stmt x in
+              { s with Ast.node = Ast.If (e, x', stmt y) }
+            | Ast.While (e, body) ->
+              { s with Ast.node = Ast.While (e, stmt body) }
+            | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _
+            | Ast.Wait _ | Ast.Signal _ -> s
+        in
+        let body = stmt p.Ast.body in
+        check "edit found an assignment to change" true !changed;
+        { p with Ast.body }
+      in
+      let st = open_exn dir in
+      let ctx = Incremental.create ~store:st b in
+      let before = Incremental.certify_program ctx big in
+      Incremental.reset_stats ctx;
+      let edited = edit big in
+      let after = Incremental.certify_program ctx edited in
+      let s = Incremental.stats ctx in
+      let nodes = Metrics.length big in
+      check "edited verdict agrees with reference CFM" true
+        (Bool.equal after (Cfm.certified b edited.Ast.body));
+      check "verdict of the original was computed too" true
+        (Bool.equal before (Cfm.certified b big.Ast.body));
+      check "the edit recomputed something" true (s.Incremental.computed > 0);
+      (* The spine is bounded by the tree depth; on a 400-size program
+         that is far below even a tenth of the nodes. *)
+      check
+        (Printf.sprintf "spine only: %d recomputed of %d nodes"
+           s.Incremental.computed nodes)
+        true
+        (s.Incremental.computed * 10 < nodes);
+      check "unchanged subtrees reused, not recomputed" true
+        (s.Incremental.reused_memory > s.Incremental.computed);
+      (* A cold session over the same store sees both versions. *)
+      let st2 = open_exn dir in
+      let ctx2 = Incremental.create ~store:st2 b in
+      ignore (Incremental.certify_program ctx2 edited);
+      let s2 = Incremental.stats ctx2 in
+      check_int "warm restart recomputes nothing" 0 s2.Incremental.computed;
+      check "warm restart reads summaries from disk" true
+        (s2.Incremental.reused_disk > 0))
+
+let test_incremental_survives_corrupt_summary () =
+  with_dir (fun dir ->
+      let b = Binding.make two ~default:two.Lattice.bottom [] in
+      let p = Gen.program (Prng.create 7) Gen.default ~size:40 in
+      let st = open_exn dir in
+      let ctx = Incremental.create ~store:st b in
+      let verdict = Incremental.certify_program ctx p in
+      (* Trash every persisted summary. *)
+      Array.iter
+        (fun name -> overwrite (dir // "summaries" // name) "rotten")
+        (Sys.readdir (dir // "summaries"));
+      let st2 = open_exn dir in
+      let ctx2 = Incremental.create ~store:st2 b in
+      check "corrupt summaries degrade to recompute, same verdict" true
+        (Bool.equal verdict (Incremental.certify_program ctx2 p));
+      let s = Incremental.stats ctx2 in
+      check_int "nothing served from the rotten store" 0
+        s.Incremental.reused_disk;
+      check "rotten summaries quarantined" true
+        ((Store.disk_stats st2).Store.quarantined > 0))
+
+let suite =
+  ( "store",
+    [
+      Alcotest.test_case "entry round-trip" `Quick test_entry_round_trip;
+      Alcotest.test_case "summary round-trip" `Quick test_summary_round_trip;
+      Alcotest.test_case "reopen bumps generation" `Quick
+        test_reopen_bumps_generation;
+      Alcotest.test_case "truncated entry recomputes" `Quick
+        test_truncated_entry_recomputes_not_crashes;
+      Alcotest.test_case "flipped byte quarantined" `Quick
+        test_flipped_byte_quarantined;
+      Alcotest.test_case "gc sweeps staging leftovers" `Quick
+        test_staging_leftovers_swept_by_gc;
+      Alcotest.test_case "verify quarantines junk+damage" `Quick
+        test_verify_quarantines_junk_and_damage;
+      Alcotest.test_case "preload hottest generation" `Quick
+        test_preload_hottest_generation;
+      Alcotest.test_case "record_heat resurrects hot set" `Quick
+        test_record_heat_resurrects_hot_set;
+      Alcotest.test_case "gc sweeps cold generations" `Quick
+        test_gc_sweeps_cold_generations;
+      Alcotest.test_case "manifest recovery" `Quick test_manifest_recovery;
+      Alcotest.test_case "tier re-validates certificates" `Quick
+        test_tier_revalidates_certificates;
+      Alcotest.test_case "batch warm restart from store" `Quick
+        test_batch_warm_restart_from_store;
+      Alcotest.test_case "incremental = cfm on random corpus" `Quick
+        test_incremental_matches_cfm;
+      Alcotest.test_case "incremental memo reuse" `Quick
+        test_incremental_memo_reuse;
+      Alcotest.test_case "one-line edit recomputes spine only" `Quick
+        test_incremental_one_line_edit_recomputes_spine_only;
+      Alcotest.test_case "incremental survives corrupt summaries" `Quick
+        test_incremental_survives_corrupt_summary;
+    ] )
