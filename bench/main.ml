@@ -365,7 +365,7 @@ let soundness ~corpus () =
   while !checked < corpus && !attempts < corpus * 30 do
     incr attempts;
     let p = Gen.program_balanced rng cfg ~size:(2 + (!attempts mod 10)) in
-    let vars, _, _ = Ifc_lang.Vars.declared p in
+    let vars, _, _, _ = Ifc_lang.Vars.declared p in
     let pairs =
       List.map (fun v -> (v, if Prng.bool rng then high else low)) (Sset.elements vars)
     in
@@ -628,6 +628,87 @@ let lint_bench ~corpus () =
   metric_f "lint" "statements_per_sec" (float_of_int stmts /. wall_s);
   metric_f "lint" "findings_per_sec" (float_of_int findings /. wall_s);
   metric_i "lint" "findings" findings
+
+(* ------------------------------------------------------------------ *)
+(* CHAN: the message-passing workload end to end — certify, lint (with
+   channel-graph construction), and explore generated channel programs,
+   reporting each leg's throughput. *)
+
+let chan_bench ~corpus () =
+  banner
+    (Printf.sprintf
+       "CHAN: certify + lint + explore a %d-program message-passing corpus"
+       corpus);
+  let module J = Ifc_pipeline.Telemetry in
+  let module Analyze = Ifc_analysis.Analyze in
+  let module Explore = Ifc_exec.Explore in
+  let stwo = Lattice.stringify two in
+  let binding = Binding.make stwo ~default:stwo.Lattice.bottom [] in
+  let rng = Prng.create 1979 in
+  let programs =
+    List.init corpus (fun i -> Gen.program rng Gen.with_channels ~size:(4 + (i mod 40)))
+  in
+  let stmts =
+    List.fold_left
+      (fun a p -> a + (Metrics.of_program p).Metrics.statements)
+      0 programs
+  in
+  let timed f =
+    let timer = J.start () in
+    let r = List.map f programs in
+    (r, Int64.to_float (J.elapsed_ns timer) /. 1e9)
+  in
+  let certified, certify_s = timed (fun p -> Cfm.certified binding p.Ast.body) in
+  let reports, lint_s = timed Analyze.run in
+  let summaries, explore_s =
+    timed (fun p -> Explore.explore_program ~max_states:20_000 p)
+  in
+  let accepted = List.length (List.filter Fun.id certified) in
+  let channels =
+    List.fold_left
+      (fun a (r : Analyze.report) -> a + List.length r.Analyze.channels)
+      0 reports
+  in
+  let chan_findings =
+    List.fold_left
+      (fun a (r : Analyze.report) ->
+        a
+        + List.length
+            (List.filter
+               (fun (f : Ifc_analysis.Finding.t) ->
+                 match f.Ifc_analysis.Finding.kind with
+                 | Ifc_analysis.Finding.Chan_deadlock
+                 | Ifc_analysis.Finding.Chan_race
+                 | Ifc_analysis.Finding.Orphan_message ->
+                   true
+                 | _ -> false)
+               r.Analyze.findings))
+      0 reports
+  in
+  let states =
+    List.fold_left (fun a (s : Explore.summary) -> a + s.Explore.states) 0 summaries
+  in
+  let blocked =
+    List.length
+      (List.filter (fun (s : Explore.summary) -> s.Explore.chan_blocked <> []) summaries)
+  in
+  Fmt.pr "corpus: %d programs, %d statements, %d channel endpoints@." corpus
+    stmts channels;
+  Fmt.pr "certify: %d/%d accepted, %.0f programs/s@." accepted corpus
+    (float_of_int corpus /. certify_s);
+  Fmt.pr "lint: %.0f statements/s, %d channel findings@."
+    (float_of_int stmts /. lint_s)
+    chan_findings;
+  Fmt.pr "explore: %.0f states/s, %d programs reach a blocked channel@."
+    (float_of_int states /. explore_s)
+    blocked;
+  metric_i "chan" "corpus" corpus;
+  metric_i "chan" "channels" channels;
+  metric_f "chan" "certify_programs_per_sec" (float_of_int corpus /. certify_s);
+  metric_f "chan" "lint_statements_per_sec" (float_of_int stmts /. lint_s);
+  metric_f "chan" "explore_states_per_sec" (float_of_int states /. explore_s);
+  metric_i "chan" "chan_findings" chan_findings;
+  metric_i "chan" "blocked_programs" blocked
 
 (* ------------------------------------------------------------------ *)
 (* CERT: proof-certificate emission and independent re-checking
@@ -907,7 +988,7 @@ let store_bench ~corpus ~edits () =
             | Ast.While (e, body) ->
               { s with Ast.node = Ast.While (e, stmt body) }
             | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _
-            | Ast.Wait _ | Ast.Signal _ -> s
+            | Ast.Wait _ | Ast.Signal _ | Ast.Send _ | Ast.Recv _ -> s
         in
         { p with Ast.body = stmt p.Ast.body }
       in
@@ -1023,7 +1104,8 @@ let () =
     match List.filter (fun a -> a <> "quick") args with
     | [] | [ "all" ] ->
       [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling";
-        "ni"; "pipeline"; "store"; "fuzz"; "lint"; "cert"; "server"; "micro" ]
+        "ni"; "pipeline"; "store"; "fuzz"; "lint"; "chan"; "cert"; "server";
+        "micro" ]
     | s -> s
   in
   let corpus = if quick then 100 else 400 in
@@ -1045,6 +1127,7 @@ let () =
         ()
     | "fuzz" -> fuzz_bench ~cases:(if quick then 40 else 150) ()
     | "lint" -> lint_bench ~corpus:(if quick then 200 else 800) ()
+    | "chan" -> chan_bench ~corpus:(if quick then 150 else 500) ()
     | "cert" -> cert_bench ~corpus:(if quick then 60 else 200) ()
     | "server" ->
       server_bench

@@ -284,9 +284,14 @@ let run_lint json path =
          warnings
          (if warnings = 1 then "" else "s")
          stats.Analyze.statements stats.Analyze.accesses stats.Analyze.pairs;
-       Fmt.pr "claims: race-free %b, deadlock-free %b, must-block %b@."
+       Fmt.pr "claims: race-free %b, deadlock-free %b, must-block %b, \
+               chan-race-free %b, chan-deadlock-free %b@."
          claims.Analyze.race_free claims.Analyze.deadlock_free
-         claims.Analyze.must_block
+         claims.Analyze.must_block claims.Analyze.chan_race_free
+         claims.Analyze.chan_deadlock_free;
+       List.iter
+         (fun c -> Fmt.pr "%a@." Ifc_chan.Lint.pp_summary c)
+         report.Analyze.channels
      end;
      Ok (report.Analyze.findings = []))
 
@@ -301,9 +306,10 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically analyze a program's concurrency structure: \
-          may-happen-in-parallel data races, guaranteed semaphore deadlocks, \
-          lost signals, conditional-delay imbalances, and constant guards. \
-          Exit code 2 when there are findings.")
+          may-happen-in-parallel data races, guaranteed semaphore and \
+          channel deadlocks, lost signals, orphan messages, \
+          conditional-delay imbalances, and constant guards. Exit code 2 \
+          when there are findings.")
     Term.(const run_lint $ json $ program_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -1072,6 +1078,8 @@ let run_fuzz cases seed jobs size_min size_max ni_pairs max_states time_budget
         Sys.getenv_opt "IFC_FUZZ_PLANT_CERT_INVERSION" <> None;
       plant_lint_unsound =
         Sys.getenv_opt "IFC_FUZZ_PLANT_LINT_UNSOUND" <> None;
+      plant_chan_unsound =
+        Sys.getenv_opt "IFC_FUZZ_PLANT_CHAN_UNSOUND" <> None;
       plant_store_stale =
         Sys.getenv_opt "IFC_FUZZ_PLANT_STORE_STALE" <> None;
     }
@@ -1778,6 +1786,8 @@ Figure 2 — the Concurrent Flow Mechanism
   a[i] := e      sbind(a)          nil                          sbind(i) (+) sbind(e) <= sbind(a)
   x := declassify e to C
                  sbind(x)          nil                          C <= sbind(x)
+  send(c, e)     sbind(c)          nil                          sbind(e) <= sbind(c)
+  recv(c, x)     sbind(c)(*)sbind(x)  sbind(c)                  sbind(c) <= sbind(x)
 
   ((+) join, (*) meet; nil is the extended scheme's new bottom, Definition 4.)|}
 

@@ -5,11 +5,22 @@ module Loc = Ifc_lang.Loc
 module Metrics = Ifc_lang.Metrics
 module Wellformed = Ifc_lang.Wellformed
 
-type claims = { race_free : bool; deadlock_free : bool; must_block : bool }
+type claims = {
+  race_free : bool;
+  deadlock_free : bool;
+  must_block : bool;
+  chan_race_free : bool;
+  chan_deadlock_free : bool;
+}
 
 type stats = { statements : int; accesses : int; pairs : int }
 
-type report = { findings : Finding.t list; claims : claims; stats : stats }
+type report = {
+  findings : Finding.t list;
+  claims : claims;
+  stats : stats;
+  channels : Ifc_chan.Lint.summary list;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Race detection.
@@ -92,6 +103,54 @@ let race_findings mhp ~atomic_spans =
   (List.rev !findings, !pairs)
 
 (* ------------------------------------------------------------------ *)
+(* The channel lint, adapted: the graph gets the structural relation and
+   the may-parallel predicate from this analyzer's MHP pass, and its
+   findings are folded into the shared diagnostic type. *)
+
+let chan_relation = function
+  | Mhp.Equal -> Ifc_chan.Graph.Equal
+  | Mhp.Before -> Ifc_chan.Graph.Before
+  | Mhp.After -> Ifc_chan.Graph.After
+  | Mhp.Parallel -> Ifc_chan.Graph.Parallel
+  | Mhp.Exclusive -> Ifc_chan.Graph.Exclusive
+
+let chan_site (s : Mhp.sem_site) =
+  {
+    Ifc_chan.Graph.path = s.Mhp.site_path;
+    span = s.Mhp.site_span;
+    under_loop = s.Mhp.under_loop;
+  }
+
+let chan_finding (f : Ifc_chan.Lint.finding) =
+  let kind =
+    match f.Ifc_chan.Lint.kind with
+    | Ifc_chan.Lint.Comm_deadlock -> Finding.Chan_deadlock
+    | Ifc_chan.Lint.Orphan_message -> Finding.Orphan_message
+    | Ifc_chan.Lint.Chan_race -> Finding.Chan_race
+  in
+  let severity =
+    match f.Ifc_chan.Lint.severity with
+    | Ifc_chan.Lint.Error -> Finding.Error
+    | Ifc_chan.Lint.Warning -> Finding.Warning
+  in
+  Finding.make
+    ?related:f.Ifc_chan.Lint.related kind severity f.Ifc_chan.Lint.span
+    f.Ifc_chan.Lint.message
+
+let chan_lint mhp (p : Ast.program) =
+  let site_map m = Ifc_support.Smap.map (List.map chan_site) m in
+  let graph =
+    Ifc_chan.Graph.build
+      ~relate:(fun a b -> chan_relation (Mhp.relate mhp a b))
+      ~sends:(site_map (Mhp.send_sites mhp))
+      ~recvs:(site_map (Mhp.recv_sites mhp))
+      p
+  in
+  Ifc_chan.Lint.analyze
+    ~may_parallel:(Mhp.may_happen_in_parallel mhp)
+    ~graph p
+
+(* ------------------------------------------------------------------ *)
 
 let run (p : Ast.program) =
   let mhp = Mhp.create p in
@@ -102,15 +161,30 @@ let run (p : Ast.program) =
   in
   let races, pairs = race_findings mhp ~atomic_spans in
   let live = Semlive.analyze p in
+  let chan = chan_lint mhp p in
   let guards = Guards.findings p in
   let findings =
-    List.sort Finding.compare (races @ live.Semlive.findings @ guards)
+    List.sort Finding.compare
+      (races
+      @ live.Semlive.findings
+      @ List.map chan_finding chan.Ifc_chan.Lint.findings
+      @ guards)
   in
+  (* The blocking claims combine both synchronization disciplines:
+     deadlock-freedom needs every semaphore {e and} every channel unable
+     to block, while a guaranteed block through either one suffices for
+     [must_block]. *)
+  let chan_claims = chan.Ifc_chan.Lint.claims in
   let claims =
     {
       race_free = races = [];
-      deadlock_free = live.Semlive.deadlock_free;
-      must_block = live.Semlive.must_block;
+      deadlock_free =
+        live.Semlive.deadlock_free
+        && chan_claims.Ifc_chan.Lint.comm_deadlock_free;
+      must_block =
+        live.Semlive.must_block || chan_claims.Ifc_chan.Lint.comm_must_block;
+      chan_race_free = chan_claims.Ifc_chan.Lint.chan_race_free;
+      chan_deadlock_free = chan_claims.Ifc_chan.Lint.comm_deadlock_free;
     }
   in
   let stats =
@@ -120,7 +194,7 @@ let run (p : Ast.program) =
       pairs;
     }
   in
-  { findings; claims; stats }
+  { findings; claims; stats; channels = chan.Ifc_chan.Lint.summaries }
 
 let pp_report ppf r =
   List.iter (fun f -> Fmt.pf ppf "%a@." Finding.pp f) r.findings

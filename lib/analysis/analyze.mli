@@ -1,6 +1,8 @@
 (** The static concurrency analyzer: one pass over a program combining
     may-happen-in-parallel race detection ({!Mhp}), semaphore liveness
-    ({!Semlive}) and guard lints ({!Guards}) into a single report.
+    ({!Semlive}), the channel lint ({!Ifc_chan.Lint} over the channel
+    graph, with MHP injected) and guard lints ({!Guards}) into a single
+    report.
 
     The report's {e claims} are the analyzer's positive safety
     statements, phrased so that bounded dynamic exploration can refute
@@ -14,8 +16,18 @@
 type claims = {
   race_free : bool;  (** No race findings. *)
   deadlock_free : bool;
-      (** No execution can block on a semaphore, even transiently. *)
-  must_block : bool;  (** No execution terminates. *)
+      (** No execution can block — on a semaphore {e or} a channel —
+          even transiently (semaphore liveness and channel lint both
+          agree). *)
+  must_block : bool;
+      (** No execution terminates: a guaranteed block through either
+          semaphores or channels. *)
+  chan_race_free : bool;
+      (** No same-endpoint channel contention findings
+          ({!Ifc_chan.Lint}). *)
+  chan_deadlock_free : bool;
+      (** The channel-only component of [deadlock_free]: no execution
+          can block on a channel, even transiently. *)
 }
 
 type stats = {
@@ -28,6 +40,8 @@ type report = {
   findings : Finding.t list;  (** Sorted with {!Finding.compare}. *)
   claims : claims;
   stats : stats;
+  channels : Ifc_chan.Lint.summary list;
+      (** Per-channel summary records, in declaration order. *)
 }
 
 val run : Ifc_lang.Ast.program -> report

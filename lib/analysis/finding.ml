@@ -2,7 +2,15 @@
 
 module Loc = Ifc_lang.Loc
 
-type kind = Race | Deadlock | Lost_signal | Imbalance | Guard
+type kind =
+  | Race
+  | Deadlock
+  | Chan_deadlock
+  | Chan_race
+  | Orphan_message
+  | Lost_signal
+  | Imbalance
+  | Guard
 
 type severity = Error | Warning
 
@@ -17,6 +25,9 @@ type t = {
 let kind_name = function
   | Race -> "race"
   | Deadlock -> "deadlock"
+  | Chan_deadlock -> "chan-deadlock"
+  | Chan_race -> "chan-race"
+  | Orphan_message -> "orphan-message"
   | Lost_signal -> "lost-signal"
   | Imbalance -> "imbalance"
   | Guard -> "guard"
@@ -30,10 +41,13 @@ let severity_rank = function Error -> 0 | Warning -> 1
 
 let kind_rank = function
   | Deadlock -> 0
-  | Race -> 1
-  | Lost_signal -> 2
-  | Imbalance -> 3
-  | Guard -> 4
+  | Chan_deadlock -> 1
+  | Race -> 2
+  | Chan_race -> 3
+  | Lost_signal -> 4
+  | Orphan_message -> 5
+  | Imbalance -> 6
+  | Guard -> 7
 
 let pos_key (s : Loc.span) = (s.Loc.start.Loc.line, s.Loc.start.Loc.col)
 

@@ -10,6 +10,13 @@
 type kind =
   | Race  (** Conflicting accesses at may-happen-in-parallel points. *)
   | Deadlock  (** A [wait] whose semaphore can never cover it. *)
+  | Chan_deadlock
+      (** A [recv] that can never be fed, or channel counting proves
+          every execution blocks ({!Ifc_chan.Lint}). *)
+  | Chan_race
+      (** Two parallel sends (or recvs) on one channel: message order
+          depends on the schedule. *)
+  | Orphan_message  (** A sent message no recv can ever consume. *)
   | Lost_signal  (** Signals that no execution can ever consume. *)
   | Imbalance
       (** Control-flow arms with different wait/signal balance — the
@@ -28,7 +35,8 @@ type t = {
 }
 
 val kind_name : kind -> string
-(** ["race"], ["deadlock"], ["lost-signal"], ["imbalance"], ["guard"]. *)
+(** ["race"], ["deadlock"], ["chan-deadlock"], ["chan-race"],
+    ["orphan-message"], ["lost-signal"], ["imbalance"], ["guard"]. *)
 
 val severity_name : severity -> string
 (** ["error"] or ["warning"]. *)

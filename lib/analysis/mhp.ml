@@ -17,6 +17,8 @@ type t = {
   accs : access list;
   waits : sem_site list Smap.t;
   signals : sem_site list Smap.t;
+  sends : sem_site list Smap.t;
+  recvs : sem_site list Smap.t;
   eligible : Sset.t;
       (* Semaphores usable for must-precede edges: initial count 0 and
          no wait/signal site under a while. *)
@@ -44,6 +46,12 @@ let collect_accesses body =
     | Ast.Assign (x, e) | Ast.Declassify (x, e, _) ->
       add path s.Ast.span x true;
       add_reads path s.Ast.span e
+    | Ast.Send (_, e) ->
+      (* The channel itself is a synchronization object, not a data
+         access (its sites live in [sends]/[recvs]); the payload read
+         is data. *)
+      add_reads path s.Ast.span e
+    | Ast.Recv (_, x) -> add path s.Ast.span x true
     | Ast.Store (a, i, e) ->
       add path s.Ast.span a true;
       add_reads path s.Ast.span i;
@@ -62,7 +70,10 @@ let collect_accesses body =
   List.rev !out
 
 let collect_sites body =
-  let waits = ref Smap.empty and signals = ref Smap.empty in
+  let waits = ref Smap.empty
+  and signals = ref Smap.empty
+  and sends = ref Smap.empty
+  and recvs = ref Smap.empty in
   let add store sem site = store := Smap.add sem (site :: Smap.find_or ~default:[] sem !store) !store in
   let rec walk path under_loop (s : Ast.stmt) =
     match s.Ast.node with
@@ -70,6 +81,10 @@ let collect_sites body =
       add waits sem { site_path = path; site_span = s.Ast.span; under_loop }
     | Ast.Signal sem ->
       add signals sem { site_path = path; site_span = s.Ast.span; under_loop }
+    | Ast.Send (chan, _) ->
+      add sends chan { site_path = path; site_span = s.Ast.span; under_loop }
+    | Ast.Recv (chan, _) ->
+      add recvs chan { site_path = path; site_span = s.Ast.span; under_loop }
     | Ast.If (_, a, b) ->
       walk (path @ [ 0 ]) under_loop a;
       walk (path @ [ 1 ]) under_loop b
@@ -79,16 +94,19 @@ let collect_sites body =
     | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ -> ()
   in
   walk [] false body;
-  (Smap.map List.rev !waits, Smap.map List.rev !signals)
+  ( Smap.map List.rev !waits,
+    Smap.map List.rev !signals,
+    Smap.map List.rev !sends,
+    Smap.map List.rev !recvs )
 
 let create (p : Ast.program) =
   let body = p.Ast.body in
-  let waits, signals = collect_sites body in
+  let waits, signals, sends, recvs = collect_sites body in
   let inits =
     List.fold_left
       (fun acc -> function
         | Ast.Sem_decl { name; init; _ } -> Smap.add name init acc
-        | Ast.Var_decl _ | Ast.Arr_decl _ -> acc)
+        | Ast.Var_decl _ | Ast.Arr_decl _ | Ast.Chan_decl _ -> acc)
       Smap.empty p.Ast.decls
   in
   let looping sites = List.exists (fun s -> s.under_loop) sites in
@@ -105,9 +123,11 @@ let create (p : Ast.program) =
         && not (looping (Smap.find_or ~default:[] s signals)))
       sems
   in
-  { body; accs = collect_accesses body; waits; signals; eligible }
+  { body; accs = collect_accesses body; waits; signals; sends; recvs; eligible }
 
 let accesses t = t.accs
+let send_sites t = t.sends
+let recv_sites t = t.recvs
 
 (* ------------------------------------------------------------------ *)
 (* Structural relation *)
@@ -142,7 +162,10 @@ let rec must_wait (s : Ast.stmt) =
     List.fold_left (fun acc c -> Sset.union acc (must_wait c)) Sset.empty ss
   | Ast.If (_, a, b) -> Sset.inter (must_wait a) (must_wait b)
   | Ast.While _ | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _
-  | Ast.Signal _ ->
+  | Ast.Signal _
+  (* Channel ops promise no semaphore handshakes; their own ordering is
+     the channel graph's subject, not this refinement's. *)
+  | Ast.Send _ | Ast.Recv _ ->
     Sset.empty
 
 (* Waits that must have completed before the point at [path] starts:

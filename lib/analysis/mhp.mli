@@ -47,7 +47,22 @@ val create : Ifc_lang.Ast.program -> t
 val accesses : t -> access list
 (** Every data access point of the body, in source order. Semaphore
     operations are not data accesses (they are the liveness analysis's
-    subject, {!Semlive}). *)
+    subject, {!Semlive}); a [send]'s payload read and a [recv]'s target
+    write are, but the channel endpoint itself is not (see
+    {!send_sites}/{!recv_sites}). *)
+
+(** One synchronization site of a semaphore or channel. *)
+type sem_site = {
+  site_path : int list;
+  site_span : Ifc_lang.Loc.span;
+  under_loop : bool;  (** The site sits under a [while]. *)
+}
+
+val send_sites : t -> sem_site list Ifc_support.Smap.t
+(** Per-channel [send] sites of the body, in source order. *)
+
+val recv_sites : t -> sem_site list Ifc_support.Smap.t
+(** Per-channel [recv] sites of the body, in source order. *)
 
 val relate : t -> int list -> int list -> relation
 (** Structural relation of two program points (no semaphore

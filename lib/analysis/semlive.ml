@@ -89,7 +89,11 @@ let merge_with f a b =
 
 let rec usages (s : Ast.stmt) =
   match s.Ast.node with
-  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ -> Smap.empty
+  (* Channel ops are no semaphore usage: their blocking discipline is
+     the channel lint's subject ({!Ifc_chan}). *)
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Send _
+  | Ast.Recv _ ->
+    Smap.empty
   | Ast.Wait sem ->
     Smap.singleton sem
       { zero with wait_min = 1; wait_max = Fin 1; first_wait = Some s.Ast.span }
@@ -181,7 +185,7 @@ let analyze (p : Ast.program) =
     List.fold_left
       (fun acc -> function
         | Ast.Sem_decl { name; init; _ } -> Smap.add name init acc
-        | Ast.Var_decl _ | Ast.Arr_decl _ -> acc)
+        | Ast.Var_decl _ | Ast.Arr_decl _ | Ast.Chan_decl _ -> acc)
       Smap.empty p.Ast.decls
   in
   let u = usages p.Ast.body in

@@ -15,6 +15,8 @@ type kind =
   | K_assign
   | K_wait
   | K_signal
+  | K_send
+  | K_recv
   | K_skip
   | K_alternation
   | K_iteration
@@ -46,6 +48,8 @@ let rule_name = function
   | K_assign -> "assign"
   | K_wait -> "wait"
   | K_signal -> "signal"
+  | K_send -> "send"
+  | K_recv -> "recv"
   | K_skip -> "skip"
   | K_alternation -> "alternation"
   | K_iteration -> "iteration"
@@ -57,6 +61,8 @@ let kind_of_name = function
   | "assign" -> Some K_assign
   | "wait" -> Some K_wait
   | "signal" -> Some K_signal
+  | "send" -> Some K_send
+  | "recv" -> Some K_recv
   | "skip" -> Some K_skip
   | "alternation" -> Some K_alternation
   | "iteration" -> Some K_iteration
@@ -140,6 +146,8 @@ let kind_of_rule = function
   | Proof.Axiom_assign -> K_assign
   | Proof.Axiom_wait -> K_wait
   | Proof.Axiom_signal -> K_signal
+  | Proof.Axiom_send -> K_send
+  | Proof.Axiom_recv -> K_recv
   | Proof.Axiom_skip -> K_skip
   | Proof.Alternation _ -> K_alternation
   | Proof.Iteration _ -> K_iteration
@@ -194,13 +202,13 @@ let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
 
 let arity_ok kind n =
   match kind with
-  | K_assign | K_wait | K_signal | K_skip -> n = 0
+  | K_assign | K_wait | K_signal | K_send | K_recv | K_skip -> n = 0
   | K_iteration | K_consequence -> n = 1
   | K_alternation -> n = 2
   | K_composition | K_concurrency -> n >= 1
 
 let arity_text = function
-  | K_assign | K_wait | K_signal | K_skip -> "no sub-derivations"
+  | K_assign | K_wait | K_signal | K_send | K_recv | K_skip -> "no sub-derivations"
   | K_iteration | K_consequence -> "exactly 1 sub-derivation"
   | K_alternation -> "exactly 2 sub-derivations"
   | K_composition | K_concurrency -> "at least 1 sub-derivation"

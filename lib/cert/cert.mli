@@ -21,6 +21,8 @@ type kind =
   | K_assign
   | K_wait
   | K_signal
+  | K_send
+  | K_recv
   | K_skip
   | K_alternation
   | K_iteration

@@ -115,6 +115,14 @@ let check (c : Cert.t) (program : Ast.program) =
         :: acc
       | Cert.K_wait, Ast.Wait sem | Cert.K_signal, Ast.Signal sem ->
         (n, sem, Cexpr.Cls sem, s) :: acc
+      | Cert.K_send, Ast.Send (chan, e) ->
+        (* A send writes the channel: old contents persist and the
+           payload joins in. *)
+        (n, chan, Cexpr.Join (Cexpr.Cls chan, Cexpr.of_expr lat e), s) :: acc
+      | Cert.K_recv, Ast.Recv (chan, x) ->
+        (* A recv writes both the target and the channel, each bounded
+           by the channel's class. *)
+        (n, x, Cexpr.Cls chan, s) :: (n, chan, Cexpr.Cls chan, s) :: acc
       | _ ->
         List.fold_left
           (fun acc pair -> collect_actions pair acc)
@@ -210,6 +218,32 @@ let check (c : Cert.t) (program : Ast.program) =
         expect_equal path "wait"
           "pre must be post[sem <- sem(+)local(+)global, global <- \
            sem(+)local(+)global]"
+          n.Cert.pre
+          (Assertion.subst sigma n.Cert.post)
+      | Cert.K_send, [], Ast.Send (chan, e) ->
+        let rhs =
+          Cexpr.Join
+            ( Cexpr.Cls chan,
+              Cexpr.Join
+                (Cexpr.of_expr lat e, Cexpr.Join (Cexpr.Local, Cexpr.Global)) )
+        in
+        expect_equal path "send"
+          "pre must be post[c <- c(+)e(+)local(+)global]" n.Cert.pre
+          (Assertion.subst (write_subst chan rhs) n.Cert.post)
+      | Cert.K_recv, [], Ast.Recv (chan, x) ->
+        let rhs =
+          Cexpr.Join (Cexpr.Cls chan, Cexpr.Join (Cexpr.Local, Cexpr.Global))
+        in
+        let sigma sym =
+          match sym with
+          | Cexpr.S_cls v when String.equal v chan || String.equal v x ->
+            Some rhs
+          | Cexpr.S_global -> Some rhs
+          | Cexpr.S_cls _ | Cexpr.S_local -> None
+        in
+        expect_equal path "recv"
+          "pre must be post[x <- c(+)local(+)global, c <- \
+           c(+)local(+)global, global <- c(+)local(+)global]"
           n.Cert.pre
           (Assertion.subst sigma n.Cert.post)
       | Cert.K_consequence, [ inner ], _ ->
@@ -368,9 +402,9 @@ let check (c : Cert.t) (program : Ast.program) =
             (fun i (child, st) -> go (child_path path i) child st)
             (List.combine ns branches)
         end
-      | ( ( Cert.K_assign | Cert.K_wait | Cert.K_signal | Cert.K_skip
-          | Cert.K_alternation | Cert.K_iteration | Cert.K_composition
-          | Cert.K_concurrency | Cert.K_consequence ),
+      | ( ( Cert.K_assign | Cert.K_wait | Cert.K_signal | Cert.K_send
+          | Cert.K_recv | Cert.K_skip | Cert.K_alternation | Cert.K_iteration
+          | Cert.K_composition | Cert.K_concurrency | Cert.K_consequence ),
           _,
           _ ) ->
         fail path (Cert.rule_name n.Cert.kind)

@@ -1,0 +1,56 @@
+(** The channel graph: one node per channel with its endpoint sites, and
+    a {e may-communicate} edge from a [send] site to a [recv] site when a
+    message enqueued at the former may be the one dequeued at the latter.
+
+    The structural relation between two program points is injected (the
+    caller typically adapts {!Ifc_analysis.Mhp.relate}); this keeps the
+    subsystem independent of the concurrency analyzer while letting it
+    reuse the same tree-path reasoning. An edge exists when the send is
+    sequentially before the recv, the two sit in parallel branches of a
+    common [cobegin], or both sit under a loop (a send textually after a
+    recv can feed its next iteration). Sites in exclusive [if] arms never
+    exchange a message. *)
+
+type site = {
+  path : int list;  (** Tree path from the body to the statement. *)
+  span : Ifc_lang.Loc.span;
+  under_loop : bool;
+}
+
+(** Mirror of {!Ifc_analysis.Mhp.relation} (redeclared here to keep the
+    dependency injected rather than structural). *)
+type relation = Equal | Before | After | Parallel | Exclusive
+
+type node = {
+  chan : string;
+  cap : int;  (** Declared capacity (default for undeclared channels). *)
+  cls : string option;  (** Declared class annotation, if any. *)
+  sends : site list;  (** [send] sites, in source order. *)
+  recvs : site list;  (** [recv] sites, in source order. *)
+}
+
+type edge = { e_chan : string; e_send : site; e_recv : site }
+
+type t = { nodes : node list; edges : edge list }
+
+val build :
+  relate:(int list -> int list -> relation) ->
+  sends:site list Ifc_support.Smap.t ->
+  recvs:site list Ifc_support.Smap.t ->
+  Ifc_lang.Ast.program ->
+  t
+(** Nodes in declaration order, then any used-but-undeclared channels in
+    name order at the default capacity. *)
+
+val fed : t -> site -> string -> bool
+(** [fed t r c]: some may-communicate edge of channel [c] ends at recv
+    site [r]. A recv no edge feeds blocks forever whenever reached. *)
+
+val consumed : t -> site -> string -> bool
+(** [consumed t s c]: some edge of [c] starts at send site [s]. A send no
+    edge consumes produces a message that is never received. *)
+
+val degree : t -> string -> int
+(** Number of may-communicate edges of a channel. *)
+
+val pp : Format.formatter -> t -> unit

@@ -27,7 +27,8 @@ let of_program lattice ?default ?(overrides = []) (p : Ast.program) =
       (function
         | Ast.Var_decl { name; cls }
         | Ast.Arr_decl { name; cls; _ }
-        | Ast.Sem_decl { name; cls; _ } ->
+        | Ast.Sem_decl { name; cls; _ }
+        | Ast.Chan_decl { name; cls; _ } ->
           (name, cls))
       p.decls
   in

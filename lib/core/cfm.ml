@@ -17,6 +17,8 @@ and rule =
   | Assign_direct
   | Declassify_direct
   | Store_direct
+  | Send_direct
+  | Recv_direct
   | If_local
   | While_global
   | Seq_global of int
@@ -32,6 +34,8 @@ let rule_name = function
   | Assign_direct -> "assign: sbind(e) <= sbind(x)"
   | Declassify_direct -> "declassify: C <= sbind(x)"
   | Store_direct -> "store: sbind(i) (+) sbind(e) <= sbind(a)"
+  | Send_direct -> "send: sbind(e) <= sbind(c)"
+  | Recv_direct -> "recv: sbind(c) <= sbind(x)"
   | If_local -> "if: sbind(e) <= mod(S)"
   | While_global -> "while: flow(S) <= mod(S1)"
   | Seq_global i -> Printf.sprintf "begin: flow(S1..S%d) <= mod(S%d)" i (i + 1)
@@ -86,6 +90,27 @@ let traverse binding ~self_check ~record stmt =
     | Ast.Signal sem ->
       let c = Binding.sbind binding sem in
       (c, Extended.Nil, true)
+    | Ast.Send (chan, e) ->
+      (* A send is an assignment into the channel that also signals: the
+         payload's class must flow to the channel's class, and — like a
+         signal — it produces no global flow of its own. mod = sbind(c)
+         means the enclosing if/while/seq checks force every potential
+         sender's context flow below the channel's class, so sbind(c)
+         dominates the global flow of every potential sender (the join the
+         recv rule needs is paid for here). *)
+      let c = Binding.sbind binding chan in
+      let source = Binding.expr_class binding e in
+      let ok = record s.span Send_direct (Extended.El source) c in
+      (c, Extended.Nil, ok)
+    | Ast.Recv (chan, x) ->
+      (* A recv is a wait whose class is the channel's — the conditional
+         delay is a global flow of sbind(c) — followed by an assignment of
+         the delivered message (class sbind(c), which bounds every
+         sender's payload and context) into x. *)
+      let c = Binding.sbind binding chan in
+      let target = Binding.sbind binding x in
+      let ok = record s.span Recv_direct (Extended.El c) target in
+      (l.Lattice.meet c target, Extended.El c, ok)
     | Ast.If (cond, then_, else_) ->
       let m1, f1, c1 = go then_ in
       let m2, f2, c2 = go else_ in

@@ -45,6 +45,16 @@ and rule =
       (** [sbind(i) (+) sbind(e) <= sbind(a)] for [a\[i\] := e]: the index
           flows into the array — which slot changed is information
           (Denning & Denning's array treatment). *)
+  | Send_direct
+      (** [sbind(e) <= sbind(c)] for [send(c, e)]: the payload flows into
+          the channel. A send is otherwise signal-like — [mod] is
+          [sbind(c)], so the surrounding context checks bound every
+          potential sender's global flow by the channel's class. *)
+  | Recv_direct
+      (** [sbind(c) <= sbind(x)] for [recv(c, x)]: the delivered message
+          (whose class the send rule capped at [sbind(c)]) flows into [x].
+          A recv is otherwise wait-like — its conditional delay is a
+          global flow of the channel's class. *)
   | If_local  (** [sbind(e) <= mod(S)]. *)
   | While_global  (** [flow(S) <= mod(S1)]. *)
   | Seq_global of int

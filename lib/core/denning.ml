@@ -58,6 +58,26 @@ let traverse ~on_concurrency binding ~record ~reject stmt =
         reject s.span;
         (Binding.sbind binding sem, false)
       | `Ignore -> (Binding.sbind binding sem, true))
+    | Ast.Send (chan, e) -> (
+      (* The payload check is a local flow the Dennings would see; the
+         synchronization (and its global flow) is what they would not. *)
+      let target = Binding.sbind binding chan in
+      let source = Binding.expr_class binding e in
+      let ok = record s.span Cfm.Send_direct (Extended.El source) target in
+      match on_concurrency with
+      | `Reject ->
+        reject s.span;
+        (target, false)
+      | `Ignore -> (target, ok))
+    | Ast.Recv (chan, x) -> (
+      let target = Binding.sbind binding x in
+      let source = Binding.sbind binding chan in
+      let ok = record s.span Cfm.Recv_direct (Extended.El source) target in
+      match on_concurrency with
+      | `Reject ->
+        reject s.span;
+        (target, false)
+      | `Ignore -> (target, ok))
     | Ast.Cobegin branches -> (
       match on_concurrency with
       | `Reject ->

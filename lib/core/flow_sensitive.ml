@@ -114,6 +114,21 @@ let analyze binding stmt =
     | Ast.Signal sem ->
       let sem_c = Smap.find_or ~default:l.Lattice.bottom sem st.classes in
       { st with classes = Smap.add sem (join sem_c (join pc st.global)) st.classes }
+    | Ast.Send (chan, e) ->
+      (* Signal-like, plus the payload joins the channel's class. *)
+      let chan_c = Smap.find_or ~default:l.Lattice.bottom chan st.classes in
+      let stored = join (expr_class l st.classes e) (join pc st.global) in
+      { st with classes = Smap.add chan (join chan_c stored) st.classes }
+    | Ast.Recv (chan, x) ->
+      (* Wait-like — the conditional delay raises global by the channel's
+         class — followed by the delivered message landing in x. *)
+      let chan_c = Smap.find_or ~default:l.Lattice.bottom chan st.classes in
+      let global = join st.global (join pc chan_c) in
+      let delivered = join chan_c (join pc global) in
+      {
+        classes = Smap.add x delivered (Smap.add chan delivered st.classes);
+        global;
+      }
     | Ast.Cobegin _ -> enter_cobegin ~pc st s
   in
   let init =

@@ -76,6 +76,17 @@ let constraints ?(self_check = false) stmt =
       (Sset.singleton a, None)
     | Ast.Wait sem -> (Sset.singleton sem, Some [ Class sem ])
     | Ast.Signal sem -> (Sset.singleton sem, None)
+    | Ast.Send (chan, e) ->
+      out :=
+        { span = s.span; rule = Cfm.Send_direct; lhs = norm_atoms (expr_atoms e);
+          rhs = chan }
+        :: !out;
+      (Sset.singleton chan, None)
+    | Ast.Recv (chan, x) ->
+      out :=
+        { span = s.span; rule = Cfm.Recv_direct; lhs = [ Class chan ]; rhs = x }
+        :: !out;
+      (Sset.add x (Sset.singleton chan), Some [ Class chan ])
     | Ast.If (cond, then_, else_) ->
       let m1, f1 = go then_ in
       let m2, f2 = go else_ in

@@ -9,18 +9,23 @@ type summary = {
   deadlocks : Step.config list;
   faults : string list;
   races : string list;
+  chan_races : string list;
+  chan_blocked : string list;
   has_cycle : bool;
   states : int;
   complete : bool;
 }
 
 (* Variables an action writes. Semaphore operations are synchronization,
-   not data accesses, so they never witness a race. *)
+   not data accesses, so they never witness a race; a recv writes its
+   target variable (the channel endpoint itself is not a data access —
+   same-endpoint contention is [chan_races]'s subject). *)
 let label_writes = function
   | Step.L_assign (x, _) -> Some x
   | Step.L_store (a, _, _) -> Some a
+  | Step.L_recv (_, x, _) -> Some x
   | Step.L_skip | Step.L_branch _ | Step.L_loop _ | Step.L_wait _
-  | Step.L_signal _ ->
+  | Step.L_signal _ | Step.L_send _ ->
     None
 
 (* Racy variables: names accessed by two or more branches of some
@@ -31,7 +36,8 @@ let label_writes = function
    program runs, so computing this once on the initial task is sound. *)
 let rec racy_stmt (s : Ast.stmt) =
   match s.Ast.node with
-  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _ | Ast.Signal _ ->
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _ | Ast.Signal _
+  | Ast.Send _ | Ast.Recv _ ->
     Sset.empty
   | Ast.If (_, a, b) -> Sset.union (racy_stmt a) (racy_stmt b)
   | Ast.While (_, b) -> racy_stmt b
@@ -80,6 +86,8 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
   let deadlocks = ref [] in
   let faults = ref [] in
   let races = ref Sset.empty in
+  let chan_races = ref Sset.empty in
+  let chan_blocked = ref Sset.empty in
   let has_cycle = ref false in
   let complete = ref true in
   let add_fault msg = if not (List.mem msg !faults) then faults := msg :: !faults in
@@ -87,7 +95,12 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
      one writes a variable in the other's footprint. Enabled choices with
      distinct indices always belong to distinct parallel branches, so
      co-enabledness alone proves the accesses are unordered — the witness
-     is definitive even when the exploration is bounded. *)
+     is definitive even when the exploration is bounded.
+
+     A channel-race witness is same-endpoint contention: two co-enabled
+     sends (or two co-enabled recvs) on one channel — which message lands
+     where depends on the schedule. A send co-enabled with a recv is the
+     intended rendezvous, not a race. *)
   let scan_races choices =
     let rec go = function
       | [] -> ()
@@ -101,7 +114,13 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
               | _ -> ()
             in
             conflict ch other;
-            conflict other ch)
+            conflict other ch;
+            match (ch.Step.label, other.Step.label) with
+            | Step.L_send (c, _), Step.L_send (c', _)
+            | Step.L_recv (c, _, _), Step.L_recv (c', _, _)
+              when String.equal c c' ->
+              chan_races := Sset.add c !chan_races
+            | _ -> ())
           rest;
         go rest
     in
@@ -133,7 +152,11 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
             else
               match Step.enabled c with
               | Error msg -> add_fault msg
-              | Ok [] -> deadlocks := c :: !deadlocks
+              | Ok [] ->
+                deadlocks := c :: !deadlocks;
+                List.iter
+                  (fun chan -> chan_blocked := Sset.add chan !chan_blocked)
+                  (Step.blocked_channels c)
               | Ok choices ->
                 if List.length choices > 1 then scan_races choices;
                 (* Partial-order reduction: if some enabled action touches
@@ -165,6 +188,8 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
     deadlocks = !deadlocks;
     faults = !faults;
     races = Sset.elements !races;
+    chan_races = Sset.elements !chan_races;
+    chan_blocked = Sset.elements !chan_blocked;
     has_cycle = !has_cycle;
     states = !states;
     complete = !complete;

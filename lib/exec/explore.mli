@@ -20,6 +20,16 @@ type summary = {
           unless [complete] (and partial-order reduction may skip states,
           so only an unreduced complete exploration is exhaustive).
           Semaphore operations never witness a race. *)
+  chan_races : string list;
+      (** Channels with witnessed same-endpoint contention: two
+          co-enabled sends (or two co-enabled recvs) on the channel —
+          which message lands where depends on the schedule. A send
+          co-enabled with a recv is the intended rendezvous, not a
+          race. *)
+  chan_blocked : string list;
+      (** Channels on which some reached deadlock has a blocked [send]
+          (full queue) or [recv] (empty queue): channel communication is
+          part of what is stuck there. *)
   has_cycle : bool;  (** A configuration can reach itself: divergence. *)
   states : int;  (** States visited. *)
   complete : bool;  (** False iff [max_states] was exhausted. *)

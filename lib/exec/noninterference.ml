@@ -66,7 +66,7 @@ let compare_observables ~termination oa ob =
 let test ?(seed = 0) ?(pairs = 16) ?max_states ?(value_range = 4)
     ?(termination = `Insensitive) ~observer binding (p : Ast.program) =
   let lat = Binding.lattice binding in
-  let vars, _arrays, _sems = Ifc_lang.Vars.declared p in
+  let vars, _arrays, _sems, _chans = Ifc_lang.Vars.declared p in
   let low_vars, high_vars =
     List.partition
       (fun v -> lat.Lattice.leq (Binding.sbind binding v) observer)

@@ -8,6 +8,8 @@ type config = {
   store : Eval.store;
   arrays : int array Smap.t;
   sems : int Smap.t;
+  chans : int list Smap.t;
+  chan_caps : int Smap.t;
 }
 
 let env_of cfg = { Eval.store = cfg.store; arrays = cfg.arrays }
@@ -20,6 +22,8 @@ type label =
   | L_loop of bool
   | L_wait of string
   | L_signal of string
+  | L_send of string * int
+  | L_recv of string * string * int
 
 type choice = { index : int; label : label; next : config; footprint : Ifc_support.Sset.t }
 
@@ -36,18 +40,24 @@ let action_footprint (s : Ast.stmt) =
       (Ifc_support.Sset.union (Ifc_lang.Vars.expr_vars i) (Ifc_lang.Vars.expr_vars e))
   | Ast.If (cond, _, _) | Ast.While (cond, _) -> Ifc_lang.Vars.expr_vars cond
   | Ast.Wait sem | Ast.Signal sem -> Ifc_support.Sset.singleton sem
+  | Ast.Send (chan, e) -> Ifc_support.Sset.add chan (Ifc_lang.Vars.expr_vars e)
+  | Ast.Recv (chan, x) -> Ifc_support.Sset.add x (Ifc_support.Sset.singleton chan)
   | Ast.Seq _ | Ast.Cobegin _ -> Ifc_support.Sset.empty
 
 let init (p : Ast.program) ?(inputs = []) () =
-  let store, arrays, sems =
+  let store, arrays, sems, chans, chan_caps =
     List.fold_left
-      (fun (store, arrays, sems) decl ->
+      (fun (store, arrays, sems, chans, caps) decl ->
         match decl with
-        | Ast.Var_decl { name; _ } -> (Smap.add name 0 store, arrays, sems)
+        | Ast.Var_decl { name; _ } -> (Smap.add name 0 store, arrays, sems, chans, caps)
         | Ast.Arr_decl { name; size; _ } ->
-          (store, Smap.add name (Array.make size 0) arrays, sems)
-        | Ast.Sem_decl { name; init; _ } -> (store, arrays, Smap.add name init sems))
-      (Smap.empty, Smap.empty, Smap.empty) p.decls
+          (store, Smap.add name (Array.make size 0) arrays, sems, chans, caps)
+        | Ast.Sem_decl { name; init; _ } ->
+          (store, arrays, Smap.add name init sems, chans, caps)
+        | Ast.Chan_decl { name; cap; _ } ->
+          (store, arrays, sems, Smap.add name [] chans, Smap.add name cap caps))
+      (Smap.empty, Smap.empty, Smap.empty, Smap.empty, Smap.empty)
+      p.decls
   in
   let store =
     List.fold_left
@@ -55,7 +65,7 @@ let init (p : Ast.program) ?(inputs = []) () =
         if Smap.mem x store then Smap.add x v store else store)
       store inputs
   in
-  { task = Task.simplify (Task.of_stmt p.body); store; arrays; sems }
+  { task = Task.simplify (Task.of_stmt p.body); store; arrays; sems; chans; chan_caps }
 
 let is_terminated c = Task.is_done c.task
 
@@ -63,17 +73,19 @@ let is_terminated c = Task.is_done c.task
    updated (store, arrays, sems). *)
 let step_leaf cfg (s : Ast.stmt) =
   let env = env_of cfg in
-  let unchanged = (cfg.store, cfg.arrays, cfg.sems) in
+  let unchanged = (cfg.store, cfg.arrays, cfg.sems, cfg.chans) in
   match s.Ast.node with
   | Ast.Skip -> Some (L_skip, Task.Nil, unchanged)
   | Ast.Assign (x, e) | Ast.Declassify (x, e, _) ->
     let v = Eval.expr env e in
-    Some (L_assign (x, v), Task.Nil, (Smap.add x v cfg.store, cfg.arrays, cfg.sems))
+    Some
+      (L_assign (x, v), Task.Nil, (Smap.add x v cfg.store, cfg.arrays, cfg.sems, cfg.chans))
   | Ast.Store (a, i, e) ->
     let idx = Eval.expr env i in
     let v = Eval.expr env e in
     let env' = Eval.store_index env a idx v in
-    Some (L_store (a, idx, v), Task.Nil, (cfg.store, env'.Eval.arrays, cfg.sems))
+    Some
+      (L_store (a, idx, v), Task.Nil, (cfg.store, env'.Eval.arrays, cfg.sems, cfg.chans))
   | Ast.If (cond, then_, else_) ->
     let taken = Eval.truthy (Eval.expr env cond) in
     let branch = if taken then then_ else else_ in
@@ -86,11 +98,40 @@ let step_leaf cfg (s : Ast.stmt) =
   | Ast.Wait sem ->
     let count = Smap.find_or ~default:0 sem cfg.sems in
     if count > 0 then
-      Some (L_wait sem, Task.Nil, (cfg.store, cfg.arrays, Smap.add sem (count - 1) cfg.sems))
+      Some
+        ( L_wait sem,
+          Task.Nil,
+          (cfg.store, cfg.arrays, Smap.add sem (count - 1) cfg.sems, cfg.chans) )
     else None (* blocked *)
   | Ast.Signal sem ->
     let count = Smap.find_or ~default:0 sem cfg.sems in
-    Some (L_signal sem, Task.Nil, (cfg.store, cfg.arrays, Smap.add sem (count + 1) cfg.sems))
+    Some
+      ( L_signal sem,
+        Task.Nil,
+        (cfg.store, cfg.arrays, Smap.add sem (count + 1) cfg.sems, cfg.chans) )
+  | Ast.Send (chan, e) ->
+    (* Bounded asynchronous send: blocks while the queue is full. An
+       undeclared channel has capacity [default_channel_capacity]. *)
+    let queue = Smap.find_or ~default:[] chan cfg.chans in
+    let cap =
+      Smap.find_or ~default:Ifc_lang.Wellformed.default_channel_capacity chan
+        cfg.chan_caps
+    in
+    if List.length queue >= cap then None (* blocked on full channel *)
+    else
+      let v = Eval.expr env e in
+      Some
+        ( L_send (chan, v),
+          Task.Nil,
+          (cfg.store, cfg.arrays, cfg.sems, Smap.add chan (queue @ [ v ]) cfg.chans) )
+  | Ast.Recv (chan, x) -> (
+    match Smap.find_or ~default:[] chan cfg.chans with
+    | [] -> None (* blocked on empty channel *)
+    | v :: rest ->
+      Some
+        ( L_recv (chan, x, v),
+          Task.Nil,
+          (Smap.add x v cfg.store, cfg.arrays, cfg.sems, Smap.add chan rest cfg.chans) ))
   | Ast.Seq _ | Ast.Cobegin _ ->
     (* Normalisation guarantees composition never appears at a leaf. *)
     assert false
@@ -107,9 +148,18 @@ let enabled cfg =
       let index = !counter in
       incr counter;
       (match step_leaf cfg s with
-      | None -> () (* blocked wait *)
-      | Some (label, succ, (store, arrays, sems)) ->
-        let next = { task = Task.simplify (rebuild succ); store; arrays; sems } in
+      | None -> () (* blocked wait or channel op *)
+      | Some (label, succ, (store, arrays, sems, chans)) ->
+        let next =
+          {
+            task = Task.simplify (rebuild succ);
+            store;
+            arrays;
+            sems;
+            chans;
+            chan_caps = cfg.chan_caps;
+          }
+        in
         choices := { index; label; next; footprint = action_footprint s } :: !choices)
     | Task.Seq (a, b) -> walk a (fun a' -> rebuild (Task.Seq (a', b)))
     | Task.Par ts ->
@@ -136,7 +186,41 @@ let key cfg =
     cfg.arrays;
   Buffer.add_char buf '/';
   Smap.iter (fun k v -> Buffer.add_string buf (Printf.sprintf "%s=%d," k v)) cfg.sems;
+  Buffer.add_char buf '/';
+  Smap.iter
+    (fun k queue ->
+      Buffer.add_string buf (k ^ "=");
+      List.iter (fun v -> Buffer.add_string buf (string_of_int v ^ ".")) queue;
+      Buffer.add_char buf ',')
+    cfg.chans;
   Buffer.contents buf
+
+(* Channels on which some redex is currently blocked: a send on a full
+   queue or a recv on an empty one. Nonempty at a deadlock exactly when
+   channel communication is (part of) what is stuck. *)
+let blocked_channels cfg =
+  let out = ref Ifc_support.Sset.empty in
+  let rec walk task =
+    match task with
+    | Task.Nil -> ()
+    | Task.Leaf s -> (
+      match s.Ast.node with
+      | Ast.Send (chan, _) ->
+        let queue = Smap.find_or ~default:[] chan cfg.chans in
+        let cap =
+          Smap.find_or ~default:Ifc_lang.Wellformed.default_channel_capacity chan
+            cfg.chan_caps
+        in
+        if List.length queue >= cap then out := Ifc_support.Sset.add chan !out
+      | Ast.Recv (chan, _) ->
+        if Smap.find_or ~default:[] chan cfg.chans = [] then
+          out := Ifc_support.Sset.add chan !out
+      | _ -> ())
+    | Task.Seq (a, _) -> walk a
+    | Task.Par ts -> List.iter walk ts
+  in
+  walk cfg.task;
+  Ifc_support.Sset.elements !out
 
 let low_projection binding ~observer cfg =
   let lat = Ifc_core.Binding.lattice binding in
@@ -150,11 +234,25 @@ let low_projection binding ~observer cfg =
         else [])
       (Smap.bindings cfg.arrays)
   in
-  List.sort compare (of_map cfg.store @ array_cells @ of_map cfg.sems)
+  (* A visible channel exposes its queue contents and (via a length
+     entry) how many messages are pending — both observable to anyone
+     who can recv from it. *)
+  let chan_cells =
+    List.concat_map
+      (fun (name, queue) ->
+        if visible name then
+          (Printf.sprintf "%s#len" name, List.length queue)
+          :: List.mapi (fun i v -> (Printf.sprintf "%s<%d>" name i, v)) queue
+        else [])
+      (Smap.bindings cfg.chans)
+  in
+  List.sort compare (of_map cfg.store @ array_cells @ chan_cells @ of_map cfg.sems)
 
 let pp ppf cfg =
-  Fmt.pf ppf "@[<v>task: %a@ store: %a@ sems: %a@]" Task.pp cfg.task Eval.pp_env
-    (env_of cfg) (Smap.pp Fmt.int) cfg.sems
+  Fmt.pf ppf "@[<v>task: %a@ store: %a@ sems: %a@ chans: %a@]" Task.pp cfg.task
+    Eval.pp_env (env_of cfg) (Smap.pp Fmt.int) cfg.sems
+    (Smap.pp (Fmt.brackets (Fmt.list ~sep:Fmt.comma Fmt.int)))
+    cfg.chans
 
 let pp_label ppf = function
   | L_skip -> Fmt.string ppf "skip"
@@ -164,3 +262,5 @@ let pp_label ppf = function
   | L_loop b -> Fmt.pf ppf "while -> %b" b
   | L_wait s -> Fmt.pf ppf "wait(%s)" s
   | L_signal s -> Fmt.pf ppf "signal(%s)" s
+  | L_send (c, v) -> Fmt.pf ppf "send(%s, %d)" c v
+  | L_recv (c, x, v) -> Fmt.pf ppf "recv(%s, %s) = %d" c x v

@@ -1,12 +1,13 @@
 (** Small-step operational semantics.
 
-    A configuration pairs a task tree with the variable store and the
-    semaphore counters. {!enabled} enumerates every indivisible action
-    currently possible (one per runnable process), which drives the random
-    and round-robin schedulers and the exhaustive interleaving exploration
-    alike; a [wait] on a zero semaphore is simply not enabled, giving
-    semaphore blocking — and deadlock when nothing is enabled but the task
-    is unfinished. *)
+    A configuration pairs a task tree with the variable store, the
+    semaphore counters and the channel queues. {!enabled} enumerates every
+    indivisible action currently possible (one per runnable process), which
+    drives the random and round-robin schedulers and the exhaustive
+    interleaving exploration alike; a [wait] on a zero semaphore, a [send]
+    on a full channel and a [recv] on an empty channel are simply not
+    enabled, giving blocking — and deadlock when nothing is enabled but the
+    task is unfinished. *)
 
 type config = {
   task : Task.t;
@@ -14,6 +15,9 @@ type config = {
   arrays : int array Ifc_support.Smap.t;
       (** Treated as immutable; successors carry fresh copies. *)
   sems : int Ifc_support.Smap.t;
+  chans : int list Ifc_support.Smap.t;
+      (** Per-channel FIFO of pending messages, head = oldest. *)
+  chan_caps : int Ifc_support.Smap.t;  (** Declared capacities. *)
 }
 
 (** What an action did — the trace vocabulary. *)
@@ -25,6 +29,8 @@ type label =
   | L_loop of bool  (** [while] condition outcome. *)
   | L_wait of string
   | L_signal of string
+  | L_send of string * int  (** Channel, enqueued value. *)
+  | L_recv of string * string * int  (** Channel, target, dequeued value. *)
 
 type choice = {
   index : int;  (** Redex position (left-to-right leaf order); stable
@@ -40,7 +46,14 @@ type choice = {
 
 val init : Ifc_lang.Ast.program -> ?inputs:(string * int) list -> unit -> config
 (** Initial configuration: declared integers start at 0 (overridable via
-    [inputs]); semaphores at their declared initial count. *)
+    [inputs]); semaphores at their declared initial count; channels
+    empty, at their declared capacities. *)
+
+val blocked_channels : config -> string list
+(** Channels on which some currently-runnable leaf is blocked — a [send]
+    on a full queue or a [recv] on an empty one — sorted. Nonempty at a
+    deadlocked configuration exactly when channel communication is part
+    of what is stuck. *)
 
 val enabled : config -> (choice list, string) result
 (** All enabled actions; [Error] carries a runtime fault message (e.g.
@@ -54,8 +67,9 @@ val key : config -> string
 val low_projection :
   'a Ifc_core.Binding.t -> observer:'a -> config -> (string * int) list
 (** The observable part of a final state: values of variables, array
-    cells (as [a\[i\]] entries) and semaphore counters whose binding is
-    [<= observer], sorted by name. *)
+    cells (as [a\[i\]] entries), channel queues (pending messages as
+    [c<i>] entries plus a [c#len] count) and semaphore counters whose
+    binding is [<= observer], sorted by name. *)
 
 val pp : Format.formatter -> config -> unit
 

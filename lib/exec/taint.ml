@@ -20,7 +20,7 @@ let rec of_stmt (s : Ast.stmt) =
   | Ast.Seq stmts -> List.fold_right (fun st acc -> TSeq (of_stmt st, acc)) stmts TNil
   | Ast.Cobegin branches -> TPar (List.map of_stmt branches)
   | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.If _ | Ast.While _
-  | Ast.Wait _ | Ast.Signal _ ->
+  | Ast.Wait _ | Ast.Signal _ | Ast.Send _ | Ast.Recv _ ->
     TLeaf s
 
 let rec is_done = function
@@ -45,6 +45,8 @@ type 'a state = {
   store : Eval.store;
   arrays : int array Smap.t;
   sems : int Smap.t;
+  chans : int list Smap.t;
+  chan_caps : int Smap.t;
   classes : 'a Smap.t;
   global : 'a;
 }
@@ -141,6 +143,47 @@ let step_leaf (lat : 'a Lattice.t) (st : 'a state) pc (s : Ast.stmt) =
           sems = Smap.add sem (count + 1) st.sems;
           classes = Smap.add sem sem_c st.classes;
         } )
+  | Ast.Send (chan, e) ->
+    let queue = Smap.find_or ~default:[] chan st.chans in
+    let cap =
+      Smap.find_or ~default:Ifc_lang.Wellformed.default_channel_capacity chan
+        st.chan_caps
+    in
+    if List.length queue >= cap then None
+    else
+      let v = Eval.expr (env_of st) e in
+      (* Mirror the flow-sensitive send rule: the channel absorbs the
+         payload's current class and the sending context. *)
+      let stored =
+        lat.Lattice.join
+          (expr_class lat st.classes e)
+          (lat.Lattice.join pc st.global)
+      in
+      let chan_c = lat.Lattice.join (cls chan) stored in
+      Some
+        ( TNil,
+          {
+            st with
+            chans = Smap.add chan (queue @ [ v ]) st.chans;
+            classes = Smap.add chan chan_c st.classes;
+          } )
+  | Ast.Recv (chan, x) -> (
+    match Smap.find_or ~default:[] chan st.chans with
+    | [] -> None
+    | v :: rest ->
+      (* Wait-like conditional delay (global absorbs the channel's
+         class), then the delivered message lands in [x]. *)
+      let g = lat.Lattice.join st.global (lat.Lattice.join pc (cls chan)) in
+      let delivered = lat.Lattice.join (cls chan) (lat.Lattice.join pc g) in
+      Some
+        ( TNil,
+          {
+            st with
+            store = Smap.add x v st.store;
+            chans = Smap.add chan rest st.chans;
+            classes = Smap.add x delivered (Smap.add chan delivered st.classes);
+            global = g;
+          } ))
   | Ast.Seq _ | Ast.Cobegin _ -> assert false
 
 (* Enumerate enabled choices as (successor-state) thunks. *)
@@ -172,15 +215,19 @@ let enabled (lat : 'a Lattice.t) st =
 
 let run ?(fuel = 100_000) ?(inputs = []) ~strategy binding (p : Ast.program) =
   let lat = Binding.lattice binding in
-  let store, arrays, sems =
+  let store, arrays, sems, chans, chan_caps =
     List.fold_left
-      (fun (store, arrays, sems) decl ->
+      (fun (store, arrays, sems, chans, caps) decl ->
         match decl with
-        | Ast.Var_decl { name; _ } -> (Smap.add name 0 store, arrays, sems)
+        | Ast.Var_decl { name; _ } -> (Smap.add name 0 store, arrays, sems, chans, caps)
         | Ast.Arr_decl { name; size; _ } ->
-          (store, Smap.add name (Array.make size 0) arrays, sems)
-        | Ast.Sem_decl { name; init; _ } -> (store, arrays, Smap.add name init sems))
-      (Smap.empty, Smap.empty, Smap.empty) p.decls
+          (store, Smap.add name (Array.make size 0) arrays, sems, chans, caps)
+        | Ast.Sem_decl { name; init; _ } ->
+          (store, arrays, Smap.add name init sems, chans, caps)
+        | Ast.Chan_decl { name; cap; _ } ->
+          (store, arrays, sems, Smap.add name [] chans, Smap.add name cap caps))
+      (Smap.empty, Smap.empty, Smap.empty, Smap.empty, Smap.empty)
+      p.decls
   in
   let store =
     List.fold_left
@@ -195,7 +242,8 @@ let run ?(fuel = 100_000) ?(inputs = []) ~strategy binding (p : Ast.program) =
           match decl with
           | Ast.Var_decl { name; _ }
           | Ast.Arr_decl { name; _ }
-          | Ast.Sem_decl { name; _ } ->
+          | Ast.Sem_decl { name; _ }
+          | Ast.Chan_decl { name; _ } ->
             name
         in
         Smap.add name (Binding.sbind binding name) classes)
@@ -207,6 +255,8 @@ let run ?(fuel = 100_000) ?(inputs = []) ~strategy binding (p : Ast.program) =
       store;
       arrays;
       sems;
+      chans;
+      chan_caps;
       classes;
       global = lat.Lattice.bottom;
     }

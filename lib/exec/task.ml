@@ -11,7 +11,7 @@ let rec of_stmt (s : Ast.stmt) =
     List.fold_right (fun st acc -> Seq (of_stmt st, acc)) stmts Nil
   | Ast.Cobegin branches -> Par (List.map of_stmt branches)
   | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.If _ | Ast.While _ | Ast.Wait _
-  | Ast.Signal _ ->
+  | Ast.Signal _ | Ast.Send _ | Ast.Recv _ ->
     Leaf s
 
 let rec is_done = function

@@ -31,6 +31,7 @@ type config = {
   plant_inversion : bool;
   plant_cert_inversion : bool;
   plant_lint_unsound : bool;
+  plant_chan_unsound : bool;
   plant_store_stale : bool;
 }
 
@@ -50,6 +51,7 @@ let default =
     plant_inversion = false;
     plant_cert_inversion = false;
     plant_lint_unsound = false;
+    plant_chan_unsound = false;
     plant_store_stale = false;
   }
 
@@ -66,6 +68,7 @@ let profiles =
     ("conc", Gen.default);
     ("arr", Gen.with_arrays);
     ("sem", { Gen.default with Gen.sems = [ "s"; "t"; "u" ]; max_branch = 3 });
+    ("chan", Gen.with_channels);
   ]
 
 type counterexample = {
@@ -132,8 +135,11 @@ type outcome = {
 type slot = Done of outcome | Timed_out
 
 let random_binding rng (p : Ast.program) =
-  let ints, arrays, sems = Vars.declared p in
-  let names = Sset.elements (Sset.union ints (Sset.union arrays sems)) in
+  let ints, arrays, sems, chans = Vars.declared p in
+  let names =
+    Sset.elements
+      (Sset.union ints (Sset.union arrays (Sset.union sems chans)))
+  in
   Binding.make lattice ~default:lattice.Lattice.bottom
     (List.map
        (fun v ->
@@ -190,6 +196,27 @@ let planted_lint_case () =
         Ast.assign "p" (Ast.Int 3);
         Ast.skip;
         Ast.wait "s";
+        Ast.assign "q" (Ast.Binop (Ast.Add, Ast.Var "p", Ast.Int 1));
+        Ast.skip;
+      ]
+  in
+  let program = Wellformed.infer_decls (Ast.program body) in
+  let binding = Binding.make lattice ~default:lattice.Lattice.bottom [] in
+  (program, binding)
+
+(* The planted channel-unsoundness (test hook): a padded program whose
+   middle statement receives from a channel nobody ever sends on — a
+   guaranteed communication deadlock — with the analyzer's claims forced
+   to all-safe. The dynamic evidence explorations reach the stuck state
+   with the channel blocked, so the case classifies as
+   chan-deadlock-unsound and shrinks to the single [recv(c, y)]. *)
+let planted_chan_case () =
+  let body =
+    Ast.seq
+      [
+        Ast.assign "p" (Ast.Int 3);
+        Ast.skip;
+        Ast.recv "c" "y";
         Ast.assign "q" (Ast.Binop (Ast.Add, Ast.Var "p", Ast.Int 1));
         Ast.skip;
       ]
@@ -267,13 +294,22 @@ let run_case ?store config index =
          + (if config.plant_inversion then 1 else 0)
          + if config.plant_cert_inversion then 1 else 0
   in
+  let planted_chan =
+    config.plant_chan_unsound
+    && index
+       = config.cases
+         + (if config.plant_inversion then 1 else 0)
+         + (if config.plant_cert_inversion then 1 else 0)
+         + if config.plant_lint_unsound then 1 else 0
+  in
   let planted_store =
     config.plant_store_stale
     && index
        = config.cases
          + (if config.plant_inversion then 1 else 0)
          + (if config.plant_cert_inversion then 1 else 0)
-         + if config.plant_lint_unsound then 1 else 0
+         + (if config.plant_lint_unsound then 1 else 0)
+         + if config.plant_chan_unsound then 1 else 0
   in
   let rng = case_rng config.seed index in
   let profile_name, program, binding, override_cfm, override_cert, override_lint
@@ -287,6 +323,9 @@ let run_case ?store config index =
     else if planted_lint then
       let program, binding = planted_lint_case () in
       ("planted-lint", program, binding, None, None, Some true)
+    else if planted_chan then
+      let program, binding = planted_chan_case () in
+      ("planted-chan", program, binding, None, None, Some true)
     else if planted_store then
       let program, binding = planted_store_case () in
       ("planted-store", program, binding, None, None, None)
@@ -551,6 +590,7 @@ let run ?(sink = Telemetry.null_sink ()) (config : config) =
     + (if config.plant_inversion then 1 else 0)
     + (if config.plant_cert_inversion then 1 else 0)
     + (if config.plant_lint_unsound then 1 else 0)
+    + (if config.plant_chan_unsound then 1 else 0)
     + if config.plant_store_stale then 1 else 0
   in
   let deadline =

@@ -2,13 +2,16 @@
 
     A campaign draws [cases] seeded random bound programs — rotating
     through generator profiles covering sequential code, concurrency,
-    arrays and semaphore-heavy synchronization — and fans them out over
-    an {!Ifc_pipeline.Pool} of domains. Each case runs the full analyzer
-    matrix ({!Oracle.run}); disagreements are classified against the
-    paper's hierarchy ({!Classify}). Soundness inversions are shrunk to
-    minimal programs on the coordinating domain ({!Shrink.minimize}),
-    deduplicated by content digest, and persisted to the regression
-    corpus ({!Corpus.write}); expected strictness gaps are counted.
+    arrays, semaphore-heavy synchronization and message passing — and
+    fans them out over an {!Ifc_pipeline.Pool} of domains. Each case runs
+    the full analyzer matrix ({!Oracle.run}); disagreements are
+    classified against the paper's hierarchy ({!Classify}); channel
+    programs additionally exercise the executable
+    distributed-noninterference check and the channel-lint cross-checks.
+    Soundness inversions are shrunk to minimal programs on the
+    coordinating domain ({!Shrink.minimize}), deduplicated by content
+    digest, and persisted to the regression corpus ({!Corpus.write});
+    expected strictness gaps are counted.
 
     Determinism: every case derives its own PRNG purely from
     [(config.seed, case index)] and its oracle seed from that stream, and
@@ -60,6 +63,15 @@ type config = {
           explorations reach the stuck state, so the campaign must
           classify the case as [deadlock-unsound], shrink it to the
           single [wait], and persist it with honest verdicts. *)
+  plant_chan_unsound : bool;
+      (** Test hook ([IFC_FUZZ_PLANT_CHAN_UNSOUND] in the CLI): append
+          one case containing a guaranteed communication deadlock — a
+          [recv] on a channel nobody sends on — while the analyzer's
+          claims are forcibly overridden to all-safe. The dynamic
+          evidence explorations reach the stuck state with the channel
+          blocked, so the campaign must classify the case as
+          [chan-deadlock-unsound], shrink it to the single [recv], and
+          persist it with honest verdicts. *)
   plant_store_stale : bool;
       (** Test hook ([IFC_FUZZ_PLANT_STORE_STALE] in the CLI): before the
           campaign runs, write a store entry for one appended all-low
@@ -73,7 +85,7 @@ val default : config
 
 val profiles : (string * Ifc_lang.Gen.config) list
 (** The generator rotation, in case-index order: [seq], [conc], [arr],
-    [sem]. *)
+    [sem], [chan]. *)
 
 type counterexample = {
   case_index : int;

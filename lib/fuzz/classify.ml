@@ -12,11 +12,15 @@ type verdicts = {
   lint_race_free : bool;
   lint_deadlock_free : bool;
   lint_must_block : bool;
+  lint_chan_race_free : bool;
+  lint_chan_deadlock_free : bool;
   lint_findings : int;
   dyn_race : bool;
   dyn_deadlock : bool;
   dyn_terminal : bool;
   dyn_complete : bool;
+  dyn_chan_race : bool;
+  dyn_chan_deadlock : bool;
   store_divergent : bool;
 }
 
@@ -25,6 +29,8 @@ type inversion =
   | Logic_mismatch
   | Cert_inversion
   | Store_stale
+  | Chan_race_unsound
+  | Chan_deadlock_unsound
   | Race_unsound
   | Deadlock_unsound
   | Above_denning
@@ -44,6 +50,11 @@ let classify v =
     @ (if not (Bool.equal v.prove v.cfm) then [ Logic_mismatch ] else [])
     @ (if v.prove && not v.cert_ok then [ Cert_inversion ] else [])
     @ (if v.store_divergent then [ Store_stale ] else [])
+    @ (if v.lint_chan_race_free && v.dyn_chan_race then [ Chan_race_unsound ]
+       else [])
+    @ (if v.lint_chan_deadlock_free && v.dyn_chan_deadlock then
+         [ Chan_deadlock_unsound ]
+       else [])
     @ (if v.lint_race_free && v.dyn_race then [ Race_unsound ] else [])
     @ (if
          (v.lint_deadlock_free && v.dyn_deadlock)
@@ -64,6 +75,8 @@ let inversion_label = function
   | Logic_mismatch -> "logic-mismatch"
   | Cert_inversion -> "cert-inversion"
   | Store_stale -> "store-stale"
+  | Chan_race_unsound -> "chan-race-unsound"
+  | Chan_deadlock_unsound -> "chan-deadlock-unsound"
   | Race_unsound -> "race-unsound"
   | Deadlock_unsound -> "deadlock-unsound"
   | Above_denning -> "hierarchy-denning"
@@ -90,6 +103,8 @@ let class_labels =
     "logic-mismatch";
     "cert-inversion";
     "store-stale";
+    "chan-race-unsound";
+    "chan-deadlock-unsound";
     "race-unsound";
     "deadlock-unsound";
     "hierarchy-denning";

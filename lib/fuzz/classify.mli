@@ -42,6 +42,11 @@ type verdicts = {
   lint_deadlock_free : bool;
       (** Static claim: no execution blocks, even transiently. *)
   lint_must_block : bool;  (** Static claim: no execution terminates. *)
+  lint_chan_race_free : bool;
+      (** Static claim: no same-endpoint channel contention. *)
+  lint_chan_deadlock_free : bool;
+      (** Static claim: no execution blocks on a channel, even
+          transiently. *)
   lint_findings : int;  (** Total findings the analyzer reported. *)
   dyn_race : bool;  (** Exploration witnessed co-enabled conflicting accesses. *)
   dyn_deadlock : bool;  (** Exploration reached a stuck state. *)
@@ -50,6 +55,12 @@ type verdicts = {
       (** Every exploration backing the [dyn_*] fields finished within
           its state budget. Witnesses are definitive regardless; only
           {e absence} claims need this. *)
+  dyn_chan_race : bool;
+      (** Exploration witnessed two co-enabled same-kind operations on
+          one channel (send/send or recv/recv). *)
+  dyn_chan_deadlock : bool;
+      (** Exploration reached a stuck state with a blocked channel
+          operation (send on full, recv on empty). *)
   store_divergent : bool;
       (** A persistent-store replay returned a CFM verdict different from
           the freshly computed one — a stale or corrupted artifact.
@@ -67,6 +78,13 @@ type inversion =
   | Store_stale
       (** A stored verdict replayed from the persistent artifact store
           diverges from the freshly computed one. *)
+  | Chan_race_unsound
+      (** The channel lint claimed no same-endpoint contention but
+          exploration witnessed co-enabled same-kind channel
+          operations. *)
+  | Chan_deadlock_unsound
+      (** The channel lint claimed channel-deadlock-freedom but
+          exploration reached a stuck state with a blocked channel. *)
   | Race_unsound
       (** The analyzer claimed [race_free] but exploration witnessed two
           co-enabled conflicting accesses. *)

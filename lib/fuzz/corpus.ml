@@ -20,6 +20,8 @@ type expected = {
   race_free : bool;
   deadlock_free : bool;
   must_block : bool;
+  chan_race_free : bool;
+  chan_deadlock_free : bool;
   lint_findings : int;
   statements : int;
 }
@@ -63,6 +65,8 @@ let expected_of_verdicts ~cls program (v : Classify.verdicts) =
     race_free = v.Classify.lint_race_free;
     deadlock_free = v.Classify.lint_deadlock_free;
     must_block = v.Classify.lint_must_block;
+    chan_race_free = v.Classify.lint_chan_race_free;
+    chan_deadlock_free = v.Classify.lint_chan_deadlock_free;
     lint_findings = v.Classify.lint_findings;
     statements = (Metrics.of_program program).Metrics.statements;
   }
@@ -84,6 +88,8 @@ let sidecar_text ~lattice_name ~binding ~expected ?note () =
   line "race_free: %b" expected.race_free;
   line "deadlock_free: %b" expected.deadlock_free;
   line "must_block: %b" expected.must_block;
+  line "chan_race_free: %b" expected.chan_race_free;
+  line "chan_deadlock_free: %b" expected.chan_deadlock_free;
   line "lint_findings: %d" expected.lint_findings;
   line "statements: %d" expected.statements;
   (match note with None -> () | Some n -> line "note: %s" n);
@@ -153,6 +159,15 @@ let parse_sidecar text =
     Result.bind (field "deadlock_free") (parse_bool "deadlock_free")
   in
   let* must_block = Result.bind (field "must_block") (parse_bool "must_block") in
+  (* Channel claims postdate the sidecar format; older entries carry no
+     channels, for which both claims hold vacuously. *)
+  let optional_bool key default =
+    match Hashtbl.find_opt fields key with
+    | None -> Ok default
+    | Some v -> parse_bool key v
+  in
+  let* chan_race_free = optional_bool "chan_race_free" true in
+  let* chan_deadlock_free = optional_bool "chan_deadlock_free" true in
   let* lint_findings =
     Result.bind (field "lint_findings") (parse_int "lint_findings")
   in
@@ -174,6 +189,8 @@ let parse_sidecar text =
         race_free;
         deadlock_free;
         must_block;
+        chan_race_free;
+        chan_deadlock_free;
         lint_findings;
         statements;
       },

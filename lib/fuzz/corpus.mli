@@ -29,6 +29,12 @@ type expected = {
   race_free : bool;  (** Concurrency analyzer's race-freedom claim. *)
   deadlock_free : bool;  (** Claim: no execution can block, even transiently. *)
   must_block : bool;  (** Claim: no execution terminates. *)
+  chan_race_free : bool;
+      (** Claim: no same-endpoint channel contention. Optional in the
+          sidecar (defaults to [true]: pre-channel entries have none). *)
+  chan_deadlock_free : bool;
+      (** Claim: no execution can block on a channel, even transiently.
+          Optional in the sidecar (defaults to [true]). *)
   lint_findings : int;  (** Total findings the analyzer reported. *)
   statements : int;  (** Statement count of the stored program. *)
 }

@@ -32,7 +32,7 @@ let dynamic_evidence ~ni_seed ~max_states (p : Ast.program) =
     List.filter_map
       (function
         | Ast.Var_decl { name; _ } -> Some name
-        | Ast.Arr_decl _ | Ast.Sem_decl _ -> None)
+        | Ast.Arr_decl _ | Ast.Sem_decl _ | Ast.Chan_decl _ -> None)
       p.Ast.decls
   in
   let rng = Prng.create (ni_seed lxor 0x51ca5) in
@@ -47,7 +47,9 @@ let dynamic_evidence ~ni_seed ~max_states (p : Ast.program) =
   ( any (fun s -> s.Explore.races <> []),
     any (fun s -> s.Explore.deadlocks <> []),
     any (fun s -> s.Explore.terminals <> []),
-    all (fun s -> s.Explore.complete && s.Explore.faults = []) )
+    all (fun s -> s.Explore.complete && s.Explore.faults = []),
+    any (fun s -> s.Explore.chan_races <> []),
+    any (fun s -> s.Explore.chan_blocked <> []) )
 
 let run ?override_cfm ?override_cert ?override_lint ?stored_cfm ~ni_seed
     ~ni_pairs ~max_states binding (p : Ast.program) =
@@ -73,18 +75,26 @@ let run ?override_cfm ?override_cert ?override_lint ?stored_cfm ~ni_seed
     Ni.test ~seed:ni_seed ~pairs:ni_pairs ~max_states
       ~observer:lat.Lattice.bottom binding p
   in
-  let lint_race_free, lint_deadlock_free, lint_must_block, lint_findings =
+  let ( lint_race_free,
+        lint_deadlock_free,
+        lint_must_block,
+        lint_chan_race_free,
+        lint_chan_deadlock_free,
+        lint_findings ) =
     match override_lint with
-    | Some true -> (true, true, false, 0)
-    | Some false -> (false, false, true, 1)
+    | Some true -> (true, true, false, true, true, 0)
+    | Some false -> (false, false, true, false, false, 1)
     | None ->
       let report = Analyze.run p in
       ( report.Analyze.claims.Analyze.race_free,
         report.Analyze.claims.Analyze.deadlock_free,
         report.Analyze.claims.Analyze.must_block,
+        report.Analyze.claims.Analyze.chan_race_free,
+        report.Analyze.claims.Analyze.chan_deadlock_free,
         List.length report.Analyze.findings )
   in
-  let dyn_race, dyn_deadlock, dyn_terminal, dyn_complete =
+  let dyn_race, dyn_deadlock, dyn_terminal, dyn_complete, dyn_chan_race,
+      dyn_chan_deadlock =
     dynamic_evidence ~ni_seed ~max_states p
   in
   {
@@ -99,11 +109,15 @@ let run ?override_cfm ?override_cert ?override_lint ?stored_cfm ~ni_seed
     lint_race_free;
     lint_deadlock_free;
     lint_must_block;
+    lint_chan_race_free;
+    lint_chan_deadlock_free;
     lint_findings;
     dyn_race;
     dyn_deadlock;
     dyn_terminal;
     dyn_complete;
+    dyn_chan_race;
+    dyn_chan_deadlock;
     store_divergent =
       (match stored_cfm with
       | Some stored -> not (Bool.equal stored cfm)

@@ -60,14 +60,26 @@ and node =
   | Cobegin of stmt list
   | Wait of string
   | Signal of string
+  | Send of string * expr
+      (** [send(c, e)]: blocking send of [e] on channel [c]. Blocks while
+          the channel holds [cap] undelivered messages. Flow-wise a [send]
+          is an assignment into the channel (the payload's class must flow
+          to the channel's class) that also signals: it can unblock a
+          [recv], so the channel's class joins the receiver's [global]. *)
+  | Recv of string * string
+      (** [recv(c, x)]: blocking receive from channel [c] into variable
+          [x]. Blocks on an empty channel — a [wait] whose class is the
+          channel's — then assigns the delivered message to [x]. *)
 
 (** Declarations: integer variables and semaphores with an initial count.
     [cls] is an optional class annotation (resolved against a lattice by
-    [Ifc_core.Binding]). *)
+    [Ifc_core.Binding]). Channels carry a capacity: the number of sent but
+    not yet received messages a [send] tolerates before blocking. *)
 type decl =
   | Var_decl of { name : string; cls : string option }
   | Arr_decl of { name : string; size : int; cls : string option }
   | Sem_decl of { name : string; init : int; cls : string option }
+  | Chan_decl of { name : string; cap : int; cls : string option }
 
 type program = { decls : decl list; body : stmt }
 
@@ -97,6 +109,10 @@ let cobegin ?span branches = mk ?span (Cobegin branches)
 let wait ?span sem = mk ?span (Wait sem)
 
 let signal ?span sem = mk ?span (Signal sem)
+
+let send ?span chan e = mk ?span (Send (chan, e))
+
+let recv ?span chan x = mk ?span (Recv (chan, x))
 
 let var x = Var x
 
@@ -156,8 +172,10 @@ let rec equal_stmt s1 s2 =
   | Seq l1, Seq l2 | Cobegin l1, Cobegin l2 ->
     List.length l1 = List.length l2 && List.for_all2 equal_stmt l1 l2
   | Wait s1, Wait s2 | Signal s1, Signal s2 -> String.equal s1 s2
+  | Send (c1, e1), Send (c2, e2) -> String.equal c1 c2 && equal_expr e1 e2
+  | Recv (c1, x1), Recv (c2, x2) -> String.equal c1 c2 && String.equal x1 x2
   | ( ( Skip | Assign _ | Declassify _ | Store _ | If _ | While _ | Seq _ | Cobegin _
-      | Wait _ | Signal _ ),
+      | Wait _ | Signal _ | Send _ | Recv _ ),
       _ ) ->
     false
 
@@ -168,7 +186,9 @@ let equal_decl d1 d2 =
     String.equal a.name b.name && Int.equal a.size b.size && Stdlib.( = ) a.cls b.cls
   | Sem_decl a, Sem_decl b ->
     String.equal a.name b.name && Int.equal a.init b.init && Stdlib.( = ) a.cls b.cls
-  | (Var_decl _ | Arr_decl _ | Sem_decl _), _ -> false
+  | Chan_decl a, Chan_decl b ->
+    String.equal a.name b.name && Int.equal a.cap b.cap && Stdlib.( = ) a.cls b.cls
+  | (Var_decl _ | Arr_decl _ | Sem_decl _ | Chan_decl _), _ -> false
 
 let equal_program p1 p2 =
   List.length p1.decls = List.length p2.decls

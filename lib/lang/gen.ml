@@ -6,6 +6,7 @@ type config = {
   vars : string list;
   sems : string list;
   arrays : string list;
+  chans : string list;
   max_depth : int;
   allow_concurrency : bool;
   allow_loops : bool;
@@ -17,6 +18,7 @@ let default =
     vars = [ "w"; "x"; "y"; "z" ];
     sems = [ "s"; "t" ];
     arrays = [];
+    chans = [];
     max_depth = 4;
     allow_concurrency = true;
     allow_loops = true;
@@ -27,6 +29,10 @@ let sequential = { default with sems = []; allow_concurrency = false }
 
 (* Array-enabled variants; sizes come from Wellformed.infer_decls. *)
 let with_arrays = { default with arrays = [ "arr"; "buf" ] }
+
+(* Channel-enabled variant: message passing instead of semaphores.
+   Capacities come from Wellformed.infer_decls (1). *)
+let with_channels = { default with sems = []; chans = [ "c"; "d" ] }
 
 (* ------------------------------------------------------------------ *)
 (* Expressions *)
@@ -88,10 +94,12 @@ let split rng n k =
 
 let leaf_stmt rng cfg =
   let can_sync = cfg.allow_concurrency && cfg.sems <> [] in
+  let can_msg = cfg.allow_concurrency && cfg.chans <> [] in
   let choices =
     [ (6, `Assign) ]
     @ (if cfg.arrays <> [] then [ (2, `Store) ] else [])
     @ (if can_sync then [ (1, `Wait); (2, `Signal) ] else [])
+    @ (if can_msg then [ (2, `Send); (1, `Recv) ] else [])
     @ [ (1, `Skip) ]
   in
   match Prng.weighted rng choices with
@@ -107,6 +115,9 @@ let leaf_stmt rng cfg =
     Ast.store target index (expr rng cfg ~size:(Prng.range rng 1 3))
   | `Wait -> Ast.wait (Prng.choose rng cfg.sems)
   | `Signal -> Ast.signal (Prng.choose rng cfg.sems)
+  | `Send ->
+    Ast.send (Prng.choose rng cfg.chans) (expr rng cfg ~size:(Prng.range rng 1 3))
+  | `Recv -> Ast.recv (Prng.choose rng cfg.chans) (Prng.choose rng cfg.vars)
   | `Skip -> Ast.skip
 
 let rec stmt_at rng cfg ~depth ~size =
@@ -152,7 +163,9 @@ let program rng cfg ~size =
 (* Count static waits/signals per semaphore; used to balance programs. *)
 let rec sync_counts (s : Ast.stmt) acc =
   match s.node with
-  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ -> acc
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Send _
+  | Ast.Recv _ ->
+    acc
   | Ast.If (_, a, b) -> sync_counts a acc |> sync_counts b
   | Ast.While (_, b) -> sync_counts b acc
   | Ast.Seq ss | Ast.Cobegin ss -> List.fold_left (fun acc s -> sync_counts s acc) acc ss
@@ -162,6 +175,22 @@ let rec sync_counts (s : Ast.stmt) acc =
   | Ast.Signal sem ->
     let w, g = Ifc_support.Smap.find_or ~default:(0, 0) sem acc in
     Ifc_support.Smap.add sem (w, g + 1) acc
+
+(* Count static sends/recvs per channel; the message-passing analogue. *)
+let rec chan_counts (s : Ast.stmt) acc =
+  match s.node with
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _
+  | Ast.Signal _ ->
+    acc
+  | Ast.If (_, a, b) -> chan_counts a acc |> chan_counts b
+  | Ast.While (_, b) -> chan_counts b acc
+  | Ast.Seq ss | Ast.Cobegin ss -> List.fold_left (fun acc s -> chan_counts s acc) acc ss
+  | Ast.Send (chan, _) ->
+    let snd_, rcv = Ifc_support.Smap.find_or ~default:(0, 0) chan acc in
+    Ifc_support.Smap.add chan (snd_ + 1, rcv) acc
+  | Ast.Recv (chan, _) ->
+    let snd_, rcv = Ifc_support.Smap.find_or ~default:(0, 0) chan acc in
+    Ifc_support.Smap.add chan (snd_, rcv + 1) acc
 
 let program_balanced rng cfg ~size =
   let body = stmt rng cfg ~size in
@@ -173,6 +202,17 @@ let program_balanced rng cfg ~size =
           List.init (waits - signals) (fun _ -> Ast.signal sem) @ acc
         else acc)
       counts []
+  in
+  (* Starve no receiver: top up channels whose static recvs outnumber
+     sends, mirroring the semaphore compensation. *)
+  let compensation =
+    Ifc_support.Smap.fold
+      (fun chan (sends, recvs) acc ->
+        if recvs > sends then
+          List.init (recvs - sends) (fun _ -> Ast.send chan (Ast.Int 0)) @ acc
+        else acc)
+      (chan_counts body Ifc_support.Smap.empty)
+      compensation
   in
   let body =
     match compensation with
@@ -233,7 +273,10 @@ let rec shrink_stmt (s : Ast.stmt) () =
       Ast.skip
       :: List.map (fun i' -> mk (Ast.Store (a, i', e))) (List.of_seq (shrink_expr i))
       @ List.map (fun e' -> mk (Ast.Store (a, i, e'))) (List.of_seq (shrink_expr e))
-    | Ast.Wait _ | Ast.Signal _ -> [ Ast.skip ]
+    | Ast.Wait _ | Ast.Signal _ | Ast.Recv _ -> [ Ast.skip ]
+    | Ast.Send (c, e) ->
+      Ast.skip
+      :: List.map (fun e' -> mk (Ast.Send (c, e'))) (List.of_seq (shrink_expr e))
     | Ast.If (cond, then_, else_) ->
       [ then_; else_ ]
       @ List.map (fun c -> mk (Ast.If (c, then_, else_))) (List.of_seq (shrink_expr cond))

@@ -17,8 +17,10 @@ type config = {
   sems : string list;  (** Semaphore pool; may be empty. *)
   arrays : string list;  (** Array pool; may be empty. Sizes are
                              {!Wellformed.default_array_size}. *)
+  chans : string list;  (** Channel pool; may be empty. Capacities are
+                            {!Wellformed.default_channel_capacity}. *)
   max_depth : int;  (** Nesting bound. *)
-  allow_concurrency : bool;  (** Emit [cobegin]/[wait]/[signal]? *)
+  allow_concurrency : bool;  (** Emit [cobegin]/[wait]/[signal]/[send]/[recv]? *)
   allow_loops : bool;  (** Emit [while]? *)
   max_branch : int;  (** Max [cobegin] arity and [begin] block length. *)
 }
@@ -33,6 +35,10 @@ val with_arrays : config
 (** {!default} plus two arrays; indices are drawn small so most accesses
     stay in bounds. *)
 
+val with_channels : config
+(** {!default} with the semaphores swapped for two capacity-1 channels:
+    processes communicate by message passing. *)
+
 val expr : Ifc_support.Prng.t -> config -> size:int -> Ast.expr
 (** [expr rng cfg ~size] draws an expression with about [size] nodes. *)
 
@@ -44,9 +50,10 @@ val program : Ifc_support.Prng.t -> config -> size:int -> Ast.program
 (** [stmt] wrapped with synthesised declarations. *)
 
 val program_balanced : Ifc_support.Prng.t -> config -> size:int -> Ast.program
-(** Like {!program}, but appends a compensating [signal] sequence in a
-    final parallel branch so every semaphore receives at least as many
-    static signals as waits; used by interpreter-based tests. *)
+(** Like {!program}, but appends a compensating [signal] (and [send])
+    sequence in a final parallel branch so every semaphore receives at
+    least as many static signals as waits and every channel at least as
+    many sends as recvs; used by interpreter-based tests. *)
 
 val shrink_stmt : Ast.stmt -> Ast.stmt Seq.t
 (** Structural shrinks: replace a statement by a sub-statement, drop block

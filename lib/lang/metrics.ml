@@ -54,6 +54,9 @@ let rec of_stmt (s : Ast.stmt) =
   | Ast.Store (_, i, e) ->
     { self with assignments = 1; expr_nodes = expr_size i + expr_size e; max_depth = 1 }
   | Ast.Wait _ | Ast.Signal _ -> { self with sync_ops = 1; max_depth = 1 }
+  | Ast.Send (_, e) ->
+    { self with sync_ops = 1; expr_nodes = expr_size e; max_depth = 1 }
+  | Ast.Recv _ -> { self with sync_ops = 1; max_depth = 1 }
   | Ast.If (cond, then_, else_) ->
     let inner = add (of_stmt then_) (of_stmt else_) in
     deepen

@@ -10,7 +10,7 @@ type t = {
   branches : int;  (** [if] nodes. *)
   loops : int;  (** [while] nodes. *)
   cobegins : int;
-  sync_ops : int;  (** [wait] + [signal] nodes. *)
+  sync_ops : int;  (** [wait] + [signal] + [send] + [recv] nodes. *)
   max_depth : int;  (** Maximum statement nesting depth. *)
   max_width : int;  (** Largest [cobegin] arity. *)
   expr_nodes : int;  (** Expression AST nodes. *)

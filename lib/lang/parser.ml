@@ -235,6 +235,22 @@ let rec parse_statement st =
     let sem = expect_ident st "a semaphore name" in
     expect st Token.RPAREN;
     finish (Ast.Signal sem)
+  | Token.KW_SEND ->
+    advance st;
+    expect st Token.LPAREN;
+    let chan = expect_ident st "a channel name" in
+    expect st Token.COMMA;
+    let e = parse_expression st in
+    expect st Token.RPAREN;
+    finish (Ast.Send (chan, e))
+  | Token.KW_RECV ->
+    advance st;
+    expect st Token.LPAREN;
+    let chan = expect_ident st "a channel name" in
+    expect st Token.COMMA;
+    let x = expect_ident st "a variable name" in
+    expect st Token.RPAREN;
+    finish (Ast.Recv (chan, x))
   | other ->
     fail st (Printf.sprintf "expected a statement but found '%s'" (Token.to_string other))
 
@@ -299,9 +315,17 @@ let parse_group st =
     expect st Token.RPAREN;
     let cls = parse_class_annotation st in
     List.map (fun name -> Ast.Sem_decl { name; init; cls }) names
+  | Token.KW_CHANNEL ->
+    advance st;
+    expect st Token.LPAREN;
+    let cap = expect_int st "a channel capacity" in
+    expect st Token.RPAREN;
+    let cls = parse_class_annotation st in
+    List.map (fun name -> Ast.Chan_decl { name; cap; cls }) names
   | other ->
     fail st
-      (Printf.sprintf "expected 'integer', 'array' or 'semaphore' but found '%s'"
+      (Printf.sprintf
+         "expected 'integer', 'array', 'semaphore' or 'channel' but found '%s'"
          (Token.to_string other))
 
 let parse_decls st =

@@ -7,6 +7,7 @@
     decls   := 'var' group ';' (group ';')*
     group   := ident (',' ident)* ':' type ['class' ident]
     type    := 'integer' | 'semaphore' 'initially' '(' int ')'
+             | 'channel' '(' int ')'
     stmt    := 'skip'
              | ident ':=' expr
              | 'if' expr 'then' stmt ['else' stmt] ['fi']
@@ -14,6 +15,7 @@
              | 'begin' stmt (';' stmt)* 'end'
              | 'cobegin' stmt ('||' stmt)* 'coend'
              | 'wait' '(' ident ')' | 'signal' '(' ident ')'
+             | 'send' '(' ident ',' expr ')' | 'recv' '(' ident ',' ident ')'
     v}
 
     Expressions have conventional precedence; boolean connectives are the

@@ -84,6 +84,8 @@ let rec pp_stmt ppf (s : Ast.stmt) =
       branches
   | Ast.Wait sem -> Fmt.pf ppf "wait(%s)" sem
   | Ast.Signal sem -> Fmt.pf ppf "signal(%s)" sem
+  | Ast.Send (chan, e) -> Fmt.pf ppf "send(%s, %a)" chan pp_expr e
+  | Ast.Recv (chan, x) -> Fmt.pf ppf "recv(%s, %s)" chan x
 
 let pp_decl ppf = function
   | Ast.Arr_decl { name; size; cls } ->
@@ -96,6 +98,10 @@ let pp_decl ppf = function
       cls
   | Ast.Sem_decl { name; init; cls } ->
     Fmt.pf ppf "%s : semaphore initially(%d)%a;" name init
+      Fmt.(option (fun ppf c -> pf ppf " class %s" c))
+      cls
+  | Ast.Chan_decl { name; cap; cls } ->
+    Fmt.pf ppf "%s : channel(%d)%a;" name cap
       Fmt.(option (fun ppf c -> pf ppf " class %s" c))
       cls
 

@@ -24,6 +24,9 @@ type t =
   | KW_COEND
   | KW_WAIT
   | KW_SIGNAL
+  | KW_CHANNEL
+  | KW_SEND
+  | KW_RECV
   | KW_DECLASSIFY
   | KW_TO
   | KW_TRUE
@@ -76,6 +79,9 @@ let keywords =
     ("coend", KW_COEND);
     ("wait", KW_WAIT);
     ("signal", KW_SIGNAL);
+    ("channel", KW_CHANNEL);
+    ("send", KW_SEND);
+    ("recv", KW_RECV);
     ("declassify", KW_DECLASSIFY);
     ("to", KW_TO);
     ("true", KW_TRUE);
@@ -108,6 +114,9 @@ let to_string = function
   | KW_COEND -> "coend"
   | KW_WAIT -> "wait"
   | KW_SIGNAL -> "signal"
+  | KW_CHANNEL -> "channel"
+  | KW_SEND -> "send"
+  | KW_RECV -> "recv"
   | KW_DECLASSIFY -> "declassify"
   | KW_TO -> "to"
   | KW_TRUE -> "true"

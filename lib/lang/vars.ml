@@ -19,6 +19,8 @@ let rec modified (s : Ast.stmt) =
   | Ast.Seq stmts | Ast.Cobegin stmts ->
     List.fold_left (fun acc stmt -> Sset.union acc (modified stmt)) Sset.empty stmts
   | Ast.Wait sem | Ast.Signal sem -> Sset.singleton sem
+  | Ast.Send (chan, _) -> Sset.singleton chan
+  | Ast.Recv (chan, x) -> Sset.add x (Sset.singleton chan)
 
 let rec read (s : Ast.stmt) =
   match s.node with
@@ -31,23 +33,40 @@ let rec read (s : Ast.stmt) =
   | Ast.Seq stmts | Ast.Cobegin stmts ->
     List.fold_left (fun acc stmt -> Sset.union acc (read stmt)) Sset.empty stmts
   | Ast.Wait sem | Ast.Signal sem -> Sset.singleton sem
+  | Ast.Send (chan, e) -> Sset.add chan (expr_vars e)
+  | Ast.Recv (chan, _) -> Sset.singleton chan
 
 let all_vars s = Sset.union (read s) (modified s)
 
 let rec semaphores (s : Ast.stmt) =
   match s.node with
-  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ -> Sset.empty
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Send _
+  | Ast.Recv _ ->
+    Sset.empty
   | Ast.If (_, then_, else_) -> Sset.union (semaphores then_) (semaphores else_)
   | Ast.While (_, body) -> semaphores body
   | Ast.Seq stmts | Ast.Cobegin stmts ->
     List.fold_left (fun acc stmt -> Sset.union acc (semaphores stmt)) Sset.empty stmts
   | Ast.Wait sem | Ast.Signal sem -> Sset.singleton sem
 
+let rec channels (s : Ast.stmt) =
+  match s.node with
+  | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _
+  | Ast.Signal _ ->
+    Sset.empty
+  | Ast.If (_, then_, else_) -> Sset.union (channels then_) (channels else_)
+  | Ast.While (_, body) -> channels body
+  | Ast.Seq stmts | Ast.Cobegin stmts ->
+    List.fold_left (fun acc stmt -> Sset.union acc (channels stmt)) Sset.empty stmts
+  | Ast.Send (chan, _) | Ast.Recv (chan, _) -> Sset.singleton chan
+
 let declared (p : Ast.program) =
   List.fold_left
-    (fun (vars, arrays, sems) decl ->
+    (fun (vars, arrays, sems, chans) decl ->
       match decl with
-      | Ast.Var_decl { name; _ } -> (Sset.add name vars, arrays, sems)
-      | Ast.Arr_decl { name; _ } -> (vars, Sset.add name arrays, sems)
-      | Ast.Sem_decl { name; _ } -> (vars, arrays, Sset.add name sems))
-    (Sset.empty, Sset.empty, Sset.empty) p.decls
+      | Ast.Var_decl { name; _ } -> (Sset.add name vars, arrays, sems, chans)
+      | Ast.Arr_decl { name; _ } -> (vars, Sset.add name arrays, sems, chans)
+      | Ast.Sem_decl { name; _ } -> (vars, arrays, Sset.add name sems, chans)
+      | Ast.Chan_decl { name; _ } -> (vars, arrays, sems, Sset.add name chans))
+    (Sset.empty, Sset.empty, Sset.empty, Sset.empty)
+    p.decls

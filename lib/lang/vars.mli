@@ -23,6 +23,10 @@ val all_vars : Ast.stmt -> Ifc_support.Sset.t
 val semaphores : Ast.stmt -> Ifc_support.Sset.t
 (** Names used in [wait]/[signal] position. *)
 
+val channels : Ast.stmt -> Ifc_support.Sset.t
+(** Names used in [send]/[recv] channel position. *)
+
 val declared :
-  Ast.program -> Ifc_support.Sset.t * Ifc_support.Sset.t * Ifc_support.Sset.t
-(** [declared p] is [(integer variables, arrays, semaphores)]. *)
+  Ast.program ->
+  Ifc_support.Sset.t * Ifc_support.Sset.t * Ifc_support.Sset.t * Ifc_support.Sset.t
+(** [declared p] is [(integer variables, arrays, semaphores, channels)]. *)

@@ -26,11 +26,13 @@ let rec occurrences shared = function
   | Ast.Binop (_, a, b) -> occurrences shared a + occurrences shared b
 
 (* Issues from name usage: undeclared names and category confusion
-   between the three namespaces (integers, arrays, semaphores). *)
-let usage_issues ~vars ~arrays ~sems (body : Ast.stmt) =
+   between the four namespaces (integers, arrays, semaphores, channels). *)
+let usage_issues ~vars ~arrays ~sems ~chans (body : Ast.stmt) =
   let scalar_ok span x acc =
     if Sset.mem x sems then
       error span (Printf.sprintf "semaphore %s used in an expression" x) :: acc
+    else if Sset.mem x chans then
+      error span (Printf.sprintf "channel %s used in an expression" x) :: acc
     else if Sset.mem x arrays then
       error span (Printf.sprintf "array %s used without an index" x) :: acc
     else if not (Sset.mem x vars) then
@@ -39,9 +41,15 @@ let usage_issues ~vars ~arrays ~sems (body : Ast.stmt) =
   in
   let array_ok span a acc =
     if Sset.mem a arrays then acc
-    else if Sset.mem a vars || Sset.mem a sems then
+    else if Sset.mem a vars || Sset.mem a sems || Sset.mem a chans then
       error span (Printf.sprintf "%s is not an array" a) :: acc
     else error span (Printf.sprintf "undeclared array %s" a) :: acc
+  in
+  let channel_ok span c acc =
+    if Sset.mem c chans then acc
+    else if Sset.mem c vars || Sset.mem c arrays || Sset.mem c sems then
+      error span (Printf.sprintf "%s is not a channel" c) :: acc
+    else error span (Printf.sprintf "undeclared channel %s" c) :: acc
   in
   let rec check_expr span e acc =
     match e with
@@ -58,6 +66,8 @@ let usage_issues ~vars ~arrays ~sems (body : Ast.stmt) =
       let acc = check_expr s.span e acc in
       if Sset.mem x sems then
         error s.span (Printf.sprintf "assignment to semaphore %s" x) :: acc
+      else if Sset.mem x chans then
+        error s.span (Printf.sprintf "assignment to channel %s" x) :: acc
       else if Sset.mem x arrays then
         error s.span (Printf.sprintf "assignment to array %s needs an index" x) :: acc
       else if not (Sset.mem x vars) then
@@ -69,10 +79,22 @@ let usage_issues ~vars ~arrays ~sems (body : Ast.stmt) =
     | Ast.While (cond, body) -> check_expr s.span cond acc |> go body
     | Ast.Seq stmts | Ast.Cobegin stmts -> List.fold_left (fun acc s -> go s acc) acc stmts
     | Ast.Wait sem | Ast.Signal sem ->
-      if Sset.mem sem vars || Sset.mem sem arrays then
+      if Sset.mem sem vars || Sset.mem sem arrays || Sset.mem sem chans then
         error s.span (Printf.sprintf "%s is not a semaphore" sem) :: acc
       else if not (Sset.mem sem sems) then
         error s.span (Printf.sprintf "undeclared semaphore %s" sem) :: acc
+      else acc
+    | Ast.Send (chan, e) -> channel_ok s.span chan acc |> check_expr s.span e
+    | Ast.Recv (chan, x) ->
+      let acc = channel_ok s.span chan acc in
+      if Sset.mem x sems then
+        error s.span (Printf.sprintf "recv into semaphore %s" x) :: acc
+      else if Sset.mem x chans then
+        error s.span (Printf.sprintf "recv into channel %s" x) :: acc
+      else if Sset.mem x arrays then
+        error s.span (Printf.sprintf "recv into array %s needs an index" x) :: acc
+      else if not (Sset.mem x vars) then
+        error s.span (Printf.sprintf "undeclared variable %s" x) :: acc
       else acc
   in
   go body []
@@ -83,7 +105,17 @@ let usage_issues ~vars ~arrays ~sems (body : Ast.stmt) =
 let atomicity_issues (body : Ast.stmt) =
   let rec leaf_checks shared (s : Ast.stmt) acc =
     match s.node with
-    | Ast.Skip | Ast.Wait _ | Ast.Signal _ -> acc
+    | Ast.Skip | Ast.Wait _ | Ast.Signal _ | Ast.Recv _ -> acc
+    | Ast.Send (_, e) ->
+      let count = occurrences shared e in
+      if count > 1 then
+        warning s.span
+          (Printf.sprintf
+             "send payload makes %d references to variables modified by concurrent \
+              processes; the paper requires at most one for non-indivisible execution"
+             count)
+        :: acc
+      else acc
     | Ast.Store (a, i, e) ->
       let count =
         occurrences shared i + occurrences shared e
@@ -131,7 +163,7 @@ let atomicity_issues (body : Ast.stmt) =
   let rec go (s : Ast.stmt) acc =
     match s.node with
     | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _
-    | Ast.Signal _ ->
+    | Ast.Signal _ | Ast.Send _ | Ast.Recv _ ->
       acc
     | Ast.If (_, then_, else_) -> go then_ acc |> go else_
     | Ast.While (_, body) -> go body acc
@@ -158,6 +190,7 @@ let decl_kind = function
   | Ast.Var_decl _ -> "integer variable"
   | Ast.Arr_decl _ -> "array"
   | Ast.Sem_decl _ -> "semaphore"
+  | Ast.Chan_decl _ -> "channel"
 
 let duplicate_issues (p : Ast.program) =
   let seen = Hashtbl.create 16 in
@@ -165,8 +198,10 @@ let duplicate_issues (p : Ast.program) =
     (fun decl ->
       let name =
         match decl with
-        | Ast.Var_decl { name; _ } | Ast.Arr_decl { name; _ } | Ast.Sem_decl { name; _ }
-          ->
+        | Ast.Var_decl { name; _ }
+        | Ast.Arr_decl { name; _ }
+        | Ast.Sem_decl { name; _ }
+        | Ast.Chan_decl { name; _ } ->
           name
       in
       let kind = decl_kind decl in
@@ -191,14 +226,17 @@ let init_issues (p : Ast.program) =
         Some (error Loc.dummy (Printf.sprintf "semaphore %s has negative initial count" name))
       | Ast.Arr_decl { name; size; _ } when size <= 0 ->
         Some (error Loc.dummy (Printf.sprintf "array %s has non-positive size" name))
-      | Ast.Sem_decl _ | Ast.Var_decl _ | Ast.Arr_decl _ -> None)
+      | Ast.Chan_decl { name; cap; _ } when cap <= 0 ->
+        Some
+          (error Loc.dummy (Printf.sprintf "channel %s has non-positive capacity" name))
+      | Ast.Sem_decl _ | Ast.Var_decl _ | Ast.Arr_decl _ | Ast.Chan_decl _ -> None)
     p.decls
 
 let check (p : Ast.program) =
-  let vars, arrays, sems = Vars.declared p in
+  let vars, arrays, sems, chans = Vars.declared p in
   let issues =
     duplicate_issues p @ init_issues p
-    @ usage_issues ~vars ~arrays ~sems p.body
+    @ usage_issues ~vars ~arrays ~sems ~chans p.body
     @ atomicity_issues p.body
   in
   let severity_rank i = match i.severity with Error -> 0 | Warning -> 1 in
@@ -217,8 +255,8 @@ let rec array_names (s : Ast.stmt) =
     | Ast.Binop (_, e1, e2) -> Sset.union (of_expr e1) (of_expr e2)
   in
   match s.node with
-  | Ast.Skip | Ast.Wait _ | Ast.Signal _ -> Sset.empty
-  | Ast.Assign (_, e) | Ast.Declassify (_, e, _) -> of_expr e
+  | Ast.Skip | Ast.Wait _ | Ast.Signal _ | Ast.Recv _ -> Sset.empty
+  | Ast.Assign (_, e) | Ast.Declassify (_, e, _) | Ast.Send (_, e) -> of_expr e
   | Ast.Store (a, i, e) -> Sset.add a (Sset.union (of_expr i) (of_expr e))
   | Ast.If (cond, t, f) ->
     Sset.union (of_expr cond) (Sset.union (array_names t) (array_names f))
@@ -228,17 +266,23 @@ let rec array_names (s : Ast.stmt) =
 
 let default_array_size = 8
 
+let default_channel_capacity = 1
+
 let infer_decls (p : Ast.program) =
-  let vars, arrays, sems = Vars.declared p in
-  let known = Sset.union vars (Sset.union arrays sems) in
+  let vars, arrays, sems, chans = Vars.declared p in
+  let known = Sset.union (Sset.union vars chans) (Sset.union arrays sems) in
   let used_sems = Vars.semaphores p.body in
+  let used_chans = Vars.channels p.body in
   let used_arrays = array_names p.body in
   let used_all = Vars.all_vars p.body in
   let missing_sems = Sset.diff used_sems known in
-  let missing_arrays = Sset.diff used_arrays known in
+  let missing_chans = Sset.diff used_chans known in
   let missing_vars =
-    Sset.diff (Sset.diff (Sset.diff used_all used_sems) used_arrays) known
+    Sset.diff
+      (Sset.diff (Sset.diff (Sset.diff used_all used_sems) used_chans) used_arrays)
+      known
   in
+  let missing_arrays = Sset.diff used_arrays known in
   let new_decls =
     List.map (fun name -> Ast.Var_decl { name; cls = None }) (Sset.elements missing_vars)
     @ List.map
@@ -247,5 +291,9 @@ let infer_decls (p : Ast.program) =
     @ List.map
         (fun name -> Ast.Sem_decl { name; init = 0; cls = None })
         (Sset.elements missing_sems)
+    @ List.map
+        (fun name ->
+          Ast.Chan_decl { name; cap = default_channel_capacity; cls = None })
+        (Sset.elements missing_chans)
   in
   { p with decls = p.decls @ new_decls }

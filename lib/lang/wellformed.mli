@@ -30,9 +30,14 @@ val is_valid : Ast.program -> bool
 val default_array_size : int
 (** Size given to arrays synthesised by {!infer_decls} (8). *)
 
+val default_channel_capacity : int
+(** Capacity given to channels synthesised by {!infer_decls} (1). *)
+
 val infer_decls : Ast.program -> Ast.program
 (** [infer_decls p] adds declarations for any name used but not declared:
     names in [wait]/[signal] position become semaphores (initial count 0),
-    names in index position arrays (of {!default_array_size}), all others
-    integer variables. Existing declarations are kept. Useful for
-    programmatically built programs and test fixtures. *)
+    names in [send]/[recv] channel position channels (of
+    {!default_channel_capacity}), names in index position arrays (of
+    {!default_array_size}), all others integer variables. Existing
+    declarations are kept. Useful for programmatically built programs and
+    test fixtures. *)

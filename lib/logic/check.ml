@@ -55,21 +55,29 @@ let check ?(entailer = `Syntactic) ?(interference = `Check) (l : 'a Lattice.t) p
      the bounds in the action's precondition — the paper's "indirect flows
      in one process do not affect indirect flows in another". *)
   let actions p =
-    List.filter_map
+    List.concat_map
       (fun (n : 'a Proof.t) ->
         match (n.rule, n.stmt.Ast.node) with
         | Proof.Axiom_assign, Ast.Assign (x, e) ->
-          Some (n, x, Cexpr.of_expr l e)
+          [ (n, x, Cexpr.of_expr l e) ]
         | Proof.Axiom_assign, Ast.Declassify (x, _, cls) ->
           let named =
             match l.Lattice.of_string cls with Ok c -> c | Error _ -> l.Lattice.top
           in
-          Some (n, x, Cexpr.Const named)
+          [ (n, x, Cexpr.Const named) ]
         | Proof.Axiom_assign, Ast.Store (a, i, e) ->
-          Some (n, a, Cexpr.Join (Cexpr.Cls a, Cexpr.Join (Cexpr.of_expr l i, Cexpr.of_expr l e)))
+          [ (n, a, Cexpr.Join (Cexpr.Cls a, Cexpr.Join (Cexpr.of_expr l i, Cexpr.of_expr l e))) ]
         | Proof.Axiom_wait, Ast.Wait sem | Proof.Axiom_signal, Ast.Signal sem ->
-          Some (n, sem, Cexpr.Cls sem)
-        | _ -> None)
+          [ (n, sem, Cexpr.Cls sem) ]
+        | Proof.Axiom_send, Ast.Send (chan, e) ->
+          (* A send writes the channel: old contents persist (weak
+             update) and the payload joins in. *)
+          [ (n, chan, Cexpr.Join (Cexpr.Cls chan, Cexpr.of_expr l e)) ]
+        | Proof.Axiom_recv, Ast.Recv (chan, x) ->
+          (* A recv writes both the target (the delivered message, whose
+             class the channel bounds) and the channel. *)
+          [ (n, x, Cexpr.Cls chan); (n, chan, Cexpr.Cls chan) ]
+        | _ -> [])
       (Proof.nodes p)
   in
   let interference_free span proofs =
@@ -146,6 +154,34 @@ let check ?(entailer = `Syntactic) ?(interference = `Check) (l : 'a Lattice.t) p
       in
       expect_equal span "wait"
         "pre must be post[sem <- sem(+)local(+)global, global <- sem(+)local(+)global]"
+        p.pre
+        (Assertion.subst sigma p.post)
+    | Proof.Axiom_send, Ast.Send (chan, e) ->
+      (* Signal-shaped: only the channel's symbol is substituted — a send
+         never blocks the sender conditionally on data, so [global] is
+         untouched. The payload joins the channel's class (weak update,
+         like a store: earlier messages persist). *)
+      let rhs =
+        Cexpr.Join
+          ( Cexpr.Cls chan,
+            Cexpr.Join (Cexpr.of_expr l e, Cexpr.Join (Cexpr.Local, Cexpr.Global)) )
+      in
+      expect_equal span "send" "pre must be post[c <- c(+)e(+)local(+)global]" p.pre
+        (Assertion.subst (write_subst chan rhs) p.post)
+    | Proof.Axiom_recv, Ast.Recv (chan, x) ->
+      (* Wait-shaped plus a write: the conditional delay raises [global]
+         by the channel's class, and the delivered message (bounded by
+         the channel's class) lands in [x] and refreshes [c]. *)
+      let rhs = Cexpr.Join (Cexpr.Cls chan, Cexpr.Join (Cexpr.Local, Cexpr.Global)) in
+      let sigma sym =
+        match sym with
+        | Cexpr.S_cls v when String.equal v chan || String.equal v x -> Some rhs
+        | Cexpr.S_global -> Some rhs
+        | Cexpr.S_cls _ | Cexpr.S_local -> None
+      in
+      expect_equal span "recv"
+        "pre must be post[x <- c(+)local(+)global, c <- c(+)local(+)global, \
+         global <- c(+)local(+)global]"
         p.pre
         (Assertion.subst sigma p.post)
     | Proof.Consequence inner, _ ->
@@ -297,7 +333,8 @@ let check ?(entailer = `Syntactic) ?(interference = `Check) (l : 'a Lattice.t) p
       | _ -> ());
       if interference = `Check then interference_free span proofs;
       List.iter go proofs
-    | ( ( Proof.Axiom_assign | Proof.Axiom_wait | Proof.Axiom_signal | Proof.Axiom_skip
+    | ( ( Proof.Axiom_assign | Proof.Axiom_wait | Proof.Axiom_signal
+        | Proof.Axiom_send | Proof.Axiom_recv | Proof.Axiom_skip
         | Proof.Alternation _ | Proof.Iteration _ | Proof.Composition _
         | Proof.Concurrency _ ),
         _ ) ->

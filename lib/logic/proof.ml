@@ -13,6 +13,8 @@ and 'a rule =
   | Axiom_assign
   | Axiom_wait
   | Axiom_signal
+  | Axiom_send
+  | Axiom_recv
   | Axiom_skip
   | Alternation of 'a t * 'a t
   | Iteration of 'a t
@@ -24,7 +26,9 @@ let make ~pre ~stmt ~post rule = { pre; stmt; post; rule }
 
 let children p =
   match p.rule with
-  | Axiom_assign | Axiom_wait | Axiom_signal | Axiom_skip -> []
+  | Axiom_assign | Axiom_wait | Axiom_signal | Axiom_send | Axiom_recv
+  | Axiom_skip ->
+    []
   | Alternation (a, b) -> [ a; b ]
   | Iteration a | Consequence a -> [ a ]
   | Composition ps | Concurrency ps -> ps
@@ -58,6 +62,8 @@ let rule_label = function
   | Axiom_assign -> "assign"
   | Axiom_wait -> "wait"
   | Axiom_signal -> "signal"
+  | Axiom_send -> "send"
+  | Axiom_recv -> "recv"
   | Axiom_skip -> "skip"
   | Alternation _ -> "alternation"
   | Iteration _ -> "iteration"

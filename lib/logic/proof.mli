@@ -16,6 +16,12 @@ and 'a rule =
   | Axiom_assign
   | Axiom_wait
   | Axiom_signal
+  | Axiom_send
+      (** [send(c, e)]: signal-shaped — the channel absorbs the payload,
+          [c <- c (+) e (+) local (+) global]; no global update. *)
+  | Axiom_recv
+      (** [recv(c, x)]: wait-shaped plus a write — [x], [c] and [global]
+          all receive [c (+) local (+) global]. *)
   | Axiom_skip
   | Alternation of 'a t * 'a t
   | Iteration of 'a t

@@ -105,6 +105,41 @@ let theorem1 ?l:l0 ?g:g0 binding stmt =
         Proof.make ~pre:(Assertion.subst sigma post) ~stmt:s ~post Proof.Axiom_signal
       in
       (strengthen_pre ~pre:(state l g) axiom, g)
+    | Ast.Send (chan, e) ->
+      (* Signal-shaped: the channel absorbs the payload (weak update —
+         earlier messages persist) but produces no global flow. *)
+      let post = state l g in
+      let rhs =
+        Cexpr.Join
+          ( Cexpr.Cls chan,
+            Cexpr.Join (Cexpr.of_expr lat e, Cexpr.Join (Cexpr.Local, Cexpr.Global)) )
+      in
+      let sigma sym =
+        match sym with
+        | Cexpr.S_cls v when String.equal v chan -> Some rhs
+        | Cexpr.S_cls _ | Cexpr.S_local | Cexpr.S_global -> None
+      in
+      let axiom =
+        Proof.make ~pre:(Assertion.subst sigma post) ~stmt:s ~post Proof.Axiom_send
+      in
+      (strengthen_pre ~pre:(state l g) axiom, g)
+    | Ast.Recv (chan, x) ->
+      (* Wait-shaped plus a write: the conditional delay raises the
+         global bound by the channel's class, and the delivered message
+         lands in [x] (and refreshes the channel's symbol). *)
+      let g_out = lat.Lattice.join g (lat.Lattice.join l (Binding.sbind binding chan)) in
+      let post = state l g_out in
+      let rhs = Cexpr.Join (Cexpr.Cls chan, Cexpr.Join (Cexpr.Local, Cexpr.Global)) in
+      let sigma sym =
+        match sym with
+        | Cexpr.S_cls v when String.equal v chan || String.equal v x -> Some rhs
+        | Cexpr.S_global -> Some rhs
+        | Cexpr.S_cls _ | Cexpr.S_local -> None
+      in
+      let axiom =
+        Proof.make ~pre:(Assertion.subst sigma post) ~stmt:s ~post Proof.Axiom_recv
+      in
+      (strengthen_pre ~pre:(state l g) axiom, g_out)
     | Ast.Wait sem ->
       let g_out = lat.Lattice.join g (lat.Lattice.join l (Binding.sbind binding sem)) in
       let post = state l g_out in

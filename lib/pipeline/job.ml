@@ -150,7 +150,30 @@ let lint_report_json (report : Ifc_analysis.Analyze.report) =
                ("race_free", Bool claims.Ifc_analysis.Analyze.race_free);
                ("deadlock_free", Bool claims.Ifc_analysis.Analyze.deadlock_free);
                ("must_block", Bool claims.Ifc_analysis.Analyze.must_block);
+               ( "chan_race_free",
+                 Bool claims.Ifc_analysis.Analyze.chan_race_free );
+               ( "chan_deadlock_free",
+                 Bool claims.Ifc_analysis.Analyze.chan_deadlock_free );
              ] );
+         ( "channels",
+           List
+             (List.map
+                (fun (c : Ifc_chan.Lint.summary) ->
+                  let count = function
+                    | Ifc_chan.Lint.Fin n -> Int n
+                    | Ifc_chan.Lint.Inf -> String "inf"
+                  in
+                  Obj
+                    [
+                      ("name", String c.Ifc_chan.Lint.s_chan);
+                      ("cap", Int c.Ifc_chan.Lint.s_cap);
+                      ("send_min", Int c.Ifc_chan.Lint.s_send_min);
+                      ("send_max", count c.Ifc_chan.Lint.s_send_max);
+                      ("recv_min", Int c.Ifc_chan.Lint.s_recv_min);
+                      ("recv_max", count c.Ifc_chan.Lint.s_recv_max);
+                      ("edges", Int c.Ifc_chan.Lint.s_degree);
+                    ])
+                report.Ifc_analysis.Analyze.channels) );
          ( "stats",
            Obj
              [

@@ -102,6 +102,18 @@ let combine t (node : Ast.node) (children : summary list) =
   | Ast.Signal sem, [] ->
     let c = Binding.sbind b sem in
     { mod_ = c; flow = Extended.Nil; cert = true }
+  | Ast.Send (chan, e), [] ->
+    let c = Binding.sbind b chan in
+    let source = Binding.expr_class b e in
+    { mod_ = c; flow = Extended.Nil; cert = l.Lattice.leq source c }
+  | Ast.Recv (chan, x), [] ->
+    let c = Binding.sbind b chan in
+    let target = Binding.sbind b x in
+    {
+      mod_ = l.Lattice.meet c target;
+      flow = Extended.El c;
+      cert = l.Lattice.leq c target;
+    }
   | Ast.If (cond, _, _), [ s1; s2 ] ->
     let e_class = Binding.expr_class b cond in
     let mod_ = l.Lattice.meet s1.mod_ s2.mod_ in
@@ -164,6 +176,8 @@ let node_digest t (node : Ast.node) child_digests =
       [ "store"; a; Pretty.expr_to_string i; Pretty.expr_to_string e ]
     | Ast.Wait sem -> [ "wait"; sem ]
     | Ast.Signal sem -> [ "signal"; sem ]
+    | Ast.Send (chan, e) -> [ "send"; chan; Pretty.expr_to_string e ]
+    | Ast.Recv (chan, x) -> [ "recv"; chan; x ]
     | Ast.If (cond, _, _) -> [ "if"; Pretty.expr_to_string cond ]
     | Ast.While (cond, _) -> [ "while"; Pretty.expr_to_string cond ]
     | Ast.Seq _ -> [ "seq" ]
@@ -219,7 +233,7 @@ let certify t stmt =
     let children =
       match s.node with
       | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _
-      | Ast.Signal _ ->
+      | Ast.Signal _ | Ast.Send _ | Ast.Recv _ ->
         []
       | Ast.If (_, then_, else_) -> [ then_; else_ ]
       | Ast.While (_, body) -> [ body ]
@@ -247,7 +261,7 @@ let digest t stmt =
     let children =
       match s.node with
       | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _
-      | Ast.Signal _ ->
+      | Ast.Signal _ | Ast.Send _ | Ast.Recv _ ->
         []
       | Ast.If (_, then_, else_) -> [ then_; else_ ]
       | Ast.While (_, body) -> [ body ]

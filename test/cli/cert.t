@@ -31,6 +31,19 @@ Emission is canonical: a second run is byte-identical, and
   $ cmp sec52.cert proved.cert && echo identical
   identical
 
+Channel programs certify end-to-end: the producer/consumer proof
+carries the send/recv rule nodes and the independent checker
+re-validates them:
+
+  $ ../../bin/ifc.exe prove prodcons.ifc
+  flow proof found: 5 rule applications, completely invariant
+  $ ../../bin/ifc.exe cert emit prodcons.ifc -o prodcons.cert
+  certificate written to prodcons.cert (1458 bytes)
+  $ ../../bin/ifc.exe cert check prodcons.cert prodcons.ifc
+  certificate valid: 5 nodes, 3 bound variables
+  $ grep -c 'send\|recv' prodcons.cert
+  2
+
 Weakening an assertion is caught, and the rejection names the offending
 node's path (exit 2):
 

@@ -17,23 +17,25 @@ accepting CFM-rejected programs) do turn up and are merely counted:
   $ cat run-a.out
   fuzz campaign: seed=42 cases=50 lattice=two
     completed=50 timed-out=0 errors=0
-    oracle pairs: tested=152 skipped=4
+    oracle pairs: tested=166 skipped=10
     classes:
       unsound-certification    0
       logic-mismatch           0
       cert-inversion           0
       store-stale              0
+      chan-race-unsound        0
+      chan-deadlock-unsound    0
       race-unsound             0
       deadlock-unsound         0
       hierarchy-denning        0
       hierarchy-fs             0
       denning-gap              1
-      fs-gap                   1
-      confirmed-rejection      13
-      certified-agreement      20
-      unconfirmed-rejection    15
-    inversions=0 gaps=2
-  {"fuzz":"summary","seed":42,"cases":50,"completed":50,"timed_out":0,"errors":0,"inversions":0,"gaps":2,"classes":{"unsound-certification":0,"logic-mismatch":0,"cert-inversion":0,"store-stale":0,"race-unsound":0,"deadlock-unsound":0,"hierarchy-denning":0,"hierarchy-fs":0,"denning-gap":1,"fs-gap":1,"confirmed-rejection":13,"certified-agreement":20,"unconfirmed-rejection":15},"oracle":{"pairs_tested":152,"pairs_skipped":4},"shrink":{"steps":0,"evals":0},"counterexamples":[]}
+      fs-gap                   0
+      confirmed-rejection      14
+      certified-agreement      15
+      unconfirmed-rejection    20
+    inversions=0 gaps=1
+  {"fuzz":"summary","seed":42,"cases":50,"completed":50,"timed_out":0,"errors":0,"inversions":0,"gaps":1,"classes":{"unsound-certification":0,"logic-mismatch":0,"cert-inversion":0,"store-stale":0,"chan-race-unsound":0,"chan-deadlock-unsound":0,"race-unsound":0,"deadlock-unsound":0,"hierarchy-denning":0,"hierarchy-fs":0,"denning-gap":1,"fs-gap":0,"confirmed-rejection":14,"certified-agreement":15,"unconfirmed-rejection":20},"oracle":{"pairs_tested":166,"pairs_skipped":10},"shrink":{"steps":0,"evals":0},"counterexamples":[]}
 
   $ ../../bin/ifc.exe fuzz --seed 42 --cases 50 --jobs 2 --quiet > /dev/null 2>&1; echo "exit $?"
   exit 0

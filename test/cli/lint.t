@@ -10,7 +10,7 @@ handshakes leak through the delay of the waiting process:
   line 9, cols 5-59: warning[imbalance]: branches differ in wait/signal balance on modified, modify; the branch taken is observable through the conditional delay of the waiting process
   line 11, cols 26-32: warning[race]: possible read/write race on m with a parallel process (see line 12, cols 24-30)
   0 errors, 3 warnings over 23 statements (6 accesses, 3 parallel pairs)
-  claims: race-free false, deadlock-free false, must-block false
+  claims: race-free false, deadlock-free false, must-block false, chan-race-free true, chan-deadlock-free true
   [2]
 
 Findings exit 2, like a rejected certification:
@@ -22,7 +22,7 @@ A sequential program is clean and exits 0:
 
   $ ../../bin/ifc.exe lint sec52.ifc; echo "exit $?"
   0 errors, 0 warnings over 3 statements (3 accesses, 1 parallel pairs)
-  claims: race-free true, deadlock-free true, must-block false
+  claims: race-free true, deadlock-free true, must-block false, chan-race-free true, chan-deadlock-free true
   exit 0
 
 A wait that no signal can ever satisfy is a guaranteed deadlock — an
@@ -31,18 +31,43 @@ error, and the analyzer claims the program can never terminate:
   $ ../../bin/ifc.exe lint deadlock.ifc; echo "exit $?"
   line 9, cols 3-10: error[deadlock]: every execution performs at least 1 wait(s) but at most 0 units can ever be supplied (initially 0); some wait blocks forever
   1 error, 0 warnings over 3 statements (1 accesses, 0 parallel pairs)
-  claims: race-free true, deadlock-free false, must-block true
+  claims: race-free true, deadlock-free false, must-block true, chan-race-free true, chan-deadlock-free true
   exit 2
+
+A recv on a channel nobody ever feeds is a guaranteed communication
+deadlock: an error from the channel lint, a must-block claim, and a
+per-channel summary showing the starved endpoint:
+
+  $ ../../bin/ifc.exe lint chan-deadlock.ifc; echo "exit $?"
+  line 7, cols 3-13: error[chan-deadlock]: no send on c can precede or run alongside this recv; it blocks forever whenever reached
+  1 error, 0 warnings over 2 statements (1 accesses, 0 parallel pairs)
+  claims: race-free true, deadlock-free false, must-block true, chan-race-free true, chan-deadlock-free false
+  channel c: cap 1, sends [0, 0], recvs [1, 1], 0 may-communicate edges
+  exit 2
+
+A producer/consumer pair is clean — the recv is fed through a
+may-communicate edge — but channel-deadlock-freedom is deliberately
+withheld (the recv may transiently block on the empty queue):
+
+  $ ../../bin/ifc.exe lint prodcons.ifc; echo "exit $?"
+  0 errors, 0 warnings over 3 statements (2 accesses, 0 parallel pairs)
+  claims: race-free true, deadlock-free false, must-block false, chan-race-free true, chan-deadlock-free false
+  channel c: cap 1, sends [1, 1], recvs [1, 1], 1 may-communicate edge
+  exit 0
 
 --json emits the same report as one machine-readable object (the byte-
 identical artifact the batch pipeline caches and `ifc serve` returns):
 
   $ ../../bin/ifc.exe lint --json deadlock.ifc
-  {"findings":[{"kind":"deadlock","severity":"error","span":"line 9, cols 3-10","message":"every execution performs at least 1 wait(s) but at most 0 units can ever be supplied (initially 0); some wait blocks forever"}],"claims":{"race_free":true,"deadlock_free":false,"must_block":true},"stats":{"statements":3,"accesses":1,"pairs":0}}
+  {"findings":[{"kind":"deadlock","severity":"error","span":"line 9, cols 3-10","message":"every execution performs at least 1 wait(s) but at most 0 units can ever be supplied (initially 0); some wait blocks forever"}],"claims":{"race_free":true,"deadlock_free":false,"must_block":true,"chan_race_free":true,"chan_deadlock_free":true},"channels":[],"stats":{"statements":3,"accesses":1,"pairs":0}}
   [2]
 
   $ ../../bin/ifc.exe lint --json sec52.ifc
-  {"findings":[],"claims":{"race_free":true,"deadlock_free":true,"must_block":false},"stats":{"statements":3,"accesses":3,"pairs":1}}
+  {"findings":[],"claims":{"race_free":true,"deadlock_free":true,"must_block":false,"chan_race_free":true,"chan_deadlock_free":true},"channels":[],"stats":{"statements":3,"accesses":3,"pairs":1}}
+
+  $ ../../bin/ifc.exe lint --json chan-deadlock.ifc
+  {"findings":[{"kind":"chan-deadlock","severity":"error","span":"line 7, cols 3-13","message":"no send on c can precede or run alongside this recv; it blocks forever whenever reached"}],"claims":{"race_free":true,"deadlock_free":false,"must_block":true,"chan_race_free":true,"chan_deadlock_free":false},"channels":[{"name":"c","cap":1,"send_min":0,"send_max":0,"recv_min":1,"recv_max":1,"edges":0}],"stats":{"statements":2,"accesses":1,"pairs":0}}
+  [2]
 
 Unreadable programs are an error (exit 1), not a verdict:
 

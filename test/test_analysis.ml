@@ -244,6 +244,91 @@ let test_usages_interval () =
   check "branch signal_max is 1" true (u.Semlive.signal_max = Semlive.Fin 1)
 
 (* ------------------------------------------------------------------ *)
+(* Channel lint *)
+
+let test_chan_starved_recv () =
+  let r =
+    Analyze.run
+      (program "var x : integer; c : channel(1); begin recv(c, x) end")
+  in
+  check "chan-deadlock reported" true (List.mem "chan-deadlock" (kinds r));
+  check "must_block" true r.Analyze.claims.Analyze.must_block;
+  check "not chan_deadlock_free" false
+    r.Analyze.claims.Analyze.chan_deadlock_free;
+  check "not deadlock_free" false r.Analyze.claims.Analyze.deadlock_free;
+  let f =
+    List.find
+      (fun (f : Finding.t) -> f.Finding.kind = Finding.Chan_deadlock)
+      r.Analyze.findings
+  in
+  check "starved recv is an error" true (f.Finding.severity = Finding.Error)
+
+let test_chan_orphan_send () =
+  let r =
+    Analyze.run
+      (program "var x : integer; c : channel(1); begin send(c, x) end")
+  in
+  check "orphan-message reported" true (List.mem "orphan-message" (kinds r));
+  (* One send into capacity 1 never blocks and nobody receives: this is
+     the only shape whose conservative channel-deadlock-freedom claim
+     survives. *)
+  check "chan_deadlock_free" true r.Analyze.claims.Analyze.chan_deadlock_free;
+  check "not must_block" false r.Analyze.claims.Analyze.must_block
+
+let test_chan_prodcons_clean () =
+  let r =
+    Analyze.run
+      (program
+         {|var x, y : integer; c : channel(1);
+           cobegin send(c, x) || recv(c, y) coend|})
+  in
+  Alcotest.(check (list string)) "no findings" [] (kinds r);
+  check "chan_race_free" true r.Analyze.claims.Analyze.chan_race_free;
+  (* The recv may transiently block waiting for the send, so the
+     conservative deadlock-freedom claim is withheld without a finding. *)
+  check "deadlock-freedom withheld" false
+    r.Analyze.claims.Analyze.chan_deadlock_free
+
+let test_chan_contention () =
+  let r =
+    Analyze.run
+      (program
+         {|var x, y, z : integer; c : channel(2);
+           cobegin send(c, x) || send(c, y) || begin recv(c, z); recv(c, z) end coend|})
+  in
+  check "chan-race reported" true (List.mem "chan-race" (kinds r));
+  check "not chan_race_free" false r.Analyze.claims.Analyze.chan_race_free
+
+let test_chan_overflow () =
+  let r =
+    Analyze.run
+      (program
+         {|var x : integer; c : channel(1);
+           begin send(c, x); send(c, x) end|})
+  in
+  check "chan-deadlock reported" true (List.mem "chan-deadlock" (kinds r));
+  check "must_block" true r.Analyze.claims.Analyze.must_block
+
+let test_chan_summaries () =
+  let r =
+    Analyze.run
+      (program
+         {|var x, y : integer; c : channel(3) class low;
+           cobegin send(c, x) || recv(c, y) coend|})
+  in
+  match r.Analyze.channels with
+  | [ s ] ->
+    Alcotest.(check string) "name" "c" s.Ifc_chan.Lint.s_chan;
+    check_int "cap" 3 s.Ifc_chan.Lint.s_cap;
+    check "class" true (s.Ifc_chan.Lint.s_cls = Some "low");
+    check_int "send_min" 1 s.Ifc_chan.Lint.s_send_min;
+    check "send_max" true (s.Ifc_chan.Lint.s_send_max = Ifc_chan.Lint.Fin 1);
+    check_int "recv_min" 1 s.Ifc_chan.Lint.s_recv_min;
+    check "recv_max" true (s.Ifc_chan.Lint.s_recv_max = Ifc_chan.Lint.Fin 1);
+    check_int "one may-communicate edge" 1 s.Ifc_chan.Lint.s_degree
+  | ss -> Alcotest.failf "expected one channel summary, got %d" (List.length ss)
+
+(* ------------------------------------------------------------------ *)
 (* Guard lints *)
 
 let test_constant_guards () =
@@ -380,6 +465,13 @@ let suite =
       Alcotest.test_case "loop synchronization imbalance" `Quick
         test_loop_synchronization_imbalance;
       Alcotest.test_case "usage intervals" `Quick test_usages_interval;
+      Alcotest.test_case "chan starved recv" `Quick test_chan_starved_recv;
+      Alcotest.test_case "chan orphan send" `Quick test_chan_orphan_send;
+      Alcotest.test_case "chan producer/consumer clean" `Quick
+        test_chan_prodcons_clean;
+      Alcotest.test_case "chan contention" `Quick test_chan_contention;
+      Alcotest.test_case "chan overflow" `Quick test_chan_overflow;
+      Alcotest.test_case "chan summaries" `Quick test_chan_summaries;
       Alcotest.test_case "constant guards" `Quick test_constant_guards;
       Alcotest.test_case "variable guard not linted" `Quick
         test_variable_guard_not_linted;

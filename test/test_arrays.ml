@@ -253,7 +253,7 @@ let test_ni_certified_array_programs_secure () =
   while !checked < 12 && !attempts < 400 do
     incr attempts;
     let p = Gen.program_balanced rng cfg ~size:(2 + (!attempts mod 8)) in
-    let vars, arrays, sems = Ifc_lang.Vars.declared p in
+    let vars, arrays, sems, _chans = Ifc_lang.Vars.declared p in
     let names =
       Ifc_support.Sset.elements (Ifc_support.Sset.union vars (Ifc_support.Sset.union arrays sems))
     in

@@ -215,6 +215,97 @@ let test_explore_bound () =
   let s = Explore.explore_program ~max_states:50 p in
   check "incomplete" false s.Explore.complete
 
+(* ------------------------------------------------------------------ *)
+(* Channels *)
+
+let test_chan_rendezvous () =
+  let p =
+    program
+      {|var x, y : integer; c : channel(1);
+        cobegin begin x := 7; send(c, x) end || recv(c, y) coend|}
+  in
+  let s = Explore.explore_program p in
+  check "complete" true s.Explore.complete;
+  check "no deadlock" false (Explore.can_deadlock s);
+  check "send/recv is rendezvous, not contention" true (s.Explore.chan_races = []);
+  check "delivered value in every terminal" true
+    (List.for_all
+       (fun cfg -> Smap.find "y" cfg.Step.store = 7)
+       s.Explore.terminals)
+
+let test_chan_recv_blocks_forever () =
+  let p = program "var x : integer; c : channel(1); begin recv(c, x) end" in
+  let s = Explore.explore_program p in
+  check "deadlocks" true (Explore.can_deadlock s);
+  check "no terminal" true (s.Explore.terminals = []);
+  Alcotest.(check (list string)) "blocked channel named" [ "c" ]
+    s.Explore.chan_blocked
+
+let test_chan_send_blocks_at_capacity () =
+  let p =
+    program
+      {|var x : integer; c : channel(1);
+        begin send(c, x); send(c, x) end|}
+  in
+  let s = Explore.explore_program p in
+  check "second send overflows" true (Explore.can_deadlock s);
+  Alcotest.(check (list string)) "blocked channel named" [ "c" ]
+    s.Explore.chan_blocked;
+  (* Raising the capacity clears the block. *)
+  let p2 =
+    program
+      {|var x : integer; c : channel(2);
+        begin send(c, x); send(c, x) end|}
+  in
+  let s2 = Explore.explore_program p2 in
+  check "capacity 2 terminates" false (Explore.can_deadlock s2)
+
+let test_chan_fifo_order () =
+  let p =
+    program
+      {|var x, y : integer; c : channel(2);
+        begin send(c, 1); send(c, 2); recv(c, x); recv(c, y) end|}
+  in
+  let s = Explore.explore_program p in
+  check "complete" true s.Explore.complete;
+  (match s.Explore.terminals with
+  | [ cfg ] ->
+    check_int "first message first" 1 (Smap.find "x" cfg.Step.store);
+    check_int "second message second" 2 (Smap.find "y" cfg.Step.store)
+  | ts -> Alcotest.failf "expected one terminal, got %d" (List.length ts))
+
+let test_chan_contention_witness () =
+  let p =
+    program
+      {|var x, y, z : integer; c : channel(2);
+        cobegin send(c, 1) || send(c, 2) || begin recv(c, x); recv(c, y) end coend|}
+  in
+  let s = Explore.explore_program p in
+  Alcotest.(check (list string)) "contended channel witnessed" [ "c" ]
+    s.Explore.chan_races;
+  (* Both delivery orders are reachable. *)
+  let firsts =
+    List.sort_uniq compare
+      (List.map (fun cfg -> Smap.find "x" cfg.Step.store) s.Explore.terminals)
+  in
+  Alcotest.(check (list int)) "schedule decides which lands first" [ 1; 2 ] firsts
+
+let test_ni_chan_leak () =
+  (* Distributed non-interference: a high payload crossing a channel to
+     a low variable is observable at low. *)
+  let leak =
+    program
+      {|var x, y : integer; c : channel(1);
+        cobegin send(c, x) || recv(c, y) coend|}
+  in
+  let b = Binding.make two [ ("x", high); ("y", low); ("c", low) ] in
+  let r = Ni.test ~observer:low ~pairs:6 b leak in
+  check "channel leak observable" false (Ni.secure r);
+  (* The same wiring with a low payload is secure. *)
+  let b2 = Binding.make two [ ("x", low); ("y", low); ("c", low) ] in
+  let r2 = Ni.test ~observer:low ~pairs:6 b2 leak in
+  check "low payload secure" true (Ni.secure r2)
+
 let test_explore_agrees_with_scheduler () =
   (* Every scheduler-produced final store appears among explored
      terminals. *)
@@ -260,7 +351,7 @@ let test_por_equivalence =
         List.filter_map
           (function
             | Ast.Var_decl { name; _ } -> Some (name, Prng.int rng 3)
-            | Ast.Arr_decl _ | Ast.Sem_decl _ -> None)
+            | Ast.Arr_decl _ | Ast.Sem_decl _ | Ast.Chan_decl _ -> None)
           p.Ast.decls
       in
       let full = Explore.explore_program ~max_states:6000 ~inputs p in
@@ -469,7 +560,7 @@ let test_ni_certified_programs_secure () =
   while !checked < 25 && !attempts < 400 do
     incr attempts;
     let p = Gen.program_balanced rng cfg ~size:(2 + (!attempts mod 10)) in
-    let vars, _, _ = Ifc_lang.Vars.declared p in
+    let vars, _, _, _ = Ifc_lang.Vars.declared p in
     let pairs =
       List.map
         (fun v -> (v, if Prng.bool rng then high else low))
@@ -520,6 +611,15 @@ let suite =
         test_explore_detects_deadlock_branch;
       Alcotest.test_case "explore detects cycle" `Quick test_explore_detects_cycle;
       Alcotest.test_case "explore bound" `Quick test_explore_bound;
+      Alcotest.test_case "chan rendezvous" `Quick test_chan_rendezvous;
+      Alcotest.test_case "chan recv blocks forever" `Quick
+        test_chan_recv_blocks_forever;
+      Alcotest.test_case "chan send blocks at capacity" `Quick
+        test_chan_send_blocks_at_capacity;
+      Alcotest.test_case "chan fifo order" `Quick test_chan_fifo_order;
+      Alcotest.test_case "chan contention witness" `Quick
+        test_chan_contention_witness;
+      Alcotest.test_case "NI channel leak" `Quick test_ni_chan_leak;
       Alcotest.test_case "explore agrees with scheduler" `Quick
         test_explore_agrees_with_scheduler;
       Alcotest.test_case "POR preserves summaries (property)" `Quick

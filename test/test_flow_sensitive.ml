@@ -153,7 +153,7 @@ let test_fs_sound_on_corpus () =
   while !checked < 20 && !attempts < 500 do
     incr attempts;
     let p = Gen.program_balanced rng cfg ~size:(2 + (!attempts mod 10)) in
-    let vars, _, _ = Ifc_lang.Vars.declared p in
+    let vars, _, _, _ = Ifc_lang.Vars.declared p in
     let pairs =
       List.map (fun v -> (v, if Prng.bool rng then high else low)) (Sset.elements vars)
     in

@@ -49,8 +49,10 @@ let fresh_dir () =
 
 let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0)
     ?(lint_race_free = true) ?(lint_deadlock_free = true)
-    ?(lint_must_block = false) ?(lint_findings = 0) ?(dyn_race = false)
+    ?(lint_must_block = false) ?(lint_chan_race_free = true)
+    ?(lint_chan_deadlock_free = true) ?(lint_findings = 0) ?(dyn_race = false)
     ?(dyn_deadlock = false) ?(dyn_terminal = true) ?(dyn_complete = true)
+    ?(dyn_chan_race = false) ?(dyn_chan_deadlock = false)
     ?(store_divergent = false) () =
   {
     Classify.cfm;
@@ -64,11 +66,15 @@ let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0)
     lint_race_free;
     lint_deadlock_free;
     lint_must_block;
+    lint_chan_race_free;
+    lint_chan_deadlock_free;
     lint_findings;
     dyn_race;
     dyn_deadlock;
     dyn_terminal;
     dyn_complete;
+    dyn_chan_race;
+    dyn_chan_deadlock;
     store_divergent;
   }
 
@@ -136,7 +142,27 @@ let test_classify_table () =
   check_string "cert inversion outranks race-unsound" "cert-inversion"
     (primary_of
        (v ~cfm:true ~denning:true ~fs:true ~prove:true ~cert_ok:false
-          ~dyn_race:true ()))
+          ~dyn_race:true ()));
+  check_string "claimed chan-race-free but contention was witnessed"
+    "chan-race-unsound"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false ~dyn_chan_race:true ()));
+  check_string "claimed chan-deadlock-free but a blocked channel was reached"
+    "chan-deadlock-unsound"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false
+          ~dyn_chan_deadlock:true ()));
+  check_string "no chan inversion when the channel lint already warned"
+    "unconfirmed-rejection"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false
+          ~lint_chan_deadlock_free:false ~lint_findings:1 ~dyn_chan_deadlock:true
+          ()));
+  check_string "chan-deadlock-unsound outranks generic deadlock-unsound"
+    "chan-deadlock-unsound"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false
+          ~dyn_chan_deadlock:true ~dyn_deadlock:true ()))
 
 let test_classify_labels_total () =
   (* Every primary label the classifier can emit is in the canonical
@@ -234,6 +260,12 @@ let test_corpus_replay () =
       (List.exists (fun e -> e.Corpus.name = "deadlock") entries);
     check "handshake-leak seeded" true
       (List.exists (fun e -> e.Corpus.name = "handshake-leak") entries);
+    check "chan-prodcons seeded" true
+      (List.exists (fun e -> e.Corpus.name = "chan-prodcons") entries);
+    check "chan-leak seeded" true
+      (List.exists (fun e -> e.Corpus.name = "chan-leak") entries);
+    check "chan-deadlock seeded" true
+      (List.exists (fun e -> e.Corpus.name = "chan-deadlock") entries);
     List.iter
       (fun (e : Corpus.entry) ->
         let name = e.Corpus.name in
@@ -262,6 +294,11 @@ let test_corpus_replay () =
           (Bool.equal exp.Corpus.deadlock_free vv.Classify.lint_deadlock_free);
         check (name ^ ": must_block") true
           (Bool.equal exp.Corpus.must_block vv.Classify.lint_must_block);
+        check (name ^ ": chan_race_free") true
+          (Bool.equal exp.Corpus.chan_race_free vv.Classify.lint_chan_race_free);
+        check (name ^ ": chan_deadlock_free") true
+          (Bool.equal exp.Corpus.chan_deadlock_free
+             vv.Classify.lint_chan_deadlock_free);
         check_int (name ^ ": lint_findings") exp.Corpus.lint_findings
           vv.Classify.lint_findings)
       (entries : Corpus.entry list)
@@ -439,6 +476,57 @@ let test_planted_lint_unsound_end_to_end () =
   | cs ->
     Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
 
+let test_planted_chan_unsound_end_to_end () =
+  let dir = fresh_dir () in
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 0;
+      jobs = 1;
+      plant_chan_unsound = true;
+      corpus_dir = Some dir;
+    }
+  in
+  let s = Campaign.run config in
+  check_int "one case ran" 1 s.Campaign.completed;
+  check_int "one inversion case" 1 s.Campaign.inversion_cases;
+  check_int "exit code flags the inversion" 2 (Campaign.exit_code s);
+  match s.Campaign.counterexamples with
+  | [ c ] ->
+    (* The channel-specific label outranks the generic deadlock-unsound
+       label the same witness also triggers. *)
+    check_string "classified as chan-deadlock-unsound" "chan-deadlock-unsound"
+      c.Campaign.label;
+    (* The planted program blocks on a recv nobody feeds; the lying
+       analyzer claims it safe and dynamic exploration refutes it with a
+       blocked channel at the stuck state. The shrinker keeps that
+       refutation alive down to the bare recv. *)
+    check "shrunk below the planted padding" true
+      (c.Campaign.shrunk_statements < c.Campaign.original_statements);
+    check_int "in fact fully minimal" 1 c.Campaign.shrunk_statements;
+    check "persisted to the corpus" true (c.Campaign.corpus_path <> None);
+    (match Corpus.load dir with
+    | Ok [ e ] ->
+      check "corpus name carries the label" true
+        (contains_substring e.Corpus.name "chan-deadlock-unsound");
+      (* The sidecar records HONEST verdicts: the real channel lint
+         reports the starved recv the planted override hid. *)
+      check "honest analyzer sees the blocked channel" false
+        e.Corpus.expected.Corpus.chan_deadlock_free;
+      check "honest analyzer has findings" true
+        (e.Corpus.expected.Corpus.lint_findings > 0);
+      let vv = Corpus.replay_verdicts e.Corpus.binding e.Corpus.program in
+      check "replay agrees" true
+        (Bool.equal e.Corpus.expected.Corpus.chan_deadlock_free
+           vv.Classify.lint_chan_deadlock_free);
+      check "replay witnesses the blocked channel" true
+        vv.Classify.dyn_chan_deadlock
+    | Ok entries ->
+      Alcotest.failf "expected 1 corpus entry, got %d" (List.length entries)
+    | Error msg -> Alcotest.failf "corpus reload failed: %s" msg)
+  | cs ->
+    Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
+
 let test_campaign_worker_count_determinism () =
   let config jobs =
     {
@@ -543,6 +631,8 @@ let suite =
         test_planted_cert_inversion_end_to_end;
       Alcotest.test_case "planted lint-unsound end-to-end" `Quick
         test_planted_lint_unsound_end_to_end;
+      Alcotest.test_case "planted chan-unsound end-to-end" `Quick
+        test_planted_chan_unsound_end_to_end;
       Alcotest.test_case "planted store-stale end-to-end" `Quick
         test_planted_store_stale_end_to_end;
       Alcotest.test_case "store replay round-trip" `Quick

@@ -310,6 +310,34 @@ let test_wellformed_duplicate_cross_kind () =
   in
   check_int "two errors for a triplicate" 2 (List.length (Wellformed.errors p3))
 
+let test_wellformed_duplicate_channel () =
+  (* Channels join the kind-aware duplicate diagnostics: the message
+     names both kinds in declaration order, whichever comes first. *)
+  let p = parse_program_exn "var c : channel(1); c : integer; skip" in
+  check "channel/integer duplicate rejected" false (Wellformed.is_valid p);
+  (match Wellformed.errors p with
+  | [ i ] ->
+    check "channel-first message" true
+      (i.Wellformed.message
+      = "duplicate declaration of c (first as channel, again as integer \
+         variable)")
+  | _ -> Alcotest.fail "expected exactly one error");
+  let p2 =
+    parse_program_exn "var c : semaphore initially(0); c : channel(2); skip"
+  in
+  (match Wellformed.errors p2 with
+  | [ i ] ->
+    check "semaphore/channel message" true
+      (i.Wellformed.message
+      = "duplicate declaration of c (first as semaphore, again as channel)")
+  | _ -> Alcotest.fail "expected exactly one error");
+  let p3 = parse_program_exn "var c : channel(1); c : channel(2); skip" in
+  (match Wellformed.errors p3 with
+  | [ i ] ->
+    check "same-kind channel message" true
+      (i.Wellformed.message = "duplicate declaration of c (both as channel)")
+  | _ -> Alcotest.fail "expected exactly one error")
+
 let test_wellformed_atomicity_warning () =
   let p =
     parse_program_exn
@@ -393,7 +421,7 @@ let test_gen_balanced_terminating_counts () =
 let rec guards (s : Ast.stmt) acc =
   match s.node with
   | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _ | Ast.Wait _
-  | Ast.Signal _ ->
+  | Ast.Signal _ | Ast.Send _ | Ast.Recv _ ->
     acc
   | Ast.If (e, a, b) -> guards b (guards a (e :: acc))
   | Ast.While (e, b) -> guards b (e :: acc)
@@ -491,6 +519,8 @@ let suite =
       Alcotest.test_case "wellformed duplicate" `Quick test_wellformed_duplicate;
       Alcotest.test_case "wellformed duplicate cross-kind" `Quick
         test_wellformed_duplicate_cross_kind;
+      Alcotest.test_case "wellformed duplicate channel" `Quick
+        test_wellformed_duplicate_channel;
       Alcotest.test_case "atomicity warning" `Quick test_wellformed_atomicity_warning;
       Alcotest.test_case "atomicity single ref ok" `Quick
         test_wellformed_atomicity_ok_single_ref;

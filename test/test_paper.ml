@@ -41,7 +41,7 @@ let test_all_programs_roundtrip () =
     Paper.all
 
 let test_fig3_vars_complete () =
-  let declared, _arrays, sems = Ifc_lang.Vars.declared Paper.fig3 in
+  let declared, _arrays, sems, _chans = Ifc_lang.Vars.declared Paper.fig3 in
   let all = Ifc_support.Sset.union declared sems in
   List.iter
     (fun v -> check ("declares " ^ v) true (Ifc_support.Sset.mem v all))

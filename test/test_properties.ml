@@ -183,6 +183,41 @@ let arrays_theorems =
         (Cfm.certified b bp.Arb.prog.Ast.body)
         (Invariance.decide b bp.Arb.prog.Ast.body))
 
+let channels_roundtrip =
+  qtest ~count:200 "round trip (channel corpus)"
+    (Arb.program ~cfg:Gen.with_channels ())
+    (fun p ->
+      match Ifc_lang.Parser.parse_program (Ifc_lang.Pretty.program_to_string p) with
+      | Ok p' -> Ast.equal_program p p'
+      | Error _ -> false)
+
+let channels_theorems =
+  qtest ~count:150 "thm 1+2 over the channel corpus"
+    (Arb.bound_program ~cfg:Gen.with_channels two)
+    (fun bp ->
+      let b = Arb.binding_of bp in
+      Bool.equal
+        (Cfm.certified b bp.Arb.prog.Ast.body)
+        (Invariance.decide b bp.Arb.prog.Ast.body))
+
+let channel_shrinks_stay_wellformed =
+  (* The shrinker re-infers declarations, so no shrink may orphan a
+     send/recv: every channel the shrunk body uses stays declared, and
+     the shrunk program stays well-formed outright. *)
+  qtest ~count:100 "shrinks never orphan a channel endpoint"
+    (Arb.program ~cfg:Gen.with_channels ())
+    (fun p ->
+      Seq.fold_left
+        (fun ok p' ->
+          let _, _, _, chans = Ifc_lang.Vars.declared p' in
+          ok
+          && Ifc_lang.Wellformed.is_valid p'
+          && Ifc_support.Sset.subset
+               (Ifc_lang.Vars.channels p'.Ast.body)
+               chans)
+        true
+        (Seq.take 30 (Gen.shrink_program p)))
+
 let theorem1_all_premises =
   (* Theorem 1 promises a proof for EVERY l, g with l (+) g <= mod(S) when
      S is certified; sweep the whole two-point square. *)
@@ -208,6 +243,9 @@ let suite =
       roundtrip;
       arrays_roundtrip;
       arrays_theorems;
+      channels_roundtrip;
+      channels_theorems;
+      channel_shrinks_stay_wellformed;
       theorem1_all_premises;
       wellformed;
       theorems_equivalence;

@@ -421,7 +421,7 @@ let test_incremental_one_line_edit_recomputes_spine_only () =
             | Ast.While (e, body) ->
               { s with Ast.node = Ast.While (e, stmt body) }
             | Ast.Skip | Ast.Assign _ | Ast.Declassify _ | Ast.Store _
-            | Ast.Wait _ | Ast.Signal _ -> s
+            | Ast.Wait _ | Ast.Signal _ | Ast.Send _ | Ast.Recv _ -> s
         in
         let body = stmt p.Ast.body in
         check "edit found an assignment to change" true !changed;
