@@ -888,6 +888,79 @@ let server_bench ~clients ~requests () =
     (try Sys.remove sock with Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* LOAD: sustained pipelined load at high connection counts. The server
+   runs as an [ifc serve] subprocess: its select-based shard loops need
+   every fd below FD_SETSIZE, so it must not share a process with the
+   thousand client sockets the load generator holds. *)
+
+let load_bench ~scenarios () =
+  banner "LOAD: pipelined load against an ifc serve subprocess";
+  let module Conn = Ifc_server.Conn in
+  let module Loadgen = Ifc_server.Loadgen in
+  let ifc =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/ifc.exe"
+  in
+  if not (Sys.file_exists ifc) then
+    Fmt.epr "load bench skipped: %s not built@." ifc
+  else
+    List.iter
+      (fun (clients, window, requests) ->
+        let sock =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ifc-load-%d-%d.sock" (Unix.getpid ()) clients)
+        in
+        (try Sys.remove sock with Sys_error _ -> ());
+        let argv =
+          [|
+            ifc; "serve"; "--socket"; sock; "--quiet"; "--shards"; "2";
+            "--jobs"; "2"; "--max-connections"; string_of_int (clients + 16);
+          |]
+        in
+        let pid =
+          Unix.create_process ifc argv Unix.stdin Unix.stdout Unix.stderr
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid);
+            try Sys.remove sock with Sys_error _ -> ())
+          (fun () ->
+            let cfg =
+              {
+                Loadgen.endpoint = Conn.Unix_socket sock;
+                clients;
+                window;
+                requests;
+                distinct = 32;
+                ops = [ Loadgen.Check ];
+                name = "load";
+                retry_for = 10.;
+              }
+            in
+            let r = Loadgen.run cfg in
+            Fmt.pr
+              "%d clients x %d requests (window %d): %.0f req/s over %.2f s; \
+               p50 %.2f ms, p95 %.2f ms, p99 %.2f ms; ok %d, failed %d, \
+               protocol errors %d, connect errors %d@."
+              clients requests window r.Loadgen.throughput_rps
+              r.Loadgen.duration_s r.Loadgen.p50_ms r.Loadgen.p95_ms
+              r.Loadgen.p99_ms r.Loadgen.ok r.Loadgen.failed
+              r.Loadgen.protocol_errors r.Loadgen.connect_errors;
+            let tag name = Printf.sprintf "c%d_%s" clients name in
+            metric_i "load" (tag "clients") clients;
+            metric_i "load" (tag "window") window;
+            metric_f "load" (tag "certs_per_sec") r.Loadgen.throughput_rps;
+            metric_f "load" (tag "p50_ms") r.Loadgen.p50_ms;
+            metric_f "load" (tag "p95_ms") r.Loadgen.p95_ms;
+            metric_f "load" (tag "p99_ms") r.Loadgen.p99_ms;
+            metric_i "load" (tag "ok") r.Loadgen.ok;
+            metric_i "load" (tag "failed") r.Loadgen.failed;
+            metric_i "load" (tag "protocol_errors") r.Loadgen.protocol_errors;
+            metric_i "load" (tag "connect_errors") r.Loadgen.connect_errors))
+      scenarios
+
+(* ------------------------------------------------------------------ *)
 (* STORE: the persistent artifact store and incremental certification —
    cold (compute + persist) vs warm (summaries replayed from disk) vs
    one-line-edit (only the spine recomputed) certification rates. *)
@@ -1105,7 +1178,7 @@ let () =
     | [] | [ "all" ] ->
       [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling";
         "ni"; "pipeline"; "store"; "fuzz"; "lint"; "chan"; "cert"; "server";
-        "micro" ]
+        "load"; "micro" ]
     | s -> s
   in
   let corpus = if quick then 100 else 400 in
@@ -1133,6 +1206,12 @@ let () =
       server_bench
         ~clients:(if quick then 4 else 8)
         ~requests:(if quick then 25 else 100)
+        ()
+    | "load" ->
+      load_bench
+        ~scenarios:
+          (if quick then [ (64, 4, 20) ]
+           else [ (64, 8, 50); (1000, 4, 10) ])
         ()
     | "micro" -> micro ()
     | other -> Fmt.epr "unknown section %S@." other

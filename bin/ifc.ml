@@ -47,6 +47,8 @@ module Server = Ifc_server.Server
 module Client = Ifc_server.Client
 module Protocol = Ifc_server.Protocol
 module Jsonx = Ifc_server.Jsonx
+module Loadgen = Ifc_server.Loadgen
+module Oracle = Ifc_server.Oracle
 
 open Cmdliner
 
@@ -1239,8 +1241,9 @@ let tcp_arg =
     & info [ "tcp" ] ~docv:"HOST:PORT"
         ~doc:"TCP endpoint (port 0 picks an ephemeral port).")
 
-let run_serve socket tcp jobs cache_size store_dir max_request_bytes
-    max_connections max_pending deadline_ms log_file port_file quiet =
+let run_serve socket tcp jobs shards cache_size store_dir max_request_bytes
+    max_connections max_pending max_inflight deadline_ms log_file port_file
+    quiet =
   let result =
     let endpoints =
       (match socket with Some p -> [ Conn.Unix_socket p ] | None -> [])
@@ -1267,12 +1270,14 @@ let run_serve socket tcp jobs cache_size store_dir max_request_bytes
       {
         Server.endpoints;
         workers = jobs;
+        shards;
         cache_capacity = cache_size;
         limits =
           {
             Limits.max_request_bytes;
             max_connections;
             max_pending;
+            max_inflight;
             default_deadline_ms = deadline_ms;
           };
         log;
@@ -1313,6 +1318,15 @@ let serve_cmd =
       & opt int (max 1 (Domain.recommended_domain_count ()))
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Worker domains (defaults to the recommended domain count).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int (max 1 (Domain.recommended_domain_count ()))
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Connection-shard event loops (defaults to the recommended \
+                domain count). 0 selects the legacy thread-per-connection \
+                engine.")
   in
   let cache_size =
     Arg.(
@@ -1355,6 +1369,15 @@ let serve_cmd =
           ~doc:"Queued jobs tolerated before requests are answered \
                 $(b,overloaded). 0 = unlimited.")
   in
+  let max_inflight =
+    Arg.(
+      value
+      & opt int Limits.default.Limits.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Concurrently executing pipelined (protocol v4) requests per \
+                connection before further ones are answered \
+                $(b,overloaded). 0 = unlimited.")
+  in
   let deadline_ms =
     Arg.(
       value & opt int 0
@@ -1388,9 +1411,9 @@ let serve_cmd =
           (see PROTOCOL.md). SIGINT/SIGTERM drain in-flight requests before \
           exiting.")
     Term.(
-      const run_serve $ socket_arg $ tcp_arg $ jobs $ cache_size $ store_dir
-      $ max_request_bytes $ max_connections $ max_pending $ deadline_ms
-      $ log_file $ port_file $ quiet)
+      const run_serve $ socket_arg $ tcp_arg $ jobs $ shards $ cache_size
+      $ store_dir $ max_request_bytes $ max_connections $ max_pending
+      $ max_inflight $ deadline_ms $ log_file $ port_file $ quiet)
 
 (* Resolve the client's --lattice argument: builtin names pass through,
    file paths are inlined as spec text (the server never opens files on
@@ -1446,8 +1469,9 @@ let run_client socket tcp wait json_out lattice_name binding_file self_check
             and misses = int_of [ "cache"; "misses" ] stats in
             Fmt.pr "cache: %d hits, %d misses, %d entries@." hits misses
               (int_of [ "cache"; "size" ] stats);
-            Fmt.pr "latency: p50 %.2f ms, p99 %.2f ms over %d requests@."
+            Fmt.pr "latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms over %d requests@."
               (float_of_int (int_of [ "latency"; "p50_ns" ] stats) /. 1e6)
+              (float_of_int (int_of [ "latency"; "p95_ns" ] stats) /. 1e6)
               (float_of_int (int_of [ "latency"; "p99_ns" ] stats) /. 1e6)
               (int_of [ "latency"; "count" ] stats)
           end;
@@ -1689,6 +1713,200 @@ let client_cmd =
       $ binding_arg $ self_check_arg $ analyses $ deadline_ms $ op $ files)
 
 (* ------------------------------------------------------------------ *)
+(* loadgen *)
+
+let run_loadgen socket tcp wait json_out clients window requests distinct
+    ops_csv name oracle seed oracle_requests shards =
+  let result =
+    if oracle then begin
+      let* r = Oracle.run ~seed ~requests:oracle_requests ~shards () in
+      if json_out then
+        Fmt.pr "%s@."
+          (Telemetry.json_to_string (Telemetry.Obj (Oracle.report_fields r)))
+      else
+        Fmt.pr "oracle: %d requests replayed, %d divergence(s)@." r.Oracle.compared
+          (List.length r.Oracle.divergences);
+      match r.Oracle.divergences with
+      | [] -> Ok 0
+      | ds ->
+        List.iteri
+          (fun i d ->
+            if i < 5 then begin
+              Fmt.epr "divergence id %d:@." d.Oracle.id;
+              Fmt.epr "  request: %s@." d.Oracle.request;
+              Fmt.epr "  legacy:  %s@." d.Oracle.legacy;
+              Fmt.epr "  sharded: %s@." d.Oracle.sharded
+            end)
+          ds;
+        Ok 2
+    end
+    else
+      let* endpoint =
+        match (socket, tcp) with
+        | Some p, None -> Ok (Conn.Unix_socket p)
+        | None, Some ep -> Ok ep
+        | None, None -> Error "loadgen needs --socket PATH or --tcp HOST:PORT"
+        | Some _, Some _ -> Error "give either --socket or --tcp, not both"
+      in
+      let* ops =
+        String.split_on_char ',' ops_csv
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.fold_left
+             (fun acc name ->
+               let* acc = acc in
+               match Loadgen.op_of_string name with
+               | Some op -> Ok (op :: acc)
+               | None ->
+                 Error
+                   (Fmt.str "unknown op %S (use check, cert, lint, or ping)"
+                      name))
+             (Ok [])
+        |> Result.map List.rev
+      in
+      let cfg =
+        {
+          Loadgen.endpoint;
+          clients;
+          window;
+          requests;
+          distinct;
+          ops;
+          name;
+          retry_for = wait;
+        }
+      in
+      let r = Loadgen.run cfg in
+      if json_out then
+        Fmt.pr "%s@."
+          (Telemetry.json_to_string (Telemetry.Obj (Loadgen.report_fields r)))
+      else begin
+        Fmt.pr "load: %d client(s) x %d request(s), window %d@." r.Loadgen.clients
+          requests r.Loadgen.window;
+        Fmt.pr "ok: %d, failed: %d, protocol errors: %d, connect errors: %d@."
+          r.Loadgen.ok r.Loadgen.failed r.Loadgen.protocol_errors
+          r.Loadgen.connect_errors;
+        Fmt.pr "throughput: %.1f req/s over %.2f s@." r.Loadgen.throughput_rps
+          r.Loadgen.duration_s;
+        Fmt.pr
+          "latency: mean %.2f ms, p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max \
+           %.2f ms@."
+          r.Loadgen.mean_ms r.Loadgen.p50_ms r.Loadgen.p95_ms r.Loadgen.p99_ms
+          r.Loadgen.max_ms;
+        Fmt.pr "codes:%s@."
+          (String.concat ""
+             (List.map
+                (fun (code, n) -> Fmt.str " %s=%d" code n)
+                r.Loadgen.codes))
+      end;
+      if
+        r.Loadgen.protocol_errors > 0
+        || r.Loadgen.connect_errors > 0
+        || r.Loadgen.ok = 0
+      then Ok 2
+      else Ok 0
+  in
+  match result with
+  | Ok code -> code
+  | Error msg ->
+    Fmt.epr "ifc: %s@." msg;
+    1
+
+let loadgen_cmd =
+  let wait =
+    Arg.(
+      value & opt float 5.
+      & info [ "wait" ] ~docv:"SECS"
+          ~doc:"Retry each connection for up to $(docv) seconds.")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the report as one JSON line.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let window =
+    Arg.(
+      value & opt int 8
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Pipelined requests kept in flight per connection (protocol \
+             version 4); 1 degrades to serial request/response.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 50
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per connection.")
+  in
+  let distinct =
+    Arg.(
+      value & opt int 64
+      & info [ "distinct" ] ~docv:"N"
+          ~doc:
+            "Distinct program variants cycled through (the cache-pressure \
+             knob; 1 makes every request after the first a cache hit).")
+  in
+  let ops =
+    Arg.(
+      value & opt string "check"
+      & info [ "ops" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated request mix, cycled: $(b,check), $(b,cert), \
+             $(b,lint), $(b,ping).")
+  in
+  let name_arg =
+    Arg.(
+      value & opt string "load"
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:
+            "Request name attached to every job (a $(b,stall)-prefixed name \
+             trips the server's IFC_SERVE_PLANT_STALL hook).")
+  in
+  let oracle =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:
+            "Run the differential server oracle instead of a load: replay \
+             one seeded stream against the legacy and sharded engines \
+             (booted in-process; no --socket/--tcp needed) and demand \
+             identical responses. Exit code 2 on divergence.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Oracle stream seed.")
+  in
+  let oracle_requests =
+    Arg.(
+      value & opt int 500
+      & info [ "oracle-requests" ] ~docv:"N"
+          ~doc:"Oracle stream length.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Shard count for the oracle's sharded server.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running certification daemon with concurrent pipelined \
+          clients and report throughput and latency percentiles — or, with \
+          $(b,--oracle), differentially test the two connection engines \
+          against each other. Exit code 2 on protocol errors, zero \
+          successful responses, or oracle divergence.")
+    Term.(
+      const run_loadgen $ socket_arg $ tcp_arg $ wait $ json_out $ clients
+      $ window $ requests $ distinct $ ops $ name_arg $ oracle $ seed
+      $ oracle_requests $ shards)
+
+(* ------------------------------------------------------------------ *)
 (* lattice / gen / rules *)
 
 let run_lattice lattice_name dot =
@@ -1913,6 +2131,7 @@ let main_cmd =
       fuzz_cmd;
       serve_cmd;
       client_cmd;
+      loadgen_cmd;
       store_cmd;
       lattice_cmd;
       gen_cmd;

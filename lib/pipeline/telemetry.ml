@@ -239,6 +239,7 @@ let quantile_ns h q =
 let histogram_fields h =
   let p50 = quantile_ns h 0.50
   and p90 = quantile_ns h 0.90
+  and p95 = quantile_ns h 0.95
   and p99 = quantile_ns h 0.99 in
   with_lock h.h_mutex (fun () ->
       let mean =
@@ -250,6 +251,7 @@ let histogram_fields h =
         ("mean_ns", Float mean);
         ("p50_ns", Int (Int64.to_int p50));
         ("p90_ns", Int (Int64.to_int p90));
+        ("p95_ns", Int (Int64.to_int p95));
         ("p99_ns", Int (Int64.to_int p99));
         ("max_ns", Int (Int64.to_int h.h_max));
       ])

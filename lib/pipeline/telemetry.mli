@@ -102,6 +102,14 @@ type histogram
 
 val histogram : unit -> histogram
 
+val bucket_count : int
+(** Number of buckets, overflow included. *)
+
+val bucket_upper_ns : int -> int64
+(** [bucket_upper_ns i] is the inclusive upper bound of bucket [i],
+    i.e. [1024 * 2^i] ns. The last bucket ([bucket_count - 1]) is an
+    overflow whose quantiles report the maximum observation instead. *)
+
 val observe : histogram -> int64 -> unit
 (** Record one duration in nanoseconds (negative values clamp to 0). *)
 
@@ -111,5 +119,5 @@ val quantile_ns : histogram -> float -> int64
 (** [quantile_ns h q] for [q] in [[0, 1]]; [0L] when empty. *)
 
 val histogram_fields : histogram -> (string * json) list
-(** [count], [mean_ns], [p50_ns], [p90_ns], [p99_ns], [max_ns] — ready
-    to embed in a stats response or JSONL event. *)
+(** [count], [mean_ns], [p50_ns], [p90_ns], [p95_ns], [p99_ns],
+    [max_ns] — ready to embed in a stats response or JSONL event. *)

@@ -35,18 +35,26 @@ let connect ?(retry_for = 0.) endpoint =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+let fd t = t.fd
+
+let reader t = t.reader
+
 let request t line =
-  if not (Conn.write_line t.fd line) then
-    Error "connection closed while sending the request"
-  else
-    match Conn.next_line t.reader with
-    | `Line l -> (
-      match Jsonx.parse l with
-      | Ok json -> Ok json
-      | Error msg -> Error ("malformed response: " ^ msg))
-    | `Eof -> Error "connection closed by the server"
-    | `Oversized -> Error "response exceeded the reader limit"
-    | `Stop -> Error "read interrupted"
+  (* Read even when the write fails: a server refusing the connection
+     (overloaded) answers and closes before reading our request, and
+     that response is still buffered on our side of the socket. *)
+  let wrote = Conn.write_line t.fd line in
+  match Conn.next_line t.reader with
+  | `Line l -> (
+    match Jsonx.parse l with
+    | Ok json -> Ok json
+    | Error msg -> Error ("malformed response: " ^ msg))
+  | `Eof ->
+    Error
+      (if wrote then "connection closed by the server"
+       else "connection closed while sending the request")
+  | `Oversized -> Error "response exceeded the reader limit"
+  | `Stop -> Error "read interrupted"
 
 let check t ?id ?name ?lattice ?binding ?analyses ?self_check ?ni_pairs
     ?ni_max_states ?deadline_ms program =

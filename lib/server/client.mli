@@ -15,6 +15,14 @@ val connect : ?retry_for:float -> Conn.endpoint -> (t, string) result
 
 val close : t -> unit
 
+val fd : t -> Unix.file_descr
+(** The raw socket, for callers that pipeline their own writes
+    (see {!Loadgen}). Mixing raw writes with {!request} on the same
+    connection is the caller's responsibility. *)
+
+val reader : t -> Conn.reader
+(** The connection's buffered line reader, paired with {!fd}. *)
+
 val request : t -> string -> (Ifc_pipeline.Telemetry.json, string) result
 (** [request t line] is the raw round-trip: send [line], parse the
     response line. [Error] means transport or JSON failure; protocol

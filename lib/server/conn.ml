@@ -114,6 +114,31 @@ let rec next_line ?(poll_interval = 0.2) ?(should_stop = fun () -> false) r =
       next_line ~poll_interval ~should_stop r
     end
 
+(* Nonblocking half of the reader, for event loops that multiplex many
+   connections on one select: one read attempt feeding the splitter,
+   and a non-consuming-wait item pop. The fd must already be in
+   nonblocking mode. *)
+
+let feed_fd r =
+  if r.eof then `Eof
+  else
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | 0 ->
+      r.eof <- true;
+      `Eof
+    | n ->
+      feed r n;
+      `Read
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> `Blocked
+    | exception Unix.Unix_error _ ->
+      r.eof <- true;
+      `Eof
+
+let pop_item r = Queue.take_opt r.pending
+
+let at_eof r = r.eof
+
 (* ------------------------------------------------------------------ *)
 (* Writing *)
 

@@ -42,6 +42,19 @@ val next_line :
     full line is available, the peer closes, or [should_stop] answers
     [true] between polls. *)
 
+val feed_fd : reader -> [ `Read | `Eof | `Blocked ]
+(** Nonblocking half of the reader, for event loops: one [read] attempt
+    on the fd (which must be in nonblocking mode), feeding any bytes to
+    the line splitter. [`Read] means progress was made and more may be
+    pending; [`Blocked] means the socket has nothing right now; [`Eof]
+    is sticky (peer closed or errored). Buffered items survive [`Eof] —
+    drain them with {!pop_item}. *)
+
+val pop_item : reader -> item option
+(** Takes the next buffered item without touching the socket. *)
+
+val at_eof : reader -> bool
+
 (** {1 Writing} *)
 
 val write_line : Unix.file_descr -> string -> bool

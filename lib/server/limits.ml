@@ -4,6 +4,7 @@ type t = {
   max_request_bytes : int;
   max_connections : int;
   max_pending : int;
+  max_inflight : int;
   default_deadline_ms : int;
 }
 
@@ -12,6 +13,7 @@ let default =
     max_request_bytes = 1 lsl 20;
     max_connections = 64;
     max_pending = 1024;
+    max_inflight = 32;
     default_deadline_ms = 0;
   }
 

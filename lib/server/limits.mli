@@ -12,13 +12,19 @@ type t = {
       (** Queued-but-unstarted jobs tolerated before a request is
           answered [overloaded] instead of being enqueued. [0] means
           unlimited. *)
+  max_inflight : int;
+      (** Concurrently executing pipelined (protocol v4) requests
+          tolerated per connection before further pipelined requests
+          are answered [overloaded] immediately — earlier in-flight
+          requests still complete. [0] means unlimited. *)
   default_deadline_ms : int;
       (** Deadline applied to requests that carry none. [0] means no
           deadline. *)
 }
 
 val default : t
-(** 1 MiB requests, 64 connections, 1024 pending jobs, no deadline. *)
+(** 1 MiB requests, 64 connections, 1024 pending jobs, 32 in-flight
+    pipelined requests per connection, no deadline. *)
 
 (** {1 Gauge}
 

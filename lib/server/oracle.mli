@@ -1,0 +1,42 @@
+(** Differential server oracle.
+
+    Replays one seeded request stream against both connection engines —
+    serially against the legacy thread-per-connection engine
+    ([shards = 0]) and pipelined against the sharded engine — and
+    demands byte-identical responses per correlation id after stripping
+    the two legitimately nondeterministic fields ([duration_ns] timing
+    and [cache] disposition, which concurrent identical requests may
+    race). A nonempty divergence list is a bug in one engine. *)
+
+type divergence = {
+  id : int;  (** Correlation id of the diverging request. *)
+  request : string;  (** The request line as sent. *)
+  legacy : string;  (** Canonicalised legacy-engine response. *)
+  sharded : string;  (** Canonicalised sharded-engine response. *)
+}
+
+type result_t = {
+  requests : int;
+  compared : int;
+  divergences : divergence list;  (** Empty means the engines agree. *)
+}
+
+val gen_stream : seed:int -> requests:int -> (int * string) list
+(** The deterministic stream: [(id, request line)] pairs mixing checks
+    (clean and leaky), cert emissions, lints, pings, and envelope
+    errors. Same seed, same stream — forever. *)
+
+val run :
+  ?seed:int ->
+  ?requests:int ->
+  ?shards:int ->
+  ?workers:int ->
+  unit ->
+  (result_t, string) result
+(** [run ()] boots both servers in-process on temporary Unix sockets,
+    replays, compares, and tears down. Defaults: seed 42, 500 requests,
+    2 shards, 2 workers. [Error] means a replay itself broke (transport
+    failure), which is just as damning as a divergence. *)
+
+val report_fields : result_t -> (string * Ifc_pipeline.Telemetry.json) list
+(** JSON summary: counts plus the first five divergences in full. *)

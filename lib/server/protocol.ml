@@ -2,11 +2,13 @@
 
 module J = Ifc_pipeline.Telemetry
 
-(* Version 2 added the cert op; version 3 the lint op. Older requests
-   remain valid and get byte-identical older responses: responses echo
-   the request's declared version, and no pre-existing op's envelope
-   changed shape. *)
-let version = 3
+(* Version 2 added the cert op; version 3 the lint op; version 4 added
+   no ops at all — it is a transport upgrade: a connection that declares
+   v=4 may pipeline many requests and must correlate responses by [id],
+   because they may come back out of order. Older requests remain valid
+   and get byte-identical older responses: responses echo the request's
+   declared version, and no pre-existing op's envelope changed shape. *)
+let version = 4
 let min_version = 1
 
 (* ------------------------------------------------------------------ *)
@@ -69,7 +71,16 @@ type op =
   | Stats
   | Ping
 
-type parsed = { v : int; id : J.json; op : (op, error_code * string) result }
+(* [pipelined] is true only when the request successfully declared
+   version 4: those responses may be reordered, everything else —
+   including unparseable lines, which declared nothing — keeps the
+   strict request-order guarantee of versions 1–3. *)
+type parsed = {
+  v : int;
+  id : J.json;
+  pipelined : bool;
+  op : (op, error_code * string) result;
+}
 
 let parse_check json =
   match Jsonx.mem_string "program" json with
@@ -194,7 +205,12 @@ let parse_lint json =
 let parse_request line =
   match Jsonx.parse line with
   | Error msg ->
-    { v = version; id = J.Null; op = Error (Parse_error, "invalid JSON: " ^ msg) }
+    {
+      v = version;
+      id = J.Null;
+      pipelined = false;
+      op = Error (Parse_error, "invalid JSON: " ^ msg);
+    }
   | Ok (J.Obj _ as json) -> (
     let id = Option.value ~default:J.Null (Jsonx.member "id" json) in
     match Jsonx.member "v" json with
@@ -202,56 +218,46 @@ let parse_request line =
       {
         v = version;
         id;
+        pipelined = false;
         op = Error (Bad_version, "missing \"v\" (protocol version) field");
       }
     | Some v -> (
       match Jsonx.int_opt v with
       | Some n when n >= min_version && n <= version -> (
+        let mk op = { v = n; id; pipelined = n >= 4; op } in
         match Jsonx.mem_string "op" json with
-        | None ->
-          { v = n; id; op = Error (Bad_request, "missing string \"op\" field") }
-        | Some "ping" -> { v = n; id; op = Ok Ping }
-        | Some "stats" -> { v = n; id; op = Ok Stats }
-        | Some "check" -> { v = n; id; op = parse_check json }
-        | Some "cert" when n >= 2 -> { v = n; id; op = parse_cert json }
+        | None -> mk (Error (Bad_request, "missing string \"op\" field"))
+        | Some "ping" -> mk (Ok Ping)
+        | Some "stats" -> mk (Ok Stats)
+        | Some "check" -> mk (parse_check json)
+        | Some "cert" when n >= 2 -> mk (parse_cert json)
         | Some "cert" ->
-          {
-            v = n;
-            id;
-            op =
-              Error
-                ( Bad_request,
-                  "op \"cert\" requires protocol version 2 (request declared 1)"
-                );
-          }
-        | Some "lint" when n >= 3 -> { v = n; id; op = parse_lint json }
+          mk
+            (Error
+               ( Bad_request,
+                 "op \"cert\" requires protocol version 2 (request declared 1)"
+               ))
+        | Some "lint" when n >= 3 -> mk (parse_lint json)
         | Some "lint" ->
-          {
-            v = n;
-            id;
-            op =
-              Error
-                ( Bad_request,
-                  Printf.sprintf
-                    "op \"lint\" requires protocol version 3 (request declared \
-                     %d)"
-                    n );
-          }
+          mk
+            (Error
+               ( Bad_request,
+                 Printf.sprintf
+                   "op \"lint\" requires protocol version 3 (request declared \
+                    %d)"
+                   n ))
         | Some other ->
-          {
-            v = n;
-            id;
-            op =
-              Error
-                ( Bad_request,
-                  Printf.sprintf
-                    "unknown op %S (use check, cert, lint, stats, or ping)"
-                    other );
-          })
+          mk
+            (Error
+               ( Bad_request,
+                 Printf.sprintf
+                   "unknown op %S (use check, cert, lint, stats, or ping)"
+                   other )))
       | _ ->
         {
           v = version;
           id;
+          pipelined = false;
           op =
             Error
               ( Bad_version,
@@ -263,8 +269,21 @@ let parse_request line =
     {
       v = version;
       id = J.Null;
+      pipelined = false;
       op = Error (Parse_error, "request must be a JSON object");
     }
+
+(* Cheap routing pre-scan for event loops: does this line declare
+   protocol version 4? Only such lines may be dispatched out of order;
+   everything else (older versions, garbage, missing [v]) must flow
+   through the serial, order-preserving path. *)
+let pipelined_line line =
+  match Jsonx.parse line with
+  | Ok (J.Obj _ as json) -> (
+    match Option.bind (Jsonx.member "v" json) Jsonx.int_opt with
+    | Some n -> n >= 4 && n <= version
+    | None -> false)
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)

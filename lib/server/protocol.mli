@@ -1,15 +1,18 @@
 (** The wire protocol of the certification daemon: versioned
     newline-delimited JSON, one request object per line, one response
-    object per line, in order. PROTOCOL.md is the user-facing
-    specification; this module is its implementation. *)
+    object per line. Versions 1–3 answer in request order; version 4
+    adds pipelining, where responses correlate by [id] and may arrive
+    out of order. PROTOCOL.md is the user-facing specification; this
+    module is its implementation. *)
 
 val version : int
-(** [3]. The newest protocol version this server speaks. Requests carry
+(** [4]. The newest protocol version this server speaks. Requests carry
     [{"v": n}] with [min_version <= n <= version]; every response echoes
     the request's declared version, and no pre-existing op's envelope
     changed shape across versions, so older clients see exactly their
     version's wire format. Version 2 added the [cert] op; version 3 the
-    [lint] op. *)
+    [lint] op; version 4 added no ops — it grants the server permission
+    to answer that request out of order (pipelining). *)
 
 val min_version : int
 (** [1]. The oldest protocol version still accepted. *)
@@ -77,6 +80,11 @@ type parsed = {
       (** The request's declared protocol version when it is one the
           server accepts; [version] otherwise. Responses echo it. *)
   id : Ifc_pipeline.Telemetry.json;
+  pipelined : bool;
+      (** True only when the request successfully declared version 4 or
+          newer: its response may be reordered relative to neighbours.
+          Always false for requests that failed version negotiation —
+          they keep the strict ordering of versions 1–3. *)
   op : (op, error_code * string) result;
 }
 (** The request id is recovered even from requests that fail to parse
@@ -85,6 +93,12 @@ type parsed = {
     version with a newer op is a [Bad_request]. *)
 
 val parse_request : string -> parsed
+
+val pipelined_line : string -> bool
+(** Cheap routing pre-scan: does this raw line declare an accepted
+    version >= 4? Event loops use this to decide — before full
+    classification — whether a request may be dispatched out of order.
+    Agrees with [(parse_request line).pipelined]. *)
 
 (** {1 Responses} *)
 

@@ -31,6 +31,7 @@ module Binding = Ifc_core.Binding
 type config = {
   endpoints : Conn.endpoint list;
   workers : int;
+  shards : int;
   cache_capacity : int;
   limits : Limits.t;
   log : J.sink option;
@@ -41,6 +42,7 @@ let default_config =
   {
     endpoints = [];
     workers = 1;
+    shards = max 1 (Domain.recommended_domain_count ());
     cache_capacity = 4096;
     limits = Limits.default;
     log = None;
@@ -64,6 +66,8 @@ type t = {
   finished : (int, unit) Hashtbl.t;
   conn_seq : int Atomic.t;
   log : J.sink;
+  stall_ms : int;
+  mutable shard_rts : Shard.t list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -82,7 +86,9 @@ let bind_endpoint ep =
         if Sys.file_exists path then Unix.unlink path
       | Conn.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
       Unix.bind fd addr;
-      Unix.listen fd 64;
+      (* A deep backlog: under load tests thousands of clients connect
+         in a burst before the acceptor gets scheduled. *)
+      Unix.listen fd 1024;
       Ok fd
     with
     | Unix.Unix_error (err, _, _) ->
@@ -96,6 +102,7 @@ let bind_endpoint ep =
 let create config =
   if config.endpoints = [] then Error "server needs at least one endpoint"
   else if config.workers < 1 then Error "server needs at least one worker"
+  else if config.shards < 0 then Error "server needs a non-negative shard count"
   else begin
     (* A dead client must surface as EPIPE on write, not kill the
        process. *)
@@ -123,11 +130,27 @@ let create config =
             | Conn.Unix_socket _ -> None)
           listeners
       in
+      (* Deterministic fault injection for the adversarial tests: when
+         IFC_SERVE_PLANT_STALL carries a number of milliseconds, any
+         pooled job whose request name starts with "stall" sleeps that
+         long on its worker before running (and re-checks cancellation
+         after the sleep), making deadline and backpressure behavior
+         reproducible without a slow program. *)
+      let stall_ms =
+        match Sys.getenv_opt "IFC_SERVE_PLANT_STALL" with
+        | Some s -> ( match int_of_string_opt (String.trim s) with
+          | Some ms when ms > 0 -> ms
+          | _ -> 0)
+        | None -> 0
+      in
       let t =
         {
           config;
           pool = Pool.create ~workers:config.workers ();
-          cache = Cache.create ~capacity:config.cache_capacity ();
+          cache =
+            Cache.create
+              ~shards:(max 1 config.shards)
+              ~capacity:config.cache_capacity ();
           counters = J.counters ();
           latency = J.histogram ();
           started = J.start ();
@@ -141,6 +164,8 @@ let create config =
           finished = Hashtbl.create 16;
           conn_seq = Atomic.make 0;
           log = Option.value ~default:(J.null_sink ()) config.log;
+          stall_ms;
+          shard_rts = [];
         }
       in
       (* Warm start: resurrect the previous session's hot set so a
@@ -235,57 +260,62 @@ let check_fields (r : Job.result) =
   ]
   @ tail
 
-(* Await a pool-executed job with a deadline. The slot is an atomic
-   written once by the worker; polling (1 ms) instead of a condition
-   variable keeps the deadline honest even while the job is running. *)
-let await_result t slot cancelled deadline_ms =
-  let deadline_ns =
-    Option.map
-      (fun ms -> Int64.add (J.now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L))
-      deadline_ms
+(* Accounting that must run exactly once per request, at the moment its
+   response is final: the latency observation and the request-log
+   event. Immediate responses finalize during classification; pooled
+   responses finalize on the worker (completion), in the timeout
+   closure (deadline), or in the refusal closure (backpressure) —
+   whichever renders the response. *)
+let finalize t ~timer ~op_name ~name outcome response =
+  let duration_ns = J.elapsed_ns timer in
+  J.observe t.latency duration_ns;
+  let log_fields =
+    [ ("event", J.String "request"); ("op", J.String op_name) ]
+    @ (match name with Some n -> [ ("name", J.String n) ] | None -> [])
+    @ (match outcome with
+      | `Ok -> [ ("ok", J.Bool true) ]
+      | `Error code -> [ ("ok", J.Bool false); ("code", J.String code) ]
+      | `Verdict r ->
+        [
+          ("ok", J.Bool true);
+          ("verdict", J.String (Job.verdict_string r));
+          ("cache", J.String (if r.Job.from_cache then "hit" else "miss"));
+        ])
+    @ [ ("duration_ns", J.Int (Int64.to_int duration_ns)) ]
   in
-  let rec wait () =
-    match Atomic.get slot with
-    | Some r -> Ok r
-    | None ->
-      let expired =
-        match deadline_ns with
-        | Some d -> Int64.compare (J.now_ns ()) d > 0
-        | None -> false
-      in
-      if expired then begin
-        Atomic.set cancelled true;
-        Error ()
-      end
-      else begin
-        Thread.delay 0.001;
-        wait ()
-      end
-  in
-  ignore t;
-  wait ()
+  J.emit t.log log_fields;
+  response
 
-(* Run one job spec through the shared cache and worker pool, honouring
-   the request deadline. [fields] renders the success response body;
-   check and cert/emit share this path (and therefore cache entries are
-   keyed per-analysis-set: a check job and a cert job for the same
-   program have distinct digests). *)
-let exec_job t ~v id ~op_name ~fields ~job_name ~deadline spec =
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Classify one job spec against the shared cache and worker pool.
+   Cache hits, store hits, and refusals answer immediately; a miss
+   becomes a pooled job the connection engine races against its
+   deadline. [fields] renders the success response body; check and
+   cert/emit share this path (and therefore cache entries are keyed
+   per-analysis-set: a check job and a cert job for the same program
+   have distinct digests). *)
+let classify_job t ~timer ~v id ~op_name ~fields ~job_name ~deadline spec =
   let digest = Job.digest spec in
+  let name = Some job_name in
   let respond_result r =
-    (Protocol.ok_response ~v ~id ~op:op_name (fields r), `Verdict r)
+    let response = Protocol.ok_response ~v ~id ~op:op_name (fields r) in
+    finalize t ~timer ~op_name ~name (`Verdict r) response
   in
   let respond_cached cached =
-    let timer = J.start () in
-    respond_result
-      {
-        Job.job_id = 0;
-        job_name;
-        job_digest = digest;
-        outcome = Ok cached;
-        duration_ns = J.elapsed_ns timer;
-        from_cache = true;
-      }
+    let cache_timer = J.start () in
+    Dispatch.Immediate
+      (respond_result
+         {
+           Job.job_id = 0;
+           job_name;
+           job_digest = digest;
+           outcome = Ok cached;
+           duration_ns = J.elapsed_ns cache_timer;
+           from_cache = true;
+         })
   in
   (* Memory first, then the persistent tier (validated on read; a disk
      hit is promoted so the next request hits memory), then compute. *)
@@ -313,53 +343,88 @@ let exec_job t ~v id ~op_name ~fields ~job_name ~deadline spec =
     then begin
       J.incr t.counters "errors";
       J.incr t.counters "error.overloaded";
-      ( Protocol.error_response ~v ~id Protocol.Overloaded
-          (Printf.sprintf "certification queue is full (%d pending jobs)"
-             limits.Limits.max_pending),
-        `Error "overloaded" )
+      Dispatch.Immediate
+        (finalize t ~timer ~op_name ~name (`Error "overloaded")
+           (Protocol.error_response ~v ~id Protocol.Overloaded
+              (Printf.sprintf "certification queue is full (%d pending jobs)"
+                 limits.Limits.max_pending)))
     end
     else begin
-      let slot = Atomic.make None and cancelled = Atomic.make false in
-      let task () =
-        if Atomic.get cancelled then J.incr t.counters "jobs.cancelled"
-        else begin
-          let r = Job.run ~digest spec in
-          (match r.Job.outcome with
-          | Ok analyses ->
-            Cache.add t.cache digest analyses;
-            (match t.config.store with
-            | Some tier -> tier.Tier.store ~digest analyses
-            | None -> ())
-          | Error _ -> ());
-          Atomic.set slot (Some r)
-        end
+      let deadline_ms =
+        match deadline with
+        | Some ms -> Some ms
+        | None ->
+          if limits.Limits.default_deadline_ms > 0 then
+            Some limits.Limits.default_deadline_ms
+          else None
       in
-      match Pool.submit t.pool task with
-      | exception Invalid_argument _ ->
-        (* The pool is already draining; refuse politely. *)
-        J.incr t.counters "errors";
-        J.incr t.counters "error.overloaded";
-        ( Protocol.error_response ~v ~id Protocol.Overloaded
-            "server is shutting down",
-          `Error "overloaded" )
-      | () -> (
-        let deadline_ms =
-          match deadline with
-          | Some ms -> Some ms
-          | None ->
-            if limits.Limits.default_deadline_ms > 0 then
-              Some limits.Limits.default_deadline_ms
-            else None
+      let deadline_ns =
+        Option.map
+          (fun ms ->
+            Int64.add (J.now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L))
+          deadline_ms
+      in
+      let cancelled = Atomic.make false in
+      (* First of {completion, timeout} wins the right to render and
+         account the response; the loser stands down. *)
+      let finalized = Atomic.make false in
+      let submit ~complete =
+        let task () =
+          if Atomic.get cancelled then J.incr t.counters "jobs.cancelled"
+          else begin
+            if t.stall_ms > 0 && has_prefix ~prefix:"stall" job_name then
+              Unix.sleepf (float_of_int t.stall_ms /. 1000.);
+            if Atomic.get cancelled then J.incr t.counters "jobs.cancelled"
+            else begin
+              let r = Job.run ~digest spec in
+              (match r.Job.outcome with
+              | Ok analyses ->
+                Cache.add t.cache digest analyses;
+                (match t.config.store with
+                | Some tier -> tier.Tier.store ~digest analyses
+                | None -> ())
+              | Error _ -> ());
+              if Atomic.compare_and_set finalized false true then
+                complete (respond_result r)
+            end
+          end
         in
-        match await_result t slot cancelled deadline_ms with
-        | Ok r -> respond_result r
-        | Error () ->
+        match Pool.submit t.pool task with
+        | () -> ()
+        | exception Invalid_argument _ ->
+          (* The pool is already draining; refuse politely. *)
+          if Atomic.compare_and_set finalized false true then begin
+            J.incr t.counters "errors";
+            J.incr t.counters "error.overloaded";
+            complete
+              (finalize t ~timer ~op_name ~name (`Error "overloaded")
+                 (Protocol.error_response ~v ~id Protocol.Overloaded
+                    "server is shutting down"))
+          end
+      in
+      let timeout () =
+        Atomic.set cancelled true;
+        if Atomic.compare_and_set finalized false true then begin
           J.incr t.counters "errors";
           J.incr t.counters "error.timeout";
-          ( Protocol.error_response ~v ~id Protocol.Timeout
-              (Printf.sprintf "request exceeded its %d ms deadline"
-                 (Option.value ~default:0 deadline_ms)),
-            `Error "timeout" ))
+          Some
+            (finalize t ~timer ~op_name ~name (`Error "timeout")
+               (Protocol.error_response ~v ~id Protocol.Timeout
+                  (Printf.sprintf "request exceeded its %d ms deadline"
+                     (Option.value ~default:0 deadline_ms))))
+        end
+        else None
+      in
+      let refuse_inflight () =
+        J.incr t.counters "errors";
+        J.incr t.counters "error.overloaded";
+        finalize t ~timer ~op_name ~name (`Error "overloaded")
+          (Protocol.error_response ~v ~id Protocol.Overloaded
+             (Printf.sprintf "connection is at its %d in-flight request limit"
+                limits.Limits.max_inflight))
+      in
+      Dispatch.Pooled
+        { Dispatch.deadline_ns; cancelled; submit; timeout; refuse_inflight }
     end
 
 (* Lint responses are check responses with the findings report spliced
@@ -379,41 +444,39 @@ let lint_fields (r : Job.result) =
   in
   check_fields r @ report
 
-let exec_lint t ~v id (req : Protocol.lint_request) =
+let bad_request t ~timer ~v id ~op_name ~name msg =
+  J.incr t.counters "errors";
+  J.incr t.counters "error.bad_request";
+  Dispatch.Immediate
+    (finalize t ~timer ~op_name ~name (`Error "bad_request")
+       (Protocol.error_response ~v ~id Protocol.Bad_request msg))
+
+let classify_lint t ~timer ~v id (req : Protocol.lint_request) =
+  let name = Some req.Protocol.lint_name in
   match parse_program_text req.Protocol.lint_program with
-  | Error msg ->
-    J.incr t.counters "errors";
-    J.incr t.counters "error.bad_request";
-    ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
-      `Error "bad_request" )
+  | Error msg -> bad_request t ~timer ~v id ~op_name:"lint" ~name msg
   | Ok program -> (
     (* Lint only reads the program; the spec's lattice and binding are
        fixed placeholders so equal programs share a cache entry. *)
     let lat = Lattice.stringify Chain.two in
     match Binding.of_program lat program with
-    | Error msg ->
-      J.incr t.counters "errors";
-      J.incr t.counters "error.bad_request";
-      ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
-        `Error "bad_request" )
+    | Error msg -> bad_request t ~timer ~v id ~op_name:"lint" ~name msg
     | Ok binding ->
       let spec =
         Job.make ~id:0 ~name:req.Protocol.lint_name ~lattice:lat ~binding
           ~analyses:[ Job.Lint ] program
       in
-      exec_job t ~v id ~op_name:"lint" ~fields:lint_fields
+      classify_job t ~timer ~v id ~op_name:"lint" ~fields:lint_fields
         ~job_name:req.Protocol.lint_name
         ~deadline:req.Protocol.lint_deadline_ms spec)
 
-let exec_check t ~v id (req : Protocol.check_request) =
+let classify_check t ~timer ~v id (req : Protocol.check_request) =
   match build_spec req with
   | Error msg ->
-    J.incr t.counters "errors";
-    J.incr t.counters "error.bad_request";
-    ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
-      `Error "bad_request" )
+    bad_request t ~timer ~v id ~op_name:"check"
+      ~name:(Some req.Protocol.name) msg
   | Ok spec ->
-    exec_job t ~v id ~op_name:"check" ~fields:check_fields
+    classify_job t ~timer ~v id ~op_name:"check" ~fields:check_fields
       ~job_name:req.Protocol.name ~deadline:req.Protocol.deadline_ms spec
 
 (* cert/emit responses are check responses plus the certificate text
@@ -432,7 +495,8 @@ let cert_emit_fields (r : Job.result) =
   in
   (("action", J.String "emit") :: check_fields r) @ cert
 
-let exec_cert t ~v id (req : Protocol.cert_request) =
+let classify_cert t ~timer ~v id (req : Protocol.cert_request) =
+  let name = Some req.Protocol.cert_name in
   match req.Protocol.action with
   | Protocol.Cert_emit -> (
     let ( let* ) = Result.bind in
@@ -449,59 +513,51 @@ let exec_cert t ~v id (req : Protocol.cert_request) =
            ~analyses:[ Job.Cert ] program)
     in
     match spec with
-    | Error msg ->
-      J.incr t.counters "errors";
-      J.incr t.counters "error.bad_request";
-      ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
-        `Error "bad_request" )
+    | Error msg -> bad_request t ~timer ~v id ~op_name:"cert" ~name msg
     | Ok spec ->
-      exec_job t ~v id ~op_name:"cert" ~fields:cert_emit_fields
+      classify_job t ~timer ~v id ~op_name:"cert" ~fields:cert_emit_fields
         ~job_name:req.Protocol.cert_name ~deadline:req.Protocol.cert_deadline_ms
         spec)
   | Protocol.Cert_check cert_text -> (
-    (* Validation runs inline on the connection thread: the trusted
+    (* Validation runs inline on the classifying thread: the trusted
        checker is cheap (no proof construction) and carries no cacheable
        artifact. *)
     match parse_program_text req.Protocol.cert_program with
-    | Error msg ->
-      J.incr t.counters "errors";
-      J.incr t.counters "error.bad_request";
-      ( Protocol.error_response ~v ~id Protocol.Bad_request msg,
-        `Error "bad_request" )
+    | Error msg -> bad_request t ~timer ~v id ~op_name:"cert" ~name msg
     | Ok program -> (
       match Ifc_cert.Cert.parse cert_text with
       | Error e ->
-        J.incr t.counters "errors";
-        J.incr t.counters "error.bad_request";
-        ( Protocol.error_response ~v ~id Protocol.Bad_request
-            (Fmt.str "certificate: %a" Ifc_cert.Cert.pp_parse_error e),
-          `Error "bad_request" )
+        bad_request t ~timer ~v id ~op_name:"cert" ~name
+          (Fmt.str "certificate: %a" Ifc_cert.Cert.pp_parse_error e)
       | Ok cert -> (
+        let ok fields =
+          Dispatch.Immediate
+            (finalize t ~timer ~op_name:"cert" ~name `Ok
+               (Protocol.ok_response ~v ~id ~op:"cert" fields))
+        in
         match Ifc_cert.Checker.check cert program with
         | Ok () ->
-          ( Protocol.ok_response ~v ~id ~op:"cert"
-              [
-                ("action", J.String "check");
-                ("valid", J.Bool true);
-                ("nodes", J.Int (Ifc_cert.Cert.node_count cert));
-              ],
-            `Ok )
+          ok
+            [
+              ("action", J.String "check");
+              ("valid", J.Bool true);
+              ("nodes", J.Int (Ifc_cert.Cert.node_count cert));
+            ]
         | Error failures ->
           let first = List.hd failures in
-          ( Protocol.ok_response ~v ~id ~op:"cert"
-              [
-                ("action", J.String "check");
-                ("valid", J.Bool false);
-                ("failures", J.Int (List.length failures));
-                ( "first",
-                  J.Obj
-                    [
-                      ("path", J.String first.Ifc_cert.Checker.path);
-                      ("rule", J.String first.Ifc_cert.Checker.rule);
-                      ("reason", J.String first.Ifc_cert.Checker.reason);
-                    ] );
-              ],
-            `Ok ))))
+          ok
+            [
+              ("action", J.String "check");
+              ("valid", J.Bool false);
+              ("failures", J.Int (List.length failures));
+              ( "first",
+                J.Obj
+                  [
+                    ("path", J.String first.Ifc_cert.Checker.path);
+                    ("rule", J.String first.Ifc_cert.Checker.rule);
+                    ("reason", J.String first.Ifc_cert.Checker.reason);
+                  ] );
+            ])))
 
 let stats_fields t =
   let cache_stats = Cache.stats t.cache in
@@ -511,6 +567,7 @@ let stats_fields t =
         ([
           ("uptime_ns", J.Int (Int64.to_int (J.elapsed_ns t.started)));
           ("workers", J.Int (Pool.workers t.pool));
+          ("conn_shards", J.Int t.config.shards);
           ("pending_jobs", J.Int (Pool.pending t.pool));
           ("active_connections", J.Int (Limits.value t.conns));
           ("peak_connections", J.Int (Limits.peak t.conns));
@@ -539,69 +596,82 @@ let stats_fields t =
           [ ("store", J.Obj (Tier.stats_fields (tier.Tier.stats ()))) ]) );
   ]
 
-(* One request item in, one response line out. *)
-let handle t item =
+(* One request item in, one action out: either the finished (and fully
+   accounted) response line, or a pooled job for the connection engine
+   to submit, backpressure, and race against its deadline. *)
+let classify t item =
   let timer = J.start () in
-  let response, outcome, op_name, name =
-    match item with
-    | `Oversized ->
-      J.incr t.counters "requests";
+  match item with
+  | `Oversized ->
+    J.incr t.counters "requests";
+    J.incr t.counters "errors";
+    J.incr t.counters "error.oversized";
+    Dispatch.Immediate
+      (finalize t ~timer ~op_name:"?" ~name:None (`Error "oversized")
+         (Protocol.error_response ~id:J.Null Protocol.Oversized
+            (Printf.sprintf "request exceeds the %d byte limit"
+               t.config.limits.Limits.max_request_bytes)))
+  | `Line line -> (
+    let { Protocol.v; id; op; _ } = Protocol.parse_request line in
+    J.incr t.counters "requests";
+    match op with
+    | Error (code, msg) ->
       J.incr t.counters "errors";
-      J.incr t.counters "error.oversized";
-      ( Protocol.error_response ~id:J.Null Protocol.Oversized
-          (Printf.sprintf "request exceeds the %d byte limit"
-             t.config.limits.Limits.max_request_bytes),
-        `Error "oversized",
-        "?",
-        None )
-    | `Line line -> (
-      let { Protocol.v; id; op } = Protocol.parse_request line in
-      J.incr t.counters "requests";
-      match op with
-      | Error (code, msg) ->
-        J.incr t.counters "errors";
-        J.incr t.counters ("error." ^ Protocol.code_string code);
-        ( Protocol.error_response ~v ~id code msg,
-          `Error (Protocol.code_string code),
-          "?",
-          None )
-      | Ok Protocol.Ping ->
-        J.incr t.counters "op.ping";
-        (Protocol.ok_response ~v ~id ~op:"ping" [], `Ok, "ping", None)
-      | Ok Protocol.Stats ->
-        J.incr t.counters "op.stats";
-        (Protocol.ok_response ~v ~id ~op:"stats" (stats_fields t), `Ok, "stats", None)
-      | Ok (Protocol.Check req) ->
-        J.incr t.counters "op.check";
-        let response, verdict = exec_check t ~v id req in
-        (response, verdict, "check", Some req.Protocol.name)
-      | Ok (Protocol.Cert req) ->
-        J.incr t.counters "op.cert";
-        let response, verdict = exec_cert t ~v id req in
-        (response, verdict, "cert", Some req.Protocol.cert_name)
-      | Ok (Protocol.Lint req) ->
-        J.incr t.counters "op.lint";
-        let response, verdict = exec_lint t ~v id req in
-        (response, verdict, "lint", Some req.Protocol.lint_name))
-  in
-  let duration_ns = J.elapsed_ns timer in
-  J.observe t.latency duration_ns;
-  let log_fields =
-    [ ("event", J.String "request"); ("op", J.String op_name) ]
-    @ (match name with Some n -> [ ("name", J.String n) ] | None -> [])
-    @ (match outcome with
-      | `Ok -> [ ("ok", J.Bool true) ]
-      | `Error code -> [ ("ok", J.Bool false); ("code", J.String code) ]
-      | `Verdict r ->
-        [
-          ("ok", J.Bool true);
-          ("verdict", J.String (Job.verdict_string r));
-          ("cache", J.String (if r.Job.from_cache then "hit" else "miss"));
-        ])
-    @ [ ("duration_ns", J.Int (Int64.to_int duration_ns)) ]
-  in
-  J.emit t.log log_fields;
-  response
+      J.incr t.counters ("error." ^ Protocol.code_string code);
+      Dispatch.Immediate
+        (finalize t ~timer ~op_name:"?" ~name:None
+           (`Error (Protocol.code_string code))
+           (Protocol.error_response ~v ~id code msg))
+    | Ok Protocol.Ping ->
+      J.incr t.counters "op.ping";
+      Dispatch.Immediate
+        (finalize t ~timer ~op_name:"ping" ~name:None `Ok
+           (Protocol.ok_response ~v ~id ~op:"ping" []))
+    | Ok Protocol.Stats ->
+      J.incr t.counters "op.stats";
+      Dispatch.Immediate
+        (finalize t ~timer ~op_name:"stats" ~name:None `Ok
+           (Protocol.ok_response ~v ~id ~op:"stats" (stats_fields t)))
+    | Ok (Protocol.Check req) ->
+      J.incr t.counters "op.check";
+      classify_check t ~timer ~v id req
+    | Ok (Protocol.Cert req) ->
+      J.incr t.counters "op.cert";
+      classify_cert t ~timer ~v id req
+    | Ok (Protocol.Lint req) ->
+      J.incr t.counters "op.lint";
+      classify_lint t ~timer ~v id req)
+
+(* One request item in, one response line out: the blocking adapter
+   over [classify] used by the thread-per-connection engine, embedders,
+   and tests. The slot is an atomic written once by the worker; polling
+   (1 ms) instead of a condition variable keeps the deadline honest
+   even while the job is running. *)
+let handle t item =
+  match classify t item with
+  | Dispatch.Immediate line -> line
+  | Dispatch.Pooled p ->
+    let slot = Atomic.make None in
+    p.Dispatch.submit ~complete:(fun line -> Atomic.set slot (Some line));
+    let rec wait () =
+      match Atomic.get slot with
+      | Some line -> line
+      | None ->
+        let expired =
+          match p.Dispatch.deadline_ns with
+          | Some d -> Int64.compare (J.now_ns ()) d > 0
+          | None -> false
+        in
+        if expired then
+          match p.Dispatch.timeout () with
+          | Some line -> line
+          | None -> wait () (* completion won the race; the slot is due *)
+        else begin
+          Thread.delay 0.001;
+          wait ()
+        end
+    in
+    wait ()
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop, drain, shutdown *)
@@ -657,6 +727,13 @@ let drain t =
         | Conn.Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
         | Conn.Tcp _ -> ())
       t.listeners;
+    (* Event-loop engine: wake each shard out of its poll, then wait for
+       it to drain (buffered requests answered, in-flight jobs done,
+       responses flushed) and exit. *)
+    List.iter Shard.wake t.shard_rts;
+    List.iter Shard.join t.shard_rts;
+    t.shard_rts <- [];
+    (* Legacy engine: join the per-connection threads. *)
     let remaining () =
       Mutex.lock t.threads_mutex;
       let ts = Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [] in
@@ -679,6 +756,29 @@ let drain t =
     J.close t.log
   end
 
+(* Sharded engine: the acceptor only enforces the connection cap and
+   deals accepted sockets round-robin to the shard event loops. *)
+let assign_connection t shards next fd =
+  if
+    not
+      (Limits.try_incr t.conns ~limit:t.config.limits.Limits.max_connections)
+  then begin
+    J.incr t.counters "errors";
+    J.incr t.counters "error.overloaded";
+    ignore
+      (Conn.write_line fd
+         (Protocol.error_response ~id:J.Null Protocol.Overloaded
+            (Printf.sprintf "server is at its %d connection limit"
+               t.config.limits.Limits.max_connections)));
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+  else begin
+    J.incr t.counters "connections";
+    let i = !next in
+    next := (i + 1) mod Array.length shards;
+    Shard.add shards.(i) fd
+  end
+
 let run t =
   J.emit t.log
     [
@@ -690,6 +790,17 @@ let run t =
              (fun (_, ep) -> J.String (Fmt.str "%a" Conn.pp_endpoint ep))
              t.listeners) );
     ];
+  let shards =
+    if t.config.shards = 0 then [||]
+    else
+      Array.init t.config.shards (fun _ ->
+          Shard.start ~limits:t.config.limits
+            ~should_stop:(fun () -> Atomic.get t.stop)
+            ~on_conn_close:(fun () -> Limits.decr t.conns)
+            ~classify:(classify t) ())
+  in
+  t.shard_rts <- Array.to_list shards;
+  let next = ref 0 in
   let fds = List.map fst t.listeners in
   let rec loop () =
     if not (Atomic.get t.stop) then begin
@@ -698,7 +809,9 @@ let run t =
         List.iter
           (fun lfd ->
             match Unix.accept lfd with
-            | cfd, _addr -> spawn_connection t cfd
+            | cfd, _addr ->
+              if Array.length shards = 0 then spawn_connection t cfd
+              else assign_connection t shards next cfd
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
             | exception Unix.Unix_error _ -> ())
           ready

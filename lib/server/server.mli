@@ -4,11 +4,20 @@
     onto a single {!Ifc_pipeline.Pool} of worker domains and one shared
     content-addressed {!Ifc_pipeline.Cache} — so every client benefits
     from every other client's certifications. The wire protocol is
-    {!Protocol} (newline-delimited JSON, versioned); robustness comes
-    from {!Limits} (request size, connection and queue caps, deadlines
+    {!Protocol} (newline-delimited JSON, versioned; version 4 adds
+    per-connection pipelining); robustness comes from {!Limits}
+    (request size, connection, queue, and in-flight caps, deadlines
     with cooperative cancellation) and observability from
     {!Ifc_pipeline.Telemetry} (counters, a latency histogram, an
     optional JSONL request log, and the [stats] operation).
+
+    Two connection engines share one classification core. The default
+    sharded engine runs [shards] event-loop threads, each owning the
+    read/write buffers of the connections dealt to it, batching NDJSON
+    reads and writes and dispatching pipelined requests concurrently.
+    Setting [shards = 0] selects the legacy thread-per-connection
+    engine — retained as the reference implementation the differential
+    server oracle replays request streams against.
 
     Lifecycle: {!create} binds the sockets, {!run} serves until
     {!request_stop} (typically from a SIGINT/SIGTERM handler — it only
@@ -20,6 +29,10 @@
 type config = {
   endpoints : Conn.endpoint list;  (** At least one. *)
   workers : int;  (** Worker domains for the job pool. *)
+  shards : int;
+      (** Connection-shard event loops. [0] selects the legacy
+          thread-per-connection engine. The shared cache is striped
+          [max 1 shards] ways. *)
   cache_capacity : int;  (** Shared LRU result cache entries. *)
   limits : Limits.t;
   log : Ifc_pipeline.Telemetry.sink option;
@@ -34,7 +47,8 @@ type config = {
 }
 
 val default_config : config
-(** No endpoints (caller must add some), 1 worker, 4096 cache entries,
+(** No endpoints (caller must add some), 1 worker, the recommended
+    domain count of connection shards, 4096 cache entries,
     {!Limits.default}, no log, no store. *)
 
 type t

@@ -1,0 +1,38 @@
+(** A connection shard: one thread multiplexing many client sockets
+    over nonblocking I/O and a single [select], owning every read/write
+    buffer for the connections assigned to it. Worker-pool completions
+    re-enter the loop through an inbox and a self-pipe wake-up.
+
+    Requests that successfully declared protocol version 4 are
+    classified on arrival, run concurrently up to the per-connection
+    [max_inflight] cap, and may be answered out of order. Everything
+    else flows through a per-connection serial queue — classified one
+    at a time, only when every earlier request has been answered — so
+    protocol versions 1–3 keep their strict ordering and their
+    classify-at-dispatch cache semantics, byte for byte. *)
+
+type t
+
+val start :
+  limits:Limits.t ->
+  should_stop:(unit -> bool) ->
+  on_conn_close:(unit -> unit) ->
+  classify:(Conn.item -> Dispatch.action) ->
+  unit ->
+  t
+(** Spawns the shard thread. [classify] is called on the shard thread
+    (serial items) or on it for pipelined arrivals; pooled jobs complete
+    from worker threads via the inbox. [on_conn_close] fires once per
+    closed connection (gauge bookkeeping). The thread exits once
+    [should_stop] answers [true] {e and} every assigned connection has
+    drained: buffered requests answered, in-flight jobs completed or
+    timed out, responses flushed. *)
+
+val add : t -> Unix.file_descr -> unit
+(** Assign an accepted connection to this shard. The shard takes
+    ownership of the fd (sets it nonblocking, closes it on exit). *)
+
+val wake : t -> unit
+(** Kick the loop out of its poll (used when requesting a stop). *)
+
+val join : t -> unit

@@ -47,4 +47,25 @@ SIGTERM drains and the server exits 0:
   $ kill -TERM $SERVER_PID
   $ wait $SERVER_PID
 
+Backpressure under protocol-v4 pipelining: a server planted with a
+deterministic 300 ms stall (IFC_SERVE_PLANT_STALL) and a 2-request
+in-flight cap refuses the overflow with a structured overloaded error
+while the two admitted requests still complete. The loadgen drives one
+pipelined connection with 6 stall-named requests in flight at once.
+
+  $ IFC_SERVE_PLANT_STALL=300 ../../bin/ifc.exe serve --socket "$SOCK" --max-inflight 2 --quiet &
+  $ SERVER_PID=$!
+  $ ../../bin/ifc.exe loadgen --socket "$SOCK" --clients 1 --window 6 --requests 6 --distinct 6 --name stall --json | grep -o '"ok":2,"failed":4,"protocol_errors":0'
+  "ok":2,"failed":4,"protocol_errors":0
+  $ ../../bin/ifc.exe client --socket "$SOCK" --json stats | grep -o '"error.overloaded":4'
+  "error.overloaded":4
+  $ kill -TERM $SERVER_PID
+  $ wait $SERVER_PID
+
+The differential oracle replays one seeded stream against the legacy
+and sharded engines and demands identical responses:
+
+  $ ../../bin/ifc.exe loadgen --oracle --oracle-requests 60
+  oracle: 60 requests replayed, 0 divergence(s)
+
   $ rm -rf "$SOCK_DIR"

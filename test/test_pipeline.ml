@@ -195,6 +195,62 @@ let test_cache_invalidation_vs_eviction () =
   check_int "one eviction" 1 stats.Cache.evictions;
   check_int "size" 2 stats.Cache.size
 
+let test_cache_striped_semantics () =
+  (* With [shards > 1] the cache is an array of independent LRU
+     stripes. Lookups still route by key, stats sum every stripe, and
+     total size never exceeds total capacity. *)
+  let c = Cache.create ~shards:4 ~capacity:64 () in
+  check_int "shards recorded" 4 (Cache.shards c);
+  check_int "single-stripe default" 1 (Cache.shards (Cache.create ()));
+  for i = 0 to 99 do
+    Cache.add c ("k" ^ string_of_int i) i
+  done;
+  for i = 0 to 99 do
+    (* Re-add duplicates: replaces in place, never double-counts. *)
+    Cache.add c ("k" ^ string_of_int i) i
+  done;
+  let found = ref 0 in
+  for i = 0 to 99 do
+    match Cache.find c ("k" ^ string_of_int i) with
+    | Some v ->
+      incr found;
+      check "value routed to the right stripe" true (v = i)
+    | None -> ()
+  done;
+  let stats = Cache.stats c in
+  check_int "hits + misses = lookups" 100 (stats.Cache.hits + stats.Cache.misses);
+  check_int "hits are the found ones" !found stats.Cache.hits;
+  check "size bounded by capacity" true (stats.Cache.size <= 64);
+  check "evictions happened" true (stats.Cache.evictions > 0);
+  (* fold visits exactly the resident entries. *)
+  check_int "fold covers residents" stats.Cache.size
+    (Cache.fold c (fun acc _ _ -> acc + 1) 0);
+  (* remove routes like find. *)
+  let resident_key =
+    Cache.fold c (fun acc k _ -> match acc with Some _ -> acc | None -> Some k)
+      None
+  in
+  (match resident_key with
+  | Some k ->
+    check "remove routed" true (Cache.remove c k);
+    check "removed gone" true (Cache.find c k = None)
+  | None -> Alcotest.fail "striped cache unexpectedly empty");
+  Cache.clear c;
+  check_int "clear empties every stripe" 0 (Cache.stats c).Cache.size
+
+let test_cache_striped_concurrent () =
+  (* Hammer all stripes from the pool: totals must still reconcile. *)
+  let c = Cache.create ~shards:4 ~capacity:128 () in
+  Pool.run ~workers:4
+    (List.init 400 (fun i () ->
+         let key = "k" ^ string_of_int (i mod 64) in
+         match Cache.find c key with
+         | Some _ -> ()
+         | None -> Cache.add c key i));
+  let stats = Cache.stats c in
+  check_int "lookups all accounted" 400 (stats.Cache.hits + stats.Cache.misses);
+  check "at most 64 distinct keys" true (stats.Cache.size <= 64)
+
 let test_cache_concurrent_access () =
   let c = Cache.create ~capacity:64 () in
   Pool.run ~workers:4
@@ -418,6 +474,10 @@ let suite =
         test_cache_invalidation_vs_eviction;
       Alcotest.test_case "cache concurrent access" `Quick
         test_cache_concurrent_access;
+      Alcotest.test_case "cache striped semantics" `Quick
+        test_cache_striped_semantics;
+      Alcotest.test_case "cache striped concurrent" `Quick
+        test_cache_striped_concurrent;
       Alcotest.test_case "telemetry json escaping" `Quick
         test_telemetry_json_escaping;
       Alcotest.test_case "telemetry sink jsonl" `Quick test_telemetry_sink_jsonl;

@@ -152,7 +152,20 @@ let test_histogram () =
     | _ -> Alcotest.failf "field %s not numeric" name
   in
   check "max recorded" true (get "max_ns" = 1_000_000L);
-  check_int "count field" 101 (Int64.to_int (get "count"))
+  check_int "count field" 101 (Int64.to_int (get "count"));
+  (* The stats op and bench reports quote p50/p95/p99 straight from
+     these fields; pin the bucket geometry they are computed over:
+     33 powers-of-two buckets from 1024 ns up. *)
+  check_int "bucket count pinned" 33 J.bucket_count;
+  check "first bucket upper bound" true (J.bucket_upper_ns 0 = 1024L);
+  for i = 1 to J.bucket_count - 1 do
+    check (Printf.sprintf "bucket %d doubles" i) true
+      (J.bucket_upper_ns i = Int64.mul 2L (J.bucket_upper_ns (i - 1)))
+  done;
+  check "p95 field present" true (List.mem_assoc "p95_ns" fields);
+  let p50 = get "p50_ns" and p95 = get "p95_ns" and p99 = get "p99_ns" in
+  check "p50 <= p95 <= p99" true (p50 <= p95 && p95 <= p99);
+  check "p95 equals quantile" true (p95 = J.quantile_ns h 0.95)
 
 (* ------------------------------------------------------------------ *)
 (* Sink hygiene: whole lines on every exit path *)
@@ -283,7 +296,21 @@ let test_protocol_parse () =
   check_int "v2 recorded" 2
     (Protocol.parse_request {|{"v": 2, "op": "ping"}|}).Protocol.v;
   check_int "v3 recorded" 3
+    (Protocol.parse_request {|{"v": 3, "op": "ping"}|}).Protocol.v;
+  check_int "client lines declare v4" 4
     (Protocol.parse_request (Protocol.cert_emit_line "p")).Protocol.v;
+  (* Only a v>=4 declaration opts a request into pipelining. *)
+  check "v3 is not pipelined" false
+    (Protocol.parse_request {|{"v": 3, "op": "ping"}|}).Protocol.pipelined;
+  check "v4 is pipelined" true
+    (Protocol.parse_request {|{"v": 4, "op": "ping"}|}).Protocol.pipelined;
+  check "errors are never pipelined" false
+    (Protocol.parse_request {|{"v": 99, "op": "ping"}|}).Protocol.pipelined;
+  check "pipelined_line matches the gate" true
+    (Protocol.pipelined_line {|{"v": 4, "op": "ping"}|}
+    && (not (Protocol.pipelined_line {|{"v": 3, "op": "ping"}|}))
+    && (not (Protocol.pipelined_line {|{"v": 99, "op": "ping"}|}))
+    && not (Protocol.pipelined_line "not json"));
   (* lint ops: version 3 only; the request carries just the program. *)
   (match (Protocol.parse_request (Protocol.lint_line ~name:"l" "p")).Protocol.op with
   | Ok (Protocol.Lint r) ->
@@ -304,15 +331,18 @@ let temp_sock () =
   path
 
 let with_server ?(workers = 2) ?(cache_capacity = 256) ?(limits = Limits.default)
-    ?(endpoints = `Unix) f =
+    ?shards ?(endpoints = `Unix) f =
   let sock = temp_sock () in
   let endpoints =
     match endpoints with
     | `Unix -> [ Conn.Unix_socket sock ]
     | `Tcp -> [ Conn.Tcp ("127.0.0.1", 0) ]
   in
+  let shards =
+    Option.value ~default:Server.default_config.Server.shards shards
+  in
   let config =
-    { Server.default_config with endpoints; workers; cache_capacity; limits }
+    { Server.default_config with endpoints; workers; cache_capacity; limits; shards }
   in
   let server = fail_result (Server.create config) in
   let thread = Thread.create Server.run server in
@@ -465,10 +495,21 @@ let test_expired_queued_job_is_cancelled () =
       check_str "queued request timed out" "timeout" (response_code response);
       Ok ());
   Thread.join slow_thread;
+  (* The worker increments jobs.cancelled when it dequeues the expired
+     task, which can land just after the slow response is delivered —
+     poll briefly rather than race it. *)
   with_conn endpoint (fun client ->
-      let stats = fail_result (Client.stats client) in
-      check "cancelled job counted" true
-        (stat_int [ "counters"; "jobs.cancelled" ] stats >= 1);
+      let deadline = Unix.gettimeofday () +. 2. in
+      let rec cancelled_count () =
+        let stats = fail_result (Client.stats client) in
+        let n = stat_int [ "counters"; "jobs.cancelled" ] stats in
+        if n >= 1 || Unix.gettimeofday () > deadline then n
+        else begin
+          Thread.delay 0.02;
+          cancelled_count ()
+        end
+      in
+      check "cancelled job counted" true (cancelled_count () >= 1);
       Ok ())
 
 let test_malformed_requests_keep_connection () =
@@ -736,6 +777,433 @@ let test_stats_and_warm_cache () =
       Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* Protocol v4: exhaustive version gate, pipelining, backpressure *)
+
+(* The deterministic fault-injection hook: while [f] runs, any pooled
+   job whose name starts with "stall" sleeps [ms] on its worker. *)
+let with_stall ms f =
+  Unix.putenv "IFC_SERVE_PLANT_STALL" (string_of_int ms);
+  Fun.protect ~finally:(fun () -> Unix.putenv "IFC_SERVE_PLANT_STALL" "") f
+
+(* Raw pipelined conversation: write every line up front, then collect
+   [n] response lines in arrival order. *)
+let pipelined_exchange endpoint lines n =
+  fail_result
+    (Client.with_client ~retry_for:5. endpoint (fun client ->
+         let fd = Client.fd client and reader = Client.reader client in
+         List.iter
+           (fun line ->
+             if not (Conn.write_line fd line) then
+               Alcotest.fail "pipelined write failed")
+           lines;
+         let rec collect acc k =
+           if k = 0 then Ok (List.rev acc)
+           else
+             match Conn.next_line reader with
+             | `Line l -> collect (l :: acc) (k - 1)
+             | `Eof -> Alcotest.fail "connection closed mid-pipeline"
+             | `Oversized -> Alcotest.fail "oversized response"
+             | `Stop -> Alcotest.fail "read interrupted"
+         in
+         collect [] n))
+
+let response_id line =
+  match Jsonx.parse line with
+  | Ok json ->
+    Option.value ~default:(-1)
+      (Option.bind (Jsonx.member "id" json) Jsonx.int_opt)
+  | Error _ -> -1
+
+let response_code_of_line line =
+  match Jsonx.parse line with
+  | Ok json -> response_code json
+  | Error _ -> "unparseable"
+
+(* A check request for a program no other test submits, so its first
+   submission is always a cache miss. *)
+let stall_check_line ~v ~id ~salt ?deadline_ms () =
+  let program =
+    J.json_to_string
+      (J.String
+         (Printf.sprintf "var s, t : integer;\nbegin s := %d; t := s end" salt))
+  in
+  let deadline =
+    match deadline_ms with
+    | Some ms -> Printf.sprintf {|, "deadline_ms": %d|} ms
+    | None -> ""
+  in
+  Printf.sprintf
+    {|{"v": %d, "id": %d, "op": "check", "name": "stall-%d", "program": %s%s}|}
+    v id salt program deadline
+
+let test_version_gate_exhaustive () =
+  with_server ~workers:1 @@ fun _endpoint server ->
+  let handle line = Server.handle server (`Line line) in
+  (* The version digit is at byte 5 of every envelope; masking it — and
+     the per-request timing field — is how we assert responses are
+     byte-identical across versions. *)
+  let mask line =
+    let line = String.mapi (fun i c -> if i = 5 then 'V' else c) line in
+    let key = "\"duration_ns\":" in
+    let n = String.length line and k = String.length key in
+    let buf = Buffer.create n in
+    let i = ref 0 in
+    while !i < n do
+      if !i + k <= n && String.sub line !i k = key then begin
+        Buffer.add_string buf key;
+        Buffer.add_char buf '_';
+        i := !i + k;
+        while !i < n && line.[!i] >= '0' && line.[!i] <= '9' do
+          incr i
+        done
+      end
+      else begin
+        Buffer.add_char buf line.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  (* ping: available and byte-stable at every version. *)
+  for v = 1 to 4 do
+    check_str
+      (Printf.sprintf "ping v%d" v)
+      (Printf.sprintf {|{"v":%d,"id":7,"ok":true,"op":"ping"}|} v)
+      (handle (Printf.sprintf {|{"v": %d, "id": 7, "op": "ping"}|} v))
+  done;
+  (* stats: available at every version, envelope prefix pinned. *)
+  for v = 1 to 4 do
+    let r = handle (Printf.sprintf {|{"v": %d, "op": "stats"}|} v) in
+    let prefix =
+      Printf.sprintf {|{"v":%d,"id":null,"ok":true,"op":"stats",|} v
+    in
+    check
+      (Printf.sprintf "stats v%d prefix" v)
+      true
+      (String.length r >= String.length prefix
+      && String.sub r 0 (String.length prefix) = prefix)
+  done;
+  (* check: available at every version. Prime the cache once, then the
+     hit responses at v1 through v4 must agree byte for byte modulo the
+     echoed version digit. *)
+  let check_req v =
+    Printf.sprintf {|{"v": %d, "id": 9, "op": "check", "program": %s}|} v
+      (J.json_to_string (J.String quick_program))
+  in
+  ignore (handle (check_req 1));
+  let baseline = handle (check_req 1) in
+  check "check hit baseline ok" true
+    (match Jsonx.parse baseline with
+    | Ok json -> Protocol.response_ok json
+    | Error _ -> false);
+  for v = 2 to 4 do
+    check_str
+      (Printf.sprintf "check v%d envelope identical" v)
+      (mask baseline)
+      (mask (handle (check_req v)))
+  done;
+  (* cert: gated at version 2, refusal message verbatim. *)
+  let cert_req v =
+    Printf.sprintf {|{"v": %d, "op": "cert", "program": %s}|} v
+      (J.json_to_string (J.String quick_program))
+  in
+  check_str "cert v1 refused verbatim"
+    {|{"v":1,"id":null,"ok":false,"error":{"code":"bad_request","message":"op \"cert\" requires protocol version 2 (request declared 1)"}}|}
+    (handle (cert_req 1));
+  ignore (handle (cert_req 2));
+  let cert_baseline = handle (cert_req 2) in
+  check "cert hit baseline ok" true
+    (match Jsonx.parse cert_baseline with
+    | Ok json -> Protocol.response_ok json
+    | Error _ -> false);
+  for v = 3 to 4 do
+    check_str
+      (Printf.sprintf "cert v%d envelope identical" v)
+      (mask cert_baseline)
+      (mask (handle (cert_req v)))
+  done;
+  (* lint: gated at version 3, refusal messages verbatim per declared
+     version. *)
+  let lint_req v =
+    Printf.sprintf {|{"v": %d, "op": "lint", "program": %s}|} v
+      (J.json_to_string (J.String quick_program))
+  in
+  check_str "lint v1 refused verbatim"
+    {|{"v":1,"id":null,"ok":false,"error":{"code":"bad_request","message":"op \"lint\" requires protocol version 3 (request declared 1)"}}|}
+    (handle (lint_req 1));
+  check_str "lint v2 refused verbatim"
+    {|{"v":2,"id":null,"ok":false,"error":{"code":"bad_request","message":"op \"lint\" requires protocol version 3 (request declared 2)"}}|}
+    (handle (lint_req 2));
+  ignore (handle (lint_req 3));
+  let lint_baseline = handle (lint_req 3) in
+  check_str "lint v4 envelope identical" (mask lint_baseline)
+    (mask (handle (lint_req 4)));
+  (* Envelope failures: messages and envelopes verbatim. The response
+     version for requests that never declared a usable version is the
+     server's own. *)
+  check_str "missing v verbatim"
+    {|{"v":4,"id":null,"ok":false,"error":{"code":"bad_version","message":"missing \"v\" (protocol version) field"}}|}
+    (handle {|{"op": "ping"}|});
+  check_str "unsupported v verbatim"
+    {|{"v":4,"id":3,"ok":false,"error":{"code":"bad_version","message":"unsupported protocol version (this server speaks 1 through 4)"}}|}
+    (handle {|{"v": 99, "id": 3, "op": "ping"}|});
+  check_str "v0 also unsupported"
+    {|{"v":4,"id":null,"ok":false,"error":{"code":"bad_version","message":"unsupported protocol version (this server speaks 1 through 4)"}}|}
+    (handle {|{"v": 0, "op": "ping"}|});
+  for v = 1 to 4 do
+    check_str
+      (Printf.sprintf "unknown op v%d verbatim" v)
+      (Printf.sprintf
+         {|{"v":%d,"id":null,"ok":false,"error":{"code":"bad_request","message":"unknown op \"frobnicate\" (use check, cert, lint, stats, or ping)"}}|}
+         v)
+      (handle (Printf.sprintf {|{"v": %d, "op": "frobnicate"}|} v));
+    check_str
+      (Printf.sprintf "missing op v%d verbatim" v)
+      (Printf.sprintf
+         {|{"v":%d,"id":null,"ok":false,"error":{"code":"bad_request","message":"missing string \"op\" field"}}|}
+         v)
+      (handle (Printf.sprintf {|{"v": %d}|} v))
+  done
+
+let test_pipelined_out_of_order () =
+  (* A stalled pooled request must not block a later request on the
+     same pipelined connection: the ping overtakes it. *)
+  with_stall 150 @@ fun () ->
+  with_server ~workers:1 @@ fun endpoint _server ->
+  let lines =
+    [
+      stall_check_line ~v:4 ~id:1 ~salt:9001 ();
+      Printf.sprintf {|{"v": 4, "id": 2, "op": "ping"}|};
+    ]
+  in
+  let responses = pipelined_exchange endpoint lines 2 in
+  check_int "two responses" 2 (List.length responses);
+  check_int "ping overtakes the stalled check" 2
+    (response_id (List.nth responses 0));
+  check_int "stalled check answers second" 1
+    (response_id (List.nth responses 1));
+  List.iter
+    (fun line -> check_str "both ok" "ok" (response_code_of_line line))
+    responses
+
+let test_serial_clients_stay_ordered () =
+  (* The same two requests declared at version 3 flow through the
+     serial path: responses arrive in request order even though the
+     first one stalls. *)
+  with_stall 100 @@ fun () ->
+  with_server ~workers:1 @@ fun endpoint _server ->
+  let lines =
+    [
+      stall_check_line ~v:3 ~id:1 ~salt:9002 ();
+      Printf.sprintf {|{"v": 3, "id": 2, "op": "ping"}|};
+    ]
+  in
+  let responses = pipelined_exchange endpoint lines 2 in
+  check_int "stalled check answers first" 1 (response_id (List.nth responses 0));
+  check_int "ping answers second" 2 (response_id (List.nth responses 1))
+
+let test_backpressure_inflight_cap () =
+  (* max_inflight 2: with both slots stalled on the worker, further
+     pipelined requests get a structured overloaded refusal while the
+     earlier in-flight requests still complete. *)
+  with_stall 200 @@ fun () ->
+  with_server ~workers:2
+    ~limits:{ Limits.default with Limits.max_inflight = 2 }
+  @@ fun endpoint _server ->
+  let lines =
+    List.init 6 (fun i -> stall_check_line ~v:4 ~id:i ~salt:(9100 + i) ())
+  in
+  let responses = pipelined_exchange endpoint lines 6 in
+  let codes = List.map response_code_of_line responses in
+  let count code = List.length (List.filter (( = ) code) codes) in
+  check_int "two in-flight complete" 2 (count "ok");
+  check_int "four refused as overloaded" 4 (count "overloaded");
+  (* The refusal message names the limit. *)
+  List.iter
+    (fun line ->
+      if response_code_of_line line = "overloaded" then
+        check "refusal names the limit" true
+          (match Jsonx.parse line with
+          | Ok json -> (
+            match Protocol.response_error json with
+            | Some (_, msg) ->
+              msg = "connection is at its 2 in-flight request limit"
+            | None -> false)
+          | Error _ -> false))
+    responses;
+  (* Refusals are immediate; the stalled completions arrive last. *)
+  check_str "refusal arrives before completions" "overloaded"
+    (response_code_of_line (List.hd responses))
+
+let test_deadline_under_pipelining () =
+  (* A pipelined request's deadline fires while it is stalled on the
+     worker; the connection survives and later requests are unharmed. *)
+  with_stall 300 @@ fun () ->
+  with_server ~workers:1 @@ fun endpoint _server ->
+  let lines =
+    [
+      stall_check_line ~v:4 ~id:1 ~salt:9200 ~deadline_ms:20 ();
+      Printf.sprintf {|{"v": 4, "id": 2, "op": "ping"}|};
+    ]
+  in
+  let responses = pipelined_exchange endpoint lines 2 in
+  let by_id id =
+    List.find (fun line -> response_id line = id) responses
+  in
+  check_str "stalled request times out" "timeout"
+    (response_code_of_line (by_id 1));
+  check "timeout names the deadline" true
+    (match Jsonx.parse (by_id 1) with
+    | Ok json -> (
+      match Protocol.response_error json with
+      | Some (_, msg) -> msg = "request exceeded its 20 ms deadline"
+      | None -> false)
+    | Error _ -> false);
+  check_str "later request unharmed" "ok" (response_code_of_line (by_id 2))
+
+let test_mid_pipeline_disconnect () =
+  (* A client that floods pipelined requests and vanishes must not hurt
+     the server or other connections. *)
+  with_stall 100 @@ fun () ->
+  with_server ~workers:1 @@ fun endpoint _server ->
+  (match Client.connect ~retry_for:5. endpoint with
+  | Error msg -> Alcotest.fail msg
+  | Ok client ->
+    let fd = Client.fd client in
+    List.iter
+      (fun i -> ignore (Conn.write_line fd (stall_check_line ~v:4 ~id:i ~salt:(9300 + i) ())))
+      [ 0; 1; 2; 3; 4 ];
+    (* Vanish with everything still in flight. *)
+    Client.close client);
+  (* The server keeps serving. *)
+  with_conn endpoint (fun client ->
+      let* () = Client.ping client in
+      let stats = fail_result (Client.stats client) in
+      check "server still answers stats" true
+        (stat_int [ "counters"; "requests" ] stats >= 1);
+      Ok ())
+
+let test_oversized_mid_pipeline () =
+  (* An oversized line between two pipelined requests gets its own
+     structured refusal and the connection keeps going. *)
+  with_server
+    ~limits:{ Limits.default with Limits.max_request_bytes = 512 }
+  @@ fun endpoint _server ->
+  let lines =
+    [
+      {|{"v": 4, "id": 1, "op": "ping"}|};
+      String.concat ""
+        [ {|{"v": 4, "id": 99, "op": "check", "program": "|};
+          String.make 2048 'x'; {|"}|} ];
+      {|{"v": 4, "id": 2, "op": "ping"}|};
+    ]
+  in
+  let responses = pipelined_exchange endpoint lines 3 in
+  let codes = List.map response_code_of_line responses in
+  let count code = List.length (List.filter (( = ) code) codes) in
+  check_int "two pings ok" 2 (count "ok");
+  check_int "one oversized refusal" 1 (count "oversized")
+
+let test_oracle_engines_agree () =
+  (* The acceptance oracle: a 500-request seeded stream replayed
+     serially against the legacy engine and pipelined against the
+     sharded engine produces byte-identical responses per id. *)
+  match Ifc_server.Oracle.run ~requests:500 () with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    check_int "all requests compared" 500 r.Ifc_server.Oracle.compared;
+    (match r.Ifc_server.Oracle.divergences with
+    | [] -> ()
+    | d :: _ ->
+      Alcotest.failf "engines diverged at id %d:\n  request %s\n  legacy  %s\n  sharded %s"
+        d.Ifc_server.Oracle.id d.Ifc_server.Oracle.request
+        d.Ifc_server.Oracle.legacy d.Ifc_server.Oracle.sharded)
+
+(* QCheck: on a pipelined connection, every request is answered exactly
+   once with a response correlated to its id and carrying its op — no
+   cross-talk — whatever the shard count. *)
+let pipelined_framing_test ~shards =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 25) (pair (int_range 0 3) (int_range 0 5)))
+        (int_range 1 6))
+  in
+  let prop (ops, window) =
+    with_server ~workers:1 ~shards (fun endpoint _server ->
+        let op_name = function
+          | 0 -> "ping"
+          | 1 -> "check"
+          | 2 -> "cert"
+          | _ -> "lint"
+        in
+        let line i (op, variant) =
+          match op with
+          | 0 -> Printf.sprintf {|{"v": 4, "id": %d, "op": "ping"}|} i
+          | op ->
+            Printf.sprintf {|{"v": 4, "id": %d, "op": "%s", "program": %s}|} i
+              (op_name op)
+              (J.json_to_string
+                 (J.String (Ifc_server.Loadgen.program_variant variant)))
+        in
+        let requests = List.mapi line ops in
+        (* Window-limited send interleaved with reads, like a real
+           pipelined client. *)
+        let responses =
+          fail_result
+            (Client.with_client ~retry_for:5. endpoint (fun client ->
+                 let fd = Client.fd client and reader = Client.reader client in
+                 let todo = ref requests
+                 and inflight = ref 0
+                 and got = ref [] in
+                 let send () =
+                   while !inflight < window && !todo <> [] do
+                     (match !todo with
+                     | line :: rest ->
+                       if not (Conn.write_line fd line) then
+                         Alcotest.fail "write failed";
+                       todo := rest;
+                       incr inflight
+                     | [] -> ())
+                   done
+                 in
+                 send ();
+                 while List.length !got < List.length requests do
+                   (match Conn.next_line reader with
+                   | `Line l ->
+                     got := l :: !got;
+                     decr inflight
+                   | _ -> Alcotest.fail "connection broke mid-stream");
+                   send ()
+                 done;
+                 Ok !got))
+        in
+        (* Exactly one response per id, each echoing its request's op. *)
+        let expected = List.mapi (fun i (op, _) -> (i, op_name op)) ops in
+        List.length responses = List.length expected
+        && List.for_all
+             (fun (i, op) ->
+               List.length
+                 (List.filter
+                    (fun line ->
+                      response_id line = i
+                      && (match Jsonx.parse line with
+                         | Ok json ->
+                           Jsonx.mem_string "op" json = Some op
+                           && Protocol.response_ok json
+                         | Error _ -> false))
+                    responses)
+               = 1)
+             expected)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:(Printf.sprintf "pipelined framing (%d shard%s)" shards
+                (if shards = 1 then "" else "s"))
+       ~count:6
+       (QCheck.make gen) prop)
+
+(* ------------------------------------------------------------------ *)
 
 let quick name f = Alcotest.test_case name `Quick f
 
@@ -763,4 +1231,15 @@ let suite =
       quick "tcp endpoint with ephemeral port" test_tcp_endpoint;
       quick "sigterm drains in-flight requests" test_sigterm_drains_in_flight;
       quick "stats and warm cache" test_stats_and_warm_cache;
+      quick "version gate exhaustive" test_version_gate_exhaustive;
+      quick "pipelined responses out of order" test_pipelined_out_of_order;
+      quick "serial clients stay ordered" test_serial_clients_stay_ordered;
+      quick "backpressure refuses over max-inflight" test_backpressure_inflight_cap;
+      quick "deadline fires under pipelining" test_deadline_under_pipelining;
+      quick "mid-pipeline disconnect is harmless" test_mid_pipeline_disconnect;
+      quick "oversized mid-pipeline request" test_oversized_mid_pipeline;
+      quick "differential oracle: engines agree" test_oracle_engines_agree;
+      pipelined_framing_test ~shards:1;
+      pipelined_framing_test ~shards:2;
+      pipelined_framing_test ~shards:4;
     ] )
