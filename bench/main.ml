@@ -17,6 +17,9 @@
      STORE     the persistent artifact store: cold vs warm vs
                one-line-edit incremental certification rates, and the
                spine-only recompute claim
+     MODSYS    compositional certification: store-backed linking whose
+               cost follows interface size rather than module body
+               size, and the one-module-edit recompute claim
      FUZZ      the differential fuzzing campaign: cases/s through the
                full analyzer matrix, oracle skip rate, and the cost of
                shrinking a planted soundness inversion
@@ -29,8 +32,8 @@
      micro     Bechamel micro-benchmarks of every analysis entry point
 
    Usage: dune exec bench/main.exe [-- SECTION ...]
-   Sections: tables fig3 theorems strength scaling ni pipeline store fuzz
-   lint cert server micro all
+   Sections: tables fig3 theorems strength scaling ni pipeline store
+   modsys fuzz lint cert server micro all
    (default all). Add "quick" to shrink corpus and sweep sizes.
 
    Besides the human tables, every section prints one or more
@@ -1094,6 +1097,162 @@ let store_bench ~corpus ~edits () =
   rm_rf dir
 
 (* ------------------------------------------------------------------ *)
+(* MODSYS: compositional certification — module summaries persist in
+   the store, the link step evaluates residual interface constraints,
+   and a one-module edit recomputes one summary plus the link. *)
+
+let modsys_bench ~sizes ~modules () =
+  banner
+    (Printf.sprintf
+       "MODSYS: summary-based linking of %d-module units (cost follows \
+        interfaces, not bodies)"
+       modules);
+  let module Link = Ifc_modsys.Link in
+  let module Store = Ifc_store.Store in
+  let lat = Lattice.stringify two in
+  let low_name = lat.Lattice.bottom in
+  (* One export, one import, [size] all-low statements: the interface
+     stays constant while the body grows. [salt] perturbs a constant so
+     an edited module digests differently. *)
+  let make_module ?(salt = 0) ~name ~import size =
+    let out = name ^ "_out" in
+    let body =
+      Ast.seq
+        (Ast.assign out (Ast.int (1 + salt))
+        :: List.init (max 0 (size - 1)) (fun i ->
+               Ast.assign out (Ast.Binop (Ast.Add, Ast.var import, Ast.int i))))
+    in
+    {
+      Ast.iface =
+        {
+          Ast.m_name = name;
+          provides = [ { Ast.iv_name = out; iv_class = low_name } ];
+          requires = [ { Ast.iv_name = import; iv_class = low_name } ];
+        };
+      m_decls = [ Ast.Var_decl { name = out; cls = Some low_name } ];
+      m_body = body;
+    }
+  in
+  (* Modules chain: each imports its predecessor's export, the first
+     imports the main program's [cfg]. *)
+  let make_unit ?edit ~count size =
+    let mods =
+      List.init count (fun i ->
+          let import =
+            if i = 0 then "cfg" else Printf.sprintf "m%d_out" (i - 1)
+          in
+          let salt =
+            match edit with Some (j, salt) when j = i -> salt | _ -> 0
+          in
+          make_module ~salt ~name:(Printf.sprintf "m%d" i) ~import size)
+    in
+    {
+      Ast.modules = mods;
+      main =
+        Some
+          {
+            Ast.decls = [ Ast.Var_decl { name = "cfg"; cls = Some low_name } ];
+            body = Ast.assign "cfg" (Ast.int 0);
+          };
+    }
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ifc-bench-modsys-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  (match Store.open_ dir with
+  | Error msg -> Fmt.epr "modsys bench skipped: %s@." msg
+  | Ok store ->
+    (* Body-size sweep at a fixed interface: whole-program CFM on the
+       elaboration vs certify-from-scratch (summaries computed) vs
+       store-backed (summaries replayed, only the link step runs). *)
+    Fmt.pr "%-14s %12s %12s %12s %10s@." "body (stmts)" "whole (us)"
+      "scratch (us)" "linked (us)" "reused";
+    let agree = ref 0 in
+    let rows =
+      List.map
+        (fun size ->
+          let unit_ = make_unit ~count:modules size in
+          let whole_verdict = ref false in
+          let whole =
+            match Link.binding ~lattice:lat unit_ with
+            | Error _ -> 0.
+            | Ok b ->
+              let p = Link.elaborate unit_ in
+              time_one (fun () ->
+                  whole_verdict := Cfm.certified b p.Ast.body;
+                  !whole_verdict)
+          in
+          let cold = time_one (fun () -> Link.certify ~lattice:lat unit_) in
+          ignore (Link.certify ~store ~lattice:lat unit_);
+          let reused = ref 0 in
+          let warm =
+            time_one (fun () ->
+                match Link.certify ~store ~lattice:lat unit_ with
+                | Ok o ->
+                  reused := o.Link.reused;
+                  if Bool.equal o.Link.cert_ok !whole_verdict then incr agree;
+                  o.Link.ok
+                | Error _ -> false)
+          in
+          Fmt.pr "%-14d %12.1f %12.1f %12.1f %7d/%d@." (size * modules)
+            (1e6 *. whole) (1e6 *. cold) (1e6 *. warm) !reused modules;
+          (size, warm))
+        sizes
+    in
+    (match (rows, List.rev rows) with
+    | (s0, w0) :: _, (s1, w1) :: _ when s0 <> s1 && w0 > 0. ->
+      let growth = w1 /. w0
+      and body_growth = float_of_int s1 /. float_of_int s0 in
+      Fmt.pr
+        "@.store-backed link time grew %.1fx while bodies grew %.0fx — the \
+         link step follows the (fixed) interfaces@."
+        growth body_growth;
+      metric_f "modsys" "linked_growth_vs_body_growth" (growth /. body_growth)
+    | _ -> ());
+    metric "modsys" "link_matches_whole_program"
+      (string_of_bool (!agree > 0 && !agree >= List.length sizes));
+    (* One-module edit: perturb one module's body; only its summary is
+       recomputed, the rest replay from the store, then the link step
+       re-runs. *)
+    let base = make_unit ~count:modules 200 in
+    ignore (Link.certify ~store ~lattice:lat base);
+    let computed = ref 0 and reused = ref 0 and salt = ref 0 in
+    let t_edit =
+      time_one (fun () ->
+          incr salt;
+          match
+            Link.certify ~store ~lattice:lat
+              (make_unit ~edit:(modules / 2, !salt) ~count:modules 200)
+          with
+          | Ok o ->
+            computed := o.Link.computed;
+            reused := o.Link.reused;
+            o.Link.ok
+          | Error _ -> false)
+    in
+    let t_scratch = time_one (fun () -> Link.certify ~lattice:lat base) in
+    Fmt.pr
+      "one-module edit (%d modules x 200 stmts): %d summary recomputed, %d \
+       reused; re-certify %.1f us vs %.1f us from scratch (%.1fx)@."
+      modules !computed !reused (1e6 *. t_edit) (1e6 *. t_scratch)
+      (t_scratch /. t_edit);
+    metric_i "modsys" "edit_summaries_recomputed" !computed;
+    metric_i "modsys" "edit_summaries_reused" !reused;
+    metric_f "modsys" "edit_speedup_vs_scratch" (t_scratch /. t_edit));
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel). *)
 
 let micro () =
@@ -1177,8 +1336,8 @@ let () =
     match List.filter (fun a -> a <> "quick") args with
     | [] | [ "all" ] ->
       [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling";
-        "ni"; "pipeline"; "store"; "fuzz"; "lint"; "chan"; "cert"; "server";
-        "load"; "micro" ]
+        "ni"; "pipeline"; "store"; "modsys"; "fuzz"; "lint"; "chan"; "cert";
+        "server"; "load"; "micro" ]
     | s -> s
   in
   let corpus = if quick then 100 else 400 in
@@ -1198,6 +1357,10 @@ let () =
         ~corpus:(if quick then 40 else 120)
         ~edits:(if quick then 50 else 200)
         ()
+    | "modsys" ->
+      modsys_bench
+        ~sizes:(if quick then [ 10; 100; 1000 ] else [ 10; 100; 1000; 4000 ])
+        ~modules:8 ()
     | "fuzz" -> fuzz_bench ~cases:(if quick then 40 else 150) ()
     | "lint" -> lint_bench ~corpus:(if quick then 200 else 800) ()
     | "chan" -> chan_bench ~corpus:(if quick then 150 else 500) ()

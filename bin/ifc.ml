@@ -41,6 +41,10 @@ module Campaign = Ifc_fuzz.Campaign
 module Analyze = Ifc_analysis.Analyze
 module Cert = Ifc_cert.Cert
 module Certcheck = Ifc_cert.Checker
+module Linked = Ifc_cert.Linked
+module Msummary = Ifc_modsys.Summary
+module Mlink = Ifc_modsys.Link
+module Mrefine = Ifc_modsys.Refine
 module Conn = Ifc_server.Conn
 module Limits = Ifc_server.Limits
 module Server = Ifc_server.Server
@@ -87,6 +91,31 @@ let load_lattice = function
     Error
       (Printf.sprintf
          "unknown lattice %S (use two, three, four, mls, or a spec file path)" other)
+
+let load_linked path =
+  let* src = read_file path in
+  let* l =
+    Result.map_error
+      (Fmt.str "%s: %a" path Parser.pp_error)
+      (Parser.parse_linked src)
+  in
+  match Wellformed.linked_errors l with
+  | [] -> Ok l
+  | errs -> Error (Fmt.str "%a" (Fmt.list ~sep:Fmt.cut Wellformed.pp_issue) errs)
+
+(* A stand-alone module file: parsed with the linked-unit grammar but
+   without the dangling-import check — its requires are satisfied by
+   whatever unit it is eventually linked into. *)
+let load_module path =
+  let* src = read_file path in
+  let* l =
+    Result.map_error
+      (Fmt.str "%s: %a" path Parser.pp_error)
+      (Parser.parse_linked src)
+  in
+  match l.Ast.modules with
+  | m :: _ -> Ok m
+  | [] -> Error (path ^ ": contains no module clause")
 
 let load_binding lat binding_file program =
   match binding_file with
@@ -188,7 +217,20 @@ let exit_of_verdict = function
 (* ------------------------------------------------------------------ *)
 (* check / denning *)
 
-let run_check lattice_name binding_file self_check requirements flow_sensitive path =
+let run_check lattice_name binding_file self_check requirements flow_sensitive
+    modular path =
+  if modular then
+    exit_of_verdict
+      (let* lat = load_lattice lattice_name in
+       let* l = load_linked path in
+       let* outcome = Mlink.certify ~lattice:lat l in
+       Fmt.pr "modular certification: %s (%d modules%s)@."
+         (if outcome.Mlink.ok then "CERTIFIED" else "REJECTED")
+         (List.length l.Ast.modules)
+         (match l.Ast.main with None -> "" | Some _ -> " + main");
+       List.iter (fun i -> Fmt.pr "  %s@." i) outcome.Mlink.issues;
+       Ok outcome.Mlink.ok)
+  else
   exit_of_verdict
     (let* lat = load_lattice lattice_name in
      let* p = load_program path in
@@ -229,11 +271,22 @@ let check_cmd =
              assignments; accepts strictly more programs) and use its verdict for \
              the exit code.")
   in
+  let modular =
+    Arg.(
+      value & flag
+      & info [ "modular" ]
+          ~doc:
+            "Treat $(i,PROGRAM) as a linked unit (module clauses plus an \
+             optional main program) and certify it compositionally from \
+             per-module summaries — equivalent verdict to whole-program \
+             CFM on the elaboration, without re-walking module bodies at \
+             link time. See also $(b,ifc modsys).")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Certify a program with the Concurrent Flow Mechanism (CFM).")
     Term.(
       const run_check $ lattice_arg $ binding_arg $ self_check_arg $ requirements
-      $ flow_sensitive $ program_arg)
+      $ flow_sensitive $ modular $ program_arg)
 
 let run_denning lattice_name binding_file reject path =
   exit_of_verdict
@@ -467,10 +520,54 @@ let run_cert_emit lattice_name binding_file out path =
          Fmt.pr "certificate written to %s (%d bytes)@." out (String.length text);
          Ok true))
 
-let run_cert_check lattice_name binding_file cert_file path =
+(* Version-2 (linked) certificates route here: the program file is a
+   linked unit and the checker replays summaries instead of proof
+   nodes. The --lattice/--binding cross-checks are version-1 concepts
+   (a linked certificate's binding is validated against the unit
+   itself). *)
+let run_cert_check_linked cert_file text component_files path =
   exit_of_verdict
-    (let* text = read_file cert_file in
-     let* p = load_program path in
+    (let* l = load_linked path in
+     match Linked.parse text with
+     | Error e -> Error (Fmt.str "%s: %a" cert_file Cert.pp_parse_error e)
+     | Ok cert ->
+       let* components =
+         List.fold_left
+           (fun acc f ->
+             let* acc = acc in
+             let* c = read_file f in
+             Ok (c :: acc))
+           (Ok []) component_files
+         |> Result.map List.rev
+       in
+       (match Linked.check ~components cert l with
+       | Ok () ->
+         Fmt.pr "certificate valid: %d summary nodes, %d bound variables%s@."
+           (List.length cert.Linked.summaries)
+           (List.length cert.Linked.binds)
+           (if components = [] then ""
+            else Printf.sprintf ", %d component certificates re-checked"
+                (List.length components));
+         Ok true
+       | Error (first :: _ as failures) ->
+         Fmt.pr "certificate rejected (%d failures), first: %s: %s: %s@."
+           (List.length failures) first.Linked.path first.Linked.rule
+           first.Linked.reason;
+         Ok false
+       | Error [] -> Ok false))
+
+let run_cert_check lattice_name binding_file cert_file component_files path =
+  match
+    let* text = read_file cert_file in
+    Ok (text, Linked.sniff_version text)
+  with
+  | Error msg ->
+    Fmt.epr "ifc: %s@." msg;
+    1
+  | Ok (text, Some 2) -> run_cert_check_linked cert_file text component_files path
+  | Ok (text, _) ->
+  exit_of_verdict
+    (let* p = load_program path in
      match Cert.parse text with
      | Error e -> Error (Fmt.str "%s: %a" cert_file Cert.pp_parse_error e)
      | Ok cert ->
@@ -559,6 +656,17 @@ let cert_cmd =
             "Cross-check that the certificate's recorded binding matches \
              $(docv).")
   in
+  let component_arg =
+    Arg.(
+      value
+      & opt_all file []
+      & info [ "component" ] ~docv:"CERT"
+          ~doc:
+            "With a version-2 (linked) certificate: a component \
+             certificate to re-check against its module's import-closed \
+             body (repeatable). Each must match some summary node's \
+             recorded certificate digest.")
+  in
   let emit =
     Cmd.v
       (Cmd.info "emit"
@@ -577,7 +685,7 @@ let cert_cmd =
             first bad node's path on rejection; exit 1 on malformed input.")
       Term.(
         const run_cert_check $ cross_lattice_arg $ cross_binding_arg
-        $ cert_file_arg $ cert_program_arg)
+        $ cert_file_arg $ component_arg $ cert_program_arg)
   in
   Cmd.group
     (Cmd.info "cert" ~doc:"Emit and independently re-check proof certificates.")
@@ -1055,11 +1163,12 @@ let batch_cmd =
 (* ------------------------------------------------------------------ *)
 (* fuzz *)
 
-let run_fuzz cases seed jobs size_min size_max ni_pairs max_states time_budget
-    shrink_budget corpus_dir fuzz_store_dir log_file quiet =
+let run_fuzz cases refine_cases seed jobs size_min size_max ni_pairs max_states
+    time_budget shrink_budget corpus_dir fuzz_store_dir log_file quiet =
   let config =
     {
       Campaign.cases;
+      refine_cases;
       seed;
       jobs;
       size_min;
@@ -1084,12 +1193,18 @@ let run_fuzz cases seed jobs size_min size_max ni_pairs max_states time_budget
         Sys.getenv_opt "IFC_FUZZ_PLANT_CHAN_UNSOUND" <> None;
       plant_store_stale =
         Sys.getenv_opt "IFC_FUZZ_PLANT_STORE_STALE" <> None;
+      plant_refine_unsound =
+        Sys.getenv_opt "IFC_FUZZ_PLANT_REFINE_UNSOUND" <> None;
     }
   in
   let result =
     let* () = if jobs < 1 then Error "--jobs must be at least 1" else Ok () in
     let* () =
       if cases < 0 then Error "--cases must be non-negative" else Ok ()
+    in
+    let* () =
+      if refine_cases < 0 then Error "--refine-cases must be non-negative"
+      else Ok ()
     in
     let* () =
       if size_min < 1 || size_max < size_min then
@@ -1126,6 +1241,17 @@ let fuzz_cmd =
     Arg.(
       value & opt int 200
       & info [ "cases" ] ~docv:"N" ~doc:"Random programs to draw and audit.")
+  in
+  let refine_cases =
+    Arg.(
+      value & opt int 25
+      & info [ "refine-cases" ] ~docv:"N"
+          ~doc:
+            "Module-refinement cases appended to the campaign: each draws a \
+             linked two-module unit plus a mutated replacement, takes the \
+             compositional claim (link certifies, refinement accepted) at \
+             face value, and sets the executor on claimed-safe swaps. A \
+             witnessed leak classifies as the $(i,refine-unsound) inversion.")
   in
   let seed =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed.")
@@ -1219,9 +1345,9 @@ let fuzz_cmd =
           persisted; expected strictness gaps are counted. Exit code 2 if any \
           inversion was found.")
     Term.(
-      const run_fuzz $ cases $ seed $ jobs $ size_min $ size_max $ ni_pairs
-      $ max_states $ time_budget $ shrink_budget $ corpus_dir $ fuzz_store_dir
-      $ log_file $ quiet)
+      const run_fuzz $ cases $ refine_cases $ seed $ jobs $ size_min $ size_max
+      $ ni_pairs $ max_states $ time_budget $ shrink_budget $ corpus_dir
+      $ fuzz_store_dir $ log_file $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client *)
@@ -1741,6 +1867,7 @@ let run_loadgen socket tcp wait json_out clients window requests distinct
         Ok 2
     end
     else
+      let* () = Limits.check_fd_budget ~what:"--clients" clients in
       let* endpoint =
         match (socket, tcp) with
         | Some p, None -> Ok (Conn.Unix_socket p)
@@ -2091,6 +2218,220 @@ let store_cmd =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* modsys *)
+
+let open_summary_store = function
+  | None -> Ok None
+  | Some dir ->
+    let* s = Store.open_ dir in
+    Ok (Some s)
+
+let run_modsys_summary lattice_name store_dir path =
+  exit_of_result
+    (let* lat = load_lattice lattice_name in
+     let* l = load_linked path in
+     let* store = open_summary_store store_dir in
+     let* () =
+       List.fold_left
+         (fun acc (m : Ast.module_unit) ->
+           let* () = acc in
+           let key = Msummary.key ~lattice:lat m in
+           let* origin, s =
+             match
+               Option.bind store (fun st -> Msummary.of_store st ~key)
+             with
+             | Some s -> Ok ("store", s)
+             | None ->
+               let* s =
+                 Result.map_error
+                   (Fmt.str "module %s: %s" m.Ast.iface.Ast.m_name)
+                   (Msummary.summarize ~lattice:lat m)
+               in
+               Option.iter (fun st -> Msummary.to_store st ~key s) store;
+               Ok ("fresh", s)
+           in
+           Fmt.pr "module %s (%s)@." s.Linked.m_name origin;
+           List.iter (fun line -> Fmt.pr "%s@." line) (Linked.summary_to_lines s);
+           Ok ())
+         (Ok ()) l.Ast.modules
+     in
+     Ok ())
+
+let run_modsys_link lattice_name store_dir out components_dir path =
+  exit_of_verdict
+    (let* lat = load_lattice lattice_name in
+     let* l = load_linked path in
+     let* store = open_summary_store store_dir in
+     let* outcome = Mlink.certify ?store ~lattice:lat l in
+     Fmt.epr "link: %d summaries computed, %d reused from store@."
+       outcome.Mlink.computed outcome.Mlink.reused;
+     if not outcome.Mlink.ok then begin
+       Fmt.pr "linked unit REJECTED:@.";
+       List.iter (fun i -> Fmt.pr "  %s@." i) outcome.Mlink.issues;
+       Ok false
+     end
+     else
+       let* text, components = Mlink.emit ?store ~lattice:lat l in
+       let* () =
+         match components_dir with
+         | None -> Ok ()
+         | Some dir ->
+           let* () =
+             try
+               if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+               Ok ()
+             with Unix.Unix_error (e, _, _) ->
+               Error (Printf.sprintf "%s: %s" dir (Unix.error_message e))
+           in
+           List.fold_left
+             (fun acc (name, ctext) ->
+               let* () = acc in
+               let file = Filename.concat dir (name ^ ".cert") in
+               let* () = write_file file ctext in
+               Fmt.epr "component certificate written to %s@." file;
+               Ok ())
+             (Ok ()) components
+       in
+       (match out with
+       | None ->
+         print_string text;
+         Ok true
+       | Some out ->
+         let* () = write_file out text in
+         Fmt.pr "linked certificate written to %s (%d bytes, %d summaries)@."
+           out (String.length text)
+           (List.length outcome.Mlink.summaries);
+         Ok true))
+
+let run_modsys_refine lattice_name module_name unit_path replacement_path =
+  exit_of_verdict
+    (let* lat = load_lattice lattice_name in
+     let* l = load_linked unit_path in
+     let* base =
+       match module_name with
+       | None -> (
+         match l.Ast.modules with
+         | m :: _ -> Ok m
+         | [] -> Error (unit_path ^ ": contains no module clause"))
+       | Some n -> (
+         match
+           List.find_opt
+             (fun (m : Ast.module_unit) -> m.Ast.iface.Ast.m_name = n)
+             l.Ast.modules
+         with
+         | Some m -> Ok m
+         | None -> Error (Printf.sprintf "%s: no module named %s" unit_path n))
+     in
+     let* repl = load_module replacement_path in
+     let* report = Mrefine.check_against ~lattice:lat ~base repl in
+     if report.Mrefine.ok then begin
+       Fmt.pr "refinement ACCEPTED: %s may replace %s (every certified link \
+               stays certified)@."
+         repl.Ast.iface.Ast.m_name base.Ast.iface.Ast.m_name;
+       Ok true
+     end
+     else begin
+       Fmt.pr "refinement REJECTED: %s may not replace %s:@."
+         repl.Ast.iface.Ast.m_name base.Ast.iface.Ast.m_name;
+       List.iter (fun r -> Fmt.pr "  %s@." r) report.Mrefine.reasons;
+       Ok false
+     end)
+
+let modsys_cmd =
+  let unit_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"UNIT"
+          ~doc:"Linked unit file: module clauses plus an optional main program.")
+  in
+  let summary_store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persist and reuse module summaries keyed by structural digest: \
+             a module whose text, lattice and default binding are unchanged \
+             is answered from $(docv) instead of being re-summarized.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the linked certificate to $(docv) instead of standard \
+                output.")
+  in
+  let components_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "components" ] ~docv:"DIR"
+          ~doc:
+            "Also write each module's component certificate (a version-1 \
+             proof of its import-closed body, when one exists) to \
+             $(docv)/$(i,name).cert, for $(b,ifc cert check --component).")
+  in
+  let module_name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "module" ] ~docv:"NAME"
+          ~doc:"Base module to replace (defaults to the unit's first module).")
+  in
+  let replacement_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"REPLACEMENT"
+          ~doc:"Replacement module file (a single module clause).")
+  in
+  let summary =
+    Cmd.v
+      (Cmd.info "summary"
+         ~doc:
+           "Summarize each module of a linked unit: symbolic mod/flow over \
+            its imports, residual constraints, channel and semaphore \
+            obligations, export conformance — everything linking needs, \
+            keyed by the module's structural digest.")
+      Term.(
+        const run_modsys_summary $ lattice_arg $ summary_store_arg $ unit_arg)
+  in
+  let link =
+    Cmd.v
+      (Cmd.info "link"
+         ~doc:
+           "Certify a linked unit from module summaries alone — module \
+            bodies are never re-walked at link time — and emit the \
+            $(b,ifc-cert 2) linked certificate. The verdict coincides \
+            byte-for-byte with whole-program CFM on the elaborated unit. \
+            Exit 2 when the unit does not certify.")
+      Term.(
+        const run_modsys_link $ lattice_arg $ summary_store_arg $ out_arg
+        $ components_dir_arg $ unit_arg)
+  in
+  let refine =
+    Cmd.v
+      (Cmd.info "refine"
+         ~doc:
+           "Check that a replacement module is a security-preserving \
+            refinement of a unit's module: summaries compare monotonically \
+            (constraints, flow, mod, obligations, interface), so every \
+            certified link stays certified after the swap. Exit 2 on \
+            rejection.")
+      Term.(
+        const run_modsys_refine $ lattice_arg $ module_name_arg $ unit_arg
+        $ replacement_arg)
+  in
+  Cmd.group
+    (Cmd.info "modsys"
+       ~doc:
+         "Compositional certification: module summaries, summary-based \
+          linking and security-preserving refinement (see DESIGN.md).")
+    [ summary; link; refine ]
+
+(* ------------------------------------------------------------------ *)
 
 let run_fmt path =
   exit_of_result
@@ -2128,6 +2469,7 @@ let main_cmd =
       taint_cmd;
       ni_cmd;
       batch_cmd;
+      modsys_cmd;
       fuzz_cmd;
       serve_cmd;
       client_cmd;

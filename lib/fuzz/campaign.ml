@@ -33,6 +33,8 @@ type config = {
   plant_lint_unsound : bool;
   plant_chan_unsound : bool;
   plant_store_stale : bool;
+  plant_refine_unsound : bool;
+  refine_cases : int;
 }
 
 let default =
@@ -53,6 +55,8 @@ let default =
     plant_lint_unsound = false;
     plant_chan_unsound = false;
     plant_store_stale = false;
+    plant_refine_unsound = false;
+    refine_cases = 0;
   }
 
 (* The campaign lattice. All fuzzing runs over the paper's two-point
@@ -108,6 +112,23 @@ type summary = {
    so cases are order- and worker-independent. *)
 let case_rng seed index = Prng.create ((seed * 0x1000003) lxor index)
 
+(* Retained only for inversions: exactly what re-running the predicate
+   during shrinking needs. For program cases that is the program, its
+   binding, the forced CFM, cert and lint verdicts (planted cases), the
+   store lookup for replaying candidates against the persistent store,
+   and the case's oracle seed. For refinement cases it is the module
+   pair, the forced claim (the planted case) and the oracle seed. *)
+type payload =
+  | P_program of
+      (Ast.program
+      * string Binding.t
+      * bool option
+      * bool option
+      * bool option
+      * (Ast.program -> bool option)
+      * int)
+  | P_refine of Modfuzz.case * bool option * int
+
 type outcome = {
   index : int;
   o_profile : string;
@@ -116,20 +137,7 @@ type outcome = {
   gap_labels : string list;
   verdicts : Classify.verdicts;
   statements : int;
-  (* Retained only for inversions: the program, its binding, the forced
-     CFM, cert and lint verdicts (planted cases), the store lookup for
-     replaying candidates against the persistent store, and the case's
-     oracle seed — exactly what re-running the predicate during
-     shrinking needs. *)
-  payload :
-    (Ast.program
-    * string Binding.t
-    * bool option
-    * bool option
-    * bool option
-    * (Ast.program -> bool option)
-    * int)
-    option;
+  payload : payload option;
 }
 
 type slot = Done of outcome | Timed_out
@@ -281,6 +289,39 @@ let planted_cert_case () =
   let binding = Binding.make lattice ~default:lattice.Lattice.bottom [] in
   (program, binding)
 
+(* One refinement case: generate (or plant) a module pair, take the
+   compositional toolchain's claim, refute claimed-safe swaps with the
+   executor. The verdict tuple is neutral everywhere but the refine
+   fields, so the only inversion a refinement case can raise is
+   [refine-unsound]. *)
+let run_refine_case config ~planted rng index =
+  let case, override_claim =
+    if planted then (Modfuzz.planted lattice, Some true)
+    else (Modfuzz.generate lattice rng, None)
+  in
+  let ni_seed = Prng.bits rng land 0x3FFFFFFF in
+  let claimed, leak, tested, skipped =
+    Modfuzz.evaluate ?override_claim ~lattice ~ni_seed
+      ~ni_pairs:config.ni_pairs ~max_states:config.max_states case
+  in
+  let verdicts = Modfuzz.verdicts ~claimed ~leak ~tested ~skipped in
+  let cls = Classify.classify verdicts in
+  let inversion_labels =
+    List.map Classify.inversion_label cls.Classify.inversions
+  in
+  {
+    index;
+    o_profile = (if planted then "planted-refine" else "refine");
+    primary = Classify.primary verdicts cls;
+    inversion_labels;
+    gap_labels = List.map Classify.gap_label cls.Classify.gaps;
+    verdicts;
+    statements = Modfuzz.statements case;
+    payload =
+      (if inversion_labels = [] then None
+       else Some (P_refine (case, override_claim, ni_seed)));
+  }
+
 let run_case ?store config index =
   let planted_cfm = config.plant_inversion && index = config.cases in
   let planted_cert =
@@ -311,7 +352,31 @@ let run_case ?store config index =
          + (if config.plant_lint_unsound then 1 else 0)
          + if config.plant_chan_unsound then 1 else 0
   in
+  let planted_refine =
+    config.plant_refine_unsound
+    && index
+       = config.cases
+         + (if config.plant_inversion then 1 else 0)
+         + (if config.plant_cert_inversion then 1 else 0)
+         + (if config.plant_lint_unsound then 1 else 0)
+         + (if config.plant_chan_unsound then 1 else 0)
+         + if config.plant_store_stale then 1 else 0
+  in
+  (* Honest refinement cases occupy the tail of the index space, after
+     every planted case. *)
+  let refine_base =
+    config.cases
+    + (if config.plant_inversion then 1 else 0)
+    + (if config.plant_cert_inversion then 1 else 0)
+    + (if config.plant_lint_unsound then 1 else 0)
+    + (if config.plant_chan_unsound then 1 else 0)
+    + (if config.plant_store_stale then 1 else 0)
+    + if config.plant_refine_unsound then 1 else 0
+  in
   let rng = case_rng config.seed index in
+  if planted_refine || index >= refine_base then
+    run_refine_case config ~planted:planted_refine rng index
+  else
   let profile_name, program, binding, override_cfm, override_cert, override_lint
       =
     if planted_cfm then
@@ -382,13 +447,14 @@ let run_case ?store config index =
       (if inversion_labels = [] then None
        else
          Some
-           ( program,
-             binding,
-             override_cfm,
-             override_cert,
-             override_lint,
-             (if replay then lookup else fun _ -> None),
-             ni_seed ));
+           (P_program
+              ( program,
+                binding,
+                override_cfm,
+                override_cert,
+                override_lint,
+                (if replay then lookup else fun _ -> None),
+                ni_seed )));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -406,29 +472,64 @@ let case_digest program binding =
 let shrink_counterexample config sink seen (o : outcome) =
   match o.payload with
   | None -> None
-  | Some
-      ( program,
-        binding,
-        override_cfm,
-        override_cert,
-        override_lint,
-        lookup,
-        ni_seed ) ->
+  | Some payload ->
     let label = List.hd o.inversion_labels in
-    let keep p =
-      Wellformed.is_valid p
-      &&
-      let v =
-        Oracle.run ?override_cfm ?override_cert ?override_lint
-          ?stored_cfm:(lookup p) ~ni_seed ~ni_pairs:config.ni_pairs
-          ~max_states:config.max_states binding p
-      in
-      let c = Classify.classify v in
+    let matches_label v =
       List.exists
         (fun inv -> String.equal (Classify.inversion_label inv) label)
-        c.Classify.inversions
+        (Classify.classify v).Classify.inversions
     in
-    let shrunk, stats = Shrink.minimize ~budget:config.shrink_budget ~keep program in
+    (* Minimize the payload down to (shrunk display program, binding,
+       corpus writer, sizes) — the program path shrinks the program
+       itself, the refinement path shrinks the module pair and displays
+       and persists the swapped unit. *)
+    let program, binding, shrunk, stats, write_corpus =
+      match payload with
+      | P_program
+          ( program,
+            binding,
+            override_cfm,
+            override_cert,
+            override_lint,
+            lookup,
+            ni_seed ) ->
+        let keep p =
+          Wellformed.is_valid p
+          && matches_label
+               (Oracle.run ?override_cfm ?override_cert ?override_lint
+                  ?stored_cfm:(lookup p) ~ni_seed ~ni_pairs:config.ni_pairs
+                  ~max_states:config.max_states binding p)
+        in
+        let shrunk, stats =
+          Shrink.minimize ~budget:config.shrink_budget ~keep program
+        in
+        ( program,
+          binding,
+          shrunk,
+          stats,
+          fun ~dir ~name ~expected ~note ->
+            Corpus.write ~dir ~name ~lattice_name ~binding ~expected ~note
+              shrunk )
+      | P_refine (case, override_claim, ni_seed) ->
+        let keep case =
+          let claimed, leak, tested, skipped =
+            Modfuzz.evaluate ?override_claim ~lattice ~ni_seed
+              ~ni_pairs:config.ni_pairs ~max_states:config.max_states case
+          in
+          matches_label (Modfuzz.verdicts ~claimed ~leak ~tested ~skipped)
+        in
+        let small, stats =
+          Modfuzz.shrink ~budget:config.shrink_budget ~keep case
+        in
+        let binding = Modfuzz.case_binding ~lattice small in
+        ( Modfuzz.elaborated case,
+          binding,
+          Modfuzz.elaborated small,
+          stats,
+          fun ~dir ~name ~expected ~note ->
+            Corpus.write_linked ~dir ~name ~lattice_name ~binding ~expected
+              ~note (Modfuzz.swapped small) )
+    in
     let digest = case_digest shrunk binding in
     let fresh = not (Hashtbl.mem seen digest) in
     Hashtbl.replace seen digest ();
@@ -442,7 +543,7 @@ let shrink_counterexample config sink seen (o : outcome) =
           Printf.sprintf "campaign seed %d, case %d, profile %s" config.seed
             o.index o.o_profile
         in
-        Some (Corpus.write ~dir ~name ~lattice_name ~binding ~expected ~note shrunk)
+        Some (write_corpus ~dir ~name ~expected ~note)
       | _ -> None
     in
     let original_statements = (Metrics.of_program program).Metrics.statements in
@@ -550,6 +651,8 @@ let exit_code s =
 
 let run ?(sink = Telemetry.null_sink ()) (config : config) =
   if config.cases < 0 then invalid_arg "Campaign.run: negative case count";
+  if config.refine_cases < 0 then
+    invalid_arg "Campaign.run: negative refine case count";
   if config.jobs < 1 then invalid_arg "Campaign.run: jobs < 1";
   if config.size_min < 1 || config.size_max < config.size_min then
     invalid_arg "Campaign.run: bad size range";
@@ -591,7 +694,9 @@ let run ?(sink = Telemetry.null_sink ()) (config : config) =
     + (if config.plant_cert_inversion then 1 else 0)
     + (if config.plant_lint_unsound then 1 else 0)
     + (if config.plant_chan_unsound then 1 else 0)
-    + if config.plant_store_stale then 1 else 0
+    + (if config.plant_store_stale then 1 else 0)
+    + (if config.plant_refine_unsound then 1 else 0)
+    + config.refine_cases
   in
   let deadline =
     Option.map

@@ -79,6 +79,21 @@ type config = {
           artifact. Replay finds it, every honest analyzer disagrees, and
           the campaign must classify the case as [store-stale]. Uses
           [store_dir] when set, else a seed-derived scratch directory. *)
+  plant_refine_unsound : bool;
+      (** Test hook ([IFC_FUZZ_PLANT_REFINE_UNSOUND] in the CLI): append
+          one {!Modfuzz.planted} module pair — a certified two-module
+          unit and a replacement that pipes the link-wide secret into its
+          low export — with the refinement claim forcibly overridden to
+          "accepted". The executor refutes the claim on the swapped unit,
+          so the campaign must classify the case as [refine-unsound],
+          shrink it to a minimal module pair, and persist the swapped
+          unit in linked syntax with honest verdicts. *)
+  refine_cases : int;
+      (** Honest refinement cases ({!Modfuzz.generate}) appended after
+          every planted case: module pair plus mutated replacement, the
+          compositional claim taken at face value, claimed-safe swaps
+          dynamically attacked by the executor. On a healthy toolchain
+          all of them land on [refine-accepted] / [refine-rejected]. *)
 }
 
 val default : config

@@ -22,10 +22,14 @@ type verdicts = {
   dyn_chan_race : bool;
   dyn_chan_deadlock : bool;
   store_divergent : bool;
+  refine_checked : bool;
+  refine_claimed_safe : bool;
+  refine_dyn_leak : bool;
 }
 
 type inversion =
   | Unsound_certification
+  | Refine_unsound
   | Logic_mismatch
   | Cert_inversion
   | Store_stale
@@ -47,6 +51,8 @@ type t = {
 let classify v =
   let inversions =
     (if v.cfm && v.ni_violations > 0 then [ Unsound_certification ] else [])
+    @ (if v.refine_claimed_safe && v.refine_dyn_leak then [ Refine_unsound ]
+       else [])
     @ (if not (Bool.equal v.prove v.cfm) then [ Logic_mismatch ] else [])
     @ (if v.prove && not v.cert_ok then [ Cert_inversion ] else [])
     @ (if v.store_divergent then [ Store_stale ] else [])
@@ -72,6 +78,7 @@ let classify v =
 
 let inversion_label = function
   | Unsound_certification -> "unsound-certification"
+  | Refine_unsound -> "refine-unsound"
   | Logic_mismatch -> "logic-mismatch"
   | Cert_inversion -> "cert-inversion"
   | Store_stale -> "store-stale"
@@ -93,13 +100,16 @@ let primary v c =
     match c.gaps with
     | g :: _ -> gap_label g
     | [] ->
-      if c.confirmed_rejection then "confirmed-rejection"
+      if v.refine_checked then
+        if v.refine_claimed_safe then "refine-accepted" else "refine-rejected"
+      else if c.confirmed_rejection then "confirmed-rejection"
       else if v.cfm then "certified-agreement"
       else "unconfirmed-rejection")
 
 let class_labels =
   [
     "unsound-certification";
+    "refine-unsound";
     "logic-mismatch";
     "cert-inversion";
     "store-stale";
@@ -114,4 +124,6 @@ let class_labels =
     "confirmed-rejection";
     "certified-agreement";
     "unconfirmed-rejection";
+    "refine-accepted";
+    "refine-rejected";
   ]

@@ -65,11 +65,29 @@ type verdicts = {
       (** A persistent-store replay returned a CFM verdict different from
           the freshly computed one — a stale or corrupted artifact.
           Always [false] when no store replay ran. *)
+  refine_checked : bool;
+      (** This case exercised the module-refinement leg: a linked unit
+          was certified compositionally and a candidate replacement was
+          judged by {!Ifc_modsys.Refine}. Always [false] for plain
+          program cases. *)
+  refine_claimed_safe : bool;
+      (** The compositional toolchain's claim: the base unit link
+          certifies {e and} the replacement passes the refinement check —
+          so every certified link must stay certified after the swap. *)
+  refine_dyn_leak : bool;
+      (** The executor refuted the claim: the noninterference oracle
+          witnessed distinguishable low observables on the elaboration of
+          the {e swapped} unit. *)
 }
 
 type inversion =
   | Unsound_certification
       (** CFM certified, yet the oracle exhibits interference. *)
+  | Refine_unsound
+      (** The refinement checker accepted a replacement for a certified
+          link, yet the executor witnessed interference on the swapped
+          unit — a violation of refinement soundness
+          ({!Ifc_modsys.Refine}). *)
   | Logic_mismatch  (** [prove <> cfm]: a Theorem 1/2 equivalence break. *)
   | Cert_inversion
       (** The decision procedure proved the program but the emitted

@@ -224,9 +224,18 @@ let load_entry dir name =
     Error (Printf.sprintf "%s: missing sidecar %s.expect" program_path name)
   else
     let* program =
-      match Parser.parse_program (read_file program_path) with
-      | Ok p -> Ok p
-      | Error e -> Error (Fmt.str "%s: %a" program_path Parser.pp_error e)
+      (* Entries may be plain programs or linked units; a linked entry
+         replays as its whole-program elaboration — the certification
+         reference the module system is held to. *)
+      let text = read_file program_path in
+      if Parser.looks_linked text then
+        match Parser.parse_linked text with
+        | Ok l -> Ok (Ifc_modsys.Link.elaborate l)
+        | Error e -> Error (Fmt.str "%s: %a" program_path Parser.pp_error e)
+      else
+        match Parser.parse_program text with
+        | Ok p -> Ok p
+        | Error e -> Error (Fmt.str "%s: %a" program_path Parser.pp_error e)
     in
     let* lattice_name, binding, expected, note =
       Result.map_error
@@ -253,6 +262,15 @@ let write ~dir ~name ~lattice_name ~binding ~expected ?note program =
   mkdirs dir;
   let program_path = Filename.concat dir (name ^ ".ifc") in
   write_file program_path (Pretty.program_to_string program ^ "\n");
+  write_file
+    (Filename.concat dir (name ^ ".expect"))
+    (sidecar_text ~lattice_name ~binding ~expected ?note ());
+  program_path
+
+let write_linked ~dir ~name ~lattice_name ~binding ~expected ?note linked =
+  mkdirs dir;
+  let program_path = Filename.concat dir (name ^ ".ifc") in
+  write_file program_path (Pretty.linked_to_string linked ^ "\n");
   write_file
     (Filename.concat dir (name ^ ".expect"))
     (sidecar_text ~lattice_name ~binding ~expected ?note ());

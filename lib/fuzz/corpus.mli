@@ -44,6 +44,9 @@ type entry = {
   lattice_name : string;  (** ["two"], ["three"], ["four"] or ["mls"]. *)
   binding : string Ifc_core.Binding.t;
   program : Ifc_lang.Ast.program;
+      (** For a linked-syntax entry (detected by
+          {!Ifc_lang.Parser.looks_linked}), the whole-program elaboration
+          of the unit — the module system's certification reference. *)
   expected : expected;
   note : string option;
 }
@@ -78,3 +81,17 @@ val write :
   string
 (** Persist one entry (creating [dir] if needed) and return the path of
     the program file. Overwrites an existing entry of the same name. *)
+
+val write_linked :
+  dir:string ->
+  name:string ->
+  lattice_name:string ->
+  binding:string Ifc_core.Binding.t ->
+  expected:expected ->
+  ?note:string ->
+  Ifc_lang.Ast.linked ->
+  string
+(** Like {!write}, but the entry is a linked unit persisted in concrete
+    linked syntax — refinement counterexamples keep their module
+    structure on disk. [expected] and [binding] describe the unit's
+    elaboration, which is what {!load} replays. *)

@@ -1,0 +1,350 @@
+(* Refinement fuzzing: module pairs, candidate replacements, and the
+   executor-backed refutation of claimed-safe swaps. *)
+
+module Ast = Ifc_lang.Ast
+module Pretty = Ifc_lang.Pretty
+module Metrics = Ifc_lang.Metrics
+module Wellformed = Ifc_lang.Wellformed
+module Binding = Ifc_core.Binding
+module Lattice = Ifc_lattice.Lattice
+module Prng = Ifc_support.Prng
+module Ni = Ifc_exec.Noninterference
+module Link = Ifc_modsys.Link
+module Refine = Ifc_modsys.Refine
+
+type case = { unit_ : Ast.linked; replacement : Ast.module_unit }
+
+let target_name case = case.replacement.Ast.iface.Ast.m_name
+
+let base_module case =
+  List.find_opt
+    (fun (m : Ast.module_unit) ->
+      String.equal m.Ast.iface.Ast.m_name (target_name case))
+    case.unit_.Ast.modules
+
+let swapped case =
+  {
+    case.unit_ with
+    Ast.modules =
+      List.map
+        (fun (m : Ast.module_unit) ->
+          if String.equal m.Ast.iface.Ast.m_name (target_name case) then
+            case.replacement
+          else m)
+        case.unit_.Ast.modules;
+  }
+
+let elaborated case = Link.elaborate (swapped case)
+
+let case_binding ~lattice case =
+  match Link.binding ~lattice (swapped case) with
+  | Ok b -> b
+  | Error _ -> Binding.make lattice ~default:lattice.Lattice.bottom []
+
+let statements case =
+  (Metrics.of_program (elaborated case)).Metrics.statements
+
+let to_text case = Pretty.linked_to_string (swapped case)
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+let entry name cls = { Ast.iv_name = name; iv_class = cls }
+
+let var name cls = Ast.Var_decl { name; cls = Some cls }
+
+(* A source/sink pair over a two-class split: [src] exports [out] (fed
+   from the link-supplied [cfg]), [dst] reads [out] into its own export.
+   Bodies draw from a pool of flows that respect the declared classes, so
+   a fair share of generated units link-certify — the interesting half of
+   the refinement space. *)
+let generate lattice rng =
+  let lo = lattice.Lattice.bottom and hi = lattice.Lattice.top in
+  let out_cls = if Prng.bool rng then lo else hi in
+  let stmt_pool =
+    [
+      (fun () -> Ast.assign "out" (Ast.Int (Prng.int rng 8)));
+      (fun () ->
+        Ast.assign "out" (Ast.Binop (Ast.Add, Ast.Var "cfg", Ast.Int (Prng.int rng 4))));
+      (fun () -> Ast.assign "t" (Ast.Var "cfg"));
+      (fun () ->
+        Ast.assign "t" (Ast.Binop (Ast.Add, Ast.Var "t", Ast.Int (Prng.int rng 4))));
+      (fun () -> Ast.assign "out" (Ast.Var "t"));
+      (fun () -> Ast.skip);
+    ]
+  in
+  let body n =
+    Ast.seq
+      (Ast.assign "out" (Ast.Int (Prng.int rng 4))
+      :: List.init n (fun _ -> (Prng.choose rng stmt_pool) ()))
+  in
+  let src =
+    {
+      Ast.iface =
+        {
+          Ast.m_name = "src";
+          provides = [ entry "out" out_cls ];
+          requires = [ entry "cfg" lo ];
+        };
+      m_decls = [ var "out" out_cls; var "t" out_cls ];
+      m_body = body (1 + Prng.int rng 3);
+    }
+  in
+  let dst =
+    {
+      Ast.iface =
+        {
+          Ast.m_name = "dst";
+          provides = [ entry "res" hi ];
+          requires = [ entry "out" lo ];
+        };
+      m_decls = [ var "res" hi ];
+      m_body =
+        Ast.assign "res" (Ast.Binop (Ast.Add, Ast.Var "out", Ast.Int (Prng.int rng 4)));
+    }
+  in
+  let main =
+    {
+      Ast.decls = [ var "cfg" lo; var "secret" hi ];
+      body = Ast.assign "cfg" (Ast.Int (Prng.int rng 4));
+    }
+  in
+  let unit_ = { Ast.modules = [ src; dst ]; main = Some main } in
+  (* The candidate replacement: a mutation of [src]. Interface mutations
+     probe the conformance legs of the refinement check, body mutations
+     the summary-comparison legs — including the one that matters most, a
+     flow from the link-wide secret. *)
+  let replacement =
+    match Prng.int rng 6 with
+    | 0 ->
+      (* Export at the other class, bound unchanged. *)
+      let cls = if String.equal out_cls lo then hi else lo in
+      { src with Ast.m_decls = [ var "out" cls; var "t" out_cls ] }
+    | 1 ->
+      (* Pull in the secret: a new import and a flow through it. *)
+      {
+        src with
+        Ast.iface =
+          {
+            src.Ast.iface with
+            Ast.requires = entry "cfg" lo :: [ entry "secret" hi ];
+          };
+        m_body = Ast.seq [ src.Ast.m_body; Ast.assign "out" (Ast.Var "secret") ];
+      }
+    | 2 ->
+      (* Strictly tighter body: a constant export. *)
+      { src with Ast.m_body = Ast.assign "out" (Ast.Int (Prng.int rng 4)) }
+    | 3 ->
+      (* Raise the provides bound. *)
+      {
+        src with
+        Ast.iface = { src.Ast.iface with Ast.provides = [ entry "out" hi ] };
+        m_decls = [ var "out" hi; var "t" out_cls ];
+      }
+    | 4 ->
+      (* Drop the [cfg] import and every use of it. *)
+      {
+        src with
+        Ast.iface = { src.Ast.iface with Ast.requires = [] };
+        m_body = body 0;
+      }
+    | _ ->
+      (* Body reshuffle at the same interface. *)
+      { src with Ast.m_body = body (1 + Prng.int rng 3) }
+  in
+  { unit_; replacement }
+
+(* The planted refine-unsoundness (test hook): a certified two-module
+   unit and a replacement that openly pipes the link-wide secret into its
+   low export. The honest refinement check rejects it — the campaign
+   forces the claim to "accepted" — and the executor refutes the forced
+   claim on the swapped unit, where [out = secret] is low-observable. *)
+let planted lattice =
+  let lo = lattice.Lattice.bottom and hi = lattice.Lattice.top in
+  let src =
+    {
+      Ast.iface =
+        {
+          Ast.m_name = "src";
+          provides = [ entry "out" lo ];
+          requires = [ entry "cfg" lo ];
+        };
+      m_decls = [ var "out" lo ];
+      m_body = Ast.assign "out" (Ast.Binop (Ast.Add, Ast.Var "cfg", Ast.Int 1));
+    }
+  in
+  let dst =
+    {
+      Ast.iface =
+        {
+          Ast.m_name = "dst";
+          provides = [ entry "res" lo ];
+          requires = [ entry "out" lo ];
+        };
+      m_decls = [ var "res" lo ];
+      m_body = Ast.assign "res" (Ast.Var "out");
+    }
+  in
+  let main =
+    {
+      Ast.decls = [ var "cfg" lo; var "secret" hi ];
+      body = Ast.assign "cfg" (Ast.Int 1);
+    }
+  in
+  let replacement =
+    {
+      src with
+      Ast.iface =
+        { src.Ast.iface with Ast.requires = [ entry "secret" hi ] };
+      m_body = Ast.assign "out" (Ast.Var "secret");
+    }
+  in
+  { unit_ = { Ast.modules = [ src; dst ]; main = Some main }; replacement }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+let evaluate ?override_claim ~lattice ~ni_seed ~ni_pairs ~max_states case =
+  let base_ok =
+    match Link.certify ~lattice case.unit_ with
+    | Ok o -> o.Link.ok
+    | Error _ -> false
+  in
+  let refine_ok =
+    match base_module case with
+    | None -> false
+    | Some base -> (
+      match Refine.check_against ~lattice ~base case.replacement with
+      | Ok r -> r.Refine.ok
+      | Error _ -> false)
+  in
+  let claimed =
+    match override_claim with
+    | Some forced -> forced
+    | None -> base_ok && refine_ok
+  in
+  if not claimed then (claimed, false, 0, 0)
+  else begin
+    let sw = swapped case in
+    match Link.binding ~lattice sw with
+    | Error _ -> (claimed, false, 0, 0)
+    | Ok binding ->
+      let p = Link.elaborate sw in
+      let ni =
+        Ni.test ~seed:ni_seed ~pairs:ni_pairs ~max_states
+          ~observer:lattice.Lattice.bottom binding p
+      in
+      ( claimed,
+        ni.Ni.violations <> [],
+        ni.Ni.pairs_tested,
+        ni.Ni.pairs_skipped )
+  end
+
+let verdicts ~claimed ~leak ~tested ~skipped =
+  {
+    Classify.cfm = false;
+    denning = false;
+    fs = false;
+    prove = false;
+    cert_ok = true;
+    ni_tested = tested;
+    ni_skipped = skipped;
+    ni_violations = 0;
+    lint_race_free = true;
+    lint_deadlock_free = true;
+    lint_must_block = false;
+    lint_chan_race_free = true;
+    lint_chan_deadlock_free = true;
+    lint_findings = 0;
+    dyn_race = false;
+    dyn_deadlock = false;
+    dyn_terminal = false;
+    dyn_complete = true;
+    dyn_chan_race = false;
+    dyn_chan_deadlock = false;
+    store_divergent = false;
+    refine_checked = true;
+    refine_claimed_safe = claimed;
+    refine_dyn_leak = leak;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+
+(* Minimize a module pair by shrinking one body at a time — the
+   replacement's first, then each unit module's, then main's — each
+   through the plain program shrinker with the predicate re-evaluated
+   over the whole reassembled case. The budget is split evenly. *)
+let shrink ~budget ~keep case =
+  let keep case =
+    (try Wellformed.linked_is_valid (swapped case) with _ -> false)
+    && (try keep case with _ -> false)
+  in
+  let add (a : Shrink.stats) (b : Shrink.stats) =
+    { Shrink.steps = a.Shrink.steps + b.Shrink.steps;
+      evals = a.Shrink.evals + b.Shrink.evals }
+  in
+  let slice = max 1 (budget / 4) in
+  let shrink_body body rebuild case stats =
+    let wrap b = rebuild case b in
+    let p, s =
+      Shrink.minimize ~budget:slice
+        ~keep:(fun p -> keep (wrap p.Ast.body))
+        (Ast.program body)
+    in
+    (wrap p.Ast.body, add stats s)
+  in
+  let stats = { Shrink.steps = 0; evals = 0 } in
+  (* Replacement body. *)
+  let case, stats =
+    shrink_body case.replacement.Ast.m_body
+      (fun case b ->
+        { case with replacement = { case.replacement with Ast.m_body = b } })
+      case stats
+  in
+  (* Each module body of the base unit. *)
+  let case, stats =
+    List.fold_left
+      (fun (case, stats) name ->
+        match
+          List.find_opt
+            (fun (m : Ast.module_unit) ->
+              String.equal m.Ast.iface.Ast.m_name name)
+            case.unit_.Ast.modules
+        with
+        | None -> (case, stats)
+        | Some m ->
+          shrink_body m.Ast.m_body
+            (fun case b ->
+              {
+                case with
+                unit_ =
+                  {
+                    case.unit_ with
+                    Ast.modules =
+                      List.map
+                        (fun (m : Ast.module_unit) ->
+                          if String.equal m.Ast.iface.Ast.m_name name then
+                            { m with Ast.m_body = b }
+                          else m)
+                        case.unit_.Ast.modules;
+                  };
+              })
+            case stats)
+      (case, stats)
+      (List.map
+         (fun (m : Ast.module_unit) -> m.Ast.iface.Ast.m_name)
+         case.unit_.Ast.modules)
+  in
+  (* Main body. *)
+  match case.unit_.Ast.main with
+  | None -> (case, stats)
+  | Some main ->
+    shrink_body main.Ast.body
+      (fun case b ->
+        {
+          case with
+          unit_ =
+            { case.unit_ with Ast.main = Some { main with Ast.body = b } };
+        })
+      case stats

@@ -122,4 +122,9 @@ let run ?override_cfm ?override_cert ?override_lint ?stored_cfm ~ni_seed
       (match stored_cfm with
       | Some stored -> not (Bool.equal stored cfm)
       | None -> false);
+    (* The refinement leg runs on module pairs, not plain programs; see
+       Modfuzz. *)
+    refine_checked = false;
+    refine_claimed_safe = false;
+    refine_dyn_leak = false;
   }

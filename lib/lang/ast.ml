@@ -83,6 +83,34 @@ type decl =
 
 type program = { decls : decl list; body : stmt }
 
+(** Module interfaces (compositional certification). A module names the
+    variables it exports with an upper class bound ([provides (x : class
+    <= k)]: readers may assume [cls(x) <= k]) and the variables it
+    imports with a lower class bound ([requires (y : class >= k')]: the
+    linker must supply [y] at class at least [k']). Bounds are class
+    {e names}, resolved against a lattice by the module system — the
+    syntax layer stays scheme-agnostic, exactly like [decl] class
+    annotations. *)
+type iface_entry = { iv_name : string; iv_class : string }
+
+type iface = {
+  m_name : string;
+  provides : iface_entry list;
+  requires : iface_entry list;
+}
+
+(** A module: its interface, its own declarations and its body. Imports
+    ([requires]) are deliberately {e not} declared — they resolve at link
+    time against another module's export or the main program's
+    declarations. *)
+type module_unit = { iface : iface; m_decls : decl list; m_body : stmt }
+
+(** A linked compilation unit: modules followed by an optional main
+    program. Its execution (and whole-program certification reference)
+    is the {e elaboration}: all declarations merged, bodies composed
+    sequentially — see [Ifc_modsys.Link.elaborate]. *)
+type linked = { modules : module_unit list; main : program option }
+
 (* ------------------------------------------------------------------ *)
 (* Combinators *)
 
@@ -194,3 +222,29 @@ let equal_program p1 p2 =
   List.length p1.decls = List.length p2.decls
   && List.for_all2 equal_decl p1.decls p2.decls
   && equal_stmt p1.body p2.body
+
+let equal_iface_entry a b =
+  String.equal a.iv_name b.iv_name && String.equal a.iv_class b.iv_class
+
+let equal_iface a b =
+  String.equal a.m_name b.m_name
+  && List.length a.provides = List.length b.provides
+  && List.for_all2 equal_iface_entry a.provides b.provides
+  && List.length a.requires = List.length b.requires
+  && List.for_all2 equal_iface_entry a.requires b.requires
+
+let equal_module_unit a b =
+  equal_iface a.iface b.iface
+  && List.length a.m_decls = List.length b.m_decls
+  && List.for_all2 equal_decl a.m_decls b.m_decls
+  && equal_stmt a.m_body b.m_body
+
+let equal_linked a b =
+  List.length a.modules = List.length b.modules
+  && List.for_all2 equal_module_unit a.modules b.modules
+  && Option.equal equal_program a.main b.main
+
+(** [module_program m] views a module's own declarations and body as an
+    ordinary program — the unit summarization walks and component
+    certificates are emitted against. *)
+let module_program m = { decls = m.m_decls; body = m.m_body }

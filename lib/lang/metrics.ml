@@ -80,6 +80,19 @@ let length p =
   let m = of_program p in
   m.statements + m.expr_nodes
 
+let of_linked (l : Ast.linked) =
+  let bodies = List.map (fun (m : Ast.module_unit) -> of_stmt m.m_body) l.modules in
+  let main = match l.main with None -> zero | Some p -> of_program p in
+  List.fold_left add main bodies
+
+(** Interface size: the number of provides + requires entries across the
+    unit — the quantity linked certification cost should scale with. *)
+let interface_size (l : Ast.linked) =
+  List.fold_left
+    (fun acc (m : Ast.module_unit) ->
+      acc + List.length m.iface.provides + List.length m.iface.requires)
+    0 l.modules
+
 let pp ppf m =
   Fmt.pf ppf
     "@[<v>statements: %d@ assignments: %d@ branches: %d@ loops: %d@ cobegins: %d@ \

@@ -24,4 +24,13 @@ val length : Ast.program -> int
 (** [length p] is [statements + expr_nodes] — the "length of the program"
     in the paper's complexity claim. *)
 
+val of_linked : Ast.linked -> t
+(** [of_linked l] aggregates metrics over every module body and the main
+    program of a linked unit. *)
+
+val interface_size : Ast.linked -> int
+(** [interface_size l] is the total number of [provides] + [requires]
+    entries — the quantity linked certification cost scales with (module
+    bodies, by contrast, contribute only to {!of_linked}). *)
+
 val pp : Format.formatter -> t -> unit

@@ -341,6 +341,74 @@ let parse_decls st =
   else []
 
 (* ------------------------------------------------------------------ *)
+(* Modules *)
+
+(* 'provides (x : class <= k, ...)' / 'requires (y : class >= k, ...)'.
+   The bound direction is part of the syntax: exports carry upper bounds
+   (readers may assume at most [k]), imports carry lower bounds (the
+   linker must supply at least [k]) — using the wrong relation is a parse
+   error, not a silent reinterpretation. *)
+let parse_iface_entries st ~bound =
+  expect st Token.LPAREN;
+  let entry () =
+    let iv_name = expect_ident st "a variable name" in
+    expect st Token.COLON;
+    expect st Token.KW_CLASS;
+    expect st bound;
+    let iv_class = expect_ident st "a class name" in
+    { Ast.iv_name; iv_class }
+  in
+  let rec loop acc =
+    let e = entry () in
+    if peek st = Token.COMMA then begin
+      advance st;
+      loop (e :: acc)
+    end
+    else List.rev (e :: acc)
+  in
+  let entries = loop [] in
+  expect st Token.RPAREN;
+  entries
+
+let parse_module_unit st =
+  expect st Token.KW_MODULE;
+  let m_name = expect_ident st "a module name" in
+  let provides =
+    if peek st = Token.KW_PROVIDES then begin
+      advance st;
+      parse_iface_entries st ~bound:Token.LE
+    end
+    else []
+  in
+  let requires =
+    if peek st = Token.KW_REQUIRES then begin
+      advance st;
+      parse_iface_entries st ~bound:Token.GE
+    end
+    else []
+  in
+  let m_decls = parse_decls st in
+  let m_body = parse_statement st in
+  expect st Token.KW_END;
+  { Ast.iface = { Ast.m_name; provides; requires }; m_decls; m_body }
+
+let parse_linked_unit st =
+  let rec modules acc =
+    if peek st = Token.KW_MODULE then modules (parse_module_unit st :: acc)
+    else List.rev acc
+  in
+  let modules = modules [] in
+  let main =
+    if peek st = Token.EOF then None
+    else begin
+      let decls = parse_decls st in
+      let body = parse_statement st in
+      Some { Ast.decls; body }
+    end
+  in
+  { Ast.modules; main }
+
+(* ------------------------------------------------------------------ *)
 (* Entry points *)
 
 let run src entry =
@@ -369,3 +437,14 @@ let parse_program src =
 let parse_stmt src = run src parse_statement
 
 let parse_expr src = run src parse_expression
+
+let parse_linked src = run src parse_linked_unit
+
+(* Cheap syntactic dispatch for loaders that accept either form: a linked
+   unit begins with the 'module' keyword (possibly after whitespace and
+   comments, which the lexer strips). *)
+let looks_linked src =
+  match Lexer.tokenize src with
+  | Error _ -> false
+  | Ok tokens -> (
+    match tokens with { Lexer.token = Token.KW_MODULE; _ } :: _ -> true | _ -> false)

@@ -36,3 +36,24 @@ val parse_stmt : string -> (Ast.stmt, error) result
 
 val parse_expr : string -> (Ast.expr, error) result
 (** [parse_expr src] parses a single expression. *)
+
+val parse_linked : string -> (Ast.linked, error) result
+(** [parse_linked src] parses a linked compilation unit:
+
+    {v
+    linked  := module* [program]
+    module  := 'module' ident ['provides' '(' pentry (',' pentry)* ')']
+                              ['requires' '(' rentry (',' rentry)* ')']
+               [decls] stmt 'end'
+    pentry  := ident ':' 'class' '<=' ident
+    rentry  := ident ':' 'class' '>=' ident
+    v}
+
+    Exports carry upper class bounds, imports lower bounds; the bound
+    direction is enforced syntactically. A plain program parses as a
+    linked unit with no modules. *)
+
+val looks_linked : string -> bool
+(** [looks_linked src] is [true] iff [src] lexes and its first token is
+    the [module] keyword — used by loaders that accept either a plain
+    program or a linked unit. *)

@@ -113,8 +113,44 @@ let pp_program ppf (p : Ast.program) =
       (Fmt.list ~sep:Fmt.cut pp_decl)
       decls pp_stmt p.body
 
+let pp_iface_entry rel ppf (e : Ast.iface_entry) =
+  Fmt.pf ppf "%s : class %s %s" e.iv_name rel e.iv_class
+
+let pp_iface_clause rel kw ppf = function
+  | [] -> ()
+  | entries ->
+    Fmt.pf ppf "@ @[<hv 2>%s (%a)@]" kw
+      (Fmt.list ~sep:(Fmt.any ",@ ") (pp_iface_entry rel))
+      entries
+
+let pp_module_unit ppf (m : Ast.module_unit) =
+  let header ppf () =
+    Fmt.pf ppf "@[<hv 2>module %s%a@]" m.iface.m_name
+      (fun ppf () ->
+        pp_iface_clause "<=" "provides" ppf m.iface.provides;
+        pp_iface_clause ">=" "requires" ppf m.iface.requires)
+      ()
+  in
+  match m.m_decls with
+  | [] -> Fmt.pf ppf "@[<v>%a@;<1 2>@[<v>%a@]@ end@]" header () pp_stmt m.m_body
+  | decls ->
+    Fmt.pf ppf "@[<v>%a@;<1 2>@[<v>var@;<1 2>@[<v>%a@]@ %a@]@ end@]" header ()
+      (Fmt.list ~sep:Fmt.cut pp_decl)
+      decls pp_stmt m.m_body
+
+let pp_linked ppf (l : Ast.linked) =
+  let sep = Fmt.any "@ @ " in
+  match (l.modules, l.main) with
+  | [], None -> Fmt.pf ppf "@[<v>skip@]"
+  | [], Some main -> pp_program ppf main
+  | modules, None -> Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep pp_module_unit) modules
+  | modules, Some main ->
+    Fmt.pf ppf "@[<v>%a@ @ %a@]" (Fmt.list ~sep pp_module_unit) modules pp_program main
+
 let expr_to_string e = Fmt.str "%a" pp_expr e
 
 let stmt_to_string s = Fmt.str "%a" pp_stmt s
 
 let program_to_string p = Fmt.str "%a" pp_program p
+
+let linked_to_string l = Fmt.str "%a" pp_linked l

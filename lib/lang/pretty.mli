@@ -18,3 +18,14 @@ val expr_to_string : Ast.expr -> string
 val stmt_to_string : Ast.stmt -> string
 
 val program_to_string : Ast.program -> string
+
+val pp_module_unit : Format.formatter -> Ast.module_unit -> unit
+
+val pp_linked : Format.formatter -> Ast.linked -> unit
+
+val linked_to_string : Ast.linked -> string
+(** [linked_to_string l] renders a linked unit; like {!program_to_string}
+    it round-trips through {!Parser.parse_linked} and is the canonical
+    form module digests are computed over. An empty unit (no modules, no
+    main) prints as [skip] so the digest basis is never the empty
+    string. *)

@@ -29,6 +29,9 @@ type t =
   | KW_RECV
   | KW_DECLASSIFY
   | KW_TO
+  | KW_MODULE
+  | KW_PROVIDES
+  | KW_REQUIRES
   | KW_TRUE
   | KW_FALSE
   | KW_AND
@@ -84,6 +87,9 @@ let keywords =
     ("recv", KW_RECV);
     ("declassify", KW_DECLASSIFY);
     ("to", KW_TO);
+    ("module", KW_MODULE);
+    ("provides", KW_PROVIDES);
+    ("requires", KW_REQUIRES);
     ("true", KW_TRUE);
     ("false", KW_FALSE);
     ("and", KW_AND);
@@ -119,6 +125,9 @@ let to_string = function
   | KW_RECV -> "recv"
   | KW_DECLASSIFY -> "declassify"
   | KW_TO -> "to"
+  | KW_MODULE -> "module"
+  | KW_PROVIDES -> "provides"
+  | KW_REQUIRES -> "requires"
   | KW_TRUE -> "true"
   | KW_FALSE -> "false"
   | KW_AND -> "and"

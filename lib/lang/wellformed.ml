@@ -246,6 +246,178 @@ let errors p = List.filter (fun i -> i.severity = Error) (check p)
 
 let is_valid p = errors p = []
 
+(* ------------------------------------------------------------------ *)
+(* Linked units *)
+
+let decl_name = function
+  | Ast.Var_decl { name; _ }
+  | Ast.Arr_decl { name; _ }
+  | Ast.Sem_decl { name; _ }
+  | Ast.Chan_decl { name; _ } ->
+    name
+
+(* Interface checks for one module, independent of the rest of the unit:
+   every export is a locally declared integer variable, no import is
+   shadowed by a local declaration, and no name appears twice in the same
+   clause. The body is checked with imports in scope as integer
+   variables — that is exactly how the elaboration will declare them if
+   the providing side does. *)
+let module_issues (m : Ast.module_unit) =
+  let label = Printf.sprintf "module %s" m.iface.m_name in
+  let local = List.map decl_name m.m_decls |> Sset.of_list in
+  let dup_entries what entries =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (e : Ast.iface_entry) ->
+        if Hashtbl.mem seen e.iv_name then
+          Some
+            (error Loc.dummy
+               (Printf.sprintf "%s lists %s twice in %s" label e.iv_name what))
+        else begin
+          Hashtbl.add seen e.iv_name ();
+          None
+        end)
+      entries
+  in
+  let provide_issues =
+    List.filter_map
+      (fun (e : Ast.iface_entry) ->
+        let declared_as =
+          List.find_opt (fun d -> String.equal (decl_name d) e.iv_name) m.m_decls
+        in
+        match declared_as with
+        | Some (Ast.Var_decl _) -> None
+        | Some d ->
+          Some
+            (error Loc.dummy
+               (Printf.sprintf "%s provides %s, which is declared as a %s; interfaces \
+                                export integer variables only"
+                  label e.iv_name (decl_kind d)))
+        | None ->
+          Some
+            (error Loc.dummy
+               (Printf.sprintf "%s provides %s but does not declare it" label e.iv_name)))
+      m.iface.provides
+  in
+  let require_issues =
+    List.filter_map
+      (fun (e : Ast.iface_entry) ->
+        if Sset.mem e.iv_name local then
+          Some
+            (error Loc.dummy
+               (Printf.sprintf "%s requires %s but also declares it locally" label
+                  e.iv_name))
+        else None)
+      m.iface.requires
+  in
+  let scoped =
+    let imports =
+      List.map (fun (e : Ast.iface_entry) -> Ast.Var_decl { name = e.iv_name; cls = None })
+        m.iface.requires
+    in
+    { Ast.decls = m.m_decls @ imports; body = m.m_body }
+  in
+  dup_entries "provides" m.iface.provides
+  @ dup_entries "requires" m.iface.requires
+  @ provide_issues @ require_issues @ check scoped
+
+let check_linked (l : Ast.linked) =
+  let name_issues =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (m : Ast.module_unit) ->
+        let n = m.iface.m_name in
+        if Hashtbl.mem seen n then
+          Some (error Loc.dummy (Printf.sprintf "duplicate module name %s" n))
+        else begin
+          Hashtbl.add seen n ();
+          None
+        end)
+      l.modules
+  in
+  (* Each exported name has a unique provider; the linker would otherwise
+     not know whose class bound governs it. *)
+  let export_issues =
+    let seen = Hashtbl.create 16 in
+    List.concat_map
+      (fun (m : Ast.module_unit) ->
+        List.filter_map
+          (fun (e : Ast.iface_entry) ->
+            match Hashtbl.find_opt seen e.iv_name with
+            | Some first ->
+              Some
+                (error Loc.dummy
+                   (Printf.sprintf "%s exported by both module %s and module %s" e.iv_name
+                      first m.iface.m_name))
+            | None ->
+              Hashtbl.add seen e.iv_name m.iface.m_name;
+              None)
+          m.iface.provides)
+      l.modules
+  in
+  (* Every import resolves: to another module's export or to a main
+     declaration. Self-resolution is excluded — a module cannot satisfy
+     its own requirement. *)
+  let resolution_issues =
+    let main_names =
+      match l.main with
+      | None -> Sset.empty
+      | Some p -> List.map decl_name p.decls |> Sset.of_list
+    in
+    List.concat_map
+      (fun (m : Ast.module_unit) ->
+        List.filter_map
+          (fun (e : Ast.iface_entry) ->
+            let provided_elsewhere =
+              List.exists
+                (fun (other : Ast.module_unit) ->
+                  (not (String.equal other.iface.m_name m.iface.m_name))
+                  && List.exists
+                       (fun (p : Ast.iface_entry) -> String.equal p.iv_name e.iv_name)
+                       other.iface.provides)
+                l.modules
+            in
+            if provided_elsewhere || Sset.mem e.iv_name main_names then None
+            else
+              Some
+                (error Loc.dummy
+                   (Printf.sprintf
+                      "module %s requires %s, which no other module provides and main \
+                       does not declare"
+                      m.iface.m_name e.iv_name)))
+          m.iface.requires)
+      l.modules
+  in
+  (* Main is checked with every export in scope as an integer variable. *)
+  let main_issues =
+    match l.main with
+    | None -> []
+    | Some p ->
+      let exports =
+        List.concat_map
+          (fun (m : Ast.module_unit) ->
+            List.filter_map
+              (fun (e : Ast.iface_entry) ->
+                if List.exists (fun d -> String.equal (decl_name d) e.iv_name) p.decls
+                then None
+                else Some (Ast.Var_decl { name = e.iv_name; cls = None }))
+              m.iface.provides)
+          l.modules
+      in
+      check { p with decls = p.decls @ exports }
+  in
+  let issues =
+    name_issues @ export_issues @ resolution_issues
+    @ List.concat_map module_issues l.modules
+    @ main_issues
+  in
+  let severity_rank i = match i.severity with Error -> 0 | Warning -> 1 in
+  List.stable_sort (fun a b -> compare (severity_rank a) (severity_rank b)) issues
+
+let linked_errors l = List.filter (fun i -> i.severity = Error) (check_linked l)
+
+let linked_is_valid l = linked_errors l = []
+
 (* Names used in array position (Index/Store). *)
 let rec array_names (s : Ast.stmt) =
   let rec of_expr = function

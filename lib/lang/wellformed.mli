@@ -27,6 +27,21 @@ val errors : Ast.program -> issue list
 val is_valid : Ast.program -> bool
 (** [is_valid p] iff [errors p = []]. *)
 
+val check_linked : Ast.linked -> issue list
+(** [check_linked l] checks a linked unit, errors first: unique module
+    names; every exported name has a unique provider and is a locally
+    declared integer variable; no import is shadowed by a local
+    declaration or listed twice; every import resolves to another
+    module's export or a main declaration; each module body (with its
+    imports in scope as integer variables) and the main program (with all
+    exports in scope) pass {!check}. *)
+
+val linked_errors : Ast.linked -> issue list
+(** [linked_errors l] is [check_linked l] restricted to severity [Error]. *)
+
+val linked_is_valid : Ast.linked -> bool
+(** [linked_is_valid l] iff [linked_errors l = []]. *)
+
 val default_array_size : int
 (** Size given to arrays synthesised by {!infer_decls} (8). *)
 

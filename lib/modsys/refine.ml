@@ -1,0 +1,111 @@
+(* Refinement checking: summary-vs-summary dominance. Each clause is the
+   monotone direction of one quantity Link.certify consumes, so passing
+   here implies every certified link survives the swap. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Ast = Ifc_lang.Ast
+module Linked = Ifc_cert.Linked
+
+type report = { ok : bool; reasons : string list }
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+let check ~lattice ?default ~(iface : Ast.iface) ~(base : Linked.summary)
+    (replacement : Ast.module_unit) =
+  Result.map
+    (fun (r : Linked.summary) ->
+      let reasons = ref [] in
+      let reject fmt = Printf.ksprintf (fun s -> reasons := s :: !reasons) fmt in
+      let resolve what cls =
+        match lattice.Lattice.of_string cls with
+        | Ok c -> Some c
+        | Error _ ->
+          reject "unknown class %s in %s" cls what;
+          None
+      in
+      if not r.Linked.locals_ok then
+        reject "replacement's import-free internal checks fail";
+      if not r.Linked.exports_ok then
+        reject "replacement's exports exceed its own interface bounds";
+      (* Interface coverage: every provided name of the interface, at or
+         below its bound. *)
+      List.iter
+        (fun (e : Ast.iface_entry) ->
+          match List.assoc_opt e.iv_name r.Linked.exports with
+          | None -> reject "replacement does not provide %s" e.iv_name
+          | Some cls -> (
+            match (resolve "replacement export" cls, resolve "provides bound" e.iv_class)
+            with
+            | Some c, Some bound ->
+              if not (lattice.Lattice.leq c bound) then
+                reject "replacement exports %s at %s, above the interface bound %s"
+                  e.iv_name cls e.iv_class
+            | _ -> ()))
+        iface.provides;
+      (* Requires: no new import, no strengthened lower bound. *)
+      List.iter
+        (fun (y, bound) ->
+          match
+            List.find_opt (fun (e : Ast.iface_entry) -> String.equal e.iv_name y)
+              iface.requires
+          with
+          | None -> reject "replacement requires %s, which the interface does not" y
+          | Some e -> (
+            match (resolve "replacement requires" bound, resolve "requires bound" e.iv_class)
+            with
+            | Some b, Some ib ->
+              if not (lattice.Lattice.leq b ib) then
+                reject
+                  "replacement requires %s at bound %s, above the interface's %s" y
+                  bound e.iv_class
+            | _ -> ()))
+        r.Linked.requires;
+      (* Residual constraints: a subset of the base's — no new obligation
+         on the linker. *)
+      List.iter
+        (fun c ->
+          if not (List.mem c base.Linked.constraints) then
+            reject "replacement adds a residual constraint the base does not have")
+        r.Linked.constraints;
+      (* Flow: at or below the base's. *)
+      (match (r.Linked.sflow, base.Linked.sflow) with
+      | Linked.F_nil, _ -> ()
+      | Linked.F_sym { base = b; over = [] }, Linked.F_nil -> (
+        match resolve "replacement flow" b with
+        | Some c when lattice.Lattice.equal c lattice.Lattice.bottom -> ()
+        | Some _ -> reject "replacement produces a global flow where the base has none"
+        | None -> ())
+      | Linked.F_sym _, Linked.F_nil ->
+        reject "replacement produces a global flow where the base has none"
+      | Linked.F_sym { base = rb; over = ro }, Linked.F_sym { base = bb; over = bo } ->
+        (match (resolve "replacement flow" rb, resolve "base flow" bb) with
+        | Some rc, Some bc ->
+          if not (lattice.Lattice.leq rc bc) then
+            reject "replacement's flow base %s is above the base module's %s" rb bb
+        | _ -> ());
+        if not (subset ro bo) then
+          reject "replacement's flow mentions an import the base's does not");
+      (* Mod: at or above the base's. *)
+      (match
+         ( lattice.Lattice.of_string base.Linked.smod.Linked.floor,
+           lattice.Lattice.of_string r.Linked.smod.Linked.floor )
+       with
+      | Ok bf, Ok rf ->
+        if not (lattice.Lattice.leq bf rf) then
+          reject "replacement's mod floor %s is below the base module's %s"
+            r.Linked.smod.Linked.floor base.Linked.smod.Linked.floor
+      | _ -> ignore (resolve "replacement mod" r.Linked.smod.Linked.floor));
+      if not (subset r.Linked.smod.Linked.under base.Linked.smod.Linked.under) then
+        reject "replacement's mod meets in an import the base's does not";
+      (* Obligations: within the base's synchronization surface. *)
+      let within what xs ys = if not (subset xs ys) then reject "replacement %s" what in
+      within "sends on a channel the base does not" r.Linked.sends base.Linked.sends;
+      within "receives on a channel the base does not" r.Linked.recvs base.Linked.recvs;
+      within "waits on a semaphore the base does not" r.Linked.waits base.Linked.waits;
+      within "signals a semaphore the base does not" r.Linked.signals base.Linked.signals;
+      { ok = !reasons = []; reasons = List.rev !reasons })
+    (Summary.summarize ~lattice ?default replacement)
+
+let check_against ~lattice ?default ~(base : Ast.module_unit) replacement =
+  Result.bind (Summary.summarize ~lattice ?default base) (fun bs ->
+      check ~lattice ?default ~iface:base.Ast.iface ~base:bs replacement)

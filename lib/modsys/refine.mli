@@ -1,0 +1,50 @@
+(** Security-preserving refinement: may a replacement module stand in
+    for whatever currently implements an interface?
+
+    [check] compares the replacement's summary against the interface and
+    against the summary of the module it replaces, and accepts only when
+    every certified link stays certified after the swap — the summary
+    comparison is monotone in each quantity CFM consumes:
+
+    - constraints: a subset of the base's (no new residual obligation on
+      the linker);
+    - flow: at or below the base's symbolic flow (never a new global
+      flow);
+    - mod: at or above the base's symbolic mod (never a weaker
+      composition target);
+    - obligations: channel endpoints and wait/signal sets within the
+      base's (no new synchronization surface);
+    - interface: every provided name exported at or below its bound,
+      requires a subset of the interface's at equal-or-lower bounds.
+
+    A replacement passing [check] therefore satisfies {e refinement
+    soundness}: [Link.certify] of any unit that certified with the base
+    module certifies with the replacement. The [refine-unsound] fuzzing
+    inversion hunts for violations of exactly this implication. *)
+
+module Lattice := Ifc_lattice.Lattice
+
+type report = {
+  ok : bool;
+  reasons : string list;  (** Why the refinement was rejected; empty iff [ok]. *)
+}
+
+val check :
+  lattice:string Lattice.t ->
+  ?default:string ->
+  iface:Ifc_lang.Ast.iface ->
+  base:Ifc_cert.Linked.summary ->
+  Ifc_lang.Ast.module_unit ->
+  (report, string) result
+(** [check ~iface ~base replacement]: is [replacement] a sound stand-in
+    for the module summarized by [base] behind [iface]? [Error] reports a
+    structural problem (unresolvable class names in the replacement). *)
+
+val check_against :
+  lattice:string Lattice.t ->
+  ?default:string ->
+  base:Ifc_lang.Ast.module_unit ->
+  Ifc_lang.Ast.module_unit ->
+  (report, string) result
+(** [check_against ~base replacement] summarizes [base] itself and uses
+    its interface: the common "swap one module of a unit" case. *)

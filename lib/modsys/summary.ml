@@ -1,0 +1,324 @@
+(* The symbolic Figure 2 walk. Each case mirrors Cfm.traverse exactly;
+   the only difference is the domain: classes carry an import part. *)
+
+module Lattice = Ifc_lattice.Lattice
+module Extended = Ifc_lattice.Extended
+module Ast = Ifc_lang.Ast
+module Binding = Ifc_core.Binding
+module Linked = Ifc_cert.Linked
+module Store = Ifc_store.Store
+module Sset = Ifc_support.Sset
+
+(* Join-form symbolic class: base ⊕ ⊕_{y ∈ over} cls(y). *)
+type sym = { base : string; over : Sset.t }
+
+(* Meet-form symbolic mod: floor ⊗ ⊗_{y ∈ under} cls(y). *)
+type symod = { floor : string; under : Sset.t }
+
+type syflow = F_nil | F_el of sym
+
+type walk_state = {
+  lat : string Lattice.t;
+  bind : string Binding.t;
+  imports : Sset.t;
+  mutable constraints : Linked.constr list;
+  mutable locals_ok : bool;
+  mutable sends : Sset.t;
+  mutable recvs : Sset.t;
+  mutable waits : Sset.t;
+  mutable signals : Sset.t;
+}
+
+let sym_const _st c = { base = c; over = Sset.empty }
+
+let sym_join st a b = { base = st.lat.Lattice.join a.base b.base; over = Sset.union a.over b.over }
+
+let sym_of_name st x =
+  if Sset.mem x st.imports then { base = st.lat.Lattice.bottom; over = Sset.singleton x }
+  else sym_const st (Binding.sbind st.bind x)
+
+let rec sym_of_expr st = function
+  | Ast.Int _ | Ast.Bool _ -> sym_const st st.lat.Lattice.bottom
+  | Ast.Var x -> sym_of_name st x
+  | Ast.Index (a, i) -> sym_join st (sym_of_name st a) (sym_of_expr st i)
+  | Ast.Unop (_, e) -> sym_of_expr st e
+  | Ast.Binop (_, e1, e2) -> sym_join st (sym_of_expr st e1) (sym_of_expr st e2)
+
+let mod_of_name st x =
+  if Sset.mem x st.imports then { floor = st.lat.Lattice.top; under = Sset.singleton x }
+  else { floor = Binding.sbind st.bind x; under = Sset.empty }
+
+let mod_meet st a b =
+  { floor = st.lat.Lattice.meet a.floor b.floor; under = Sset.union a.under b.under }
+
+let mod_top st = { floor = st.lat.Lattice.top; under = Sset.empty }
+
+let flow_join st f1 f2 =
+  match (f1, f2) with
+  | F_nil, f | f, F_nil -> f
+  | F_el a, F_el b -> F_el (sym_join st a b)
+
+(* Decompose a symbolic check [flow <= mod] into atoms. Concrete/concrete
+   atoms discharge now into [locals_ok]; anything touching an import
+   becomes a residual constraint. Trivial atoms — a bottom on the left, a
+   top on the right, cls(y) <= cls(y) — are dropped, which is what keeps
+   the residue bounded by the interface, not the body. *)
+let record st lhs rhs =
+  match lhs with
+  | F_nil -> ()
+  | F_el { base; over } ->
+    let l = st.lat in
+    let lhs_atoms =
+      (if l.Lattice.equal base l.Lattice.bottom then [] else [ `Const base ])
+      @ List.map (fun y -> `Cls y) (Sset.elements over)
+    in
+    let rhs_atoms =
+      (if l.Lattice.equal rhs.floor l.Lattice.top then [] else [ `Const rhs.floor ])
+      @ List.map (fun z -> `Cls z) (Sset.elements rhs.under)
+    in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            match (a, b) with
+            | `Const k1, `Const k2 ->
+              if not (l.Lattice.leq k1 k2) then st.locals_ok <- false
+            | `Cls y, `Const k ->
+              st.constraints <- Linked.Upper (y, l.Lattice.to_string k) :: st.constraints
+            | `Const k, `Cls z ->
+              st.constraints <- Linked.Lower (l.Lattice.to_string k, z) :: st.constraints
+            | `Cls y, `Cls z ->
+              if not (String.equal y z) then
+                st.constraints <- Linked.Rel (y, z) :: st.constraints)
+          rhs_atoms)
+      lhs_atoms
+
+(* The traversal. Returns (mod, flow); checks and obligations accumulate
+   in the state. self_check is pinned to false — the default reading, and
+   the one Link and the whole-program comparison use. *)
+let rec go st (s : Ast.stmt) =
+  let l = st.lat in
+  match s.node with
+  | Ast.Skip -> (mod_top st, F_nil)
+  | Ast.Assign (x, e) ->
+    let target = mod_of_name st x in
+    record st (F_el (sym_of_expr st e)) target;
+    (target, F_nil)
+  | Ast.Declassify (x, _, cls) ->
+    let target = mod_of_name st x in
+    let source =
+      match l.Lattice.of_string cls with Ok c -> c | Error _ -> l.Lattice.top
+    in
+    record st (F_el (sym_const st source)) target;
+    (target, F_nil)
+  | Ast.Store (a, i, e) ->
+    let target = mod_of_name st a in
+    let source = sym_join st (sym_of_expr st i) (sym_of_expr st e) in
+    record st (F_el source) target;
+    (target, F_nil)
+  | Ast.Wait sem ->
+    st.waits <- Sset.add sem st.waits;
+    (mod_of_name st sem, F_el (sym_of_name st sem))
+  | Ast.Signal sem ->
+    st.signals <- Sset.add sem st.signals;
+    (mod_of_name st sem, F_nil)
+  | Ast.Send (chan, e) ->
+    st.sends <- Sset.add chan st.sends;
+    let c = mod_of_name st chan in
+    record st (F_el (sym_of_expr st e)) c;
+    (c, F_nil)
+  | Ast.Recv (chan, x) ->
+    st.recvs <- Sset.add chan st.recvs;
+    let target = mod_of_name st x in
+    record st (F_el (sym_of_name st chan)) target;
+    (mod_meet st (mod_of_name st chan) target, F_el (sym_of_name st chan))
+  | Ast.If (cond, then_, else_) ->
+    let m1, f1 = go st then_ in
+    let m2, f2 = go st else_ in
+    let e_sym = sym_of_expr st cond in
+    let mod_ = mod_meet st m1 m2 in
+    let flow =
+      match flow_join st f1 f2 with
+      | F_nil -> F_nil
+      | F_el f -> F_el (sym_join st f e_sym)
+    in
+    record st (F_el e_sym) mod_;
+    (mod_, flow)
+  | Ast.While (cond, body) ->
+    let m1, f1 = go st body in
+    let e_sym = sym_of_expr st cond in
+    let flow =
+      F_el
+        (match f1 with
+        | F_nil -> e_sym
+        | F_el f -> sym_join st f e_sym)
+    in
+    record st flow m1;
+    (m1, flow)
+  | Ast.Seq stmts ->
+    let results = List.map (fun s' -> go st s') stmts in
+    let mod_ = List.fold_left (fun acc (m, _) -> mod_meet st acc m) (mod_top st) results in
+    let flow = List.fold_left (fun acc (_, f) -> flow_join st acc f) F_nil results in
+    let _ =
+      List.fold_left
+        (fun (i, prefix) (mi, fi) ->
+          if i > 0 then record st prefix mi;
+          (i + 1, flow_join st prefix fi))
+        (0, F_nil) results
+    in
+    (mod_, flow)
+  | Ast.Cobegin branches ->
+    let results = List.map (fun s' -> go st s') branches in
+    let mod_ = List.fold_left (fun acc (m, _) -> mod_meet st acc m) (mod_top st) results in
+    let flow = List.fold_left (fun acc (_, f) -> flow_join st acc f) F_nil results in
+    (mod_, flow)
+
+let summarize ~lattice ?default (m : Ast.module_unit) =
+  let resolve what cls =
+    match lattice.Lattice.of_string cls with
+    | Ok c -> Ok c
+    | Error _ -> Error (Printf.sprintf "unknown class %s in %s" cls what)
+  in
+  let rec resolve_entries what = function
+    | [] -> Ok []
+    | (e : Ast.iface_entry) :: rest ->
+      Result.bind (resolve what e.iv_class) (fun c ->
+          Result.map (fun tail -> (e.iv_name, c) :: tail) (resolve_entries what rest))
+  in
+  Result.bind
+    (Result.map_error
+       (fun _ -> "unresolvable class annotation in module declarations")
+       (Binding.of_program lattice ?default (Ast.module_program m)))
+    (fun bind ->
+      Result.bind (resolve_entries "provides" m.iface.provides) (fun provides ->
+          Result.bind (resolve_entries "requires" m.iface.requires) (fun requires ->
+              let st =
+                {
+                  lat = lattice;
+                  bind;
+                  imports = Sset.of_list (List.map fst requires);
+                  constraints = [];
+                  locals_ok = true;
+                  sends = Sset.empty;
+                  recvs = Sset.empty;
+                  waits = Sset.empty;
+                  signals = Sset.empty;
+                }
+              in
+              let mod_, flow = go st m.m_body in
+              let to_s = lattice.Lattice.to_string in
+              let exports =
+                List.map (fun (x, _) -> (x, to_s (Binding.sbind bind x))) provides
+              in
+              let exports_ok =
+                List.for_all
+                  (fun (x, bound) -> lattice.Lattice.leq (Binding.sbind bind x) bound)
+                  provides
+              in
+              Ok
+                {
+                  Linked.m_name = m.iface.m_name;
+                  body_digest = Linked.module_digest m;
+                  cert_digest = None;
+                  provides =
+                    List.map (fun (x, c) -> (x, to_s c)) provides;
+                  requires =
+                    List.map (fun (y, c) -> (y, to_s c)) requires;
+                  exports;
+                  smod = { Linked.floor = to_s mod_.floor; under = Sset.elements mod_.under };
+                  sflow =
+                    (match flow with
+                    | F_nil -> Linked.F_nil
+                    | F_el { base; over } ->
+                      Linked.F_sym { base = to_s base; over = Sset.elements over });
+                  constraints = st.constraints;
+                  sends = Sset.elements st.sends;
+                  recvs = Sset.elements st.recvs;
+                  waits = Sset.elements st.waits;
+                  signals = Sset.elements st.signals;
+                  locals_ok = st.locals_ok;
+                  exports_ok;
+                })))
+
+(* ------------------------------------------------------------------ *)
+(* Store persistence *)
+
+let key ~lattice ?default m =
+  let default_s =
+    lattice.Lattice.to_string (Option.value default ~default:lattice.Lattice.bottom)
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            "ifc-modsys 1";
+            Linked.module_digest m;
+            lattice.Lattice.name;
+            String.concat ","
+              (List.map lattice.Lattice.to_string lattice.Lattice.elements);
+            default_s;
+          ]))
+
+let of_store store ~key =
+  match Store.find_summary store ~digest:key with
+  | None -> None
+  | Some s -> (
+    match Linked.summary_of_line s.Store.s_mod with
+    | Ok summary when summary.Linked.locals_ok = s.Store.s_cert -> Some summary
+    | Ok _ | Error _ -> None)
+
+let to_store store ~key (s : Linked.summary) =
+  Store.add_summary store ~digest:key
+    { Store.s_mod = Linked.summary_to_line s; s_flow = None; s_cert = s.Linked.locals_ok }
+
+(* ------------------------------------------------------------------ *)
+(* Resolution under a concrete class assignment *)
+
+let resolve_smod ~lattice ~cls (m : Linked.smod) =
+  let parts =
+    (match lattice.Lattice.of_string m.Linked.floor with
+    | Ok v -> Some v
+    | Error _ -> None)
+    :: List.map
+         (fun y ->
+           Option.bind (cls y) (fun s ->
+               match lattice.Lattice.of_string s with Ok v -> Some v | Error _ -> None))
+         m.Linked.under
+  in
+  if List.exists Option.is_none parts then None
+  else Some (Lattice.meets lattice (List.filter_map Fun.id parts))
+
+let resolve_sflow ~lattice ~cls = function
+  | Linked.F_nil -> Some Extended.Nil
+  | Linked.F_sym { base; over } ->
+    let parts =
+      (match lattice.Lattice.of_string base with Ok v -> Some v | Error _ -> None)
+      :: List.map
+           (fun y ->
+             Option.bind (cls y) (fun s ->
+                 match lattice.Lattice.of_string s with
+                 | Ok v -> Some v
+                 | Error _ -> None))
+           over
+    in
+    if List.exists Option.is_none parts then None
+    else Some (Extended.El (Lattice.joins lattice (List.filter_map Fun.id parts)))
+
+let eval_constr ~lattice ~cls constr =
+  let resolve s =
+    match lattice.Lattice.of_string s with Ok v -> Some v | Error _ -> None
+  in
+  let of_name y = Option.bind (cls y) resolve in
+  match constr with
+  | Linked.Upper (y, k) -> (
+    match (of_name y, resolve k) with
+    | Some cy, Some kv -> Some (lattice.Lattice.leq cy kv)
+    | _ -> None)
+  | Linked.Lower (k, y) -> (
+    match (of_name y, resolve k) with
+    | Some cy, Some kv -> Some (lattice.Lattice.leq kv cy)
+    | _ -> None)
+  | Linked.Rel (y, z) -> (
+    match (of_name y, of_name z) with
+    | Some cy, Some cz -> Some (lattice.Lattice.leq cy cz)
+    | _ -> None)

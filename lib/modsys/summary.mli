@@ -1,0 +1,73 @@
+(** Per-module flow summaries: the symbolic walk behind compositional
+    certification.
+
+    [summarize] runs the Figure 2 traversal over a module body with the
+    module's imports held {e symbolic}: a class is the join of a concrete
+    part with the (unknown) classes of the imports it mentions, a [mod]
+    the meet of a concrete floor with import classes. Every certification
+    check the walk would perform decomposes into atomic comparisons —
+    [join(a, b) <= X] iff [a <= X] and [b <= X]; [A <= meet(B, C)] iff
+    [A <= B] and [A <= C] — so each check either discharges now (both
+    sides concrete: folded into [locals_ok]) or leaves a residual atomic
+    constraint over import classes ({!Ifc_cert.Linked.constr}). Link-time
+    evaluation therefore costs the number of {e distinct} atoms — bounded
+    by interface size and lattice size, never by module body size.
+
+    The walk mirrors [Ifc_core.Cfm.traverse] case for case (the same
+    discipline as the incremental certifier's [combine]); the equivalence
+    "summary resolved under a linked binding = direct CFM on the body" is
+    under test on random modules. Summaries are persisted through the
+    store's summary seam ({!Ifc_store.Store.add_summary}), keyed by
+    {!key} — the module's structural digest plus the classification
+    context. *)
+
+module Lattice := Ifc_lattice.Lattice
+module Linked := Ifc_cert.Linked
+module Store := Ifc_store.Store
+
+val summarize :
+  lattice:string Lattice.t ->
+  ?default:string ->
+  Ifc_lang.Ast.module_unit ->
+  (Linked.summary, string) result
+(** [summarize ~lattice m] computes [m]'s summary. [?default] is the
+    class of undeclared locals (the lattice bottom when omitted), and
+    must match the default used for the linked binding later. [Error]
+    reports an unresolvable class name in a declaration or interface
+    bound. The summary's [cert_digest] is [None]; {!Link.emit} fills it
+    when a component certificate is emitted. *)
+
+val key :
+  lattice:string Lattice.t -> ?default:string -> Ifc_lang.Ast.module_unit -> string
+(** The store digest for [m]'s summary: MD5 over the module's structural
+    digest and the context (lattice name, elements, default class). Two
+    sessions with equal contexts share summaries; any difference changes
+    every key. *)
+
+val of_store : Store.t -> key:string -> Linked.summary option
+(** Look a summary up through the store's summary seam (checksummed,
+    quarantined on damage — see {!Ifc_store.Store.find_summary}). *)
+
+val to_store : Store.t -> key:string -> Linked.summary -> unit
+
+val resolve_smod :
+  lattice:string Lattice.t ->
+  cls:(string -> string option) ->
+  Linked.smod ->
+  string option
+(** Evaluate a symbolic [mod] under a concrete class assignment for
+    imports; [None] if an import is unbound. *)
+
+val resolve_sflow :
+  lattice:string Lattice.t ->
+  cls:(string -> string option) ->
+  Linked.sflow ->
+  string Ifc_lattice.Extended.elt option
+
+val eval_constr :
+  lattice:string Lattice.t ->
+  cls:(string -> string option) ->
+  Linked.constr ->
+  bool option
+(** Evaluate one residual constraint; [None] if a mentioned name is
+    unbound or a constant does not parse. *)

@@ -19,6 +19,7 @@ type analysis =
   | Ni of { pairs : int; max_states : int }
   | Lint
   | Custom of string * (string Binding.t -> Ast.program -> bool * int)
+  | Link of string * (string Binding.t -> Ast.program -> bool * int * string option)
 
 let analysis_name = function
   | Denning -> "denning"
@@ -28,10 +29,12 @@ let analysis_name = function
   | Ni _ -> "ni"
   | Lint -> "lint"
   | Custom (name, _) -> name
+  | Link _ -> "link"
 
 let analysis_key = function
   | Ni { pairs; max_states } -> Printf.sprintf "ni:%d:%d" pairs max_states
   | Custom (name, _) -> "custom:" ^ name
+  | Link (unit_digest, _) -> "link:" ^ unit_digest
   | a -> analysis_name a
 
 let analysis_of_string ?(ni_pairs = 8) ?(ni_max_states = 20_000) = function
@@ -217,6 +220,7 @@ let run_analysis spec analysis =
     | Custom (_, f) ->
       let verdict, checks = f spec.binding spec.program in
       (verdict, checks, None)
+    | Link (_, f) -> f spec.binding spec.program
   in
   {
     analysis = analysis_name analysis;

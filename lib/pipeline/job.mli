@@ -38,6 +38,17 @@ type analysis =
       (** An out-of-tree analysis: [(verdict, check_count)]. The name
           participates in the cache key, so distinct analyses must use
           distinct names. Not constructible from the CLI. *)
+  | Link of
+      string * (string Ifc_core.Binding.t -> Ifc_lang.Ast.program -> bool * int * string option)
+      (** Compositional certification of a linked unit
+          ([Ifc_modsys.Link], injected as a closure so the pipeline stays
+          modsys-free). The spec's program is the unit's elaboration and
+          its binding the linked binding; the carried string is the
+          linked unit's digest, which joins the cache key because the
+          verdict also depends on interface bounds the elaboration does
+          not record. Returns [(verdict, checks, artifact)] — the
+          artifact is the emitted [ifc-cert 2] text when one is
+          produced. *)
 
 val analysis_name : analysis -> string
 (** Display name: ["denning"], ["cfm"], ["prove"], ["ni"], or the custom

@@ -26,6 +26,17 @@ val default : t
 (** 1 MiB requests, 64 connections, 1024 pending jobs, 32 in-flight
     pipelined requests per connection, no deadline. *)
 
+val fd_setsize : int
+(** [1024]: the select(2) fd-set capacity the connection engines are
+    subject to. A descriptor numbered [fd_setsize] or above makes
+    [Unix.select] fail with a raw [EINVAL]. *)
+
+val check_fd_budget : what:string -> int -> (unit, string) result
+(** [check_fd_budget ~what n] rejects a requested connection or client
+    count [n >= fd_setsize] with a message naming [what], so callers
+    fail with a clear configuration error instead of a mid-run
+    [EINVAL]. [n = 0] (unlimited) passes. *)
+
 (** {1 Gauge}
 
     A thread-safe up/down counter with a peak-tracking high-water

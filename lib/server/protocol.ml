@@ -5,10 +5,12 @@ module J = Ifc_pipeline.Telemetry
 (* Version 2 added the cert op; version 3 the lint op; version 4 added
    no ops at all — it is a transport upgrade: a connection that declares
    v=4 may pipeline many requests and must correlate responses by [id],
-   because they may come back out of order. Older requests remain valid
-   and get byte-identical older responses: responses echo the request's
-   declared version, and no pre-existing op's envelope changed shape. *)
-let version = 4
+   because they may come back out of order. Version 5 added the modsys
+   op (module summaries, summary-based linking, refinement checks).
+   Older requests remain valid and get byte-identical older responses:
+   responses echo the request's declared version, and no pre-existing
+   op's envelope changed shape. *)
+let version = 5
 let min_version = 1
 
 (* ------------------------------------------------------------------ *)
@@ -64,10 +66,21 @@ type lint_request = {
   lint_deadline_ms : int option;
 }
 
+type modsys_action = Mod_summary | Mod_link | Mod_refine of string
+
+type modsys_request = {
+  mod_name : string;
+  mod_program : string;
+  mod_lattice : string;
+  mod_action : modsys_action;
+  mod_deadline_ms : int option;
+}
+
 type op =
   | Check of check_request
   | Cert of cert_request
   | Lint of lint_request
+  | Modsys of modsys_request
   | Stats
   | Ping
 
@@ -202,6 +215,48 @@ let parse_lint json =
              lint_deadline_ms;
            }))
 
+let parse_modsys json =
+  match Jsonx.mem_string "program" json with
+  | None -> Error (Bad_request, "modsys requires a string \"program\" field")
+  | Some program -> (
+    let action =
+      match Jsonx.mem_string "action" json with
+      | None | Some "link" -> (
+        match Jsonx.member "replacement" json with
+        | None -> Ok Mod_link
+        | Some _ ->
+          Error
+            (Bad_request, "\"replacement\" is only meaningful with action \"refine\"")
+        )
+      | Some "summary" -> Ok Mod_summary
+      | Some "refine" -> (
+        match Jsonx.mem_string "replacement" json with
+        | Some text -> Ok (Mod_refine text)
+        | None ->
+          Error
+            ( Bad_request,
+              "action \"refine\" requires a string \"replacement\" field" ))
+      | Some other ->
+        Error
+          ( Bad_request,
+            Printf.sprintf "unknown modsys action %S (use summary, link, or refine)"
+              other )
+    in
+    match (action, parse_deadline json) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok mod_action, Ok mod_deadline_ms ->
+      Ok
+        (Modsys
+           {
+             mod_name =
+               Option.value ~default:"request" (Jsonx.mem_string "name" json);
+             mod_program = program;
+             mod_lattice =
+               Option.value ~default:"two" (Jsonx.mem_string "lattice" json);
+             mod_action;
+             mod_deadline_ms;
+           }))
+
 let parse_request line =
   match Jsonx.parse line with
   | Error msg ->
@@ -246,12 +301,22 @@ let parse_request line =
                    "op \"lint\" requires protocol version 3 (request declared \
                     %d)"
                    n ))
+        | Some "modsys" when n >= 5 -> mk (parse_modsys json)
+        | Some "modsys" ->
+          mk
+            (Error
+               ( Bad_request,
+                 Printf.sprintf
+                   "op \"modsys\" requires protocol version 5 (request \
+                    declared %d)"
+                   n ))
         | Some other ->
           mk
             (Error
                ( Bad_request,
                  Printf.sprintf
-                   "unknown op %S (use check, cert, lint, stats, or ping)"
+                   "unknown op %S (use check, cert, lint, modsys, stats, or \
+                    ping)"
                    other )))
       | _ ->
         {
@@ -370,6 +435,22 @@ let lint_line ?(id = J.Null) ?(name = "request") ?deadline_ms program =
           ("name", J.String name);
           ("program", J.String program);
         ]
+       @ opt_field "deadline_ms" (fun n -> J.Int n) deadline_ms))
+
+let modsys_line ?(id = J.Null) ?(name = "request") ?(lattice = "two")
+    ?(action = "link") ?replacement ?deadline_ms program =
+  J.json_to_string
+    (J.Obj
+       ([
+          ("v", J.Int version);
+          ("id", id);
+          ("op", J.String "modsys");
+          ("action", J.String action);
+          ("name", J.String name);
+          ("program", J.String program);
+          ("lattice", J.String lattice);
+        ]
+       @ opt_field "replacement" (fun r -> J.String r) replacement
        @ opt_field "deadline_ms" (fun n -> J.Int n) deadline_ms))
 
 let stats_line ?(id = J.Null) () =

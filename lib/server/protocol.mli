@@ -6,13 +6,15 @@
     module is its implementation. *)
 
 val version : int
-(** [4]. The newest protocol version this server speaks. Requests carry
+(** [5]. The newest protocol version this server speaks. Requests carry
     [{"v": n}] with [min_version <= n <= version]; every response echoes
     the request's declared version, and no pre-existing op's envelope
     changed shape across versions, so older clients see exactly their
     version's wire format. Version 2 added the [cert] op; version 3 the
     [lint] op; version 4 added no ops — it grants the server permission
-    to answer that request out of order (pipelining). *)
+    to answer that request out of order (pipelining); version 5 added
+    the [modsys] op (module summaries, summary-based linking, and
+    refinement checks). *)
 
 val min_version : int
 (** [1]. The oldest protocol version still accepted. *)
@@ -68,10 +70,30 @@ type lint_request = {
   lint_deadline_ms : int option;
 }
 
+type modsys_action =
+  | Mod_summary  (** Summarize each module of the unit. *)
+  | Mod_link  (** Certify the linked unit from summaries; pooled and
+                  digest-cached like check/cert, with the [ifc-cert 2]
+                  text as the response's [cert] field. *)
+  | Mod_refine of string
+      (** Check the carried replacement module source against the
+          request's base module. *)
+
+type modsys_request = {
+  mod_name : string;  (** Echoed in logs; defaults to ["request"]. *)
+  mod_program : string;
+      (** Linked-unit source text ([module ... end] clauses, optional
+          main program). For [refine], the first module is the base. *)
+  mod_lattice : string;
+  mod_action : modsys_action;
+  mod_deadline_ms : int option;
+}
+
 type op =
   | Check of check_request
   | Cert of cert_request
   | Lint of lint_request
+  | Modsys of modsys_request
   | Stats
   | Ping
 
@@ -89,8 +111,9 @@ type parsed = {
 }
 (** The request id is recovered even from requests that fail to parse
     beyond the envelope, so error responses still correlate. The [cert]
-    op requires version 2 and the [lint] op version 3; declaring an older
-    version with a newer op is a [Bad_request]. *)
+    op requires version 2, the [lint] op version 3, and the [modsys] op
+    version 5; declaring an older version with a newer op is a
+    [Bad_request]. *)
 
 val parse_request : string -> parsed
 
@@ -162,6 +185,20 @@ val lint_line :
 (** [lint_line program] renders one version-3 lint request. Lint takes no
     lattice or binding: the concurrency analysis only reads the
     program. *)
+
+val modsys_line :
+  ?id:Ifc_pipeline.Telemetry.json ->
+  ?name:string ->
+  ?lattice:string ->
+  ?action:string ->
+  ?replacement:string ->
+  ?deadline_ms:int ->
+  string ->
+  string
+(** [modsys_line program] renders one version-5 modsys request over the
+    linked-unit source [program]. [action] is ["summary"], ["link"]
+    (default), or ["refine"]; [replacement] carries the candidate module
+    source for ["refine"]. *)
 
 val stats_line : ?id:Ifc_pipeline.Telemetry.json -> unit -> string
 

@@ -103,7 +103,14 @@ let create config =
   if config.endpoints = [] then Error "server needs at least one endpoint"
   else if config.workers < 1 then Error "server needs at least one worker"
   else if config.shards < 0 then Error "server needs a non-negative shard count"
-  else begin
+  else
+    match
+      Limits.check_fd_budget ~what:"max connections"
+        config.limits.Limits.max_connections
+    with
+    | Error msg -> Error msg
+    | Ok () ->
+  begin
     (* A dead client must surface as EPIPE on write, not kill the
        process. *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -559,6 +566,121 @@ let classify_cert t ~timer ~v id (req : Protocol.cert_request) =
                   ] );
             ])))
 
+(* modsys: the version-5 compositional surface. [summary] and [refine]
+   run inline — both are interface-sized, no proof construction — while
+   [link] is pooled through the same cache/store path as check and cert,
+   keyed by the linked digest (which covers the interface bounds the
+   elaboration alone does not). *)
+let parse_linked_text src =
+  match Parser.parse_linked src with
+  | Error e -> Error (Fmt.str "program: %a" Parser.pp_error e)
+  | Ok l -> (
+    match Wellformed.linked_errors l with
+    | [] -> Ok l
+    | errs ->
+      Error (Fmt.str "program: %a" (Fmt.list ~sep:Fmt.comma Wellformed.pp_issue) errs))
+
+let modsys_link_fields (r : Job.result) =
+  let cert =
+    match r.Job.outcome with
+    | Error _ -> []
+    | Ok analyses -> (
+      match List.find_opt (fun ar -> ar.Job.artifact <> None) analyses with
+      | Some { Job.artifact = Some text; _ } -> [ ("cert", J.String text) ]
+      | _ -> [])
+  in
+  (("action", J.String "link") :: check_fields r) @ cert
+
+let classify_modsys t ~timer ~v id (req : Protocol.modsys_request) =
+  let name = Some req.Protocol.mod_name in
+  let bad msg = bad_request t ~timer ~v id ~op_name:"modsys" ~name msg in
+  let ok fields =
+    Dispatch.Immediate
+      (finalize t ~timer ~op_name:"modsys" ~name `Ok
+         (Protocol.ok_response ~v ~id ~op:"modsys" fields))
+  in
+  let parsed =
+    let ( let* ) = Result.bind in
+    let* lat = load_lattice req.Protocol.mod_lattice in
+    let* l = parse_linked_text req.Protocol.mod_program in
+    Ok (lat, l)
+  in
+  match parsed with
+  | Error msg -> bad msg
+  | Ok (lat, l) -> (
+    match req.Protocol.mod_action with
+    | Protocol.Mod_summary -> (
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (m : Ifc_lang.Ast.module_unit) :: rest -> (
+          match Ifc_modsys.Summary.summarize ~lattice:lat m with
+          | Error e ->
+            Error (Printf.sprintf "module %s: %s" m.Ifc_lang.Ast.iface.Ifc_lang.Ast.m_name e)
+          | Ok s -> go (s :: acc) rest)
+      in
+      match go [] l.Ifc_lang.Ast.modules with
+      | Error msg -> bad msg
+      | Ok sums ->
+        ok
+          [
+            ("action", J.String "summary");
+            ( "modules",
+              J.List
+                (List.map
+                   (fun (s : Ifc_cert.Linked.summary) ->
+                     J.Obj
+                       [
+                         ("name", J.String s.Ifc_cert.Linked.m_name);
+                         ("digest", J.String s.Ifc_cert.Linked.body_digest);
+                         ("locals_ok", J.Bool s.Ifc_cert.Linked.locals_ok);
+                         ("exports_ok", J.Bool s.Ifc_cert.Linked.exports_ok);
+                         ( "constraints",
+                           J.Int (List.length s.Ifc_cert.Linked.constraints) );
+                         ( "summary",
+                           J.String
+                             (String.concat "\n"
+                                (Ifc_cert.Linked.summary_to_lines s)) );
+                       ])
+                   sums) );
+          ])
+    | Protocol.Mod_refine replacement_src -> (
+      match l.Ifc_lang.Ast.modules with
+      | [] -> bad "refine needs a base module in \"program\""
+      | base :: _ -> (
+        (* The replacement is a stand-alone module: parse it as a unit
+           but skip the dangling-import check — its requires are
+           resolved by whatever unit it is eventually linked into. *)
+        match Parser.parse_linked replacement_src with
+        | Error e -> bad (Fmt.str "replacement program: %a" Parser.pp_error e)
+        | Ok { Ifc_lang.Ast.modules = repl :: _; _ } -> (
+          match Ifc_modsys.Refine.check_against ~lattice:lat ~base repl with
+          | Error msg -> bad msg
+          | Ok report ->
+            ok
+              [
+                ("action", J.String "refine");
+                ("valid", J.Bool report.Ifc_modsys.Refine.ok);
+                ( "reasons",
+                  J.List
+                    (List.map
+                       (fun r -> J.String r)
+                       report.Ifc_modsys.Refine.reasons) );
+              ])
+        | Ok _ -> bad "replacement carries no module"))
+    | Protocol.Mod_link ->
+      let elaboration = Ifc_modsys.Link.elaborate l in
+      (match Ifc_modsys.Link.binding ~lattice:lat l with
+      | Error msg -> bad msg
+      | Ok binding ->
+        let spec =
+          Job.make ~id:0 ~name:req.Protocol.mod_name ~lattice:lat ~binding
+            ~analyses:[ Ifc_modsys.Link.job_analysis ~lattice:lat l ]
+            elaboration
+        in
+        classify_job t ~timer ~v id ~op_name:"modsys" ~fields:modsys_link_fields
+          ~job_name:req.Protocol.mod_name ~deadline:req.Protocol.mod_deadline_ms
+          spec))
+
 let stats_fields t =
   let cache_stats = Cache.stats t.cache in
   [
@@ -640,7 +762,10 @@ let classify t item =
       classify_cert t ~timer ~v id req
     | Ok (Protocol.Lint req) ->
       J.incr t.counters "op.lint";
-      classify_lint t ~timer ~v id req)
+      classify_lint t ~timer ~v id req
+    | Ok (Protocol.Modsys req) ->
+      J.incr t.counters "op.modsys";
+      classify_modsys t ~timer ~v id req)
 
 (* One request item in, one response line out: the blocking adapter
    over [classify] used by the thread-per-connection engine, embedders,

@@ -550,8 +550,9 @@ type gc_report = {
   bytes_freed : int;
 }
 
-let gc ?(keep = 2) t =
+let gc ?(keep = 2) ?(tmp_age = 3600.) t =
   if keep < 0 then invalid_arg "Store.gc: keep must be >= 0";
+  if tmp_age < 0. then invalid_arg "Store.gc: tmp_age must be >= 0";
   with_lock t (fun () ->
       let floor = t.generation - keep in
       let live = ref 0 and swept = ref 0 and bytes_freed = ref 0 in
@@ -582,16 +583,30 @@ let gc ?(keep = 2) t =
       collect (summaries_dir t) (fun raw ->
           let _, gen, _ = parse_summary raw in
           gen);
+      (* Staging leftovers: a tmp file may be a concurrent writer's
+         in-flight publish (the mutex only covers this process — another
+         process sharing the directory stages and renames outside it).
+         Deleting one mid-publish would tear the write, so only files
+         older than [tmp_age] — crash leftovers, not live staging — are
+         swept; fresh ones are kept for a later pass. *)
       let tmp_swept = ref 0 in
+      let now = Unix.gettimeofday () in
       List.iter
         (fun name ->
           let path = tmp_dir t / name in
-          let size = try file_size path with Sys_error _ -> 0 in
-          try
-            Sys.remove path;
-            incr tmp_swept;
-            bytes_freed := !bytes_freed + size
-          with Sys_error _ -> ())
+          let stale =
+            match Unix.stat path with
+            | exception Unix.Unix_error _ -> false
+            | st -> now -. st.Unix.st_mtime > tmp_age
+          in
+          if stale then begin
+            let size = try file_size path with Sys_error _ -> 0 in
+            try
+              Sys.remove path;
+              incr tmp_swept;
+              bytes_freed := !bytes_freed + size
+            with Sys_error _ -> ()
+          end)
         (list_dir (tmp_dir t));
       {
         live = !live;

@@ -136,10 +136,15 @@ type gc_report = {
   bytes_freed : int;
 }
 
-val gc : ?keep:int -> t -> gc_report
+val gc : ?keep:int -> ?tmp_age:float -> t -> gc_report
 (** Mark-and-sweep by generation: an entry or summary is live iff its
     stamp is within [keep] (default 2) generations of the current one;
-    everything older is deleted, as are all staging leftovers in [tmp/].
+    everything older is deleted. Staging leftovers in [tmp/] are swept
+    only when older than [tmp_age] seconds (default one hour): a fresh
+    tmp file may be a concurrent writer's in-flight publish — the
+    in-process mutex does not cover other processes sharing the
+    directory — and removing it mid-publish would tear that write, so
+    gc keeps it for a later pass rather than half-collecting it.
     Unrecognised files are left for {!verify} to quarantine. *)
 
 (** {1 The pipeline tier} *)

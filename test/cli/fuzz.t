@@ -15,11 +15,12 @@ while the paper's expected strictness gaps (Denning and flow-sensitive
 accepting CFM-rejected programs) do turn up and are merely counted:
 
   $ cat run-a.out
-  fuzz campaign: seed=42 cases=50 lattice=two
-    completed=50 timed-out=0 errors=0
-    oracle pairs: tested=166 skipped=10
+  fuzz campaign: seed=42 cases=75 lattice=two
+    completed=75 timed-out=0 errors=0
+    oracle pairs: tested=222 skipped=10
     classes:
       unsound-certification    0
+      refine-unsound           0
       logic-mismatch           0
       cert-inversion           0
       store-stale              0
@@ -34,8 +35,10 @@ accepting CFM-rejected programs) do turn up and are merely counted:
       confirmed-rejection      14
       certified-agreement      15
       unconfirmed-rejection    20
+      refine-accepted          14
+      refine-rejected          11
     inversions=0 gaps=1
-  {"fuzz":"summary","seed":42,"cases":50,"completed":50,"timed_out":0,"errors":0,"inversions":0,"gaps":1,"classes":{"unsound-certification":0,"logic-mismatch":0,"cert-inversion":0,"store-stale":0,"chan-race-unsound":0,"chan-deadlock-unsound":0,"race-unsound":0,"deadlock-unsound":0,"hierarchy-denning":0,"hierarchy-fs":0,"denning-gap":1,"fs-gap":0,"confirmed-rejection":14,"certified-agreement":15,"unconfirmed-rejection":20},"oracle":{"pairs_tested":166,"pairs_skipped":10},"shrink":{"steps":0,"evals":0},"counterexamples":[]}
+  {"fuzz":"summary","seed":42,"cases":75,"completed":75,"timed_out":0,"errors":0,"inversions":0,"gaps":1,"classes":{"unsound-certification":0,"refine-unsound":0,"logic-mismatch":0,"cert-inversion":0,"store-stale":0,"chan-race-unsound":0,"chan-deadlock-unsound":0,"race-unsound":0,"deadlock-unsound":0,"hierarchy-denning":0,"hierarchy-fs":0,"denning-gap":1,"fs-gap":0,"confirmed-rejection":14,"certified-agreement":15,"unconfirmed-rejection":20,"refine-accepted":14,"refine-rejected":11},"oracle":{"pairs_tested":222,"pairs_skipped":10},"shrink":{"steps":0,"evals":0},"counterexamples":[]}
 
   $ ../../bin/ifc.exe fuzz --seed 42 --cases 50 --jobs 2 --quiet > /dev/null 2>&1; echo "exit $?"
   exit 0
@@ -45,7 +48,7 @@ is forcibly wrong. The campaign must catch it, shrink it to the single
 leaking assignment, persist it to the corpus with honest verdicts, and
 exit 2:
 
-  $ IFC_FUZZ_PLANT_INVERSION=1 ../../bin/ifc.exe fuzz --seed 7 --cases 8 --jobs 2 \
+  $ IFC_FUZZ_PLANT_INVERSION=1 ../../bin/ifc.exe fuzz --seed 7 --cases 8 --refine-cases 0 --jobs 2 \
   >   --corpus corpus.out --quiet > planted.out 2>/dev/null; echo "exit $?"
   exit 2
 
@@ -85,7 +88,7 @@ independent checker). The cross-check catches it as a cert-inversion,
 shrinks it, and persists it with honest verdicts — on a healthy build
 the replayed certificate round-trip succeeds (cert: true):
 
-  $ IFC_FUZZ_PLANT_CERT_INVERSION=1 ../../bin/ifc.exe fuzz --seed 7 --cases 0 --jobs 2 \
+  $ IFC_FUZZ_PLANT_CERT_INVERSION=1 ../../bin/ifc.exe fuzz --seed 7 --cases 0 --refine-cases 0 --jobs 2 \
   >   --corpus corpus.cert --quiet > planted-cert.out 2>/dev/null; echo "exit $?"
   exit 2
 
@@ -99,3 +102,26 @@ the replayed certificate round-trip succeeds (cert: true):
   prove: true
   cert: true
   statements: 1
+
+A third hook plants a module pair whose refinement claim is forcibly
+"accepted" while the replacement pipes the link-wide secret into its low
+export. The executor refutes the claim on the swapped unit, the case
+classifies as refine-unsound, shrinks to a minimal module pair, and the
+swapped unit persists in linked syntax with honest verdicts:
+
+  $ IFC_FUZZ_PLANT_REFINE_UNSOUND=1 ../../bin/ifc.exe fuzz --seed 7 --cases 0 --refine-cases 0 --jobs 2 \
+  >   --corpus corpus.ref --quiet > planted-ref.out 2>/dev/null; echo "exit $?"
+  exit 2
+
+  $ grep -v '^{' planted-ref.out | grep -E 'refine-unsound|inversions='
+      refine-unsound           1
+    inversions=1 gaps=0
+    counterexample case=0 class=refine-unsound statements 4 -> 4 corpus=corpus.ref/inv-refine-unsound-a92d73a0320c.ifc
+
+  $ head -1 corpus.ref/*.ifc
+  module src provides (out : class <= low) requires (secret : class >= high)
+
+  $ grep -E 'class:|cfm:|interfering:' corpus.ref/*.expect
+  class: refine-unsound
+  cfm: false
+  interfering: true

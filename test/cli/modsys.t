@@ -1,0 +1,105 @@
+Compositional certification on the CLI: summarize a linked unit, link
+it from summaries (store-backed reuse on the second run), certify it
+as a one-shot verdict, emit and independently re-check an `ifc-cert 2`
+certificate — rejecting a tampered summary node — and judge a
+refinement.
+
+  $ cat > lib.ifc <<'EOF'
+  > module source
+  >   provides (out : class <= low)
+  >   requires (cfg : class >= low)
+  >   var out : integer class low;
+  >   out := cfg + 1
+  > end
+  > 
+  > module sink
+  >   provides (res : class <= high)
+  >   requires (out : class >= low)
+  >   var res : integer class high;
+  >   res := out
+  > end
+  > 
+  > var cfg : integer class low;
+  >     secret : integer class high;
+  > cfg := 0
+  > EOF
+
+Per-module summaries, with imports left symbolic:
+
+  $ ../../bin/ifc.exe modsys summary lib.ifc
+  module source (fresh)
+  summary source:
+    body: b8c9f783bbf54f7c3c11d0630a769fd9
+    cert: -
+    provides: out <= low
+    requires: cfg >= low
+    exports: out = low
+    mod: const(low)
+    flow: nil
+    constraints: {cls(cfg) <= const(low)}
+    obligations: sends() recvs() waits() signals()
+    locals: ok
+    bounds: ok
+  module sink (fresh)
+  summary sink:
+    body: 2057de19f37aef61a07d18632071ddba
+    cert: -
+    provides: res <= high
+    requires: out >= low
+    exports: res = high
+    mod: const(high)
+    flow: nil
+    constraints: {}
+    obligations: sends() recvs() waits() signals()
+    locals: ok
+    bounds: ok
+
+Linking certifies from the summaries alone and writes a version-2
+certificate. With a store, the second link reuses both summaries.
+
+  $ ../../bin/ifc.exe modsys link lib.ifc -o lib.cert --store certs
+  link: 2 summaries computed, 0 reused from store
+  linked certificate written to lib.cert (1308 bytes, 2 summaries)
+  $ ../../bin/ifc.exe modsys link lib.ifc -o lib2.cert --store certs
+  link: 0 summaries computed, 2 reused from store
+  linked certificate written to lib2.cert (1308 bytes, 2 summaries)
+  $ cmp lib.cert lib2.cert
+  $ head -4 lib.cert
+  ifc-cert 2
+  linked: bae6db14925d8303a205dbc5f132aefc
+  lattice: lattice two-point
+  lattice: elements: low high
+
+The one-shot verdict runs the same pipeline:
+
+  $ ../../bin/ifc.exe check --modular lib.ifc
+  modular certification: CERTIFIED (2 modules + main)
+
+`cert check` sniffs the version and routes a linked certificate to the
+independent summary checker, which re-evaluates every recorded claim
+rather than trusting it — a summary node tampered to carry a violated
+residual constraint is rejected by name:
+
+  $ ../../bin/ifc.exe cert check lib.cert lib.ifc
+  certificate valid: 2 summary nodes, 3 bound variables
+  $ sed 's/constraints: {}/constraints: {const(high) <= cls(cfg)}/' lib.cert > tampered.cert
+  $ ../../bin/ifc.exe cert check tampered.cert lib.ifc
+  certificate rejected (1 failures), first: summary sink: constraint: residual constraint const(high) <= cls(cfg) does not hold
+  [2]
+
+A replacement that imports a name outside the interface is not a
+refinement:
+
+  $ cat > swap.ifc <<'EOF'
+  > module source
+  >   provides (out : class <= low)
+  >   requires (secret : class >= high)
+  >   var out : integer class low;
+  >   out := secret
+  > end
+  > EOF
+  $ ../../bin/ifc.exe modsys refine lib.ifc swap.ifc
+  refinement REJECTED: source may not replace source:
+    replacement requires secret, which the interface does not
+    replacement adds a residual constraint the base does not have
+  [2]

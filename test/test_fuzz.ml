@@ -53,7 +53,8 @@ let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0)
     ?(lint_chan_deadlock_free = true) ?(lint_findings = 0) ?(dyn_race = false)
     ?(dyn_deadlock = false) ?(dyn_terminal = true) ?(dyn_complete = true)
     ?(dyn_chan_race = false) ?(dyn_chan_deadlock = false)
-    ?(store_divergent = false) () =
+    ?(store_divergent = false) ?(refine_checked = false)
+    ?(refine_claimed_safe = false) ?(refine_dyn_leak = false) () =
   {
     Classify.cfm;
     denning;
@@ -76,6 +77,9 @@ let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0)
     dyn_chan_race;
     dyn_chan_deadlock;
     store_divergent;
+    refine_checked;
+    refine_claimed_safe;
+    refine_dyn_leak;
   }
 
 let primary_of vv = Classify.primary vv (Classify.classify vv)
@@ -162,7 +166,27 @@ let test_classify_table () =
     "chan-deadlock-unsound"
     (primary_of
        (v ~cfm:false ~denning:false ~fs:false ~prove:false
-          ~dyn_chan_deadlock:true ~dyn_deadlock:true ()))
+          ~dyn_chan_deadlock:true ~dyn_deadlock:true ()));
+  check_string "refuted refinement claim is an inversion" "refine-unsound"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false ~refine_checked:true
+          ~refine_claimed_safe:true ~refine_dyn_leak:true ()));
+  check_string "refine-unsound outranks the hierarchy labels" "refine-unsound"
+    (primary_of
+       (v ~cfm:true ~denning:false ~fs:true ~prove:true ~refine_checked:true
+          ~refine_claimed_safe:true ~refine_dyn_leak:true ()));
+  check_string "accepted refinement without a leak is benign" "refine-accepted"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false ~refine_checked:true
+          ~refine_claimed_safe:true ()));
+  check_string "rejected refinement is benign" "refine-rejected"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false ~refine_checked:true
+          ()));
+  check_string "a leak under a rejected claim is no inversion" "refine-rejected"
+    (primary_of
+       (v ~cfm:false ~denning:false ~fs:false ~prove:false ~refine_checked:true
+          ~refine_dyn_leak:true ()))
 
 let test_classify_labels_total () =
   (* Every primary label the classifier can emit is in the canonical
@@ -266,6 +290,12 @@ let test_corpus_replay () =
       (List.exists (fun e -> e.Corpus.name = "chan-leak") entries);
     check "chan-deadlock seeded" true
       (List.exists (fun e -> e.Corpus.name = "chan-deadlock") entries);
+    check "certified-lib seeded (linked syntax)" true
+      (List.exists (fun e -> e.Corpus.name = "certified-lib") entries);
+    check "refined-ok seeded (linked syntax)" true
+      (List.exists (fun e -> e.Corpus.name = "refined-ok") entries);
+    check "refined-leak seeded (linked syntax)" true
+      (List.exists (fun e -> e.Corpus.name = "refined-leak") entries);
     List.iter
       (fun (e : Corpus.entry) ->
         let name = e.Corpus.name in
@@ -527,6 +557,84 @@ let test_planted_chan_unsound_end_to_end () =
   | cs ->
     Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
 
+let test_planted_refine_unsound_end_to_end () =
+  let dir = fresh_dir () in
+  let config =
+    {
+      Campaign.default with
+      Campaign.cases = 0;
+      jobs = 1;
+      plant_refine_unsound = true;
+      corpus_dir = Some dir;
+    }
+  in
+  let s = Campaign.run config in
+  check_int "one case ran" 1 s.Campaign.completed;
+  check_int "one inversion case" 1 s.Campaign.inversion_cases;
+  check_int "exit code flags the inversion" 2 (Campaign.exit_code s);
+  match s.Campaign.counterexamples with
+  | [ c ] ->
+    check_string "classified as refine-unsound" "refine-unsound"
+      c.Campaign.label;
+    (* The planted replacement pipes the link-wide secret into the low
+       export; the honest refinement check rejects it, the forced claim
+       says "accepted", and the executor refutes the claim on the swapped
+       unit. Shrinking keeps the refutation alive while minimizing every
+       module body around the leaking assignment. *)
+    check "displayed counterexample is the swapped elaboration" true
+      (contains_substring
+         (Fmt.str "%a" Ifc_lang.Pretty.pp_stmt c.Campaign.program.Ast.body)
+         "out := secret");
+    check "persisted to the corpus" true (c.Campaign.corpus_path <> None);
+    (match Corpus.load dir with
+    | Ok [ e ] ->
+      check "corpus name carries the label" true
+        (contains_substring e.Corpus.name "refine-unsound");
+      check "persisted in linked syntax" true
+        (Parser.looks_linked
+           (In_channel.with_open_bin
+              (Option.get c.Campaign.corpus_path)
+              In_channel.input_all));
+      (* The sidecar records HONEST verdicts on the swapped unit's
+         elaboration: CFM rejects it and the oracle confirms the leak. *)
+      check "honest cfm rejects the swapped unit" false
+        e.Corpus.expected.Corpus.cfm;
+      check "leak recorded" true e.Corpus.expected.Corpus.interfering;
+      let vv = Corpus.replay_verdicts e.Corpus.binding e.Corpus.program in
+      check "replay agrees on the rejection" false vv.Classify.cfm;
+      check "replay witnesses the leak" true (vv.Classify.ni_violations > 0)
+    | Ok entries ->
+      Alcotest.failf "expected 1 corpus entry, got %d" (List.length entries)
+    | Error msg -> Alcotest.failf "corpus reload failed: %s" msg)
+  | cs ->
+    Alcotest.failf "expected exactly one counterexample, got %d" (List.length cs)
+
+let test_refine_cases_clean () =
+  let s =
+    Campaign.run
+      {
+        Campaign.default with
+        Campaign.cases = 0;
+        Campaign.refine_cases = 16;
+        seed = 3;
+        jobs = 2;
+        ni_pairs = 3;
+        max_states = 2_000;
+      }
+  in
+  (* The honest refinement checker is sound: no generated replacement may
+     be both claimed safe and refuted by the executor. *)
+  check_int "no inversions on a healthy toolchain" 0 s.Campaign.inversion_cases;
+  check_int "no errors" 0 s.Campaign.errors;
+  check_int "every refine case completed" 16 s.Campaign.completed;
+  let count label =
+    Option.value ~default:0 (List.assoc_opt label s.Campaign.class_counts)
+  in
+  check_int "every case lands on a refine label" 16
+    (count "refine-accepted" + count "refine-rejected");
+  check "both refinement outcomes are exercised" true
+    (count "refine-accepted" > 0 && count "refine-rejected" > 0)
+
 let test_campaign_worker_count_determinism () =
   let config jobs =
     {
@@ -635,6 +743,9 @@ let suite =
         test_planted_chan_unsound_end_to_end;
       Alcotest.test_case "planted store-stale end-to-end" `Quick
         test_planted_store_stale_end_to_end;
+      Alcotest.test_case "planted refine-unsound end-to-end" `Quick
+        test_planted_refine_unsound_end_to_end;
+      Alcotest.test_case "refine cases clean" `Quick test_refine_cases_clean;
       Alcotest.test_case "store replay round-trip" `Quick
         test_store_replay_round_trip;
       Alcotest.test_case "worker-count determinism" `Quick

@@ -4,5 +4,5 @@ let () =
       Test_cfm.suite; Test_logic.suite; Test_exec.suite; Test_flow_sensitive.suite;
       Test_arrays.suite; Test_declassify.suite; Test_corpus.suite;
       Test_properties.suite; Test_analysis.suite; Test_cert.suite;
-      Test_pipeline.suite; Test_store.suite;
+      Test_pipeline.suite; Test_store.suite; Test_modsys.suite;
       Test_fuzz.suite; Test_server.suite ]

@@ -297,7 +297,7 @@ let test_protocol_parse () =
     (Protocol.parse_request {|{"v": 2, "op": "ping"}|}).Protocol.v;
   check_int "v3 recorded" 3
     (Protocol.parse_request {|{"v": 3, "op": "ping"}|}).Protocol.v;
-  check_int "client lines declare v4" 4
+  check_int "client lines declare the current version" Protocol.version
     (Protocol.parse_request (Protocol.cert_emit_line "p")).Protocol.v;
   (* Only a v>=4 declaration opts a request into pipelining. *)
   check "v3 is not pipelined" false
@@ -357,6 +357,33 @@ let with_conn endpoint f =
   fail_result (Client.with_client ~retry_for:5. endpoint f)
 
 let quick_program = "var x, y : integer;\nbegin x := 1; y := x end"
+
+(* A small linked unit for the version-5 modsys op: one producer module
+   feeding one consumer through a bounded export. *)
+let quick_linked =
+  "module producer\n\
+   provides (out : class <= high)\n\
+   requires (cfg : class >= low)\n\
+   var out : integer class high;\n\
+   begin out := cfg + 1 end\n\
+   end\n\
+   module consumer\n\
+   requires (out : class >= low)\n\
+   var sink : integer class high;\n\
+   begin sink := out end\n\
+   end\n\
+   var cfg : integer class low;\n\
+   begin cfg := 1 end"
+
+let leaky_linked =
+  "module leaker\n\
+   provides (out : class <= low)\n\
+   requires (secret : class >= low)\n\
+   var out : integer class low;\n\
+   begin out := secret end\n\
+   end\n\
+   var secret : integer class high;\n\
+   begin secret := 1 end"
 
 (* A check the worker chews on for ~100 ms: empirical noninterference
    single-steps this loop once per tested pair. *)
@@ -758,6 +785,14 @@ let test_stats_and_warm_cache () =
       check "uptime counted" true (stat_int [ "uptime_ns" ] stats > 0);
       check_int "one miss" 1 (stat_int [ "cache"; "misses" ] stats);
       check_int "four hits" 4 (stat_int [ "cache"; "hits" ] stats);
+      (* PROTOCOL.md splits entry loss by cause. Both fields are always
+         present in the cache object (stat_int answers -1 for absent
+         keys): an idle cache reports zero evictions (capacity
+         pressure) and zero invalidations (explicit removal). *)
+      check_int "evictions present and zero" 0
+        (stat_int [ "cache"; "evictions" ] stats);
+      check_int "invalidations present and zero" 0
+        (stat_int [ "cache"; "invalidations" ] stats);
       check_int "checks counted" 5 (stat_int [ "counters"; "op.check" ] stats);
       check "requests counted" true (stat_int [ "counters"; "requests" ] stats >= 6);
       (* Untouched counters are simply absent from the snapshot. *)
@@ -865,14 +900,14 @@ let test_version_gate_exhaustive () =
     Buffer.contents buf
   in
   (* ping: available and byte-stable at every version. *)
-  for v = 1 to 4 do
+  for v = 1 to 5 do
     check_str
       (Printf.sprintf "ping v%d" v)
       (Printf.sprintf {|{"v":%d,"id":7,"ok":true,"op":"ping"}|} v)
       (handle (Printf.sprintf {|{"v": %d, "id": 7, "op": "ping"}|} v))
   done;
   (* stats: available at every version, envelope prefix pinned. *)
-  for v = 1 to 4 do
+  for v = 1 to 5 do
     let r = handle (Printf.sprintf {|{"v": %d, "op": "stats"}|} v) in
     let prefix =
       Printf.sprintf {|{"v":%d,"id":null,"ok":true,"op":"stats",|} v
@@ -896,7 +931,7 @@ let test_version_gate_exhaustive () =
     (match Jsonx.parse baseline with
     | Ok json -> Protocol.response_ok json
     | Error _ -> false);
-  for v = 2 to 4 do
+  for v = 2 to 5 do
     check_str
       (Printf.sprintf "check v%d envelope identical" v)
       (mask baseline)
@@ -916,7 +951,7 @@ let test_version_gate_exhaustive () =
     (match Jsonx.parse cert_baseline with
     | Ok json -> Protocol.response_ok json
     | Error _ -> false);
-  for v = 3 to 4 do
+  for v = 3 to 5 do
     check_str
       (Printf.sprintf "cert v%d envelope identical" v)
       (mask cert_baseline)
@@ -938,23 +973,44 @@ let test_version_gate_exhaustive () =
   let lint_baseline = handle (lint_req 3) in
   check_str "lint v4 envelope identical" (mask lint_baseline)
     (mask (handle (lint_req 4)));
+  check_str "lint v5 envelope identical" (mask lint_baseline)
+    (mask (handle (lint_req 5)));
+  (* modsys: gated at version 5, refusal messages verbatim per declared
+     version. *)
+  let modsys_req v =
+    Printf.sprintf
+      {|{"v": %d, "op": "modsys", "action": "summary", "program": %s}|} v
+      (J.json_to_string (J.String quick_linked))
+  in
+  for v = 1 to 4 do
+    check_str
+      (Printf.sprintf "modsys v%d refused verbatim" v)
+      (Printf.sprintf
+         {|{"v":%d,"id":null,"ok":false,"error":{"code":"bad_request","message":"op \"modsys\" requires protocol version 5 (request declared %d)"}}|}
+         v v)
+      (handle (modsys_req v))
+  done;
+  check "modsys v5 accepted" true
+    (match Jsonx.parse (handle (modsys_req 5)) with
+    | Ok json -> Protocol.response_ok json
+    | Error _ -> false);
   (* Envelope failures: messages and envelopes verbatim. The response
      version for requests that never declared a usable version is the
      server's own. *)
   check_str "missing v verbatim"
-    {|{"v":4,"id":null,"ok":false,"error":{"code":"bad_version","message":"missing \"v\" (protocol version) field"}}|}
+    {|{"v":5,"id":null,"ok":false,"error":{"code":"bad_version","message":"missing \"v\" (protocol version) field"}}|}
     (handle {|{"op": "ping"}|});
   check_str "unsupported v verbatim"
-    {|{"v":4,"id":3,"ok":false,"error":{"code":"bad_version","message":"unsupported protocol version (this server speaks 1 through 4)"}}|}
+    {|{"v":5,"id":3,"ok":false,"error":{"code":"bad_version","message":"unsupported protocol version (this server speaks 1 through 5)"}}|}
     (handle {|{"v": 99, "id": 3, "op": "ping"}|});
   check_str "v0 also unsupported"
-    {|{"v":4,"id":null,"ok":false,"error":{"code":"bad_version","message":"unsupported protocol version (this server speaks 1 through 4)"}}|}
+    {|{"v":5,"id":null,"ok":false,"error":{"code":"bad_version","message":"unsupported protocol version (this server speaks 1 through 5)"}}|}
     (handle {|{"v": 0, "op": "ping"}|});
-  for v = 1 to 4 do
+  for v = 1 to 5 do
     check_str
       (Printf.sprintf "unknown op v%d verbatim" v)
       (Printf.sprintf
-         {|{"v":%d,"id":null,"ok":false,"error":{"code":"bad_request","message":"unknown op \"frobnicate\" (use check, cert, lint, stats, or ping)"}}|}
+         {|{"v":%d,"id":null,"ok":false,"error":{"code":"bad_request","message":"unknown op \"frobnicate\" (use check, cert, lint, modsys, stats, or ping)"}}|}
          v)
       (handle (Printf.sprintf {|{"v": %d, "op": "frobnicate"}|} v));
     check_str
@@ -964,6 +1020,107 @@ let test_version_gate_exhaustive () =
          v)
       (handle (Printf.sprintf {|{"v": %d}|} v))
   done
+
+let contains_sub hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* A requested connection/client count at or above FD_SETSIZE must be
+   refused with a configuration error up front, never surface as a raw
+   EINVAL out of Unix.select mid-run. *)
+let test_fd_setsize_guard () =
+  check "0 (unlimited) passes" true (Limits.check_fd_budget ~what:"x" 0 = Ok ());
+  check "1023 passes" true
+    (Limits.check_fd_budget ~what:"x" (Limits.fd_setsize - 1) = Ok ());
+  (match Limits.check_fd_budget ~what:"--clients" Limits.fd_setsize with
+  | Error msg ->
+    check "message names the knob" true (contains_sub msg "--clients");
+    check "message names FD_SETSIZE" true (contains_sub msg "FD_SETSIZE");
+    check "message never mentions EINVAL" false (contains_sub msg "EINVAL")
+  | Ok () -> Alcotest.fail "FD_SETSIZE clients must be rejected");
+  let config =
+    {
+      Server.default_config with
+      Server.endpoints = [ Conn.Unix_socket (temp_sock ()) ];
+      limits = { Limits.default with Limits.max_connections = 4096 };
+    }
+  in
+  match Server.create config with
+  | Error msg ->
+    check "serve refuses oversized max-connections" true
+      (contains_sub msg "FD_SETSIZE")
+  | Ok server ->
+    Server.request_stop server;
+    Alcotest.fail "server accepted max_connections above FD_SETSIZE"
+
+let test_modsys_ops () =
+  with_server ~workers:1 @@ fun _endpoint server ->
+  let handle line = Server.handle server (`Line line) in
+  let json_of line =
+    match Jsonx.parse line with
+    | Ok j -> j
+    | Error _ -> Alcotest.failf "unparseable response: %s" line
+  in
+  let str_member key json =
+    match Jsonx.member key json with Some (J.String s) -> Some s | _ -> None
+  in
+  (* link: pooled and cached, response carries the ifc-cert 2 text. *)
+  let link_line = Protocol.modsys_line ~name:"quick" quick_linked in
+  let r1 = json_of (handle link_line) in
+  check "link ok" true (Protocol.response_ok r1);
+  check "link verdict pass" true (Protocol.response_verdict r1 = Some "pass");
+  check "link action echoed" true (str_member "action" r1 = Some "link");
+  (match str_member "cert" r1 with
+  | Some text ->
+    check "cert is version 2" true
+      (String.length text >= 10 && String.sub text 0 10 = "ifc-cert 2")
+  | None -> Alcotest.fail "link response carries no cert");
+  let r2 = json_of (handle link_line) in
+  check "second link is a cache hit" true (str_member "cache" r2 = Some "hit");
+  (* A leaking unit fails the link without erroring. *)
+  let leak = json_of (handle (Protocol.modsys_line ~name:"leak" leaky_linked)) in
+  check "leak link ok envelope" true (Protocol.response_ok leak);
+  check "leak link verdict fail" true (Protocol.response_verdict leak = Some "fail");
+  check "leak link has no cert" true (Jsonx.member "cert" leak = None);
+  (* summary: one node per module, inline. *)
+  let s =
+    json_of (handle (Protocol.modsys_line ~action:"summary" quick_linked))
+  in
+  check "summary ok" true (Protocol.response_ok s);
+  (match Jsonx.member "modules" s with
+  | Some (J.List mods) -> check_int "two summary nodes" 2 (List.length mods)
+  | _ -> Alcotest.fail "summary response carries no modules list");
+  (* refine: compare a replacement module against the unit's first
+     module. A body that leaks the import is rejected. *)
+  let base_module =
+    "module producer\n\
+     provides (out : class <= high)\n\
+     requires (cfg : class >= low)\n\
+     var out : integer class high;\n\
+     begin out := cfg + 1 end\n\
+     end"
+  in
+  let refine_line = handle
+      (Protocol.modsys_line ~action:"refine" ~replacement:base_module
+         quick_linked)
+  in
+  let refine_ok = json_of refine_line in
+  if not (Protocol.response_ok refine_ok) then
+    Alcotest.failf "refine response: %s" refine_line;
+  check "refine self ok" true (Protocol.response_ok refine_ok);
+  check "refine self valid" true
+    (Jsonx.member "valid" refine_ok = Some (J.Bool true));
+  (* Parse errors surface as bad_request, not internal faults. *)
+  (match
+     Jsonx.parse (handle (Protocol.modsys_line ~name:"bad" "module oops"))
+   with
+  | Ok bad ->
+    check "garbled unit refused" true
+      (match Protocol.response_error bad with
+      | Some ("bad_request", _) -> true
+      | _ -> false)
+  | Error _ -> Alcotest.fail "unparseable bad_request response")
 
 let test_pipelined_out_of_order () =
   (* A stalled pooled request must not block a later request on the
@@ -1232,6 +1389,8 @@ let suite =
       quick "sigterm drains in-flight requests" test_sigterm_drains_in_flight;
       quick "stats and warm cache" test_stats_and_warm_cache;
       quick "version gate exhaustive" test_version_gate_exhaustive;
+      quick "modsys ops over the wire" test_modsys_ops;
+      quick "FD_SETSIZE guard" test_fd_setsize_guard;
       quick "pipelined responses out of order" test_pipelined_out_of_order;
       quick "serial clients stay ordered" test_serial_clients_stay_ordered;
       quick "backpressure refuses over max-inflight" test_backpressure_inflight_cap;

@@ -183,13 +183,59 @@ let test_staging_leftovers_swept_by_gc () =
   with_dir (fun dir ->
       let st = open_exn dir in
       Store.add st ~digest:some_digest [ result () ];
-      (* A crash between staging and rename leaves a tmp file. *)
-      overwrite (dir // "tmp" // "deadbeef.0.tmp") "half an entry";
+      (* A crash between staging and rename leaves a tmp file; a
+         concurrent writer in another process (the in-process mutex
+         does not reach it) also stages here before renaming. Only the
+         aged file is a crash leftover — the fresh one may be an
+         in-flight publish and must survive the sweep untouched. *)
+      let stale = dir // "tmp" // "deadbeef.0.tmp" in
+      let fresh = dir // "tmp" // "cafe.1.tmp" in
+      overwrite stale "half an entry";
+      overwrite fresh "a concurrent writer's staged entry, mid-publish";
+      Unix.utimes stale 1. 1.;
       let report = Store.gc st in
-      check_int "staging leftover swept" 1 report.Store.tmp_swept;
+      check_int "stale staging leftover swept" 1 report.Store.tmp_swept;
+      check "stale leftover gone" false (Sys.file_exists stale);
+      check "fresh staging file kept whole" true (Sys.file_exists fresh);
       check_int "live entry kept" 1 report.Store.live;
       check "entry still readable after gc" true
-        (Store.find st ~digest:some_digest <> None))
+        (Store.find st ~digest:some_digest <> None);
+      (* Once aged past the guard, the leftover goes too: [tmp_age] is
+         the only thing keeping it. *)
+      Unix.utimes fresh 1. 1.;
+      let again = Store.gc st in
+      check_int "aged leftover swept on a later pass" 1 again.Store.tmp_swept;
+      check "aged leftover gone" false (Sys.file_exists fresh))
+
+let test_gc_keeps_concurrent_writer_publish_whole () =
+  with_dir (fun dir ->
+      let st = open_exn dir in
+      (* Race gc against a live writer: a publish staged in tmp/ while
+         the sweep runs must either reach its final name intact or stay
+         staged — never be half-collected. The writer here is a second
+         handle on the same directory, standing in for another
+         process. *)
+      let writer = open_exn dir in
+      let victim = String.make 32 'e' in
+      let publisher =
+        Thread.create
+          (fun () ->
+            for _ = 1 to 50 do
+              Store.add writer ~digest:victim [ result ~verdict:true () ]
+            done)
+          ()
+      in
+      for _ = 1 to 20 do
+        ignore (Store.gc st)
+      done;
+      Thread.join publisher;
+      (* The published entry survived every sweep, whole: it still
+         parses, checksums, and serves its verdict. *)
+      check "published entry readable after racing gc" true
+        (Store.find st ~digest:victim <> None);
+      let verify = Store.verify st in
+      check_int "nothing torn for verify to quarantine" 0
+        verify.Store.quarantined)
 
 let test_verify_quarantines_junk_and_damage () =
   with_dir (fun dir ->
@@ -492,6 +538,8 @@ let suite =
         test_flipped_byte_quarantined;
       Alcotest.test_case "gc sweeps staging leftovers" `Quick
         test_staging_leftovers_swept_by_gc;
+      Alcotest.test_case "gc never tears a racing publish" `Quick
+        test_gc_keeps_concurrent_writer_publish_whole;
       Alcotest.test_case "verify quarantines junk+damage" `Quick
         test_verify_quarantines_junk_and_damage;
       Alcotest.test_case "preload hottest generation" `Quick
