@@ -633,6 +633,185 @@ let lint_bench ~corpus () =
   metric_i "lint" "findings" findings
 
 (* ------------------------------------------------------------------ *)
+(* DATAFLOW: the abstract-interpretation engine — solver throughput,
+   the lint's cost and false-positive reduction with pruning on vs off,
+   and per-module summary reuse through the store on a one-module
+   edit. Every third corpus program is wrapped in a statically
+   infeasible branch so the whole-program findings inside it are
+   false positives the engine must remove. *)
+
+let dataflow_bench ~corpus () =
+  banner
+    (Printf.sprintf
+       "DATAFLOW: interval analysis, pruning and summaries over a \
+        %d-program corpus"
+       corpus);
+  let module J = Ifc_pipeline.Telemetry in
+  let module Analyze = Ifc_analysis.Analyze in
+  let module Finding = Ifc_analysis.Finding in
+  let module Prune = Ifc_dataflow.Prune in
+  let module Dflow = Ifc_modsys.Dflow in
+  let rng = Prng.create 1979 in
+  let cfg = { Gen.default with Gen.max_branch = 4 } in
+  let wrap p =
+    (* x := 1; if x = 0 then <body> else skip — everything inside the
+       arm is unreachable on every input. *)
+    let z = "infeasible_z" in
+    {
+      Ast.decls = Ast.Var_decl { name = z; cls = None } :: p.Ast.decls;
+      body =
+        Ast.seq
+          [
+            Ast.assign z (Ast.int 1);
+            Ast.if_ (Ast.Binop (Ast.Eq, Ast.var z, Ast.int 0)) ~then_:p.Ast.body
+              ~else_:Ast.skip;
+          ];
+    }
+  in
+  let programs =
+    List.init corpus (fun i ->
+        let p = Gen.program rng cfg ~size:(5 + (i mod 60)) in
+        if i mod 3 = 0 then wrap p else p)
+  in
+  let stmts =
+    List.fold_left
+      (fun a p -> a + (Metrics.of_program p).Metrics.statements)
+      0 programs
+  in
+  let timed f =
+    let timer = J.start () in
+    let r = List.map f programs in
+    (r, Int64.to_float (J.elapsed_ns timer) /. 1e9)
+  in
+  (* Leg 1: the solver alone — interval fixpoint, pruning, liveness. *)
+  let prunes, solver_s = timed Prune.analyze in
+  let visits = List.fold_left (fun a r -> a + r.Prune.visits) 0 prunes in
+  let pruned_arms =
+    List.fold_left (fun a r -> a + List.length r.Prune.pruned) 0 prunes
+  in
+  (* Leg 2: the full lint with pruning on vs off. *)
+  let reports_on, lint_on_s = timed Analyze.run in
+  let reports_off, lint_off_s = timed (Analyze.run ~dataflow:false) in
+  (* A structural finding is one the concurrency passes emit; guard and
+     dataflow lints are excluded so the delta isolates false positives
+     removed, not warnings added. *)
+  let structural r =
+    List.length
+      (List.filter
+         (fun (f : Finding.t) ->
+           match f.Finding.kind with
+           | Finding.Guard | Finding.Unreachable | Finding.Dead_store -> false
+           | _ -> true)
+         r.Analyze.findings)
+  in
+  let sum f rs = List.fold_left (fun a r -> a + f r) 0 rs in
+  let fp_removed = sum structural reports_off - sum structural reports_on in
+  let strengthened =
+    List.fold_left2
+      (fun a (on : Analyze.report) (off : Analyze.report) ->
+        let claim c = if c on.Analyze.claims && not (c off.Analyze.claims) then 1 else 0 in
+        a
+        + claim (fun c -> c.Analyze.race_free)
+        + claim (fun c -> c.Analyze.deadlock_free))
+      0 reports_on reports_off
+  in
+  Fmt.pr "solver: %d statements in %.3f s (%.0f stmt/s, %d transfer visits)@."
+    stmts solver_s
+    (float_of_int stmts /. solver_s)
+    visits;
+  Fmt.pr "lint with pruning: %.0f stmt/s; without: %.0f stmt/s@."
+    (float_of_int stmts /. lint_on_s)
+    (float_of_int stmts /. lint_off_s);
+  Fmt.pr
+    "pruned %d arms; removed %d false-positive findings; strengthened %d \
+     claims@."
+    pruned_arms fp_removed strengthened;
+  (* Leg 3: summary reuse on a one-module edit, through the store. *)
+  let low_name = (Lattice.stringify two).Lattice.bottom in
+  let make_module ?(salt = 0) ~name ~import size =
+    let out = name ^ "_out" in
+    let body =
+      Ast.seq
+        (Ast.assign out (Ast.int (1 + salt))
+        :: List.init (max 0 (size - 1)) (fun i ->
+               Ast.assign out (Ast.Binop (Ast.Add, Ast.var import, Ast.int i))))
+    in
+    {
+      Ast.iface =
+        {
+          Ast.m_name = name;
+          provides = [ { Ast.iv_name = out; iv_class = low_name } ];
+          requires = [ { Ast.iv_name = import; iv_class = low_name } ];
+        };
+      m_decls = [ Ast.Var_decl { name = out; cls = Some low_name } ];
+      m_body = body;
+    }
+  in
+  let make_unit ?edit ~count size =
+    {
+      Ast.modules =
+        List.init count (fun i ->
+            let import =
+              if i = 0 then "cfg" else Printf.sprintf "m%d_out" (i - 1)
+            in
+            let salt =
+              match edit with Some (j, salt) when j = i -> salt | _ -> 0
+            in
+            make_module ~salt ~name:(Printf.sprintf "m%d" i) ~import size);
+      main =
+        Some
+          {
+            Ast.decls = [ Ast.Var_decl { name = "cfg"; cls = Some low_name } ];
+            body = Ast.assign "cfg" (Ast.int 0);
+          };
+    }
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ifc-bench-dataflow-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  (match Ifc_store.Store.open_ dir with
+  | Error msg -> Fmt.epr "dataflow summary leg skipped: %s@." msg
+  | Ok store ->
+    let modules = 8 in
+    let cold = Dflow.linked ~store (make_unit ~count:modules 200) in
+    let warm = Dflow.linked ~store (make_unit ~edit:(3, 7) ~count:modules 200) in
+    let ratio =
+      float_of_int warm.Dflow.reused
+      /. float_of_int (warm.Dflow.computed + warm.Dflow.reused)
+    in
+    Fmt.pr
+      "summaries: cold link computed %d; one-module edit recomputed %d, \
+       reused %d (ratio %.3f)@."
+      cold.Dflow.computed warm.Dflow.computed warm.Dflow.reused ratio;
+    metric_i "dataflow" "edit_summaries_recomputed" warm.Dflow.computed;
+    metric_i "dataflow" "edit_summaries_reused" warm.Dflow.reused;
+    metric_f "dataflow" "summary_reuse_ratio" ratio);
+  rm_rf dir;
+  metric_i "dataflow" "corpus" corpus;
+  metric_i "dataflow" "statements" stmts;
+  metric_f "dataflow" "solver_statements_per_sec"
+    (float_of_int stmts /. solver_s);
+  metric_i "dataflow" "solver_visits" visits;
+  metric_f "dataflow" "lint_statements_per_sec_pruning"
+    (float_of_int stmts /. lint_on_s);
+  metric_f "dataflow" "lint_statements_per_sec_no_pruning"
+    (float_of_int stmts /. lint_off_s);
+  metric_i "dataflow" "pruned_arms" pruned_arms;
+  metric_i "dataflow" "false_positives_removed" fp_removed;
+  metric_i "dataflow" "claims_strengthened" strengthened
+
+(* ------------------------------------------------------------------ *)
 (* CHAN: the message-passing workload end to end — certify, lint (with
    channel-graph construction), and explore generated channel programs,
    reporting each leg's throughput. *)
@@ -1336,8 +1515,8 @@ let () =
     match List.filter (fun a -> a <> "quick") args with
     | [] | [ "all" ] ->
       [ "tables"; "fig3"; "theorems"; "strength"; "ablation"; "por"; "scaling";
-        "ni"; "pipeline"; "store"; "modsys"; "fuzz"; "lint"; "chan"; "cert";
-        "server"; "load"; "micro" ]
+        "ni"; "pipeline"; "store"; "modsys"; "fuzz"; "lint"; "dataflow";
+        "chan"; "cert"; "server"; "load"; "micro" ]
     | s -> s
   in
   let corpus = if quick then 100 else 400 in
@@ -1363,6 +1542,7 @@ let () =
         ~modules:8 ()
     | "fuzz" -> fuzz_bench ~cases:(if quick then 40 else 150) ()
     | "lint" -> lint_bench ~corpus:(if quick then 200 else 800) ()
+    | "dataflow" -> dataflow_bench ~corpus:(if quick then 200 else 800) ()
     | "chan" -> chan_bench ~corpus:(if quick then 150 else 500) ()
     | "cert" -> cert_bench ~corpus:(if quick then 60 else 200) ()
     | "server" ->

@@ -14,6 +14,7 @@ module Mls = Ifc_lattice.Mls
 module Spec = Ifc_lattice.Spec
 module Laws = Ifc_lattice.Laws
 module Ast = Ifc_lang.Ast
+module Loc = Ifc_lang.Loc
 module Parser = Ifc_lang.Parser
 module Pretty = Ifc_lang.Pretty
 module Wellformed = Ifc_lang.Wellformed
@@ -45,6 +46,9 @@ module Linked = Ifc_cert.Linked
 module Msummary = Ifc_modsys.Summary
 module Mlink = Ifc_modsys.Link
 module Mrefine = Ifc_modsys.Refine
+module Mdflow = Ifc_modsys.Dflow
+module Dwitness = Ifc_dataflow.Witness
+module Dsummary = Ifc_dataflow.Dsummary
 module Conn = Ifc_server.Conn
 module Limits = Ifc_server.Limits
 module Server = Ifc_server.Server
@@ -218,7 +222,7 @@ let exit_of_verdict = function
 (* check / denning *)
 
 let run_check lattice_name binding_file self_check requirements flow_sensitive
-    modular path =
+    modular explain path =
   if modular then
     exit_of_verdict
       (let* lat = load_lattice lattice_name in
@@ -237,6 +241,11 @@ let run_check lattice_name binding_file self_check requirements flow_sensitive
      let* binding = load_binding lat binding_file p in
      let result = Cfm.analyze_program ~self_check binding p in
      Fmt.pr "%a@." (Report.pp_result ~program:p lat) result;
+     if explain && not result.Cfm.certified then begin
+       match Dwitness.explain ~self_check binding p with
+       | Some w -> Fmt.pr "@.%a@." Dwitness.pp w
+       | None -> ()
+     end;
      if requirements then begin
        Fmt.pr "@.certification requires:@.%a@." Report.pp_requirements
          (Infer.constraints ~self_check p.Ast.body)
@@ -282,11 +291,21 @@ let check_cmd =
              CFM on the elaboration, without re-walking module bodies at \
              link time. See also $(b,ifc modsys).")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "On rejection, print a flow witness: the source variables \
+             whose classes caused the violation, the statements the flow \
+             traversed, and the failed check — replayed and validated \
+             before printing.")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Certify a program with the Concurrent Flow Mechanism (CFM).")
     Term.(
       const run_check $ lattice_arg $ binding_arg $ self_check_arg $ requirements
-      $ flow_sensitive $ modular $ program_arg)
+      $ flow_sensitive $ modular $ explain $ program_arg)
 
 let run_denning lattice_name binding_file reject path =
   exit_of_verdict
@@ -315,11 +334,83 @@ let denning_cmd =
 (* ------------------------------------------------------------------ *)
 (* lint *)
 
-let run_lint json path =
+let run_lint json explain no_prune modular store_dir lattice_name binding_file
+    path =
   exit_of_verdict
-    (let* p = load_program path in
-     let report = Analyze.run p in
-     if json then Fmt.pr "%s@." (Job.lint_report_json report)
+    (let* p, presult =
+       if modular then
+         (* The summary path: per-module dataflow facts resolve from the
+            store (or are computed once and persisted); only main is
+            analyzed fresh, and the facts re-apply to the elaboration
+            without re-walking neighbour bodies. *)
+         let* l = load_linked path in
+         let* store =
+           match store_dir with
+           | None -> Ok None
+           | Some dir ->
+             let* s = Store.open_ dir in
+             Ok (Some s)
+         in
+         let outcome = Mdflow.linked ?store l in
+         Fmt.epr "dataflow: %d summaries computed, %d reused from store@."
+           outcome.Mdflow.computed outcome.Mdflow.reused;
+         let p = Mlink.elaborate l in
+         Ok (p, Some (Dsummary.apply p outcome.Mdflow.facts))
+       else
+         let* p = load_program path in
+         Ok (p, None)
+     in
+     let report =
+       match presult with
+       | Some presult when not no_prune -> Analyze.run ~prune:presult p
+       | _ -> Analyze.run ~dataflow:(not no_prune) p
+     in
+     let* witness =
+       if not explain then Ok None
+       else
+         let* lat = load_lattice lattice_name in
+         let* binding = load_binding lat binding_file p in
+         Ok (Dwitness.explain binding p)
+     in
+     if json then begin
+       let extra =
+         if not explain then []
+         else
+           [
+             ( "witness",
+               match witness with
+               | None -> Telemetry.Null
+               | Some w ->
+                 let span s = Fmt.str "%a" Loc.pp s in
+                 Telemetry.Obj
+                   [
+                     ("mode", Telemetry.String (Dwitness.mode_name w.Dwitness.w_mode));
+                     ( "source",
+                       Telemetry.List
+                         (List.map (fun v -> Telemetry.String v) w.Dwitness.w_source)
+                     );
+                     ( "steps",
+                       Telemetry.List
+                         (List.map
+                            (fun (st : Dwitness.step) ->
+                              Telemetry.Obj
+                                [
+                                  ("span", Telemetry.String (span st.Dwitness.w_span));
+                                  ("var", Telemetry.String st.Dwitness.w_var);
+                                  ("rule", Telemetry.String st.Dwitness.w_rule);
+                                ])
+                            w.Dwitness.w_steps) );
+                     ("sink_span", Telemetry.String (span w.Dwitness.w_sink_span));
+                     ("sink_rule", Telemetry.String w.Dwitness.w_sink_rule);
+                     ( "sink_var",
+                       match w.Dwitness.w_sink_var with
+                       | Some v -> Telemetry.String v
+                       | None -> Telemetry.Null );
+                   ] );
+           ]
+       in
+       Fmt.pr "%s@." (Job.lint_report_json ~extra report)
+     end
      else begin
        Fmt.pr "%a" Analyze.pp_report report;
        let errors, warnings =
@@ -346,7 +437,19 @@ let run_lint json path =
          claims.Analyze.chan_deadlock_free;
        List.iter
          (fun c -> Fmt.pr "%a@." Ifc_chan.Lint.pp_summary c)
-         report.Analyze.channels
+         report.Analyze.channels;
+       List.iter
+         (fun (pr : Ifc_dataflow.Prune.pruned) ->
+           Fmt.pr "pruned: %s at %a (guard at %a)@."
+             (Ifc_dataflow.Prune.arm_name pr.Ifc_dataflow.Prune.p_arm)
+             Loc.pp pr.Ifc_dataflow.Prune.p_span Loc.pp
+             pr.Ifc_dataflow.Prune.p_stmt_span)
+         report.Analyze.pruned;
+       if explain then begin
+         match witness with
+         | Some w -> Fmt.pr "%a@." Dwitness.pp w
+         | None -> Fmt.pr "flow explanation: certified; no witness to show@."
+       end
      end;
      Ok (report.Analyze.findings = []))
 
@@ -357,15 +460,56 @@ let lint_cmd =
       & info [ "json" ]
           ~doc:"Print the report as one JSON object (findings, claims, stats).")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Also certify the program against $(b,--lattice)/$(b,--binding) \
+             (annotations by default) and, on rejection, print a flow \
+             witness: source variables, the statements the flow traversed, \
+             and the failed check. With $(b,--json) the witness is an \
+             additional top-level field.")
+  in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable infeasible-path pruning and the dataflow lints: \
+             analyze the program exactly as written (the pre-dataflow \
+             behaviour, kept for differential comparison).")
+  in
+  let modular =
+    Arg.(
+      value & flag
+      & info [ "modular" ]
+          ~doc:
+            "Treat $(i,PROGRAM) as a linked unit and lint its elaboration \
+             with per-module dataflow facts resolved from summaries \
+             ($(b,--store)) instead of re-walking module bodies.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "With $(b,--modular): persist and reuse per-module dataflow \
+             summaries keyed by structural digest.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically analyze a program's concurrency structure: \
           may-happen-in-parallel data races, guaranteed semaphore and \
           channel deadlocks, lost signals, orphan messages, \
-          conditional-delay imbalances, and constant guards. Exit code 2 \
-          when there are findings.")
-    Term.(const run_lint $ json $ program_arg)
+          conditional-delay imbalances, constant guards, statically \
+          unreachable branches, and dead stores. Exit code 2 when there \
+          are findings.")
+    Term.(
+      const run_lint $ json $ explain $ no_prune $ modular $ store_arg
+      $ lattice_arg $ binding_arg $ program_arg)
 
 (* ------------------------------------------------------------------ *)
 (* infer *)
@@ -1193,6 +1337,8 @@ let run_fuzz cases refine_cases seed jobs size_min size_max ni_pairs max_states
         Sys.getenv_opt "IFC_FUZZ_PLANT_CHAN_UNSOUND" <> None;
       plant_store_stale =
         Sys.getenv_opt "IFC_FUZZ_PLANT_STORE_STALE" <> None;
+      plant_dataflow_unsound =
+        Sys.getenv_opt "IFC_FUZZ_PLANT_DATAFLOW_UNSOUND" <> None;
       plant_refine_unsound =
         Sys.getenv_opt "IFC_FUZZ_PLANT_REFINE_UNSOUND" <> None;
     }

@@ -1,6 +1,8 @@
-(* The analyzer entry point: races via MHP, liveness, guard lints. *)
+(* The analyzer entry point: races via MHP, liveness, guard lints —
+   after infeasible-path pruning by the interval dataflow engine. *)
 
 module Ast = Ifc_lang.Ast
+module Prune = Ifc_dataflow.Prune
 module Loc = Ifc_lang.Loc
 module Metrics = Ifc_lang.Metrics
 module Wellformed = Ifc_lang.Wellformed
@@ -20,6 +22,7 @@ type report = {
   claims : claims;
   stats : stats;
   channels : Ifc_chan.Lint.summary list;
+  pruned : Prune.pruned list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -152,23 +155,63 @@ let chan_lint mhp (p : Ast.program) =
 
 (* ------------------------------------------------------------------ *)
 
-let run (p : Ast.program) =
-  let mhp = Mhp.create p in
+let no_prune p =
+  { Prune.program = p; pruned = []; dead_stores = []; iterations = 0; visits = 0 }
+
+let run ?(dataflow = true) ?prune (p : Ast.program) =
+  (* Prune statically infeasible arms first: the structural analyses
+     below then never walk code no execution reaches, so races,
+     deadlocks and channel findings inside dead arms disappear. Guard
+     lints still see the original program — a constant guard is a
+     finding about the source as written. [?prune] supplies
+     pre-computed facts (per-module summaries at link time). *)
+  let presult =
+    match prune with
+    | Some r -> r
+    | None -> if dataflow then Prune.analyze p else no_prune p
+  in
+  let analyzed = presult.Prune.program in
+  let mhp = Mhp.create analyzed in
   let atomic_spans =
     List.map
       (fun (i : Wellformed.issue) -> i.Wellformed.span)
-      (Wellformed.atomicity_issues p.Ast.body)
+      (Wellformed.atomicity_issues analyzed.Ast.body)
   in
   let races, pairs = race_findings mhp ~atomic_spans in
-  let live = Semlive.analyze p in
-  let chan = chan_lint mhp p in
+  let live = Semlive.analyze analyzed in
+  let chan = chan_lint mhp analyzed in
   let guards = Guards.findings p in
+  let unreachable =
+    List.filter_map
+      (fun (pr : Prune.pruned) ->
+        if pr.Prune.p_const_guard then None
+        else
+          let what =
+            match pr.Prune.p_arm with
+            | Ifc_dataflow.Cfg.Then -> "then branch"
+            | Ifc_dataflow.Cfg.Else -> "else branch"
+            | Ifc_dataflow.Cfg.Loop_body -> "loop body"
+          in
+          Some
+            (Finding.make ~related:pr.Prune.p_stmt_span Finding.Unreachable
+               Finding.Warning pr.Prune.p_span
+               (Printf.sprintf "%s is unreachable on every input" what)))
+      presult.Prune.pruned
+  in
+  let dead_stores =
+    List.map
+      (fun (x, span) ->
+        Finding.make Finding.Dead_store Finding.Warning span
+          (Printf.sprintf "value assigned to %s is overwritten before any read"
+             x))
+      presult.Prune.dead_stores
+  in
   let findings =
     List.sort Finding.compare
       (races
       @ live.Semlive.findings
       @ List.map chan_finding chan.Ifc_chan.Lint.findings
-      @ guards)
+      @ guards @ unreachable @ dead_stores)
   in
   (* The blocking claims combine both synchronization disciplines:
      deadlock-freedom needs every semaphore {e and} every channel unable
@@ -194,7 +237,13 @@ let run (p : Ast.program) =
       pairs;
     }
   in
-  { findings; claims; stats; channels = chan.Ifc_chan.Lint.summaries }
+  {
+    findings;
+    claims;
+    stats;
+    channels = chan.Ifc_chan.Lint.summaries;
+    pruned = presult.Prune.pruned;
+  }
 
 let pp_report ppf r =
   List.iter (fun f -> Fmt.pf ppf "%a@." Finding.pp f) r.findings

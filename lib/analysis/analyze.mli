@@ -4,6 +4,16 @@
     graph, with MHP injected) and guard lints ({!Guards}) into a single
     report.
 
+    Before the structural passes run, the interval dataflow engine
+    ({!Ifc_dataflow.Prune}) rewrites statically unreachable branch arms
+    to [skip]: a race or deadlock inside an arm no execution reaches is
+    not reported, and each pruned arm with a non-constant guard becomes
+    an [unreachable] warning (constant guards remain {!Guards}
+    findings, byte-for-byte). A backward liveness pass adds
+    [dead-store] warnings. Pruning only ever removes findings and
+    strengthens claims; the differential fuzzer cross-checks every
+    pruned span against bounded exploration ([prune-unsound]).
+
     The report's {e claims} are the analyzer's positive safety
     statements, phrased so that bounded dynamic exploration can refute
     them: a concrete interleaving with co-enabled conflicting accesses
@@ -42,9 +52,19 @@ type report = {
   stats : stats;
   channels : Ifc_chan.Lint.summary list;
       (** Per-channel summary records, in declaration order. *)
+  pruned : Ifc_dataflow.Prune.pruned list;
+      (** Arms rewritten to [skip] before the structural passes. *)
 }
 
-val run : Ifc_lang.Ast.program -> report
+val run :
+  ?dataflow:bool ->
+  ?prune:Ifc_dataflow.Prune.result ->
+  Ifc_lang.Ast.program ->
+  report
+(** [run p] analyzes [p]. [~dataflow:false] disables pruning and the
+    dataflow lints (the pre-engine behaviour, kept for differential
+    testing); [?prune] supplies a pre-computed pruning result — the
+    summary path for linked units — instead of running the engine. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** One line per finding ({!Finding.pp}); nothing for a clean report. *)

@@ -11,6 +11,8 @@ type kind =
   | Lost_signal
   | Imbalance
   | Guard
+  | Unreachable
+  | Dead_store
 
 type severity = Error | Warning
 
@@ -31,6 +33,8 @@ let kind_name = function
   | Lost_signal -> "lost-signal"
   | Imbalance -> "imbalance"
   | Guard -> "guard"
+  | Unreachable -> "unreachable"
+  | Dead_store -> "dead-store"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -48,6 +52,8 @@ let kind_rank = function
   | Orphan_message -> 5
   | Imbalance -> 6
   | Guard -> 7
+  | Unreachable -> 8
+  | Dead_store -> 9
 
 let pos_key (s : Loc.span) = (s.Loc.start.Loc.line, s.Loc.start.Loc.col)
 

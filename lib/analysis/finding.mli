@@ -22,6 +22,12 @@ type kind =
       (** Control-flow arms with different wait/signal balance — the
           branch taken is observable through synchronization alone. *)
   | Guard  (** A constant [if]/[while] guard. *)
+  | Unreachable
+      (** A branch arm or loop body no execution can reach, proved by
+          the interval analysis over a non-constant guard (constant
+          guards stay {!Guard} findings). *)
+  | Dead_store
+      (** An assignment definitely overwritten before any read. *)
 
 type severity = Error | Warning
 
@@ -36,7 +42,8 @@ type t = {
 
 val kind_name : kind -> string
 (** ["race"], ["deadlock"], ["chan-deadlock"], ["chan-race"],
-    ["orphan-message"], ["lost-signal"], ["imbalance"], ["guard"]. *)
+    ["orphan-message"], ["lost-signal"], ["imbalance"], ["guard"],
+    ["unreachable"], ["dead-store"]. *)
 
 val severity_name : severity -> string
 (** ["error"] or ["warning"]. *)

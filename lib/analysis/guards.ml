@@ -2,46 +2,11 @@
 
 module Ast = Ifc_lang.Ast
 
-(* Evaluate a closed expression (no variable or array reads). Division
-   by zero and any variable reference make the guard non-constant. *)
-type value = I of int | B of bool
-
-let rec eval (e : Ast.expr) =
-  match e with
-  | Ast.Int n -> Some (I n)
-  | Ast.Bool b -> Some (B b)
-  | Ast.Var _ | Ast.Index _ -> None
-  | Ast.Unop (op, a) -> (
-    match (op, eval a) with
-    | Ast.Neg, Some (I n) -> Some (I (-n))
-    | Ast.Not, Some (B b) -> Some (B (not b))
-    | _ -> None)
-  | Ast.Binop (op, a, b) -> (
-    match (eval a, eval b) with
-    | Some (I x), Some (I y) -> (
-      match op with
-      | Ast.Add -> Some (I (x + y))
-      | Ast.Sub -> Some (I (x - y))
-      | Ast.Mul -> Some (I (x * y))
-      | Ast.Div -> if y = 0 then None else Some (I (x / y))
-      | Ast.Mod -> if y = 0 then None else Some (I (x mod y))
-      | Ast.Eq -> Some (B (x = y))
-      | Ast.Ne -> Some (B (x <> y))
-      | Ast.Lt -> Some (B (x < y))
-      | Ast.Le -> Some (B (x <= y))
-      | Ast.Gt -> Some (B (x > y))
-      | Ast.Ge -> Some (B (x >= y))
-      | Ast.And | Ast.Or -> None)
-    | Some (B x), Some (B y) -> (
-      match op with
-      | Ast.And -> Some (B (x && y))
-      | Ast.Or -> Some (B (x || y))
-      | Ast.Eq -> Some (B (x = y))
-      | Ast.Ne -> Some (B (x <> y))
-      | _ -> None)
-    | _ -> None)
-
-let const_bool e = match eval e with Some (B b) -> Some b | _ -> None
+(* The typed closed-expression evaluator lives with the dataflow
+   engine now ([Ifc_dataflow.Interval]), shared with the pruning
+   analysis; the semantics are unchanged — division by zero and any
+   variable reference make the guard non-constant. *)
+let const_bool = Ifc_dataflow.Interval.const_bool
 
 let findings (p : Ast.program) =
   let out = ref [] in

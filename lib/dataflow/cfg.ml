@@ -1,0 +1,155 @@
+(* AST -> control-flow graph. *)
+
+module Ast = Ifc_lang.Ast
+module Loc = Ifc_lang.Loc
+module Sset = Ifc_support.Sset
+module Vars = Ifc_lang.Vars
+
+type action =
+  | A_skip
+  | A_assign of string * Ast.expr
+  | A_store of string * Ast.expr * Ast.expr
+  | A_assume of Ast.expr * bool
+  | A_wait of string
+  | A_signal of string
+  | A_send of string * Ast.expr
+  | A_recv of string * string
+  | A_par_join of Sset.t
+
+type edge = {
+  src : int;
+  dst : int;
+  action : action;
+  volatile : Sset.t;
+  span : Loc.span;
+}
+
+type arm = Then | Else | Loop_body
+
+type branch = {
+  b_arm : arm;
+  b_entry : int;
+  b_span : Loc.span;
+  b_stmt_span : Loc.span;
+  b_guard : Ast.expr;
+}
+
+type t = {
+  node_count : int;
+  edges : edge list;
+  entry : int;
+  exit : int;
+  branches : branch list;
+  loop_heads : int list;
+}
+
+let of_stmt stmt =
+  let next = ref 0 in
+  let fresh () =
+    let n = !next in
+    incr next;
+    n
+  in
+  let edges = ref [] in
+  let branches = ref [] in
+  let loop_heads = ref [] in
+  let add ?(span = Loc.dummy) ~src ~dst action volatile =
+    edges := { src; dst; action; volatile; span } :: !edges
+  in
+  let rec go ~volatile src (s : Ast.stmt) =
+    let span = s.Ast.span in
+    let leaf action =
+      let dst = fresh () in
+      add ~span ~src ~dst action volatile;
+      dst
+    in
+    match s.Ast.node with
+    | Ast.Skip -> leaf A_skip
+    | Ast.Assign (x, e) | Ast.Declassify (x, e, _) -> leaf (A_assign (x, e))
+    | Ast.Store (a, i, e) -> leaf (A_store (a, i, e))
+    | Ast.Wait sem -> leaf (A_wait sem)
+    | Ast.Signal sem -> leaf (A_signal sem)
+    | Ast.Send (chan, e) -> leaf (A_send (chan, e))
+    | Ast.Recv (chan, x) -> leaf (A_recv (chan, x))
+    | Ast.If (cond, then_, else_) ->
+      let nt = fresh () and ne = fresh () in
+      add ~span ~src ~dst:nt (A_assume (cond, true)) volatile;
+      add ~span ~src ~dst:ne (A_assume (cond, false)) volatile;
+      branches :=
+        {
+          b_arm = Else;
+          b_entry = ne;
+          b_span = else_.Ast.span;
+          b_stmt_span = s.Ast.span;
+          b_guard = cond;
+        }
+        :: {
+             b_arm = Then;
+             b_entry = nt;
+             b_span = then_.Ast.span;
+             b_stmt_span = s.Ast.span;
+             b_guard = cond;
+           }
+        :: !branches;
+      let dt = go ~volatile nt then_ in
+      let de = go ~volatile ne else_ in
+      let j = fresh () in
+      add ~src:dt ~dst:j A_skip volatile;
+      add ~src:de ~dst:j A_skip volatile;
+      j
+    | Ast.While (cond, body) ->
+      let head = fresh () in
+      add ~src ~dst:head A_skip volatile;
+      loop_heads := head :: !loop_heads;
+      let nb = fresh () in
+      add ~span ~src:head ~dst:nb (A_assume (cond, true)) volatile;
+      branches :=
+        {
+          b_arm = Loop_body;
+          b_entry = nb;
+          b_span = body.Ast.span;
+          b_stmt_span = s.Ast.span;
+          b_guard = cond;
+        }
+        :: !branches;
+      let db = go ~volatile nb body in
+      add ~src:db ~dst:head A_skip volatile;
+      let out = fresh () in
+      add ~span ~src:head ~dst:out (A_assume (cond, false)) volatile;
+      out
+    | Ast.Seq ss -> List.fold_left (go ~volatile) src ss
+    | Ast.Cobegin [] -> leaf A_skip
+    | Ast.Cobegin bs ->
+      let mods = List.map Vars.modified bs in
+      let all = List.fold_left Sset.union Sset.empty mods in
+      let exits =
+        List.mapi
+          (fun i b ->
+            let siblings =
+              List.concat
+                (List.filteri (fun j _ -> j <> i) (List.map Sset.elements mods))
+            in
+            let v =
+              List.fold_left (fun acc x -> Sset.add x acc) volatile siblings
+            in
+            let entry = fresh () in
+            add ~src ~dst:entry A_skip v;
+            go ~volatile:v entry b)
+          bs
+      in
+      let j = fresh () in
+      List.iter (fun d -> add ~src:d ~dst:j (A_par_join all) volatile) exits;
+      j
+  in
+  let entry = fresh () in
+  let exit = go ~volatile:Sset.empty entry stmt in
+  {
+    node_count = !next;
+    edges = List.rev !edges;
+    entry;
+    exit;
+    branches = List.rev !branches;
+    loop_heads = !loop_heads;
+  }
+
+let of_program (p : Ast.program) = of_stmt p.Ast.body

@@ -1,0 +1,62 @@
+(** Control-flow graphs of while-language programs.
+
+    Nodes are program points; edges carry the indivisible action taken
+    between them, plus the set of variables {e volatile} on that edge —
+    variables a sibling [cobegin] branch may write at any moment, which
+    any sound sequential analysis of the branch must treat as unknown.
+
+    Branch entries (then/else arms, loop bodies) are recorded so clients
+    can ask "is this arm reachable in the fixpoint?" and map the answer
+    back to source spans. Loop heads are exported as the widening points
+    the solver needs. *)
+
+module Ast = Ifc_lang.Ast
+module Loc = Ifc_lang.Loc
+
+type action =
+  | A_skip
+  | A_assign of string * Ast.expr
+  | A_store of string * Ast.expr * Ast.expr
+  | A_assume of Ast.expr * bool
+      (** Guard edge of an [if]/[while]: taken when the condition
+          evaluates truthy ([true]) or falsy ([false]). *)
+  | A_wait of string
+  | A_signal of string
+  | A_send of string * Ast.expr
+  | A_recv of string * string
+  | A_par_join of Ifc_support.Sset.t
+      (** Rejoin after a [cobegin]: the set is every variable some
+          branch may have written. *)
+
+type edge = {
+  src : int;
+  dst : int;
+  action : action;
+  volatile : Ifc_support.Sset.t;
+  span : Loc.span;
+      (** Span of the statement the action came from; {!Loc.dummy} on
+          purely structural edges (joins, loop back-edges). *)
+}
+
+type arm = Then | Else | Loop_body
+
+type branch = {
+  b_arm : arm;
+  b_entry : int;  (** Node at the arm's entry, after the assume edge. *)
+  b_span : Loc.span;  (** Span of the arm statement itself. *)
+  b_stmt_span : Loc.span;  (** Span of the enclosing [if]/[while]. *)
+  b_guard : Ast.expr;
+}
+
+type t = {
+  node_count : int;
+  edges : edge list;
+  entry : int;
+  exit : int;
+  branches : branch list;
+  loop_heads : int list;
+}
+
+val of_program : Ast.program -> t
+
+val of_stmt : Ast.stmt -> t

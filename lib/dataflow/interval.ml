@@ -1,0 +1,451 @@
+(* The constant + interval abstract domain over machine integers. *)
+
+module Ast = Ifc_lang.Ast
+module Smap = Ifc_support.Smap
+module Sset = Ifc_support.Sset
+
+type bnd = Ninf | Fin of int | Pinf
+
+type value = Bot | Itv of bnd * bnd
+
+let top = Itv (Ninf, Pinf)
+
+let singleton n = Itv (Fin n, Fin n)
+
+let bnd_le a b =
+  match (a, b) with
+  | Ninf, _ | _, Pinf -> true
+  | Pinf, _ | _, Ninf -> false
+  | Fin a, Fin b -> a <= b
+
+let bnd_min a b = if bnd_le a b then a else b
+
+let bnd_max a b = if bnd_le a b then b else a
+
+(* Predecessor/successor of a bound, saturating at infinity rather than
+   wrapping: used only to tighten strict comparisons. *)
+let bnd_pred = function
+  | Fin n when n > min_int -> Fin (n - 1)
+  | Fin _ -> Ninf
+  | b -> b
+
+let bnd_succ = function
+  | Fin n when n < max_int -> Fin (n + 1)
+  | Fin _ -> Pinf
+  | b -> b
+
+let norm lo hi = if bnd_le lo hi then Itv (lo, hi) else Bot
+
+let value_join a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Itv (la, ha), Itv (lb, hb) -> Itv (bnd_min la lb, bnd_max ha hb)
+
+let value_widen a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Itv (la, ha), Itv (lb, hb) ->
+    let lo = if bnd_le la lb then la else Ninf in
+    let hi = if bnd_le hb ha then ha else Pinf in
+    Itv (lo, hi)
+
+let value_equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Itv (la, ha), Itv (lb, hb) -> la = lb && ha = hb
+  | _ -> false
+
+let contains v n =
+  match v with
+  | Bot -> false
+  | Itv (lo, hi) -> bnd_le lo (Fin n) && bnd_le (Fin n) hi
+
+type truth = True | False | Maybe
+
+let truthiness = function
+  | Bot -> Maybe (* unreachable; any answer is sound *)
+  | Itv (Fin 0, Fin 0) -> False
+  | Itv (lo, hi) ->
+    if bnd_le (Fin 1) lo || bnd_le hi (Fin (-1)) then True
+    else if contains (Itv (lo, hi)) 0 then Maybe
+    else True
+
+(* Checked machine arithmetic. The concrete evaluator uses native ints
+   and silently wraps, so an abstract result that could overflow must
+   collapse to [top]: a tight-but-wrapped bound would be unsound. *)
+
+let add_checked a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then None
+  else Some s
+
+let sub_checked a b =
+  let s = a - b in
+  if (a >= 0 && b < 0 && s < 0) || (a < 0 && b >= 0 && s >= 0) then None
+  else Some s
+
+let mul_checked a b =
+  if a = 0 || b = 0 then Some 0
+  else
+    let p = a * b in
+    if p / b = a && not (a = min_int && b = -1) then Some p else None
+
+let neg_checked a = if a = min_int then None else Some (-a)
+
+let bnd2 f a b =
+  match (a, b) with
+  | Fin a, Fin b -> ( match f a b with Some n -> Some (Fin n) | None -> None)
+  | _ -> Some (if a = Ninf || b = Ninf then Ninf else Pinf)
+
+let lift2 f a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (la, ha), Itv (lb, hb) -> (
+    match (f la lb, f ha hb) with
+    | Some lo, Some hi -> Itv (lo, hi)
+    | _ -> top)
+
+let add_v = lift2 (bnd2 add_checked)
+
+let sub_v a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (la, ha), Itv (lb, hb) -> (
+    (* [la - hb, ha - lb]; infinities dominate like in addition. *)
+    let f a b =
+      match (a, b) with
+      | Fin a, Fin b -> (
+        match sub_checked a b with Some n -> Some (Fin n) | None -> None)
+      | Ninf, _ | _, Pinf -> Some Ninf
+      | Pinf, _ | _, Ninf -> Some Pinf
+    in
+    match (f la hb, f ha lb) with
+    | Some lo, Some hi -> Itv (lo, hi)
+    | _ -> top)
+
+let neg_v = function
+  | Bot -> Bot
+  | Itv (lo, hi) -> (
+    let flip = function
+      | Ninf -> Some Pinf
+      | Pinf -> Some Ninf
+      | Fin n -> ( match neg_checked n with Some n -> Some (Fin n) | None -> None)
+    in
+    match (flip hi, flip lo) with
+    | Some lo, Some hi -> Itv (lo, hi)
+    | _ -> top)
+
+let mul_v a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (Fin la, Fin ha), Itv (Fin lb, Fin hb) -> (
+    let products =
+      [ mul_checked la lb; mul_checked la hb; mul_checked ha lb;
+        mul_checked ha hb ]
+    in
+    match products with
+    | [ Some a; Some b; Some c; Some d ] ->
+      let lo = min (min a b) (min c d) and hi = max (max a b) (max c d) in
+      Itv (Fin lo, Fin hi)
+    | _ -> top)
+  | _ -> top
+
+(* Division and modulo fault on a zero divisor and truncate toward zero
+   otherwise; only the all-constant case is worth being precise about. *)
+let div_v a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (Fin la, Fin ha), Itv (Fin lb, Fin hb)
+    when la = ha && lb = hb && lb <> 0 ->
+    if la = min_int && lb = -1 then top else singleton (la / lb)
+  | _ -> top
+
+let mod_v a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (Fin la, Fin ha), Itv (Fin lb, Fin hb)
+    when la = ha && lb = hb && lb <> 0 ->
+    if la = min_int && lb = -1 then top else singleton (la mod lb)
+  | _ -> top
+
+let of_truth = function
+  | True -> singleton 1
+  | False -> singleton 0
+  | Maybe -> Itv (Fin 0, Fin 1)
+
+let bool_v b = singleton (if b then 1 else 0)
+
+(* Comparisons return 0/1 like the concrete evaluator. *)
+let cmp_v op a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (la, ha), Itv (lb, hb) -> (
+    let lt_strict x y =
+      (* every element of the first interval < every element of the second *)
+      match (x, y) with Fin x, Fin y -> x < y | _ -> false
+    in
+    let le_all x y = match (x, y) with Fin x, Fin y -> x <= y | _ -> false in
+    match op with
+    | Ast.Lt ->
+      if lt_strict ha lb then bool_v true
+      else if le_all hb la then bool_v false
+      else of_truth Maybe
+    | Ast.Le ->
+      if le_all ha lb then bool_v true
+      else if lt_strict hb la then bool_v false
+      else of_truth Maybe
+    | Ast.Gt ->
+      if lt_strict hb la then bool_v true
+      else if le_all ha lb then bool_v false
+      else of_truth Maybe
+    | Ast.Ge ->
+      if le_all hb la then bool_v true
+      else if lt_strict ha lb then bool_v false
+      else of_truth Maybe
+    | Ast.Eq ->
+      if la = ha && lb = hb && la = lb && la <> Ninf && la <> Pinf then
+        bool_v true
+      else if lt_strict ha lb || lt_strict hb la then bool_v false
+      else of_truth Maybe
+    | Ast.Ne ->
+      if lt_strict ha lb || lt_strict hb la then bool_v true
+      else if la = ha && lb = hb && la = lb && la <> Ninf && la <> Pinf then
+        bool_v false
+      else of_truth Maybe
+    | _ -> assert false)
+
+(* Environments: absent variable = top, so maps stay small. *)
+
+type env = Unreachable | Env of value Smap.t
+
+let top_env = Env Smap.empty
+
+let lookup ~volatile env x =
+  match env with
+  | Unreachable -> Bot
+  | Env m ->
+    if Sset.mem x volatile then top
+    else ( match Smap.find_opt x m with Some v -> v | None -> top)
+
+let set x v env =
+  match env with
+  | Unreachable -> Unreachable
+  | Env m ->
+    if value_equal v top then Env (Smap.remove x m) else Env (Smap.add x v m)
+
+let env_merge f a b =
+  match (a, b) with
+  | Unreachable, e | e, Unreachable -> e
+  | Env ma, Env mb ->
+    Env
+      (Smap.merge
+         (fun _ va vb ->
+           match (va, vb) with
+           | Some va, Some vb ->
+             let v = f va vb in
+             if value_equal v top then None else Some v
+           | _ -> None (* absent = top; join/widen with top = top *))
+         ma mb)
+
+module Dom = struct
+  type t = env
+
+  let bottom = Unreachable
+
+  let join = env_merge value_join
+
+  let widen = env_merge value_widen
+
+  let equal a b =
+    a == b
+    ||
+    match (a, b) with
+    | Unreachable, Unreachable -> true
+    | Env ma, Env mb -> ma == mb || Smap.equal value_equal ma mb
+    | _ -> false
+end
+
+let rec eval ~volatile env (e : Ast.expr) =
+  match env with
+  | Unreachable -> Bot
+  | Env _ -> (
+    match e with
+    | Ast.Int n -> singleton n
+    | Ast.Bool b -> bool_v b
+    | Ast.Var x -> lookup ~volatile env x
+    | Ast.Index (_, _) -> top
+    | Ast.Unop (Ast.Neg, e) -> neg_v (eval ~volatile env e)
+    | Ast.Unop (Ast.Not, e) -> of_truth (invert (truthiness (eval ~volatile env e)))
+    | Ast.Binop (op, e1, e2) -> (
+      let a = eval ~volatile env e1 and b = eval ~volatile env e2 in
+      match op with
+      | Ast.Add -> add_v a b
+      | Ast.Sub -> sub_v a b
+      | Ast.Mul -> mul_v a b
+      | Ast.Div -> div_v a b
+      | Ast.Mod -> mod_v a b
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> cmp_v op a b
+      | Ast.And -> (
+        match (truthiness a, truthiness b) with
+        | False, _ | _, False -> bool_v false
+        | True, True -> bool_v true
+        | _ -> of_truth Maybe)
+      | Ast.Or -> (
+        match (truthiness a, truthiness b) with
+        | True, _ | _, True -> bool_v true
+        | False, False -> bool_v false
+        | _ -> of_truth Maybe)))
+
+and invert = function True -> False | False -> True | Maybe -> Maybe
+
+(* Guard-edge narrowing: when the tested variable is not volatile its
+   value cannot change between the guard evaluation and the arm entry,
+   so a comparison against a known interval tightens it. *)
+
+let meet_var ~volatile env x v =
+  if Sset.mem x volatile then env
+  else
+    match (lookup ~volatile env x, v) with
+    | Bot, _ | _, Bot -> Unreachable
+    | Itv (la, ha), Itv (lb, hb) -> (
+      match norm (bnd_max la lb) (bnd_min ha hb) with
+      | Bot -> Unreachable
+      | v -> set x v env)
+
+let exclude_var ~volatile env x n =
+  if Sset.mem x volatile then env
+  else
+    match lookup ~volatile env x with
+    | Bot -> Unreachable
+    | Itv (lo, hi) ->
+      if lo = Fin n && hi = Fin n then Unreachable
+      else if lo = Fin n then set x (Itv (bnd_succ lo, hi)) env
+      else if hi = Fin n then set x (Itv (lo, bnd_pred hi)) env
+      else env
+
+let rec narrow ~volatile env (cond : Ast.expr) expected =
+  match env with
+  | Unreachable -> Unreachable
+  | Env _ -> (
+    let refine_cmp op x rhs =
+      (* Knowing [x `op` e] (or its negation) where e ∈ rhs. *)
+      match rhs with
+      | Bot -> Unreachable
+      | Itv (lo, hi) -> (
+        (* With e ∈ [lo, hi]: x < e gives x ≤ hi-1; its negation x ≥ e
+           gives x ≥ lo; and symmetrically for the other comparisons. *)
+        match (op, expected) with
+        | Ast.Lt, true -> meet_var ~volatile env x (Itv (Ninf, bnd_pred hi))
+        | Ast.Lt, false -> meet_var ~volatile env x (Itv (lo, Pinf))
+        | Ast.Le, true -> meet_var ~volatile env x (Itv (Ninf, hi))
+        | Ast.Le, false -> meet_var ~volatile env x (Itv (bnd_succ lo, Pinf))
+        | Ast.Gt, true -> meet_var ~volatile env x (Itv (bnd_succ lo, Pinf))
+        | Ast.Gt, false -> meet_var ~volatile env x (Itv (Ninf, hi))
+        | Ast.Ge, true -> meet_var ~volatile env x (Itv (lo, Pinf))
+        | Ast.Ge, false -> meet_var ~volatile env x (Itv (Ninf, bnd_pred hi))
+        | Ast.Eq, true | Ast.Ne, false ->
+          meet_var ~volatile env x (Itv (lo, hi))
+        | Ast.Ne, true | Ast.Eq, false -> (
+          match (lo, hi) with
+          | Fin n, Fin m when n = m -> exclude_var ~volatile env x n
+          | _ -> env)
+        | _ -> env)
+    in
+    match cond with
+    | Ast.Var x ->
+      if expected then exclude_var ~volatile env x 0
+      else meet_var ~volatile env x (singleton 0)
+    | Ast.Unop (Ast.Not, e) -> narrow ~volatile env e (not expected)
+    | Ast.Binop (Ast.And, e1, e2) when expected ->
+      narrow ~volatile (narrow ~volatile env e1 true) e2 true
+    | Ast.Binop (Ast.Or, e1, e2) when not expected ->
+      narrow ~volatile (narrow ~volatile env e1 false) e2 false
+    | Ast.Binop (op, Ast.Var x, rhs)
+      when (match op with
+           | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+           | _ -> false) ->
+      refine_cmp op x (eval ~volatile env rhs)
+    | Ast.Binop (op, lhs, Ast.Var x)
+      when (match op with
+           | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+           | _ -> false) ->
+      let mirror = function
+        | Ast.Lt -> Ast.Gt
+        | Ast.Le -> Ast.Ge
+        | Ast.Gt -> Ast.Lt
+        | Ast.Ge -> Ast.Le
+        | op -> op
+      in
+      refine_cmp (mirror op) x (eval ~volatile env lhs)
+    | _ -> env)
+
+let transfer ~volatile action env =
+  match env with
+  | Unreachable -> Unreachable
+  | Env _ -> (
+    match action with
+    | Cfg.A_skip | Cfg.A_wait _ | Cfg.A_signal _ -> env
+    | Cfg.A_store (_, _, _) | Cfg.A_send (_, _) -> env
+    | Cfg.A_assign (x, e) ->
+      let v = if Sset.mem x volatile then top else eval ~volatile env e in
+      set x v env
+    | Cfg.A_recv (_, x) -> set x top env
+    | Cfg.A_par_join _ -> env
+    | Cfg.A_assume (cond, expected) -> (
+      match (truthiness (eval ~volatile env cond), expected) with
+      | False, true | True, false -> Unreachable
+      | _ -> narrow ~volatile env cond expected))
+
+(* The typed closed-expression evaluator behind the guard lint. The
+   semantics here are pinned by the byte-for-byte guard-finding tests:
+   integers and booleans never mix, [and]/[or] apply only to booleans,
+   a zero divisor or any variable/index reference is non-constant. *)
+
+type const = I of int | B of bool
+
+let rec const_value (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> Some (I n)
+  | Ast.Bool b -> Some (B b)
+  | Ast.Var _ | Ast.Index _ -> None
+  | Ast.Unop (op, e) -> (
+    match (op, const_value e) with
+    | Ast.Neg, Some (I n) -> Some (I (-n))
+    | Ast.Not, Some (B b) -> Some (B (not b))
+    | _ -> None)
+  | Ast.Binop (op, e1, e2) -> (
+    match (const_value e1, const_value e2) with
+    | Some (I a), Some (I b) -> (
+      match op with
+      | Ast.Add -> Some (I (a + b))
+      | Ast.Sub -> Some (I (a - b))
+      | Ast.Mul -> Some (I (a * b))
+      | Ast.Div -> if b = 0 then None else Some (I (a / b))
+      | Ast.Mod -> if b = 0 then None else Some (I (a mod b))
+      | Ast.Eq -> Some (B (a = b))
+      | Ast.Ne -> Some (B (a <> b))
+      | Ast.Lt -> Some (B (a < b))
+      | Ast.Le -> Some (B (a <= b))
+      | Ast.Gt -> Some (B (a > b))
+      | Ast.Ge -> Some (B (a >= b))
+      | Ast.And | Ast.Or -> None)
+    | Some (B a), Some (B b) -> (
+      match op with
+      | Ast.And -> Some (B (a && b))
+      | Ast.Or -> Some (B (a || b))
+      | Ast.Eq -> Some (B (a = b))
+      | Ast.Ne -> Some (B (a <> b))
+      | _ -> None)
+    | _ -> None)
+
+let const_bool e = match const_value e with Some (B b) -> Some b | _ -> None
+
+let pp_bnd ppf = function
+  | Ninf -> Format.pp_print_string ppf "-inf"
+  | Pinf -> Format.pp_print_string ppf "+inf"
+  | Fin n -> Format.pp_print_int ppf n
+
+let pp_value ppf = function
+  | Bot -> Format.pp_print_string ppf "_|_"
+  | Itv (lo, hi) when lo = hi -> pp_bnd ppf lo
+  | Itv (lo, hi) -> Format.fprintf ppf "[%a, %a]" pp_bnd lo pp_bnd hi

@@ -1,0 +1,76 @@
+(** The constant + interval abstract domain.
+
+    Values abstract the executor's machine integers ([Ifc_exec.Eval]):
+    booleans are 0/1, truthiness is "nonzero". An interval claims that
+    every non-faulting concrete evaluation lands inside it; operations
+    whose native-int result could wrap return {!top} rather than an
+    unsound tight bound.
+
+    Environments map variables to values; an absent variable is
+    unconstrained ({!top}), and {!Unreachable} is the bottom of the
+    lattice — no execution reaches this point. Reads of {e volatile}
+    variables (writable by a parallel sibling) always produce {!top},
+    whatever the environment says, so the analysis stays sound under
+    arbitrary interleaving. *)
+
+module Ast = Ifc_lang.Ast
+
+type bnd = Ninf | Fin of int | Pinf
+
+type value = Bot | Itv of bnd * bnd
+
+val top : value
+
+val singleton : int -> value
+
+val value_join : value -> value -> value
+
+val value_widen : value -> value -> value
+
+val value_equal : value -> value -> bool
+
+val contains : value -> int -> bool
+
+type truth = True | False | Maybe
+
+val truthiness : value -> truth
+
+(** {1 Environments} *)
+
+type env = Unreachable | Env of value Ifc_support.Smap.t
+
+val top_env : env
+
+val lookup : volatile:Ifc_support.Sset.t -> env -> string -> value
+
+val set : string -> value -> env -> env
+
+(** The solver domain instance. *)
+module Dom : Solver.DOMAIN with type t = env
+
+val eval : volatile:Ifc_support.Sset.t -> env -> Ast.expr -> value
+(** Abstract expression evaluation: for every store [s] with [s x ∈
+    env(x)] for non-volatile [x], a non-faulting concrete evaluation is
+    contained in the result. *)
+
+val transfer : volatile:Ifc_support.Sset.t -> Cfg.action -> env -> env
+(** One CFG action, including guard-edge feasibility: an [A_assume]
+    whose condition cannot evaluate to the expected truthiness yields
+    {!Unreachable}, and simple comparisons narrow the tested variable. *)
+
+(** {1 Closed-expression constant evaluation}
+
+    The typed evaluator the guard lint has always used: integers and
+    booleans kept apart, division by zero and any variable reference
+    make the result non-constant. [Guards] delegates here, and the lint
+    messages it produces are pinned byte-for-byte by the tests. *)
+
+type const = I of int | B of bool
+
+val const_value : Ast.expr -> const option
+
+val const_bool : Ast.expr -> bool option
+(** [Some b] only when the expression is a constant {e boolean}; a
+    constant integer guard is deliberately not "constant" to the lint. *)
+
+val pp_value : Format.formatter -> value -> unit

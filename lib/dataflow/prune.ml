@@ -1,0 +1,320 @@
+(* Infeasible-path pruning + dead-store detection. *)
+
+module Ast = Ifc_lang.Ast
+module Loc = Ifc_lang.Loc
+module Sset = Ifc_support.Sset
+module Vars = Ifc_lang.Vars
+
+type pruned = {
+  p_arm : Cfg.arm;
+  p_span : Loc.span;
+  p_stmt_span : Loc.span;
+  p_const_guard : bool;
+}
+
+type result = {
+  program : Ast.program;
+  pruned : pruned list;
+  dead_stores : (string * Loc.span) list;
+  iterations : int;
+  visits : int;
+}
+
+let arm_name = function
+  | Cfg.Then -> "then"
+  | Cfg.Else -> "else"
+  | Cfg.Loop_body -> "loop body"
+
+module Intervals = Solver.Make (Interval.Dom)
+
+let interval_fixpoint (cfg : Cfg.t) =
+  let edges =
+    List.map
+      (fun (e : Cfg.edge) ->
+        {
+          Intervals.src = e.Cfg.src;
+          dst = e.Cfg.dst;
+          transfer = Interval.transfer ~volatile:e.Cfg.volatile e.Cfg.action;
+        })
+      cfg.Cfg.edges
+  in
+  Intervals.solve
+    {
+      Intervals.node_count = cfg.Cfg.node_count;
+      edges;
+      entry = [ cfg.Cfg.entry ];
+      widen_points = cfg.Cfg.loop_heads;
+    }
+    ~init:Interval.top_env
+
+(* Rewrite unreachable arms to [skip], preserving each arm's span so
+   guard findings and error positions are unchanged. The CFG records
+   branches in the order a pre-order AST walk meets them, so a cursor
+   keeps the two in lockstep; arms nested inside a pruned arm have
+   their records consumed silently (they are unreachable only because
+   the enclosing arm is, and reporting them would be noise). *)
+let rewrite (p : Ast.program) (cfg : Cfg.t) state =
+  let branches = Array.of_list cfg.Cfg.branches in
+  let cursor = ref 0 in
+  let take () =
+    let b = branches.(!cursor) in
+    incr cursor;
+    b
+  in
+  let dead (b : Cfg.branch) =
+    match state.(b.Cfg.b_entry) with
+    | Interval.Unreachable -> true
+    | Interval.Env _ -> false
+  in
+  let reported = ref [] in
+  let report (b : Cfg.branch) =
+    reported :=
+      {
+        p_arm = b.Cfg.b_arm;
+        p_span = b.Cfg.b_span;
+        p_stmt_span = b.Cfg.b_stmt_span;
+        p_const_guard = Interval.const_bool b.Cfg.b_guard <> None;
+      }
+      :: !reported
+  in
+  let rec consume (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.If (_, a, b) ->
+      cursor := !cursor + 2;
+      consume a;
+      consume b
+    | Ast.While (_, body) ->
+      incr cursor;
+      consume body
+    | Ast.Seq ss | Ast.Cobegin ss -> List.iter consume ss
+    | _ -> ()
+  in
+  let skip_of (s : Ast.stmt) = { s with Ast.node = Ast.Skip } in
+  let rec walk (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.If (cond, then_, else_) ->
+      let bt = take () in
+      let be = take () in
+      let arm b arm_stmt =
+        if dead b then begin
+          report b;
+          consume arm_stmt;
+          skip_of arm_stmt
+        end
+        else walk arm_stmt
+      in
+      let then_' = arm bt then_ in
+      let else_' = arm be else_ in
+      { s with Ast.node = Ast.If (cond, then_', else_') }
+    | Ast.While (cond, body) ->
+      let bb = take () in
+      let body' =
+        if dead bb then begin
+          report bb;
+          consume body;
+          skip_of body
+        end
+        else walk body
+      in
+      { s with Ast.node = Ast.While (cond, body') }
+    | Ast.Seq ss -> { s with Ast.node = Ast.Seq (List.map walk ss) }
+    | Ast.Cobegin ss -> { s with Ast.node = Ast.Cobegin (List.map walk ss) }
+    | _ -> s
+  in
+  let body = walk p.Ast.body in
+  ({ p with Ast.body }, List.rev !reported)
+
+(* Backward liveness over variable sets; the domain is finite so join
+   doubles as widening. Programs with at most 62 variables — all of
+   them, in practice — run on an int-bitmask domain; larger ones fall
+   back to string sets. *)
+module Live_dom = struct
+  type t = Sset.t
+
+  let bottom = Sset.empty
+
+  let join = Sset.union
+
+  let widen = Sset.union
+
+  let equal = Sset.equal
+end
+
+module Liveness = Solver.Make (Live_dom)
+
+module Bit_dom = struct
+  type t = int
+
+  let bottom = 0
+
+  let join = ( lor )
+
+  let widen = ( lor )
+
+  let equal (a : int) b = a = b
+end
+
+module Bitlive = Solver.Make (Bit_dom)
+
+let gen (action : Cfg.action) =
+  match action with
+  | Cfg.A_skip | Cfg.A_wait _ | Cfg.A_signal _ | Cfg.A_par_join _ -> Sset.empty
+  | Cfg.A_assign (_, e) -> Vars.expr_vars e
+  | Cfg.A_store (a, i, e) ->
+    Sset.add a (Sset.union (Vars.expr_vars i) (Vars.expr_vars e))
+  | Cfg.A_assume (c, _) -> Vars.expr_vars c
+  | Cfg.A_send (_, e) -> Vars.expr_vars e
+  | Cfg.A_recv (_, _) -> Sset.empty
+
+let kill (action : Cfg.action) =
+  match action with
+  | Cfg.A_assign (x, _) | Cfg.A_recv (_, x) -> Some x
+  | _ -> None
+
+(* Liveness over string sets: the general fallback for programs with
+   more variables than an int has bits. *)
+let live_by_set (cfg : Cfg.t) init_vars =
+  let edges =
+    List.map
+      (fun (e : Cfg.edge) ->
+        let g = gen e.Cfg.action and k = kill e.Cfg.action in
+        {
+          Liveness.src = e.Cfg.src;
+          dst = e.Cfg.dst;
+          transfer =
+            (fun out ->
+              let out =
+                match k with Some x -> Sset.remove x out | None -> out
+              in
+              Sset.union g out);
+        })
+      cfg.Cfg.edges
+  in
+  let state, _ =
+    Liveness.solve ~direction:Solver.Backward
+      {
+        Liveness.node_count = cfg.Cfg.node_count;
+        edges;
+        entry = [ cfg.Cfg.exit ];
+        widen_points = [];
+      }
+      ~init:init_vars
+  in
+  fun node x -> Sset.mem x state.(node)
+
+(* Liveness over int bitmasks: each variable gets a bit, transfer is
+   two word ops, join is [lor]. Valid whenever every mentioned variable
+   fits in an OCaml int. *)
+let live_by_bits (cfg : Cfg.t) init_vars mentioned =
+  let index = Hashtbl.create 16 in
+  let next = ref 0 in
+  Sset.iter
+    (fun x ->
+      Hashtbl.add index x !next;
+      incr next)
+    mentioned;
+  let bit x = 1 lsl Hashtbl.find index x in
+  let mask s = Sset.fold (fun x acc -> acc lor bit x) s 0 in
+  let edges =
+    List.map
+      (fun (e : Cfg.edge) ->
+        let g = mask (gen e.Cfg.action) in
+        let keep =
+          match kill e.Cfg.action with
+          | Some x -> lnot (bit x)
+          | None -> -1
+        in
+        {
+          Bitlive.src = e.Cfg.src;
+          dst = e.Cfg.dst;
+          transfer = (fun out -> out land keep lor g);
+        })
+      cfg.Cfg.edges
+  in
+  let state, _ =
+    Bitlive.solve ~direction:Solver.Backward
+      {
+        Bitlive.node_count = cfg.Cfg.node_count;
+        edges;
+        entry = [ cfg.Cfg.exit ];
+        widen_points = [];
+      }
+      ~init:(mask init_vars)
+  in
+  fun node x -> state.(node) land bit x <> 0
+
+let dead_store_pass ?cfg (p : Ast.program) =
+  let cfg = match cfg with Some c -> c | None -> Cfg.of_program p in
+  let ints, arrays, _, _ = Vars.declared p in
+  let all_vars = Sset.union ints arrays in
+  let mentioned =
+    List.fold_left
+      (fun acc (e : Cfg.edge) ->
+        let acc = Sset.union acc (gen e.Cfg.action) in
+        match kill e.Cfg.action with
+        | Some x -> Sset.add x acc
+        | None -> acc)
+      all_vars cfg.Cfg.edges
+  in
+  let live =
+    if Sset.cardinal mentioned <= 62 then live_by_bits cfg all_vars mentioned
+    else live_by_set cfg all_vars
+  in
+  (* Anything a cobegin touches may be read at any interleaving point
+     by a sibling; never call its stores dead. *)
+  let pinned = ref Sset.empty in
+  let rec pin in_par (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Cobegin ss ->
+      List.iter
+        (fun b ->
+          pinned := Sset.union !pinned (Sset.union (Vars.read b) (Vars.modified b));
+          pin true b)
+        ss
+    | Ast.If (_, a, b) ->
+      pin in_par a;
+      pin in_par b
+    | Ast.While (_, b) -> pin in_par b
+    | Ast.Seq ss -> List.iter (pin in_par) ss
+    | _ -> ()
+  in
+  pin false p.Ast.body;
+  let dead = ref [] in
+  List.iter
+    (fun (e : Cfg.edge) ->
+      match e.Cfg.action with
+      | Cfg.A_assign (x, _)
+        when (not (live e.Cfg.dst x)) && not (Sset.mem x !pinned) ->
+        dead := (x, e.Cfg.span) :: !dead
+      | _ -> ())
+    cfg.Cfg.edges;
+  List.rev !dead
+
+let analyze (p : Ast.program) =
+  let cfg = Cfg.of_program p in
+  (* No branches means nothing can be infeasible: skip the interval
+     fixpoint and go straight to liveness on the same CFG. *)
+  if cfg.Cfg.branches = [] then
+    {
+      program = p;
+      pruned = [];
+      dead_stores = dead_store_pass ~cfg p;
+      iterations = 0;
+      visits = 0;
+    }
+  else
+    let state, stats = interval_fixpoint cfg in
+    let program, pruned = rewrite p cfg state in
+    (* An unchanged program keeps its CFG; only a rewritten one needs a
+       fresh graph for the liveness pass. *)
+    let dead_stores =
+      if pruned = [] then dead_store_pass ~cfg program
+      else dead_store_pass program
+    in
+    {
+      program;
+      pruned;
+      dead_stores;
+      iterations = stats.Intervals.iterations;
+      visits = stats.Intervals.visits;
+    }

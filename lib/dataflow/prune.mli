@@ -1,0 +1,45 @@
+(** Infeasible-path pruning and the lints that fall out of it.
+
+    The interval analysis runs forward over the CFG from an
+    unconstrained entry state (the executor may start from any input
+    store, so nothing is assumed about initial values). A branch arm
+    whose entry node stays at bottom in the fixpoint is statically
+    unreachable: {!analyze} rewrites such arms to [skip] — keeping the
+    enclosing [if]/[while] and every span intact — so downstream
+    analyses (MHP, liveness of semaphores, channel lint) never walk
+    code no execution reaches.
+
+    On the pruned program a backward liveness pass then reports {e dead
+    stores}: assignments whose value is definitely overwritten before
+    any read. The terminal store is observable (noninterference
+    compares low projections of final states), so every variable is
+    live at program exit; variables touched inside any [cobegin] are
+    pinned live throughout, since a sibling may read them at any
+    interleaving point. *)
+
+module Ast = Ifc_lang.Ast
+module Loc = Ifc_lang.Loc
+
+type pruned = {
+  p_arm : Cfg.arm;
+  p_span : Loc.span;  (** Span of the unreachable arm. *)
+  p_stmt_span : Loc.span;  (** Span of the enclosing [if]/[while]. *)
+  p_const_guard : bool;
+      (** The guard lint already reports constant guards; unreachable
+          findings are only emitted when this is [false]. *)
+}
+
+type result = {
+  program : Ast.program;  (** Input with unreachable arms as [skip]. *)
+  pruned : pruned list;  (** In program order. *)
+  dead_stores : (string * Loc.span) list;
+      (** Variable and span of each definitely-overwritten assignment,
+          in CFG order. *)
+  iterations : int;  (** Worklist pops in the interval fixpoint. *)
+  visits : int;  (** Transfer applications in the interval fixpoint. *)
+}
+
+val analyze : Ast.program -> result
+
+val arm_name : Cfg.arm -> string
+(** ["then"], ["else"], or ["loop body"], for messages. *)

@@ -1,0 +1,89 @@
+(* The monotone-framework worklist solver. *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+
+  val equal : t -> t -> bool
+end
+
+type direction = Forward | Backward
+
+module Make (D : DOMAIN) = struct
+  type edge = { src : int; dst : int; transfer : D.t -> D.t }
+
+  type graph = {
+    node_count : int;
+    edges : edge list;
+    entry : int list;
+    widen_points : int list;
+  }
+
+  type stats = { iterations : int; visits : int }
+
+  (* A binary heap keyed by [order] would be overkill: the graphs this
+     engine sees are per-program CFGs (thousands of nodes at the most),
+     so the ready set is a sorted association left to stdlib Set. *)
+  module Iset = Set.Make (struct
+    type t = int * int (* (priority, node) *)
+
+    let compare = compare
+  end)
+
+  let solve ?(direction = Forward) ?(order = fun n -> n) g ~init =
+    (* Orient the graph: in the backward direction every edge flips, so
+       the rest of the algorithm is direction-agnostic. *)
+    let edges =
+      match direction with
+      | Forward -> g.edges
+      | Backward ->
+        List.map (fun e -> { e with src = e.dst; dst = e.src }) g.edges
+    in
+    let succs = Array.make g.node_count [] in
+    List.iter (fun e -> succs.(e.src) <- e :: succs.(e.src)) edges;
+    let widen_at = Array.make g.node_count false in
+    List.iter (fun n -> widen_at.(n) <- true) g.widen_points;
+    let state = Array.make g.node_count D.bottom in
+    List.iter (fun n -> state.(n) <- init) g.entry;
+    let iterations = ref 0 in
+    let visits = ref 0 in
+    let queued = Array.make g.node_count false in
+    let ready = ref Iset.empty in
+    let push n =
+      if not queued.(n) then begin
+        queued.(n) <- true;
+        ready := Iset.add (order n, n) !ready
+      end
+    in
+    List.iter push g.entry;
+    let rec drain () =
+      match Iset.min_elt_opt !ready with
+      | None -> ()
+      | Some ((_, n) as key) ->
+        ready := Iset.remove key !ready;
+        queued.(n) <- false;
+        incr iterations;
+        List.iter
+          (fun e ->
+            incr visits;
+            let contribution = e.transfer state.(n) in
+            let current = state.(e.dst) in
+            let next =
+              if widen_at.(e.dst) then D.widen current contribution
+              else D.join current contribution
+            in
+            if not (D.equal next current) then begin
+              state.(e.dst) <- next;
+              push e.dst
+            end)
+          succs.(n);
+        drain ()
+    in
+    drain ();
+    (state, { iterations = !iterations; visits = !visits })
+end

@@ -1,0 +1,92 @@
+(* Provenance (taint) analysis: a second solver instantiation. *)
+
+module Ast = Ifc_lang.Ast
+module Smap = Ifc_support.Smap
+module Sset = Ifc_support.Sset
+module Vars = Ifc_lang.Vars
+
+type state = Bot | St of Sset.t Smap.t * Sset.t
+
+let self x = Sset.singleton x
+
+(* Entries equal to the default [{x}] are dropped so that maps compare
+   structurally. *)
+let norm m = Smap.filter (fun x o -> not (Sset.equal o (self x))) m
+
+let origins st x =
+  match st with
+  | Bot -> Sset.empty
+  | St (m, _) -> ( match Smap.find_opt x m with Some o -> o | None -> self x)
+
+module Dom = struct
+  type t = state
+
+  let bottom = Bot
+
+  let join a b =
+    match (a, b) with
+    | Bot, s | s, Bot -> s
+    | St (ma, pa), St (mb, pb) ->
+      let m =
+        Smap.merge
+          (fun x oa ob ->
+            let get = function Some o -> o | None -> self x in
+            Some (Sset.union (get oa) (get ob)))
+          ma mb
+      in
+      St (norm m, Sset.union pa pb)
+
+  (* Origin sets are drawn from the finite variable population, so the
+     ascending chain condition holds and join widens. *)
+  let widen = join
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot -> true
+    | St (ma, pa), St (mb, pb) -> Smap.equal Sset.equal ma mb && Sset.equal pa pb
+    | _ -> false
+end
+
+let expr_origins st pc e =
+  Sset.fold
+    (fun y acc -> Sset.union (origins st y) acc)
+    (Vars.expr_vars e) pc
+
+let transfer (action : Cfg.action) st =
+  match st with
+  | Bot -> Bot
+  | St (m, pc) -> (
+    let set x o = St (norm (Smap.add x o m), pc) in
+    match action with
+    | Cfg.A_skip | Cfg.A_signal _ | Cfg.A_par_join _ -> st
+    | Cfg.A_assign (x, e) -> set x (expr_origins st pc e)
+    | Cfg.A_store (a, i, e) ->
+      set a
+        (Sset.union (origins st a)
+           (Sset.union (expr_origins st pc i) (expr_origins st pc e)))
+    | Cfg.A_assume (c, _) -> St (m, expr_origins st pc c)
+    | Cfg.A_wait s -> St (m, Sset.add s pc)
+    | Cfg.A_send (_, _) -> st
+    | Cfg.A_recv (c, x) -> set x (Sset.add c pc))
+
+module T = Solver.Make (Dom)
+
+let analyze (p : Ast.program) =
+  let cfg = Cfg.of_program p in
+  let edges =
+    List.map
+      (fun (e : Cfg.edge) ->
+        { T.src = e.Cfg.src; dst = e.Cfg.dst; transfer = transfer e.Cfg.action })
+      cfg.Cfg.edges
+  in
+  let state, _ =
+    T.solve
+      {
+        T.node_count = cfg.Cfg.node_count;
+        edges;
+        entry = [ cfg.Cfg.entry ];
+        widen_points = cfg.Cfg.loop_heads;
+      }
+      ~init:(St (Smap.empty, Sset.empty))
+  in
+  state.(cfg.Cfg.exit)

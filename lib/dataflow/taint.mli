@@ -1,0 +1,25 @@
+(** Flow provenance: which variables can an observed value trace back to?
+
+    A second instantiation of the worklist solver, used to seed witness
+    chains. The domain maps each variable to the set of {e origin}
+    variables whose initial value (or whose synchronisation behaviour)
+    may have influenced it; a variable not in the map is its own sole
+    origin. A program-counter component accumulates the origins of every
+    guard tested, semaphore awaited, and channel received on the path —
+    implicit flows — and is folded into every subsequent assignment.
+    The pc only grows along a path (it is never popped at joins), which
+    over-approximates — exactly what a provenance explanation needs. *)
+
+module Ast = Ifc_lang.Ast
+
+type state = Bot | St of Ifc_support.Sset.t Ifc_support.Smap.t * Ifc_support.Sset.t
+(** [St (origins, pc)]. *)
+
+module Dom : Solver.DOMAIN with type t = state
+
+val origins : state -> string -> Ifc_support.Sset.t
+(** Origins of a variable in a state; [{x}] when untracked, empty at
+    bottom. *)
+
+val analyze : Ast.program -> state
+(** Forward fixpoint over the program's CFG; returns the exit state. *)

@@ -1,0 +1,370 @@
+(* Witness chains: build a source→sink explanation for a rejection, and
+   replay one against the mechanism to validate it. *)
+
+module Ast = Ifc_lang.Ast
+module Loc = Ifc_lang.Loc
+module Sset = Ifc_support.Sset
+module Vars = Ifc_lang.Vars
+module Lattice = Ifc_lattice.Lattice
+module Extended = Ifc_lattice.Extended
+module Cfm = Ifc_core.Cfm
+module Binding = Ifc_core.Binding
+module Fs = Ifc_core.Flow_sensitive
+
+type step = { w_span : Loc.span; w_var : string; w_rule : string }
+
+type mode = Cfm_mode | Fs_mode
+
+type t = {
+  w_mode : mode;
+  w_source : string list;
+  w_steps : step list;
+  w_sink_span : Loc.span;
+  w_sink_rule : string;
+  w_sink_var : string option;
+}
+
+let mode_name = function Cfm_mode -> "cfm" | Fs_mode -> "flow-sensitive"
+
+(* ---- helpers over spans and the AST ---- *)
+
+let pos_leq (a : Loc.pos) (b : Loc.pos) =
+  a.Loc.line < b.Loc.line || (a.Loc.line = b.Loc.line && a.Loc.col <= b.Loc.col)
+
+let span_contains (outer : Loc.span) (inner : Loc.span) =
+  Loc.is_dummy outer || Loc.is_dummy inner
+  || (pos_leq outer.Loc.start inner.Loc.start
+     && pos_leq inner.Loc.stop outer.Loc.stop)
+
+let span_precedes (a : Loc.span) (b : Loc.span) =
+  Loc.is_dummy a || Loc.is_dummy b || pos_leq a.Loc.start b.Loc.start
+
+let iter_stmts f (p : Ast.program) =
+  let rec go (s : Ast.stmt) =
+    f s;
+    match s.Ast.node with
+    | Ast.If (_, a, b) ->
+      go a;
+      go b
+    | Ast.While (_, b) -> go b
+    | Ast.Seq ss | Ast.Cobegin ss -> List.iter go ss
+    | _ -> ()
+  in
+  go p.Ast.body
+
+let find_stmt p span =
+  if Loc.is_dummy span then None
+  else begin
+    let found = ref None in
+    iter_stmts
+      (fun s -> if !found = None && s.Ast.span = span then found := Some s)
+      p;
+    !found
+  end
+
+let stmt_exists_at p span = Loc.is_dummy span || find_stmt p span <> None
+
+(* ---- building a chain from a failed CFM check ---- *)
+
+(* Search a flow-producing region for a primitive contributor whose
+   class is not below the sink's bound. If the joined flow violates the
+   bound, some primitive contribution does (a join is below a class iff
+   every joinand is): a wait's semaphore, a recv's channel, a loop
+   guard, or the guard of a conditional whose branches leak a flow. The
+   returned steps run source-first; enclosing constructs append
+   propagation steps as the recursion unwinds. *)
+let search_flow_origin binding ~bad stmt =
+  let bad_vars vars =
+    List.filter (fun y -> bad (Binding.sbind binding y)) (Sset.elements vars)
+  in
+  let rec search (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Wait sem when bad (Binding.sbind binding sem) ->
+      Some
+        ( [ { w_span = s.Ast.span;
+              w_var = sem;
+              w_rule = "wait: conditional delay is a global flow of sbind(s)";
+            } ],
+          [ sem ] )
+    | Ast.Recv (chan, _) when bad (Binding.sbind binding chan) ->
+      Some
+        ( [ { w_span = s.Ast.span;
+              w_var = chan;
+              w_rule = "recv: conditional delivery is a global flow of sbind(c)";
+            } ],
+          [ chan ] )
+    | Ast.While (cond, body) -> (
+      match search body with
+      | Some (steps, srcs) ->
+        Some
+          ( steps
+            @ [ { w_span = s.Ast.span;
+                  w_var = (match srcs with v :: _ -> v | [] -> "");
+                  w_rule = "while: flow(S1) (+) sbind(e) propagates";
+                } ],
+            srcs )
+      | None -> (
+        match bad_vars (Vars.expr_vars cond) with
+        | [] -> None
+        | (v :: _) as vs ->
+          Some
+            ( [ { w_span = s.Ast.span;
+                  w_var = v;
+                  w_rule = "while: termination is conditional on sbind(e)";
+                } ],
+              vs )))
+    | Ast.If (cond, then_, else_) -> (
+      let propagate (steps, srcs) =
+        ( steps
+          @ [ { w_span = s.Ast.span;
+                w_var = (match srcs with v :: _ -> v | [] -> "");
+                w_rule = "if: escaping global flow joins sbind(e)";
+              } ],
+          srcs )
+      in
+      match search then_ with
+      | Some r -> Some (propagate r)
+      | None -> (
+        match search else_ with
+        | Some r -> Some (propagate r)
+        | None -> (
+          let leaks arm = not (Extended.is_nil (Cfm.flow_of binding arm)) in
+          match bad_vars (Vars.expr_vars cond) with
+          | (v :: _) as vs when leaks then_ || leaks else_ ->
+            Some
+              ( [ { w_span = s.Ast.span;
+                    w_var = v;
+                    w_rule = "if: escaping global flow reveals sbind(e)";
+                  } ],
+                vs )
+          | _ -> None)))
+    | Ast.Seq ss | Ast.Cobegin ss ->
+      List.fold_left
+        (fun acc s' -> match acc with Some _ -> acc | None -> search s')
+        None ss
+    | _ -> None
+  in
+  search stmt
+
+(* For a [Seq_global i] check the flow region is the prefix of the
+   enclosing sequence: the components before the one the check bounds
+   (plus itself under the self-check reading). The check's span points
+   at the bounded component, so locate the sequence holding it. *)
+let find_seq_prefix p span i ~self_check =
+  let found = ref None in
+  iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Seq ss when !found = None ->
+        (match List.nth_opt ss i with
+        | Some si when si.Ast.span = span && not (Loc.is_dummy span) ->
+          let take = if self_check then i + 1 else i in
+          found := Some (List.filteri (fun j _ -> j < take) ss)
+        | _ -> ())
+      | _ -> ())
+    p;
+  !found
+
+let cfm_chain ~self_check binding p (c : 'a Cfm.check) =
+  let l = Binding.lattice binding in
+  let bad cls = not (l.Lattice.leq cls c.Cfm.rhs) in
+  let bad_vars vars =
+    List.filter (fun y -> bad (Binding.sbind binding y)) (Sset.elements vars)
+  in
+  let direct ?sink_var vars =
+    { w_mode = Cfm_mode;
+      w_source = bad_vars vars;
+      w_steps = [];
+      w_sink_span = c.Cfm.span;
+      w_sink_rule = Cfm.rule_name c.Cfm.rule;
+      w_sink_var = sink_var;
+    }
+  in
+  let of_region region =
+    let steps, srcs =
+      match
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | Some _ -> acc
+            | None -> search_flow_origin binding ~bad s)
+          None region
+      with
+      | Some r -> r
+      | None -> ([], [])
+    in
+    { w_mode = Cfm_mode;
+      w_source = srcs;
+      w_steps = steps;
+      w_sink_span = c.Cfm.span;
+      w_sink_rule = Cfm.rule_name c.Cfm.rule;
+      w_sink_var = None;
+    }
+  in
+  let stmt = find_stmt p c.Cfm.span in
+  match (c.Cfm.rule, stmt) with
+  | Cfm.Assign_direct, Some { Ast.node = Ast.Assign (x, e); _ } ->
+    direct ~sink_var:x (Vars.expr_vars e)
+  | Cfm.Declassify_direct, Some { Ast.node = Ast.Declassify (x, _, _); _ } ->
+    direct ~sink_var:x Sset.empty
+  | Cfm.Store_direct, Some { Ast.node = Ast.Store (a, i, e); _ } ->
+    direct ~sink_var:a (Sset.union (Vars.expr_vars i) (Vars.expr_vars e))
+  | Cfm.Send_direct, Some { Ast.node = Ast.Send (chan, e); _ } ->
+    direct ~sink_var:chan (Vars.expr_vars e)
+  | Cfm.Recv_direct, Some { Ast.node = Ast.Recv (chan, x); _ } ->
+    direct ~sink_var:x (Sset.singleton chan)
+  | Cfm.If_local, Some { Ast.node = Ast.If (cond, _, _); _ } ->
+    direct (Vars.expr_vars cond)
+  | Cfm.While_global, Some ({ Ast.node = Ast.While (cond, body); _ } as w) -> (
+    (* Search the body first; only then blame the guard, whose class
+       always joins the loop's flow. *)
+    match search_flow_origin binding ~bad body with
+    | Some (steps, srcs) -> { (of_region []) with w_steps = steps; w_source = srcs }
+    | None -> (
+      match bad_vars (Vars.expr_vars cond) with
+      | (v :: _) as vs ->
+        { w_mode = Cfm_mode;
+          w_source = vs;
+          w_steps =
+            [ { w_span = w.Ast.span;
+                w_var = v;
+                w_rule = "while: termination is conditional on sbind(e)";
+              } ];
+          w_sink_span = c.Cfm.span;
+          w_sink_rule = Cfm.rule_name c.Cfm.rule;
+          w_sink_var = None;
+        }
+      | [] -> of_region []))
+  | Cfm.Seq_global i, _ -> (
+    match find_seq_prefix p c.Cfm.span i ~self_check with
+    | Some region -> of_region region
+    | None -> of_region [])
+  | _ ->
+    (* Span not found (synthetic programs with dummy spans): fall back
+       to a sourceless chain; replay then leans on the sink check. *)
+    of_region []
+
+let fs_chain binding p x =
+  let exit_state = Taint.analyze p in
+  let l = Binding.lattice binding in
+  let target = Binding.sbind binding x in
+  let sources =
+    Sset.elements (Taint.origins exit_state x)
+    |> List.filter (fun y -> not (l.Lattice.leq (Binding.sbind binding y) target))
+  in
+  let last_write = ref None in
+  iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Assign (y, _) | Ast.Declassify (y, _, _) | Ast.Recv (_, y)
+        when y = x ->
+        last_write := Some s.Ast.span
+      | _ -> ())
+    p;
+  let sink_span =
+    match !last_write with Some sp -> sp | None -> p.Ast.body.Ast.span
+  in
+  { w_mode = Fs_mode;
+    w_source = sources;
+    w_steps =
+      [ { w_span = sink_span;
+          w_var = x;
+          w_rule = "assign: current class = sbind(e) (+) pc (+) global";
+        } ];
+    w_sink_span = sink_span;
+    w_sink_rule = "flow-sensitive: final(x) <= sbind(x)";
+    w_sink_var = Some x;
+  }
+
+let explain ?(self_check = false) binding (p : Ast.program) =
+  let r = Cfm.analyze_program ~self_check binding p in
+  match Cfm.failed_checks r with
+  | c :: _ -> Some (cfm_chain ~self_check binding p c)
+  | [] -> (
+    let fs = Fs.analyze binding p.Ast.body in
+    match fs.Fs.violations with
+    | (x, _) :: _ -> Some (fs_chain binding p x)
+    | [] -> None)
+
+(* ---- replay ---- *)
+
+let chain_connected p chain =
+  let steps_ok =
+    List.for_all (fun st -> stmt_exists_at p st.w_span) chain.w_steps
+  in
+  let rec nested = function
+    | a :: (b :: _ as rest) -> span_contains b.w_span a.w_span && nested rest
+    | _ -> true
+  in
+  let sink_ok =
+    match List.rev chain.w_steps with
+    | [] -> true
+    | last :: _ ->
+      span_contains chain.w_sink_span last.w_span
+      || span_precedes last.w_span chain.w_sink_span
+  in
+  steps_ok && nested chain.w_steps && sink_ok
+
+let replay ?(self_check = false) binding (p : Ast.program) chain =
+  let l = Binding.lattice binding in
+  match chain.w_mode with
+  | Cfm_mode -> (
+    let r = Cfm.analyze_program ~self_check binding p in
+    let sink =
+      List.find_opt
+        (fun (c : 'a Cfm.check) ->
+          (not c.Cfm.ok)
+          && Cfm.rule_name c.Cfm.rule = chain.w_sink_rule
+          && (Loc.is_dummy chain.w_sink_span || c.Cfm.span = chain.w_sink_span))
+        r.Cfm.checks
+    in
+    match sink with
+    | None -> false
+    | Some c ->
+      let sources_ok =
+        match chain.w_source with
+        | [] ->
+          (* Only a declassify (whose offending class is named, not
+             carried by a variable) or a spanless synthetic program may
+             omit sources. *)
+          chain.w_sink_rule = Cfm.rule_name Cfm.Declassify_direct
+          || chain.w_steps = []
+        | srcs ->
+          let joined =
+            Lattice.joins l (List.map (Binding.sbind binding) srcs)
+          in
+          not (l.Lattice.leq joined c.Cfm.rhs)
+      in
+      sources_ok && chain_connected p chain)
+  | Fs_mode -> (
+    match chain.w_sink_var with
+    | None -> false
+    | Some x ->
+      let fs = Fs.analyze binding p.Ast.body in
+      List.exists (fun (y, _) -> y = x) fs.Fs.violations
+      && (match chain.w_source with
+         | [] -> true
+         | srcs ->
+           let target = Binding.sbind binding x in
+           let joined =
+             Lattice.joins l (List.map (Binding.sbind binding) srcs)
+           in
+           not (l.Lattice.leq joined target))
+      && chain_connected p chain)
+
+let pp ppf chain =
+  Format.fprintf ppf "witness (%s): %s at %a" (mode_name chain.w_mode)
+    chain.w_sink_rule Loc.pp chain.w_sink_span;
+  (match chain.w_sink_var with
+  | Some x -> Format.fprintf ppf " [%s]" x
+  | None -> ());
+  List.iteri
+    (fun i st ->
+      Format.fprintf ppf "@.  %d. %s" (i + 1) st.w_rule;
+      if st.w_var <> "" then Format.fprintf ppf " (%s)" st.w_var;
+      Format.fprintf ppf " at %a" Loc.pp st.w_span)
+    chain.w_steps;
+  match chain.w_source with
+  | [] -> ()
+  | srcs ->
+    Format.fprintf ppf "@.  source: %s" (String.concat ", " srcs)

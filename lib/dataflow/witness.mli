@@ -1,0 +1,44 @@
+(** Flow witnesses: minimal source→sink chains explaining a rejection.
+
+    When certification refuses a program, the failed check says {e
+    which} constraint broke but not {e where the information came
+    from}. A witness chain names the source variables whose classes
+    caused the violation, the statements the flow traversed (each with
+    the rule that propagated it), and the sink check that failed.
+
+    Chains are not trusted: {!replay} re-derives the rejection from
+    scratch and validates the chain step by step — the sink must still
+    be a failed check with the same rule at the same span, every step
+    must name a real statement, consecutive steps must nest or precede
+    each other in program order, and the join of the source classes
+    must genuinely exceed the sink's bound. The fuzzer replays every
+    emitted witness and files a chain that fails replay under its own
+    inversion class. *)
+
+module Ast = Ifc_lang.Ast
+module Loc = Ifc_lang.Loc
+module Binding = Ifc_core.Binding
+
+type step = { w_span : Loc.span; w_var : string; w_rule : string }
+
+type mode = Cfm_mode | Fs_mode
+
+type t = {
+  w_mode : mode;
+  w_source : string list;  (** Variables whose classes start the flow. *)
+  w_steps : step list;  (** Source toward sink; may be empty. *)
+  w_sink_span : Loc.span;
+  w_sink_rule : string;
+  w_sink_var : string option;
+}
+
+val explain : ?self_check:bool -> 'a Binding.t -> Ast.program -> t option
+(** [None] iff the program is accepted (CFM and, failing that,
+    flow-sensitive both pass). Prefers the first failed CFM check;
+    falls back to the first flow-sensitive violation. *)
+
+val replay : ?self_check:bool -> 'a Binding.t -> Ast.program -> t -> bool
+
+val mode_name : mode -> string
+
+val pp : Format.formatter -> t -> unit

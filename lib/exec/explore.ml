@@ -14,6 +14,7 @@ type summary = {
   has_cycle : bool;
   states : int;
   complete : bool;
+  visited_spans : Ifc_lang.Loc.span list;
 }
 
 (* Variables an action writes. Semaphore operations are synchronization,
@@ -90,6 +91,14 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
   let chan_blocked = ref Sset.empty in
   let has_cycle = ref false in
   let complete = ref true in
+  let span_seen : (Ifc_lang.Loc.span, unit) Hashtbl.t = Hashtbl.create 64 in
+  let visited_spans = ref [] in
+  let note_span sp =
+    if (not (Ifc_lang.Loc.is_dummy sp)) && not (Hashtbl.mem span_seen sp) then begin
+      Hashtbl.add span_seen sp ();
+      visited_spans := sp :: !visited_spans
+    end
+  in
   let add_fault msg = if not (List.mem msg !faults) then faults := msg :: !faults in
   (* A race witness: two co-enabled actions of different processes where
      one writes a variable in the other's footprint. Enabled choices with
@@ -158,6 +167,9 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
                   (fun chan -> chan_blocked := Sset.add chan !chan_blocked)
                   (Step.blocked_channels c)
               | Ok choices ->
+                (* Every enabled choice's statement is reachable — record
+                   it before any reduction thins the list. *)
+                List.iter (fun ch -> note_span ch.Step.span) choices;
                 if List.length choices > 1 then scan_races choices;
                 (* Partial-order reduction: if some enabled action touches
                    no racy name, it commutes with everything the other
@@ -193,6 +205,7 @@ let explore ?(por = false) ?(max_states = 20_000) cfg =
     has_cycle = !has_cycle;
     states = !states;
     complete = !complete;
+    visited_spans = !visited_spans;
   }
 
 let explore_program ?por ?max_states ?inputs p =

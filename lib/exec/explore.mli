@@ -33,6 +33,11 @@ type summary = {
   has_cycle : bool;  (** A configuration can reach itself: divergence. *)
   states : int;  (** States visited. *)
   complete : bool;  (** False iff [max_states] was exhausted. *)
+  visited_spans : Ifc_lang.Loc.span list;
+      (** Distinct source spans of statements enabled in some visited
+          state (dummy spans dropped) — the execution-side evidence that
+          a statement is reachable, cross-checked against static
+          infeasible-path pruning. *)
 }
 
 val explore : ?por:bool -> ?max_states:int -> Step.config -> summary

@@ -25,7 +25,13 @@ type label =
   | L_send of string * int
   | L_recv of string * string * int
 
-type choice = { index : int; label : label; next : config; footprint : Ifc_support.Sset.t }
+type choice = {
+  index : int;
+  label : label;
+  next : config;
+  footprint : Ifc_support.Sset.t;
+  span : Ifc_lang.Loc.span;
+}
 
 (* The variables and semaphores one indivisible action touches — the
    basis of the independence relation used by partial-order reduction.
@@ -160,7 +166,9 @@ let enabled cfg =
             chan_caps = cfg.chan_caps;
           }
         in
-        choices := { index; label; next; footprint = action_footprint s } :: !choices)
+        choices :=
+          { index; label; next; footprint = action_footprint s; span = s.Ast.span }
+          :: !choices)
     | Task.Seq (a, b) -> walk a (fun a' -> rebuild (Task.Seq (a', b)))
     | Task.Par ts ->
       List.iteri

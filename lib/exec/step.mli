@@ -42,6 +42,9 @@ type choice = {
           writes; two actions with footprints that do not meet any shared
           (racy) variable commute — the independence relation behind
           {!Explore}'s partial-order reduction. *)
+  span : Ifc_lang.Loc.span;
+      (** Source span of the statement the action steps — what the
+          exploration's visited-span record is built from. *)
 }
 
 val init : Ifc_lang.Ast.program -> ?inputs:(string * int) list -> unit -> config

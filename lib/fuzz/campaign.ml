@@ -33,6 +33,7 @@ type config = {
   plant_lint_unsound : bool;
   plant_chan_unsound : bool;
   plant_store_stale : bool;
+  plant_dataflow_unsound : bool;
   plant_refine_unsound : bool;
   refine_cases : int;
 }
@@ -55,6 +56,7 @@ let default =
     plant_lint_unsound = false;
     plant_chan_unsound = false;
     plant_store_stale = false;
+    plant_dataflow_unsound = false;
     plant_refine_unsound = false;
     refine_cases = 0;
   }
@@ -125,6 +127,7 @@ type payload =
       * bool option
       * bool option
       * bool option
+      * [ `Prune | `Witness ] option
       * (Ast.program -> bool option)
       * int)
   | P_refine of Modfuzz.case * bool option * int
@@ -289,6 +292,50 @@ let planted_cert_case () =
   let binding = Binding.make lattice ~default:lattice.Lattice.bottom [] in
   (program, binding)
 
+(* The planted prune-unsoundness (test hook): a padded all-low
+   straight-line program with the oracle's dataflow leg forced to report
+   a pruned arm at the span of a statement every execution steps. The
+   exploration's visit witness refutes the fake claim, so the case
+   classifies as prune-unsound and shrinks to a single statement. *)
+let planted_prune_case () =
+  let body =
+    Ast.seq
+      [
+        Ast.assign "p" (Ast.Int 3);
+        Ast.skip;
+        Ast.assign "y" (Ast.Int 1);
+        Ast.assign "q" (Ast.Binop (Ast.Add, Ast.Var "p", Ast.Int 1));
+        Ast.skip;
+      ]
+  in
+  let program = Wellformed.infer_decls (Ast.program body) in
+  let binding = Binding.make lattice ~default:lattice.Lattice.bottom [] in
+  (program, binding)
+
+(* The planted witness corruption (test hook): a padded program whose
+   middle statement leaks [x] (high) into [y] (low), so certification
+   honestly rejects and a flow witness is emitted — with the oracle's
+   dataflow leg forced to corrupt the witness's sink span before replay.
+   The replay finds no failed check at the shifted span, so the case
+   classifies as witness-bogus and shrinks to the single [y := x]. *)
+let planted_witness_case () =
+  let body =
+    Ast.seq
+      [
+        Ast.assign "p" (Ast.Int 3);
+        Ast.skip;
+        Ast.assign "y" (Ast.Var "x");
+        Ast.assign "q" (Ast.Binop (Ast.Add, Ast.Var "p", Ast.Int 1));
+        Ast.skip;
+      ]
+  in
+  let program = Wellformed.infer_decls (Ast.program body) in
+  let binding =
+    Binding.make lattice ~default:lattice.Lattice.bottom
+      [ ("x", lattice.Lattice.top) ]
+  in
+  (program, binding)
+
 (* One refinement case: generate (or plant) a module pair, take the
    compositional toolchain's claim, refute claimed-safe swaps with the
    executor. The verdict tuple is neutral everywhere but the refine
@@ -352,55 +399,70 @@ let run_case ?store config index =
          + (if config.plant_lint_unsound then 1 else 0)
          + if config.plant_chan_unsound then 1 else 0
   in
-  let planted_refine =
-    config.plant_refine_unsound
-    && index
-       = config.cases
-         + (if config.plant_inversion then 1 else 0)
-         + (if config.plant_cert_inversion then 1 else 0)
-         + (if config.plant_lint_unsound then 1 else 0)
-         + (if config.plant_chan_unsound then 1 else 0)
-         + if config.plant_store_stale then 1 else 0
-  in
-  (* Honest refinement cases occupy the tail of the index space, after
-     every planted case. *)
-  let refine_base =
+  let dataflow_base =
     config.cases
     + (if config.plant_inversion then 1 else 0)
     + (if config.plant_cert_inversion then 1 else 0)
     + (if config.plant_lint_unsound then 1 else 0)
     + (if config.plant_chan_unsound then 1 else 0)
-    + (if config.plant_store_stale then 1 else 0)
+    + if config.plant_store_stale then 1 else 0
+  in
+  (* The dataflow plant occupies two indices: one forced bogus prune,
+     one forced witness corruption. *)
+  let planted_prune = config.plant_dataflow_unsound && index = dataflow_base in
+  let planted_witness =
+    config.plant_dataflow_unsound && index = dataflow_base + 1
+  in
+  let planted_refine =
+    config.plant_refine_unsound
+    && index = dataflow_base + if config.plant_dataflow_unsound then 2 else 0
+  in
+  (* Honest refinement cases occupy the tail of the index space, after
+     every planted case. *)
+  let refine_base =
+    dataflow_base
+    + (if config.plant_dataflow_unsound then 2 else 0)
     + if config.plant_refine_unsound then 1 else 0
   in
   let rng = case_rng config.seed index in
   if planted_refine || index >= refine_base then
     run_refine_case config ~planted:planted_refine rng index
   else
-  let profile_name, program, binding, override_cfm, override_cert, override_lint
-      =
+  let ( profile_name,
+        program,
+        binding,
+        override_cfm,
+        override_cert,
+        override_lint,
+        override_dataflow ) =
     if planted_cfm then
       let program, binding = planted_case () in
-      ("planted", program, binding, Some true, None, None)
+      ("planted", program, binding, Some true, None, None, None)
     else if planted_cert then
       let program, binding = planted_cert_case () in
-      ("planted-cert", program, binding, None, Some false, None)
+      ("planted-cert", program, binding, None, Some false, None, None)
     else if planted_lint then
       let program, binding = planted_lint_case () in
-      ("planted-lint", program, binding, None, None, Some true)
+      ("planted-lint", program, binding, None, None, Some true, None)
     else if planted_chan then
       let program, binding = planted_chan_case () in
-      ("planted-chan", program, binding, None, None, Some true)
+      ("planted-chan", program, binding, None, None, Some true, None)
     else if planted_store then
       let program, binding = planted_store_case () in
-      ("planted-store", program, binding, None, None, None)
+      ("planted-store", program, binding, None, None, None, None)
+    else if planted_prune then
+      let program, binding = planted_prune_case () in
+      ("planted-prune", program, binding, None, None, None, Some `Prune)
+    else if planted_witness then
+      let program, binding = planted_witness_case () in
+      ("planted-witness", program, binding, None, None, None, Some `Witness)
     else begin
       let profile_name, cfg_gen =
         List.nth profiles (index mod List.length profiles)
       in
       let size = Prng.range rng config.size_min config.size_max in
       let program = generate_case rng profile_name cfg_gen ~size in
-      (profile_name, program, random_binding rng program, None, None, None)
+      (profile_name, program, random_binding rng program, None, None, None, None)
     end
   in
   let ni_seed = Prng.bits rng land 0x3FFFFFFF in
@@ -421,9 +483,9 @@ let run_case ?store config index =
   let replay = Option.is_some store && override_cfm = None in
   let stored_cfm = if replay then lookup program else None in
   let verdicts =
-    Oracle.run ?override_cfm ?override_cert ?override_lint ?stored_cfm
-      ~ni_seed ~ni_pairs:config.ni_pairs ~max_states:config.max_states binding
-      program
+    Oracle.run ?override_cfm ?override_cert ?override_lint ?override_dataflow
+      ?stored_cfm ~ni_seed ~ni_pairs:config.ni_pairs
+      ~max_states:config.max_states binding program
   in
   (if replay && stored_cfm = None then
      match store with
@@ -453,6 +515,7 @@ let run_case ?store config index =
                 override_cfm,
                 override_cert,
                 override_lint,
+                override_dataflow,
                 (if replay then lookup else fun _ -> None),
                 ni_seed )));
   }
@@ -491,14 +554,16 @@ let shrink_counterexample config sink seen (o : outcome) =
             override_cfm,
             override_cert,
             override_lint,
+            override_dataflow,
             lookup,
             ni_seed ) ->
         let keep p =
           Wellformed.is_valid p
           && matches_label
                (Oracle.run ?override_cfm ?override_cert ?override_lint
-                  ?stored_cfm:(lookup p) ~ni_seed ~ni_pairs:config.ni_pairs
-                  ~max_states:config.max_states binding p)
+                  ?override_dataflow ?stored_cfm:(lookup p) ~ni_seed
+                  ~ni_pairs:config.ni_pairs ~max_states:config.max_states
+                  binding p)
         in
         let shrunk, stats =
           Shrink.minimize ~budget:config.shrink_budget ~keep program
@@ -695,6 +760,7 @@ let run ?(sink = Telemetry.null_sink ()) (config : config) =
     + (if config.plant_lint_unsound then 1 else 0)
     + (if config.plant_chan_unsound then 1 else 0)
     + (if config.plant_store_stale then 1 else 0)
+    + (if config.plant_dataflow_unsound then 2 else 0)
     + (if config.plant_refine_unsound then 1 else 0)
     + config.refine_cases
   in

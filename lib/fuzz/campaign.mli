@@ -79,6 +79,18 @@ type config = {
           artifact. Replay finds it, every honest analyzer disagrees, and
           the campaign must classify the case as [store-stale]. Uses
           [store_dir] when set, else a seed-derived scratch directory. *)
+  plant_dataflow_unsound : bool;
+      (** Test hook ([IFC_FUZZ_PLANT_DATAFLOW_UNSOUND] in the CLI):
+          append {e two} cases exercising the dataflow cross-checks. The
+          first forces the oracle's dataflow leg to report a bogus pruned
+          arm at the span of a statement every execution steps — the
+          exploration's visit witness refutes it, so the case must
+          classify as [prune-unsound]. The second is an honestly rejected
+          leak whose emitted flow witness has its sink span forcibly
+          corrupted before replay — the replay finds no failed check
+          there, so the case must classify as [witness-bogus]. Both
+          shrink to a single statement and persist with honest
+          verdicts. *)
   plant_refine_unsound : bool;
       (** Test hook ([IFC_FUZZ_PLANT_REFINE_UNSOUND] in the CLI): append
           one {!Modfuzz.planted} module pair — a certified two-module

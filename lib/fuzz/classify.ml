@@ -22,6 +22,10 @@ type verdicts = {
   dyn_chan_race : bool;
   dyn_chan_deadlock : bool;
   store_divergent : bool;
+  prune_spans : int;
+  prune_violated : bool;
+  witness_checked : bool;
+  witness_ok : bool;
   refine_checked : bool;
   refine_claimed_safe : bool;
   refine_dyn_leak : bool;
@@ -37,6 +41,8 @@ type inversion =
   | Chan_deadlock_unsound
   | Race_unsound
   | Deadlock_unsound
+  | Prune_unsound
+  | Witness_bogus
   | Above_denning
   | Above_flow_sensitive
 
@@ -67,6 +73,8 @@ let classify v =
          || (v.lint_must_block && v.dyn_terminal)
        then [ Deadlock_unsound ]
        else [])
+    @ (if v.prune_violated then [ Prune_unsound ] else [])
+    @ (if v.witness_checked && not v.witness_ok then [ Witness_bogus ] else [])
     @ (if v.cfm && not v.denning then [ Above_denning ] else [])
     @ if v.cfm && not v.fs then [ Above_flow_sensitive ] else []
   in
@@ -86,6 +94,8 @@ let inversion_label = function
   | Chan_deadlock_unsound -> "chan-deadlock-unsound"
   | Race_unsound -> "race-unsound"
   | Deadlock_unsound -> "deadlock-unsound"
+  | Prune_unsound -> "prune-unsound"
+  | Witness_bogus -> "witness-bogus"
   | Above_denning -> "hierarchy-denning"
   | Above_flow_sensitive -> "hierarchy-fs"
 
@@ -117,6 +127,8 @@ let class_labels =
     "chan-deadlock-unsound";
     "race-unsound";
     "deadlock-unsound";
+    "prune-unsound";
+    "witness-bogus";
     "hierarchy-denning";
     "hierarchy-fs";
     "denning-gap";

@@ -65,6 +65,19 @@ type verdicts = {
       (** A persistent-store replay returned a CFM verdict different from
           the freshly computed one — a stale or corrupted artifact.
           Always [false] when no store replay ran. *)
+  prune_spans : int;
+      (** Statically pruned arms (statements claimed unreachable on every
+          input) this case's dataflow leg reported. *)
+  prune_violated : bool;
+      (** Exploration visited a statement inside a pruned arm — direct
+          refutation of the unreachability claim. A visit witness is
+          definitive whatever the exploration bound. *)
+  witness_checked : bool;
+      (** The program was rejected and a flow witness was produced and
+          replayed ({!Ifc_dataflow.Witness.replay}). *)
+  witness_ok : bool;
+      (** The replay validated the witness chain. Vacuously [true] when
+          [witness_checked] is [false]. *)
   refine_checked : bool;
       (** This case exercised the module-refinement leg: a linked unit
           was certified compositionally and a candidate replacement was
@@ -110,6 +123,13 @@ type inversion =
       (** The analyzer claimed [deadlock_free] but exploration reached a
           stuck state, or claimed [must_block] but exploration reached a
           terminal. *)
+  | Prune_unsound
+      (** The dataflow analysis pruned an arm as unreachable on every
+          input, yet a bounded exploration stepped a statement inside
+          it. *)
+  | Witness_bogus
+      (** An emitted flow witness failed its own step-by-step replay
+          against the certification it purports to explain. *)
   | Above_denning  (** CFM certified but Denning rejects. *)
   | Above_flow_sensitive  (** CFM certified but flow-sensitive rejects. *)
 

@@ -23,6 +23,8 @@ type expected = {
   chan_race_free : bool;
   chan_deadlock_free : bool;
   lint_findings : int;
+  pruned : int;
+  witness_ok : bool;
   statements : int;
 }
 
@@ -68,6 +70,8 @@ let expected_of_verdicts ~cls program (v : Classify.verdicts) =
     chan_race_free = v.Classify.lint_chan_race_free;
     chan_deadlock_free = v.Classify.lint_chan_deadlock_free;
     lint_findings = v.Classify.lint_findings;
+    pruned = v.Classify.prune_spans;
+    witness_ok = v.Classify.witness_ok;
     statements = (Metrics.of_program program).Metrics.statements;
   }
 
@@ -91,6 +95,8 @@ let sidecar_text ~lattice_name ~binding ~expected ?note () =
   line "chan_race_free: %b" expected.chan_race_free;
   line "chan_deadlock_free: %b" expected.chan_deadlock_free;
   line "lint_findings: %d" expected.lint_findings;
+  line "pruned: %d" expected.pruned;
+  line "witness_ok: %b" expected.witness_ok;
   line "statements: %d" expected.statements;
   (match note with None -> () | Some n -> line "note: %s" n);
   List.iter
@@ -171,6 +177,15 @@ let parse_sidecar text =
   let* lint_findings =
     Result.bind (field "lint_findings") (parse_int "lint_findings")
   in
+  (* Dataflow fields postdate the sidecar format; older entries carry
+     zero pruned arms and a vacuously valid witness. *)
+  let optional_int key default =
+    match Hashtbl.find_opt fields key with
+    | None -> Ok default
+    | Some v -> parse_int key v
+  in
+  let* pruned = optional_int "pruned" 0 in
+  let* witness_ok = optional_bool "witness_ok" true in
   let* statements = Result.bind (field "statements") (parse_int "statements") in
   let* binding =
     Binding.of_spec lattice (String.concat "\n" (List.rev !bindings))
@@ -192,6 +207,8 @@ let parse_sidecar text =
         chan_race_free;
         chan_deadlock_free;
         lint_findings;
+        pruned;
+        witness_ok;
         statements;
       },
       Hashtbl.find_opt fields "note" )

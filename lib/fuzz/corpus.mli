@@ -36,6 +36,13 @@ type expected = {
       (** Claim: no execution can block on a channel, even transiently.
           Optional in the sidecar (defaults to [true]). *)
   lint_findings : int;  (** Total findings the analyzer reported. *)
+  pruned : int;
+      (** Arms the dataflow analysis pruned as statically unreachable
+          (absent in older sidecars: 0). *)
+  witness_ok : bool;
+      (** The flow witness, when one was emitted, survived replay
+          (absent in older sidecars, and vacuously true when the entry
+          is accepted). *)
   statements : int;  (** Statement count of the stored program. *)
 }
 

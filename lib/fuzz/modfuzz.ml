@@ -263,6 +263,10 @@ let verdicts ~claimed ~leak ~tested ~skipped =
     dyn_chan_race = false;
     dyn_chan_deadlock = false;
     store_divergent = false;
+    prune_spans = 0;
+    prune_violated = false;
+    witness_checked = false;
+    witness_ok = true;
     refine_checked = true;
     refine_claimed_safe = claimed;
     refine_dyn_leak = leak;

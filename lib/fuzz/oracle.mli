@@ -26,6 +26,12 @@
     exist for the campaign's planted-inversion test hooks and for what-if
     experiments; production callers never pass them.
 
+    [override_dataflow:`Prune] injects a bogus pruned span (the span of
+    a statement the exploration actually executed) into the dataflow
+    leg, and [`Witness] corrupts an emitted flow witness's sink span
+    before replay — the two planted-unsoundness hooks behind the
+    [prune-unsound] and [witness-bogus] inversion classes.
+
     [stored_cfm] is the CFM verdict a persistent artifact store returned
     for this program, when the campaign is replaying against one; a
     mismatch with the freshly computed verdict sets
@@ -36,6 +42,7 @@ val run :
   ?override_cfm:bool ->
   ?override_cert:bool ->
   ?override_lint:bool ->
+  ?override_dataflow:[ `Prune | `Witness ] ->
   ?stored_cfm:bool ->
   ni_seed:int ->
   ni_pairs:int ->

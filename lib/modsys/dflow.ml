@@ -1,0 +1,48 @@
+(* Dataflow facts persisted through the store's summary seam. *)
+
+module Ast = Ifc_lang.Ast
+module Store = Ifc_store.Store
+module Linked = Ifc_cert.Linked
+module Dsummary = Ifc_dataflow.Dsummary
+
+let key m =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ "ifc-dataflow 1"; Linked.module_digest m ]))
+
+let of_store store ~key =
+  match Store.find_summary store ~digest:key with
+  | None -> None
+  | Some s -> (
+    match Dsummary.parse s.Store.s_mod with
+    | Ok facts -> Some facts
+    | Error _ -> None)
+
+let to_store store ~key facts =
+  Store.add_summary store ~digest:key
+    { Store.s_mod = Dsummary.render facts; s_flow = None; s_cert = true }
+
+type outcome = { facts : Dsummary.t; computed : int; reused : int }
+
+let linked ?store (l : Ast.linked) =
+  let computed = ref 0 and reused = ref 0 in
+  let module_facts m =
+    let k = key m in
+    let cached = Option.bind store (fun st -> of_store st ~key:k) in
+    match cached with
+    | Some facts ->
+      incr reused;
+      facts
+    | None ->
+      let facts = Dsummary.of_program (Ast.module_program m) in
+      incr computed;
+      Option.iter (fun st -> to_store st ~key:k facts) store;
+      facts
+  in
+  let per_module = List.map module_facts l.Ast.modules in
+  let main_facts =
+    match l.Ast.main with
+    | Some p -> [ Dsummary.of_program p ]
+    | None -> []
+  in
+  { facts = Dsummary.concat (per_module @ main_facts); computed = !computed; reused = !reused }

@@ -1,0 +1,34 @@
+(** Dataflow summaries through the store seam.
+
+    The dataflow facts of a module ([Ifc_dataflow.Dsummary]) depend
+    only on the module body — the interval analysis assumes nothing
+    about entry values, so the facts hold in any linking context. They
+    are therefore cached like certification summaries: keyed by the
+    module's structural digest (no lattice in the key — pruning is
+    classification-free), checksummed and quarantined by the store's
+    summary seam.
+
+    [linked] is the lint-side analogue of {!Link.certify}: every
+    module's facts resolve from the store (or are computed once and
+    persisted), only the main program is analyzed fresh, and the
+    concatenated facts re-apply to the elaborated unit via
+    {!Ifc_dataflow.Dsummary.apply} — one module edited means one
+    summary recomputed. *)
+
+module Ast := Ifc_lang.Ast
+module Store := Ifc_store.Store
+module Dsummary := Ifc_dataflow.Dsummary
+
+val key : Ast.module_unit -> string
+
+val of_store : Store.t -> key:string -> Dsummary.t option
+
+val to_store : Store.t -> key:string -> Dsummary.t -> unit
+
+type outcome = {
+  facts : Dsummary.t;  (** All modules' facts plus main's, concatenated. *)
+  computed : int;  (** Module summaries computed this call. *)
+  reused : int;  (** Module summaries served from the store. *)
+}
+
+val linked : ?store:Store.t -> Ast.linked -> outcome

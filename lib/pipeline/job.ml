@@ -124,7 +124,7 @@ let run_cert binding program =
    findings list and the safety claims ride along as a JSON artifact, so
    digest-keyed cache entries (and the serve protocol) carry the report
    itself. *)
-let lint_report_json (report : Ifc_analysis.Analyze.report) =
+let lint_report_json ?(extra = []) (report : Ifc_analysis.Analyze.report) =
   let open Telemetry in
   let span s = Fmt.str "%a" Ifc_lang.Loc.pp s in
   let finding (f : Ifc_analysis.Finding.t) =
@@ -145,7 +145,7 @@ let lint_report_json (report : Ifc_analysis.Analyze.report) =
   let stats = report.Ifc_analysis.Analyze.stats in
   json_to_string
     (Obj
-       [
+       ([
          ("findings", List (List.map finding report.Ifc_analysis.Analyze.findings));
          ( "claims",
            Obj
@@ -184,7 +184,20 @@ let lint_report_json (report : Ifc_analysis.Analyze.report) =
                ("accesses", Int stats.Ifc_analysis.Analyze.accesses);
                ("pairs", Int stats.Ifc_analysis.Analyze.pairs);
              ] );
-       ])
+         ( "pruned",
+           List
+             (List.map
+                (fun (pr : Ifc_dataflow.Prune.pruned) ->
+                  Obj
+                    [
+                      ( "arm",
+                        String (Ifc_dataflow.Prune.arm_name pr.Ifc_dataflow.Prune.p_arm) );
+                      ("span", String (span pr.Ifc_dataflow.Prune.p_span));
+                      ("stmt", String (span pr.Ifc_dataflow.Prune.p_stmt_span));
+                    ])
+                report.Ifc_analysis.Analyze.pruned) );
+       ]
+       @ extra))
 
 let run_lint program =
   let report = Ifc_analysis.Analyze.run program in

@@ -122,7 +122,10 @@ type result = {
   from_cache : bool;
 }
 
-val lint_report_json : Ifc_analysis.Analyze.report -> string
+val lint_report_json :
+  ?extra:(string * Telemetry.json) list ->
+  Ifc_analysis.Analyze.report ->
+  string
 (** The [Lint] artifact renderer, exposed so [ifc lint --json] prints
     byte-identical JSON to the cached artifact and the serve protocol's
     ["report"] object: [{findings; claims; stats}], each finding with

@@ -1,0 +1,141 @@
+Golden tests for the dataflow engine on the CLI: infeasible-path
+pruning in `ifc lint`, the pinned `--json` schema, flow witnesses under
+`--explain`, and the modular summary path through the store.
+
+The canonical whole-program false positive: the cobegin races on y, but
+the guard x = 0 is statically false after x := 1 — pruning rewrites the
+arm to skip, the race vanishes (race-free stays claimed), and the only
+finding is the unreachable-arm warning:
+
+  $ cat > prune-race.ifc <<'EOF'
+  > var x, y : integer;
+  > begin
+  >   x := 1;
+  >   if x = 0 then
+  >     cobegin y := 1 || y := 2 coend
+  >   else
+  >     skip
+  > end
+  > EOF
+
+  $ ../../bin/ifc.exe lint prune-race.ifc
+  line 5, cols 5-35: warning[unreachable]: then branch is unreachable on every input (see lines 4-7)
+  0 errors, 1 warning over 7 statements (2 accesses, 1 parallel pairs)
+  claims: race-free true, deadlock-free true, must-block false, chan-race-free true, chan-deadlock-free true
+  pruned: then at line 5, cols 5-35 (guard at lines 4-7)
+  [2]
+
+--no-prune restores the pre-engine behaviour — the spurious race
+returns and the race-free claim is withdrawn:
+
+  $ ../../bin/ifc.exe lint --no-prune prune-race.ifc
+  line 5, cols 13-19: warning[race]: possible write/write race on y with a parallel process (see line 5, cols 23-29)
+  0 errors, 1 warning over 7 statements (4 accesses, 2 parallel pairs)
+  claims: race-free false, deadlock-free true, must-block false, chan-race-free true, chan-deadlock-free true
+  [2]
+
+The JSON report is a pinned schema (documented in PROTOCOL.md): the
+top-level keys are findings, claims, channels, stats, pruned — in that
+order — and each pruned arm carries arm/span/stmt:
+
+  $ ../../bin/ifc.exe lint --json prune-race.ifc
+  {"findings":[{"kind":"unreachable","severity":"warning","span":"line 5, cols 5-35","message":"then branch is unreachable on every input","related":"lines 4-7"}],"claims":{"race_free":true,"deadlock_free":true,"must_block":false,"chan_race_free":true,"chan_deadlock_free":true},"channels":[],"stats":{"statements":7,"accesses":2,"pairs":1},"pruned":[{"arm":"then","span":"line 5, cols 5-35","stmt":"lines 4-7"}]}
+  [2]
+
+A definitely-overwritten assignment is a dead-store warning:
+
+  $ cat > dead.ifc <<'EOF'
+  > var x, y : integer;
+  > begin
+  >   x := 5;
+  >   x := y;
+  >   y := x
+  > end
+  > EOF
+
+  $ ../../bin/ifc.exe lint dead.ifc
+  line 3, cols 3-9: warning[dead-store]: value assigned to x is overwritten before any read
+  0 errors, 1 warning over 4 statements (5 accesses, 4 parallel pairs)
+  claims: race-free true, deadlock-free true, must-block false, chan-race-free true, chan-deadlock-free true
+  [2]
+
+A constant guard stays a guard finding, byte-for-byte — pruning still
+removes the arm but does not double-report it as unreachable:
+
+  $ cat > constguard.ifc <<'EOF'
+  > var y : integer;
+  > begin
+  >   if false then y := 1 else skip
+  > end
+  > EOF
+
+  $ ../../bin/ifc.exe lint constguard.ifc
+  line 3, cols 3-33: warning[guard]: if guard is constantly false; the then branch never executes
+  0 errors, 1 warning over 4 statements (0 accesses, 0 parallel pairs)
+  claims: race-free true, deadlock-free true, must-block false, chan-race-free true, chan-deadlock-free true
+  pruned: then at line 3, cols 17-23 (guard at line 3, cols 3-33)
+  [2]
+
+`check --explain` appends a flow witness to a rejection: the source
+variables whose classes broke the constraint, the propagation steps,
+and the failed sink check. sec52.ifc copies high x into low y:
+
+  $ ../../bin/ifc.exe check --explain --binding leaky.bind sec52.ifc | tail -3
+  
+  witness (cfm): assign: sbind(e) <= sbind(x) at line 2, cols 15-21 [y]
+    source: x
+
+
+`lint --explain` shows the same witness after the concurrency report
+(lint findings and certification are independent — this program lints
+clean but leaks):
+
+  $ ../../bin/ifc.exe lint --explain --binding leaky.bind sec52.ifc
+  0 errors, 0 warnings over 3 statements (3 accesses, 1 parallel pairs)
+  claims: race-free true, deadlock-free true, must-block false, chan-race-free true, chan-deadlock-free true
+  witness (cfm): assign: sbind(e) <= sbind(x) at line 2, cols 15-21 [y]
+    source: x
+
+Under --json the witness is an additional top-level key, present only
+with --explain:
+
+  $ ../../bin/ifc.exe lint --explain --json --binding leaky.bind sec52.ifc
+  {"findings":[],"claims":{"race_free":true,"deadlock_free":true,"must_block":false,"chan_race_free":true,"chan_deadlock_free":true},"channels":[],"stats":{"statements":3,"accesses":3,"pairs":1},"pruned":[],"witness":{"mode":"cfm","source":["x"],"steps":[],"sink_span":"line 2, cols 15-21","sink_rule":"assign: sbind(e) <= sbind(x)","sink_var":"y"}}
+
+An accepted program has no witness to show:
+
+  $ printf 'x : low\ny : low\n' > alllow.bind
+  $ ../../bin/ifc.exe lint --explain --binding alllow.bind sec52.ifc | tail -1
+  flow explanation: certified; no witness to show
+
+Modular lint: per-module dataflow facts ride the store's summary seam —
+the facts depend only on the module body, so one module edited means
+one summary recomputed. Second run reuses the helper's summary:
+
+  $ cat > dl-lib.ifc <<'EOF'
+  > module helper
+  >   provides (h : class <= high)
+  >   var h : integer class high;
+  >       t : integer class low;
+  >   begin
+  >     t := 1;
+  >     if t = 0 then h := 2 else skip
+  >   end
+  > end
+  > 
+  > var z : integer class low;
+  > begin z := 1; z := 2 end
+  > EOF
+
+  $ ../../bin/ifc.exe lint --modular --store dlstore dl-lib.ifc
+  dataflow: 1 summaries computed, 0 reused from store
+  line 7, cols 19-25: warning[unreachable]: then branch is unreachable on every input (see line 7, cols 5-35)
+  line 12, cols 7-13: warning[dead-store]: value assigned to z is overwritten before any read
+  0 errors, 2 warnings over 9 statements (4 accesses, 2 parallel pairs)
+  claims: race-free true, deadlock-free true, must-block false, chan-race-free true, chan-deadlock-free true
+  pruned: then at line 7, cols 19-25 (guard at line 7, cols 5-35)
+  [2]
+
+  $ ../../bin/ifc.exe lint --modular --store dlstore dl-lib.ifc 2>&1 >/dev/null
+  dataflow: 0 summaries computed, 1 reused from store
+  [2]

@@ -28,6 +28,8 @@ accepting CFM-rejected programs) do turn up and are merely counted:
       chan-deadlock-unsound    0
       race-unsound             0
       deadlock-unsound         0
+      prune-unsound            0
+      witness-bogus            0
       hierarchy-denning        0
       hierarchy-fs             0
       denning-gap              1
@@ -38,7 +40,7 @@ accepting CFM-rejected programs) do turn up and are merely counted:
       refine-accepted          14
       refine-rejected          11
     inversions=0 gaps=1
-  {"fuzz":"summary","seed":42,"cases":75,"completed":75,"timed_out":0,"errors":0,"inversions":0,"gaps":1,"classes":{"unsound-certification":0,"refine-unsound":0,"logic-mismatch":0,"cert-inversion":0,"store-stale":0,"chan-race-unsound":0,"chan-deadlock-unsound":0,"race-unsound":0,"deadlock-unsound":0,"hierarchy-denning":0,"hierarchy-fs":0,"denning-gap":1,"fs-gap":0,"confirmed-rejection":14,"certified-agreement":15,"unconfirmed-rejection":20,"refine-accepted":14,"refine-rejected":11},"oracle":{"pairs_tested":222,"pairs_skipped":10},"shrink":{"steps":0,"evals":0},"counterexamples":[]}
+  {"fuzz":"summary","seed":42,"cases":75,"completed":75,"timed_out":0,"errors":0,"inversions":0,"gaps":1,"classes":{"unsound-certification":0,"refine-unsound":0,"logic-mismatch":0,"cert-inversion":0,"store-stale":0,"chan-race-unsound":0,"chan-deadlock-unsound":0,"race-unsound":0,"deadlock-unsound":0,"prune-unsound":0,"witness-bogus":0,"hierarchy-denning":0,"hierarchy-fs":0,"denning-gap":1,"fs-gap":0,"confirmed-rejection":14,"certified-agreement":15,"unconfirmed-rejection":20,"refine-accepted":14,"refine-rejected":11},"oracle":{"pairs_tested":222,"pairs_skipped":10},"shrink":{"steps":0,"evals":0},"counterexamples":[]}
 
   $ ../../bin/ifc.exe fuzz --seed 42 --cases 50 --jobs 2 --quiet > /dev/null 2>&1; echo "exit $?"
   exit 0

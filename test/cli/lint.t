@@ -59,14 +59,14 @@ withheld (the recv may transiently block on the empty queue):
 identical artifact the batch pipeline caches and `ifc serve` returns):
 
   $ ../../bin/ifc.exe lint --json deadlock.ifc
-  {"findings":[{"kind":"deadlock","severity":"error","span":"line 9, cols 3-10","message":"every execution performs at least 1 wait(s) but at most 0 units can ever be supplied (initially 0); some wait blocks forever"}],"claims":{"race_free":true,"deadlock_free":false,"must_block":true,"chan_race_free":true,"chan_deadlock_free":true},"channels":[],"stats":{"statements":3,"accesses":1,"pairs":0}}
+  {"findings":[{"kind":"deadlock","severity":"error","span":"line 9, cols 3-10","message":"every execution performs at least 1 wait(s) but at most 0 units can ever be supplied (initially 0); some wait blocks forever"}],"claims":{"race_free":true,"deadlock_free":false,"must_block":true,"chan_race_free":true,"chan_deadlock_free":true},"channels":[],"stats":{"statements":3,"accesses":1,"pairs":0},"pruned":[]}
   [2]
 
   $ ../../bin/ifc.exe lint --json sec52.ifc
-  {"findings":[],"claims":{"race_free":true,"deadlock_free":true,"must_block":false,"chan_race_free":true,"chan_deadlock_free":true},"channels":[],"stats":{"statements":3,"accesses":3,"pairs":1}}
+  {"findings":[],"claims":{"race_free":true,"deadlock_free":true,"must_block":false,"chan_race_free":true,"chan_deadlock_free":true},"channels":[],"stats":{"statements":3,"accesses":3,"pairs":1},"pruned":[]}
 
   $ ../../bin/ifc.exe lint --json chan-deadlock.ifc
-  {"findings":[{"kind":"chan-deadlock","severity":"error","span":"line 7, cols 3-13","message":"no send on c can precede or run alongside this recv; it blocks forever whenever reached"}],"claims":{"race_free":true,"deadlock_free":false,"must_block":true,"chan_race_free":true,"chan_deadlock_free":false},"channels":[{"name":"c","cap":1,"send_min":0,"send_max":0,"recv_min":1,"recv_max":1,"edges":0}],"stats":{"statements":2,"accesses":1,"pairs":0}}
+  {"findings":[{"kind":"chan-deadlock","severity":"error","span":"line 7, cols 3-13","message":"no send on c can precede or run alongside this recv; it blocks forever whenever reached"}],"claims":{"race_free":true,"deadlock_free":false,"must_block":true,"chan_race_free":true,"chan_deadlock_free":false},"channels":[{"name":"c","cap":1,"send_min":0,"send_max":0,"recv_min":1,"recv_max":1,"edges":0}],"stats":{"statements":2,"accesses":1,"pairs":0},"pruned":[]}
   [2]
 
 Unreadable programs are an error (exit 1), not a verdict:

@@ -53,7 +53,8 @@ let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0)
     ?(lint_chan_deadlock_free = true) ?(lint_findings = 0) ?(dyn_race = false)
     ?(dyn_deadlock = false) ?(dyn_terminal = true) ?(dyn_complete = true)
     ?(dyn_chan_race = false) ?(dyn_chan_deadlock = false)
-    ?(store_divergent = false) ?(refine_checked = false)
+    ?(store_divergent = false) ?(prune_spans = 0) ?(prune_violated = false)
+    ?(witness_checked = false) ?(witness_ok = true) ?(refine_checked = false)
     ?(refine_claimed_safe = false) ?(refine_dyn_leak = false) () =
   {
     Classify.cfm;
@@ -77,6 +78,10 @@ let v ~cfm ~denning ~fs ~prove ?(cert_ok = true) ?(viol = 0)
     dyn_chan_race;
     dyn_chan_deadlock;
     store_divergent;
+    prune_spans;
+    prune_violated;
+    witness_checked;
+    witness_ok;
     refine_checked;
     refine_claimed_safe;
     refine_dyn_leak;
@@ -296,6 +301,8 @@ let test_corpus_replay () =
       (List.exists (fun e -> e.Corpus.name = "refined-ok") entries);
     check "refined-leak seeded (linked syntax)" true
       (List.exists (fun e -> e.Corpus.name = "refined-leak") entries);
+    check "prune-race seeded (dataflow pruning)" true
+      (List.exists (fun e -> e.Corpus.name = "prune-race") entries);
     List.iter
       (fun (e : Corpus.entry) ->
         let name = e.Corpus.name in
@@ -330,7 +337,13 @@ let test_corpus_replay () =
           (Bool.equal exp.Corpus.chan_deadlock_free
              vv.Classify.lint_chan_deadlock_free);
         check_int (name ^ ": lint_findings") exp.Corpus.lint_findings
-          vv.Classify.lint_findings)
+          vv.Classify.lint_findings;
+        check_int (name ^ ": pruned") exp.Corpus.pruned
+          vv.Classify.prune_spans;
+        check (name ^ ": prune refuted by exploration") false
+          vv.Classify.prune_violated;
+        check (name ^ ": witness_ok") true
+          (Bool.equal exp.Corpus.witness_ok vv.Classify.witness_ok))
       (entries : Corpus.entry list)
 
 let test_corpus_roundtrip () =
